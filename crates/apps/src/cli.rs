@@ -1,0 +1,569 @@
+//! Implementation of the `gpm` command-line tool: argument parsing,
+//! graph/pattern specification grammar, and run reporting.
+//!
+//! Kept as a library module so the grammar is unit-testable; the `gpm`
+//! binary is a thin wrapper over [`run`].
+
+use gpm_baselines::ctd::CtdCluster;
+use gpm_baselines::gthinker::{GThinker, GThinkerConfig};
+use gpm_baselines::replicated::{ReplicatedCluster, ReplicatedConfig};
+use gpm_baselines::single::SingleMachine;
+use gpm_graph::datasets::DatasetId;
+use gpm_graph::partition::PartitionedGraph;
+use gpm_graph::{gen, Graph};
+use gpm_pattern::plan::{MatchingPlan, PlanOptions};
+use gpm_pattern::Pattern;
+use khuzdul::{Engine, EngineConfig, RunStats};
+use std::fmt::Write as _;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Where the graph comes from.
+    pub graph: GraphSource,
+    /// The pattern to mine.
+    pub pattern: Pattern,
+    /// Which system runs it.
+    pub system: System,
+    /// Simulated machines.
+    pub machines: usize,
+    /// NUMA sockets per machine.
+    pub sockets: usize,
+    /// Compute threads per part.
+    pub threads: usize,
+    /// Induced matching.
+    pub induced: bool,
+    /// Print only the count.
+    pub quiet: bool,
+}
+
+/// Graph source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSource {
+    /// Load from a file path.
+    Path(String),
+    /// Generate from a spec string.
+    Spec(String),
+}
+
+/// Selectable system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum System {
+    KhuzdulAutomine,
+    KhuzdulGraphpi,
+    GThinker,
+    Replicated,
+    Ctd,
+    Single,
+}
+
+impl System {
+    fn parse(s: &str) -> Result<System, String> {
+        Ok(match s {
+            "khuzdul-automine" | "k-automine" => System::KhuzdulAutomine,
+            "khuzdul-graphpi" | "k-graphpi" => System::KhuzdulGraphpi,
+            "gthinker" | "g-thinker" => System::GThinker,
+            "replicated" | "graphpi" => System::Replicated,
+            "ctd" | "adfs" => System::Ctd,
+            "single" | "automine-ih" => System::Single,
+            other => return Err(format!("unknown system '{other}'")),
+        })
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            System::KhuzdulAutomine => "k-Automine (Khuzdul)",
+            System::KhuzdulGraphpi => "k-GraphPi (Khuzdul)",
+            System::GThinker => "G-thinker-like",
+            System::Replicated => "replicated GraphPi-like",
+            System::Ctd => "aDFS-like (computation-to-data)",
+            System::Single => "AutomineIH (single machine)",
+        }
+    }
+}
+
+/// Parses the argument list.
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown flags, missing values, or
+/// malformed specs. `--help` is reported as an error string containing
+/// the usage text.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut graph: Option<GraphSource> = None;
+    let mut pattern: Option<Pattern> = None;
+    let mut system = System::KhuzdulAutomine;
+    let mut machines = 4usize;
+    let mut sockets = 1usize;
+    let mut threads = 2usize;
+    let mut induced = false;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--graph" => graph = Some(GraphSource::Path(value()?.to_string())),
+            "--gen" => graph = Some(GraphSource::Spec(value()?.to_string())),
+            "--pattern" => pattern = Some(parse_pattern(value()?)?),
+            "--system" => system = System::parse(value()?)?,
+            "--machines" => machines = parse_num(value()?)?,
+            "--sockets" => sockets = parse_num(value()?)?,
+            "--threads" => threads = parse_num(value()?)?,
+            "--induced" => induced = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => return Err("see the crate docs for usage".into()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(Options {
+        graph: graph.ok_or("one of --graph or --gen is required")?,
+        pattern: pattern.ok_or("--pattern is required")?,
+        system,
+        machines: machines.max(1),
+        sockets: sockets.max(1),
+        threads: threads.max(1),
+        induced,
+        quiet,
+    })
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("'{s}' is not a number"))
+}
+
+/// Parses a pattern spec: `triangle`, `clique:4`, `path:5`, `cycle:4`,
+/// `star:5`, `house`, `diamond`, `tailed-triangle`, or
+/// `edges:0-1,1-2,2-0`.
+pub fn parse_pattern(spec: &str) -> Result<Pattern, String> {
+    let (head, arg) = match spec.split_once(':') {
+        Some((h, a)) => (h, Some(a)),
+        None => (spec, None),
+    };
+    let k = |a: Option<&str>| -> Result<usize, String> {
+        parse_num(a.ok_or_else(|| format!("'{head}' needs a size, e.g. {head}:4"))?)
+    };
+    match head {
+        "triangle" => Ok(Pattern::triangle()),
+        "clique" => Ok(Pattern::clique(k(arg)?)),
+        "path" => Ok(Pattern::path(k(arg)?)),
+        "cycle" => Ok(Pattern::cycle(k(arg)?)),
+        "star" => Ok(Pattern::star(k(arg)?)),
+        "house" => Ok(Pattern::house()),
+        "diamond" => Ok(Pattern::diamond()),
+        "tailed-triangle" => Ok(Pattern::tailed_triangle()),
+        "edges" => {
+            let text = arg.ok_or("edges spec needs pairs, e.g. edges:0-1,1-2")?;
+            let mut edges = Vec::new();
+            let mut n = 0usize;
+            for pair in text.split(',') {
+                let (u, v) = pair
+                    .split_once('-')
+                    .ok_or_else(|| format!("bad edge '{pair}' (want U-V)"))?;
+                let (u, v) = (parse_num(u)?, parse_num(v)?);
+                n = n.max(u + 1).max(v + 1);
+                edges.push((u, v));
+            }
+            Pattern::from_edges(n, &edges).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown pattern '{other}'")),
+    }
+}
+
+/// Parses a generator spec: `ba:N,M[,SEED]`, `er:N,M[,SEED]`,
+/// `rmat:SCALE,EF[,SEED]`, or `dataset:ABBR`.
+pub fn parse_gen(spec: &str) -> Result<Graph, String> {
+    let (head, args) =
+        spec.split_once(':').ok_or_else(|| format!("bad generator spec '{spec}'"))?;
+    let nums: Vec<&str> = args.split(',').collect();
+    let num = |i: usize| -> Result<usize, String> {
+        parse_num(nums.get(i).copied().ok_or("missing generator argument")?)
+    };
+    let seed = |i: usize| -> u64 { nums.get(i).and_then(|s| s.parse().ok()).unwrap_or(42) };
+    match head {
+        "ba" => Ok(gen::barabasi_albert(num(0)?, num(1)?, seed(2))),
+        "er" => Ok(gen::erdos_renyi(num(0)?, num(1)?, seed(2))),
+        "rmat" => {
+            Ok(gen::rmat(num(0)? as u32, num(1)?, (0.57, 0.19, 0.19), seed(2)))
+        }
+        "dataset" => {
+            let abbr = nums.first().copied().unwrap_or("");
+            DatasetId::ALL
+                .iter()
+                .find(|d| d.abbr() == abbr)
+                .map(|d| d.build())
+                .ok_or_else(|| format!("unknown dataset '{abbr}'"))
+        }
+        other => Err(format!("unknown generator '{other}'")),
+    }
+}
+
+/// Executes a parsed command line and renders the report.
+///
+/// The first argument may be a subcommand: `count` (default — mine one
+/// pattern), `stats` (graph analysis report), `motifs` (k-motif census),
+/// or `fsm` (frequent subgraph mining).
+///
+/// # Errors
+///
+/// Propagates parse, I/O, and plan-compilation failures as strings.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("stats") => return run_stats(&args[1..]),
+        Some("motifs") => return run_motifs(&args[1..]),
+        Some("fsm") => return run_fsm(&args[1..]),
+        Some("count") => return run_count(&args[1..]),
+        _ => {}
+    }
+    run_count(args)
+}
+
+fn load(source: &GraphSource) -> Result<Graph, String> {
+    match source {
+        GraphSource::Path(p) => gpm_graph::io::load_graph(p).map_err(|e| e.to_string()),
+        GraphSource::Spec(s) => parse_gen(s),
+    }
+}
+
+/// Pulls `--graph`/`--gen` plus any `extra` numeric flags out of an
+/// argument list, returning the graph and the parsed extras (in order,
+/// with defaults).
+fn graph_and_flags(
+    args: &[String],
+    extra: &[(&str, usize)],
+) -> Result<(Graph, Vec<usize>), String> {
+    let mut graph = None;
+    let mut values: Vec<usize> = extra.iter().map(|&(_, d)| d).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--graph" => graph = Some(GraphSource::Path(value()?.to_string())),
+            "--gen" => graph = Some(GraphSource::Spec(value()?.to_string())),
+            other => {
+                let Some(i) = extra.iter().position(|&(name, _)| name == other) else {
+                    return Err(format!("unknown flag '{other}'"));
+                };
+                values[i] = parse_num(value()?)?;
+            }
+        }
+    }
+    let graph = load(&graph.ok_or("one of --graph or --gen is required")?)?;
+    Ok((graph, values))
+}
+
+/// `gpm stats`: Table-1-style characterization plus skew diagnostics.
+fn run_stats(args: &[String]) -> Result<String, String> {
+    use gpm_graph::analysis;
+    let (g, _) = graph_and_flags(args, &[])?;
+    let mut out = String::new();
+    let _ = writeln!(out, "vertices        {}", g.vertex_count());
+    let _ = writeln!(out, "edges           {}", g.edge_count());
+    let _ = writeln!(out, "max degree      {}", g.max_degree());
+    let _ = writeln!(out, "size            {} bytes", g.size_bytes());
+    let _ = writeln!(out, "degree gini     {:.3}", analysis::degree_gini(&g));
+    if let Some(c) = analysis::global_clustering(&g) {
+        let _ = writeln!(out, "clustering      {c:.4}");
+    }
+    let _ = writeln!(
+        out,
+        "largest comp.   {} vertices",
+        analysis::largest_component_size(&g)
+    );
+    let hist = analysis::degree_histogram_log2(&g);
+    let _ = writeln!(out, "degree histogram (log2 buckets):");
+    for (i, c) in hist.iter().enumerate() {
+        if *c > 0 {
+            let _ = writeln!(out, "  2^{i:<2} {c}");
+        }
+    }
+    Ok(out)
+}
+
+/// `gpm motifs --k K --machines N`: induced k-motif census.
+fn run_motifs(args: &[String]) -> Result<String, String> {
+    let (g, vals) = graph_and_flags(args, &[("--k", 3), ("--machines", 4)])?;
+    let (k, machines) = (vals[0], vals[1]);
+    let engine = Engine::new(
+        PartitionedGraph::new(&g, machines.max(1), 1),
+        EngineConfig::default(),
+    );
+    let motifs = gpm_apps_counting_motifs(&engine, k)?;
+    engine.shutdown();
+    let mut out = String::new();
+    let _ = writeln!(out, "{k}-motif census ({machines} machines):");
+    for (p, c) in &motifs.per_pattern {
+        let _ = writeln!(out, "  {p:<30} {c}");
+    }
+    let _ = writeln!(out, "total connected {k}-subgraphs: {}", motifs.total);
+    let _ = writeln!(out, "elapsed: {:?}", motifs.elapsed);
+    Ok(out)
+}
+
+fn gpm_apps_counting_motifs(
+    engine: &Engine,
+    k: usize,
+) -> Result<crate::counting::MotifCounts, String> {
+    crate::counting::motif_count(engine, k, &PlanOptions::automine())
+}
+
+/// `gpm fsm --threshold T --max-edges E --labels L --machines N`.
+fn run_fsm(args: &[String]) -> Result<String, String> {
+    let (g, vals) = graph_and_flags(
+        args,
+        &[("--threshold", 100), ("--max-edges", 3), ("--labels", 3), ("--machines", 4)],
+    )?;
+    let (threshold, max_edges, labels, machines) = (vals[0], vals[1], vals[2], vals[3]);
+    let g = if g.is_labeled() {
+        g
+    } else {
+        gpm_graph::gen::with_random_labels(&g, labels as gpm_graph::Label, 7)
+    };
+    let engine = Engine::new(
+        PartitionedGraph::new(&g, machines.max(1), 1),
+        EngineConfig::default(),
+    );
+    let result = crate::fsm::fsm(
+        &engine,
+        &crate::fsm::FsmConfig {
+            support_threshold: threshold as u64,
+            max_edges,
+            exact_supports: false,
+        },
+    );
+    engine.shutdown();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fsm: {} candidates evaluated, {} frequent at support >= {threshold} ({:?})",
+        result.evaluated,
+        result.frequent.len(),
+        result.elapsed
+    );
+    for (p, s) in &result.frequent {
+        let labels = p
+            .labels()
+            .map(|l| {
+                l.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+            })
+            .unwrap_or_default();
+        let _ = writeln!(out, "  {p} [{labels}]  support>={s}");
+    }
+    Ok(out)
+}
+
+fn run_count(args: &[String]) -> Result<String, String> {
+    let opts = parse_args(args)?;
+    let graph = load(&opts.graph)?;
+    let stats = execute(&graph, &opts)?;
+    let mut out = String::new();
+    if opts.quiet {
+        let _ = writeln!(out, "{}", stats.count);
+        return Ok(out);
+    }
+    let _ = writeln!(
+        out,
+        "graph    {} vertices, {} edges, max degree {}",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.max_degree()
+    );
+    let _ = writeln!(out, "pattern  {}{}", opts.pattern, if opts.induced { " (induced)" } else { "" });
+    let _ = writeln!(
+        out,
+        "system   {} ({} machines x {} sockets, {} threads)",
+        opts.system.name(),
+        opts.machines,
+        opts.sockets,
+        opts.threads
+    );
+    let _ = writeln!(out, "count    {}", stats.count);
+    let _ = writeln!(out, "elapsed  {:?}", stats.elapsed);
+    let _ = writeln!(
+        out,
+        "traffic  {} bytes in {} fetches",
+        stats.traffic.network_bytes, stats.traffic.requests
+    );
+    let b = stats.breakdown();
+    let _ = writeln!(
+        out,
+        "split    {:.0}% compute / {:.0}% network / {:.0}% scheduler / {:.0}% cache",
+        b.compute * 100.0,
+        b.network * 100.0,
+        b.scheduler * 100.0,
+        b.cache * 100.0
+    );
+    Ok(out)
+}
+
+fn execute(graph: &Graph, opts: &Options) -> Result<RunStats, String> {
+    let base = match opts.system {
+        System::KhuzdulGraphpi => PlanOptions::graphpi(),
+        _ => PlanOptions::automine(),
+    };
+    let plan_opts = PlanOptions { induced: opts.induced, ..base.clone() };
+    match opts.system {
+        System::KhuzdulAutomine | System::KhuzdulGraphpi => {
+            let plan = MatchingPlan::compile(&opts.pattern, &plan_opts)?;
+            let engine = Engine::new(
+                PartitionedGraph::new(graph, opts.machines, opts.sockets),
+                EngineConfig { compute_threads: opts.threads, ..EngineConfig::default() },
+            );
+            let stats = engine.count(&plan);
+            engine.shutdown();
+            Ok(stats)
+        }
+        System::GThinker => {
+            let sys = GThinker::new(
+                PartitionedGraph::new(graph, opts.machines, opts.sockets),
+                GThinkerConfig::default(),
+            );
+            sys.count(&opts.pattern, &plan_opts)
+        }
+        System::Replicated => {
+            let plan = MatchingPlan::compile(&opts.pattern, &plan_opts)?;
+            let sys = ReplicatedCluster::new(
+                graph.clone(),
+                ReplicatedConfig {
+                    machines: opts.machines,
+                    threads_per_machine: opts.threads,
+                    ..ReplicatedConfig::default()
+                },
+            );
+            Ok(sys.count(&plan))
+        }
+        System::Ctd => {
+            let sys =
+                CtdCluster::new(PartitionedGraph::new(graph, opts.machines, opts.sockets));
+            sys.count(&opts.pattern, &plan_opts)
+        }
+        System::Single => {
+            let sys = SingleMachine::automine_ih(graph.clone(), opts.threads);
+            if opts.induced {
+                let plan = MatchingPlan::compile(&opts.pattern, &plan_opts)?;
+                Ok(sys.count_plan(&plan))
+            } else {
+                sys.count(&opts.pattern)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let o = parse_args(&argv("--gen ba:100,3 --pattern triangle")).unwrap();
+        assert_eq!(o.machines, 4);
+        assert_eq!(o.pattern, Pattern::triangle());
+        assert_eq!(o.system, System::KhuzdulAutomine);
+    }
+
+    #[test]
+    fn parse_full() {
+        let o = parse_args(&argv(
+            "--gen er:50,100 --pattern clique:4 --system gthinker --machines 2 \
+             --sockets 2 --threads 3 --induced --quiet",
+        ))
+        .unwrap();
+        assert_eq!(o.system, System::GThinker);
+        assert_eq!((o.machines, o.sockets, o.threads), (2, 2, 3));
+        assert!(o.induced && o.quiet);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&argv("--pattern triangle")).is_err()); // no graph
+        assert!(parse_args(&argv("--gen ba:100,3")).is_err()); // no pattern
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern nope")).is_err());
+        assert!(parse_args(&argv("--bogus")).is_err());
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --machines x")).is_err());
+    }
+
+    #[test]
+    fn pattern_grammar() {
+        assert_eq!(parse_pattern("clique:5").unwrap(), Pattern::clique(5));
+        assert_eq!(parse_pattern("path:3").unwrap(), Pattern::path(3));
+        assert_eq!(
+            parse_pattern("edges:0-1,1-2,2-0").unwrap(),
+            Pattern::triangle()
+        );
+        assert!(parse_pattern("clique").is_err());
+        assert!(parse_pattern("edges:0-").is_err());
+        assert!(parse_pattern("edges:0-1,5-6").is_err()); // disconnected
+    }
+
+    #[test]
+    fn generator_grammar() {
+        assert_eq!(parse_gen("ba:100,3,7").unwrap().vertex_count(), 100);
+        assert_eq!(parse_gen("er:60,90").unwrap().edge_count(), 90);
+        assert_eq!(parse_gen("rmat:6,4").unwrap().vertex_count(), 64);
+        assert!(parse_gen("dataset:mc").is_ok());
+        assert!(parse_gen("dataset:nope").is_err());
+        assert!(parse_gen("zzz:1").is_err());
+    }
+
+    #[test]
+    fn stats_subcommand() {
+        let out = run(&argv("stats --gen ba:300,4")).unwrap();
+        assert!(out.contains("vertices        300"));
+        assert!(out.contains("degree gini"));
+        assert!(out.contains("degree histogram"));
+    }
+
+    #[test]
+    fn motifs_subcommand() {
+        let out = run(&argv("motifs --gen er:50,150 --k 3 --machines 2")).unwrap();
+        assert!(out.contains("3-motif census"));
+        assert!(out.contains("total connected 3-subgraphs"));
+    }
+
+    #[test]
+    fn fsm_subcommand() {
+        let out =
+            run(&argv("fsm --gen er:60,200 --threshold 5 --max-edges 2 --machines 2"))
+                .unwrap();
+        assert!(out.contains("frequent at support >= 5"), "{out}");
+    }
+
+    #[test]
+    fn subcommand_errors() {
+        assert!(run(&argv("stats")).is_err()); // no graph
+        assert!(run(&argv("motifs --gen er:30,60 --k x")).is_err());
+        assert!(run(&argv("fsm --gen er:30,60 --bogus 3")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_all_systems_agree() {
+        let mut counts = Vec::new();
+        for system in
+            ["khuzdul-automine", "khuzdul-graphpi", "gthinker", "replicated", "ctd", "single"]
+        {
+            let out = run(&argv(&format!(
+                "--gen er:60,200,3 --pattern triangle --machines 3 --system {system} --quiet"
+            )))
+            .unwrap();
+            counts.push(out.trim().parse::<u64>().unwrap());
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn verbose_report_mentions_everything() {
+        let out =
+            run(&argv("--gen ba:200,4 --pattern clique:4 --machines 2")).unwrap();
+        for needle in ["graph", "pattern", "count", "elapsed", "traffic", "split"] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Counting applications: TC, k-CC, k-MC.
+
+use gpm_pattern::genpat;
+use gpm_pattern::plan::{MatchingPlan, PlanOptions};
+use gpm_pattern::Pattern;
+use khuzdul::{Engine, RunStats};
+use std::time::Duration;
+
+/// Counts triangles.
+///
+/// # Example
+///
+/// ```
+/// use gpm_apps::counting;
+/// use gpm_graph::{gen, partition::PartitionedGraph};
+/// use gpm_pattern::plan::PlanOptions;
+/// use khuzdul::{Engine, EngineConfig};
+///
+/// let g = gen::complete(5);
+/// let engine = Engine::new(PartitionedGraph::new(&g, 2, 1), EngineConfig::default());
+/// let run = counting::triangle_count(&engine, &PlanOptions::automine()).unwrap();
+/// assert_eq!(run.count, 10);
+/// engine.shutdown();
+/// ```
+pub fn triangle_count(engine: &Engine, opts: &PlanOptions) -> Result<RunStats, String> {
+    clique_count(engine, 3, opts)
+}
+
+/// Counts k-cliques.
+///
+/// # Errors
+///
+/// Returns plan-compilation errors (e.g. `k` above the pattern limit).
+pub fn clique_count(engine: &Engine, k: usize, opts: &PlanOptions) -> Result<RunStats, String> {
+    let plan = MatchingPlan::compile(&Pattern::clique(k), opts)?;
+    Ok(engine.count(&plan))
+}
+
+/// The clique plan for **degree-oriented (DAG) graphs**: the orientation
+/// preprocessing (Table 5, "orientation optimization") already selects a
+/// unique vertex order per clique, so the plan disables symmetry breaking.
+///
+/// Use with an engine built over `PartitionedGraph::new(&orient_by_degree(g), …)`.
+///
+/// # Errors
+///
+/// Returns plan-compilation errors.
+pub fn oriented_clique_plan(k: usize, opts: &PlanOptions) -> Result<MatchingPlan, String> {
+    let opts = PlanOptions { symmetry_break: false, ..opts.clone() };
+    MatchingPlan::compile(&Pattern::clique(k), &opts)
+}
+
+/// Per-pattern output of k-motif counting.
+#[derive(Debug, Clone, Default)]
+pub struct MotifCounts {
+    /// `(pattern, induced count)` for every connected size-k pattern, in
+    /// the deterministic [`genpat::connected_patterns`] order.
+    pub per_pattern: Vec<(Pattern, u64)>,
+    /// Sum of all counts (the number of connected induced k-subgraphs).
+    pub total: u64,
+    /// Total wall time over all patterns.
+    pub elapsed: Duration,
+    /// Network bytes over all patterns.
+    pub network_bytes: u64,
+    /// Per-part stats accumulated over all patterns (for work-span
+    /// makespan estimation).
+    pub per_part: Vec<khuzdul::PartStats>,
+}
+
+fn accumulate_parts(acc: &mut Vec<khuzdul::PartStats>, run: &khuzdul::RunStats) {
+    if acc.is_empty() {
+        acc.clone_from(&run.per_part);
+        return;
+    }
+    for (a, p) in acc.iter_mut().zip(&run.per_part) {
+        a.count += p.count;
+        a.compute += p.compute;
+        a.network += p.network;
+        a.scheduler += p.scheduler;
+        a.cache += p.cache;
+        a.peak_embeddings = a.peak_embeddings.max(p.peak_embeddings);
+    }
+}
+
+/// k-Motif Counting: counts the **induced** embeddings of every connected
+/// size-k pattern (the paper's k-MC application).
+///
+/// # Errors
+///
+/// Returns plan-compilation errors.
+pub fn motif_count(engine: &Engine, k: usize, opts: &PlanOptions) -> Result<MotifCounts, String> {
+    let mut out = MotifCounts::default();
+    for p in genpat::connected_patterns(k) {
+        let plan_opts = PlanOptions { induced: true, ..opts.clone() };
+        let plan = MatchingPlan::compile(&p, &plan_opts)?;
+        let run = engine.count(&plan);
+        out.elapsed += run.elapsed;
+        out.network_bytes += run.traffic.network_bytes;
+        accumulate_parts(&mut out.per_part, &run);
+        out.per_pattern.push((p, run.count));
+    }
+    out.total = out.per_pattern.iter().map(|(_, c)| c).sum();
+    Ok(out)
+}
+
+/// k-Motif Counting the GraphPi way: count every size-k pattern
+/// **non-induced** (where the IEP pair shortcut and cheaper filters
+/// apply), then recover induced counts by solving the inclusion–exclusion
+/// system
+///
+/// ```text
+/// noninduced(p) = Σ_{q ⊇ p, |q| = k}  sub(p, q) · induced(q)
+/// ```
+///
+/// where `sub(p, q)` is the number of copies of `p` inside the pattern
+/// `q` — tiny integers computed once with the oracle. The system is
+/// triangular in edge-count order, so back-substitution over integers is
+/// exact.
+///
+/// Produces identical results to [`motif_count`]; exists because it is
+/// usually faster (the paper attributes k-GraphPi's 3-MC advantage to
+/// GraphPi's better matching algorithm).
+///
+/// # Errors
+///
+/// Returns plan-compilation errors.
+pub fn motif_count_noninduced(
+    engine: &Engine,
+    k: usize,
+    opts: &PlanOptions,
+) -> Result<MotifCounts, String> {
+    let patterns = genpat::connected_patterns(k);
+    let mut elapsed = Duration::ZERO;
+    let mut network_bytes = 0u64;
+    let mut per_part: Vec<khuzdul::PartStats> = Vec::new();
+    // Non-induced counts per pattern.
+    let mut raw: Vec<u64> = Vec::with_capacity(patterns.len());
+    for p in &patterns {
+        let plan_opts = PlanOptions { induced: false, ..opts.clone() };
+        let plan = MatchingPlan::compile(p, &plan_opts)?;
+        let run = engine.count(&plan);
+        elapsed += run.elapsed;
+        network_bytes += run.traffic.network_bytes;
+        accumulate_parts(&mut per_part, &run);
+        raw.push(run.count);
+    }
+    // Solve: order patterns by decreasing edge count; the densest pattern
+    // (k-clique) has noninduced == induced.
+    let mut order: Vec<usize> = (0..patterns.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(patterns[i].edge_count()));
+    let mut induced = vec![0i128; patterns.len()];
+    for &i in &order {
+        let mut value = raw[i] as i128;
+        for &j in &order {
+            if patterns[j].edge_count() > patterns[i].edge_count() {
+                let c = copies_inside(&patterns[i], &patterns[j]);
+                value -= c as i128 * induced[j];
+            }
+        }
+        induced[i] = value;
+    }
+    let per_pattern: Vec<(Pattern, u64)> = patterns
+        .into_iter()
+        .zip(&induced)
+        .map(|(p, &c)| {
+            debug_assert!(c >= 0, "inclusion–exclusion produced a negative count");
+            (p, c as u64)
+        })
+        .collect();
+    let total = per_pattern.iter().map(|(_, c)| c).sum();
+    Ok(MotifCounts { per_pattern, total, elapsed, network_bytes, per_part })
+}
+
+/// Number of subgraphs of the (tiny) pattern `sup` isomorphic to `sub`.
+fn copies_inside(sub: &Pattern, sup: &Pattern) -> u64 {
+    let mut b = gpm_graph::GraphBuilder::new(sup.size());
+    for (u, v) in sup.edges() {
+        b.add_edge(u as u32, v as u32);
+    }
+    gpm_pattern::oracle::count_subgraphs(&b.build(), sub, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::orient::orient_by_degree;
+    use gpm_graph::partition::PartitionedGraph;
+    use gpm_graph::{gen, Graph};
+    use gpm_pattern::oracle;
+    use khuzdul::EngineConfig;
+
+    fn engine_for(g: &Graph, machines: usize) -> Engine {
+        Engine::new(PartitionedGraph::new(g, machines, 1), EngineConfig::default())
+    }
+
+    #[test]
+    fn tc_matches_oracle() {
+        let g = gen::erdos_renyi(150, 700, 3);
+        let engine = engine_for(&g, 4);
+        let run = triangle_count(&engine, &PlanOptions::automine()).unwrap();
+        assert_eq!(run.count, oracle::count_subgraphs(&g, &Pattern::triangle(), false));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn kcc_matches_oracle() {
+        let g = gen::erdos_renyi(100, 800, 5);
+        let engine = engine_for(&g, 3);
+        for k in [4usize, 5] {
+            let run = clique_count(&engine, k, &PlanOptions::graphpi()).unwrap();
+            assert_eq!(
+                run.count,
+                oracle::count_subgraphs(&g, &Pattern::clique(k), false),
+                "k = {k}"
+            );
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn oriented_clique_counting_agrees() {
+        let g = gen::barabasi_albert(200, 6, 7);
+        let dag = orient_by_degree(&g);
+        let engine = engine_for(&dag, 4);
+        for k in [3usize, 4] {
+            let plan = oriented_clique_plan(k, &PlanOptions::automine()).unwrap();
+            let run = engine.count(&plan);
+            assert_eq!(
+                run.count,
+                oracle::count_subgraphs(&g, &Pattern::clique(k), false),
+                "k = {k}"
+            );
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn three_motifs_partition_connected_triples() {
+        let g = gen::erdos_renyi(60, 250, 9);
+        let engine = engine_for(&g, 2);
+        let motifs = motif_count(&engine, 3, &PlanOptions::automine()).unwrap();
+        assert_eq!(motifs.per_pattern.len(), 2);
+        for (p, c) in &motifs.per_pattern {
+            assert_eq!(*c, oracle::count_subgraphs(&g, p, true), "{p}");
+        }
+        // Triangles + induced paths = all connected triples.
+        let tri = oracle::count_subgraphs(&g, &Pattern::triangle(), false);
+        let wedge = oracle::count_subgraphs(&g, &Pattern::path(3), true);
+        assert_eq!(motifs.total, tri + wedge);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn noninduced_motif_route_matches_induced_route() {
+        let g = gen::erdos_renyi(50, 220, 6);
+        let engine = engine_for(&g, 2);
+        for k in [3usize, 4] {
+            let direct = motif_count(&engine, k, &PlanOptions::automine()).unwrap();
+            let via = motif_count_noninduced(&engine, k, &PlanOptions::graphpi()).unwrap();
+            assert_eq!(direct.total, via.total, "k = {k}");
+            for ((p1, c1), (p2, c2)) in direct.per_pattern.iter().zip(&via.per_pattern) {
+                assert_eq!(p1, p2);
+                assert_eq!(c1, c2, "pattern {p1}");
+            }
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn copies_inside_known_values() {
+        // A triangle contains 3 wedges; K4 contains 4 triangles and 12
+        // wedge subgraphs.
+        assert_eq!(copies_inside(&Pattern::path(3), &Pattern::triangle()), 3);
+        assert_eq!(copies_inside(&Pattern::triangle(), &Pattern::clique(4)), 4);
+        assert_eq!(copies_inside(&Pattern::path(3), &Pattern::clique(4)), 12);
+        assert_eq!(copies_inside(&Pattern::clique(4), &Pattern::clique(4)), 1);
+    }
+
+    #[test]
+    fn four_motifs_match_oracle() {
+        let g = gen::erdos_renyi(40, 160, 4);
+        let engine = engine_for(&g, 2);
+        let motifs = motif_count(&engine, 4, &PlanOptions::automine()).unwrap();
+        assert_eq!(motifs.per_pattern.len(), 6);
+        for (p, c) in &motifs.per_pattern {
+            assert_eq!(*c, oracle::count_subgraphs(&g, p, true), "{p}");
+        }
+        engine.shutdown();
+    }
+}

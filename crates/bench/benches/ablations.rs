@@ -1,0 +1,160 @@
+//! Ablation benches for design choices DESIGN.md calls out beyond the
+//! paper's own figures: circulant vs. natural fetch order, mini-batch
+//! granularity, and the cost of the share-table on unskewed inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_graph::partition::PartitionedGraph;
+use gpm_graph::{gen, Graph};
+use gpm_pattern::plan::{MatchingPlan, PlanOptions};
+use gpm_pattern::Pattern;
+use khuzdul::{CacheConfig, Engine, EngineConfig};
+
+const MACHINES: usize = 4;
+
+fn skewed() -> Graph {
+    gen::barabasi_albert(3_000, 8, 0xab)
+}
+
+fn flat() -> Graph {
+    gen::erdos_renyi(3_000, 24_000, 0xab)
+}
+
+fn run(g: &Graph, cfg: EngineConfig, plan: &MatchingPlan) -> u64 {
+    let e = Engine::new(PartitionedGraph::new(g, MACHINES, 1), cfg);
+    let c = e.count(plan).count;
+    e.shutdown();
+    c
+}
+
+/// Circulant fetch ordering vs. natural owner order (§4.3).
+fn circulant_order(c: &mut Criterion) {
+    let g = skewed();
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
+    let mut grp = c.benchmark_group("ablation_circulant");
+    grp.sample_size(10);
+    for (name, circulant) in [("circulant", true), ("natural", false)] {
+        grp.bench_function(name, |b| {
+            b.iter(|| {
+                run(
+                    &g,
+                    EngineConfig { circulant, ..EngineConfig::default() },
+                    &plan,
+                )
+            })
+        });
+    }
+    grp.finish();
+}
+
+/// Work-claim granularity (the paper's 64-embedding mini-batches, §6).
+fn mini_batch(c: &mut Criterion) {
+    let g = skewed();
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
+    let mut grp = c.benchmark_group("ablation_mini_batch");
+    grp.sample_size(10);
+    for batch in [1usize, 16, 64, 512] {
+        grp.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                run(
+                    &g,
+                    EngineConfig {
+                        mini_batch: batch,
+                        compute_threads: 4,
+                        ..EngineConfig::default()
+                    },
+                    &plan,
+                )
+            })
+        });
+    }
+    grp.finish();
+}
+
+/// Horizontal sharing on a flat (ER) graph, where few lists repeat within
+/// a chunk: measures pure table overhead (the cost side of §5.2's
+/// trade-off).
+fn share_table_overhead(c: &mut Criterion) {
+    let g = flat();
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
+    let mut grp = c.benchmark_group("ablation_share_table_flat_graph");
+    grp.sample_size(10);
+    for (name, horizontal) in [("with_table", true), ("without_table", false)] {
+        grp.bench_function(name, |b| {
+            b.iter(|| {
+                run(
+                    &g,
+                    EngineConfig {
+                        horizontal_sharing: horizontal,
+                        cache: CacheConfig::disabled(),
+                        ..EngineConfig::default()
+                    },
+                    &plan,
+                )
+            })
+        });
+    }
+    grp.finish();
+}
+
+/// Pattern-oblivious vs. pattern-aware enumeration — the paper's §1
+/// motivation for building on pattern-aware systems at all.
+fn oblivious_vs_aware(c: &mut Criterion) {
+    use gpm_baselines::oblivious;
+    use gpm_pattern::interp;
+    let g = gen::erdos_renyi(300, 1800, 0xcd);
+    let mut grp = c.benchmark_group("ablation_oblivious_vs_aware_4motifs");
+    grp.sample_size(10);
+    grp.bench_function("oblivious_esu_census", |b| {
+        b.iter(|| oblivious::induced_census(&g, 4).values().sum::<u64>())
+    });
+    grp.bench_function("pattern_aware_plans", |b| {
+        let plans: Vec<MatchingPlan> = gpm_pattern::genpat::connected_patterns(4)
+            .iter()
+            .map(|p| {
+                MatchingPlan::compile(
+                    p,
+                    &PlanOptions { induced: true, ..PlanOptions::automine() },
+                )
+                .unwrap()
+            })
+            .collect();
+        b.iter(|| {
+            plans.iter().map(|p| interp::count_embeddings_fast(&g, p)).sum::<u64>()
+        })
+    });
+    grp.finish();
+}
+
+/// Hash vs. range partitioning — why §2.2 insists on hash assignment:
+/// BA vertex ids correlate with degree, so ranges concentrate hubs.
+fn partitioner_strategy(c: &mut Criterion) {
+    use gpm_graph::partition::Partitioner;
+    let g = skewed();
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
+    let mut grp = c.benchmark_group("ablation_partitioner");
+    grp.sample_size(10);
+    for (name, strategy) in [("hash", Partitioner::Hash), ("range", Partitioner::Range)] {
+        grp.bench_function(name, |b| {
+            b.iter(|| {
+                let e = Engine::new(
+                    PartitionedGraph::with_partitioner(&g, MACHINES, 1, strategy),
+                    EngineConfig::default(),
+                );
+                let c = e.count(&plan).count;
+                e.shutdown();
+                c
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(
+    benches,
+    circulant_order,
+    mini_batch,
+    share_table_overhead,
+    oblivious_vs_aware,
+    partitioner_strategy
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the computational kernels everything
+//! else is built from: sorted-set operations, plan interpretation, and
+//! partition/fetch primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_graph::{gen, partition::PartitionedGraph, set_ops};
+use gpm_pattern::interp;
+use gpm_pattern::plan::{MatchingPlan, PlanOptions};
+use gpm_pattern::Pattern;
+use std::hint::black_box;
+
+fn bench_set_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_ops");
+    let a: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
+    let b: Vec<u32> = (0..10_000).map(|i| i * 5).collect();
+    let short: Vec<u32> = (0..100).map(|i| i * 321).collect();
+    g.bench_function("intersect_balanced_10k", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::new();
+            set_ops::intersect_into(black_box(&a), black_box(&b), &mut out);
+            out
+        })
+    });
+    g.bench_function("intersect_galloping_100_vs_10k", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::new();
+            set_ops::intersect_into(black_box(&short), black_box(&a), &mut out);
+            out
+        })
+    });
+    g.bench_function("intersect_count_10k", |bench| {
+        bench.iter(|| set_ops::intersect_count(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("subtract_10k", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::new();
+            set_ops::subtract_into(black_box(&a), black_box(&b), &mut out);
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_plan_interp(c: &mut Criterion) {
+    let graph = gen::erdos_renyi(2_000, 16_000, 7);
+    let mut g = c.benchmark_group("plan_interp");
+    for (name, p) in [
+        ("triangle", Pattern::triangle()),
+        ("clique4", Pattern::clique(4)),
+        ("cycle4", Pattern::cycle(4)),
+    ] {
+        let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+        g.bench_with_input(BenchmarkId::new("count_fast", name), &plan, |bench, plan| {
+            bench.iter(|| interp::count_embeddings_fast(black_box(&graph), plan))
+        });
+    }
+    g.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(50_000, 8, 3);
+    c.bench_function("partition_50k_into_8", |bench| {
+        bench.iter(|| PartitionedGraph::new(black_box(&graph), 8, 1))
+    });
+}
+
+fn bench_plan_compilation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_compile");
+    g.bench_function("automine_5clique", |bench| {
+        bench.iter(|| {
+            MatchingPlan::compile(&Pattern::clique(5), &PlanOptions::automine()).unwrap()
+        })
+    });
+    g.bench_function("graphpi_house_exhaustive", |bench| {
+        bench.iter(|| {
+            MatchingPlan::compile(&Pattern::house(), &PlanOptions::graphpi()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_set_ops,
+    bench_plan_interp,
+    bench_partitioning,
+    bench_plan_compilation
+);
+criterion_main!(benches);

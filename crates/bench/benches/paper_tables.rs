@@ -1,0 +1,337 @@
+//! Criterion counterparts of the paper's tables and figures, one group
+//! per artifact, at reduced scale so `cargo bench` stays minutes-fast.
+//! The full-scale printed tables come from the `gpm-bench` binaries (see
+//! `EXPERIMENTS.md`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_baselines::ctd::CtdCluster;
+use gpm_baselines::gthinker::{GThinker, GThinkerConfig};
+use gpm_baselines::replicated::{ReplicatedCluster, ReplicatedConfig};
+use gpm_baselines::single::SingleMachine;
+use gpm_bench::workloads::App;
+use gpm_graph::partition::PartitionedGraph;
+use gpm_graph::{gen, Graph};
+use gpm_pattern::plan::{MatchingPlan, PlanOptions};
+use gpm_pattern::Pattern;
+use khuzdul::{CacheConfig, CachePolicy, Engine, EngineConfig};
+
+const MACHINES: usize = 4;
+
+fn bench_graph() -> Graph {
+    gen::barabasi_albert(3_000, 8, 0xbe)
+}
+
+fn engine(g: &Graph, cfg: EngineConfig) -> Engine {
+    Engine::new(PartitionedGraph::new(g, MACHINES, 1), cfg)
+}
+
+/// Table 2: the four systems on one workload.
+fn table2(c: &mut Criterion) {
+    let g = bench_graph();
+    let p = Pattern::clique(4);
+    let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+    let mut grp = c.benchmark_group("table2_distributed_4cc");
+    grp.sample_size(10);
+    let e = engine(&g, EngineConfig::default());
+    grp.bench_function("k_automine", |b| b.iter(|| e.count(&plan).count));
+    grp.bench_function("graphpi_replicated", |b| {
+        let cluster = ReplicatedCluster::new(
+            g.clone(),
+            ReplicatedConfig { machines: MACHINES, ..ReplicatedConfig::default() },
+        );
+        b.iter(|| cluster.count(&plan).count)
+    });
+    grp.bench_function("gthinker", |b| {
+        let sys =
+            GThinker::new(PartitionedGraph::new(&g, MACHINES, 1), GThinkerConfig::default());
+        b.iter(|| sys.count(&p, &PlanOptions::automine()).unwrap().count)
+    });
+    grp.finish();
+    e.shutdown();
+}
+
+/// Table 3: single-machine systems.
+fn table3(c: &mut Criterion) {
+    let g = bench_graph();
+    let p = Pattern::clique(4);
+    let mut grp = c.benchmark_group("table3_single_machine_4cc");
+    grp.sample_size(10);
+    for (name, sys) in [
+        ("automine_ih", SingleMachine::automine_ih(g.clone(), 2)),
+        ("peregrine_like", SingleMachine::peregrine_like(g.clone(), 2)),
+        ("pangolin_like", SingleMachine::pangolin_like(g.clone(), 2)),
+    ] {
+        grp.bench_function(name, |b| b.iter(|| sys.count(&p).unwrap().count));
+    }
+    grp.finish();
+}
+
+/// Table 4: FSM.
+fn table4(c: &mut Criterion) {
+    use gpm_apps::fsm::{fsm_single, FsmConfig};
+    let g = gen::with_random_labels(&gen::barabasi_albert(800, 6, 1), 3, 2);
+    let mut grp = c.benchmark_group("table4_fsm");
+    grp.sample_size(10);
+    for threshold in [20u64, 40] {
+        grp.bench_with_input(
+            BenchmarkId::new("fsm_single", threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    fsm_single(&g, &FsmConfig { support_threshold: t, max_edges: 3, ..FsmConfig::default() })
+                        .frequent
+                        .len()
+                })
+            },
+        );
+    }
+    grp.finish();
+}
+
+/// Table 5: orientation on a large skewed graph.
+fn table5(c: &mut Criterion) {
+    use gpm_graph::orient::orient_by_degree;
+    let g = gen::rmat(13, 16, (0.6, 0.17, 0.17), 5);
+    let dag = orient_by_degree(&g);
+    let mut grp = c.benchmark_group("table5_oriented_tc");
+    grp.sample_size(10);
+    let plan = gpm_apps::counting::oriented_clique_plan(3, &PlanOptions::automine()).unwrap();
+    let e = engine(&dag, EngineConfig::default());
+    grp.bench_function("k_automine_oriented", |b| b.iter(|| e.count(&plan).count));
+    grp.finish();
+    e.shutdown();
+}
+
+/// Table 6 / Figure 17: static cache on and off.
+fn table6(c: &mut Criterion) {
+    let g = bench_graph();
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
+    let mut grp = c.benchmark_group("table6_static_cache_4cc");
+    grp.sample_size(10);
+    for (name, cache) in [
+        ("with_cache", CacheConfig { degree_threshold: 8, ..CacheConfig::default() }),
+        ("no_cache", CacheConfig::disabled()),
+    ] {
+        let e = engine(&g, EngineConfig { cache, ..EngineConfig::default() });
+        grp.bench_function(name, |b| b.iter(|| e.count(&plan).count));
+        e.shutdown();
+    }
+    grp.finish();
+}
+
+/// Table 7: NUMA sub-partitioning on and off.
+fn table7(c: &mut Criterion) {
+    let g = bench_graph();
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
+    let mut grp = c.benchmark_group("table7_numa_4cc");
+    grp.sample_size(10);
+    let numa = Engine::new(
+        PartitionedGraph::new(&g, 1, 2),
+        EngineConfig { compute_threads: 1, ..EngineConfig::default() },
+    );
+    grp.bench_function("numa_2sockets", |b| b.iter(|| numa.count(&plan).count));
+    numa.shutdown();
+    let flat = Engine::new(
+        PartitionedGraph::new(&g, 1, 1),
+        EngineConfig { compute_threads: 2, ..EngineConfig::default() },
+    );
+    grp.bench_function("flat_1socket", |b| b.iter(|| flat.count(&plan).count));
+    flat.shutdown();
+    grp.finish();
+}
+
+/// Figure 10: moving computation to data vs the engine.
+fn fig10(c: &mut Criterion) {
+    let g = gen::barabasi_albert(1_500, 6, 9);
+    let p = Pattern::triangle();
+    let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+    let mut grp = c.benchmark_group("fig10_adfs_tc");
+    grp.sample_size(10);
+    let e = engine(&g, EngineConfig::default());
+    grp.bench_function("k_automine", |b| b.iter(|| e.count(&plan).count));
+    grp.bench_function("ctd_adfs_like", |b| {
+        let sys = CtdCluster::new(PartitionedGraph::new(&g, MACHINES, 1));
+        b.iter(|| sys.count(&p, &PlanOptions::automine()).unwrap().count)
+    });
+    grp.finish();
+    e.shutdown();
+}
+
+/// Figure 11: vertical computation sharing.
+fn fig11(c: &mut Criterion) {
+    let g = bench_graph();
+    let mut grp = c.benchmark_group("fig11_vcs_5cc");
+    grp.sample_size(10);
+    for (name, reuse) in [("with_vcs", true), ("without_vcs", false)] {
+        let opts = PlanOptions { vertical_reuse: reuse, ..PlanOptions::graphpi() };
+        let plan = MatchingPlan::compile(&Pattern::clique(5), &opts).unwrap();
+        let e = engine(&g, EngineConfig::default());
+        grp.bench_function(name, |b| b.iter(|| e.count(&plan).count));
+        e.shutdown();
+    }
+    grp.finish();
+}
+
+/// Figure 12: horizontal data sharing.
+fn fig12(c: &mut Criterion) {
+    let g = bench_graph();
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
+    let mut grp = c.benchmark_group("fig12_hds_4cc");
+    grp.sample_size(10);
+    for (name, horizontal) in [("with_hds", true), ("without_hds", false)] {
+        let e = engine(
+            &g,
+            EngineConfig {
+                horizontal_sharing: horizontal,
+                cache: CacheConfig::disabled(),
+                ..EngineConfig::default()
+            },
+        );
+        grp.bench_function(name, |b| b.iter(|| e.count(&plan).count));
+        e.shutdown();
+    }
+    grp.finish();
+}
+
+/// Figures 13/14: machine and thread scaling.
+fn fig13_fig14(c: &mut Criterion) {
+    let g = bench_graph();
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
+    let mut grp = c.benchmark_group("fig13_machines_4cc");
+    grp.sample_size(10);
+    for machines in [1usize, 2, 4] {
+        let e = Engine::new(PartitionedGraph::new(&g, machines, 1), EngineConfig::default());
+        grp.bench_with_input(BenchmarkId::from_parameter(machines), &e, |b, e| {
+            b.iter(|| e.count(&plan).count)
+        });
+        e.shutdown();
+    }
+    grp.finish();
+    let mut grp = c.benchmark_group("fig14_threads_4cc");
+    grp.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let e = Engine::new(
+            PartitionedGraph::new(&g, 1, 1),
+            EngineConfig { compute_threads: threads, ..EngineConfig::default() },
+        );
+        grp.bench_with_input(BenchmarkId::from_parameter(threads), &e, |b, e| {
+            b.iter(|| e.count(&plan).count)
+        });
+        e.shutdown();
+    }
+    grp.finish();
+}
+
+/// Figure 15: the run that produces the breakdown (timed end to end).
+fn fig15(c: &mut Criterion) {
+    let g = bench_graph();
+    let mut grp = c.benchmark_group("fig15_breakdown_tc");
+    grp.sample_size(10);
+    let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
+    let e = engine(&g, EngineConfig::default());
+    grp.bench_function("k_automine", |b| b.iter(|| e.count(&plan).count));
+    grp.bench_function("gthinker", |b| {
+        let sys =
+            GThinker::new(PartitionedGraph::new(&g, MACHINES, 1), GThinkerConfig::default());
+        b.iter(|| sys.count(&Pattern::triangle(), &PlanOptions::automine()).unwrap().count)
+    });
+    grp.finish();
+    e.shutdown();
+}
+
+/// Figure 16: cache policies.
+fn fig16(c: &mut Criterion) {
+    let g = bench_graph();
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
+    let mut grp = c.benchmark_group("fig16_cache_policies_4cc");
+    grp.sample_size(10);
+    for policy in [CachePolicy::Static, CachePolicy::Fifo, CachePolicy::Lru, CachePolicy::Mru]
+    {
+        let e = engine(
+            &g,
+            EngineConfig {
+                cache: CacheConfig {
+                    policy,
+                    capacity_per_machine: 64 << 10,
+                    degree_threshold: 8,
+                },
+                ..EngineConfig::default()
+            },
+        );
+        grp.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &e,
+            |b, e| b.iter(|| e.count(&plan).count),
+        );
+        e.shutdown();
+    }
+    grp.finish();
+}
+
+/// Figure 18: chunk size sweep.
+fn fig18(c: &mut Criterion) {
+    let g = bench_graph();
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
+    let mut grp = c.benchmark_group("fig18_chunk_size_4cc");
+    grp.sample_size(10);
+    for cap in [64usize, 1024, 16 * 1024] {
+        let e = engine(&g, EngineConfig { chunk_capacity: cap, ..EngineConfig::default() });
+        grp.bench_with_input(BenchmarkId::from_parameter(cap), &e, |b, e| {
+            b.iter(|| e.count(&plan).count)
+        });
+        e.shutdown();
+    }
+    grp.finish();
+}
+
+/// Figure 19: run under the network model (utilization accounting).
+fn fig19(c: &mut Criterion) {
+    let g = bench_graph();
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
+    let mut grp = c.benchmark_group("fig19_net_model_4cc");
+    grp.sample_size(10);
+    let e = engine(
+        &g,
+        EngineConfig {
+            network: Some(gpm_cluster::NetworkModel::infiniband_56g()),
+            ..EngineConfig::default()
+        },
+    );
+    grp.bench_function("ib56_model", |b| b.iter(|| e.count(&plan).count));
+    grp.finish();
+    e.shutdown();
+}
+
+/// Quick sanity that the workload enumeration used by the binaries works
+/// under criterion too (3-MC = the multi-pattern path).
+fn workload_multi_pattern(c: &mut Criterion) {
+    let g = bench_graph();
+    let e = engine(&g, EngineConfig::default());
+    let mut grp = c.benchmark_group("workload_3mc");
+    grp.sample_size(10);
+    grp.bench_function("three_motifs", |b| {
+        b.iter(|| App::ThreeMc.run_khuzdul(&e, &PlanOptions::automine()).count)
+    });
+    grp.finish();
+    e.shutdown();
+}
+
+criterion_group!(
+    benches,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    fig10,
+    fig11,
+    fig12,
+    fig13_fig14,
+    fig15,
+    fig16,
+    fig18,
+    fig19,
+    workload_multi_pattern
+);
+criterion_main!(benches);

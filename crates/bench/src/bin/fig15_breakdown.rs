@@ -1,0 +1,110 @@
+//! **Figure 15** — runtime breakdown of G-thinker vs. k-Automine.
+//!
+//! For mc / pt / lj stand-ins × TC / 3-MC / 4-CC / 5-CC, prints the
+//! fraction of accounted runtime spent in network / compute / scheduler /
+//! cache for both systems. The paper's shape: G-thinker drowns in
+//! scheduler + cache bookkeeping (≈86% combined), k-Automine is compute-
+//! dominated, with pt the outlier where extensions are too cheap to
+//! amortize scheduling.
+//!
+//! Usage: `cargo run -p gpm-bench --release --bin fig15_breakdown [--quick]`
+
+use gpm_baselines::gthinker::{GThinker, GThinkerConfig};
+use gpm_bench::report::{write_json, Table};
+use gpm_bench::workloads::{engine_for, App};
+use gpm_bench::{build_dataset, Scale, PAPER_MACHINES};
+use gpm_graph::datasets::DatasetId;
+use gpm_graph::partition::PartitionedGraph;
+use gpm_pattern::plan::PlanOptions;
+use khuzdul::{Breakdown, RunStats};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    system: &'static str,
+    app: &'static str,
+    graph: &'static str,
+    compute: f64,
+    network: f64,
+    scheduler: f64,
+    cache: f64,
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+fn add(
+    table: &mut Table,
+    rows: &mut Vec<Row>,
+    system: &'static str,
+    app: App,
+    graph: &'static str,
+    b: Breakdown,
+) {
+    table.row([
+        system.to_string(),
+        app.name().to_string(),
+        graph.to_string(),
+        pct(b.compute),
+        pct(b.network),
+        pct(b.scheduler),
+        pct(b.cache),
+    ]);
+    rows.push(Row {
+        system,
+        app: app.name(),
+        graph,
+        compute: b.compute,
+        network: b.network,
+        scheduler: b.scheduler,
+        cache: b.cache,
+    });
+}
+
+fn gthinker_run(g: &gpm_graph::Graph, app: App) -> RunStats {
+    let sys = GThinker::new(PartitionedGraph::new(g, PAPER_MACHINES, 1), GThinkerConfig::default());
+    let mut total = RunStats::default();
+    for (p, induced) in app.patterns() {
+        let opts = PlanOptions { induced, ..PlanOptions::automine() };
+        let run = sys.count(&p, &opts).expect("gthinker run");
+        total.count += run.count;
+        total.elapsed += run.elapsed;
+        if total.per_part.is_empty() {
+            total.per_part = run.per_part;
+        } else {
+            for (acc, part) in total.per_part.iter_mut().zip(run.per_part) {
+                acc.compute += part.compute;
+                acc.network += part.network;
+                acc.scheduler += part.scheduler;
+                acc.cache += part.cache;
+            }
+        }
+    }
+    total
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut table =
+        Table::new(["System", "App", "G.", "compute", "network", "scheduler", "cache"]);
+    let mut rows = Vec::new();
+    for id in DatasetId::SMALL {
+        let g = build_dataset(id, scale);
+        let engine = engine_for(&g, PAPER_MACHINES, 1, 2);
+        for app in App::ALL {
+            let ka = app.run_khuzdul(&engine, &PlanOptions::automine());
+            engine.reset_caches();
+            add(&mut table, &mut rows, "k-Automine", app, id.abbr(), ka.breakdown());
+            let gt = gthinker_run(&g, app);
+            assert_eq!(gt.count, ka.count);
+            add(&mut table, &mut rows, "G-thinker", app, id.abbr(), gt.breakdown());
+        }
+        engine.shutdown();
+    }
+    println!("Figure 15: Runtime Breakdown of G-thinker/k-Automine ({PAPER_MACHINES} machines)\n");
+    table.print();
+    if let Ok(p) = write_json("fig15_breakdown", &rows) {
+        println!("\nwrote {}", p.display());
+    }
+}

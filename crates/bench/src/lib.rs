@@ -1,0 +1,62 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` §5 for the index and
+//! `EXPERIMENTS.md` for recorded results). This library provides the
+//! common pieces: dataset selection with a `--quick` scale-down switch,
+//! the four workloads (TC, 3-MC, 4-CC, 5-CC), simple aligned-table
+//! printing, and JSON result emission.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;
+
+use gpm_graph::datasets::DatasetId;
+use gpm_graph::{gen, Graph};
+
+/// Scale at which a benchmark binary runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-shaped stand-in datasets (default; minutes per binary).
+    Full,
+    /// Reduced datasets for smoke-testing the harness (seconds).
+    Quick,
+}
+
+impl Scale {
+    /// Parses `--quick` from the process arguments.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+}
+
+/// Builds the benchmark stand-in for a dataset at the requested scale.
+///
+/// Quick mode shrinks every graph to roughly 1/16 the vertices while
+/// keeping its skew class, so the harness exercises identical code paths.
+pub fn build_dataset(id: DatasetId, scale: Scale) -> Graph {
+    match scale {
+        Scale::Full => id.build(),
+        Scale::Quick => match id {
+            DatasetId::Mico => gen::barabasi_albert(600, 11, 0x6d63),
+            DatasetId::Patents => gen::erdos_renyi(2_500, 11_000, 0x7074),
+            DatasetId::LiveJournal => gen::barabasi_albert(3_000, 9, 0x6c6a),
+            DatasetId::Uk2005 => gen::rmat(11, 24, (0.65, 0.15, 0.15), 0x756b),
+            DatasetId::Twitter2010 => gen::rmat(11, 36, (0.57, 0.19, 0.19), 0x7477),
+            DatasetId::Friendster => gen::barabasi_albert(4_000, 27, 0x6672),
+            DatasetId::Clueweb12 => gen::rmat(12, 40, (0.65, 0.15, 0.15), 0x636c),
+            DatasetId::Uk2014 => gen::rmat(12, 55, (0.66, 0.15, 0.14), 0x3134),
+            DatasetId::Wdc12 => gen::rmat(13, 36, (0.65, 0.15, 0.15), 0x7764),
+            DatasetId::Skitter => gen::barabasi_albert(1_000, 6, 0x736b),
+            DatasetId::Orkut => gen::barabasi_albert(2_000, 20, 0x6f72),
+        },
+    }
+}
+
+/// Number of machines the paper's main experiments use.
+pub const PAPER_MACHINES: usize = 8;

@@ -1,0 +1,82 @@
+//! Simulated distributed cluster for the Khuzdul reproduction.
+//!
+//! The paper runs on an 8-node InfiniBand cluster over MPI. This crate
+//! substitutes an **in-process cluster**: each logical machine (or NUMA
+//! socket — a *part*) owns a disjoint 1-D hash partition and communicates
+//! with other parts *only* through the message layer defined here, which
+//! accounts every byte. All the engine-level behaviour the paper measures
+//! (task granularity, overlap, communication volume, reuse hit rates) is a
+//! property of the partitioned-memory programming model and is preserved;
+//! see `DESIGN.md` §1.
+//!
+//! Components:
+//!
+//! * [`EdgeListService`] / [`EdgeListClient`] — the remote edge-list
+//!   request/response protocol (the paper's "graph data requesting /
+//!   responding threads", §6), with batched fetches;
+//! * [`metrics`] — per-part traffic and wait-time counters, split into
+//!   cross-machine and cross-socket classes (for §5.4 and Figure 19);
+//! * [`NetworkModel`] — optional latency/bandwidth model used to convert
+//!   measured bytes into network-utilization numbers and, when enabled, to
+//!   delay fetches accordingly;
+//! * [`post`] — a typed point-to-point mailbox layer used by baselines
+//!   that move *computation* to data (aDFS-like) or ship task state;
+//! * [`work::WorkCounter`] — distributed-termination detection for
+//!   message-driven baselines.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod post;
+pub mod service;
+pub mod work;
+
+pub use metrics::{ClusterMetrics, PartMetrics, TrafficClass};
+pub use service::{EdgeListClient, EdgeListService, FetchError, FetchedLists};
+
+/// Identifier of a part (one NUMA socket of one machine). Parts are
+/// numbered `machine * sockets_per_machine + socket`.
+pub type PartId = usize;
+
+/// Optional network cost model.
+///
+/// The reproduction's channels are effectively infinitely fast, so wall
+/// clock alone cannot show communication effects at the paper's scale.
+/// When a model is supplied, every cross-machine fetch is delayed by
+/// `latency + bytes / bandwidth`, and Figure 19's utilization is computed
+/// as `bytes / (elapsed × bandwidth)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// One-way request latency in microseconds.
+    pub latency_us: f64,
+    /// Link bandwidth in gigabits per second (the paper's IB is 56 Gbps).
+    pub bandwidth_gbps: f64,
+}
+
+impl NetworkModel {
+    /// The paper's 56 Gbps InfiniBand with a ~2 µs latency.
+    pub fn infiniband_56g() -> Self {
+        NetworkModel { latency_us: 2.0, bandwidth_gbps: 56.0 }
+    }
+
+    /// Transfer time for `bytes` under this model.
+    pub fn transfer_time(&self, bytes: u64) -> std::time::Duration {
+        let secs = self.latency_us * 1e-6 + (bytes as f64 * 8.0) / (self.bandwidth_gbps * 1e9);
+        std::time::Duration::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_model_transfer_time() {
+        let m = NetworkModel::infiniband_56g();
+        let t = m.transfer_time(7_000_000); // 56 Mbit = 1ms at 56 Gbps
+        assert!(t.as_secs_f64() > 0.9e-3 && t.as_secs_f64() < 1.2e-3, "{t:?}");
+        // Latency floor.
+        let t0 = m.transfer_time(0);
+        assert!(t0.as_secs_f64() >= 2e-6);
+    }
+}

@@ -1,0 +1,326 @@
+//! Per-part traffic and timing counters.
+//!
+//! Every message layer in the workspace reports into these counters, which
+//! back the paper's network-traffic tables (Table 6, Figure 12, Figure 16,
+//! Figure 17) and the utilization plot (Figure 19).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Classification of a transfer by topology distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Between sockets of the same machine (NUMA interconnect).
+    CrossSocket,
+    /// Between machines (the actual network).
+    CrossMachine,
+}
+
+/// Counters for one part. All methods are thread-safe.
+#[derive(Debug, Default)]
+pub struct PartMetrics {
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    cross_machine_bytes: AtomicU64,
+    cross_socket_bytes: AtomicU64,
+    requests: AtomicU64,
+    served_requests: AtomicU64,
+    served_bytes: AtomicU64,
+    comm_wait_nanos: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl PartMetrics {
+    /// Records an outgoing request of `req_bytes` answered with
+    /// `resp_bytes`, classified by distance.
+    pub fn record_fetch(&self, class: TrafficClass, req_bytes: u64, resp_bytes: u64) {
+        self.bytes_sent.fetch_add(req_bytes, Ordering::Relaxed);
+        self.bytes_received.fetch_add(resp_bytes, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let total = req_bytes + resp_bytes;
+        match class {
+            TrafficClass::CrossMachine => {
+                self.cross_machine_bytes.fetch_add(total, Ordering::Relaxed)
+            }
+            TrafficClass::CrossSocket => {
+                self.cross_socket_bytes.fetch_add(total, Ordering::Relaxed)
+            }
+        };
+    }
+
+    /// Records that this part served a request of `bytes` response bytes.
+    pub fn record_served(&self, bytes: u64) {
+        self.served_requests.fetch_add(1, Ordering::Relaxed);
+        self.served_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds blocking time spent waiting for remote data.
+    pub fn record_wait(&self, d: Duration) {
+        self.comm_wait_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records a software-cache hit (no fetch needed).
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a software-cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes sent in requests by this part.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes received in responses by this part.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes that crossed a machine boundary (both directions).
+    pub fn cross_machine_bytes(&self) -> u64 {
+        self.cross_machine_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes that crossed only a socket boundary.
+    pub fn cross_socket_bytes(&self) -> u64 {
+        self.cross_socket_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of fetch requests issued.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests served for other parts.
+    pub fn served_requests(&self) -> u64 {
+        self.served_requests.load(Ordering::Relaxed)
+    }
+
+    /// Response bytes served for other parts.
+    pub fn served_bytes(&self) -> u64 {
+        self.served_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total time this part's threads blocked on communication.
+    pub fn comm_wait(&self) -> Duration {
+        Duration::from_nanos(self.comm_wait_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Cache hits recorded by this part.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses recorded by this part.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregated metrics for all parts of a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    parts: Vec<Arc<PartMetrics>>,
+    /// Row-major `parts × parts` byte counters: `links[from*n + to]`.
+    links: Arc<Vec<AtomicU64>>,
+    sockets_per_machine: usize,
+}
+
+impl ClusterMetrics {
+    /// Fresh counters for `parts` parts.
+    pub fn new(parts: usize, sockets_per_machine: usize) -> Self {
+        ClusterMetrics {
+            parts: (0..parts).map(|_| Arc::new(PartMetrics::default())).collect(),
+            links: Arc::new((0..parts * parts).map(|_| AtomicU64::new(0)).collect()),
+            sockets_per_machine,
+        }
+    }
+
+    /// Records `bytes` moved over the directed link `from → to`.
+    pub fn record_link(&self, from: usize, to: usize, bytes: u64) {
+        let n = self.parts.len();
+        self.links[from * n + to].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// The `parts × parts` traffic matrix (row = sender).
+    ///
+    /// Used to diagnose link balance — circulant scheduling (§4.3)
+    /// spreads a chunk's fetches across all links instead of hammering
+    /// one owner at a time.
+    pub fn link_matrix(&self) -> Vec<Vec<u64>> {
+        let n = self.parts.len();
+        (0..n)
+            .map(|f| (0..n).map(|t| self.links[f * n + t].load(Ordering::Relaxed)).collect())
+            .collect()
+    }
+
+    /// `(max, min)` over the non-diagonal links with any traffic — a
+    /// quick imbalance indicator.
+    pub fn link_spread(&self) -> Option<(u64, u64)> {
+        let m = self.link_matrix();
+        let flows: Vec<u64> = m
+            .iter()
+            .enumerate()
+            .flat_map(|(f, row)| {
+                row.iter().enumerate().filter(move |(t, _)| *t != f).map(|(_, &b)| b)
+            })
+            .filter(|&b| b > 0)
+            .collect();
+        match (flows.iter().max(), flows.iter().min()) {
+            (Some(&max), Some(&min)) => Some((max, min)),
+            _ => None,
+        }
+    }
+
+    /// Number of parts tracked.
+    pub fn part_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Sockets per machine (for traffic classification).
+    pub fn sockets_per_machine(&self) -> usize {
+        self.sockets_per_machine
+    }
+
+    /// Counters of one part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is out of range.
+    pub fn part(&self, part: usize) -> &Arc<PartMetrics> {
+        &self.parts[part]
+    }
+
+    /// Classifies a transfer between two parts.
+    pub fn classify(&self, from: usize, to: usize) -> TrafficClass {
+        if from / self.sockets_per_machine == to / self.sockets_per_machine {
+            TrafficClass::CrossSocket
+        } else {
+            TrafficClass::CrossMachine
+        }
+    }
+
+    /// Sum of cross-machine bytes over all parts — the paper's "network
+    /// traffic" metric.
+    pub fn total_network_bytes(&self) -> u64 {
+        self.parts.iter().map(|p| p.cross_machine_bytes()).sum()
+    }
+
+    /// Sum of cross-socket bytes over all parts.
+    pub fn total_cross_socket_bytes(&self) -> u64 {
+        self.parts.iter().map(|p| p.cross_socket_bytes()).sum()
+    }
+
+    /// Total fetch requests issued cluster-wide.
+    pub fn total_requests(&self) -> u64 {
+        self.parts.iter().map(|p| p.requests()).sum()
+    }
+
+    /// Total blocking communication time summed over parts.
+    pub fn total_comm_wait(&self) -> Duration {
+        self.parts.iter().map(|p| p.comm_wait()).sum()
+    }
+
+    /// Cluster-wide cache hit rate in `[0, 1]`, or `None` if no lookups.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits: u64 = self.parts.iter().map(|p| p.cache_hits()).sum();
+        let misses: u64 = self.parts.iter().map(|p| p.cache_misses()).sum();
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// Network utilization over a run of `elapsed` wall-clock time on a
+    /// cluster whose per-machine links follow `model`: achieved bytes/s
+    /// divided by aggregate available bandwidth.
+    pub fn network_utilization(
+        &self,
+        elapsed: Duration,
+        model: &crate::NetworkModel,
+        machines: usize,
+    ) -> f64 {
+        if elapsed.is_zero() || machines == 0 {
+            return 0.0;
+        }
+        let achieved_bits = self.total_network_bytes() as f64 * 8.0;
+        let available = model.bandwidth_gbps * 1e9 * elapsed.as_secs_f64() * machines as f64;
+        (achieved_bits / available).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_recording_and_aggregation() {
+        let m = ClusterMetrics::new(4, 2);
+        m.part(0).record_fetch(TrafficClass::CrossMachine, 100, 900);
+        m.part(1).record_fetch(TrafficClass::CrossSocket, 50, 450);
+        assert_eq!(m.part(0).bytes_sent(), 100);
+        assert_eq!(m.part(0).bytes_received(), 900);
+        assert_eq!(m.total_network_bytes(), 1000);
+        assert_eq!(m.total_cross_socket_bytes(), 500);
+        assert_eq!(m.total_requests(), 2);
+    }
+
+    #[test]
+    fn classification_by_machine() {
+        let m = ClusterMetrics::new(4, 2);
+        assert_eq!(m.classify(0, 1), TrafficClass::CrossSocket);
+        assert_eq!(m.classify(0, 2), TrafficClass::CrossMachine);
+        assert_eq!(m.classify(3, 2), TrafficClass::CrossSocket);
+        let m1 = ClusterMetrics::new(4, 1);
+        assert_eq!(m1.classify(0, 1), TrafficClass::CrossMachine);
+    }
+
+    #[test]
+    fn wait_time_accumulates() {
+        let m = ClusterMetrics::new(1, 1);
+        m.part(0).record_wait(Duration::from_millis(3));
+        m.part(0).record_wait(Duration::from_millis(4));
+        assert_eq!(m.total_comm_wait(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn cache_hit_rate() {
+        let m = ClusterMetrics::new(2, 1);
+        assert_eq!(m.cache_hit_rate(), None);
+        m.part(0).record_cache_hit();
+        m.part(0).record_cache_hit();
+        m.part(1).record_cache_miss();
+        assert!((m.cache_hit_rate().unwrap() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_matrix_accumulates_per_pair() {
+        let m = ClusterMetrics::new(3, 1);
+        m.record_link(0, 1, 100);
+        m.record_link(0, 1, 50);
+        m.record_link(2, 0, 7);
+        let lm = m.link_matrix();
+        assert_eq!(lm[0][1], 150);
+        assert_eq!(lm[2][0], 7);
+        assert_eq!(lm[1][2], 0);
+        assert_eq!(m.link_spread(), Some((150, 7)));
+    }
+
+    #[test]
+    fn link_spread_empty_when_no_traffic() {
+        assert_eq!(ClusterMetrics::new(2, 1).link_spread(), None);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let m = ClusterMetrics::new(2, 1);
+        m.part(0).record_fetch(TrafficClass::CrossMachine, 0, 7_000_000);
+        let model = crate::NetworkModel::infiniband_56g();
+        let u = m.network_utilization(Duration::from_millis(10), &model, 2);
+        assert!(u > 0.0 && u <= 1.0, "{u}");
+        assert_eq!(m.network_utilization(Duration::ZERO, &model, 2), 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Typed point-to-point mailboxes between parts.
+//!
+//! The "moving computation to data" baseline ships partially-constructed
+//! embeddings (plus carried edge lists) between machines instead of
+//! fetching data; the G-thinker baseline ships task state. This module
+//! provides the byte-accounted transport those baselines use.
+
+use crate::metrics::ClusterMetrics;
+use crate::PartId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::time::Duration;
+
+/// A cluster-wide typed mailbox network: every part can send to every
+/// part; each part owns one receive queue.
+///
+/// # Example
+///
+/// ```
+/// use gpm_cluster::post::PostOffice;
+/// use gpm_cluster::metrics::ClusterMetrics;
+///
+/// let metrics = ClusterMetrics::new(2, 1);
+/// let post: PostOffice<String> = PostOffice::new(2, metrics);
+/// let a = post.endpoint(0);
+/// let b = post.endpoint(1);
+/// a.send(1, "hello".to_string(), 5);
+/// assert_eq!(b.try_recv(), Some("hello".to_string()));
+/// ```
+#[derive(Debug)]
+pub struct PostOffice<T> {
+    senders: Vec<Sender<T>>,
+    receivers: Vec<Receiver<T>>,
+    metrics: ClusterMetrics,
+}
+
+impl<T: Send> PostOffice<T> {
+    /// Creates mailboxes for `parts` parts reporting into `metrics`.
+    pub fn new(parts: usize, metrics: ClusterMetrics) -> Self {
+        assert_eq!(metrics.part_count(), parts, "metrics sized for a different cluster");
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..parts).map(|_| unbounded::<T>()).unzip();
+        PostOffice { senders, receivers, metrics }
+    }
+
+    /// The endpoint of `part`: cheap to clone; receiving is multi-consumer
+    /// (clones share the same queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is out of range.
+    pub fn endpoint(&self, part: PartId) -> Endpoint<T> {
+        assert!(part < self.senders.len(), "part out of range");
+        Endpoint {
+            part,
+            senders: self.senders.clone(),
+            receiver: self.receivers[part].clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// The shared metrics.
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+}
+
+/// One part's sending/receiving endpoint of a [`PostOffice`].
+#[derive(Debug, Clone)]
+pub struct Endpoint<T> {
+    part: PartId,
+    senders: Vec<Sender<T>>,
+    receiver: Receiver<T>,
+    metrics: ClusterMetrics,
+}
+
+impl<T: Send> Endpoint<T> {
+    /// The part this endpoint belongs to.
+    pub fn part(&self) -> PartId {
+        self.part
+    }
+
+    /// Number of parts in the network.
+    pub fn part_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends `msg` to `to`, accounting `bytes` of traffic (the caller
+    /// knows the serialized size of its message type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range or its queue is disconnected.
+    pub fn send(&self, to: PartId, msg: T, bytes: u64) {
+        let class = self.metrics.classify(self.part, to);
+        self.metrics.part(self.part).record_fetch(class, bytes, 0);
+        self.senders[to].send(msg).expect("post office receiver dropped");
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Blocking receive with timeout; `None` on timeout or disconnect.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        self.receiver.recv_timeout(timeout).ok()
+    }
+
+    /// Number of messages waiting in this part's queue.
+    pub fn pending(&self) -> usize {
+        self.receiver.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TrafficClass;
+
+    #[test]
+    fn roundtrip_and_accounting() {
+        let metrics = ClusterMetrics::new(4, 2);
+        let post: PostOffice<u32> = PostOffice::new(4, metrics);
+        let a = post.endpoint(0);
+        let c = post.endpoint(2);
+        a.send(2, 99, 40); // machine 0 -> machine 1
+        assert_eq!(c.try_recv(), Some(99));
+        assert_eq!(c.try_recv(), None);
+        assert_eq!(post.metrics().total_network_bytes(), 40);
+        a.send(1, 1, 10); // same machine, different socket
+        assert_eq!(post.metrics().total_cross_socket_bytes(), 10);
+        assert_eq!(post.metrics().classify(0, 1), TrafficClass::CrossSocket);
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_empty() {
+        let post: PostOffice<()> = PostOffice::new(1, ClusterMetrics::new(1, 1));
+        let e = post.endpoint(0);
+        assert_eq!(e.recv_timeout(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let post: PostOffice<usize> = PostOffice::new(2, ClusterMetrics::new(2, 1));
+        let tx = post.endpoint(0);
+        let rx = post.endpoint(1);
+        let t = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while got.len() < 10 {
+                if let Some(m) = rx.recv_timeout(Duration::from_secs(1)) {
+                    got.push(m);
+                }
+            }
+            got
+        });
+        for i in 0..10 {
+            tx.send(1, i, 8);
+        }
+        let got = t.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pending_counts_queue_depth() {
+        let post: PostOffice<u8> = PostOffice::new(2, ClusterMetrics::new(2, 1));
+        let e0 = post.endpoint(0);
+        let e1 = post.endpoint(1);
+        e0.send(1, 1, 1);
+        e0.send(1, 2, 1);
+        assert_eq!(e1.pending(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "metrics sized")]
+    fn mismatched_metrics_panics() {
+        let _: PostOffice<u8> = PostOffice::new(3, ClusterMetrics::new(2, 1));
+    }
+}

@@ -1,0 +1,417 @@
+//! The remote edge-list request/response service.
+//!
+//! Each part runs one responder thread serving batched edge-list requests
+//! from its local [`GraphPart`] — the paper's "graph data responding
+//! threads" (§6). Clients block on a rendezvous channel per request;
+//! batching many vertices per request amortizes the (simulated) network
+//! latency exactly as the paper batches MPI messages (§3.3).
+
+use crate::metrics::ClusterMetrics;
+use crate::{NetworkModel, PartId};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use gpm_graph::partition::{GraphPart, PartitionedGraph};
+use gpm_graph::VertexId;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Per-message fixed overhead in accounted bytes (headers/envelopes).
+const HEADER_BYTES: u64 = 16;
+
+/// A batch of edge lists returned by [`EdgeListClient::fetch`].
+///
+/// Lists are stored back to back; `list(i)` is the edge list of the `i`-th
+/// requested vertex, in request order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FetchedLists {
+    offsets: Vec<u32>,
+    data: Vec<VertexId>,
+}
+
+impl FetchedLists {
+    /// Number of lists in the batch.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th requested vertex's edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn list(&self, i: usize) -> &[VertexId] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Consumes the batch into raw `(offsets, data)` arrays.
+    pub fn into_parts(self) -> (Vec<u32>, Vec<VertexId>) {
+        (self.offsets, self.data)
+    }
+
+    /// Accounted size of the response in bytes.
+    pub fn response_bytes(&self) -> u64 {
+        HEADER_BYTES + 4 * (self.offsets.len() as u64 + self.data.len() as u64)
+    }
+}
+
+/// Error returned when a fetch addressed vertices the target does not own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchError {
+    /// The vertices the target part did not own.
+    pub missing: Vec<VertexId>,
+    /// The part that was asked.
+    pub target: PartId,
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "part {} does not own {} requested vertices (first: {:?})",
+            self.target,
+            self.missing.len(),
+            self.missing.first()
+        )
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+struct Request {
+    vertices: Vec<VertexId>,
+    reply: Sender<Result<FetchedLists, FetchError>>,
+}
+
+enum Msg {
+    Fetch(Request),
+    /// Stops the responder even while client clones are still alive.
+    Shutdown,
+}
+
+/// The cluster-wide edge-list service: one responder thread per part.
+///
+/// # Example
+///
+/// ```
+/// use gpm_cluster::EdgeListService;
+/// use gpm_graph::{gen, partition::PartitionedGraph};
+///
+/// let g = gen::erdos_renyi(100, 400, 1);
+/// let pg = PartitionedGraph::new(&g, 4, 1);
+/// let service = EdgeListService::start(&pg, None);
+/// let client = service.client(0);
+/// let v = 17;
+/// let owner = pg.owner(v);
+/// let lists = client.fetch(owner, &[v]).unwrap();
+/// assert_eq!(lists.list(0), g.neighbors(v));
+/// service.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct EdgeListService {
+    senders: Vec<Sender<Msg>>,
+    metrics: ClusterMetrics,
+    network: Option<NetworkModel>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl EdgeListService {
+    /// Starts one responder thread per part of `pg`.
+    pub fn start(pg: &PartitionedGraph, network: Option<NetworkModel>) -> Self {
+        let parts = pg.part_count();
+        let metrics = ClusterMetrics::new(parts, pg.sockets_per_machine());
+        let mut senders = Vec::with_capacity(parts);
+        let mut handles = Vec::with_capacity(parts);
+        for part_id in 0..parts {
+            let (tx, rx) = unbounded::<Msg>();
+            senders.push(tx);
+            let part = pg.part_arc(part_id);
+            let part_metrics = Arc::clone(metrics.part(part_id));
+            let handle = std::thread::Builder::new()
+                .name(format!("edgelist-responder-{part_id}"))
+                .spawn(move || {
+                    while let Ok(Msg::Fetch(req)) = rx.recv() {
+                        let resp = serve(&part, &req.vertices);
+                        if let Ok(lists) = &resp {
+                            part_metrics.record_served(lists.response_bytes());
+                        }
+                        // A dropped reply receiver just means the client
+                        // gave up; keep serving others.
+                        let _ = req.reply.send(resp);
+                    }
+                })
+                .expect("spawn responder thread");
+            handles.push(handle);
+        }
+        EdgeListService { senders, metrics, network, handles }
+    }
+
+    /// A client handle for `part` (cheap to clone, thread-safe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is out of range.
+    pub fn client(&self, part: PartId) -> EdgeListClient {
+        assert!(part < self.senders.len(), "part out of range");
+        EdgeListClient {
+            part,
+            senders: self.senders.clone(),
+            metrics: self.metrics.clone(),
+            network: self.network,
+        }
+    }
+
+    /// The shared metrics of this cluster.
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// Stops every responder and joins its thread. Outstanding client
+    /// handles survive but their subsequent fetches will panic; shut down
+    /// only after all engine threads have finished.
+    pub fn shutdown(self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        drop(self.senders);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve(part: &GraphPart, vertices: &[VertexId]) -> Result<FetchedLists, FetchError> {
+    let mut offsets = Vec::with_capacity(vertices.len() + 1);
+    offsets.push(0u32);
+    let mut data = Vec::new();
+    let mut missing = Vec::new();
+    for &v in vertices {
+        match part.edge_list(v) {
+            Some(list) => data.extend_from_slice(list),
+            None => missing.push(v),
+        }
+        offsets.push(data.len() as u32);
+    }
+    if missing.is_empty() {
+        Ok(FetchedLists { offsets, data })
+    } else {
+        Err(FetchError { missing, target: part.part_id() })
+    }
+}
+
+/// A per-part client of the [`EdgeListService`].
+#[derive(Debug, Clone)]
+pub struct EdgeListClient {
+    part: PartId,
+    senders: Vec<Sender<Msg>>,
+    metrics: ClusterMetrics,
+    network: Option<NetworkModel>,
+}
+
+impl EdgeListClient {
+    /// The part this client belongs to.
+    pub fn part(&self) -> PartId {
+        self.part
+    }
+
+    /// Number of parts in the cluster.
+    pub fn part_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shared cluster metrics.
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// Fetches the edge lists of `vertices` from `target`, blocking until
+    /// the response arrives. All vertices must be owned by `target`.
+    ///
+    /// Traffic, request count and blocking time are recorded against this
+    /// client's part; if a [`NetworkModel`] is configured, cross-machine
+    /// fetches are additionally delayed by the modeled transfer time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] if `target` does not own some vertex, and an
+    /// opaque error if the service has shut down.
+    pub fn fetch(
+        &self,
+        target: PartId,
+        vertices: &[VertexId],
+    ) -> Result<FetchedLists, FetchError> {
+        assert!(target < self.senders.len(), "target part out of range");
+        let start = Instant::now();
+        let (reply_tx, reply_rx) = bounded(1);
+        let req = Request { vertices: vertices.to_vec(), reply: reply_tx };
+        self.senders[target]
+            .send(Msg::Fetch(req))
+            .expect("edge-list service has shut down");
+        let resp = reply_rx.recv().expect("edge-list responder died");
+        let waited = start.elapsed();
+        let my = self.metrics.part(self.part);
+        my.record_wait(waited);
+        let lists = resp?;
+        let req_bytes = HEADER_BYTES + 4 * vertices.len() as u64;
+        let resp_bytes = lists.response_bytes();
+        let class = self.metrics.classify(self.part, target);
+        my.record_fetch(class, req_bytes, resp_bytes);
+        self.metrics.record_link(self.part, target, req_bytes);
+        self.metrics.record_link(target, self.part, resp_bytes);
+        if let (Some(model), crate::metrics::TrafficClass::CrossMachine) = (self.network, class)
+        {
+            let target_delay = model.transfer_time(req_bytes + resp_bytes);
+            if let Some(remaining) = target_delay.checked_sub(waited) {
+                precise_sleep(remaining);
+                my.record_wait(remaining);
+            }
+        }
+        Ok(lists)
+    }
+}
+
+/// Sleeps for short durations more precisely than `thread::sleep` alone:
+/// sleeps for the bulk, spins for the tail.
+fn precise_sleep(d: std::time::Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    if d > std::time::Duration::from_micros(200) {
+        std::thread::sleep(d - std::time::Duration::from_micros(100));
+    }
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen;
+
+    fn cluster(machines: usize, sockets: usize) -> (gpm_graph::Graph, PartitionedGraph) {
+        let g = gen::erdos_renyi(200, 800, 7);
+        let pg = PartitionedGraph::new(&g, machines, sockets);
+        (g, pg)
+    }
+
+    #[test]
+    fn fetch_returns_correct_lists() {
+        let (g, pg) = cluster(4, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(0);
+        for v in [0u32, 5, 17, 100, 199] {
+            let owner = pg.owner(v);
+            let lists = client.fetch(owner, &[v]).unwrap();
+            assert_eq!(lists.list(0), g.neighbors(v));
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn batched_fetch_preserves_order() {
+        let (g, pg) = cluster(2, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(1);
+        // All vertices owned by part 0, batched.
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(20).collect();
+        let lists = client.fetch(0, &owned).unwrap();
+        assert_eq!(lists.len(), owned.len());
+        for (i, &v) in owned.iter().enumerate() {
+            assert_eq!(lists.list(i), g.neighbors(v), "list {i} mismatched");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn missing_vertex_is_an_error() {
+        let (_, pg) = cluster(4, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(0);
+        let v = (0..200u32).find(|&v| pg.owner(v) != 2).unwrap();
+        let err = client.fetch(2, &[v]).unwrap_err();
+        assert_eq!(err.missing, vec![v]);
+        assert_eq!(err.target, 2);
+        assert!(err.to_string().contains("does not own"));
+        service.shutdown();
+    }
+
+    #[test]
+    fn metrics_are_recorded() {
+        let (_, pg) = cluster(2, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(1);
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(5).collect();
+        client.fetch(0, &owned).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.total_requests(), 1);
+        assert!(m.total_network_bytes() > 0);
+        assert!(m.part(1).bytes_received() > 0);
+        assert!(m.part(0).served_requests() == 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cross_socket_classified_separately() {
+        let (_, pg) = cluster(1, 2); // one machine, two sockets
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(0);
+        let owned: Vec<VertexId> = pg.part(1).owned().iter().copied().take(3).collect();
+        client.fetch(1, &owned).unwrap();
+        assert_eq!(service.metrics().total_network_bytes(), 0);
+        assert!(service.metrics().total_cross_socket_bytes() > 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let (g, pg) = cluster(4, 1);
+        let service = EdgeListService::start(&pg, None);
+        let mut joins = Vec::new();
+        for part in 0..4 {
+            let client = service.client(part);
+            let g = g.clone();
+            let pg = pg.clone();
+            joins.push(std::thread::spawn(move || {
+                for v in (part as u32 * 50)..(part as u32 * 50 + 50) {
+                    let lists = client.fetch(pg.owner(v), &[v]).unwrap();
+                    assert_eq!(lists.list(0), g.neighbors(v));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn network_model_delays_cross_machine_only() {
+        let (_, pg) = cluster(2, 1);
+        // Very slow model so delay dominates.
+        let model = NetworkModel { latency_us: 2000.0, bandwidth_gbps: 56.0 };
+        let service = EdgeListService::start(&pg, Some(model));
+        let client = service.client(1);
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(1).collect();
+        let t0 = Instant::now();
+        client.fetch(0, &owned).unwrap();
+        assert!(t0.elapsed().as_micros() >= 2000, "model delay not applied");
+        service.shutdown();
+    }
+
+    #[test]
+    fn empty_fetch() {
+        let (_, pg) = cluster(2, 1);
+        let service = EdgeListService::start(&pg, None);
+        let lists = service.client(0).fetch(1, &[]).unwrap();
+        assert!(lists.is_empty());
+        assert_eq!(lists.len(), 0);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,122 @@
+//! Distributed termination detection for message-driven baselines.
+//!
+//! The "moving computation to data" baseline has no global barrier: a part
+//! is done only when *no* part holds work and *no* message is in flight.
+//! [`WorkCounter`] implements the standard outstanding-work counter: every
+//! unit of work (a queued task or an in-flight message) increments it, and
+//! completing the unit decrements it. When the counter reaches zero the
+//! whole computation has quiesced — no new work can appear because work is
+//! only created by existing work.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Shared counter of outstanding work units.
+///
+/// # Example
+///
+/// ```
+/// use gpm_cluster::work::WorkCounter;
+///
+/// let wc = WorkCounter::new();
+/// wc.add(2);            // two root tasks
+/// wc.done();            // one finished
+/// assert!(!wc.is_quiescent());
+/// wc.done();
+/// assert!(wc.is_quiescent());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WorkCounter {
+    outstanding: Arc<AtomicI64>,
+}
+
+impl WorkCounter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        WorkCounter::default()
+    }
+
+    /// Registers `n` new units of outstanding work.
+    pub fn add(&self, n: u64) {
+        self.outstanding.fetch_add(n as i64, Ordering::SeqCst);
+    }
+
+    /// Marks one unit complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the counter would go negative, which
+    /// indicates unbalanced accounting.
+    pub fn done(&self) {
+        let prev = self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "WorkCounter went negative");
+    }
+
+    /// Current number of outstanding units.
+    pub fn outstanding(&self) -> i64 {
+        self.outstanding.load(Ordering::SeqCst)
+    }
+
+    /// Whether all work has quiesced.
+    pub fn is_quiescent(&self) -> bool {
+        self.outstanding() == 0
+    }
+
+    /// Spin-waits (with yields) until quiescent. Intended for coordinator
+    /// threads; workers should poll [`WorkCounter::is_quiescent`] in their
+    /// message loops instead.
+    pub fn wait_quiescent(&self) {
+        while !self.is_quiescent() {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_accounting_quiesces() {
+        let wc = WorkCounter::new();
+        assert!(wc.is_quiescent());
+        wc.add(3);
+        assert_eq!(wc.outstanding(), 3);
+        wc.done();
+        wc.done();
+        wc.done();
+        assert!(wc.is_quiescent());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let wc = WorkCounter::new();
+        wc.add(100);
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let wc = wc.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    wc.done();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(wc.is_quiescent());
+    }
+
+    #[test]
+    fn wait_quiescent_returns() {
+        let wc = WorkCounter::new();
+        wc.add(1);
+        let waiter = {
+            let wc = wc.clone();
+            std::thread::spawn(move || wc.wait_quiescent())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        wc.done();
+        waiter.join().unwrap();
+    }
+}

@@ -1,0 +1,384 @@
+//! Software graph-data caches.
+//!
+//! The engine's default is the paper's **static cache** (§5.3): edge lists
+//! fetched from remote machines are inserted if the vertex degree passes a
+//! threshold and the cache is not yet full; nothing is ever evicted, so
+//! lookups need only a read lock and no bookkeeping. The replacement
+//! policies FIFO/LIFO/LRU/MRU are implemented behind the same interface
+//! for the paper's Figure 16 comparison — note how every one of them needs
+//! a *write* lock per lookup or insert-with-eviction, the overhead the
+//! paper measures.
+//!
+//! Entries hand out `Arc<[VertexId]>` so an evicted list stays alive while
+//! any extendable embedding still references it — eviction can never
+//! dangle a task's data.
+
+use gpm_graph::{Degree, VertexId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CachePolicy {
+    /// Insert-until-full, never evict (the paper's design, §5.3).
+    #[default]
+    Static,
+    /// Evict the oldest-inserted entry.
+    Fifo,
+    /// Evict the newest-inserted entry.
+    Lifo,
+    /// Evict the least recently used entry.
+    Lru,
+    /// Evict the most recently used entry.
+    Mru,
+    /// No cache at all (Table 6's "no cache" column).
+    Disabled,
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Capacity in bytes **per machine**; divided evenly among its NUMA
+    /// sockets (§5.4).
+    pub capacity_per_machine: usize,
+    /// Minimum degree for insertion (the paper's threshold, e.g. 64).
+    /// Applied by the static policy only; replacement policies accept
+    /// everything, as G-thinker-style general caches do.
+    pub degree_threshold: Degree,
+    /// Replacement policy.
+    pub policy: CachePolicy,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_per_machine: 8 << 20, // 8 MiB of lists per machine
+            degree_threshold: 64,
+            policy: CachePolicy::Static,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A disabled cache.
+    pub fn disabled() -> Self {
+        CacheConfig { policy: CachePolicy::Disabled, ..CacheConfig::default() }
+    }
+}
+
+/// A shared per-part software cache of remote edge lists.
+#[derive(Debug)]
+pub struct SharedCache {
+    policy: CachePolicy,
+    capacity_bytes: usize,
+    degree_threshold: Degree,
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<VertexId, Arc<[VertexId]>>,
+    /// Insertion/recency order queue for the replacement policies (front =
+    /// next victim candidate end depends on policy). Unused by `Static`.
+    order: Vec<VertexId>,
+    bytes: usize,
+    full: bool,
+}
+
+impl SharedCache {
+    /// Creates a cache with `capacity_bytes` of list storage.
+    pub fn new(policy: CachePolicy, capacity_bytes: usize, degree_threshold: Degree) -> Self {
+        SharedCache {
+            policy,
+            capacity_bytes,
+            degree_threshold,
+            inner: RwLock::new(Inner::default()),
+        }
+    }
+
+    /// Builds the per-part cache for a machine-level [`CacheConfig`].
+    pub fn for_part(cfg: &CacheConfig, sockets_per_machine: usize) -> Self {
+        SharedCache::new(
+            cfg.policy,
+            cfg.capacity_per_machine / sockets_per_machine.max(1),
+            cfg.degree_threshold,
+        )
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Whether lookups can ever succeed.
+    pub fn is_enabled(&self) -> bool {
+        self.policy != CachePolicy::Disabled && self.capacity_bytes > 0
+    }
+
+    /// Looks up the edge list of `v`.
+    ///
+    /// For LRU/MRU this updates recency (and therefore takes the write
+    /// lock — the measured cost of those policies); `Static`, FIFO and
+    /// LIFO lookups take only the read lock.
+    pub fn lookup(&self, v: VertexId) -> Option<Arc<[VertexId]>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        match self.policy {
+            CachePolicy::Lru | CachePolicy::Mru => {
+                let mut inner = self.inner.write();
+                let hit = inner.map.get(&v).cloned();
+                if hit.is_some() {
+                    if let Some(pos) = inner.order.iter().position(|&u| u == v) {
+                        inner.order.remove(pos);
+                        inner.order.push(v); // most recent at the back
+                    }
+                }
+                hit
+            }
+            _ => self.inner.read().map.get(&v).cloned(),
+        }
+    }
+
+    /// Offers a freshly fetched list for caching; the policy decides.
+    /// Returns `true` if the list was inserted.
+    pub fn maybe_insert(&self, v: VertexId, list: &[VertexId]) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let bytes = std::mem::size_of_val(list);
+        if bytes > self.capacity_bytes {
+            return false;
+        }
+        match self.policy {
+            CachePolicy::Static => {
+                if (list.len() as Degree) < self.degree_threshold {
+                    return false;
+                }
+                let mut inner = self.inner.write();
+                // "First accessed first cached": once full, stay full.
+                if inner.full || inner.map.contains_key(&v) {
+                    return false;
+                }
+                if inner.bytes + bytes > self.capacity_bytes {
+                    inner.full = true;
+                    return false;
+                }
+                inner.bytes += bytes;
+                inner.map.insert(v, list.into());
+                true
+            }
+            CachePolicy::Fifo | CachePolicy::Lifo | CachePolicy::Lru | CachePolicy::Mru => {
+                let mut inner = self.inner.write();
+                if inner.map.contains_key(&v) {
+                    return false;
+                }
+                // Evict until there is room — the general-purpose
+                // allocate/free churn the paper contrasts with STATIC.
+                while inner.bytes + bytes > self.capacity_bytes {
+                    let victim = match self.policy {
+                        CachePolicy::Fifo | CachePolicy::Lru => {
+                            if inner.order.is_empty() {
+                                break;
+                            }
+                            inner.order.remove(0)
+                        }
+                        CachePolicy::Lifo | CachePolicy::Mru => {
+                            match inner.order.pop() {
+                                Some(u) => u,
+                                None => break,
+                            }
+                        }
+                        _ => unreachable!(),
+                    };
+                    if let Some(old) = inner.map.remove(&victim) {
+                        inner.bytes -= std::mem::size_of_val(&old[..]);
+                    }
+                }
+                if inner.bytes + bytes > self.capacity_bytes {
+                    return false;
+                }
+                inner.bytes += bytes;
+                inner.map.insert(v, list.into());
+                inner.order.push(v);
+                true
+            }
+            CachePolicy::Disabled => false,
+        }
+    }
+
+    /// Number of cached lists.
+    pub fn len(&self) -> usize {
+        self.inner.read().map.len()
+    }
+
+    /// Whether the cache currently holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of list data currently held.
+    pub fn bytes(&self) -> usize {
+        self.inner.read().bytes
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Drops every entry (used between benchmark runs).
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.map.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+        inner.full = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(n: usize, tag: u32) -> Vec<VertexId> {
+        (0..n as u32).map(|i| i + tag).collect()
+    }
+
+    #[test]
+    fn static_insert_and_lookup() {
+        let c = SharedCache::new(CachePolicy::Static, 4096, 4);
+        assert!(c.lookup(1).is_none());
+        assert!(c.maybe_insert(1, &list(10, 0)));
+        assert_eq!(c.lookup(1).unwrap().len(), 10);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 40);
+    }
+
+    #[test]
+    fn static_respects_degree_threshold() {
+        let c = SharedCache::new(CachePolicy::Static, 4096, 8);
+        assert!(!c.maybe_insert(1, &list(7, 0)));
+        assert!(c.maybe_insert(2, &list(8, 0)));
+    }
+
+    #[test]
+    fn static_never_evicts_and_stops_when_full() {
+        let c = SharedCache::new(CachePolicy::Static, 100, 1);
+        assert!(c.maybe_insert(1, &list(20, 0))); // 80 bytes
+        assert!(!c.maybe_insert(2, &list(20, 0))); // would exceed => marks full
+        // Even a small list is now refused: "no longer insert any data".
+        assert!(!c.maybe_insert(3, &list(2, 0)));
+        assert!(c.lookup(1).is_some());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest() {
+        let c = SharedCache::new(CachePolicy::Fifo, 100, 1);
+        assert!(c.maybe_insert(1, &list(10, 0))); // 40
+        assert!(c.maybe_insert(2, &list(10, 0))); // 80
+        assert!(c.maybe_insert(3, &list(10, 0))); // evicts 1
+        assert!(c.lookup(1).is_none());
+        assert!(c.lookup(2).is_some());
+        assert!(c.lookup(3).is_some());
+    }
+
+    #[test]
+    fn lifo_evicts_newest() {
+        let c = SharedCache::new(CachePolicy::Lifo, 100, 1);
+        c.maybe_insert(1, &list(10, 0));
+        c.maybe_insert(2, &list(10, 0));
+        c.maybe_insert(3, &list(10, 0)); // evicts 2
+        assert!(c.lookup(1).is_some());
+        assert!(c.lookup(2).is_none());
+        assert!(c.lookup(3).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let c = SharedCache::new(CachePolicy::Lru, 100, 1);
+        c.maybe_insert(1, &list(10, 0));
+        c.maybe_insert(2, &list(10, 0));
+        c.lookup(1); // 1 becomes most recent
+        c.maybe_insert(3, &list(10, 0)); // evicts 2 (least recent)
+        assert!(c.lookup(2).is_none());
+        assert!(c.lookup(1).is_some());
+    }
+
+    #[test]
+    fn mru_evicts_most_recent() {
+        let c = SharedCache::new(CachePolicy::Mru, 100, 1);
+        c.maybe_insert(1, &list(10, 0));
+        c.maybe_insert(2, &list(10, 0));
+        c.lookup(1); // 1 most recent
+        c.maybe_insert(3, &list(10, 0)); // evicts 1
+        assert!(c.lookup(1).is_none());
+        assert!(c.lookup(2).is_some());
+    }
+
+    #[test]
+    fn evicted_data_survives_through_arc() {
+        let c = SharedCache::new(CachePolicy::Fifo, 100, 1);
+        c.maybe_insert(1, &list(10, 7));
+        let held = c.lookup(1).unwrap();
+        c.maybe_insert(2, &list(10, 0));
+        c.maybe_insert(3, &list(10, 0)); // evicts 1
+        assert!(c.lookup(1).is_none());
+        assert_eq!(held[0], 7); // still valid
+    }
+
+    #[test]
+    fn disabled_cache_does_nothing() {
+        let c = SharedCache::new(CachePolicy::Disabled, 1 << 20, 1);
+        assert!(!c.maybe_insert(1, &list(10, 0)));
+        assert!(c.lookup(1).is_none());
+        assert!(!c.is_enabled());
+    }
+
+    #[test]
+    fn oversized_list_rejected() {
+        let c = SharedCache::new(CachePolicy::Static, 16, 1);
+        assert!(!c.maybe_insert(1, &list(100, 0)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let c = SharedCache::new(CachePolicy::Static, 100, 1);
+        c.maybe_insert(1, &list(20, 0));
+        c.maybe_insert(2, &list(20, 0)); // full
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        // Full flag reset: can insert again.
+        assert!(c.maybe_insert(3, &list(10, 0)));
+    }
+
+    #[test]
+    fn per_part_sizing() {
+        let cfg = CacheConfig { capacity_per_machine: 1000, ..CacheConfig::default() };
+        let c = SharedCache::for_part(&cfg, 2);
+        assert_eq!(c.capacity_bytes(), 500);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let c = Arc::new(SharedCache::new(CachePolicy::Static, 1 << 20, 1));
+        let mut joins = Vec::new();
+        for t in 0..4u32 {
+            let c = Arc::clone(&c);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let v = t * 100 + i;
+                    c.maybe_insert(v, &list(4, v));
+                    assert_eq!(c.lookup(v).unwrap()[0], v);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(c.len(), 400);
+    }
+}

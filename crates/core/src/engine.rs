@@ -1,0 +1,684 @@
+//! The [`Engine`]: cluster setup and run orchestration.
+
+use crate::cache::{CacheConfig, SharedCache};
+use crate::runtime::{run_part, PartCtx, Visitor};
+use crate::stats::{PartStats, RunStats, TrafficSummary};
+use gpm_cluster::{ClusterMetrics, EdgeListService, NetworkModel};
+use gpm_graph::partition::PartitionedGraph;
+use gpm_graph::VertexId;
+use gpm_pattern::plan::MatchingPlan;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine configuration (every knob of the paper's §4–§6 has a switch
+/// here so ablation benches can toggle it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Maximum embeddings per chunk (the chunk-size knob of §4.2/§7.7;
+    /// the paper expresses it in bytes, which divides by the per-embedding
+    /// footprint to the count used here).
+    pub chunk_capacity: usize,
+    /// Compute threads per part (the paper reserves one core in four for
+    /// communication; each part here additionally runs one comm thread).
+    pub compute_threads: usize,
+    /// Work-claim granularity for the dynamic distribution of extensions
+    /// (the paper's 64-embedding mini-batches, §6).
+    pub mini_batch: usize,
+    /// Horizontal data sharing within a chunk (§5.2; Figure 12 ablation).
+    pub horizontal_sharing: bool,
+    /// Circulant fetch ordering (§4.3; ablation switch).
+    pub circulant: bool,
+    /// Software cache configuration (§5.3; Table 6 / Figures 16–17).
+    pub cache: CacheConfig,
+    /// Optional network cost model applied to cross-machine fetches.
+    pub network: Option<NetworkModel>,
+    /// Run the simulated machines one after another instead of
+    /// concurrently. On hosts with fewer cores than simulated machines
+    /// this removes core-contention noise from the per-part timers, so
+    /// [`RunStats::simulated_makespan`] estimates real-cluster runtime
+    /// (used by the scalability experiments; see `EXPERIMENTS.md`).
+    pub sequential_parts: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            chunk_capacity: 16 * 1024,
+            compute_threads: 2,
+            mini_batch: 64,
+            horizontal_sharing: true,
+            circulant: true,
+            cache: CacheConfig::default(),
+            network: None,
+            sequential_parts: false,
+        }
+    }
+}
+
+/// The Khuzdul distributed execution engine.
+///
+/// Owns the simulated cluster: the partitioned graph, the edge-list
+/// service threads, and one software cache per part. A single engine can
+/// run many plans (the caches persist across runs, as in the paper's
+/// multi-pattern applications); [`Engine::shutdown`] stops the service.
+#[derive(Debug)]
+pub struct Engine {
+    pg: PartitionedGraph,
+    service: EdgeListService,
+    caches: Vec<Arc<SharedCache>>,
+    cfg: EngineConfig,
+}
+
+impl Engine {
+    /// Builds an engine over `pg` (which fixes machines × sockets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.chunk_capacity` is zero (extension could never make
+    /// progress).
+    pub fn new(pg: PartitionedGraph, cfg: EngineConfig) -> Engine {
+        assert!(cfg.chunk_capacity >= 1, "chunk capacity must be positive");
+        let service = EdgeListService::start(&pg, cfg.network);
+        let caches = (0..pg.part_count())
+            .map(|_| Arc::new(SharedCache::for_part(&cfg.cache, pg.sockets_per_machine())))
+            .collect();
+        Engine { pg, service, caches, cfg }
+    }
+
+    /// The partitioned graph the engine runs on.
+    pub fn partitioned_graph(&self) -> &PartitionedGraph {
+        &self.pg
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Cluster-wide communication metrics (monotonic across runs).
+    pub fn metrics(&self) -> &ClusterMetrics {
+        self.service.metrics()
+    }
+
+    /// Drops all cached edge lists (for between-run isolation in
+    /// benchmarks).
+    pub fn reset_caches(&self) {
+        for c in &self.caches {
+            c.clear();
+        }
+    }
+
+    /// Total bytes currently held by all part caches.
+    pub fn cache_bytes(&self) -> usize {
+        self.caches.iter().map(|c| c.bytes()).sum()
+    }
+
+    /// Counts the embeddings `plan` produces over the whole cluster.
+    pub fn count(&self, plan: &MatchingPlan) -> RunStats {
+        self.run(plan, None, None)
+    }
+
+    /// Enumerates embeddings, calling `visit` (possibly concurrently from
+    /// many threads) with the matched vertices in matching-order
+    /// positions.
+    pub fn enumerate<F>(&self, plan: &MatchingPlan, visit: F) -> RunStats
+    where
+        F: Fn(&[VertexId]) + Sync,
+    {
+        self.run(plan, Some(&visit), None)
+    }
+
+    /// Enumerates embeddings with cooperative early termination: when
+    /// `visit` returns `false`, the engine stops scheduling new work.
+    /// In-flight extensions may still invoke `visit` a bounded number of
+    /// times after the first `false` (the cancellation is cooperative,
+    /// checked between work claims).
+    ///
+    /// Used by bounded queries: FSM's "support already above threshold"
+    /// cut and exists-a-match queries.
+    pub fn enumerate_until<F>(&self, plan: &MatchingPlan, visit: F) -> RunStats
+    where
+        F: Fn(&[VertexId]) -> bool + Sync,
+    {
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let wrapped = |m: &[VertexId]| {
+            if !visit(m) {
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        };
+        self.run(plan, Some(&wrapped), Some(&stop))
+    }
+
+    /// Returns one embedding of `plan` (vertices in matching-order
+    /// positions), or `None` if the pattern does not occur. Stops the
+    /// exploration as soon as a match is found.
+    pub fn find_any(&self, plan: &MatchingPlan) -> Option<Vec<VertexId>> {
+        let found = parking_lot::Mutex::new(None);
+        self.enumerate_until(plan, |m| {
+            let mut f = found.lock();
+            if f.is_none() {
+                *f = Some(m.to_vec());
+            }
+            false
+        });
+        found.into_inner()
+    }
+
+    fn run(
+        &self,
+        plan: &MatchingPlan,
+        visitor: Option<Visitor<'_>>,
+        stop: Option<&std::sync::atomic::AtomicBool>,
+    ) -> RunStats {
+        assert!(
+            !plan.requires_edge_labels(),
+            "the distributed engine supports vertex labels only (like the paper's, §2.1); \
+             run edge-labeled plans on gpm_pattern::interp or the single-machine baselines"
+        );
+        let before = self.traffic_snapshot();
+        let t0 = Instant::now();
+        let parts = self.pg.part_count();
+        let mut per_part: Vec<PartStats> = Vec::with_capacity(parts);
+        let make_ctx = |part: usize| PartCtx {
+            part: self.pg.part_arc(part),
+            labels: self.pg.labels(),
+            client: self.service.client(part),
+            cache: Arc::clone(&self.caches[part]),
+            plan,
+            cfg: &self.cfg,
+            my_part: part,
+            part_count: parts,
+            owner: self.pg.owner_map(),
+            visitor,
+            stop,
+        };
+        if self.cfg.sequential_parts {
+            for part in 0..parts {
+                per_part.push(run_part(make_ctx(part)));
+            }
+        } else {
+            crossbeam::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(parts);
+                for part in 0..parts {
+                    let ctx = make_ctx(part);
+                    handles.push(
+                        s.builder()
+                            .name(format!("khuzdul-part-{part}"))
+                            .spawn(move |_| run_part(ctx))
+                            .expect("spawn part coordinator"),
+                    );
+                }
+                for h in handles {
+                    per_part.push(h.join().expect("part coordinator panicked"));
+                }
+            })
+            .expect("engine scope");
+        }
+        let elapsed = t0.elapsed();
+        let after = self.traffic_snapshot();
+        RunStats {
+            count: per_part.iter().map(|p| p.count).sum(),
+            elapsed,
+            per_part,
+            traffic: TrafficSummary {
+                network_bytes: after.network_bytes - before.network_bytes,
+                cross_socket_bytes: after.cross_socket_bytes - before.cross_socket_bytes,
+                requests: after.requests - before.requests,
+                cache_hits: after.cache_hits - before.cache_hits,
+                cache_misses: after.cache_misses - before.cache_misses,
+            },
+        }
+    }
+
+    fn traffic_snapshot(&self) -> TrafficSummary {
+        let m = self.service.metrics();
+        let mut s = TrafficSummary {
+            network_bytes: m.total_network_bytes(),
+            cross_socket_bytes: m.total_cross_socket_bytes(),
+            requests: m.total_requests(),
+            ..TrafficSummary::default()
+        };
+        for p in 0..m.part_count() {
+            s.cache_hits += m.part(p).cache_hits();
+            s.cache_misses += m.part(p).cache_misses();
+        }
+        s
+    }
+
+    /// Stops the cluster service threads.
+    pub fn shutdown(self) {
+        self.service.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachePolicy;
+    use gpm_graph::gen;
+    use gpm_pattern::oracle;
+    use gpm_pattern::plan::PlanOptions;
+    use gpm_pattern::Pattern;
+
+    fn engine_for(g: &gpm_graph::Graph, machines: usize, sockets: usize) -> Engine {
+        let pg = PartitionedGraph::new(g, machines, sockets);
+        Engine::new(pg, EngineConfig::default())
+    }
+
+    fn plan(p: &Pattern) -> MatchingPlan {
+        MatchingPlan::compile(p, &PlanOptions::automine()).unwrap()
+    }
+
+    #[test]
+    fn triangle_count_matches_oracle() {
+        let g = gen::erdos_renyi(200, 900, 3);
+        let expect = oracle::count_subgraphs(&g, &Pattern::triangle(), false);
+        let engine = engine_for(&g, 4, 1);
+        let run = engine.count(&plan(&Pattern::triangle()));
+        assert_eq!(run.count, expect);
+        assert!(run.traffic.network_bytes > 0, "distributed run must communicate");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn clique_counts_match_oracle() {
+        let g = gen::erdos_renyi(120, 900, 5);
+        let engine = engine_for(&g, 3, 1);
+        for k in [3usize, 4, 5] {
+            let p = Pattern::clique(k);
+            let expect = oracle::count_subgraphs(&g, &p, false);
+            assert_eq!(engine.count(&plan(&p)).count, expect, "k = {k}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn skewed_graph_patterns() {
+        let g = gen::barabasi_albert(400, 4, 11);
+        let engine = engine_for(&g, 4, 1);
+        for p in [
+            Pattern::triangle(),
+            Pattern::path(4),
+            Pattern::cycle(4),
+            Pattern::tailed_triangle(),
+            Pattern::clique(4),
+        ] {
+            let expect = oracle::count_subgraphs(&g, &p, false);
+            assert_eq!(engine.count(&plan(&p)).count, expect, "pattern {p}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn counts_invariant_under_machine_count() {
+        let g = gen::erdos_renyi(150, 700, 9);
+        let p = Pattern::cycle(4);
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        for machines in [1, 2, 3, 5, 8] {
+            let engine = engine_for(&g, machines, 1);
+            assert_eq!(engine.count(&plan(&p)).count, expect, "{machines} machines");
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn counts_invariant_under_partitioner() {
+        use gpm_graph::partition::Partitioner;
+        let g = gen::barabasi_albert(250, 5, 15);
+        let p = Pattern::clique(4);
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        for strategy in [Partitioner::Hash, Partitioner::Range] {
+            let pg = PartitionedGraph::with_partitioner(&g, 4, 1, strategy);
+            let engine = Engine::new(pg, EngineConfig::default());
+            assert_eq!(engine.count(&plan(&p)).count, expect, "{strategy:?}");
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn counts_invariant_under_numa_sockets() {
+        let g = gen::erdos_renyi(150, 700, 2);
+        let p = Pattern::clique(4);
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        for sockets in [1, 2, 4] {
+            let engine = engine_for(&g, 2, sockets);
+            assert_eq!(engine.count(&plan(&p)).count, expect, "{sockets} sockets");
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn counts_invariant_under_chunk_capacity() {
+        // Tiny chunks force deep pause/resume chains — the paper's Fig 7
+        // execution — and must not change results.
+        let g = gen::barabasi_albert(150, 4, 3);
+        let p = Pattern::clique(4);
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        for cap in [2usize, 7, 64, 1024, 1 << 20] {
+            let pg = PartitionedGraph::new(&g, 3, 1);
+            let engine = Engine::new(
+                pg,
+                EngineConfig { chunk_capacity: cap, ..EngineConfig::default() },
+            );
+            assert_eq!(engine.count(&plan(&p)).count, expect, "capacity {cap}");
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn counts_invariant_under_thread_count() {
+        let g = gen::erdos_renyi(200, 1200, 4);
+        let p = Pattern::clique(4);
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        for threads in [1usize, 2, 4] {
+            let pg = PartitionedGraph::new(&g, 2, 1);
+            let engine = Engine::new(
+                pg,
+                EngineConfig { compute_threads: threads, ..EngineConfig::default() },
+            );
+            assert_eq!(engine.count(&plan(&p)).count, expect, "{threads} threads");
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn counts_invariant_under_sharing_toggles() {
+        let g = gen::barabasi_albert(250, 5, 6);
+        let p = Pattern::clique(4);
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        for horizontal in [false, true] {
+            for circulant in [false, true] {
+                let pg = PartitionedGraph::new(&g, 4, 1);
+                let engine = Engine::new(
+                    pg,
+                    EngineConfig {
+                        horizontal_sharing: horizontal,
+                        circulant,
+                        ..EngineConfig::default()
+                    },
+                );
+                assert_eq!(engine.count(&plan(&p)).count, expect);
+                engine.shutdown();
+            }
+        }
+    }
+
+    #[test]
+    fn counts_invariant_under_cache_policy() {
+        let g = gen::barabasi_albert(200, 5, 8);
+        let p = Pattern::triangle();
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        for policy in [
+            CachePolicy::Disabled,
+            CachePolicy::Static,
+            CachePolicy::Fifo,
+            CachePolicy::Lifo,
+            CachePolicy::Lru,
+            CachePolicy::Mru,
+        ] {
+            let pg = PartitionedGraph::new(&g, 4, 1);
+            let engine = Engine::new(
+                pg,
+                EngineConfig {
+                    cache: CacheConfig { policy, ..CacheConfig::default() },
+                    ..EngineConfig::default()
+                },
+            );
+            assert_eq!(engine.count(&plan(&p)).count, expect, "{policy:?}");
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn horizontal_sharing_reduces_traffic() {
+        let g = gen::barabasi_albert(300, 6, 1);
+        let p = Pattern::clique(4);
+        let mk = |horizontal: bool| {
+            let pg = PartitionedGraph::new(&g, 4, 1);
+            let engine = Engine::new(
+                pg,
+                EngineConfig {
+                    horizontal_sharing: horizontal,
+                    cache: CacheConfig::disabled(),
+                    ..EngineConfig::default()
+                },
+            );
+            let run = engine.count(&plan(&p));
+            engine.shutdown();
+            run
+        };
+        let with = mk(true);
+        let without = mk(false);
+        assert_eq!(with.count, without.count);
+        assert!(
+            with.traffic.network_bytes < without.traffic.network_bytes,
+            "horizontal sharing must cut traffic ({} vs {})",
+            with.traffic.network_bytes,
+            without.traffic.network_bytes
+        );
+    }
+
+    #[test]
+    fn static_cache_reduces_traffic() {
+        let g = gen::barabasi_albert(300, 6, 2);
+        let p = Pattern::clique(4);
+        let mk = |cache: CacheConfig| {
+            let pg = PartitionedGraph::new(&g, 4, 1);
+            let engine = Engine::new(pg, EngineConfig { cache, ..EngineConfig::default() });
+            let run = engine.count(&plan(&p));
+            engine.shutdown();
+            run
+        };
+        let with = mk(CacheConfig { degree_threshold: 4, ..CacheConfig::default() });
+        let without = mk(CacheConfig::disabled());
+        assert_eq!(with.count, without.count);
+        assert!(with.traffic.network_bytes < without.traffic.network_bytes);
+        assert!(with.traffic.cache_hits > 0);
+    }
+
+    #[test]
+    fn enumerate_visits_every_embedding() {
+        let g = gen::erdos_renyi(80, 350, 8);
+        let p = Pattern::triangle();
+        let engine = engine_for(&g, 2, 1);
+        let seen = std::sync::Mutex::new(Vec::new());
+        let run = engine.enumerate(&plan(&p), |m| {
+            let mut t = m.to_vec();
+            t.sort_unstable();
+            seen.lock().unwrap().push((t[0], t[1], t[2]));
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        assert_eq!(run.count, expect);
+        assert_eq!(seen.len() as u64, expect);
+        seen.dedup();
+        assert_eq!(seen.len() as u64, expect, "duplicate triangles visited");
+        // Each visited triple really is a triangle.
+        for (a, b, c) in seen {
+            assert!(g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c));
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn labeled_pattern_counting() {
+        let g = gen::with_random_labels(&gen::erdos_renyi(150, 700, 5), 3, 9);
+        let p = Pattern::path(3).with_labels(vec![0, 1, 2]).unwrap();
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        let engine = engine_for(&g, 3, 1);
+        assert_eq!(engine.count(&plan(&p)).count, expect);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn induced_pattern_counting() {
+        let g = gen::erdos_renyi(100, 500, 6);
+        let p = Pattern::path(4);
+        let expect = oracle::count_subgraphs(&g, &p, true);
+        let opts = PlanOptions { induced: true, ..PlanOptions::automine() };
+        let plan = MatchingPlan::compile(&p, &opts).unwrap();
+        let engine = engine_for(&g, 3, 1);
+        assert_eq!(engine.count(&plan).count, expect);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn edge_and_single_vertex_patterns() {
+        let g = gen::erdos_renyi(100, 300, 2);
+        let engine = engine_for(&g, 2, 1);
+        assert_eq!(engine.count(&plan(&Pattern::edge())).count, 300);
+        assert_eq!(engine.count(&plan(&Pattern::single_vertex())).count, 100);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn multiple_runs_share_cache() {
+        let g = gen::barabasi_albert(200, 5, 4);
+        let pg = PartitionedGraph::new(&g, 4, 1);
+        let engine = Engine::new(
+            pg,
+            EngineConfig {
+                cache: CacheConfig { degree_threshold: 4, ..CacheConfig::default() },
+                ..EngineConfig::default()
+            },
+        );
+        let p = plan(&Pattern::triangle());
+        let first = engine.count(&p);
+        let warm = engine.count(&p);
+        assert_eq!(first.count, warm.count);
+        assert!(engine.cache_bytes() > 0);
+        assert!(
+            warm.traffic.network_bytes <= first.traffic.network_bytes,
+            "warm cache cannot increase traffic"
+        );
+        engine.reset_caches();
+        assert_eq!(engine.cache_bytes(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn memory_bound_follows_chunk_capacity() {
+        // The §4.2 guarantee: live embeddings never exceed
+        // chunk_capacity x (depth - 1), independent of the graph.
+        let g = gen::barabasi_albert(400, 6, 17);
+        for cap in [8usize, 64, 1024] {
+            let pg = PartitionedGraph::new(&g, 2, 1);
+            let engine = Engine::new(
+                pg,
+                EngineConfig { chunk_capacity: cap, ..EngineConfig::default() },
+            );
+            let run = engine.count(&plan(&Pattern::clique(4)));
+            for part in &run.per_part {
+                assert!(
+                    part.peak_embeddings <= cap * 3,
+                    "cap {cap}: peak {} exceeds bound {}",
+                    part.peak_embeddings,
+                    cap * 3
+                );
+            }
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn sequential_parts_mode_matches_concurrent() {
+        let g = gen::barabasi_albert(300, 5, 19);
+        let p = Pattern::clique(4);
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        let pg = PartitionedGraph::new(&g, 4, 1);
+        let engine = Engine::new(
+            pg,
+            EngineConfig { sequential_parts: true, ..EngineConfig::default() },
+        );
+        let run = engine.count(&plan(&p));
+        engine.shutdown();
+        assert_eq!(run.count, expect);
+        assert_eq!(run.per_part.len(), 4);
+        // The makespan is the max part, never more than the wall clock of
+        // the sequential run and never less than elapsed/parts.
+        let makespan = run.simulated_makespan();
+        assert!(makespan <= run.elapsed);
+        assert!(makespan.as_secs_f64() >= run.elapsed.as_secs_f64() / 8.0);
+    }
+
+    #[test]
+    fn breakdown_is_populated() {
+        let g = gen::erdos_renyi(200, 1000, 1);
+        let engine = engine_for(&g, 2, 1);
+        let run = engine.count(&plan(&Pattern::clique(4)));
+        let b = run.breakdown();
+        assert!(b.compute > 0.0);
+        assert!((b.compute + b.network + b.scheduler - 1.0).abs() < 1e-6);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn find_any_returns_a_real_match_or_none() {
+        let g = gen::erdos_renyi(100, 420, 12);
+        let engine = engine_for(&g, 3, 1);
+        let tri = plan(&Pattern::triangle());
+        match engine.find_any(&tri) {
+            Some(m) => {
+                assert_eq!(m.len(), 3);
+                assert!(g.has_edge(m[0], m[1]) && g.has_edge(m[1], m[2]) && g.has_edge(m[0], m[2]));
+            }
+            None => {
+                assert_eq!(engine.count(&tri).count, 0, "find_any missed a triangle");
+            }
+        }
+        // A pattern that cannot exist.
+        let k6 = plan(&Pattern::clique(6));
+        if engine.count(&k6).count == 0 {
+            assert!(engine.find_any(&k6).is_none());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn enumerate_until_stops_early() {
+        let g = gen::complete(30); // plenty of triangles
+        let engine = engine_for(&g, 2, 1);
+        let seen = std::sync::atomic::AtomicU64::new(0);
+        engine.enumerate_until(&plan(&Pattern::triangle()), |_| {
+            seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed) < 10
+        });
+        let seen = seen.into_inner();
+        let total = engine.count(&plan(&Pattern::triangle())).count;
+        assert!(seen >= 11, "visited at least until the stop signal");
+        assert!(seen < total, "must stop well before all {total} (saw {seen})");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn graphpi_plans_run_too() {
+        let g = gen::erdos_renyi(120, 600, 7);
+        let engine = engine_for(&g, 2, 1);
+        for p in [Pattern::cycle(4), Pattern::house(), Pattern::diamond()] {
+            let plan = MatchingPlan::compile(&p, &PlanOptions::graphpi()).unwrap();
+            let expect = oracle::count_subgraphs(&g, &p, false);
+            assert_eq!(engine.count(&plan).count, expect, "{p}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn iep_pair_counting_in_the_distributed_engine() {
+        let g = gen::barabasi_albert(300, 6, 21);
+        let engine = engine_for(&g, 4, 1);
+        for p in [Pattern::path(3), Pattern::star(4), Pattern::star(5), Pattern::path(4)] {
+            let iep = PlanOptions { iep: true, ..PlanOptions::automine() };
+            let plan = MatchingPlan::compile(&p, &iep).unwrap();
+            let expect = oracle::count_subgraphs(&g, &p, false);
+            assert_eq!(engine.count(&plan).count, expect, "{p}");
+            // Enumeration must ignore the shortcut and still visit every
+            // embedding individually.
+            let seen = std::sync::atomic::AtomicU64::new(0);
+            engine.enumerate(&plan, |_| {
+                seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+            assert_eq!(seen.into_inner(), expect, "enumerate bypasses IEP for {p}");
+        }
+        engine.shutdown();
+    }
+}

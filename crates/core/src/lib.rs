@@ -1,0 +1,60 @@
+//! **Khuzdul** — a distributed graph pattern mining (GPM) execution engine.
+//!
+//! This crate is a from-scratch Rust reproduction of the system described
+//! in *"Khuzdul: Efficient and Scalable Distributed Graph Pattern Mining
+//! Engine"* (Chen & Qian, ASPLOS 2023). It executes pattern enumeration
+//! programs — compiled [`MatchingPlan`]s, the reified form of the paper's
+//! generated `EXTEND` functions — over a 1-D hash-partitioned graph spread
+//! across the machines (and NUMA sockets) of a simulated cluster.
+//!
+//! The engine implements the paper's full mechanism stack:
+//!
+//! * **Extendable embeddings** (§3): each fine-grained task is one
+//!   extension of a partially-constructed embedding whose *active edge
+//!   lists* are locally available; activeness is anti-monotone, so an
+//!   embedding stores at most one new edge list beyond its parent's.
+//! * **BFS-DFS hybrid exploration** (§4.2): embeddings live in per-level
+//!   fixed-capacity *chunks*; exploration is BFS within a chunk and DFS
+//!   across chunks, bounding memory to `depth × chunk` while keeping
+//!   enough concurrent tasks for batched communication.
+//! * **Circulant scheduling** (§4.3): a chunk's missing edge lists are
+//!   bucketed by owner machine and fetched in circulant order, pipelined
+//!   with extension by a dedicated communication thread.
+//! * **Low-cost data sharing** (§5): vertical data reuse via parent
+//!   pointers, vertical *computation* reuse via stored intermediate
+//!   intersection results, horizontal sharing via a collision-dropping
+//!   hash table per chunk, and a never-evicting static cache
+//!   (plus FIFO/LIFO/LRU/MRU variants for the paper's Figure 16 study).
+//! * **NUMA awareness** (§5.4): each socket runs the hybrid exploration
+//!   independently on its sub-partition.
+//!
+//! # Quick start
+//!
+//! ```
+//! use gpm_graph::{gen, partition::PartitionedGraph};
+//! use gpm_pattern::{plan::{MatchingPlan, PlanOptions}, Pattern};
+//! use khuzdul::{Engine, EngineConfig};
+//!
+//! let g = gen::erdos_renyi(300, 1500, 7);
+//! let pg = PartitionedGraph::new(&g, 4, 1); // 4 machines
+//! let engine = Engine::new(pg, EngineConfig::default());
+//! let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
+//! let run = engine.count(&plan);
+//! assert_eq!(run.count, gpm_pattern::oracle::count_subgraphs(&g, &Pattern::triangle(), false));
+//! engine.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+mod chunk;
+mod engine;
+mod runtime;
+pub mod stats;
+
+pub use cache::{CacheConfig, CachePolicy};
+pub use engine::{Engine, EngineConfig};
+pub use stats::{Breakdown, PartStats, RunStats, TrafficSummary};
+
+// Re-export the plan types that form the engine's EXTEND-level interface.
+pub use gpm_pattern::plan::MatchingPlan;

@@ -1,0 +1,653 @@
+//! Per-part execution: the BFS-DFS hybrid loop with its resolve
+//! (communication) and extend (computation) phases.
+//!
+//! Each part (machine × socket) runs [`run_part`] independently over its
+//! owned vertices (§5.4). The loop keeps a stack of per-level [`Chunk`]s:
+//! the deepest chunk with unprocessed embeddings is always processed next
+//! (DFS over chunks), and each chunk's embeddings are extended breadth-
+//! first until the next level's chunk fills (§4.2). Before extension, a
+//! chunk's unresolved edge lists are fetched in circulant owner order,
+//! pipelined through a dedicated communication thread (§4.3).
+
+use crate::cache::SharedCache;
+use crate::chunk::{Chunk, Emb, ListRef, PushOutcome, Resume, StagedChild, NO_PARENT};
+use crate::engine::EngineConfig;
+use crate::stats::PartStats;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use gpm_cluster::{EdgeListClient, FetchedLists};
+use gpm_graph::partition::GraphPart;
+use gpm_graph::{set_ops, Label, VertexId};
+use gpm_pattern::plan::{CandidateSource, LevelPlan, MatchingPlan, PairMode};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Embedding visitor used by `Engine::enumerate`.
+pub(crate) type Visitor<'a> = &'a (dyn Fn(&[VertexId]) + Sync);
+
+/// Everything a part needs to run one plan.
+pub(crate) struct PartCtx<'e> {
+    pub part: Arc<GraphPart>,
+    pub labels: Option<Arc<Vec<Label>>>,
+    pub client: EdgeListClient,
+    pub cache: Arc<SharedCache>,
+    pub plan: &'e MatchingPlan,
+    pub cfg: &'e EngineConfig,
+    pub my_part: usize,
+    pub part_count: usize,
+    pub owner: gpm_graph::partition::OwnerMap,
+    pub visitor: Option<Visitor<'e>>,
+    /// Cooperative cancellation: set by `Engine::enumerate_until` when the
+    /// caller has seen enough embeddings. Checked between scheduling steps
+    /// and work claims, so some in-flight extensions may still complete.
+    pub stop: Option<&'e AtomicBool>,
+}
+
+impl PartCtx<'_> {
+    #[inline]
+    fn label(&self, v: VertexId) -> Option<Label> {
+        self.labels.as_ref().map(|l| l[v as usize])
+    }
+}
+
+/// A fetch job handed to the part's communication thread.
+struct CommJob {
+    target: usize,
+    vertices: Vec<VertexId>,
+    reply: Sender<FetchedLists>,
+}
+
+/// Runs the whole plan on one part, returning its statistics.
+pub(crate) fn run_part(ctx: PartCtx<'_>) -> PartStats {
+    // Dedicated communication thread (§6): fetches are queued so the next
+    // batch's transfer overlaps integration of the current one.
+    let (comm_tx, comm_rx) = unbounded::<CommJob>();
+    let comm_client = ctx.client.clone();
+    let comm_handle = std::thread::Builder::new()
+        .name(format!("khuzdul-comm-{}", ctx.my_part))
+        .spawn(move || {
+            while let Ok(job) = comm_rx.recv() {
+                let lists = comm_client
+                    .fetch(job.target, &job.vertices)
+                    .expect("engine fetched a vertex from a non-owner");
+                let _ = job.reply.send(lists);
+            }
+        })
+        .expect("spawn comm thread");
+
+    let mut run = PartRun::new(ctx, comm_tx);
+    let stats = run.run();
+    drop(run); // closes the comm queue
+    let _ = comm_handle.join();
+    stats
+}
+
+struct PartRun<'e> {
+    ctx: PartCtx<'e>,
+    levels: Vec<Chunk>,
+    root_next: usize,
+    count: u64,
+    compute: Duration,
+    network: Duration,
+    scheduler: Duration,
+    peak_embeddings: usize,
+    comm_tx: Sender<CommJob>,
+}
+
+impl<'e> PartRun<'e> {
+    fn new(ctx: PartCtx<'e>, comm_tx: Sender<CommJob>) -> Self {
+        let depth = ctx.plan.depth();
+        let levels =
+            (0..depth.saturating_sub(1)).map(|_| Chunk::new(ctx.cfg.chunk_capacity)).collect();
+        PartRun {
+            ctx,
+            levels,
+            root_next: 0,
+            count: 0,
+            compute: Duration::ZERO,
+            network: Duration::ZERO,
+            scheduler: Duration::ZERO,
+            peak_embeddings: 0,
+            comm_tx,
+        }
+    }
+
+    fn run(&mut self) -> PartStats {
+        if self.ctx.plan.depth() == 1 {
+            self.count_single_vertices();
+        } else {
+            self.hybrid_loop();
+        }
+        PartStats {
+            count: self.count,
+            compute: self.compute,
+            network: self.network,
+            scheduler: self.scheduler,
+            cache: Duration::ZERO,
+            peak_embeddings: self.peak_embeddings,
+        }
+    }
+
+    fn count_single_vertices(&mut self) {
+        let t0 = Instant::now();
+        let required = self.ctx.plan.root_label();
+        for &v in self.ctx.part.owned() {
+            if required.is_some() && self.ctx.label(v) != required {
+                continue;
+            }
+            self.count += 1;
+            if let Some(visit) = self.ctx.visitor {
+                visit(&[v]);
+            }
+        }
+        self.compute += t0.elapsed();
+    }
+
+    /// The DFS-over-chunks / BFS-within-chunk driver (§4.2, Figure 7).
+    fn hybrid_loop(&mut self) {
+        let owned_len = self.ctx.part.owned().len();
+        loop {
+            if self.ctx.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                break;
+            }
+            // Bottom-up release: a chunk whose work is done and whose
+            // child level is empty can be freed as a whole (the
+            // "terminated" transition of Figure 6, per level).
+            for l in (0..self.levels.len()).rev() {
+                if !self.levels[l].has_work() && !self.levels[l].is_empty() {
+                    let child_empty =
+                        l + 1 >= self.levels.len() || self.levels[l + 1].is_empty();
+                    if child_empty {
+                        self.levels[l].clear();
+                    }
+                }
+            }
+            let live: usize = self.levels.iter().map(|c| c.embs.len()).sum();
+            self.peak_embeddings = self.peak_embeddings.max(live);
+            let cur = (0..self.levels.len()).rev().find(|&l| self.levels[l].has_work());
+            match cur {
+                Some(cur) => {
+                    self.resolve(cur);
+                    self.extend(cur);
+                }
+                None if self.root_next < owned_len => self.seed_roots(),
+                None => break,
+            }
+        }
+    }
+
+    /// Fills the root chunk with the next batch of owned vertices.
+    fn seed_roots(&mut self) {
+        let t0 = Instant::now();
+        let required = self.ctx.plan.root_label();
+        let owned = self.ctx.part.owned();
+        let chunk = &mut self.levels[0];
+        debug_assert!(chunk.is_empty(), "root chunk must be clear before reseeding");
+        while self.root_next < owned.len() && !chunk.is_full() {
+            let v = owned[self.root_next];
+            self.root_next += 1;
+            if required.is_some() && self.ctx.labels.as_ref().map(|l| l[v as usize]) != required
+            {
+                continue;
+            }
+            chunk.embs.push(Emb {
+                parent: NO_PARENT,
+                vertex: v,
+                // Roots are always locally owned.
+                list: if self.ctx.plan.root_active() { ListRef::Local } else { ListRef::None },
+                inter: None,
+            });
+        }
+        chunk.resolved_upto = chunk.embs.len();
+        self.scheduler += t0.elapsed();
+    }
+
+    /// Resolve phase: make every pending edge list of the current chunk
+    /// locally available — local partition, cache, horizontal sharing, or
+    /// batched remote fetch in circulant order.
+    fn resolve(&mut self, cur: usize) {
+        let t0 = Instant::now();
+        let part_count = self.ctx.part_count;
+        let my_part = self.ctx.my_part;
+        let metrics = Arc::clone(self.ctx.client.metrics().part(my_part));
+        let cache_enabled = self.ctx.cache.is_enabled();
+
+        let chunk = &mut self.levels[cur];
+        if chunk.resolved_upto >= chunk.embs.len() {
+            return;
+        }
+        if chunk.resolved_upto == 0 && self.ctx.cfg.horizontal_sharing {
+            chunk.share.reset(chunk.capacity);
+        }
+        let mut buckets: Vec<Vec<(u32, VertexId)>> = vec![Vec::new(); part_count];
+        {
+            let Chunk { embs, share, .. } = chunk;
+            // Index loop: `share` and `embs` are disjoint borrows of the
+            // same chunk, so an iterator over `embs` would lock out the
+            // share-table lookups.
+            #[allow(clippy::needless_range_loop)]
+            for i in chunk.resolved_upto..embs.len() {
+                if embs[i].list != ListRef::Pending {
+                    continue;
+                }
+                let v = embs[i].vertex;
+                let owner = self.ctx.owner.owner(v);
+                if owner == my_part {
+                    embs[i].list = ListRef::Local;
+                    continue;
+                }
+                if cache_enabled {
+                    if let Some(list) = self.ctx.cache.lookup(v) {
+                        metrics.record_cache_hit();
+                        embs[i].list = ListRef::Cached(list);
+                        continue;
+                    }
+                    metrics.record_cache_miss();
+                }
+                if self.ctx.cfg.horizontal_sharing {
+                    if let Some(peer) = share.lookup_or_claim(v, i as u32) {
+                        embs[i].list = ListRef::Peer(peer);
+                        continue;
+                    }
+                }
+                buckets[owner].push((i as u32, v));
+            }
+        }
+        chunk.resolved_upto = chunk.embs.len();
+
+        // Circulant owner order: (K+1) % N, (K+2) % N, … (§4.3). The
+        // ablation switch reverts to natural order.
+        let mut order: Vec<usize> = (1..part_count)
+            .map(|r| (my_part + r) % part_count)
+            .filter(|&t| !buckets[t].is_empty())
+            .collect();
+        if !self.ctx.cfg.circulant {
+            order.sort_unstable();
+        }
+        // Enqueue every batch up front; the comm thread transfers batch
+        // i+1 while we integrate batch i (non-strict pipelining).
+        let mut pending: Vec<(usize, Receiver<FetchedLists>)> = Vec::with_capacity(order.len());
+        for &t in &order {
+            let vertices: Vec<VertexId> = buckets[t].iter().map(|&(_, v)| v).collect();
+            let (tx, rx) = bounded(1);
+            self.comm_tx
+                .send(CommJob { target: t, vertices, reply: tx })
+                .expect("comm thread alive");
+            pending.push((t, rx));
+        }
+        let mut network_wait = Duration::ZERO;
+        for (t, rx) in pending {
+            let tw = Instant::now();
+            let lists = rx.recv().expect("comm thread died");
+            network_wait += tw.elapsed();
+            let chunk = &mut self.levels[cur];
+            for (k, &(emb_i, v)) in buckets[t].iter().enumerate() {
+                let list = lists.list(k);
+                let lr = chunk.push_fetched(list);
+                chunk.embs[emb_i as usize].list = lr;
+                if cache_enabled {
+                    self.ctx.cache.maybe_insert(v, list);
+                }
+            }
+        }
+        self.network += network_wait;
+        self.scheduler += t0.elapsed().saturating_sub(network_wait);
+    }
+
+    /// Extend phase: run the level's extension program over the chunk's
+    /// unprocessed embeddings, in parallel, until the chunk is exhausted
+    /// or the next-level chunk fills.
+    fn extend(&mut self, cur: usize) {
+        let t0 = Instant::now();
+        let plan = self.ctx.plan;
+        let lp = &plan.levels()[cur];
+        let terminal = cur + 1 == plan.levels().len();
+        // IEP pair shortcut (counting only): the second-to-last level
+        // counts pairs instead of materializing the final two loops.
+        let pair = if self.ctx.visitor.is_none() && cur + 2 == plan.levels().len() {
+            plan.pair_count_mode()
+        } else {
+            None
+        };
+
+        let start_cursor = self.levels[cur].cursor;
+        let old_resumes = std::mem::take(&mut self.levels[cur].resumes);
+        let (read, rest) = self.levels.split_at_mut(cur + 1);
+        let read: &[Chunk] = read;
+        let next: Option<Mutex<&mut Chunk>> = if terminal {
+            None
+        } else {
+            Some(Mutex::new(rest.first_mut().expect("next level chunk exists")))
+        };
+
+        let total = read[cur].embs.len();
+        let resume_idx = AtomicUsize::new(0);
+        let cursor = AtomicUsize::new(start_cursor);
+        let full = AtomicBool::new(false);
+        let new_resumes: Mutex<Vec<Resume>> = Mutex::new(Vec::new());
+        let counter = AtomicU64::new(0);
+
+        {
+            let work = Worker {
+                ctx: &self.ctx,
+                read,
+                cur,
+                lp,
+                terminal,
+                pair,
+                next: &next,
+                old_resumes: &old_resumes,
+                resume_idx: &resume_idx,
+                cursor: &cursor,
+                full: &full,
+                new_resumes: &new_resumes,
+                counter: &counter,
+            };
+
+            let pending_work = old_resumes.len() + total.saturating_sub(start_cursor);
+            let threads = self.ctx.cfg.compute_threads.max(1);
+            if threads == 1 || pending_work <= self.ctx.cfg.mini_batch {
+                work.run();
+            } else {
+                crossbeam::thread::scope(|s| {
+                    for t in 0..threads {
+                        let w = &work;
+                        s.builder()
+                            .name(format!("khuzdul-compute-{}-{t}", self.ctx.my_part))
+                            .spawn(move |_| w.run())
+                            .expect("spawn compute thread");
+                    }
+                })
+                .expect("compute scope");
+            }
+        }
+
+        // Write back scheduling state.
+        let consumed_resumes = resume_idx.load(Ordering::SeqCst).min(old_resumes.len());
+        let mut resumes = new_resumes.into_inner();
+        resumes.extend_from_slice(&old_resumes[consumed_resumes..]);
+        // End `next`'s mutable borrow of self.levels before re-borrowing.
+        #[allow(clippy::drop_non_drop)]
+        drop(next);
+        let chunk = &mut self.levels[cur];
+        chunk.cursor = cursor.load(Ordering::SeqCst).min(total);
+        chunk.resumes = resumes;
+        self.count += counter.load(Ordering::SeqCst);
+        self.compute += t0.elapsed();
+    }
+}
+
+/// Shared state of one extend phase; each compute thread runs
+/// [`Worker::run`].
+struct Worker<'a, 'c, 'e> {
+    ctx: &'a PartCtx<'e>,
+    read: &'a [Chunk],
+    cur: usize,
+    lp: &'a LevelPlan,
+    terminal: bool,
+    pair: Option<PairMode>,
+    next: &'a Option<Mutex<&'c mut Chunk>>,
+    old_resumes: &'a [Resume],
+    resume_idx: &'a AtomicUsize,
+    cursor: &'a AtomicUsize,
+    full: &'a AtomicBool,
+    new_resumes: &'a Mutex<Vec<Resume>>,
+    counter: &'a AtomicU64,
+}
+
+impl Worker<'_, '_, '_> {
+    fn run(&self) {
+        let total = self.read[self.cur].embs.len();
+        let mut scratch = Scratch::default();
+        let mut local_count = 0u64;
+        loop {
+            if self.full.load(Ordering::Acquire)
+                || self.ctx.stop.is_some_and(|s| s.load(Ordering::Relaxed))
+            {
+                break;
+            }
+            // Paused embeddings first, then fresh ones.
+            let r = self.resume_idx.fetch_add(1, Ordering::Relaxed);
+            let (emb, from) = if r < self.old_resumes.len() {
+                (self.old_resumes[r].emb, self.old_resumes[r].cand_offset)
+            } else {
+                let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                (i as u32, 0)
+            };
+            if let Some(paused_at) = self.extend_one(emb, from, &mut scratch, &mut local_count)
+            {
+                self.new_resumes.lock().push(Resume { emb, cand_offset: paused_at });
+                self.full.store(true, Ordering::Release);
+                break;
+            }
+        }
+        self.counter.fetch_add(local_count, Ordering::Relaxed);
+    }
+
+    /// Extends one embedding from raw-candidate offset `from`. Returns
+    /// `Some(offset)` if the next chunk filled before all candidates were
+    /// consumed.
+    fn extend_one(
+        &self,
+        emb: u32,
+        from: u32,
+        scratch: &mut Scratch,
+        local_count: &mut u64,
+    ) -> Option<u32> {
+        let ctx = self.ctx;
+        let lp = self.lp;
+        let mut matched = [0 as VertexId; gpm_pattern::MAX_PATTERN_VERTICES];
+        matched_chain(self.read, self.cur, emb, &mut matched);
+        raw_candidates(ctx, self.read, self.cur, emb, lp, &matched, scratch);
+
+        if self.terminal {
+            debug_assert_eq!(from, 0, "terminal levels never pause");
+            if let Some(visit) = ctx.visitor {
+                let mut tuple = [0 as VertexId; gpm_pattern::MAX_PATTERN_VERTICES];
+                tuple[..=self.cur].copy_from_slice(&matched[..=self.cur]);
+                for &cand in &scratch.raw {
+                    if passes_filters(ctx, lp, &matched, cand) {
+                        *local_count += 1;
+                        tuple[self.cur + 1] = cand;
+                        visit(&tuple[..self.cur + 2]);
+                    }
+                }
+            } else {
+                *local_count += count_final(ctx, lp, &matched, &scratch.raw);
+            }
+            return None;
+        }
+
+        if let Some(mode) = self.pair {
+            debug_assert_eq!(from, 0, "pair-counted levels never pause");
+            let k = count_final(ctx, lp, &matched, &scratch.raw);
+            *local_count += match mode {
+                PairMode::Unordered => k * k.saturating_sub(1) / 2,
+                PairMode::Ordered => k * k.saturating_sub(1),
+            };
+            return None;
+        }
+
+        scratch.staged.clear();
+        for (i, &cand) in scratch.raw.iter().enumerate().skip(from as usize) {
+            if passes_filters(ctx, lp, &matched, cand) {
+                scratch.staged.push(StagedChild { vertex: cand, raw_index: i as u32 });
+            }
+        }
+        if scratch.staged.is_empty() {
+            return None;
+        }
+        let inter: Option<&[VertexId]> =
+            if lp.store_intermediate { Some(&scratch.raw) } else { None };
+        let mut next = self
+            .next
+            .as_ref()
+            .expect("non-terminal extension has a next chunk")
+            .lock();
+        match next.try_push_children(emb, &scratch.staged, lp.new_vertex_active, inter) {
+            PushOutcome::All => None,
+            PushOutcome::Partial(n) => Some(scratch.staged[n].raw_index),
+        }
+    }
+}
+
+/// Per-thread scratch buffers.
+#[derive(Default)]
+struct Scratch {
+    raw: Vec<VertexId>,
+    tmp: Vec<VertexId>,
+    staged: Vec<StagedChild>,
+}
+
+/// Reconstructs the matched vertices along the parent chain.
+fn matched_chain(read: &[Chunk], level: usize, emb: u32, out: &mut [VertexId]) {
+    let (mut l, mut e) = (level, emb);
+    loop {
+        out[l] = read[l].embs[e as usize].vertex;
+        if l == 0 {
+            break;
+        }
+        e = read[l].embs[e as usize].parent;
+        l -= 1;
+    }
+}
+
+/// The edge list of the vertex at `pos` along `emb`'s chain — vertical
+/// data reuse by parent-pointer chasing (§5.1).
+fn list_for<'a>(
+    ctx: &'a PartCtx<'_>,
+    read: &'a [Chunk],
+    mut level: usize,
+    mut emb: u32,
+    pos: usize,
+) -> &'a [VertexId] {
+    while level > pos {
+        emb = read[level].embs[emb as usize].parent;
+        level -= 1;
+    }
+    resolve_ref(ctx, &read[level], &read[level].embs[emb as usize])
+}
+
+fn resolve_ref<'a>(ctx: &'a PartCtx<'_>, chunk: &'a Chunk, e: &'a Emb) -> &'a [VertexId] {
+    match &e.list {
+        ListRef::Local => {
+            ctx.part.edge_list(e.vertex).expect("local vertex owned by this part")
+        }
+        ListRef::Cached(list) => list,
+        ListRef::Fetched { start, len } => chunk.fetched(*start, *len),
+        ListRef::Peer(j) => {
+            let peer = &chunk.embs[*j as usize];
+            debug_assert!(!matches!(peer.list, ListRef::Peer(_)), "peer chains are length 1");
+            resolve_ref(ctx, chunk, peer)
+        }
+        ListRef::Pending => panic!("extension reached an unresolved edge list"),
+        ListRef::None => panic!("extension requested an inactive vertex's list"),
+    }
+}
+
+/// Computes the raw candidate set for extending `emb` at level `cur` into
+/// `scratch.raw`, honoring the plan's candidate source (vertical
+/// computation reuse, §5.1).
+fn raw_candidates(
+    ctx: &PartCtx<'_>,
+    read: &[Chunk],
+    cur: usize,
+    emb: u32,
+    lp: &LevelPlan,
+    _matched: &[VertexId],
+    scratch: &mut Scratch,
+) {
+    scratch.raw.clear();
+    let e = &read[cur].embs[emb as usize];
+    match lp.source {
+        CandidateSource::Scratch => {
+            let mut lists: [&[VertexId]; gpm_pattern::MAX_PATTERN_VERTICES] =
+                [&[]; gpm_pattern::MAX_PATTERN_VERTICES];
+            for (k, &pos) in lp.intersect.iter().enumerate() {
+                lists[k] = list_for(ctx, read, cur, emb, pos);
+            }
+            set_ops::intersect_many_into(&lists[..lp.intersect.len()], &mut scratch.raw);
+        }
+        CandidateSource::ParentIntermediate => {
+            let span = e.inter.expect("plan guarantees a stored intermediate");
+            scratch.raw.extend_from_slice(read[cur].inter(span));
+        }
+        CandidateSource::ParentIntermediateAndNew => {
+            let span = e.inter.expect("plan guarantees a stored intermediate");
+            let own = resolve_ref(ctx, &read[cur], e);
+            set_ops::intersect_into(read[cur].inter(span), own, &mut scratch.raw);
+        }
+    }
+    if !lp.subtract.is_empty() {
+        for &pos in &lp.subtract {
+            let list = list_for(ctx, read, cur, emb, pos);
+            scratch.tmp.clear();
+            set_ops::subtract_into(&scratch.raw, list, &mut scratch.tmp);
+            std::mem::swap(&mut scratch.raw, &mut scratch.tmp);
+        }
+    }
+}
+
+/// Order/injectivity/label filters for one candidate.
+#[inline]
+fn passes_filters(
+    ctx: &PartCtx<'_>,
+    lp: &LevelPlan,
+    matched: &[VertexId],
+    cand: VertexId,
+) -> bool {
+    for &p in &lp.lower {
+        if cand <= matched[p] {
+            return false;
+        }
+    }
+    for &p in &lp.upper {
+        if cand >= matched[p] {
+            return false;
+        }
+    }
+    for &p in &lp.distinct {
+        if cand == matched[p] {
+            return false;
+        }
+    }
+    if let Some(required) = lp.label {
+        if ctx.label(cand) != Some(required) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Final-level counting shortcut: order statistics instead of iteration
+/// where the filters allow it.
+fn count_final(
+    ctx: &PartCtx<'_>,
+    lp: &LevelPlan,
+    matched: &[VertexId],
+    raw: &[VertexId],
+) -> u64 {
+    if lp.label.is_some() {
+        return raw.iter().filter(|&&c| passes_filters(ctx, lp, matched, c)).count() as u64;
+    }
+    let lo: Option<VertexId> = lp.lower.iter().map(|&p| matched[p]).max();
+    let hi: Option<VertexId> = lp.upper.iter().map(|&p| matched[p]).min();
+    let begin = lo.map_or(0, |b| raw.partition_point(|&c| c <= b));
+    let end = hi.map_or(raw.len(), |b| raw.partition_point(|&c| c < b));
+    if begin >= end {
+        return 0;
+    }
+    let mut count = (end - begin) as u64;
+    for &p in &lp.distinct {
+        let m = matched[p];
+        let in_range = lo.is_none_or(|b| m > b) && hi.is_none_or(|b| m < b);
+        if in_range && set_ops::contains(raw, m) {
+            count -= 1;
+        }
+    }
+    count
+}

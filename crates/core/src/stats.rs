@@ -1,0 +1,200 @@
+//! Run statistics: counts, timing breakdown, and traffic summary.
+
+use std::time::Duration;
+
+/// Per-part timing and output of one run.
+#[derive(Debug, Clone, Default)]
+pub struct PartStats {
+    /// Embeddings produced (or visited) by this part.
+    pub count: u64,
+    /// Wall time spent extending embeddings (the paper's "compute").
+    pub compute: Duration,
+    /// Wall time blocked waiting for remote data (the paper's "network").
+    pub network: Duration,
+    /// Wall time in resolve-phase bookkeeping: bucketing, horizontal
+    /// table, cache queries, chunk management (the paper's "scheduler").
+    pub scheduler: Duration,
+    /// Wall time maintaining a general software cache (task↔data map
+    /// updates, reference GC). Zero for Khuzdul, whose static cache has no
+    /// such bookkeeping; reported by the G-thinker baseline (Figure 15).
+    pub cache: Duration,
+    /// Peak number of live extendable embeddings across all levels of
+    /// this part — the §4.2 memory bound: at most
+    /// `chunk_capacity × (depth - 1)` regardless of graph size.
+    pub peak_embeddings: usize,
+}
+
+/// Fractional runtime breakdown (Figure 15).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Breakdown {
+    /// Fraction of accounted time spent computing extensions.
+    pub compute: f64,
+    /// Fraction blocked on communication.
+    pub network: f64,
+    /// Fraction in scheduling/bookkeeping.
+    pub scheduler: f64,
+    /// Fraction in cache maintenance (reported separately only by the
+    /// G-thinker baseline; folded into `scheduler` for Khuzdul).
+    pub cache: f64,
+}
+
+/// Communication summary of one run (deltas over the run window).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSummary {
+    /// Bytes that crossed machine boundaries.
+    pub network_bytes: u64,
+    /// Bytes that crossed only NUMA-socket boundaries.
+    pub cross_socket_bytes: u64,
+    /// Fetch requests issued.
+    pub requests: u64,
+    /// Software-cache hits during the run.
+    pub cache_hits: u64,
+    /// Software-cache misses during the run.
+    pub cache_misses: u64,
+}
+
+impl TrafficSummary {
+    /// Cache hit rate in `[0, 1]`, or `None` without lookups.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+}
+
+/// The result of one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total embeddings counted (or visited).
+    pub count: u64,
+    /// End-to-end wall time.
+    pub elapsed: Duration,
+    /// Per-part detail.
+    pub per_part: Vec<PartStats>,
+    /// Communication summary.
+    pub traffic: TrafficSummary,
+}
+
+impl RunStats {
+    /// The simulated cluster makespan: the busiest part's accounted time
+    /// (compute + network + scheduler + cache).
+    ///
+    /// On a host with fewer physical cores than simulated machines the
+    /// wall-clock `elapsed` of a run measures core contention, not the
+    /// cluster; the makespan of per-part busy times is the standard
+    /// work-span estimate of what an actual cluster would take. Most
+    /// accurate when the engine ran with
+    /// `EngineConfig::sequential_parts = true`, which removes the
+    /// contention from the per-part timers themselves.
+    pub fn simulated_makespan(&self) -> Duration {
+        self.per_part
+            .iter()
+            .map(|p| p.compute + p.network + p.scheduler + p.cache)
+            .max()
+            .unwrap_or(self.elapsed)
+    }
+
+    /// Aggregated fractional breakdown over all parts.
+    pub fn breakdown(&self) -> Breakdown {
+        let sum = |f: fn(&PartStats) -> Duration| -> f64 {
+            self.per_part.iter().map(|p| f(p).as_secs_f64()).sum()
+        };
+        let compute = sum(|p| p.compute);
+        let network = sum(|p| p.network);
+        let scheduler = sum(|p| p.scheduler);
+        let cache = sum(|p| p.cache);
+        let total = compute + network + scheduler + cache;
+        if total == 0.0 {
+            return Breakdown { compute: 0.0, network: 0.0, scheduler: 0.0, cache: 0.0 };
+        }
+        Breakdown {
+            compute: compute / total,
+            network: network / total,
+            scheduler: scheduler / total,
+            cache: cache / total,
+        }
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    /// One-line human summary: count, wall time, traffic, breakdown.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.breakdown();
+        write!(
+            f,
+            "{} embeddings in {:.3?} ({} net bytes / {} fetches; {:.0}% compute, \
+             {:.0}% network, {:.0}% scheduler)",
+            self.count,
+            self.elapsed,
+            self.traffic.network_bytes,
+            self.traffic.requests,
+            b.compute * 100.0,
+            b.network * 100.0,
+            b.scheduler * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_summary_mentions_everything() {
+        let stats = RunStats {
+            count: 42,
+            elapsed: Duration::from_millis(5),
+            per_part: vec![PartStats {
+                compute: Duration::from_millis(4),
+                network: Duration::from_millis(1),
+                ..PartStats::default()
+            }],
+            traffic: TrafficSummary { network_bytes: 1000, requests: 3, ..Default::default() },
+        };
+        let s = stats.to_string();
+        assert!(s.contains("42 embeddings"));
+        assert!(s.contains("1000 net bytes"));
+        assert!(s.contains("compute"));
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let stats = RunStats {
+            count: 1,
+            elapsed: Duration::from_secs(1),
+            per_part: vec![
+                PartStats {
+                    count: 1,
+                    compute: Duration::from_millis(600),
+                    network: Duration::from_millis(300),
+                    scheduler: Duration::from_millis(100),
+                    ..PartStats::default()
+                },
+                PartStats {
+                    count: 0,
+                    compute: Duration::from_millis(400),
+                    network: Duration::from_millis(500),
+                    scheduler: Duration::from_millis(100),
+                    ..PartStats::default()
+                },
+            ],
+            traffic: TrafficSummary::default(),
+        };
+        let b = stats.breakdown();
+        assert!((b.compute + b.network + b.scheduler + b.cache - 1.0).abs() < 1e-9);
+        assert!((b.compute - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = RunStats::default().breakdown();
+        assert_eq!(b.compute, 0.0);
+        assert_eq!(b.network, 0.0);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let t = TrafficSummary { cache_hits: 3, cache_misses: 1, ..Default::default() };
+        assert!((t.cache_hit_rate().unwrap() - 0.75).abs() < 1e-9);
+        assert_eq!(TrafficSummary::default().cache_hit_rate(), None);
+    }
+}

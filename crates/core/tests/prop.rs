@@ -1,0 +1,88 @@
+//! Property-based tests: the distributed engine must agree with the
+//! single-machine reference interpreter for arbitrary graphs, patterns,
+//! and engine configurations.
+
+use gpm_graph::partition::PartitionedGraph;
+use gpm_graph::{gen, GraphBuilder};
+use gpm_pattern::plan::{MatchingPlan, PlanOptions};
+use gpm_pattern::{interp, Pattern};
+use khuzdul::{CacheConfig, CachePolicy, Engine, EngineConfig};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::edge()),
+        Just(Pattern::triangle()),
+        Just(Pattern::path(3)),
+        Just(Pattern::path(4)),
+        Just(Pattern::star(4)),
+        Just(Pattern::cycle(4)),
+        Just(Pattern::clique(4)),
+        Just(Pattern::tailed_triangle()),
+        Just(Pattern::diamond()),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = EngineConfig> {
+    (
+        prop_oneof![Just(4usize), Just(64), Just(4096)],
+        1usize..=3,
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![
+            Just(CachePolicy::Disabled),
+            Just(CachePolicy::Static),
+            Just(CachePolicy::Lru),
+        ],
+    )
+        .prop_map(|(chunk, threads, horizontal, circulant, policy)| EngineConfig {
+            chunk_capacity: chunk,
+            compute_threads: threads,
+            horizontal_sharing: horizontal,
+            circulant,
+            cache: CacheConfig { policy, degree_threshold: 4, ..CacheConfig::default() },
+            ..EngineConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_matches_interpreter(
+        edges in prop::collection::vec((0u32..60, 0u32..60), 30..200),
+        p in arb_pattern(),
+        cfg in arb_config(),
+        machines in 1usize..5,
+        sockets in 1usize..3,
+    ) {
+        let g = edges.into_iter().collect::<GraphBuilder>().build();
+        if g.vertex_count() < 2 { return Ok(()); }
+        let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+        let expect = interp::count_embeddings(&g, &plan);
+        let pg = PartitionedGraph::new(&g, machines, sockets);
+        let engine = Engine::new(pg, cfg);
+        let run = engine.count(&plan);
+        engine.shutdown();
+        prop_assert_eq!(run.count, expect);
+    }
+
+    #[test]
+    fn engine_enumerate_agrees_with_count(
+        seed in 0u64..500,
+        p in arb_pattern(),
+    ) {
+        let g = gen::erdos_renyi(50, 200, seed);
+        let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+        let pg = PartitionedGraph::new(&g, 3, 1);
+        let engine = Engine::new(pg, EngineConfig::default());
+        let seen = std::sync::atomic::AtomicU64::new(0);
+        let run = engine.enumerate(&plan, |_| {
+            seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        let counted = engine.count(&plan);
+        engine.shutdown();
+        prop_assert_eq!(run.count, seen.into_inner());
+        prop_assert_eq!(run.count, counted.count);
+    }
+}

@@ -1,0 +1,168 @@
+//! Graph analysis utilities: degree distributions, clustering, and
+//! connectivity — used to characterize dataset stand-ins (skew class) and
+//! by tests that need structural ground truth.
+
+use crate::csr::Graph;
+use crate::VertexId;
+
+/// Histogram of vertex degrees in log2 buckets: `buckets[i]` counts
+/// vertices with degree in `[2^i, 2^(i+1))` (`buckets[0]` includes degree
+/// 0 and 1).
+///
+/// Power-law graphs show a long, slowly-decaying tail; ER graphs
+/// concentrate in two or three buckets — the skew classes the dataset
+/// registry is built around.
+pub fn degree_histogram_log2(g: &Graph) -> Vec<usize> {
+    let mut buckets: Vec<usize> = Vec::new();
+    for v in g.vertices() {
+        let d = g.degree(v);
+        let b = if d <= 1 { 0 } else { (u32::BITS - d.leading_zeros() - 1) as usize };
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+}
+
+/// Gini coefficient of the degree distribution, in `[0, 1)`: 0 is
+/// perfectly uniform, larger is more skewed. A compact single-number
+/// skew indicator for the dataset registry.
+pub fn degree_gini(g: &Graph) -> f64 {
+    let n = g.vertex_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut degrees: Vec<u64> = g.vertices().map(|v| g.degree(v) as u64).collect();
+    degrees.sort_unstable();
+    let total: u64 = degrees.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // Gini = (2 * sum(i * d_i) / (n * total)) - (n + 1) / n, 1-indexed.
+    let weighted: u128 =
+        degrees.iter().enumerate().map(|(i, &d)| (i as u128 + 1) * d as u128).sum();
+    (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+/// Global clustering coefficient: `3 × triangles / open wedges`.
+/// Returns `None` when the graph has no wedge (no vertex of degree ≥ 2).
+pub fn global_clustering(g: &Graph) -> Option<f64> {
+    let mut triangles = 0u64;
+    let mut wedges = 0u64;
+    for v in g.vertices() {
+        let d = g.degree(v) as u64;
+        wedges += d * d.saturating_sub(1) / 2;
+        for &u in g.neighbors(v) {
+            if u > v {
+                triangles +=
+                    crate::set_ops::intersect_count(g.neighbors(v), g.neighbors(u)) as u64;
+            }
+        }
+    }
+    // Each triangle was counted once per edge with u > v => 3 times total.
+    (wedges > 0).then(|| triangles as f64 / wedges as f64)
+}
+
+/// Connected components: returns `(component_count, component_id)` with
+/// ids in `0..count`, assigned in order of each component's smallest
+/// vertex.
+pub fn connected_components(g: &Graph) -> (usize, Vec<u32>) {
+    let n = g.vertex_count();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack: Vec<VertexId> = Vec::new();
+    for v in g.vertices() {
+        if comp[v as usize] != u32::MAX {
+            continue;
+        }
+        comp[v as usize] = count;
+        stack.push(v);
+        while let Some(u) = stack.pop() {
+            for &w in g.neighbors(u) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, comp)
+}
+
+/// Size of the largest connected component.
+pub fn largest_component_size(g: &Graph) -> usize {
+    let (count, comp) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for c in comp {
+        sizes[c as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, GraphBuilder};
+
+    #[test]
+    fn histogram_buckets() {
+        // Star(9): center degree 8 (bucket 3), leaves degree 1 (bucket 0).
+        let h = degree_histogram_log2(&gen::star(9));
+        assert_eq!(h[0], 8);
+        assert_eq!(h[3], 1);
+        assert_eq!(h.iter().sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn gini_orders_skew_classes() {
+        let er = gen::erdos_renyi(2000, 16000, 1);
+        let ba = gen::barabasi_albert(2000, 8, 1);
+        let regular = gen::cycle(2000);
+        let g_er = degree_gini(&er);
+        let g_ba = degree_gini(&ba);
+        let g_reg = degree_gini(&regular);
+        assert!(g_reg < 1e-9, "regular graph has zero Gini, got {g_reg}");
+        assert!(g_ba > g_er, "BA ({g_ba:.3}) must be more skewed than ER ({g_er:.3})");
+        assert!(g_ba > 0.2);
+    }
+
+    #[test]
+    fn clustering_known_values() {
+        // Complete graph: every wedge closes.
+        assert!((global_clustering(&gen::complete(6)).unwrap() - 1.0).abs() < 1e-9);
+        // Star: no triangles.
+        assert_eq!(global_clustering(&gen::star(6)).unwrap(), 0.0);
+        // Edgeless / wedge-less.
+        assert_eq!(global_clustering(&crate::Graph::empty(5)), None);
+        // Triangle plus pendant: 1 triangle, wedges = 3*1 + C(3,2)=3 at
+        // the degree-3 vertex => v degrees [2,2,3,1]: wedges=1+1+3+0=5.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).add_edge(2, 3);
+        let c = global_clustering(&b.build()).unwrap();
+        assert!((c - 3.0 / 5.0).abs() < 1e-9, "{c}");
+    }
+
+    #[test]
+    fn components() {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+        // 5, 6 isolated.
+        let g = b.build();
+        let (count, comp) = connected_components(&g);
+        assert_eq!(count, 4);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[6]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn ba_graphs_are_connected() {
+        let g = gen::barabasi_albert(500, 3, 9);
+        assert_eq!(largest_component_size(&g), 500);
+    }
+}

@@ -1,0 +1,323 @@
+//! Compressed sparse row (CSR) graph representation.
+
+use crate::{Degree, Label, VertexId};
+
+/// Whether a [`Graph`] stores both directions of every edge or only the
+/// degree-oriented direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// Every undirected edge `{u, v}` appears in both `neighbors(u)` and
+    /// `neighbors(v)`.
+    Undirected,
+    /// The graph has been converted to a DAG by the orientation
+    /// preprocessing ([`crate::orient::orient_by_degree`]); each edge
+    /// appears exactly once, from the lower-ranked to the higher-ranked
+    /// endpoint.
+    Oriented,
+}
+
+/// An immutable graph in CSR form with sorted adjacency lists.
+///
+/// Adjacency lists are sorted in ascending vertex order, which the engine
+/// relies on for merge-based intersection during embedding extension.
+///
+/// # Example
+///
+/// ```
+/// use gpm_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(2, 0);
+/// b.add_edge(2, 3);
+/// let g = b.build();
+/// assert_eq!(g.vertex_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.neighbors(2), &[0, 1, 3]);
+/// assert!(g.has_edge(0, 2));
+/// assert!(!g.has_edge(0, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    kind: GraphKind,
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+    labels: Option<Vec<Label>>,
+    /// Per-adjacency-entry edge labels, aligned with `neighbors`.
+    edge_labels: Option<Vec<Label>>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        kind: GraphKind,
+        offsets: Vec<u64>,
+        neighbors: Vec<VertexId>,
+        labels: Option<Vec<Label>>,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        if let Some(l) = &labels {
+            debug_assert_eq!(l.len() + 1, offsets.len());
+        }
+        Graph { kind, offsets, neighbors, labels, edge_labels: None }
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph::from_parts(GraphKind::Undirected, vec![0; n + 1], Vec::new(), None)
+    }
+
+    /// Whether this graph is undirected or degree-oriented.
+    pub fn kind(&self) -> GraphKind {
+        self.kind
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges. For [`GraphKind::Undirected`] graphs each edge
+    /// `{u, v}` is counted once even though it is stored twice; for
+    /// [`GraphKind::Oriented`] graphs this is the stored arc count.
+    pub fn edge_count(&self) -> usize {
+        match self.kind {
+            GraphKind::Undirected => self.neighbors.len() / 2,
+            GraphKind::Oriented => self.neighbors.len(),
+        }
+    }
+
+    /// Total number of stored adjacency entries (`2|E|` for undirected).
+    pub fn adjacency_len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The sorted neighbor list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of `v` (out-degree for oriented graphs).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> Degree {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as Degree
+    }
+
+    /// Largest degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> Degree {
+        (0..self.vertex_count() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether the edge `(u, v)` is stored, via binary search on `u`'s list.
+    ///
+    /// For oriented graphs this checks the stored direction only.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The label of `v`, or `None` if the graph is unlabeled.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Option<Label> {
+        self.labels.as_ref().map(|l| l[v as usize])
+    }
+
+    /// The full label array, if present.
+    pub fn labels(&self) -> Option<&[Label]> {
+        self.labels.as_deref()
+    }
+
+    /// Whether the graph carries vertex labels.
+    pub fn is_labeled(&self) -> bool {
+        self.labels.is_some()
+    }
+
+    /// Returns a copy of this graph with the given labels attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != self.vertex_count()`.
+    pub fn with_labels(&self, labels: Vec<Label>) -> Graph {
+        assert_eq!(labels.len(), self.vertex_count(), "label array size mismatch");
+        Graph { labels: Some(labels), ..self.clone() }
+    }
+
+    /// Whether the graph carries per-edge labels (the paper's named
+    /// extension — "edge label support can be added without fundamental
+    /// difficulty", §2.1).
+    pub fn has_edge_labels(&self) -> bool {
+        self.edge_labels.is_some()
+    }
+
+    /// Label of the edge `{u, v}`: `None` if the graph has no edge labels
+    /// or the edge does not exist.
+    pub fn edge_label(&self, u: VertexId, v: VertexId) -> Option<Label> {
+        let el = self.edge_labels.as_ref()?;
+        let lo = self.offsets[u as usize] as usize;
+        let pos = self.neighbors(u).binary_search(&v).ok()?;
+        Some(el[lo + pos])
+    }
+
+    /// Attaches edge labels via a function of the (unordered) endpoints.
+    /// Both stored directions of an edge receive the same label.
+    pub fn with_edge_labels_by(&self, f: impl Fn(VertexId, VertexId) -> Label) -> Graph {
+        let mut el = Vec::with_capacity(self.neighbors.len());
+        for u in self.vertices() {
+            for &v in self.neighbors(u) {
+                el.push(f(u.min(v), u.max(v)));
+            }
+        }
+        Graph { edge_labels: Some(el), ..self.clone() }
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.vertex_count() as VertexId
+    }
+
+    /// Iterator over every stored arc `(u, v)`.
+    ///
+    /// For undirected graphs each edge is yielded twice (once per
+    /// direction); use [`Graph::edges`] for the deduplicated view.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterator over undirected edges with `u <= v` (or all arcs if
+    /// oriented).
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        let oriented = self.kind == GraphKind::Oriented;
+        self.arcs().filter(move |&(u, v)| oriented || u <= v)
+    }
+
+    /// In-memory size of the CSR arrays in bytes, the paper's "graph size"
+    /// notion used to express cache capacities as a fraction of graph size.
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.labels.as_ref().map_or(0, |l| l.len() * std::mem::size_of::<Label>())
+            + self.edge_labels.as_ref().map_or(0, |l| l.len() * std::mem::size_of::<Label>())
+    }
+
+    /// Sum of degrees of `v`'s neighborhood; a cheap skew indicator used by
+    /// tests and dataset descriptions.
+    pub fn neighborhood_weight(&self, v: VertexId) -> u64 {
+        self.neighbors(v).iter().map(|&u| self.degree(u) as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.adjacency_len(), 8);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let g = triangle_plus_tail();
+        for v in g.vertices() {
+            let n = g.neighbors(v);
+            assert!(n.windows(2).all(|w| w[0] < w[1]), "unsorted list for {v}");
+        }
+    }
+
+    #[test]
+    fn has_edge_is_symmetric_for_undirected() {
+        let g = triangle_plus_tail();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(g.has_edge(u, v), g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_yields_each_edge_once() {
+        let g = triangle_plus_tail();
+        let mut e: Vec<_> = g.edges().collect();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.neighbors(4).is_empty());
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let g = triangle_plus_tail();
+        assert!(!g.is_labeled());
+        assert_eq!(g.label(0), None);
+        let g = g.with_labels(vec![7, 7, 9, 3]);
+        assert!(g.is_labeled());
+        assert_eq!(g.label(2), Some(9));
+        assert_eq!(g.labels().unwrap(), &[7, 7, 9, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label array size mismatch")]
+    fn wrong_label_len_panics() {
+        triangle_plus_tail().with_labels(vec![1, 2]);
+    }
+
+    #[test]
+    fn size_bytes_counts_all_arrays() {
+        let g = triangle_plus_tail();
+        let base = 5 * 8 + 8 * 4;
+        assert_eq!(g.size_bytes(), base);
+        let gl = g.with_labels(vec![0; 4]);
+        assert_eq!(gl.size_bytes(), base + 4 * 2);
+    }
+
+    #[test]
+    fn edge_labels_by_function() {
+        let g = triangle_plus_tail();
+        assert!(!g.has_edge_labels());
+        assert_eq!(g.edge_label(0, 1), None);
+        let gl = g.with_edge_labels_by(|u, v| (u + v) as crate::Label);
+        assert!(gl.has_edge_labels());
+        // Symmetric lookup, same value from either direction.
+        assert_eq!(gl.edge_label(0, 1), Some(1));
+        assert_eq!(gl.edge_label(1, 0), Some(1));
+        assert_eq!(gl.edge_label(2, 3), Some(5));
+        // Missing edges have no label.
+        assert_eq!(gl.edge_label(0, 3), None);
+        // Size accounting includes the edge-label array.
+        assert_eq!(gl.size_bytes(), g.size_bytes() + 8 * 2);
+    }
+}

@@ -1,0 +1,353 @@
+//! Deterministic synthetic graph generators.
+//!
+//! These are the stand-ins for the paper's datasets (see `DESIGN.md` §1):
+//! [`barabasi_albert`] and [`rmat`] produce the skewed, power-law degree
+//! distributions of web/social graphs (LiveJournal, UK, Twitter, …), while
+//! [`erdos_renyi`] produces the flat degree profile of the Patents graph.
+//! All generators are deterministic given the seed.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::{Label, VertexId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// G(n, m) Erdős–Rényi graph: `m` distinct uniform random edges.
+///
+/// Duplicate samples are rejected, so the result has exactly
+/// `min(m, n*(n-1)/2)` edges. Degree distribution is binomial — the
+/// "less-skewed, Patents-like" regime of the paper (§7.2, §7.5).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::new(n);
+    while seen.len() < m {
+        let u = rng.random_range(0..n) as VertexId;
+        let v = rng.random_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_attach` existing vertices chosen proportionally to degree.
+///
+/// Produces a power-law degree distribution ("rich get richer") — the
+/// skewed regime where Khuzdul's static cache and horizontal sharing shine.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
+    assert!(m_attach >= 1, "attachment count must be positive");
+    assert!(n > m_attach, "need more vertices than the attachment count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoint list: sampling an element uniformly is sampling a
+    // vertex proportionally to its degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    // Seed clique over the first m_attach + 1 vertices.
+    for u in 0..=m_attach as VertexId {
+        for v in 0..u {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut targets = Vec::with_capacity(m_attach);
+    for u in (m_attach + 1) as VertexId..n as VertexId {
+        targets.clear();
+        while targets.len() < m_attach {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(u, t);
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// R-MAT recursive-matrix generator (`2^scale` vertices,
+/// `edge_factor * 2^scale` sampled edges before deduplication).
+///
+/// The `(a, b, c)` probabilities (with `d = 1 - a - b - c`) control skew;
+/// the classic Graph500 parameters `(0.57, 0.19, 0.19)` give a heavy-tailed
+/// distribution comparable to web crawls (uk/tw stand-ins).
+pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64), seed: u64) -> Graph {
+    let (a, bb, c) = probs;
+    let d = 1.0 - a - bb - c;
+    assert!(a > 0.0 && bb >= 0.0 && c >= 0.0 && d >= 0.0, "invalid R-MAT probabilities");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.random();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + bb {
+                (0, 1)
+            } else if r < a + bb + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        b.add_edge(u as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex
+/// connects to its `k` nearest neighbors (k even), with each edge rewired
+/// to a uniform random endpoint with probability `beta`.
+///
+/// Small-world graphs have high clustering with near-uniform degree — a
+/// third degree regime between ER and the power-law generators, used by
+/// tests that need triangle-rich but unskewed inputs.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(n > k, "need more vertices than the ring degree");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for d in 1..=(k / 2) {
+            let mut u = (v + d) % n;
+            if rng.random::<f64>() < beta {
+                // Rewire to a random endpoint (avoiding self-loops; the
+                // builder drops any duplicate that results).
+                let r = rng.random_range(0..n);
+                if r != v {
+                    u = r;
+                }
+            }
+            b.add_edge(v as VertexId, u as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in 0..u {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Star with one center (vertex 0) and `n - 1` leaves.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Simple path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle on `n >= 3` vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b.add_edge(v - 1, v);
+    }
+    b.add_edge(n as VertexId - 1, 0);
+    b.build()
+}
+
+/// `w × h` grid graph.
+pub fn grid(w: usize, h: usize) -> Graph {
+    let mut b = GraphBuilder::new(w * h);
+    let id = |x: usize, y: usize| (y * w + x) as VertexId;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}`.
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    let mut b = GraphBuilder::new(a + b_size);
+    for u in 0..a as VertexId {
+        for v in 0..b_size as VertexId {
+            b.add_edge(u, a as VertexId + v);
+        }
+    }
+    b.build()
+}
+
+/// Attaches uniform random labels from `0..label_count` to `g`.
+///
+/// This mirrors the paper's FSM methodology: "for unlabeled datasets like
+/// lj, we randomly synthesized their labels" (§7.2).
+pub fn with_random_labels(g: &Graph, label_count: Label, seed: u64) -> Graph {
+    assert!(label_count >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<Label> =
+        (0..g.vertex_count()).map(|_| rng.random_range(0..label_count)).collect();
+    g.with_labels(labels)
+}
+
+/// Attaches uniform random **edge** labels from `0..label_count` to `g`,
+/// deterministic in the seed and symmetric across edge directions.
+pub fn with_random_edge_labels(g: &Graph, label_count: Label, seed: u64) -> Graph {
+    assert!(label_count >= 1);
+    g.with_edge_labels_by(|u, v| {
+        let h = gpm_hash(u as u64) ^ gpm_hash((v as u64) << 20) ^ gpm_hash(seed << 40);
+        (h % label_count as u64) as Label
+    })
+}
+
+fn gpm_hash(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 27)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_exact_edge_count_and_determinism() {
+        let g1 = erdos_renyi(100, 300, 7);
+        let g2 = erdos_renyi(100, 300, 7);
+        assert_eq!(g1.edge_count(), 300);
+        assert_eq!(g1, g2);
+        let g3 = erdos_renyi(100, 300, 8);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn er_caps_at_complete() {
+        let g = erdos_renyi(5, 1000, 1);
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn ba_is_connected_and_skewed() {
+        let g = barabasi_albert(500, 3, 11);
+        assert_eq!(g.vertex_count(), 500);
+        // Every non-seed vertex has degree >= m_attach.
+        for v in g.vertices() {
+            assert!(g.degree(v) >= 3, "vertex {v} under-attached");
+        }
+        // Power-law: max degree far above the mean.
+        let mean = g.adjacency_len() as f64 / 500.0;
+        assert!(g.max_degree() as f64 > 4.0 * mean, "expected a skewed hub");
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(8, 8, (0.57, 0.19, 0.19), 3);
+        assert_eq!(g.vertex_count(), 256);
+        assert!(g.edge_count() > 0);
+        assert!(g.edge_count() <= 8 * 256);
+        let mean = g.adjacency_len() as f64 / 256.0;
+        assert!(g.max_degree() as f64 > 3.0 * mean, "R-MAT should be skewed");
+    }
+
+    #[test]
+    fn watts_strogatz_ring_and_rewired() {
+        // beta = 0: pure ring lattice, exactly n*k/2 edges, degree k.
+        let ring = watts_strogatz(50, 4, 0.0, 1);
+        assert_eq!(ring.edge_count(), 100);
+        for v in ring.vertices() {
+            assert_eq!(ring.degree(v), 4);
+        }
+        // beta = 0.3: deterministic, similar edge count, degrees vary.
+        let sw = watts_strogatz(50, 4, 0.3, 1);
+        assert_eq!(sw, watts_strogatz(50, 4, 0.3, 1));
+        assert!(sw.edge_count() <= 100 && sw.edge_count() > 80);
+        // Clustered: the ring lattice has triangles.
+        let mut tri = 0u64;
+        for u in ring.vertices() {
+            for &v in ring.neighbors(u) {
+                if v > u {
+                    tri += crate::set_ops::intersect_count(
+                        ring.neighbors(u),
+                        ring.neighbors(v),
+                    ) as u64;
+                }
+            }
+        }
+        assert!(tri > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn watts_strogatz_odd_k_panics() {
+        watts_strogatz(10, 3, 0.1, 1);
+    }
+
+    #[test]
+    fn structured_fixtures() {
+        assert_eq!(complete(5).edge_count(), 10);
+        assert_eq!(star(6).edge_count(), 5);
+        assert_eq!(star(6).degree(0), 5);
+        assert_eq!(path(4).edge_count(), 3);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(grid(3, 2).edge_count(), 7);
+        assert_eq!(complete_bipartite(2, 3).edge_count(), 6);
+    }
+
+    #[test]
+    fn random_edge_labels_symmetric_and_bounded() {
+        let g = with_random_edge_labels(&erdos_renyi(60, 200, 1), 3, 9);
+        assert!(g.has_edge_labels());
+        for (u, v) in g.edges() {
+            let l = g.edge_label(u, v).unwrap();
+            assert!(l < 3);
+            assert_eq!(g.edge_label(v, u), Some(l));
+        }
+        // Deterministic.
+        let g2 = with_random_edge_labels(&erdos_renyi(60, 200, 1), 3, 9);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn random_labels_cover_range() {
+        let g = with_random_labels(&complete(50), 4, 5);
+        let labels = g.labels().unwrap();
+        assert!(labels.iter().all(|&l| l < 4));
+        // With 50 draws and 4 labels, each should almost surely appear.
+        for l in 0..4 {
+            assert!(labels.contains(&l), "label {l} missing");
+        }
+    }
+}

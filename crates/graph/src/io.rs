@@ -1,0 +1,190 @@
+//! Edge-list readers and writers.
+//!
+//! Two formats are supported:
+//!
+//! * **Text**: one `u v` pair per line, whitespace-separated, `#`-prefixed
+//!   comment lines ignored — the SNAP dataset format the paper's graphs
+//!   ship in.
+//! * **Binary**: a little-endian `u64` edge count followed by `(u32, u32)`
+//!   pairs — fast reload for generated benchmark graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::VertexId;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parses a SNAP-style text edge list from any reader.
+///
+/// The input may contain comment lines starting with `#`. Self-loops and
+/// duplicate edges are removed, directed inputs are symmetrized.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or if a line is not two integers.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> std::io::Result<()> {
+/// let text = "# a comment\n0 1\n1 2\n2 0\n";
+/// let g = gpm_graph::io::read_edge_list_text(text.as_bytes())?;
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_edge_list_text<R: Read>(reader: R) -> io::Result<Graph> {
+    let mut b = GraphBuilder::growable();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<VertexId> {
+            tok.ok_or_else(|| bad_line(lineno))?
+                .parse::<VertexId>()
+                .map_err(|_| bad_line(lineno))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+fn bad_line(lineno: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge list line {}", lineno + 1),
+    )
+}
+
+/// Writes `g` as a text edge list (one line per undirected edge).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_edge_list_text<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} vertices, {} edges", g.vertex_count(), g.edge_count())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Reads the binary edge-list format written by [`write_edge_list_binary`].
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or truncated input.
+pub fn read_edge_list_binary<R: Read>(mut reader: R) -> io::Result<Graph> {
+    let mut count_buf = [0u8; 8];
+    reader.read_exact(&mut count_buf)?;
+    let m = u64::from_le_bytes(count_buf) as usize;
+    let mut b = GraphBuilder::growable();
+    let mut buf = [0u8; 8];
+    for _ in 0..m {
+        reader.read_exact(&mut buf)?;
+        let u = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let v = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Writes `g` in a compact binary format: `u64` edge count, then
+/// little-endian `(u32, u32)` pairs.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_edge_list_binary<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(&(g.edge_count() as u64).to_le_bytes())?;
+    for (u, v) in g.edges() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Loads a graph from a path, choosing the format by extension:
+/// `.bin` → binary, anything else → text.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read or parsed.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> io::Result<Graph> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    if path.extension().is_some_and(|e| e == "bin") {
+        read_edge_list_binary(file)
+    } else {
+        read_edge_list_text(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn text_roundtrip() {
+        let g = gen::erdos_renyi(50, 120, 1);
+        let mut buf = Vec::new();
+        write_edge_list_text(&g, &mut buf).unwrap();
+        let g2 = read_edge_list_text(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = gen::barabasi_albert(80, 3, 2);
+        let mut buf = Vec::new();
+        write_edge_list_binary(&g, &mut buf).unwrap();
+        let g2 = read_edge_list_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n0 1\n# middle\n1 2\n";
+        let g = read_edge_list_text(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list_text(text.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn truncated_binary_fails() {
+        let g = gen::complete(4);
+        let mut buf = Vec::new();
+        write_edge_list_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_edge_list_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn load_graph_by_extension() {
+        let dir = std::env::temp_dir();
+        let g = gen::cycle(6);
+        let text_path = dir.join("gpm_io_test.txt");
+        let bin_path = dir.join("gpm_io_test.bin");
+        write_edge_list_text(&g, std::fs::File::create(&text_path).unwrap()).unwrap();
+        write_edge_list_binary(&g, std::fs::File::create(&bin_path).unwrap()).unwrap();
+        assert_eq!(load_graph(&text_path).unwrap(), g);
+        assert_eq!(load_graph(&bin_path).unwrap(), g);
+        let _ = std::fs::remove_file(text_path);
+        let _ = std::fs::remove_file(bin_path);
+    }
+}

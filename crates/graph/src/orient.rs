@@ -1,0 +1,154 @@
+//! Orientation preprocessing: convert an undirected graph into a DAG.
+//!
+//! The paper adopts this triangle/clique-specific optimization from
+//! Pangolin for the large-scale experiments (Table 5): rank vertices by
+//! `(degree, id)` and keep each edge only in the direction of increasing
+//! rank. Every k-clique of the undirected graph then appears exactly once
+//! as a directed k-clique, removing the `k!` symmetry without any runtime
+//! ordering checks, and the maximum out-degree drops to O(sqrt(|E|)) on
+//! real-world graphs.
+
+use crate::csr::{Graph, GraphKind};
+use crate::VertexId;
+
+/// Degree-ordered orientation of an undirected graph.
+///
+/// The edge `{u, v}` is kept as `u -> v` iff
+/// `(degree(u), u) < (degree(v), v)`.
+///
+/// # Panics
+///
+/// Panics if `g` is already oriented.
+///
+/// # Example
+///
+/// ```
+/// use gpm_graph::{gen, orient::orient_by_degree, GraphKind};
+///
+/// let g = gen::complete(4);
+/// let dag = orient_by_degree(&g);
+/// assert_eq!(dag.kind(), GraphKind::Oriented);
+/// assert_eq!(dag.edge_count(), 6); // each edge stored once
+/// assert!(dag.max_degree() <= g.max_degree());
+/// ```
+pub fn orient_by_degree(g: &Graph) -> Graph {
+    assert_eq!(g.kind(), GraphKind::Undirected, "graph is already oriented");
+    let n = g.vertex_count();
+    let rank_less = |u: VertexId, v: VertexId| {
+        (g.degree(u), u) < (g.degree(v), v)
+    };
+    let mut offsets = vec![0u64; n + 1];
+    for v in g.vertices() {
+        let out = g.neighbors(v).iter().filter(|&&w| rank_less(v, w)).count() as u64;
+        offsets[v as usize + 1] = out;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut neighbors = Vec::with_capacity(offsets[n] as usize);
+    for v in g.vertices() {
+        // CSR order preserves sortedness of each out-list.
+        neighbors.extend(g.neighbors(v).iter().copied().filter(|&w| rank_less(v, w)));
+    }
+    Graph::from_parts(
+        GraphKind::Oriented,
+        offsets,
+        neighbors,
+        g.labels().map(<[_]>::to_vec),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn keeps_each_edge_once() {
+        let g = gen::erdos_renyi(200, 800, 3);
+        let dag = orient_by_degree(&g);
+        assert_eq!(dag.edge_count(), g.edge_count());
+        // No edge in both directions.
+        for (u, v) in dag.arcs() {
+            assert!(!dag.has_edge(v, u), "edge {u}->{v} stored twice");
+        }
+    }
+
+    #[test]
+    fn is_acyclic_by_rank() {
+        let g = gen::barabasi_albert(300, 4, 9);
+        let dag = orient_by_degree(&g);
+        for (u, v) in dag.arcs() {
+            assert!(
+                (g.degree(u), u) < (g.degree(v), v),
+                "arc {u}->{v} violates rank order"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_count_preserved() {
+        // Triangles in the DAG (u->v, u->w, v->w) == undirected triangles.
+        let g = gen::erdos_renyi(100, 600, 5);
+        let undirected = {
+            let mut count = 0u64;
+            for u in g.vertices() {
+                for &v in g.neighbors(u) {
+                    if v <= u {
+                        continue;
+                    }
+                    count += crate::set_ops::intersect_count(g.neighbors(u), g.neighbors(v))
+                        as u64;
+                }
+            }
+            count / 3 // each triangle counted for 3 of its edges...
+        };
+        // Each undirected triangle {a,b,c} is counted once per edge with
+        // both endpoints above... simpler: count via w > max(u,v) filter.
+        let undirected_exact = {
+            let mut count = 0u64;
+            for u in g.vertices() {
+                for &v in g.neighbors(u) {
+                    if v <= u {
+                        continue;
+                    }
+                    let mut common = Vec::new();
+                    crate::set_ops::intersect_into(g.neighbors(u), g.neighbors(v), &mut common);
+                    count += common.iter().filter(|&&w| w > v).count() as u64;
+                }
+            }
+            count
+        };
+        let dag = orient_by_degree(&g);
+        let mut oriented = 0u64;
+        for u in dag.vertices() {
+            let out = dag.neighbors(u);
+            for &v in out {
+                oriented += crate::set_ops::intersect_count(out, dag.neighbors(v)) as u64;
+            }
+        }
+        assert_eq!(oriented, undirected_exact);
+        let _ = undirected;
+    }
+
+    #[test]
+    fn max_out_degree_shrinks_on_skewed_graph() {
+        let g = gen::barabasi_albert(1000, 5, 2);
+        let dag = orient_by_degree(&g);
+        assert!(dag.max_degree() < g.max_degree() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already oriented")]
+    fn double_orientation_panics() {
+        let dag = orient_by_degree(&gen::complete(3));
+        orient_by_degree(&dag);
+    }
+
+    #[test]
+    fn labels_survive_orientation() {
+        let g = gen::with_random_labels(&gen::complete(5), 3, 1);
+        let dag = orient_by_degree(&g);
+        assert_eq!(dag.labels(), g.labels());
+    }
+}

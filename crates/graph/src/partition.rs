@@ -1,0 +1,442 @@
+//! 1-D hash graph partitioning (paper §2.2) with NUMA sub-partitioning
+//! (§5.4).
+//!
+//! The vertex set is divided among `machines × sockets` *parts* by a mixing
+//! hash; part `p` stores the full (sorted) edge list of every vertex it
+//! owns — "all edges with at least one endpoint in V_i". Vertex labels are
+//! replicated to every part: they cost 2 bytes per vertex and labeled
+//! matching must test the label of arbitrary candidate vertices, so
+//! replication is the standard choice.
+
+use crate::csr::{Graph, GraphKind};
+use crate::{Label, VertexId};
+use std::sync::Arc;
+
+/// SplitMix64-style mixing hash used to assign vertices to parts.
+///
+/// Deterministic and well-mixed so that consecutively-numbered hub
+/// vertices (e.g. Barabási–Albert seeds) spread across machines, the
+/// "balanced data distribution" requirement of §2.2.
+#[inline]
+pub fn vertex_hash(v: VertexId) -> u64 {
+    let mut x = (v as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Vertex-to-part assignment strategy.
+///
+/// The paper uses hash partitioning "to ensure balanced data
+/// distribution" (§2.2); the range strategy exists to demonstrate why —
+/// on graphs whose vertex numbering correlates with degree (e.g.
+/// Barabási–Albert seeds) ranges concentrate the hubs on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Partitioner {
+    /// Mixing-hash assignment (the paper's choice).
+    #[default]
+    Hash,
+    /// Contiguous ranges of vertex ids.
+    Range,
+}
+
+/// A copyable resolver from vertex to owning part, shared by the engine
+/// and the message layers so the owner computation is defined in exactly
+/// one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnerMap {
+    strategy: Partitioner,
+    parts: usize,
+    vertices: usize,
+}
+
+impl OwnerMap {
+    /// Resolver for `parts` parts over `vertices` vertices.
+    pub fn new(strategy: Partitioner, parts: usize, vertices: usize) -> Self {
+        assert!(parts >= 1, "need at least one part");
+        OwnerMap { strategy, parts, vertices }
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The part owning vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        match self.strategy {
+            Partitioner::Hash => (vertex_hash(v) % self.parts as u64) as usize,
+            Partitioner::Range => {
+                let span = self.vertices.div_ceil(self.parts).max(1);
+                ((v as usize) / span).min(self.parts - 1)
+            }
+        }
+    }
+}
+
+/// The sub-graph owned by one part (one socket of one machine).
+#[derive(Debug, Clone)]
+pub struct GraphPart {
+    part_id: usize,
+    owned: Vec<VertexId>,
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+}
+
+impl GraphPart {
+    /// Identifier of this part within its [`PartitionedGraph`].
+    pub fn part_id(&self) -> usize {
+        self.part_id
+    }
+
+    /// Sorted list of vertices owned by this part.
+    pub fn owned(&self) -> &[VertexId] {
+        &self.owned
+    }
+
+    /// Number of owned vertices.
+    pub fn owned_count(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Edge list of `v` if this part owns it, `None` otherwise.
+    #[inline]
+    pub fn edge_list(&self, v: VertexId) -> Option<&[VertexId]> {
+        let rank = self.owned.binary_search(&v).ok()?;
+        Some(self.edge_list_by_rank(rank))
+    }
+
+    /// Edge list of the `rank`-th owned vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.owned_count()`.
+    #[inline]
+    pub fn edge_list_by_rank(&self, rank: usize) -> &[VertexId] {
+        let lo = self.offsets[rank] as usize;
+        let hi = self.offsets[rank + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Number of adjacency entries stored by this part.
+    pub fn adjacency_len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// In-memory size of this part's CSR arrays in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.owned.len() * std::mem::size_of::<VertexId>()
+            + self.offsets.len() * std::mem::size_of::<u64>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+/// A graph hash-partitioned across `machines × sockets_per_machine` parts.
+///
+/// # Example
+///
+/// ```
+/// use gpm_graph::{gen, partition::PartitionedGraph};
+///
+/// let g = gen::erdos_renyi(100, 400, 1);
+/// let pg = PartitionedGraph::new(&g, 2, 2); // 2 machines, 2 sockets each
+/// assert_eq!(pg.part_count(), 4);
+/// let v = 42;
+/// let p = pg.owner(v);
+/// assert_eq!(pg.part(p).edge_list(v).unwrap(), g.neighbors(v));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionedGraph {
+    machines: usize,
+    sockets_per_machine: usize,
+    vertex_count: usize,
+    kind: GraphKind,
+    owner_map: OwnerMap,
+    parts: Vec<Arc<GraphPart>>,
+    labels: Option<Arc<Vec<Label>>>,
+}
+
+impl PartitionedGraph {
+    /// Partitions `g` across `machines` machines with
+    /// `sockets_per_machine` NUMA sockets each, using hash assignment
+    /// (the paper's strategy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(g: &Graph, machines: usize, sockets_per_machine: usize) -> Self {
+        PartitionedGraph::with_partitioner(g, machines, sockets_per_machine, Partitioner::Hash)
+    }
+
+    /// Partitions with an explicit [`Partitioner`] strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn with_partitioner(
+        g: &Graph,
+        machines: usize,
+        sockets_per_machine: usize,
+        strategy: Partitioner,
+    ) -> Self {
+        assert!(machines >= 1 && sockets_per_machine >= 1, "need at least one part");
+        let part_count = machines * sockets_per_machine;
+        let owner_map = OwnerMap::new(strategy, part_count, g.vertex_count());
+        let mut owned: Vec<Vec<VertexId>> = vec![Vec::new(); part_count];
+        for v in g.vertices() {
+            owned[owner_map.owner(v)].push(v);
+        }
+        let parts = owned
+            .into_iter()
+            .enumerate()
+            .map(|(part_id, owned)| {
+                let mut offsets = Vec::with_capacity(owned.len() + 1);
+                offsets.push(0u64);
+                let mut neighbors = Vec::new();
+                for &v in &owned {
+                    neighbors.extend_from_slice(g.neighbors(v));
+                    offsets.push(neighbors.len() as u64);
+                }
+                Arc::new(GraphPart { part_id, owned, offsets, neighbors })
+            })
+            .collect();
+        PartitionedGraph {
+            machines,
+            sockets_per_machine,
+            vertex_count: g.vertex_count(),
+            kind: g.kind(),
+            owner_map,
+            parts,
+            labels: g.labels().map(|l| Arc::new(l.to_vec())),
+        }
+    }
+
+    /// The copyable vertex→part resolver used by all message layers.
+    pub fn owner_map(&self) -> OwnerMap {
+        self.owner_map
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// NUMA sockets per machine.
+    pub fn sockets_per_machine(&self) -> usize {
+        self.sockets_per_machine
+    }
+
+    /// Total number of parts (`machines × sockets_per_machine`).
+    pub fn part_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of vertices in the whole graph.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Whether the partitioned graph is undirected or oriented.
+    pub fn kind(&self) -> GraphKind {
+        self.kind
+    }
+
+    /// The part owning vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        self.owner_map.owner(v)
+    }
+
+    /// The machine a part belongs to.
+    #[inline]
+    pub fn machine_of_part(&self, part: usize) -> usize {
+        part / self.sockets_per_machine
+    }
+
+    /// The socket (within its machine) a part belongs to.
+    #[inline]
+    pub fn socket_of_part(&self, part: usize) -> usize {
+        part % self.sockets_per_machine
+    }
+
+    /// Borrow a part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn part(&self, id: usize) -> &GraphPart {
+        &self.parts[id]
+    }
+
+    /// Shared handle to a part, for moving into a machine thread.
+    pub fn part_arc(&self, id: usize) -> Arc<GraphPart> {
+        Arc::clone(&self.parts[id])
+    }
+
+    /// Replicated label array (present iff the input graph was labeled).
+    pub fn labels(&self) -> Option<Arc<Vec<Label>>> {
+        self.labels.clone()
+    }
+
+    /// Label of `v`, if the graph is labeled.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Option<Label> {
+        self.labels.as_ref().map(|l| l[v as usize])
+    }
+
+    /// Sum of all parts' CSR bytes — the partitioned memory footprint.
+    pub fn total_size_bytes(&self) -> usize {
+        self.parts.iter().map(|p| p.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn parts_cover_and_partition_vertices() {
+        let g = gen::erdos_renyi(500, 2000, 4);
+        let pg = PartitionedGraph::new(&g, 3, 2);
+        let mut seen = vec![false; 500];
+        for p in 0..pg.part_count() {
+            for &v in pg.part(p).owned() {
+                assert!(!seen[v as usize], "vertex {v} owned twice");
+                seen[v as usize] = true;
+                assert_eq!(pg.owner(v), p, "owner() disagrees with membership");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some vertex unowned");
+    }
+
+    #[test]
+    fn edge_lists_match_source_graph() {
+        let g = gen::barabasi_albert(300, 3, 8);
+        let pg = PartitionedGraph::new(&g, 4, 1);
+        for v in g.vertices() {
+            let part = pg.part(pg.owner(v));
+            assert_eq!(part.edge_list(v).unwrap(), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn non_owner_returns_none() {
+        let g = gen::complete(16);
+        let pg = PartitionedGraph::new(&g, 4, 1);
+        for v in g.vertices() {
+            for p in 0..4 {
+                if p != pg.owner(v) {
+                    assert!(pg.part(p).edge_list(v).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_reasonably_balanced() {
+        let g = gen::erdos_renyi(4000, 16000, 2);
+        let pg = PartitionedGraph::new(&g, 8, 1);
+        let expected = 4000 / 8;
+        for p in 0..8 {
+            let c = pg.part(p).owned_count();
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "part {p} owns {c}, expected around {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn machine_socket_mapping() {
+        let g = gen::complete(10);
+        let pg = PartitionedGraph::new(&g, 2, 2);
+        assert_eq!(pg.machine_of_part(0), 0);
+        assert_eq!(pg.machine_of_part(1), 0);
+        assert_eq!(pg.machine_of_part(2), 1);
+        assert_eq!(pg.socket_of_part(1), 1);
+        assert_eq!(pg.socket_of_part(2), 0);
+    }
+
+    #[test]
+    fn labels_replicated() {
+        let g = gen::with_random_labels(&gen::complete(20), 5, 3);
+        let pg = PartitionedGraph::new(&g, 3, 1);
+        for v in g.vertices() {
+            assert_eq!(pg.label(v), g.label(v));
+        }
+    }
+
+    #[test]
+    fn single_part_owns_everything() {
+        let g = gen::complete(7);
+        let pg = PartitionedGraph::new(&g, 1, 1);
+        assert_eq!(pg.part(0).owned_count(), 7);
+        assert_eq!(pg.part(0).adjacency_len(), g.adjacency_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_machines_panics() {
+        PartitionedGraph::new(&gen::complete(3), 0, 1);
+    }
+
+    #[test]
+    fn range_partitioning_assigns_contiguous_blocks() {
+        let g = gen::erdos_renyi(100, 300, 1);
+        let pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
+        for v in g.vertices() {
+            assert_eq!(pg.owner(v), (v as usize) / 25);
+            let part = pg.part(pg.owner(v));
+            assert_eq!(part.edge_list(v).unwrap(), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn range_partitioning_concentrates_ba_hubs() {
+        // BA numbering correlates with degree: range partitioning puts
+        // the heavy adjacency mass on part 0 — the imbalance hash
+        // partitioning exists to avoid (§2.2).
+        let g = gen::barabasi_albert(4000, 8, 3);
+        let range = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
+        let hash = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Hash);
+        let load = |pg: &PartitionedGraph| -> (usize, usize) {
+            let loads: Vec<usize> =
+                (0..4).map(|p| pg.part(p).adjacency_len()).collect();
+            (*loads.iter().max().unwrap(), *loads.iter().min().unwrap())
+        };
+        let (range_max, range_min) = load(&range);
+        let (hash_max, hash_min) = load(&hash);
+        let range_skew = range_max as f64 / range_min.max(1) as f64;
+        let hash_skew = hash_max as f64 / hash_min.max(1) as f64;
+        assert!(
+            range_skew > 2.0 * hash_skew,
+            "expected range skew ({range_skew:.2}) >> hash skew ({hash_skew:.2})"
+        );
+    }
+
+    #[test]
+    fn owner_map_is_copyable_and_consistent() {
+        let g = gen::complete(30);
+        let pg = PartitionedGraph::with_partitioner(&g, 3, 2, Partitioner::Hash);
+        let map = pg.owner_map();
+        assert_eq!(map.parts(), 6);
+        for v in g.vertices() {
+            assert_eq!(map.owner(v), pg.owner(v));
+        }
+    }
+
+    #[test]
+    fn range_owner_stays_in_bounds() {
+        // div_ceil rounding must never produce an out-of-range part.
+        let map = OwnerMap::new(Partitioner::Range, 7, 100);
+        for v in 0..100u32 {
+            assert!(map.owner(v) < 7);
+        }
+        let tiny = OwnerMap::new(Partitioner::Range, 4, 2);
+        for v in 0..2u32 {
+            assert!(tiny.owner(v) < 4);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the graph substrate.
+
+use gpm_graph::{orient, partition::PartitionedGraph, set_ops, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
+    prop::collection::vec((0..max_v, 0..max_v), 0..max_e)
+}
+
+fn arb_sorted_set(max: u32) -> impl Strategy<Value = Vec<VertexId>> {
+    prop::collection::btree_set(0..max, 0..64).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn builder_output_is_canonical(edges in arb_edges(64, 200)) {
+        let g = edges.iter().copied().collect::<GraphBuilder>().build();
+        // Sorted, no duplicates, no self-loops, symmetric.
+        for v in g.vertices() {
+            let n = g.neighbors(v);
+            prop_assert!(n.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!n.contains(&v));
+            for &u in n {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+        // Every input edge (non-loop) is present.
+        for (u, v) in edges {
+            if u != v {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_equals_naive(a in arb_sorted_set(128), b in arb_sorted_set(128)) {
+        let mut out = Vec::new();
+        set_ops::intersect_into(&a, &b, &mut out);
+        let naive: Vec<VertexId> =
+            a.iter().copied().filter(|x| b.contains(x)).collect();
+        prop_assert_eq!(&out, &naive);
+        prop_assert_eq!(set_ops::intersect_count(&a, &b), naive.len());
+    }
+
+    #[test]
+    fn subtraction_equals_naive(a in arb_sorted_set(128), b in arb_sorted_set(128)) {
+        let mut out = Vec::new();
+        set_ops::subtract_into(&a, &b, &mut out);
+        let naive: Vec<VertexId> =
+            a.iter().copied().filter(|x| !b.contains(x)).collect();
+        prop_assert_eq!(out, naive);
+    }
+
+    #[test]
+    fn many_way_intersection_equals_pairwise(
+        a in arb_sorted_set(64),
+        b in arb_sorted_set(64),
+        c in arb_sorted_set(64),
+    ) {
+        let mut expect = Vec::new();
+        set_ops::intersect_into(&a, &b, &mut expect);
+        let mut expect2 = Vec::new();
+        set_ops::intersect_into(&expect, &c, &mut expect2);
+        let mut out = Vec::new();
+        set_ops::intersect_many_into(&[&a, &b, &c], &mut out);
+        prop_assert_eq!(out, expect2);
+    }
+
+    #[test]
+    fn partition_covers_all_edge_lists(
+        edges in arb_edges(48, 150),
+        machines in 1usize..5,
+        sockets in 1usize..3,
+    ) {
+        let g = edges.into_iter().collect::<GraphBuilder>().build();
+        if g.vertex_count() == 0 { return Ok(()); }
+        let pg = PartitionedGraph::new(&g, machines, sockets);
+        for v in g.vertices() {
+            let owner = pg.owner(v);
+            prop_assert!(owner < pg.part_count());
+            prop_assert_eq!(pg.part(owner).edge_list(v).unwrap(), g.neighbors(v));
+        }
+        let total: usize = (0..pg.part_count()).map(|p| pg.part(p).owned_count()).sum();
+        prop_assert_eq!(total, g.vertex_count());
+    }
+
+    #[test]
+    fn orientation_preserves_edge_multiset(edges in arb_edges(40, 120)) {
+        let g = edges.into_iter().collect::<GraphBuilder>().build();
+        if g.vertex_count() == 0 { return Ok(()); }
+        let dag = orient::orient_by_degree(&g);
+        prop_assert_eq!(dag.edge_count(), g.edge_count());
+        let mut from_dag: Vec<(VertexId, VertexId)> =
+            dag.arcs().map(|(u, v)| (u.min(v), u.max(v))).collect();
+        from_dag.sort_unstable();
+        let mut from_g: Vec<(VertexId, VertexId)> = g.edges().collect();
+        from_g.sort_unstable();
+        prop_assert_eq!(from_dag, from_g);
+    }
+
+    #[test]
+    fn text_io_roundtrip(edges in arb_edges(40, 100)) {
+        let g = edges.into_iter().collect::<GraphBuilder>().build();
+        let mut buf = Vec::new();
+        gpm_graph::io::write_edge_list_text(&g, &mut buf).unwrap();
+        let g2 = gpm_graph::io::read_edge_list_text(&buf[..]).unwrap();
+        // Roundtrip may shrink vertex count if trailing vertices are
+        // isolated; compare edge sets.
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        prop_assert_eq!(e1, e2);
+    }
+}

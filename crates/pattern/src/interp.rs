@@ -1,0 +1,586 @@
+//! Single-machine reference interpreter for [`MatchingPlan`]s.
+//!
+//! This is the "nested loops" of the paper's Figure 1, executed directly
+//! on an in-memory graph: the simplest correct executor of a plan. It is
+//! used as the ground-truth implementation for engine tests, as the core
+//! of the single-machine baselines, and by the oracle cross-checks.
+
+use crate::plan::{CandidateSource, LevelPlan, MatchingPlan, PairMode};
+use gpm_graph::{set_ops, Graph, VertexId};
+
+/// Counts the embeddings a plan produces on `g`.
+///
+/// With symmetry breaking on (the default) this is the number of
+/// subgraphs isomorphic to the pattern; with it off, the number of
+/// injective maps.
+///
+/// # Example
+///
+/// ```
+/// use gpm_pattern::{interp, plan::{MatchingPlan, PlanOptions}, Pattern};
+/// use gpm_graph::gen;
+///
+/// let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default()).unwrap();
+/// assert_eq!(interp::count_embeddings(&gen::complete(4), &plan), 4);
+/// ```
+pub fn count_embeddings(g: &Graph, plan: &MatchingPlan) -> u64 {
+    let mut count = 0u64;
+    enumerate_embeddings(g, plan, |_| count += 1);
+    count
+}
+
+/// Enumerates embeddings, invoking `visit` with the matched vertices in
+/// matching-order positions (`matched[i]` = graph vertex at position `i`).
+pub fn enumerate_embeddings<F: FnMut(&[VertexId])>(g: &Graph, plan: &MatchingPlan, mut visit: F) {
+    let mut matched: Vec<VertexId> = Vec::with_capacity(plan.depth());
+    // Intermediate (raw candidate) sets stored per level for reuse.
+    let mut inter: Vec<Vec<VertexId>> = vec![Vec::new(); plan.depth()];
+    for v in g.vertices() {
+        if let Some(required) = plan.root_label() {
+            if g.label(v) != Some(required) {
+                continue;
+            }
+        }
+        if plan.depth() == 1 {
+            visit(&[v]);
+            continue;
+        }
+        matched.push(v);
+        descend(g, plan, 0, &mut matched, &mut inter, &mut visit);
+        matched.pop();
+    }
+}
+
+/// Enumerates embeddings with early termination: `visit` returns `false`
+/// to stop the walk (used by bounded queries such as FSM's
+/// support-threshold check and exists-a-match queries).
+pub fn enumerate_embeddings_until<F: FnMut(&[VertexId]) -> bool>(
+    g: &Graph,
+    plan: &MatchingPlan,
+    mut visit: F,
+) {
+    let mut matched: Vec<VertexId> = Vec::with_capacity(plan.depth());
+    let mut inter: Vec<Vec<VertexId>> = vec![Vec::new(); plan.depth()];
+    for v in g.vertices() {
+        if let Some(required) = plan.root_label() {
+            if g.label(v) != Some(required) {
+                continue;
+            }
+        }
+        if plan.depth() == 1 {
+            if !visit(&[v]) {
+                return;
+            }
+            continue;
+        }
+        matched.push(v);
+        let keep = descend_until(g, plan, 0, &mut matched, &mut inter, &mut visit);
+        matched.pop();
+        if !keep {
+            return;
+        }
+    }
+}
+
+fn descend_until<F: FnMut(&[VertexId]) -> bool>(
+    g: &Graph,
+    plan: &MatchingPlan,
+    level_idx: usize,
+    matched: &mut Vec<VertexId>,
+    inter: &mut Vec<Vec<VertexId>>,
+    visit: &mut F,
+) -> bool {
+    let lp = &plan.levels()[level_idx];
+    let mut cands = Vec::new();
+    raw_candidates(g, lp, matched, inter, &mut cands);
+    let last = level_idx + 1 == plan.levels().len();
+    if lp.store_intermediate {
+        inter[lp.position] = cands.clone();
+    }
+    for &cand in &cands {
+        if !passes_filters(g, lp, matched, cand) {
+            continue;
+        }
+        matched.push(cand);
+        let keep = if last {
+            visit(matched)
+        } else {
+            descend_until(g, plan, level_idx + 1, matched, inter, visit)
+        };
+        matched.pop();
+        if !keep {
+            return false;
+        }
+    }
+    true
+}
+
+/// Computes the raw (unfiltered) candidate set for the given level, given
+/// the matched prefix and the per-level intermediate storage.
+pub fn raw_candidates(
+    g: &Graph,
+    lp: &LevelPlan,
+    matched: &[VertexId],
+    inter: &[Vec<VertexId>],
+    out: &mut Vec<VertexId>,
+) {
+    out.clear();
+    match lp.source {
+        CandidateSource::Scratch => {
+            let lists: Vec<&[VertexId]> =
+                lp.intersect.iter().map(|&p| g.neighbors(matched[p])).collect();
+            set_ops::intersect_many_into(&lists, out);
+        }
+        CandidateSource::ParentIntermediate => {
+            out.extend_from_slice(&inter[lp.position - 1]);
+        }
+        CandidateSource::ParentIntermediateAndNew => {
+            set_ops::intersect_into(
+                &inter[lp.position - 1],
+                g.neighbors(matched[lp.position - 1]),
+                out,
+            );
+        }
+    }
+    if !lp.subtract.is_empty() {
+        let mut tmp = Vec::new();
+        for &p in &lp.subtract {
+            tmp.clear();
+            set_ops::subtract_into(out, g.neighbors(matched[p]), &mut tmp);
+            std::mem::swap(out, &mut tmp);
+        }
+    }
+}
+
+/// Whether candidate `cand` passes the level's filters (bounds,
+/// injectivity, label) given the matched prefix.
+#[inline]
+pub fn passes_filters(g: &Graph, lp: &LevelPlan, matched: &[VertexId], cand: VertexId) -> bool {
+    for &p in &lp.lower {
+        if cand <= matched[p] {
+            return false;
+        }
+    }
+    for &p in &lp.upper {
+        if cand >= matched[p] {
+            return false;
+        }
+    }
+    for &p in &lp.distinct {
+        if cand == matched[p] {
+            return false;
+        }
+    }
+    if let Some(required) = lp.label {
+        if g.label(cand) != Some(required) {
+            return false;
+        }
+    }
+    for &(p, required) in &lp.edge_labels {
+        if g.edge_label(matched[p], cand) != Some(required) {
+            return false;
+        }
+    }
+    true
+}
+
+fn descend<F: FnMut(&[VertexId])>(
+    g: &Graph,
+    plan: &MatchingPlan,
+    level_idx: usize,
+    matched: &mut Vec<VertexId>,
+    inter: &mut Vec<Vec<VertexId>>,
+    visit: &mut F,
+) {
+    let lp = &plan.levels()[level_idx];
+    let mut cands = Vec::new();
+    raw_candidates(g, lp, matched, inter, &mut cands);
+    let last = level_idx + 1 == plan.levels().len();
+    if lp.store_intermediate {
+        inter[lp.position] = cands.clone();
+    }
+    for &cand in &cands {
+        if !passes_filters(g, lp, matched, cand) {
+            continue;
+        }
+        matched.push(cand);
+        if last {
+            visit(matched);
+        } else {
+            descend(g, plan, level_idx + 1, matched, inter, visit);
+        }
+        matched.pop();
+    }
+}
+
+/// Counts embeddings using the final-level counting shortcut: instead of
+/// iterating the last level's candidates, count how many pass the filters
+/// using order statistics where possible. Produces identical results to
+/// [`count_embeddings`]; used by counting-only applications.
+pub fn count_embeddings_fast(g: &Graph, plan: &MatchingPlan) -> u64 {
+    if plan.depth() == 1 {
+        return count_embeddings(g, plan);
+    }
+    let pair = plan.pair_count_mode();
+    let mut count = 0u64;
+    let mut matched: Vec<VertexId> = Vec::with_capacity(plan.depth());
+    let mut inter: Vec<Vec<VertexId>> = vec![Vec::new(); plan.depth()];
+    for v in g.vertices() {
+        if let Some(required) = plan.root_label() {
+            if g.label(v) != Some(required) {
+                continue;
+            }
+        }
+        matched.push(v);
+        descend_fast(g, plan, 0, &mut matched, &mut inter, pair, &mut count);
+        matched.pop();
+    }
+    count
+}
+
+/// Pairs contributed by a qualifying candidate set of size `k` under the
+/// IEP shortcut.
+pub fn pair_contribution(k: u64, mode: PairMode) -> u64 {
+    match mode {
+        PairMode::Unordered => k * k.saturating_sub(1) / 2,
+        PairMode::Ordered => k * k.saturating_sub(1),
+    }
+}
+
+/// Counts the candidates of a final level that pass its filters, using
+/// partition points for the ordering bounds.
+pub fn count_final_level(
+    g: &Graph,
+    lp: &LevelPlan,
+    matched: &[VertexId],
+    cands: &[VertexId],
+) -> u64 {
+    if lp.label.is_some() || !lp.edge_labels.is_empty() {
+        // Label checks need per-candidate inspection.
+        return cands
+            .iter()
+            .filter(|&&c| passes_filters(g, lp, matched, c))
+            .count() as u64;
+    }
+    let lo: Option<VertexId> = lp.lower.iter().map(|&p| matched[p]).max();
+    let hi: Option<VertexId> = lp.upper.iter().map(|&p| matched[p]).min();
+    let begin = lo.map_or(0, |b| cands.partition_point(|&c| c <= b));
+    let end = hi.map_or(cands.len(), |b| cands.partition_point(|&c| c < b));
+    if begin >= end {
+        return 0;
+    }
+    let mut count = (end - begin) as u64;
+    for &p in &lp.distinct {
+        let m = matched[p];
+        let in_range = lo.is_none_or(|b| m > b) && hi.is_none_or(|b| m < b);
+        if in_range && set_ops::contains(cands, m) {
+            count -= 1;
+        }
+    }
+    count
+}
+
+/// Counts the embeddings rooted at `v` only (level-0 vertex fixed),
+/// using the fast final-level shortcut. Summing over all vertices equals
+/// [`count_embeddings_fast`]; single-machine baselines parallelize over
+/// roots with this.
+pub fn count_from_root(g: &Graph, plan: &MatchingPlan, v: VertexId) -> u64 {
+    if let Some(required) = plan.root_label() {
+        if g.label(v) != Some(required) {
+            return 0;
+        }
+    }
+    if plan.depth() == 1 {
+        return 1;
+    }
+    let mut count = 0u64;
+    let mut matched = vec![v];
+    let mut inter: Vec<Vec<VertexId>> = vec![Vec::new(); plan.depth()];
+    descend_fast(g, plan, 0, &mut matched, &mut inter, plan.pair_count_mode(), &mut count);
+    count
+}
+
+fn descend_fast(
+    g: &Graph,
+    plan: &MatchingPlan,
+    level_idx: usize,
+    matched: &mut Vec<VertexId>,
+    inter: &mut Vec<Vec<VertexId>>,
+    pair: Option<PairMode>,
+    count: &mut u64,
+) {
+    let lp = &plan.levels()[level_idx];
+    let mut cands = Vec::new();
+    raw_candidates(g, lp, matched, inter, &mut cands);
+    let last = level_idx + 1 == plan.levels().len();
+    if last {
+        *count += count_final_level(g, lp, matched, &cands);
+        return;
+    }
+    // IEP shortcut: collapse the last two loops into pair arithmetic.
+    if let Some(mode) = pair {
+        if level_idx + 2 == plan.levels().len() {
+            let k = count_final_level(g, lp, matched, &cands);
+            *count += pair_contribution(k, mode);
+            return;
+        }
+    }
+    if lp.store_intermediate {
+        inter[lp.position] = cands.clone();
+    }
+    for &cand in &cands {
+        if !passes_filters(g, lp, matched, cand) {
+            continue;
+        }
+        matched.push(cand);
+        descend_fast(g, plan, level_idx + 1, matched, inter, pair, count);
+        matched.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanOptions;
+    use crate::{oracle, Pattern};
+    use gpm_graph::gen;
+
+    fn check_all(g: &Graph, p: &Pattern, induced: bool) {
+        let opts = PlanOptions {
+            induced,
+            order: crate::order::OrderChoice::Automine,
+            ..PlanOptions::default()
+        };
+        let plan = MatchingPlan::compile(p, &opts).unwrap();
+        let expect = oracle::count_subgraphs(g, p, induced);
+        assert_eq!(count_embeddings(g, &plan), expect, "slow path, {p}, induced={induced}");
+        assert_eq!(count_embeddings_fast(g, &plan), expect, "fast path, {p}");
+        let gp_opts = PlanOptions { order: crate::order::OrderChoice::GraphPi, ..opts };
+        let plan2 = MatchingPlan::compile(p, &gp_opts).unwrap();
+        assert_eq!(count_embeddings(g, &plan2), expect, "graphpi order, {p}");
+    }
+
+    #[test]
+    fn known_counts_on_fixtures() {
+        let k5 = gen::complete(5);
+        let tri = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default())
+            .unwrap();
+        assert_eq!(count_embeddings(&k5, &tri), 10); // C(5,3)
+        let p3 = MatchingPlan::compile(&Pattern::path(3), &PlanOptions::default()).unwrap();
+        assert_eq!(count_embeddings(&k5, &p3), 30); // C(5,3) * 3
+        let star = MatchingPlan::compile(&Pattern::star(4), &PlanOptions::default())
+            .unwrap();
+        assert_eq!(count_embeddings(&gen::star(6), &star), 10); // C(5,3)
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        let g = gen::erdos_renyi(40, 160, 9);
+        for p in [
+            Pattern::triangle(),
+            Pattern::path(3),
+            Pattern::path(4),
+            Pattern::star(4),
+            Pattern::cycle(4),
+            Pattern::clique(4),
+            Pattern::tailed_triangle(),
+            Pattern::diamond(),
+        ] {
+            check_all(&g, &p, false);
+            check_all(&g, &p, true);
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_skewed_graph() {
+        let g = gen::barabasi_albert(60, 3, 5);
+        for p in [Pattern::triangle(), Pattern::clique(4), Pattern::cycle(4)] {
+            check_all(&g, &p, false);
+        }
+    }
+
+    #[test]
+    fn no_symmetry_break_counts_maps() {
+        let g = gen::erdos_renyi(30, 100, 3);
+        let p = Pattern::triangle();
+        let opts = PlanOptions { symmetry_break: false, ..PlanOptions::default() };
+        let plan = MatchingPlan::compile(&p, &opts).unwrap();
+        assert_eq!(count_embeddings(&g, &plan), oracle::count_injective_maps(&g, &p, false));
+    }
+
+    #[test]
+    fn reuse_toggle_is_invisible() {
+        let g = gen::erdos_renyi(50, 250, 7);
+        for p in [Pattern::clique(4), Pattern::clique(5), Pattern::diamond()] {
+            let with = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
+            let without = MatchingPlan::compile(
+                &p,
+                &PlanOptions { vertical_reuse: false, ..PlanOptions::default() },
+            )
+            .unwrap();
+            assert_eq!(count_embeddings(&g, &with), count_embeddings(&g, &without));
+        }
+    }
+
+    #[test]
+    fn labeled_counting() {
+        let g = gen::with_random_labels(&gen::erdos_renyi(40, 150, 2), 3, 4);
+        let p = Pattern::path(3).with_labels(vec![0, 1, 2]).unwrap();
+        let plan = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
+        assert_eq!(count_embeddings(&g, &plan), oracle::count_subgraphs(&g, &p, false));
+    }
+
+    #[test]
+    fn edge_labeled_counting_matches_oracle() {
+        let g = gen::with_random_edge_labels(&gen::erdos_renyi(40, 170, 6), 2, 3);
+        // Triangle with one marked edge.
+        let p = Pattern::triangle()
+            .with_edge_labels(&[(0, 1, 0), (1, 2, 1), (0, 2, 0)])
+            .unwrap();
+        let plan = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
+        assert!(plan.requires_edge_labels());
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        assert_eq!(count_embeddings(&g, &plan), expect);
+        assert_eq!(count_embeddings_fast(&g, &plan), expect);
+        // Uniform labels over a 2-label graph: strictly fewer matches
+        // than the unlabeled pattern.
+        let unlabeled = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default())
+            .unwrap();
+        assert!(count_embeddings(&g, &plan) <= count_embeddings(&g, &unlabeled));
+    }
+
+    #[test]
+    fn edge_label_restriction_identity_holds() {
+        // restricted count x |Aut| == injective map count, with edge
+        // labels shrinking the automorphism group.
+        let g = gen::with_random_edge_labels(&gen::erdos_renyi(30, 130, 9), 2, 5);
+        let p = Pattern::triangle()
+            .with_edge_labels(&[(0, 1, 1), (1, 2, 0), (0, 2, 0)])
+            .unwrap();
+        let restricted = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
+        let unrestricted = MatchingPlan::compile(
+            &p,
+            &PlanOptions { symmetry_break: false, ..PlanOptions::default() },
+        )
+        .unwrap();
+        let maps = count_embeddings(&g, &unrestricted);
+        assert_eq!(maps % restricted.automorphism_count(), 0);
+        assert_eq!(count_embeddings(&g, &restricted), maps / restricted.automorphism_count());
+    }
+
+    #[test]
+    fn enumerate_yields_valid_embeddings() {
+        let g = gen::erdos_renyi(25, 80, 1);
+        let p = Pattern::cycle(4);
+        let plan = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
+        let order = plan.order().to_vec();
+        let mut n = 0u64;
+        enumerate_embeddings(&g, &plan, |m| {
+            n += 1;
+            // Every pattern edge must map to a graph edge.
+            for (u, v) in p.edges() {
+                let pu = order.iter().position(|&x| x == u).unwrap();
+                let pv = order.iter().position(|&x| x == v).unwrap();
+                assert!(g.has_edge(m[pu], m[pv]));
+            }
+            // Injectivity.
+            let mut s = m.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), m.len());
+        });
+        assert_eq!(n, oracle::count_subgraphs(&g, &p, false));
+    }
+
+    #[test]
+    fn iep_pair_counting_matches_oracle() {
+        let g = gen::barabasi_albert(120, 5, 13);
+        for p in [
+            Pattern::path(3),           // wedge: symmetric pair
+            Pattern::star(4),           // last two of three leaves
+            Pattern::star(5),
+            Pattern::tailed_triangle(), // no independent symmetric tail pair order-dependent
+            Pattern::cycle(4),          // adjacent last vertices: no IEP
+            Pattern::clique(4),
+        ] {
+            let iep = PlanOptions { iep: true, ..PlanOptions::default() };
+            let plan = MatchingPlan::compile(&p, &iep).unwrap();
+            let expect = oracle::count_subgraphs(&g, &p, false);
+            assert_eq!(count_embeddings_fast(&g, &plan), expect, "{p}");
+            // Sanity: wedges and stars actually take the shortcut.
+            if p == Pattern::path(3) || p == Pattern::star(4) {
+                assert_eq!(plan.pair_count_mode(), Some(crate::plan::PairMode::Unordered));
+            }
+            if p == Pattern::clique(4) || p == Pattern::cycle(4) {
+                assert_eq!(plan.pair_count_mode(), None, "{p} has adjacent tail");
+            }
+        }
+    }
+
+    #[test]
+    fn iep_with_distinct_leaf_labels_uses_ordered_mode_or_none() {
+        // Labeled star: leaves with different labels break the symmetry;
+        // counting must still match the oracle whatever mode is chosen.
+        let g = gen::with_random_labels(&gen::barabasi_albert(100, 5, 3), 2, 8);
+        let p = Pattern::star(3).with_labels(vec![0, 1, 1]).unwrap();
+        let iep = PlanOptions { iep: true, ..PlanOptions::default() };
+        let plan = MatchingPlan::compile(&p, &iep).unwrap();
+        assert_eq!(
+            count_embeddings_fast(&g, &plan),
+            oracle::count_subgraphs(&g, &p, false)
+        );
+    }
+
+    #[test]
+    fn count_from_root_partitions_total() {
+        let g = gen::erdos_renyi(60, 250, 11);
+        for p in [Pattern::triangle(), Pattern::clique(4), Pattern::star(4)] {
+            let plan = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
+            let total: u64 =
+                g.vertices().map(|v| count_from_root(&g, &plan, v)).sum();
+            assert_eq!(total, count_embeddings_fast(&g, &plan), "{p}");
+        }
+    }
+
+    #[test]
+    fn count_from_root_respects_root_label() {
+        let g = gen::with_random_labels(&gen::complete(12), 2, 3);
+        let p = Pattern::edge().with_labels(vec![0, 1]).unwrap();
+        let plan = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
+        let root_label = plan.root_label().unwrap();
+        for v in g.vertices() {
+            if g.label(v) != Some(root_label) {
+                assert_eq!(count_from_root(&g, &plan, v), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_until_stops_promptly() {
+        let g = gen::complete(20);
+        let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default())
+            .unwrap();
+        let mut seen = 0u64;
+        enumerate_embeddings_until(&g, &plan, |_| {
+            seen += 1;
+            seen < 5
+        });
+        assert_eq!(seen, 5, "single-threaded early exit is exact");
+        // And the non-stopping variant sees everything.
+        let mut all = 0u64;
+        enumerate_embeddings_until(&g, &plan, |_| {
+            all += 1;
+            true
+        });
+        assert_eq!(all, 1140); // C(20,3)
+    }
+
+    #[test]
+    fn single_vertex_plan() {
+        let g = gen::complete(6);
+        let p = Pattern::single_vertex();
+        let plan = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
+        assert_eq!(count_embeddings(&g, &plan), 6);
+        assert_eq!(count_embeddings_fast(&g, &plan), 6);
+    }
+}

@@ -1,0 +1,663 @@
+//! The matching-plan compiler.
+//!
+//! A [`MatchingPlan`] is the reified form of the paper's generated `EXTEND`
+//! function (§3.2): for each tree level it records which already-matched
+//! positions' edge lists must be intersected (and, for induced matching,
+//! subtracted), which filters apply, which positions stay *active*
+//! (anti-monotone, §3.1), and whether the level's candidate set can be
+//! derived from the parent's stored intermediate result (vertical
+//! computation sharing, §5.1).
+//!
+//! Client systems — k-Automine and k-GraphPi — differ only in the
+//! [`PlanOptions`] they compile with; the Khuzdul engine executes plans
+//! without knowing which system produced them.
+
+use crate::order::{self, OrderChoice};
+use crate::restrictions::{self, Restriction};
+use crate::{iso, Pattern};
+use gpm_graph::Label;
+
+/// How a level's raw candidate set is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateSource {
+    /// Intersect the edge lists of all `intersect` positions.
+    Scratch,
+    /// The candidate set equals the parent's stored intermediate result.
+    ParentIntermediate,
+    /// The candidate set is the parent's stored intermediate result
+    /// intersected with the edge list of the immediately preceding
+    /// position (the vertex the parent was extended with).
+    ParentIntermediateAndNew,
+}
+
+/// Per-level extension program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelPlan {
+    /// The embedding position this level fills (1-based; position 0 is the
+    /// enumeration root).
+    pub position: usize,
+    /// Positions whose graph edge lists are intersected to produce raw
+    /// candidates. Non-empty for every level (connected-prefix property).
+    pub intersect: Vec<usize>,
+    /// Induced matching only: positions whose edge lists are subtracted
+    /// (the candidate must *not* be adjacent to them).
+    pub subtract: Vec<usize>,
+    /// Positions the candidate must differ from (injectivity checks not
+    /// already implied by adjacency or ordering constraints).
+    pub distinct: Vec<usize>,
+    /// Positions whose matched vertex the candidate must exceed
+    /// (symmetry-breaking `>` bounds).
+    pub lower: Vec<usize>,
+    /// Positions whose matched vertex the candidate must be below
+    /// (symmetry-breaking `<` bounds).
+    pub upper: Vec<usize>,
+    /// Required label of the candidate, for labeled patterns.
+    pub label: Option<Label>,
+    /// Required **edge** labels: `(position, label)` pairs meaning the
+    /// graph edge between the candidate and that matched position must
+    /// carry the label. Only single-machine executors support these (the
+    /// paper's engine, like ours, ships vertex labels only).
+    pub edge_labels: Vec<(usize, Label)>,
+    /// How the raw candidate set is computed.
+    pub source: CandidateSource,
+    /// Whether embeddings created at this level must store their raw
+    /// candidate set for reuse by the next level.
+    pub store_intermediate: bool,
+    /// Positions (including possibly this one) whose edge lists are still
+    /// needed by levels *after* this one — the extendable embedding's
+    /// active-vertex set once this level's vertex is appended.
+    pub active_after: Vec<usize>,
+    /// Whether the vertex matched at this level is itself active later
+    /// (if `false`, its edge list never needs to be fetched — the paper's
+    /// "not all vertices are active" case).
+    pub new_vertex_active: bool,
+}
+
+/// Options controlling plan compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Matching-order strategy.
+    pub order: OrderChoice,
+    /// Induced (exact) matching instead of non-induced subgraph matching.
+    pub induced: bool,
+    /// Emit symmetry-breaking restrictions so each subgraph is enumerated
+    /// exactly once. Disable to enumerate all injective maps (used by
+    /// tests and by orientation-preprocessed clique counting, where the
+    /// DAG already breaks the symmetry).
+    pub symmetry_break: bool,
+    /// Annotate vertical computation reuse (Figure 11's ablation switch).
+    pub vertical_reuse: bool,
+    /// Enable the inclusion–exclusion counting shortcut for the last two
+    /// levels (GraphPi's IEP, restricted to the common symmetric-pair
+    /// case). Counting-only: enumeration ignores it. This is part of what
+    /// makes k-GraphPi faster than k-Automine on motif workloads (§7.2).
+    pub iep: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            order: OrderChoice::Automine,
+            induced: false,
+            symmetry_break: true,
+            vertical_reuse: true,
+            iep: false,
+        }
+    }
+}
+
+impl PlanOptions {
+    /// Options as k-Automine's compiler would emit them.
+    pub fn automine() -> Self {
+        PlanOptions { order: OrderChoice::Automine, ..PlanOptions::default() }
+    }
+
+    /// Options as k-GraphPi's compiler would emit them (cost-model order
+    /// search plus the IEP counting shortcut).
+    pub fn graphpi() -> Self {
+        PlanOptions { order: OrderChoice::GraphPi, iep: true, ..PlanOptions::default() }
+    }
+}
+
+/// How the final two positions combine under the IEP shortcut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairMode {
+    /// The two positions carry a `<` restriction (symmetric pair): each
+    /// qualifying candidate set of size `k` contributes `k·(k−1)/2`.
+    Unordered,
+    /// No mutual restriction, only injectivity: contributes `k·(k−1)`.
+    Ordered,
+}
+
+/// A compiled enumeration program for one pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingPlan {
+    pattern: Pattern,
+    options: PlanOptions,
+    order: Vec<usize>,
+    levels: Vec<LevelPlan>,
+    restrictions: Vec<Restriction>,
+    aut_count: u64,
+    root_label: Option<Label>,
+}
+
+impl MatchingPlan {
+    /// Compiles `pattern` into a plan under the given options.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a supplied order is invalid for the pattern.
+    pub fn compile(pattern: &Pattern, options: &PlanOptions) -> Result<MatchingPlan, String> {
+        let n = pattern.size();
+        let order = order::resolve(pattern, &options.order)?;
+        let restr = if options.symmetry_break && n > 1 {
+            restrictions::generate(pattern, &order)
+        } else {
+            Vec::new()
+        };
+        // pos[v] = level at which pattern vertex v is matched.
+        let mut pos = vec![0usize; n];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v] = i;
+        }
+
+        let mut levels = Vec::with_capacity(n.saturating_sub(1));
+        for i in 1..n {
+            let v = order[i];
+            let intersect: Vec<usize> =
+                (0..i).filter(|&j| pattern.has_edge(order[j], v)).collect();
+            debug_assert!(!intersect.is_empty(), "connected-prefix violated");
+            let subtract: Vec<usize> = if options.induced {
+                (0..i).filter(|&j| !pattern.has_edge(order[j], v)).collect()
+            } else {
+                Vec::new()
+            };
+            let mut lower = Vec::new();
+            let mut upper = Vec::new();
+            for r in &restr {
+                let (ps, pl) = (pos[r.smaller], pos[r.larger]);
+                if ps.max(pl) == i {
+                    if pl == i {
+                        // candidate is the larger one: candidate > pos ps
+                        lower.push(ps);
+                    } else {
+                        // candidate is the smaller one: candidate < pos pl
+                        upper.push(pl);
+                    }
+                }
+            }
+            lower.sort_unstable();
+            lower.dedup();
+            upper.sort_unstable();
+            upper.dedup();
+            // Injectivity: candidates are adjacent to `intersect` positions
+            // (self-loops are impossible), and positions bounded by < / >
+            // cannot collide either. Everything else needs a != check.
+            let distinct: Vec<usize> = (0..i)
+                .filter(|j| {
+                    !intersect.contains(j) && !lower.contains(j) && !upper.contains(j)
+                })
+                .collect();
+            let edge_labels: Vec<(usize, Label)> = intersect
+                .iter()
+                .filter_map(|&j| pattern.edge_label(order[j], v).map(|l| (j, l)))
+                .collect();
+            levels.push(LevelPlan {
+                position: i,
+                intersect,
+                subtract,
+                distinct,
+                lower,
+                upper,
+                label: pattern.label(v),
+                edge_labels,
+                source: CandidateSource::Scratch,
+                store_intermediate: false,
+                active_after: Vec::new(),
+                new_vertex_active: false,
+            });
+        }
+
+        // Vertical computation reuse annotations (§5.1 / Figure 9). Only
+        // for non-induced plans: subtraction results are not reusable the
+        // same way.
+        if options.vertical_reuse && !options.induced {
+            for i in 1..levels.len() {
+                let (prev, cur) = {
+                    let (a, b) = levels.split_at_mut(i);
+                    (&mut a[i - 1], &mut b[0])
+                };
+                if cur.intersect == prev.intersect {
+                    cur.source = CandidateSource::ParentIntermediate;
+                    prev.store_intermediate = true;
+                } else {
+                    // prev.intersect ∪ {prev.position} == cur.intersect ?
+                    let mut expected = prev.intersect.clone();
+                    expected.push(prev.position);
+                    expected.sort_unstable();
+                    let mut cur_sorted = cur.intersect.clone();
+                    cur_sorted.sort_unstable();
+                    if expected == cur_sorted {
+                        cur.source = CandidateSource::ParentIntermediateAndNew;
+                        prev.store_intermediate = true;
+                    }
+                }
+            }
+        }
+
+        // Active sets: position p is active entering level l iff some
+        // level >= l intersects or subtracts p. active_after of level i is
+        // the set entering level i+1.
+        let need_at = |l: usize| -> Vec<usize> {
+            let mut need: Vec<usize> = Vec::new();
+            for lp in &levels[l - 1..] {
+                // Scratch levels read their intersect lists; reuse levels
+                // only read the *new* list (ParentIntermediateAndNew) or
+                // nothing (ParentIntermediate).
+                match lp.source {
+                    CandidateSource::Scratch => need.extend(&lp.intersect),
+                    CandidateSource::ParentIntermediate => {}
+                    CandidateSource::ParentIntermediateAndNew => {
+                        need.push(lp.position - 1);
+                    }
+                }
+                need.extend(&lp.subtract);
+            }
+            need.sort_unstable();
+            need.dedup();
+            need
+        };
+        let level_count = levels.len();
+        let afters: Vec<Vec<usize>> = (0..level_count)
+            .map(|i| if i + 1 < level_count { need_at(i + 2) } else { Vec::new() })
+            .collect();
+        for (lp, after) in levels.iter_mut().zip(afters) {
+            lp.new_vertex_active = after.contains(&lp.position);
+            lp.active_after = after;
+        }
+
+        let root_label = pattern.label(order[0]);
+        Ok(MatchingPlan {
+            pattern: pattern.clone(),
+            options: options.clone(),
+            order,
+            levels,
+            restrictions: restr,
+            aut_count: iso::automorphism_count(pattern),
+            root_label,
+        })
+    }
+
+    /// The pattern this plan enumerates.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The options the plan was compiled with.
+    pub fn options(&self) -> &PlanOptions {
+        &self.options
+    }
+
+    /// The matching order (`order[i]` = pattern vertex matched at level `i`).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Per-level extension programs (`levels()[i]` fills position `i + 1`).
+    pub fn levels(&self) -> &[LevelPlan] {
+        &self.levels
+    }
+
+    /// The symmetry-breaking restrictions in force.
+    pub fn restrictions(&self) -> &[Restriction] {
+        &self.restrictions
+    }
+
+    /// `|Aut(pattern)|`.
+    pub fn automorphism_count(&self) -> u64 {
+        self.aut_count
+    }
+
+    /// Required label of the root (level-0) vertex, for labeled patterns.
+    pub fn root_label(&self) -> Option<Label> {
+        self.root_label
+    }
+
+    /// Number of embedding positions (= pattern size).
+    pub fn depth(&self) -> usize {
+        self.pattern.size()
+    }
+
+    /// `true` if each subgraph is produced exactly once (symmetry breaking
+    /// on); `false` if the plan enumerates all injective maps.
+    pub fn counts_subgraphs(&self) -> bool {
+        self.options.symmetry_break
+    }
+
+    /// Whether any level filters on **edge** labels. Such plans run on
+    /// the single-machine executors only: the distributed engine (like
+    /// the paper's) does not ship edge labels with fetched lists.
+    pub fn requires_edge_labels(&self) -> bool {
+        self.levels.iter().any(|l| !l.edge_labels.is_empty())
+    }
+
+    /// Renders the plan as the nested-loop pseudocode its `EXTEND`
+    /// function implements (the paper's Figure 1/Figure 5 listing) — for
+    /// docs, debugging, and porting-effort comparisons.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gpm_pattern::{plan::{MatchingPlan, PlanOptions}, Pattern};
+    ///
+    /// let opts = PlanOptions { vertical_reuse: false, ..PlanOptions::automine() };
+    /// let plan = MatchingPlan::compile(&Pattern::triangle(), &opts).unwrap();
+    /// let code = plan.describe();
+    /// assert!(code.contains("for v0 in V"));
+    /// assert!(code.contains("N(v0) ∩ N(v1)"));
+    /// ```
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "// pattern {}, order {:?}", self.pattern, self.order);
+        if !self.restrictions.is_empty() {
+            let r: Vec<String> = self
+                .restrictions
+                .iter()
+                .map(|r| format!("v{} < v{}", pos_of(&self.order, r.smaller), pos_of(&self.order, r.larger)))
+                .collect();
+            let _ = write!(out, ", restrictions: {}", r.join(", "));
+        }
+        out.push('\n');
+        let mut indent = String::new();
+        let _ = writeln!(
+            out,
+            "for v0 in V{}:",
+            self.root_label.map_or(String::new(), |l| format!(" with label {l}"))
+        );
+        indent.push_str("  ");
+        for (i, lp) in self.levels.iter().enumerate() {
+            let source = match lp.source {
+                CandidateSource::Scratch => {
+                    let lists: Vec<String> =
+                        lp.intersect.iter().map(|&p| format!("N(v{p})")).collect();
+                    lists.join(" ∩ ")
+                }
+                CandidateSource::ParentIntermediate => format!("C{i}"),
+                CandidateSource::ParentIntermediateAndNew => {
+                    format!("C{i} ∩ N(v{})", lp.position - 1)
+                }
+            };
+            let mut clauses: Vec<String> = Vec::new();
+            for &p in &lp.subtract {
+                clauses.push(format!("∉ N(v{p})"));
+            }
+            for &p in &lp.lower {
+                clauses.push(format!("> v{p}"));
+            }
+            for &p in &lp.upper {
+                clauses.push(format!("< v{p}"));
+            }
+            for &p in &lp.distinct {
+                clauses.push(format!("≠ v{p}"));
+            }
+            if let Some(l) = lp.label {
+                clauses.push(format!("label {l}"));
+            }
+            for &(p, l) in &lp.edge_labels {
+                clauses.push(format!("edge(v{p})~{l}"));
+            }
+            let filter = if clauses.is_empty() {
+                String::new()
+            } else {
+                format!("  if {}", clauses.join(", "))
+            };
+            let _ = writeln!(out, "{indent}for v{} in {source}:{filter}", lp.position);
+            if lp.store_intermediate {
+                let _ = writeln!(out, "{indent}  // store C{} for reuse", lp.position);
+            }
+            indent.push_str("  ");
+        }
+        let _ = writeln!(out, "{indent}emit embedding");
+        out
+    }
+
+    /// The IEP pair-counting shortcut for the last two levels, when the
+    /// plan's structure admits it and [`PlanOptions::iep`] is on.
+    ///
+    /// Applicable when the final two pattern vertices are non-adjacent,
+    /// draw from the *same* candidate set (the second level reuses the
+    /// parent's intermediate), and differ only by injectivity or one
+    /// mutual `<` restriction. A counting executor then replaces the
+    /// final two loops with `k·(k−1)/2` (or `k·(k−1)`) per candidate set
+    /// of size `k` — collapsing, e.g., wedge counting to degree
+    /// arithmetic.
+    pub fn pair_count_mode(&self) -> Option<PairMode> {
+        if !self.options.iep || self.levels.len() < 2 {
+            return None;
+        }
+        let l1 = &self.levels[self.levels.len() - 2];
+        let l2 = &self.levels[self.levels.len() - 1];
+        if l2.source != CandidateSource::ParentIntermediate
+            || !l1.subtract.is_empty()
+            || !l2.subtract.is_empty()
+            || l1.label != l2.label
+            || !l1.edge_labels.is_empty()
+            || !l2.edge_labels.is_empty()
+            || l2.upper != l1.upper
+        {
+            return None;
+        }
+        let p1 = l1.position;
+        // Symmetric pair: l2 gains exactly the restriction `pos p1 < new`.
+        let mut lower_plus = l1.lower.clone();
+        lower_plus.push(p1);
+        lower_plus.sort_unstable();
+        let mut l2_lower = l2.lower.clone();
+        l2_lower.sort_unstable();
+        if l2_lower == lower_plus && l2.distinct == l1.distinct {
+            return Some(PairMode::Unordered);
+        }
+        // Asymmetric pair (e.g. differing labels made restrictions
+        // impossible): l2 gains exactly the injectivity check against p1.
+        let mut distinct_plus = l1.distinct.clone();
+        distinct_plus.push(p1);
+        distinct_plus.sort_unstable();
+        let mut l2_distinct = l2.distinct.clone();
+        l2_distinct.sort_unstable();
+        if l2.lower == l1.lower && l2_distinct == distinct_plus {
+            return Some(PairMode::Ordered);
+        }
+        None
+    }
+
+    /// Whether the root vertex's edge list is needed by level 1 (it always
+    /// is for patterns with more than one vertex).
+    pub fn root_active(&self) -> bool {
+        self.levels.first().is_some_and(|l| {
+            matches!(l.source, CandidateSource::Scratch) && l.intersect.contains(&0)
+                || l.subtract.contains(&0)
+        })
+    }
+}
+
+fn pos_of(order: &[usize], pattern_vertex: usize) -> usize {
+    order.iter().position(|&v| v == pattern_vertex).expect("vertex is in the order")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_renders_the_paper_listing() {
+        let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::default())
+            .unwrap();
+        let code = plan.describe();
+        assert!(code.contains("for v0 in V"), "{code}");
+        assert!(code.contains("for v1 in N(v0)"), "{code}");
+        // Vertical reuse shows up as a stored intermediate.
+        assert!(code.contains("store C"), "{code}");
+        assert!(code.contains("emit embedding"), "{code}");
+        // Restrictions render as ordering filters.
+        assert!(code.contains("> v"), "{code}");
+        // Every line count: header + root + 3 levels + stores + emit.
+        assert!(code.lines().count() >= 6);
+    }
+
+    #[test]
+    fn describe_includes_labels_and_subtracts() {
+        let p = Pattern::path(3).with_labels(vec![1, 2, 3]).unwrap();
+        let opts = PlanOptions { induced: true, ..PlanOptions::default() };
+        let plan = MatchingPlan::compile(&p, &opts).unwrap();
+        let code = plan.describe();
+        assert!(code.contains("label"), "{code}");
+        assert!(code.contains("∉ N(v"), "{code}");
+    }
+
+    #[test]
+    fn triangle_plan_shape() {
+        let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default())
+            .unwrap();
+        assert_eq!(plan.depth(), 3);
+        assert_eq!(plan.levels().len(), 2);
+        let l1 = &plan.levels()[0];
+        assert_eq!(l1.intersect, vec![0]);
+        let l2 = &plan.levels()[1];
+        assert_eq!(l2.intersect, vec![0, 1]);
+        // Full symmetry broken: three restrictions for |Aut| = 6.
+        assert_eq!(plan.restrictions().len(), 3);
+        assert_eq!(plan.automorphism_count(), 6);
+        assert!(plan.root_active());
+    }
+
+    #[test]
+    fn clique_plan_uses_vertical_reuse() {
+        let plan =
+            MatchingPlan::compile(&Pattern::clique(5), &PlanOptions::default()).unwrap();
+        let levels = plan.levels();
+        assert_eq!(levels[0].source, CandidateSource::Scratch);
+        for l in &levels[1..] {
+            assert_eq!(
+                l.source,
+                CandidateSource::ParentIntermediateAndNew,
+                "clique level {} should chain intersections",
+                l.position
+            );
+        }
+        for l in &levels[..levels.len() - 1] {
+            assert!(l.store_intermediate);
+        }
+        assert!(!levels.last().unwrap().store_intermediate);
+    }
+
+    #[test]
+    fn reuse_disabled_by_option() {
+        let opts = PlanOptions { vertical_reuse: false, ..PlanOptions::default() };
+        let plan = MatchingPlan::compile(&Pattern::clique(4), &opts).unwrap();
+        assert!(plan
+            .levels()
+            .iter()
+            .all(|l| l.source == CandidateSource::Scratch && !l.store_intermediate));
+    }
+
+    #[test]
+    fn active_sets_are_anti_monotone() {
+        for p in [
+            Pattern::clique(5),
+            Pattern::cycle(5),
+            Pattern::house(),
+            Pattern::tailed_triangle(),
+            Pattern::star(5),
+        ] {
+            for opts in [PlanOptions::automine(), PlanOptions::graphpi()] {
+                let plan = MatchingPlan::compile(&p, &opts).unwrap();
+                let levels = plan.levels();
+                for w in levels.windows(2) {
+                    // Positions active after level i+1, restricted to those
+                    // existing at level i, must be a subset of those active
+                    // after level i (anti-monotonicity, §3.1).
+                    for pos in &w[1].active_after {
+                        if *pos <= w[0].position {
+                            assert!(
+                                w[0].active_after.contains(pos),
+                                "activeness resurrected for {p} at {pos}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn last_level_has_no_active_positions() {
+        let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::default())
+            .unwrap();
+        assert!(plan.levels().last().unwrap().active_after.is_empty());
+        assert!(!plan.levels().last().unwrap().new_vertex_active);
+    }
+
+    #[test]
+    fn paper_fig5_pattern_inactive_third_vertex() {
+        // The paper's running pattern (Fig 5): A-B, A-C, A-D, B-C, B-D —
+        // i.e. two vertices (A, B) adjacent to everything, C and D only to
+        // A and B. Matched in order A, B, C, D: after matching C, the next
+        // extension intersects N(A) ∩ N(B) again, so C is *inactive*.
+        let p = Pattern::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]).unwrap();
+        let opts = PlanOptions {
+            order: OrderChoice::Given(vec![0, 1, 2, 3]),
+            ..PlanOptions::default()
+        };
+        let plan = MatchingPlan::compile(&p, &opts).unwrap();
+        let l2 = &plan.levels()[1]; // fills position 2 (C)
+        assert!(!l2.new_vertex_active, "C must be inactive (paper §3.1)");
+        assert_eq!(l2.active_after, Vec::<usize>::new()); // reuse covers level 3
+        // And level 3 reuses the parent's N(A)∩N(B) intermediate.
+        assert_eq!(plan.levels()[2].source, CandidateSource::ParentIntermediate);
+    }
+
+    #[test]
+    fn induced_plan_has_subtract_and_distinct() {
+        let opts = PlanOptions { induced: true, ..PlanOptions::default() };
+        let plan = MatchingPlan::compile(&Pattern::path(3), &opts).unwrap();
+        // Path 0-1-2 ordered from the middle: level 2 must exclude
+        // adjacency to one endpoint.
+        let l2 = &plan.levels()[1];
+        assert_eq!(l2.subtract.len(), 1);
+        // The subtracted position must also be != checked or bounded.
+        let covered = l2.distinct.len() + l2.lower.len() + l2.upper.len();
+        assert!(covered >= 1);
+    }
+
+    #[test]
+    fn labeled_plan_carries_labels() {
+        let p = Pattern::path(3).with_labels(vec![1, 2, 3]).unwrap();
+        let plan = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
+        let mut seen: Vec<Option<Label>> = vec![plan.root_label()];
+        seen.extend(plan.levels().iter().map(|l| l.label));
+        let mut labels: Vec<_> = seen.into_iter().map(Option::unwrap).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn given_bad_order_is_rejected() {
+        let opts = PlanOptions {
+            order: OrderChoice::Given(vec![0, 2, 1]),
+            ..PlanOptions::default()
+        };
+        assert!(MatchingPlan::compile(&Pattern::path(3), &opts).is_err());
+    }
+
+    #[test]
+    fn no_symmetry_break_means_no_bounds() {
+        let opts = PlanOptions { symmetry_break: false, ..PlanOptions::default() };
+        let plan = MatchingPlan::compile(&Pattern::clique(4), &opts).unwrap();
+        assert!(plan.restrictions().is_empty());
+        for l in plan.levels() {
+            assert!(l.lower.is_empty() && l.upper.is_empty());
+        }
+        assert!(!plan.counts_subgraphs());
+    }
+}

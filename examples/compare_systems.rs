@@ -1,0 +1,106 @@
+//! Side-by-side comparison of every system in the repository on one
+//! workload: 4-clique counting on the MiCo stand-in, 4 machines.
+//!
+//! Reproduces in miniature what Table 2 / Figure 10 / Figure 15 show:
+//! fine-grained extendable-embedding scheduling (Khuzdul) vs. coarse
+//! tasks with a general cache (G-thinker-like) vs. replication
+//! (GraphPi-like) vs. moving computation to data (aDFS-like).
+//!
+//! ```text
+//! cargo run --release --example compare_systems
+//! ```
+
+use khuzdul_repro::baselines::ctd::CtdCluster;
+use khuzdul_repro::baselines::gthinker::{GThinker, GThinkerConfig};
+use khuzdul_repro::baselines::replicated::{ReplicatedCluster, ReplicatedConfig};
+use khuzdul_repro::baselines::single::SingleMachine;
+use khuzdul_repro::engine::{Engine, EngineConfig};
+use khuzdul_repro::graph::datasets::DatasetId;
+use khuzdul_repro::graph::partition::PartitionedGraph;
+use khuzdul_repro::pattern::plan::{MatchingPlan, PlanOptions};
+use khuzdul_repro::pattern::Pattern;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const MACHINES: usize = 4;
+    let graph = DatasetId::Mico.build();
+    let pattern = Pattern::clique(4);
+    println!(
+        "workload: 4-CC on the MiCo stand-in ({} vertices, {} edges), {MACHINES} machines\n",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    println!(
+        "{:<34} {:>12} {:>14} {:>10}",
+        "system", "runtime", "net traffic", "count"
+    );
+
+    let report = |name: &str, count: u64, secs: f64, bytes: u64| {
+        println!("{name:<34} {:>10.1}ms {bytes:>14} {count:>10}", secs * 1e3);
+    };
+
+    // Khuzdul-based systems (partitioned graph).
+    let engine =
+        Engine::new(PartitionedGraph::new(&graph, MACHINES, 1), EngineConfig::default());
+    for (name, opts) in [
+        ("k-Automine (Khuzdul)", PlanOptions::automine()),
+        ("k-GraphPi (Khuzdul)", PlanOptions::graphpi()),
+    ] {
+        let plan = MatchingPlan::compile(&pattern, &opts)?;
+        let run = engine.count(&plan);
+        report(name, run.count, run.elapsed.as_secs_f64(), run.traffic.network_bytes);
+        engine.reset_caches();
+    }
+    engine.shutdown();
+
+    // Replicated graph (GraphPi distributed mode).
+    let repl = ReplicatedCluster::new(
+        graph.clone(),
+        ReplicatedConfig { machines: MACHINES, ..ReplicatedConfig::default() },
+    );
+    let plan = MatchingPlan::compile(&pattern, &PlanOptions::graphpi())?;
+    let run = repl.count(&plan);
+    report(
+        "GraphPi-like (replicated graph)",
+        run.count,
+        run.elapsed.as_secs_f64(),
+        run.traffic.network_bytes,
+    );
+
+    // G-thinker-like (partitioned, coarse tasks, general cache).
+    let gt = GThinker::new(
+        PartitionedGraph::new(&graph, MACHINES, 1),
+        GThinkerConfig::default(),
+    );
+    let run = gt.count(&pattern, &PlanOptions::automine())?;
+    report(
+        "G-thinker-like (coarse tasks)",
+        run.count,
+        run.elapsed.as_secs_f64(),
+        run.traffic.network_bytes,
+    );
+    let b = run.breakdown();
+    println!(
+        "  └ breakdown: {:.0}% compute, {:.0}% network, {:.0}% scheduler, {:.0}% cache",
+        b.compute * 100.0,
+        b.network * 100.0,
+        b.scheduler * 100.0,
+        b.cache * 100.0
+    );
+
+    // Moving computation to data (aDFS-like).
+    let ctd = CtdCluster::new(PartitionedGraph::new(&graph, MACHINES, 1));
+    let run = ctd.count(&pattern, &PlanOptions::automine())?;
+    report(
+        "aDFS-like (computation to data)",
+        run.count,
+        run.elapsed.as_secs_f64(),
+        run.traffic.network_bytes,
+    );
+
+    // Single machine reference.
+    let single = SingleMachine::automine_ih(graph, 4);
+    let run = single.count(&pattern)?;
+    report("AutomineIH (single machine)", run.count, run.elapsed.as_secs_f64(), 0);
+
+    Ok(())
+}

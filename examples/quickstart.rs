@@ -1,0 +1,53 @@
+//! Quickstart: count triangles on a simulated 4-machine cluster.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use khuzdul_repro::engine::{Engine, EngineConfig};
+use khuzdul_repro::graph::{gen, partition::PartitionedGraph};
+use khuzdul_repro::pattern::plan::{MatchingPlan, PlanOptions};
+use khuzdul_repro::pattern::Pattern;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An input graph: a power-law social network (deterministic seed).
+    let graph = gen::barabasi_albert(50_000, 8, 42);
+    println!(
+        "graph: {} vertices, {} edges, max degree {}",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.max_degree()
+    );
+
+    // 2. 1-D hash-partition it across 4 machines (1 NUMA socket each).
+    let pg = PartitionedGraph::new(&graph, 4, 1);
+
+    // 3. Start the Khuzdul engine over the partitioned graph.
+    let engine = Engine::new(pg, EngineConfig::default());
+
+    // 4. Compile a pattern into a matching plan — this is what a client
+    //    system's compiler (k-Automine here) hands to the engine as its
+    //    EXTEND program.
+    let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::automine())?;
+
+    // 5. Run it.
+    let run = engine.count(&plan);
+    println!("triangles: {}", run.count);
+    println!("elapsed:   {:?}", run.elapsed);
+    println!(
+        "traffic:   {} bytes over {} fetches (cache hit rate {:.1}%)",
+        run.traffic.network_bytes,
+        run.traffic.requests,
+        run.traffic.cache_hit_rate().unwrap_or(0.0) * 100.0
+    );
+    let b = run.breakdown();
+    println!(
+        "breakdown: {:.0}% compute, {:.0}% network, {:.0}% scheduler",
+        b.compute * 100.0,
+        b.network * 100.0,
+        b.scheduler * 100.0
+    );
+
+    engine.shutdown();
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the Khuzdul reproduction workspace.
+//!
+//! Re-exports every sub-crate so examples and integration tests can use a
+//! single dependency. See the repository `README.md` for a tour and
+//! `DESIGN.md` for the architecture.
+
+pub use gpm_apps as apps;
+pub use gpm_baselines as baselines;
+pub use gpm_cluster as cluster;
+pub use gpm_graph as graph;
+pub use gpm_pattern as pattern;
+pub use khuzdul as engine;

@@ -1,0 +1,183 @@
+//! Cross-crate integration: engine-level behaviour the paper promises —
+//! bounded memory via chunking, traffic reductions from each sharing
+//! mechanism, cache semantics, and workload-level end-to-end runs.
+
+use khuzdul_repro::apps::counting;
+use khuzdul_repro::apps::fsm::{fsm, fsm_single, FsmConfig};
+use khuzdul_repro::engine::{Engine, EngineConfig};
+use khuzdul_repro::graph::partition::PartitionedGraph;
+use khuzdul_repro::graph::{datasets::DatasetId, gen};
+use khuzdul_repro::pattern::plan::{MatchingPlan, PlanOptions};
+use khuzdul_repro::pattern::{oracle, Pattern};
+use khuzdul::{CacheConfig, CachePolicy};
+
+fn engine_with(g: &gpm_graph::Graph, machines: usize, cfg: EngineConfig) -> Engine {
+    Engine::new(PartitionedGraph::new(g, machines, 1), cfg)
+}
+
+#[test]
+fn tiny_chunks_still_complete_deep_patterns() {
+    // chunk capacity 3 on a 5-level pattern: maximal pause/resume stress.
+    let g = gen::erdos_renyi(80, 500, 5);
+    let p = Pattern::clique(5);
+    let expect = oracle::count_subgraphs(&g, &p, false);
+    let engine = engine_with(
+        &g,
+        3,
+        EngineConfig { chunk_capacity: 3, ..EngineConfig::default() },
+    );
+    let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+    assert_eq!(engine.count(&plan).count, expect);
+    engine.shutdown();
+}
+
+#[test]
+fn every_sharing_mechanism_reduces_traffic_on_skewed_graphs() {
+    let g = gen::barabasi_albert(400, 6, 13);
+    let p = Pattern::clique(4);
+    let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+    let run_with = |horizontal: bool, cache: CacheConfig| {
+        let engine = engine_with(
+            &g,
+            4,
+            EngineConfig { horizontal_sharing: horizontal, cache, ..EngineConfig::default() },
+        );
+        let r = engine.count(&plan);
+        engine.shutdown();
+        r
+    };
+    let none = run_with(false, CacheConfig::disabled());
+    let horizontal = run_with(true, CacheConfig::disabled());
+    let cache = run_with(
+        false,
+        CacheConfig { degree_threshold: 4, ..CacheConfig::default() },
+    );
+    let both = run_with(
+        true,
+        CacheConfig { degree_threshold: 4, ..CacheConfig::default() },
+    );
+    assert_eq!(none.count, horizontal.count);
+    assert_eq!(none.count, cache.count);
+    assert_eq!(none.count, both.count);
+    assert!(horizontal.traffic.network_bytes < none.traffic.network_bytes);
+    assert!(cache.traffic.network_bytes < none.traffic.network_bytes);
+    assert!(both.traffic.network_bytes <= horizontal.traffic.network_bytes);
+    assert!(both.traffic.network_bytes <= cache.traffic.network_bytes);
+}
+
+#[test]
+fn vertical_reuse_reduces_intersection_work_not_traffic_correctness() {
+    let g = gen::barabasi_albert(300, 5, 2);
+    for k in [4usize, 5] {
+        let p = Pattern::clique(k);
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        for reuse in [true, false] {
+            let opts = PlanOptions { vertical_reuse: reuse, ..PlanOptions::graphpi() };
+            let plan = MatchingPlan::compile(&p, &opts).unwrap();
+            let engine = engine_with(&g, 4, EngineConfig::default());
+            assert_eq!(engine.count(&plan).count, expect, "k={k} reuse={reuse}");
+            engine.shutdown();
+        }
+    }
+}
+
+#[test]
+fn cache_policies_only_change_costs_never_results() {
+    let g = gen::barabasi_albert(250, 5, 21);
+    let p = Pattern::clique(4);
+    let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+    let mut counts = Vec::new();
+    for policy in [
+        CachePolicy::Disabled,
+        CachePolicy::Static,
+        CachePolicy::Fifo,
+        CachePolicy::Lifo,
+        CachePolicy::Lru,
+        CachePolicy::Mru,
+    ] {
+        let engine = engine_with(
+            &g,
+            4,
+            EngineConfig {
+                cache: CacheConfig {
+                    policy,
+                    capacity_per_machine: 8 << 10, // small: forces evictions
+                    degree_threshold: 1,
+                },
+                ..EngineConfig::default()
+            },
+        );
+        counts.push(engine.count(&plan).count);
+        engine.shutdown();
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn motif_counting_full_dataset_pipeline() {
+    // End to end through the dataset registry, the engine and the apps
+    // crate, checked against the oracle.
+    let g = gen::barabasi_albert(150, 4, 4);
+    let engine = engine_with(&g, 2, EngineConfig::default());
+    let motifs = counting::motif_count(&engine, 4, &PlanOptions::automine()).unwrap();
+    engine.shutdown();
+    for (p, c) in &motifs.per_pattern {
+        assert_eq!(*c, oracle::count_subgraphs(&g, p, true), "{p}");
+    }
+}
+
+#[test]
+fn fsm_distributed_equals_single_on_dataset_standin() {
+    let g = DatasetId::Mico.build_labeled(3);
+    // Trim to a small subgraph for test speed.
+    let mut b = gpm_graph::GraphBuilder::new(2000);
+    for (u, v) in g.edges() {
+        if u < 2000 && v < 2000 {
+            b.add_edge(u, v);
+        }
+    }
+    b.labels(g.labels().unwrap()[..2000].to_vec());
+    let g = b.build();
+    let cfg = FsmConfig { support_threshold: 40, max_edges: 2, ..FsmConfig::default() };
+    let single = fsm_single(&g, &cfg);
+    let engine = engine_with(&g, 4, EngineConfig::default());
+    let dist = fsm(&engine, &cfg);
+    engine.shutdown();
+    assert_eq!(single.frequent.len(), dist.frequent.len());
+    assert!(!single.frequent.is_empty(), "threshold should keep some patterns");
+}
+
+#[test]
+fn network_model_changes_time_not_results() {
+    let g = gen::barabasi_albert(200, 5, 9);
+    let p = Pattern::triangle();
+    let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+    let expect = oracle::count_subgraphs(&g, &p, false);
+    let engine = engine_with(
+        &g,
+        4,
+        EngineConfig {
+            network: Some(gpm_cluster::NetworkModel { latency_us: 50.0, bandwidth_gbps: 1.0 }),
+            ..EngineConfig::default()
+        },
+    );
+    let run = engine.count(&plan);
+    engine.shutdown();
+    assert_eq!(run.count, expect);
+    assert!(run.per_part.iter().any(|p| !p.network.is_zero()));
+}
+
+#[test]
+fn run_stats_are_internally_consistent() {
+    let g = gen::erdos_renyi(150, 700, 3);
+    let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::automine()).unwrap();
+    let engine = engine_with(&g, 4, EngineConfig::default());
+    let run = engine.count(&plan);
+    engine.shutdown();
+    assert_eq!(run.count, run.per_part.iter().map(|p| p.count).sum::<u64>());
+    assert_eq!(run.per_part.len(), 4);
+    let b = run.breakdown();
+    for f in [b.compute, b.network, b.scheduler, b.cache] {
+        assert!((0.0..=1.0).contains(&f));
+    }
+}
