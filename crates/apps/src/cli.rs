@@ -13,8 +13,9 @@ use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::{gen, Graph};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
-use khuzdul::{Engine, EngineConfig, RunStats};
+use khuzdul::{Engine, EngineConfig, FabricConfig, FaultPlan, RunStats};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +36,13 @@ pub struct Options {
     pub induced: bool,
     /// Print only the count.
     pub quiet: bool,
+    /// Per-part in-flight request window of the fetch fabric (1 =
+    /// fully serialized transfers, the pre-fabric behaviour).
+    pub window: usize,
+    /// Maximum fetch attempts before a request times out.
+    pub retries: u32,
+    /// Fraction of fetch replies to drop (fault injection; 0 = off).
+    pub fault_drop: f64,
 }
 
 /// Graph source.
@@ -99,11 +107,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut threads = 2usize;
     let mut induced = false;
     let mut quiet = false;
+    let fabric_default = FabricConfig::default();
+    let mut window = fabric_default.window;
+    let mut retries = fabric_default.retry.max_attempts;
+    let mut fault_drop = 0.0f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = || {
-            it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"))
-        };
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"));
         match arg.as_str() {
             "--graph" => graph = Some(GraphSource::Path(value()?.to_string())),
             "--gen" => graph = Some(GraphSource::Spec(value()?.to_string())),
@@ -114,6 +125,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--threads" => threads = parse_num(value()?)?,
             "--induced" => induced = true,
             "--quiet" => quiet = true,
+            "--window" => window = parse_num(value()?)?,
+            "--retries" => retries = parse_num(value()?)? as u32,
+            "--fault-drop" => fault_drop = parse_fraction(value()?)?,
             "--help" | "-h" => return Err("see the crate docs for usage".into()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -127,11 +141,22 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         threads: threads.max(1),
         induced,
         quiet,
+        window: window.max(1),
+        retries: retries.max(1),
+        fault_drop,
     })
 }
 
 fn parse_num(s: &str) -> Result<usize, String> {
     s.parse().map_err(|_| format!("'{s}' is not a number"))
+}
+
+fn parse_fraction(s: &str) -> Result<f64, String> {
+    let f: f64 = s.parse().map_err(|_| format!("'{s}' is not a number"))?;
+    if !(0.0..=1.0).contains(&f) {
+        return Err(format!("'{s}' must be a fraction in [0, 1]"));
+    }
+    Ok(f)
 }
 
 /// Parses a pattern spec: `triangle`, `clique:4`, `path:5`, `cycle:4`,
@@ -159,9 +184,8 @@ pub fn parse_pattern(spec: &str) -> Result<Pattern, String> {
             let mut edges = Vec::new();
             let mut n = 0usize;
             for pair in text.split(',') {
-                let (u, v) = pair
-                    .split_once('-')
-                    .ok_or_else(|| format!("bad edge '{pair}' (want U-V)"))?;
+                let (u, v) =
+                    pair.split_once('-').ok_or_else(|| format!("bad edge '{pair}' (want U-V)"))?;
                 let (u, v) = (parse_num(u)?, parse_num(v)?);
                 n = n.max(u + 1).max(v + 1);
                 edges.push((u, v));
@@ -185,9 +209,7 @@ pub fn parse_gen(spec: &str) -> Result<Graph, String> {
     match head {
         "ba" => Ok(gen::barabasi_albert(num(0)?, num(1)?, seed(2))),
         "er" => Ok(gen::erdos_renyi(num(0)?, num(1)?, seed(2))),
-        "rmat" => {
-            Ok(gen::rmat(num(0)? as u32, num(1)?, (0.57, 0.19, 0.19), seed(2)))
-        }
+        "rmat" => Ok(gen::rmat(num(0)? as u32, num(1)?, (0.57, 0.19, 0.19), seed(2))),
         "dataset" => {
             let abbr = nums.first().copied().unwrap_or("");
             DatasetId::ALL
@@ -238,9 +260,8 @@ fn graph_and_flags(
     let mut values: Vec<usize> = extra.iter().map(|&(_, d)| d).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = || {
-            it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"))
-        };
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"));
         match arg.as_str() {
             "--graph" => graph = Some(GraphSource::Path(value()?.to_string())),
             "--gen" => graph = Some(GraphSource::Spec(value()?.to_string())),
@@ -269,11 +290,7 @@ fn run_stats(args: &[String]) -> Result<String, String> {
     if let Some(c) = analysis::global_clustering(&g) {
         let _ = writeln!(out, "clustering      {c:.4}");
     }
-    let _ = writeln!(
-        out,
-        "largest comp.   {} vertices",
-        analysis::largest_component_size(&g)
-    );
+    let _ = writeln!(out, "largest comp.   {} vertices", analysis::largest_component_size(&g));
     let hist = analysis::degree_histogram_log2(&g);
     let _ = writeln!(out, "degree histogram (log2 buckets):");
     for (i, c) in hist.iter().enumerate() {
@@ -288,10 +305,8 @@ fn run_stats(args: &[String]) -> Result<String, String> {
 fn run_motifs(args: &[String]) -> Result<String, String> {
     let (g, vals) = graph_and_flags(args, &[("--k", 3), ("--machines", 4)])?;
     let (k, machines) = (vals[0], vals[1]);
-    let engine = Engine::new(
-        PartitionedGraph::new(&g, machines.max(1), 1),
-        EngineConfig::default(),
-    );
+    let engine =
+        Engine::new(PartitionedGraph::new(&g, machines.max(1), 1), EngineConfig::default());
     let motifs = gpm_apps_counting_motifs(&engine, k)?;
     engine.shutdown();
     let mut out = String::new();
@@ -323,10 +338,8 @@ fn run_fsm(args: &[String]) -> Result<String, String> {
     } else {
         gpm_graph::gen::with_random_labels(&g, labels as gpm_graph::Label, 7)
     };
-    let engine = Engine::new(
-        PartitionedGraph::new(&g, machines.max(1), 1),
-        EngineConfig::default(),
-    );
+    let engine =
+        Engine::new(PartitionedGraph::new(&g, machines.max(1), 1), EngineConfig::default());
     let result = crate::fsm::fsm(
         &engine,
         &crate::fsm::FsmConfig {
@@ -347,9 +360,7 @@ fn run_fsm(args: &[String]) -> Result<String, String> {
     for (p, s) in &result.frequent {
         let labels = p
             .labels()
-            .map(|l| {
-                l.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
-            })
+            .map(|l| l.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(","))
             .unwrap_or_default();
         let _ = writeln!(out, "  {p} [{labels}]  support>={s}");
     }
@@ -372,7 +383,8 @@ fn run_count(args: &[String]) -> Result<String, String> {
         graph.edge_count(),
         graph.max_degree()
     );
-    let _ = writeln!(out, "pattern  {}{}", opts.pattern, if opts.induced { " (induced)" } else { "" });
+    let _ =
+        writeln!(out, "pattern  {}{}", opts.pattern, if opts.induced { " (induced)" } else { "" });
     let _ = writeln!(
         out,
         "system   {} ({} machines x {} sockets, {} threads)",
@@ -385,8 +397,11 @@ fn run_count(args: &[String]) -> Result<String, String> {
     let _ = writeln!(out, "elapsed  {:?}", stats.elapsed);
     let _ = writeln!(
         out,
-        "traffic  {} bytes in {} fetches",
-        stats.traffic.network_bytes, stats.traffic.requests
+        "traffic  {} bytes in {} fetches ({} coalesced, {} retries)",
+        stats.traffic.network_bytes,
+        stats.traffic.requests,
+        stats.traffic.coalesced,
+        stats.traffic.retries
     );
     let b = stats.breakdown();
     let _ = writeln!(
@@ -409,11 +424,20 @@ fn execute(graph: &Graph, opts: &Options) -> Result<RunStats, String> {
     match opts.system {
         System::KhuzdulAutomine | System::KhuzdulGraphpi => {
             let plan = MatchingPlan::compile(&opts.pattern, &plan_opts)?;
+            let mut fabric = FabricConfig { window: opts.window, ..FabricConfig::default() };
+            fabric.retry.max_attempts = opts.retries;
+            if opts.fault_drop > 0.0 {
+                fabric.fault = Some(FaultPlan::drops(opts.fault_drop));
+                // Dropped replies only resolve via timeout, so the
+                // default (generous) timeout would crawl; tighten it.
+                fabric.retry.timeout = Duration::from_millis(25);
+                fabric.retry.backoff = Duration::from_millis(1);
+            }
             let engine = Engine::new(
                 PartitionedGraph::new(graph, opts.machines, opts.sockets),
-                EngineConfig { compute_threads: opts.threads, ..EngineConfig::default() },
+                EngineConfig { compute_threads: opts.threads, fabric, ..EngineConfig::default() },
             );
-            let stats = engine.count(&plan);
+            let stats = engine.try_count(&plan).map_err(|e| e.to_string())?;
             engine.shutdown();
             Ok(stats)
         }
@@ -437,8 +461,7 @@ fn execute(graph: &Graph, opts: &Options) -> Result<RunStats, String> {
             Ok(sys.count(&plan))
         }
         System::Ctd => {
-            let sys =
-                CtdCluster::new(PartitionedGraph::new(graph, opts.machines, opts.sockets));
+            let sys = CtdCluster::new(PartitionedGraph::new(graph, opts.machines, opts.sockets));
             sys.count(&opts.pattern, &plan_opts)
         }
         System::Single => {
@@ -488,16 +511,45 @@ mod tests {
         assert!(parse_args(&argv("--gen ba:100,3 --pattern nope")).is_err());
         assert!(parse_args(&argv("--bogus")).is_err());
         assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --machines x")).is_err());
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --fault-drop 1.5")).is_err());
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --fault-drop x")).is_err());
+    }
+
+    #[test]
+    fn parse_fabric_flags() {
+        let o = parse_args(&argv(
+            "--gen ba:100,3 --pattern triangle --window 8 --retries 6 --fault-drop 0.05",
+        ))
+        .unwrap();
+        assert_eq!(o.window, 8);
+        assert_eq!(o.retries, 6);
+        assert!((o.fault_drop - 0.05).abs() < 1e-12);
+        // Defaults track the fabric's own defaults.
+        let d = parse_args(&argv("--gen ba:100,3 --pattern triangle")).unwrap();
+        assert_eq!(d.window, FabricConfig::default().window);
+        assert_eq!(d.fault_drop, 0.0);
+        // --window 0 is clamped rather than deadlocking the fabric.
+        let z = parse_args(&argv("--gen ba:100,3 --pattern triangle --window 0")).unwrap();
+        assert_eq!(z.window, 1);
+    }
+
+    #[test]
+    fn count_under_fault_injection_still_agrees() {
+        let clean =
+            run(&argv("--gen er:60,200,3 --pattern triangle --machines 3 --quiet")).unwrap();
+        let faulty = run(&argv(
+            "--gen er:60,200,3 --pattern triangle --machines 3 --quiet \
+             --window 4 --retries 10 --fault-drop 0.05",
+        ))
+        .unwrap();
+        assert_eq!(clean.trim(), faulty.trim());
     }
 
     #[test]
     fn pattern_grammar() {
         assert_eq!(parse_pattern("clique:5").unwrap(), Pattern::clique(5));
         assert_eq!(parse_pattern("path:3").unwrap(), Pattern::path(3));
-        assert_eq!(
-            parse_pattern("edges:0-1,1-2,2-0").unwrap(),
-            Pattern::triangle()
-        );
+        assert_eq!(parse_pattern("edges:0-1,1-2,2-0").unwrap(), Pattern::triangle());
         assert!(parse_pattern("clique").is_err());
         assert!(parse_pattern("edges:0-").is_err());
         assert!(parse_pattern("edges:0-1,5-6").is_err()); // disconnected
@@ -531,8 +583,7 @@ mod tests {
     #[test]
     fn fsm_subcommand() {
         let out =
-            run(&argv("fsm --gen er:60,200 --threshold 5 --max-edges 2 --machines 2"))
-                .unwrap();
+            run(&argv("fsm --gen er:60,200 --threshold 5 --max-edges 2 --machines 2")).unwrap();
         assert!(out.contains("frequent at support >= 5"), "{out}");
     }
 
@@ -560,8 +611,7 @@ mod tests {
 
     #[test]
     fn verbose_report_mentions_everything() {
-        let out =
-            run(&argv("--gen ba:200,4 --pattern clique:4 --machines 2")).unwrap();
+        let out = run(&argv("--gen ba:200,4 --pattern clique:4 --machines 2")).unwrap();
         for needle in ["graph", "pattern", "count", "elapsed", "traffic", "split"] {
             assert!(out.contains(needle), "missing {needle} in:\n{out}");
         }

@@ -77,22 +77,13 @@ fn count_maps_with_fixed(
     map[b] = y;
     // The fixed pair must respect pattern adjacency between a and b (they
     // are an edge by construction) — now backtrack over the rest.
-    fn descend(
-        g: &Graph,
-        p: &Pattern,
-        order: &[usize],
-        i: usize,
-        map: &mut Vec<VertexId>,
-    ) -> u64 {
+    fn descend(g: &Graph, p: &Pattern, order: &[usize], i: usize, map: &mut Vec<VertexId>) -> u64 {
         if i == order.len() {
             return 1;
         }
         let pv = order[i];
-        let anchor = order[..i]
-            .iter()
-            .copied()
-            .find(|&o| p.has_edge(o, pv))
-            .expect("connected prefix");
+        let anchor =
+            order[..i].iter().copied().find(|&o| p.has_edge(o, pv)).expect("connected prefix");
         let mut count = 0u64;
         let candidates: Vec<VertexId> = g.neighbors(map[anchor]).to_vec();
         'cand: for cand in candidates {
@@ -202,8 +193,7 @@ mod tests {
         let g = gen::erdos_renyi(30, 110, 7);
         for p in [Pattern::triangle(), Pattern::path(3), Pattern::clique(4)] {
             let total = oracle::count_subgraphs(&g, &p, false);
-            let sum: u64 =
-                g.edges().map(|(u, v)| count_containing_edge(&g, &p, u, v)).sum();
+            let sum: u64 = g.edges().map(|(u, v)| count_containing_edge(&g, &p, u, v)).sum();
             assert_eq!(sum, total * p.edge_count() as u64, "{p}");
         }
     }

@@ -59,10 +59,7 @@ pub struct FsmResult {
 ///
 /// Panics if the engine's graph is unlabeled.
 pub fn fsm(engine: &Engine, cfg: &FsmConfig) -> FsmResult {
-    let labels = engine
-        .partitioned_graph()
-        .labels()
-        .expect("FSM requires a labeled graph");
+    let labels = engine.partitioned_graph().labels().expect("FSM requires a labeled graph");
     let label_count = distinct_label_bound(&labels);
     run_fsm(cfg, label_count, |pattern| {
         let plan = compile(pattern);
@@ -202,7 +199,10 @@ mod tests {
     fn single_machine_fsm_on_star() {
         let g = star_labeled();
         // Edge (0,1): center image {0} (size 1), leaf image 10 → MNI 1.
-        let res = fsm_single(&g, &FsmConfig { support_threshold: 1, max_edges: 2, ..FsmConfig::default() });
+        let res = fsm_single(
+            &g,
+            &FsmConfig { support_threshold: 1, max_edges: 2, ..FsmConfig::default() },
+        );
         assert!(res
             .frequent
             .iter()
@@ -222,7 +222,10 @@ mod tests {
         // enumerated embedding, but both endpoints must enter both image
         // sets.
         let g = gen::path(2).with_labels(vec![5, 5]);
-        let res = fsm_single(&g, &FsmConfig { support_threshold: 1, max_edges: 1, ..FsmConfig::default() });
+        let res = fsm_single(
+            &g,
+            &FsmConfig { support_threshold: 1, max_edges: 1, ..FsmConfig::default() },
+        );
         let (_, support) = res
             .frequent
             .iter()
@@ -241,11 +244,8 @@ mod tests {
         engine.shutdown();
         assert_eq!(single.evaluated, dist.evaluated);
         let norm = |r: &FsmResult| {
-            let mut v: Vec<(Vec<u8>, u64)> = r
-                .frequent
-                .iter()
-                .map(|(p, s)| (iso::canonical_code(p), *s))
-                .collect();
+            let mut v: Vec<(Vec<u8>, u64)> =
+                r.frequent.iter().map(|(p, s)| (iso::canonical_code(p), *s)).collect();
             v.sort();
             v
         };
@@ -255,8 +255,14 @@ mod tests {
     #[test]
     fn threshold_is_anti_monotone_in_results() {
         let g = gen::with_random_labels(&gen::erdos_renyi(60, 250, 2), 2, 3);
-        let loose = fsm_single(&g, &FsmConfig { support_threshold: 2, max_edges: 2, ..FsmConfig::default() });
-        let tight = fsm_single(&g, &FsmConfig { support_threshold: 10, max_edges: 2, ..FsmConfig::default() });
+        let loose = fsm_single(
+            &g,
+            &FsmConfig { support_threshold: 2, max_edges: 2, ..FsmConfig::default() },
+        );
+        let tight = fsm_single(
+            &g,
+            &FsmConfig { support_threshold: 10, max_edges: 2, ..FsmConfig::default() },
+        );
         let codes = |r: &FsmResult| -> HashSet<Vec<u8>> {
             r.frequent.iter().map(|(p, _)| iso::canonical_code(p)).collect()
         };
@@ -277,7 +283,10 @@ mod tests {
     #[test]
     fn max_edges_limits_growth() {
         let g = gen::with_random_labels(&gen::complete(20), 1, 1);
-        let res = fsm_single(&g, &FsmConfig { support_threshold: 1, max_edges: 3, ..FsmConfig::default() });
+        let res = fsm_single(
+            &g,
+            &FsmConfig { support_threshold: 1, max_edges: 3, ..FsmConfig::default() },
+        );
         assert!(res.frequent.iter().all(|(p, _)| p.edge_count() <= 3));
         // On a single-label complete graph: edge, wedge, triangle,
         // 3-path, 3-star must all appear.
@@ -296,8 +305,7 @@ mod tests {
             &FsmConfig { support_threshold: 10, max_edges: 2, exact_supports: false },
         );
         let codes = |r: &FsmResult| -> Vec<Vec<u8>> {
-            let mut v: Vec<_> =
-                r.frequent.iter().map(|(p, _)| iso::canonical_code(p)).collect();
+            let mut v: Vec<_> = r.frequent.iter().map(|(p, _)| iso::canonical_code(p)).collect();
             v.sort();
             v
         };
@@ -308,10 +316,8 @@ mod tests {
         }
         // Distributed early exit agrees with single-machine decisions.
         let engine = Engine::new(PartitionedGraph::new(&g, 3, 1), EngineConfig::default());
-        let dist = fsm(
-            &engine,
-            &FsmConfig { support_threshold: 10, max_edges: 2, exact_supports: false },
-        );
+        let dist =
+            fsm(&engine, &FsmConfig { support_threshold: 10, max_edges: 2, exact_supports: false });
         engine.shutdown();
         assert_eq!(codes(&exact), codes(&dist));
     }

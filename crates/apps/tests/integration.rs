@@ -21,8 +21,7 @@ fn motif_identity_sum_of_noninduced_counts() {
     let e = engine(&g, 3);
     let induced = motif_count(&e, 4, &PlanOptions::automine()).unwrap();
     for p in gpm_pattern::genpat::connected_patterns(4) {
-        let plan = gpm_pattern::plan::MatchingPlan::compile(&p, &PlanOptions::automine())
-            .unwrap();
+        let plan = gpm_pattern::plan::MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
         let noninduced = e.count(&plan).count;
         let via_identity: u64 = induced
             .per_pattern
@@ -56,14 +55,10 @@ fn motif_routes_agree_on_five_motifs() {
 #[test]
 fn fsm_results_monotone_in_max_edges() {
     let g = gen::with_random_labels(&gen::erdos_renyi(70, 280, 9), 2, 4);
-    let small = fsm_single(
-        &g,
-        &FsmConfig { support_threshold: 8, max_edges: 1, ..FsmConfig::default() },
-    );
-    let large = fsm_single(
-        &g,
-        &FsmConfig { support_threshold: 8, max_edges: 3, ..FsmConfig::default() },
-    );
+    let small =
+        fsm_single(&g, &FsmConfig { support_threshold: 8, max_edges: 1, ..FsmConfig::default() });
+    let large =
+        fsm_single(&g, &FsmConfig { support_threshold: 8, max_edges: 3, ..FsmConfig::default() });
     let codes = |r: &gpm_apps::fsm::FsmResult| -> std::collections::HashSet<Vec<u8>> {
         r.frequent.iter().map(|(p, _)| iso::canonical_code(p)).collect()
     };
@@ -77,10 +72,8 @@ fn fsm_single_edge_patterns_match_direct_counts() {
     // endpoints on the rarer side == min over the two image sets, which
     // can be computed directly from the adjacency.
     let g = gen::with_random_labels(&gen::erdos_renyi(50, 200, 2), 2, 6);
-    let res = fsm_single(
-        &g,
-        &FsmConfig { support_threshold: 1, max_edges: 1, ..FsmConfig::default() },
-    );
+    let res =
+        fsm_single(&g, &FsmConfig { support_threshold: 1, max_edges: 1, ..FsmConfig::default() });
     for (p, support) in &res.frequent {
         let [la, lb] = [p.label(0).unwrap(), p.label(1).unwrap()];
         let mut img_a = std::collections::HashSet::new();
@@ -117,15 +110,12 @@ fn labeled_motifs_through_the_engine() {
     for a in 0..2u16 {
         for b in 0..2u16 {
             for c in 0..2u16 {
-                let p = gpm_pattern::Pattern::triangle()
-                    .with_labels(vec![a, b, c])
-                    .unwrap();
+                let p = gpm_pattern::Pattern::triangle().with_labels(vec![a, b, c]).unwrap();
                 if !seen.insert(iso::canonical_code(&p)) {
                     continue;
                 }
                 let plan =
-                    gpm_pattern::plan::MatchingPlan::compile(&p, &PlanOptions::automine())
-                        .unwrap();
+                    gpm_pattern::plan::MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
                 labeled_sum += e.count(&plan).count;
             }
         }

@@ -146,8 +146,7 @@ impl Worker<'_> {
                     if depth == 1 {
                         count += 1;
                     } else {
-                        let job =
-                            Job { level: 0, matched: vec![v], carried: Vec::new() };
+                        let job = Job { level: 0, matched: vec![v], carried: Vec::new() };
                         self.process(&job, &mut count);
                     }
                 }
@@ -158,8 +157,7 @@ impl Worker<'_> {
                 roots_finished = true;
                 self.roots_done.fetch_add(1, Ordering::SeqCst);
             }
-            if self.roots_done.load(Ordering::SeqCst) == self.parts && self.wc.is_quiescent()
-            {
+            if self.roots_done.load(Ordering::SeqCst) == self.parts && self.wc.is_quiescent() {
                 break;
             }
             std::thread::yield_now();
@@ -219,11 +217,7 @@ impl Worker<'_> {
             }
             // Route the child: if the new vertex's list is active and
             // remote, computation moves to its owner.
-            let target = if lp.new_vertex_active {
-                self.pg.owner(cand)
-            } else {
-                self.part
-            };
+            let target = if lp.new_vertex_active { self.pg.owner(cand) } else { self.part };
             let mut matched = job.matched.clone();
             matched.push(cand);
             // Carry every still-active list the target does not own.
@@ -293,8 +287,11 @@ mod tests {
         // embeddings.
         let g = gen::barabasi_albert(200, 5, 2);
         let run = count_of(&g, 4, &Pattern::clique(4));
-        assert!(run.traffic.network_bytes > 4 * g.size_bytes() as u64 / 2,
-            "expected massive carried-list traffic, got {}", run.traffic.network_bytes);
+        assert!(
+            run.traffic.network_bytes > 4 * g.size_bytes() as u64 / 2,
+            "expected massive carried-list traffic, got {}",
+            run.traffic.network_bytes
+        );
     }
 
     #[test]

@@ -203,8 +203,7 @@ impl PartWorker<'_> {
                 let te = Instant::now();
                 let mut missing: HashSet<VertexId> = HashSet::new();
                 let mut touched: HashSet<VertexId> = HashSet::new();
-                let tree_count =
-                    self.explore(tasks[ti].root, &cache, &mut missing, &mut touched);
+                let tree_count = self.explore(tasks[ti].root, &cache, &mut missing, &mut touched);
                 compute += te.elapsed();
 
                 let tc = Instant::now();
@@ -263,10 +262,8 @@ impl PartWorker<'_> {
                     if vs.is_empty() || owner == self.part {
                         continue;
                     }
-                    let lists = self
-                        .client
-                        .fetch(owner, &vs)
-                        .expect("gthinker fetched from non-owner");
+                    let lists =
+                        self.client.fetch(owner, &vs).expect("gthinker fetched from non-owner");
                     for (k, v) in vs.iter().enumerate() {
                         let data = lists.list(k).to_vec();
                         cache_bytes += std::mem::size_of_val(&data[..]);
@@ -401,9 +398,7 @@ mod tests {
 
     fn run(g: &gpm_graph::Graph, machines: usize, p: &Pattern) -> RunStats {
         let pg = PartitionedGraph::new(g, machines, 1);
-        GThinker::new(pg, GThinkerConfig::default())
-            .count(p, &PlanOptions::automine())
-            .unwrap()
+        GThinker::new(pg, GThinkerConfig::default()).count(p, &PlanOptions::automine()).unwrap()
     }
 
     #[test]
@@ -438,15 +433,10 @@ mod tests {
     fn small_cache_forces_gc() {
         let g = gen::barabasi_albert(200, 5, 4);
         let pg = PartitionedGraph::new(&g, 4, 1);
-        let sys = GThinker::new(
-            pg,
-            GThinkerConfig { cache_capacity: 4 << 10, max_active_tasks: 16 },
-        );
+        let sys =
+            GThinker::new(pg, GThinkerConfig { cache_capacity: 4 << 10, max_active_tasks: 16 });
         let stats = sys.count(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
-        assert_eq!(
-            stats.count,
-            oracle::count_subgraphs(&g, &Pattern::triangle(), false)
-        );
+        assert_eq!(stats.count, oracle::count_subgraphs(&g, &Pattern::triangle(), false));
     }
 
     #[test]

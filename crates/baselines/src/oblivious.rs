@@ -47,11 +47,7 @@ pub fn induced_census(g: &Graph, k: usize) -> HashMap<Vec<u8>, u64> {
 /// Enumerates every connected induced `k`-vertex subgraph exactly once
 /// (ESU): each subgraph is discovered from its minimum vertex, extending
 /// only with exclusive neighbors larger than the root.
-pub fn enumerate_connected_induced(
-    g: &Graph,
-    k: usize,
-    visit: &mut impl FnMut(&[VertexId]),
-) {
+pub fn enumerate_connected_induced(g: &Graph, k: usize, visit: &mut impl FnMut(&[VertexId])) {
     if k == 1 {
         for v in g.vertices() {
             visit(&[v]);
@@ -60,8 +56,7 @@ pub fn enumerate_connected_induced(
     }
     for root in g.vertices() {
         let mut sub = vec![root];
-        let ext: Vec<VertexId> =
-            g.neighbors(root).iter().copied().filter(|&u| u > root).collect();
+        let ext: Vec<VertexId> = g.neighbors(root).iter().copied().filter(|&u| u > root).collect();
         extend_esu(g, root, &mut sub, ext, k, visit);
     }
 }
@@ -177,9 +172,8 @@ mod tests {
         for a in 0..n {
             for b in (a + 1)..n {
                 for c in (b + 1)..n {
-                    let e = g.has_edge(a, b) as u8
-                        + g.has_edge(a, c) as u8
-                        + g.has_edge(b, c) as u8;
+                    let e =
+                        g.has_edge(a, b) as u8 + g.has_edge(a, c) as u8 + g.has_edge(b, c) as u8;
                     if e >= 2 {
                         expect += 1;
                     }

@@ -116,9 +116,7 @@ impl ReplicatedCluster {
                                         break;
                                     }
                                     for v in start..(start + block).min(n) {
-                                        local += interp::count_from_root(
-                                            graph, plan, v as u32,
-                                        );
+                                        local += interp::count_from_root(graph, plan, v as u32);
                                     }
                                 }
                                 machine_count.fetch_add(local, Ordering::Relaxed);
@@ -151,8 +149,7 @@ impl ReplicatedCluster {
             traffic: TrafficSummary {
                 // Control traffic only; block requests from non-
                 // coordinator machines cross the network.
-                network_bytes: control_msgs.into_inner() * CONTROL_MSG_BYTES
-                    * (machines - 1)
+                network_bytes: control_msgs.into_inner() * CONTROL_MSG_BYTES * (machines - 1)
                     / machines.max(1),
                 ..TrafficSummary::default()
             },
@@ -198,8 +195,10 @@ mod tests {
     #[test]
     fn memory_footprint_scales_with_machines() {
         let g = gen::complete(50);
-        let one =
-            ReplicatedCluster::new(g.clone(), ReplicatedConfig { machines: 1, ..Default::default() });
+        let one = ReplicatedCluster::new(
+            g.clone(),
+            ReplicatedConfig { machines: 1, ..Default::default() },
+        );
         let eight =
             ReplicatedCluster::new(g, ReplicatedConfig { machines: 8, ..Default::default() });
         assert_eq!(eight.replicated_bytes(), 8 * one.replicated_bytes());

@@ -65,11 +65,8 @@ impl SingleMachine {
     /// clique pattern on the DAG without symmetry breaking yields each
     /// undirected clique exactly once.
     pub fn pangolin_like(graph: Graph, threads: usize) -> Self {
-        let graph = if graph.kind() == GraphKind::Undirected {
-            orient_by_degree(&graph)
-        } else {
-            graph
-        };
+        let graph =
+            if graph.kind() == GraphKind::Undirected { orient_by_degree(&graph) } else { graph };
         SingleMachine { graph, threads: threads.max(1), preset: Preset::Pangolin }
     }
 
@@ -137,8 +134,7 @@ impl SingleMachine {
                                 break;
                             }
                             for v in start..(start + BLOCK).min(n) {
-                                local +=
-                                    interp::count_from_root(&self.graph, plan, v as u32);
+                                local += interp::count_from_root(&self.graph, plan, v as u32);
                             }
                         }
                         total.fetch_add(local, Ordering::Relaxed);
@@ -151,11 +147,7 @@ impl SingleMachine {
         RunStats {
             count: total.into_inner(),
             elapsed,
-            per_part: vec![PartStats {
-                count: 0,
-                compute: elapsed,
-                ..PartStats::default()
-            }],
+            per_part: vec![PartStats { count: 0, compute: elapsed, ..PartStats::default() }],
             traffic: Default::default(),
         }
     }

@@ -1,13 +1,14 @@
 //! Ablation benches for design choices DESIGN.md calls out beyond the
 //! paper's own figures: circulant vs. natural fetch order, mini-batch
-//! granularity, and the cost of the share-table on unskewed inputs.
+//! granularity, the cost of the share-table on unskewed inputs, and the
+//! fetch fabric's request-window depth.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::{gen, Graph};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
-use khuzdul::{CacheConfig, Engine, EngineConfig};
+use khuzdul::{CacheConfig, Engine, EngineConfig, FabricConfig};
 
 const MACHINES: usize = 4;
 
@@ -34,13 +35,7 @@ fn circulant_order(c: &mut Criterion) {
     grp.sample_size(10);
     for (name, circulant) in [("circulant", true), ("natural", false)] {
         grp.bench_function(name, |b| {
-            b.iter(|| {
-                run(
-                    &g,
-                    EngineConfig { circulant, ..EngineConfig::default() },
-                    &plan,
-                )
-            })
+            b.iter(|| run(&g, EngineConfig { circulant, ..EngineConfig::default() }, &plan))
         });
     }
     grp.finish();
@@ -111,17 +106,41 @@ fn oblivious_vs_aware(c: &mut Criterion) {
         let plans: Vec<MatchingPlan> = gpm_pattern::genpat::connected_patterns(4)
             .iter()
             .map(|p| {
-                MatchingPlan::compile(
-                    p,
-                    &PlanOptions { induced: true, ..PlanOptions::automine() },
-                )
-                .unwrap()
+                MatchingPlan::compile(p, &PlanOptions { induced: true, ..PlanOptions::automine() })
+                    .unwrap()
             })
             .collect();
-        b.iter(|| {
-            plans.iter().map(|p| interp::count_embeddings_fast(&g, p)).sum::<u64>()
-        })
+        b.iter(|| plans.iter().map(|p| interp::count_embeddings_fast(&g, p)).sum::<u64>())
     });
+    grp.finish();
+}
+
+/// Request-window depth of the async fetch fabric: window = 1 serializes
+/// every transfer (the pre-fabric blocking RPC), larger windows overlap
+/// modelled network delays with integration. Run on an R-MAT stand-in
+/// with the paper's 56 Gbps model (plus a fat latency so the overlap is
+/// visible at bench scale).
+fn request_window(c: &mut Criterion) {
+    use gpm_cluster::NetworkModel;
+    let g = gen::rmat(11, 12, (0.57, 0.19, 0.19), 0xab);
+    let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
+    let mut grp = c.benchmark_group("ablation_request_window");
+    grp.sample_size(10);
+    for window in [1usize, 2, 4, 8, 16] {
+        grp.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &window| {
+            b.iter(|| {
+                run(
+                    &g,
+                    EngineConfig {
+                        network: Some(NetworkModel { latency_us: 200.0, bandwidth_gbps: 56.0 }),
+                        fabric: FabricConfig { window, ..FabricConfig::default() },
+                        ..EngineConfig::default()
+                    },
+                    &plan,
+                )
+            })
+        });
+    }
     grp.finish();
 }
 
@@ -155,6 +174,7 @@ criterion_group!(
     mini_batch,
     share_table_overhead,
     oblivious_vs_aware,
-    partitioner_strategy
+    partitioner_strategy,
+    request_window
 );
 criterion_main!(benches);

@@ -67,14 +67,10 @@ fn bench_partitioning(c: &mut Criterion) {
 fn bench_plan_compilation(c: &mut Criterion) {
     let mut g = c.benchmark_group("plan_compile");
     g.bench_function("automine_5clique", |bench| {
-        bench.iter(|| {
-            MatchingPlan::compile(&Pattern::clique(5), &PlanOptions::automine()).unwrap()
-        })
+        bench.iter(|| MatchingPlan::compile(&Pattern::clique(5), &PlanOptions::automine()).unwrap())
     });
     g.bench_function("graphpi_house_exhaustive", |bench| {
-        bench.iter(|| {
-            MatchingPlan::compile(&Pattern::house(), &PlanOptions::graphpi()).unwrap()
-        })
+        bench.iter(|| MatchingPlan::compile(&Pattern::house(), &PlanOptions::graphpi()).unwrap())
     });
     g.finish();
 }

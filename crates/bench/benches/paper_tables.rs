@@ -42,8 +42,7 @@ fn table2(c: &mut Criterion) {
         b.iter(|| cluster.count(&plan).count)
     });
     grp.bench_function("gthinker", |b| {
-        let sys =
-            GThinker::new(PartitionedGraph::new(&g, MACHINES, 1), GThinkerConfig::default());
+        let sys = GThinker::new(PartitionedGraph::new(&g, MACHINES, 1), GThinkerConfig::default());
         b.iter(|| sys.count(&p, &PlanOptions::automine()).unwrap().count)
     });
     grp.finish();
@@ -73,17 +72,16 @@ fn table4(c: &mut Criterion) {
     let mut grp = c.benchmark_group("table4_fsm");
     grp.sample_size(10);
     for threshold in [20u64, 40] {
-        grp.bench_with_input(
-            BenchmarkId::new("fsm_single", threshold),
-            &threshold,
-            |b, &t| {
-                b.iter(|| {
-                    fsm_single(&g, &FsmConfig { support_threshold: t, max_edges: 3, ..FsmConfig::default() })
-                        .frequent
-                        .len()
-                })
-            },
-        );
+        grp.bench_with_input(BenchmarkId::new("fsm_single", threshold), &threshold, |b, &t| {
+            b.iter(|| {
+                fsm_single(
+                    &g,
+                    &FsmConfig { support_threshold: t, max_edges: 3, ..FsmConfig::default() },
+                )
+                .frequent
+                .len()
+            })
+        });
     }
     grp.finish();
 }
@@ -231,8 +229,7 @@ fn fig15(c: &mut Criterion) {
     let e = engine(&g, EngineConfig::default());
     grp.bench_function("k_automine", |b| b.iter(|| e.count(&plan).count));
     grp.bench_function("gthinker", |b| {
-        let sys =
-            GThinker::new(PartitionedGraph::new(&g, MACHINES, 1), GThinkerConfig::default());
+        let sys = GThinker::new(PartitionedGraph::new(&g, MACHINES, 1), GThinkerConfig::default());
         b.iter(|| sys.count(&Pattern::triangle(), &PlanOptions::automine()).unwrap().count)
     });
     grp.finish();
@@ -245,24 +242,17 @@ fn fig16(c: &mut Criterion) {
     let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::graphpi()).unwrap();
     let mut grp = c.benchmark_group("fig16_cache_policies_4cc");
     grp.sample_size(10);
-    for policy in [CachePolicy::Static, CachePolicy::Fifo, CachePolicy::Lru, CachePolicy::Mru]
-    {
+    for policy in [CachePolicy::Static, CachePolicy::Fifo, CachePolicy::Lru, CachePolicy::Mru] {
         let e = engine(
             &g,
             EngineConfig {
-                cache: CacheConfig {
-                    policy,
-                    capacity_per_machine: 64 << 10,
-                    degree_threshold: 8,
-                },
+                cache: CacheConfig { policy, capacity_per_machine: 64 << 10, degree_threshold: 8 },
                 ..EngineConfig::default()
             },
         );
-        grp.bench_with_input(
-            BenchmarkId::from_parameter(format!("{policy:?}")),
-            &e,
-            |b, e| b.iter(|| e.count(&plan).count),
-        );
+        grp.bench_with_input(BenchmarkId::from_parameter(format!("{policy:?}")), &e, |b, e| {
+            b.iter(|| e.count(&plan).count)
+        });
         e.shutdown();
     }
     grp.finish();

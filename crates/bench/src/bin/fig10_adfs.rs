@@ -42,9 +42,8 @@ fn main() {
     for id in [DatasetId::Skitter, DatasetId::Orkut, DatasetId::Friendster] {
         let g = build_dataset(id, scale);
         let ctd = CtdCluster::new(PartitionedGraph::new(&g, PAPER_MACHINES, 1));
-        let adfs = ctd
-            .count(&Pattern::triangle(), &PlanOptions::automine())
-            .expect("ctd triangle run");
+        let adfs =
+            ctd.count(&Pattern::triangle(), &PlanOptions::automine()).expect("ctd triangle run");
         let engine = engine_for(&g, PAPER_MACHINES, 1, 2);
         let ka = App::Tc.run_khuzdul(&engine, &PlanOptions::automine());
         engine.reset_caches();

@@ -28,9 +28,7 @@ fn main() {
     let scale = Scale::from_args();
     let mut table = Table::new(["App", "Graph", "With VCS", "Without VCS", "Speedup"]);
     let mut rows = Vec::new();
-    for id in
-        [DatasetId::Mico, DatasetId::Patents, DatasetId::LiveJournal, DatasetId::Friendster]
-    {
+    for id in [DatasetId::Mico, DatasetId::Patents, DatasetId::LiveJournal, DatasetId::Friendster] {
         let g = build_dataset(id, scale);
         let engine =
             Engine::new(PartitionedGraph::new(&g, PAPER_MACHINES, 1), EngineConfig::default());
@@ -38,10 +36,7 @@ fn main() {
             let base = PlanOptions::graphpi();
             let with = app.run_khuzdul(&engine, &base);
             engine.reset_caches();
-            let without = app.run_khuzdul(
-                &engine,
-                &PlanOptions { vertical_reuse: false, ..base },
-            );
+            let without = app.run_khuzdul(&engine, &PlanOptions { vertical_reuse: false, ..base });
             engine.reset_caches();
             assert_eq!(with.count, without.count);
             let speedup = without.elapsed.as_secs_f64() / with.elapsed.as_secs_f64();

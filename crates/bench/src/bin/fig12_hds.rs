@@ -34,12 +34,15 @@ fn comm_time(r: &RunStats) -> Duration {
 fn main() {
     let scale = Scale::from_args();
     let mut table = Table::new([
-        "App", "Graph", "Norm.Traffic", "Norm.CommTime", "Traffic(HDS)", "Traffic(none)",
+        "App",
+        "Graph",
+        "Norm.Traffic",
+        "Norm.CommTime",
+        "Traffic(HDS)",
+        "Traffic(none)",
     ]);
     let mut rows = Vec::new();
-    for id in
-        [DatasetId::Mico, DatasetId::Patents, DatasetId::LiveJournal, DatasetId::Friendster]
-    {
+    for id in [DatasetId::Mico, DatasetId::Patents, DatasetId::LiveJournal, DatasetId::Friendster] {
         let g = build_dataset(id, scale);
         for app in [App::FourCc, App::FiveCc] {
             let run = |horizontal: bool| {
@@ -49,8 +52,7 @@ fn main() {
                     cache: CacheConfig::disabled(),
                     ..EngineConfig::default()
                 };
-                let engine =
-                    Engine::new(PartitionedGraph::new(&g, PAPER_MACHINES, 1), cfg);
+                let engine = Engine::new(PartitionedGraph::new(&g, PAPER_MACHINES, 1), cfg);
                 let r = app.run_khuzdul(&engine, &PlanOptions::graphpi());
                 engine.shutdown();
                 r
@@ -58,8 +60,8 @@ fn main() {
             let with = run(true);
             let without = run(false);
             assert_eq!(with.count, without.count);
-            let norm_traffic = with.traffic.network_bytes as f64
-                / without.traffic.network_bytes.max(1) as f64;
+            let norm_traffic =
+                with.traffic.network_bytes as f64 / without.traffic.network_bytes.max(1) as f64;
             let norm_comm =
                 comm_time(&with).as_secs_f64() / comm_time(&without).as_secs_f64().max(1e-12);
             table.row([

@@ -39,11 +39,7 @@ struct Row {
 /// Replicated GraphPi under the same work-span methodology: machines
 /// process static root blocks (coarse first-loop parallelism); the
 /// simulated runtime is the busiest machine's block, measured alone.
-fn replicated_makespan(
-    g: &gpm_graph::Graph,
-    app: App,
-    machines: usize,
-) -> Duration {
+fn replicated_makespan(g: &gpm_graph::Graph, app: App, machines: usize) -> Duration {
     let n = g.vertex_count();
     let span = n.div_ceil(machines);
     let plans = app.plans(&PlanOptions::graphpi());
@@ -111,9 +107,7 @@ fn main() {
             });
         }
     }
-    println!(
-        "Figure 13: Inter-Node Scalability (graph: lj stand-in, simulated makespans)\n"
-    );
+    println!("Figure 13: Inter-Node Scalability (graph: lj stand-in, simulated makespans)\n");
     table.print();
     if let Ok(p) = write_json("fig13_internode", &rows) {
         println!("\nwrote {}", p.display());

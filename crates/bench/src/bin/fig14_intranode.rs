@@ -48,10 +48,8 @@ fn best_single_thread(g: &gpm_graph::Graph, app: App) -> Duration {
             let plan = match sys.compile(&p) {
                 Ok(plan) if !induced => plan,
                 Ok(plan) => {
-                    let opts = gpm_pattern::plan::PlanOptions {
-                        induced: true,
-                        ..plan.options().clone()
-                    };
+                    let opts =
+                        gpm_pattern::plan::PlanOptions { induced: true, ..plan.options().clone() };
                     match gpm_pattern::plan::MatchingPlan::compile(&p, &opts) {
                         Ok(pl) => pl,
                         Err(_) => {
@@ -78,14 +76,8 @@ fn main() {
     let scale = Scale::from_args();
     let g = build_dataset(DatasetId::LiveJournal, scale);
     let core_counts = [1usize, 2, 4, 8];
-    let mut table = Table::new([
-        "App",
-        "#Cores",
-        "Runtime (sim)",
-        "Speedup",
-        "1-thread ref",
-        "Beats ref?",
-    ]);
+    let mut table =
+        Table::new(["App", "#Cores", "Runtime (sim)", "Speedup", "1-thread ref", "Beats ref?"]);
     let mut rows = Vec::new();
     let mut cost_metrics: Vec<(&str, Option<usize>)> = Vec::new();
     for app in [App::Tc, App::ThreeMc, App::FourCc] {

@@ -86,8 +86,7 @@ fn gthinker_run(g: &gpm_graph::Graph, app: App) -> RunStats {
 
 fn main() {
     let scale = Scale::from_args();
-    let mut table =
-        Table::new(["System", "App", "G.", "compute", "network", "scheduler", "cache"]);
+    let mut table = Table::new(["System", "App", "G.", "compute", "network", "scheduler", "cache"]);
     let mut rows = Vec::new();
     for id in DatasetId::SMALL {
         let g = build_dataset(id, scale);

@@ -27,18 +27,12 @@ struct Row {
     norm_traffic: f64,
 }
 
-const POLICIES: [CachePolicy; 5] = [
-    CachePolicy::Fifo,
-    CachePolicy::Lifo,
-    CachePolicy::Lru,
-    CachePolicy::Mru,
-    CachePolicy::Static,
-];
+const POLICIES: [CachePolicy; 5] =
+    [CachePolicy::Fifo, CachePolicy::Lifo, CachePolicy::Lru, CachePolicy::Mru, CachePolicy::Static];
 
 fn main() {
     let scale = Scale::from_args();
-    let mut table =
-        Table::new(["Workload", "Policy", "Norm.Runtime", "Norm.Net.Traffic"]);
+    let mut table = Table::new(["Workload", "Policy", "Norm.Runtime", "Norm.Net.Traffic"]);
     let mut rows = Vec::new();
     for id in [DatasetId::LiveJournal, DatasetId::Friendster] {
         let g = build_dataset(id, scale);

@@ -32,9 +32,7 @@ fn main() {
     let model = NetworkModel::infiniband_56g();
     let mut table = Table::new(["App", "Graph", "Runtime", "Net.Traffic", "Utilization"]);
     let mut rows = Vec::new();
-    for id in
-        [DatasetId::Mico, DatasetId::Patents, DatasetId::LiveJournal, DatasetId::Friendster]
-    {
+    for id in [DatasetId::Mico, DatasetId::Patents, DatasetId::LiveJournal, DatasetId::Friendster] {
         let g = build_dataset(id, scale);
         let cfg = EngineConfig { network: Some(model), ..EngineConfig::default() };
         let engine = Engine::new(PartitionedGraph::new(&g, PAPER_MACHINES, 1), cfg);
@@ -42,9 +40,7 @@ fn main() {
             let run = app.run_khuzdul(&engine, &PlanOptions::graphpi());
             engine.reset_caches();
             let util = (run.traffic.network_bytes as f64 * 8.0)
-                / (model.bandwidth_gbps * 1e9
-                    * run.elapsed.as_secs_f64()
-                    * PAPER_MACHINES as f64);
+                / (model.bandwidth_gbps * 1e9 * run.elapsed.as_secs_f64() * PAPER_MACHINES as f64);
             table.row([
                 app.name().to_string(),
                 id.abbr().to_string(),

@@ -37,7 +37,14 @@ fn main() {
     let scale = Scale::from_args();
     let machines = PAPER_MACHINES;
     let mut table = Table::new([
-        "App", "G.", "k-Automine", "k-GraphPi", "GraphPi(repl)", "G-thinker", "KA/GT", "KG/GT",
+        "App",
+        "G.",
+        "k-Automine",
+        "k-GraphPi",
+        "GraphPi(repl)",
+        "G-thinker",
+        "KA/GT",
+        "KG/GT",
     ]);
     let mut rows = Vec::new();
     for id in DatasetId::SMALL {
@@ -52,11 +59,7 @@ fn main() {
             let repl = {
                 let cluster = ReplicatedCluster::new(
                     g.clone(),
-                    ReplicatedConfig {
-                        machines,
-                        threads_per_machine: 2,
-                        task_block: 256,
-                    },
+                    ReplicatedConfig { machines, threads_per_machine: 2, task_block: 256 },
                 );
                 let t0 = Instant::now();
                 let mut count = 0u64;
@@ -72,8 +75,7 @@ fn main() {
                 let t0 = Instant::now();
                 let mut count = 0u64;
                 for (p, induced) in app.patterns() {
-                    let opts =
-                        PlanOptions { induced, ..PlanOptions::automine() };
+                    let opts = PlanOptions { induced, ..PlanOptions::automine() };
                     count += sys.count(&p, &opts).expect("gthinker run").count;
                 }
                 (count, t0.elapsed())

@@ -39,10 +39,7 @@ fn run_single(sys: &SingleMachine, app: App) -> Option<(u64, Duration)> {
         match sys.compile(&p) {
             Ok(mut plan) => {
                 if induced {
-                    let opts = PlanOptions {
-                        induced: true,
-                        ..plan.options().clone()
-                    };
+                    let opts = PlanOptions { induced: true, ..plan.options().clone() };
                     plan = gpm_pattern::plan::MatchingPlan::compile(&p, &opts).ok()?;
                 }
                 count += sys.count_plan(&plan).count;

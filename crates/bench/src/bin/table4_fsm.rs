@@ -36,10 +36,8 @@ fn main() {
     // FSM evaluates every embedding of every candidate pattern, so the
     // stand-ins are scaled below the counting benchmarks' (the paper's
     // Table 4 graphs are also its smallest).
-    let spec: [(DatasetId, [u64; 3]); 2] = [
-        (DatasetId::Mico, [300, 400, 500]),
-        (DatasetId::Patents, [500, 600, 700]),
-    ];
+    let spec: [(DatasetId, [u64; 3]); 2] =
+        [(DatasetId::Mico, [300, 400, 500]), (DatasetId::Patents, [500, 600, 700])];
     let mut table = Table::new([
         "Graph",
         "Threshold",
@@ -55,16 +53,12 @@ fn main() {
         let engine1 = engine_for(&g, 1, 1, 2);
         let engine8 = engine_for(&g, PAPER_MACHINES, 1, 2);
         for threshold in thresholds {
-            let threshold =
-                if scale == Scale::Quick { threshold / 10 } else { threshold };
+            let threshold = if scale == Scale::Quick { threshold / 10 } else { threshold };
             // Early-exit support evaluation (the Peregrine optimization):
             // decisions are exact, and frequent patterns stop enumerating
             // once the threshold is proven.
-            let cfg = FsmConfig {
-                support_threshold: threshold,
-                max_edges: 3,
-                exact_supports: false,
-            };
+            let cfg =
+                FsmConfig { support_threshold: threshold, max_edges: 3, exact_supports: false };
             let r1 = fsm(&engine1, &cfg);
             engine1.reset_caches();
             let r8 = fsm(&engine8, &cfg);

@@ -13,12 +13,12 @@
 use gpm_apps::counting::oriented_clique_plan;
 use gpm_baselines::single::SingleMachine;
 use gpm_bench::report::{fmt_bytes, fmt_duration, write_json, Table};
-use gpm_graph::partition::PartitionedGraph;
-use khuzdul::{Engine, EngineConfig};
 use gpm_bench::{build_dataset, Scale};
 use gpm_graph::datasets::DatasetId;
 use gpm_graph::orient::orient_by_degree;
+use gpm_graph::partition::PartitionedGraph;
 use gpm_pattern::plan::PlanOptions;
+use khuzdul::{Engine, EngineConfig};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -50,7 +50,13 @@ fn main() {
     let scale = Scale::from_args();
     let machines = 18;
     let mut table = Table::new([
-        "Graph", "|V|/|E|", "App", "k-Automine(18n)", "AutomineIH", "Speedup", "Replica size",
+        "Graph",
+        "|V|/|E|",
+        "App",
+        "k-Automine(18n)",
+        "AutomineIH",
+        "Speedup",
+        "Replica size",
     ]);
     let mut rows = Vec::new();
     for id in [DatasetId::Clueweb12, DatasetId::Uk2014, DatasetId::Wdc12] {

@@ -45,30 +45,28 @@ fn run(g: &gpm_graph::Graph, app: App, policy: CachePolicy) -> khuzdul::RunStats
 fn main() {
     let scale = Scale::from_args();
     let mut table = Table::new([
-        "App", "G.", "Traffic(cache)", "Traffic(none)", "Time(cache)", "Time(none)", "Reduction",
+        "App",
+        "G.",
+        "Traffic(cache)",
+        "Traffic(none)",
+        "Time(cache)",
+        "Time(none)",
+        "Reduction",
     ]);
     let mut rows = Vec::new();
-    for id in [
-        DatasetId::Patents,
-        DatasetId::LiveJournal,
-        DatasetId::Uk2005,
-        DatasetId::Friendster,
-    ] {
+    for id in [DatasetId::Patents, DatasetId::LiveJournal, DatasetId::Uk2005, DatasetId::Friendster]
+    {
         let g = build_dataset(id, scale);
         // The paper's headline row is TC on the extremely skewed uk
         // graph; its clique workloads are multi-hour cells there.
-        let apps: &[App] = if id == DatasetId::Uk2005 {
-            &[App::Tc]
-        } else {
-            &[App::Tc, App::FourCc, App::FiveCc]
-        };
+        let apps: &[App] =
+            if id == DatasetId::Uk2005 { &[App::Tc] } else { &[App::Tc, App::FourCc, App::FiveCc] };
         for &app in apps {
             let with = run(&g, app, CachePolicy::Static);
             let without = run(&g, app, CachePolicy::Disabled);
             assert_eq!(with.count, without.count);
             let reduction = 1.0
-                - with.traffic.network_bytes as f64
-                    / without.traffic.network_bytes.max(1) as f64;
+                - with.traffic.network_bytes as f64 / without.traffic.network_bytes.max(1) as f64;
             table.row([
                 app.name().to_string(),
                 id.abbr().to_string(),

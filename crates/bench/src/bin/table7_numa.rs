@@ -35,10 +35,8 @@ fn main() {
         for app in [App::FourCc, App::FiveCc] {
             // NUMA-aware: 2 socket parts, half the threads each.
             let numa = {
-                let cfg = EngineConfig {
-                    compute_threads: total_threads / 2,
-                    ..EngineConfig::default()
-                };
+                let cfg =
+                    EngineConfig { compute_threads: total_threads / 2, ..EngineConfig::default() };
                 let engine = Engine::new(PartitionedGraph::new(&g, 1, 2), cfg);
                 let run = app.run_khuzdul(&engine, &PlanOptions::graphpi());
                 engine.shutdown();
@@ -46,10 +44,8 @@ fn main() {
             };
             // NUMA-oblivious: one part, all threads on one shared state.
             let flat = {
-                let cfg = EngineConfig {
-                    compute_threads: total_threads,
-                    ..EngineConfig::default()
-                };
+                let cfg =
+                    EngineConfig { compute_threads: total_threads, ..EngineConfig::default() };
                 let engine = Engine::new(PartitionedGraph::new(&g, 1, 1), cfg);
                 let run = app.run_khuzdul(&engine, &PlanOptions::graphpi());
                 engine.shutdown();

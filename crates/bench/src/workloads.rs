@@ -39,10 +39,9 @@ impl App {
     pub fn patterns(self) -> Vec<(Pattern, bool)> {
         match self {
             App::Tc => vec![(Pattern::triangle(), false)],
-            App::ThreeMc => gpm_pattern::genpat::connected_patterns(3)
-                .into_iter()
-                .map(|p| (p, true))
-                .collect(),
+            App::ThreeMc => {
+                gpm_pattern::genpat::connected_patterns(3).into_iter().map(|p| (p, true)).collect()
+            }
             App::FourCc => vec![(Pattern::clique(4), false)],
             App::FiveCc => vec![(Pattern::clique(5), false)],
         }
@@ -145,8 +144,7 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<_> =
-            App::ALL.iter().map(|a| a.name()).collect();
+        let names: std::collections::HashSet<_> = App::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 4);
     }
 }

@@ -1,0 +1,839 @@
+//! The async request-window fabric over a [`Transport`].
+//!
+//! [`EdgeListClient::fetch_async`] issues a sequence-tagged request and
+//! returns a [`PendingFetch`] completion handle immediately; the caller
+//! overlaps other work (integrating the previous batch, submitting the
+//! next one) and collects the reply later with [`PendingFetch::wait`].
+//! The fabric layers four mechanisms over the raw transport:
+//!
+//! * **Backpressure** — each client part holds a bounded in-flight
+//!   window ([`FabricConfig::window`]); `fetch_async` blocks once the
+//!   window is full and unblocks as completions retire. Window size 1
+//!   reproduces the old blocking RPC's fully serialized transfers.
+//! * **Coalescing** — duplicate vertices within one request are sent
+//!   once and the reply is expanded back to request order, so callers
+//!   never observe the dedup (reply order is invariant).
+//! * **Timeout/retry** — each attempt has a deadline; lost or
+//!   transiently errored replies are retried with exponential backoff
+//!   and a fresh sequence number (stale replies are discarded by tag).
+//! * **Typed failure** — every way a fetch can fail is a
+//!   [`FetchError`] variant propagated to the caller, never a panic.
+
+use crate::metrics::{ClusterMetrics, PartMetrics, TrafficClass};
+use crate::transport::{
+    checked_offset, ChannelTransport, FaultInjectingTransport, FaultPlan, FetchedLists, Transport,
+    WireReply, WireRequest, HEADER_BYTES,
+};
+use crate::{NetworkModel, PartId};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gpm_graph::partition::PartitionedGraph;
+use gpm_graph::VertexId;
+use parking_lot::{Condvar, Mutex};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a fetch failed. Transient variants ([`Injected`]) are retried by
+/// the fabric up to [`RetryPolicy::max_attempts`]; the rest surface to
+/// the caller immediately.
+///
+/// [`Injected`]: FetchError::Injected
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// The target part does not own some requested vertices.
+    NotOwner {
+        /// The part that was asked.
+        target: PartId,
+        /// The vertices it did not own.
+        missing: Vec<VertexId>,
+    },
+    /// The service (or its responder threads) has shut down.
+    Shutdown,
+    /// No reply arrived within the retry budget.
+    Timeout {
+        /// The part that was asked.
+        target: PartId,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+    },
+    /// A response grew past the `u32` offset range of the wire format.
+    TooLarge {
+        /// The part serving (or client expanding) the oversized reply.
+        target: PartId,
+        /// The edge-list entry count that overflowed.
+        entries: usize,
+    },
+    /// A transient transport error injected by a
+    /// [`FaultPlan`](crate::transport::FaultPlan); retryable.
+    Injected {
+        /// The part that was asked.
+        target: PartId,
+    },
+}
+
+impl FetchError {
+    /// Whether the fabric may retry after this error.
+    fn is_transient(&self) -> bool {
+        matches!(self, FetchError::Injected { .. })
+    }
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::NotOwner { target, missing } => write!(
+                f,
+                "part {} does not own {} requested vertices (first: {:?})",
+                target,
+                missing.len(),
+                missing.first()
+            ),
+            FetchError::Shutdown => write!(f, "edge-list service has shut down"),
+            FetchError::Timeout { target, attempts } => {
+                write!(f, "no reply from part {target} after {attempts} attempts")
+            }
+            FetchError::TooLarge { target, entries } => write!(
+                f,
+                "reply from part {target} too large for the wire format ({entries} entries)"
+            ),
+            FetchError::Injected { target } => {
+                write!(f, "injected transport fault on the link to part {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// Timeout and retry behaviour of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included) before a fetch fails with
+    /// [`FetchError::Timeout`].
+    pub max_attempts: u32,
+    /// Per-attempt reply deadline. The in-process transport answers in
+    /// microseconds, so the generous default never fires without fault
+    /// injection; tighten it when a [`FaultPlan`] drops replies.
+    pub timeout: Duration,
+    /// Backoff before the second attempt; doubles on each further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            timeout: Duration::from_secs(10),
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Configuration of the request fabric (threaded through
+/// `EngineConfig::fabric` and the CLI).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricConfig {
+    /// Maximum in-flight requests per client part. `1` serializes
+    /// transfers exactly like the old blocking RPC; larger windows let
+    /// the comm pipeline overlap transfers with integration.
+    pub window: usize,
+    /// Timeout/retry behaviour.
+    pub retry: RetryPolicy,
+    /// Optional fault injection beneath the fabric.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig { window: 4, retry: RetryPolicy::default(), fault: None }
+    }
+}
+
+/// The per-part in-flight window: a small counting semaphore.
+#[derive(Debug)]
+struct Window {
+    limit: usize,
+    inflight: Mutex<usize>,
+    retired: Condvar,
+}
+
+impl Window {
+    fn new(limit: usize) -> Self {
+        Window { limit: limit.max(1), inflight: Mutex::new(0), retired: Condvar::new() }
+    }
+
+    /// Blocks until a slot frees up, then occupies it.
+    fn acquire(self: &Arc<Self>, metrics: &Arc<PartMetrics>) -> WindowPermit {
+        let mut inflight = self.inflight.lock();
+        while *inflight >= self.limit {
+            self.retired.wait(&mut inflight);
+        }
+        *inflight += 1;
+        drop(inflight);
+        metrics.record_inflight_start();
+        WindowPermit { window: Arc::clone(self), metrics: Arc::clone(metrics) }
+    }
+}
+
+/// Occupancy of one window slot; releases (and wakes a blocked
+/// submitter) on drop, whether the fetch completed or was abandoned.
+#[derive(Debug)]
+struct WindowPermit {
+    window: Arc<Window>,
+    metrics: Arc<PartMetrics>,
+}
+
+impl Drop for WindowPermit {
+    fn drop(&mut self) {
+        self.metrics.record_inflight_end();
+        let mut inflight = self.window.inflight.lock();
+        *inflight = inflight.saturating_sub(1);
+        drop(inflight);
+        self.window.retired.notify_one();
+    }
+}
+
+/// The cluster-wide edge-list service: metrics, per-part windows, and
+/// the transport with its responder threads.
+///
+/// # Example
+///
+/// ```
+/// use gpm_cluster::EdgeListService;
+/// use gpm_graph::{gen, partition::PartitionedGraph};
+///
+/// let g = gen::erdos_renyi(100, 400, 1);
+/// let pg = PartitionedGraph::new(&g, 4, 1);
+/// let service = EdgeListService::start(&pg, None);
+/// let client = service.client(0);
+/// let v = 17;
+/// let owner = pg.owner(v);
+/// let lists = client.fetch(owner, &[v]).unwrap();
+/// assert_eq!(lists.list(0), g.neighbors(v));
+/// service.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct EdgeListService {
+    transport: Arc<dyn Transport>,
+    metrics: ClusterMetrics,
+    network: Option<NetworkModel>,
+    retry: RetryPolicy,
+    windows: Vec<Arc<Window>>,
+    seq: Arc<AtomicU64>,
+}
+
+impl EdgeListService {
+    /// Starts the service over `pg` with the default [`FabricConfig`].
+    pub fn start(pg: &PartitionedGraph, network: Option<NetworkModel>) -> Self {
+        Self::start_with(pg, network, FabricConfig::default())
+    }
+
+    /// Starts the service with an explicit fabric configuration
+    /// (window size, retry policy, optional fault injection).
+    pub fn start_with(
+        pg: &PartitionedGraph,
+        network: Option<NetworkModel>,
+        fabric: FabricConfig,
+    ) -> Self {
+        let parts = pg.part_count();
+        let metrics = ClusterMetrics::new(parts, pg.sockets_per_machine());
+        let inner = ChannelTransport::start(pg, &metrics);
+        let transport: Arc<dyn Transport> = match fabric.fault {
+            Some(plan) => Arc::new(FaultInjectingTransport::new(inner, plan)),
+            None => Arc::new(inner),
+        };
+        let windows = (0..parts).map(|_| Arc::new(Window::new(fabric.window))).collect();
+        EdgeListService {
+            transport,
+            metrics,
+            network,
+            retry: fabric.retry,
+            windows,
+            seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A client handle for `part` (cheap to clone, thread-safe). Clones
+    /// share the part's in-flight window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is out of range.
+    pub fn client(&self, part: PartId) -> EdgeListClient {
+        assert!(part < self.windows.len(), "part out of range");
+        EdgeListClient {
+            part,
+            transport: Arc::clone(&self.transport),
+            metrics: self.metrics.clone(),
+            network: self.network,
+            retry: self.retry,
+            window: Arc::clone(&self.windows[part]),
+            seq: Arc::clone(&self.seq),
+        }
+    }
+
+    /// The shared metrics of this cluster.
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// Stops every responder and joins its thread. Outstanding client
+    /// handles survive but their subsequent fetches return
+    /// [`FetchError::Shutdown`].
+    pub fn shutdown(self) {
+        self.transport.shutdown();
+    }
+}
+
+/// A per-part client of the [`EdgeListService`].
+#[derive(Debug, Clone)]
+pub struct EdgeListClient {
+    part: PartId,
+    transport: Arc<dyn Transport>,
+    metrics: ClusterMetrics,
+    network: Option<NetworkModel>,
+    retry: RetryPolicy,
+    window: Arc<Window>,
+    seq: Arc<AtomicU64>,
+}
+
+impl EdgeListClient {
+    /// The part this client belongs to.
+    pub fn part(&self) -> PartId {
+        self.part
+    }
+
+    /// Number of parts in the cluster.
+    pub fn part_count(&self) -> usize {
+        self.transport.part_count()
+    }
+
+    /// The shared cluster metrics.
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// Fetches the edge lists of `vertices` from `target`, blocking until
+    /// the response arrives — [`fetch_async`] + [`PendingFetch::wait`].
+    /// All vertices must be owned by `target`.
+    ///
+    /// Traffic, request count and blocking time are recorded against this
+    /// client's part; if a [`NetworkModel`] is configured, cross-machine
+    /// fetches are additionally delayed by the modeled transfer time.
+    ///
+    /// [`fetch_async`]: EdgeListClient::fetch_async
+    ///
+    /// # Errors
+    ///
+    /// Any [`FetchError`] variant: `NotOwner` if `target` does not own
+    /// some vertex, `Shutdown` after the service stopped, `Timeout` when
+    /// the retry budget is exhausted, `TooLarge` on wire-format overflow.
+    pub fn fetch(&self, target: PartId, vertices: &[VertexId]) -> Result<FetchedLists, FetchError> {
+        self.fetch_async(target, vertices)?.wait()
+    }
+
+    /// Issues a fetch without waiting for the reply.
+    ///
+    /// Blocks only while this part's in-flight window is full
+    /// (backpressure); once a slot is free the request is submitted and
+    /// a completion handle returned. Duplicate vertices are coalesced on
+    /// the wire; [`PendingFetch::wait`] expands the reply back to
+    /// request order, so `lists.list(i)` always matches `vertices[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError::Shutdown`] if the service has stopped.
+    pub fn fetch_async(
+        &self,
+        target: PartId,
+        vertices: &[VertexId],
+    ) -> Result<PendingFetch, FetchError> {
+        assert!(target < self.part_count(), "target part out of range");
+        let my = Arc::clone(self.metrics.part(self.part));
+        let (wire, expand) = coalesce(vertices);
+        if let Some(saved) = vertices.len().checked_sub(wire.len()) {
+            if saved > 0 {
+                my.record_coalesced(saved as u64);
+            }
+        }
+        let permit = self.window.acquire(&my);
+        let (reply_tx, reply_rx) = unbounded();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.transport.submit(
+            target,
+            WireRequest { seq, vertices: wire.clone() },
+            reply_tx.clone(),
+        )?;
+        Ok(PendingFetch {
+            client: self.clone(),
+            target,
+            wire,
+            expand,
+            reply_tx,
+            reply_rx,
+            seq,
+            attempts: 1,
+            submitted: Instant::now(),
+            _permit: permit,
+        })
+    }
+}
+
+/// A fetch in flight: the completion handle returned by
+/// [`EdgeListClient::fetch_async`].
+///
+/// Holds one slot of the issuing part's request window until it is
+/// waited on or dropped; dropping abandons the fetch (the reply, if any,
+/// is discarded).
+#[derive(Debug)]
+pub struct PendingFetch {
+    client: EdgeListClient,
+    target: PartId,
+    /// Deduplicated vertices as sent on the wire.
+    wire: Vec<VertexId>,
+    /// For requests with duplicates: original index → wire index.
+    expand: Option<Vec<u32>>,
+    reply_tx: Sender<WireReply>,
+    reply_rx: Receiver<WireReply>,
+    seq: u64,
+    attempts: u32,
+    /// First submission time; the network model's transfer delay is
+    /// measured from here so concurrent in-flight transfers overlap.
+    submitted: Instant,
+    _permit: WindowPermit,
+}
+
+impl PendingFetch {
+    /// The part this fetch targets.
+    pub fn target(&self) -> PartId {
+        self.target
+    }
+
+    /// Blocks until the reply arrives (retrying on loss or transient
+    /// errors), records traffic/wait metrics, and returns the lists in
+    /// original request order.
+    ///
+    /// # Errors
+    ///
+    /// Any non-transient [`FetchError`], or [`FetchError::Timeout`] once
+    /// the retry budget is exhausted.
+    pub fn wait(mut self) -> Result<FetchedLists, FetchError> {
+        let retry = self.client.retry;
+        let my = Arc::clone(self.client.metrics.part(self.client.part));
+        let wait_start = Instant::now();
+        let mut attempt_start = self.submitted;
+        let lists = loop {
+            let remaining = retry.timeout.saturating_sub(attempt_start.elapsed());
+            match self.reply_rx.recv_timeout(remaining) {
+                // Stale reply from an attempt that already timed out.
+                Ok(reply) if reply.seq != self.seq => continue,
+                Ok(reply) => match reply.payload {
+                    Ok(lists) => break lists,
+                    Err(e) if e.is_transient() => self.resubmit(&retry, &my)?,
+                    Err(e) => return Err(e),
+                },
+                Err(RecvTimeoutError::Timeout) => self.resubmit(&retry, &my)?,
+                Err(RecvTimeoutError::Disconnected) => return Err(FetchError::Shutdown),
+            }
+            attempt_start = Instant::now();
+        };
+        my.record_wait(wait_start.elapsed());
+        let req_bytes = HEADER_BYTES + 4 * self.wire.len() as u64;
+        let resp_bytes = lists.response_bytes();
+        let class = self.client.metrics.classify(self.client.part, self.target);
+        my.record_fetch(class, req_bytes, resp_bytes);
+        self.client.metrics.record_link(self.client.part, self.target, req_bytes);
+        self.client.metrics.record_link(self.target, self.client.part, resp_bytes);
+        if let (Some(model), TrafficClass::CrossMachine) = (self.client.network, class) {
+            let target_delay = model.transfer_time(req_bytes + resp_bytes);
+            // Time already spent since submission counts toward the
+            // modeled transfer, so transfers in flight while the caller
+            // integrated earlier batches cost nothing extra.
+            if let Some(remaining) = target_delay.checked_sub(self.submitted.elapsed()) {
+                precise_sleep(remaining);
+                my.record_wait(remaining);
+            }
+        }
+        match &self.expand {
+            None => Ok(lists),
+            Some(map) => expand_reply(&lists, map, self.target),
+        }
+    }
+
+    /// One more attempt: backoff, fresh sequence number, resubmit.
+    fn resubmit(&mut self, retry: &RetryPolicy, my: &Arc<PartMetrics>) -> Result<(), FetchError> {
+        if self.attempts >= retry.max_attempts {
+            return Err(FetchError::Timeout { target: self.target, attempts: self.attempts });
+        }
+        let backoff = retry.backoff.saturating_mul(1 << (self.attempts - 1).min(16));
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        my.record_retry();
+        self.attempts += 1;
+        self.seq = self.client.seq.fetch_add(1, Ordering::Relaxed);
+        self.client.transport.submit(
+            self.target,
+            WireRequest { seq: self.seq, vertices: self.wire.clone() },
+            self.reply_tx.clone(),
+        )
+    }
+}
+
+/// Deduplicates `vertices` preserving first-occurrence order. Returns
+/// the wire list and, when duplicates existed, the original-index →
+/// wire-index map needed to expand the reply.
+fn coalesce(vertices: &[VertexId]) -> (Vec<VertexId>, Option<Vec<u32>>) {
+    use std::collections::HashMap;
+    let mut first: HashMap<VertexId, u32> = HashMap::with_capacity(vertices.len());
+    let mut wire = Vec::with_capacity(vertices.len());
+    let mut map = Vec::with_capacity(vertices.len());
+    for &v in vertices {
+        let idx = *first.entry(v).or_insert_with(|| {
+            wire.push(v);
+            (wire.len() - 1) as u32
+        });
+        map.push(idx);
+    }
+    if wire.len() == vertices.len() {
+        (wire, None)
+    } else {
+        (wire, Some(map))
+    }
+}
+
+/// Expands a deduplicated reply back to original request order.
+fn expand_reply(
+    lists: &FetchedLists,
+    map: &[u32],
+    target: PartId,
+) -> Result<FetchedLists, FetchError> {
+    let mut offsets = Vec::with_capacity(map.len() + 1);
+    offsets.push(0u32);
+    let mut data = Vec::new();
+    for &w in map {
+        data.extend_from_slice(lists.list(w as usize));
+        offsets.push(
+            checked_offset(data.len())
+                .map_err(|entries| FetchError::TooLarge { target, entries })?,
+        );
+    }
+    Ok(FetchedLists::from_parts(offsets, data))
+}
+
+/// Sleeps for short durations more precisely than `thread::sleep` alone:
+/// sleeps for the bulk, spins for the tail.
+fn precise_sleep(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    if d > Duration::from_micros(200) {
+        std::thread::sleep(d - Duration::from_micros(100));
+    }
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen;
+
+    fn cluster(machines: usize, sockets: usize) -> (gpm_graph::Graph, PartitionedGraph) {
+        let g = gen::erdos_renyi(200, 800, 7);
+        let pg = PartitionedGraph::new(&g, machines, sockets);
+        (g, pg)
+    }
+
+    #[test]
+    fn fetch_returns_correct_lists() {
+        let (g, pg) = cluster(4, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(0);
+        for v in [0u32, 5, 17, 100, 199] {
+            let owner = pg.owner(v);
+            let lists = client.fetch(owner, &[v]).unwrap();
+            assert_eq!(lists.list(0), g.neighbors(v));
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn batched_fetch_preserves_order() {
+        let (g, pg) = cluster(2, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(1);
+        // All vertices owned by part 0, batched.
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(20).collect();
+        let lists = client.fetch(0, &owned).unwrap();
+        assert_eq!(lists.len(), owned.len());
+        for (i, &v) in owned.iter().enumerate() {
+            assert_eq!(lists.list(i), g.neighbors(v), "list {i} mismatched");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn missing_vertex_is_an_error() {
+        let (_, pg) = cluster(4, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(0);
+        let v = (0..200u32).find(|&v| pg.owner(v) != 2).unwrap();
+        let err = client.fetch(2, &[v]).unwrap_err();
+        assert_eq!(err, FetchError::NotOwner { target: 2, missing: vec![v] });
+        assert!(err.to_string().contains("does not own"));
+        service.shutdown();
+    }
+
+    #[test]
+    fn metrics_are_recorded() {
+        let (_, pg) = cluster(2, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(1);
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(5).collect();
+        client.fetch(0, &owned).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.total_requests(), 1);
+        assert!(m.total_network_bytes() > 0);
+        assert!(m.part(1).bytes_received() > 0);
+        assert!(m.part(0).served_requests() == 1);
+        // No duplicates, no faults: nothing coalesced, nothing retried.
+        assert_eq!(m.total_coalesced(), 0);
+        assert_eq!(m.total_retries(), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cross_socket_classified_separately() {
+        let (_, pg) = cluster(1, 2); // one machine, two sockets
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(0);
+        let owned: Vec<VertexId> = pg.part(1).owned().iter().copied().take(3).collect();
+        client.fetch(1, &owned).unwrap();
+        assert_eq!(service.metrics().total_network_bytes(), 0);
+        assert!(service.metrics().total_cross_socket_bytes() > 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let (g, pg) = cluster(4, 1);
+        let service = EdgeListService::start(&pg, None);
+        let mut joins = Vec::new();
+        for part in 0..4 {
+            let client = service.client(part);
+            let g = g.clone();
+            let pg = pg.clone();
+            joins.push(std::thread::spawn(move || {
+                for v in (part as u32 * 50)..(part as u32 * 50 + 50) {
+                    let lists = client.fetch(pg.owner(v), &[v]).unwrap();
+                    assert_eq!(lists.list(0), g.neighbors(v));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn network_model_delays_cross_machine_only() {
+        let (_, pg) = cluster(2, 1);
+        // Very slow model so delay dominates.
+        let model = NetworkModel { latency_us: 2000.0, bandwidth_gbps: 56.0 };
+        let service = EdgeListService::start(&pg, Some(model));
+        let client = service.client(1);
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(1).collect();
+        let t0 = Instant::now();
+        client.fetch(0, &owned).unwrap();
+        assert!(t0.elapsed().as_micros() >= 2000, "model delay not applied");
+        service.shutdown();
+    }
+
+    #[test]
+    fn empty_fetch() {
+        let (_, pg) = cluster(2, 1);
+        let service = EdgeListService::start(&pg, None);
+        let lists = service.client(0).fetch(1, &[]).unwrap();
+        assert!(lists.is_empty());
+        assert_eq!(lists.len(), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn coalescing_preserves_reply_order() {
+        let (g, pg) = cluster(2, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(1);
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(3).collect();
+        let (a, b, c) = (owned[0], owned[1], owned[2]);
+        let request = [a, b, a, c, b, a];
+        let lists = client.fetch(0, &request).unwrap();
+        // The reply has one list per *requested* vertex, in request
+        // order, even though only 3 unique vertices went on the wire.
+        assert_eq!(lists.len(), request.len());
+        for (i, &v) in request.iter().enumerate() {
+            assert_eq!(lists.list(i), g.neighbors(v), "list {i} mismatched");
+        }
+        assert_eq!(service.metrics().total_coalesced(), 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn coalescing_shrinks_the_wire_request() {
+        let (_, pg) = cluster(2, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(1);
+        let v = pg.part(0).owned()[0];
+        client.fetch(0, &[v; 8]).unwrap();
+        // Request bytes account the deduplicated wire form: header + one
+        // vertex, not eight.
+        assert_eq!(service.metrics().part(1).bytes_sent(), 16 + 4);
+        assert_eq!(service.metrics().total_coalesced(), 7);
+        service.shutdown();
+    }
+
+    #[test]
+    fn fetch_after_shutdown_is_a_typed_error() {
+        let (_, pg) = cluster(2, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(0);
+        let v = pg.part(1).owned()[0];
+        assert!(client.fetch(1, &[v]).is_ok());
+        service.shutdown();
+        assert_eq!(client.fetch(1, &[v]).unwrap_err(), FetchError::Shutdown);
+        assert!(FetchError::Shutdown.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn window_bounds_inflight_requests() {
+        let (_, pg) = cluster(2, 1);
+        let fabric = FabricConfig { window: 2, ..FabricConfig::default() };
+        let service = EdgeListService::start_with(&pg, None, fabric);
+        let client = service.client(1);
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(3).collect();
+        let p0 = client.fetch_async(0, &owned[..1]).unwrap();
+        let p1 = client.fetch_async(0, &owned[1..2]).unwrap();
+        assert_eq!(service.metrics().part(1).inflight(), 2);
+        // A third issue must block until a slot retires.
+        let (issued_tx, issued_rx) = unbounded::<()>();
+        let c2 = client.clone();
+        let vs = owned[2..3].to_vec();
+        let t = std::thread::spawn(move || {
+            let p = c2.fetch_async(0, &vs).unwrap();
+            issued_tx.send(()).unwrap();
+            p.wait().unwrap();
+        });
+        assert!(
+            issued_rx.recv_timeout(Duration::from_millis(50)).is_err(),
+            "third fetch issued past a full window"
+        );
+        p0.wait().unwrap();
+        issued_rx.recv_timeout(Duration::from_secs(5)).expect("slot retire unblocks issue");
+        p1.wait().unwrap();
+        t.join().unwrap();
+        assert_eq!(service.metrics().part(1).inflight(), 0);
+        assert_eq!(service.metrics().part(1).peak_inflight(), 2);
+        service.shutdown();
+    }
+
+    fn faulty_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 10,
+            timeout: Duration::from_millis(30),
+            backoff: Duration::from_micros(500),
+        }
+    }
+
+    #[test]
+    fn dropped_replies_are_retried() {
+        let (g, pg) = cluster(2, 1);
+        let fabric = FabricConfig {
+            retry: faulty_retry(),
+            fault: Some(FaultPlan::drops(0.3)),
+            ..FabricConfig::default()
+        };
+        let service = EdgeListService::start_with(&pg, None, fabric);
+        let client = service.client(1);
+        for &v in pg.part(0).owned().iter().take(30) {
+            let lists = client.fetch(0, &[v]).unwrap();
+            assert_eq!(lists.list(0), g.neighbors(v));
+        }
+        assert!(service.metrics().total_retries() > 0, "30% drops must force retries");
+        service.shutdown();
+    }
+
+    #[test]
+    fn injected_errors_are_retried() {
+        let (g, pg) = cluster(2, 1);
+        let fault = FaultPlan { error_fraction: 0.3, ..FaultPlan::default() };
+        let fabric =
+            FabricConfig { retry: faulty_retry(), fault: Some(fault), ..FabricConfig::default() };
+        let service = EdgeListService::start_with(&pg, None, fabric);
+        let client = service.client(1);
+        for &v in pg.part(0).owned().iter().take(30) {
+            let lists = client.fetch(0, &[v]).unwrap();
+            assert_eq!(lists.list(0), g.neighbors(v));
+        }
+        assert!(service.metrics().total_retries() > 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn delayed_replies_still_arrive() {
+        let (g, pg) = cluster(2, 1);
+        let fault = FaultPlan {
+            delay_fraction: 1.0,
+            delay: Duration::from_millis(3),
+            ..FaultPlan::default()
+        };
+        let fabric = FabricConfig { fault: Some(fault), ..FabricConfig::default() };
+        let service = EdgeListService::start_with(&pg, None, fabric);
+        let client = service.client(1);
+        let v = pg.part(0).owned()[0];
+        let t0 = Instant::now();
+        let lists = client.fetch(0, &[v]).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(3));
+        assert_eq!(lists.list(0), g.neighbors(v));
+        service.shutdown();
+    }
+
+    #[test]
+    fn exhausted_retries_become_timeout() {
+        let (_, pg) = cluster(2, 1);
+        let fabric = FabricConfig {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                timeout: Duration::from_millis(5),
+                backoff: Duration::from_micros(100),
+            },
+            fault: Some(FaultPlan::drops(1.0)),
+            ..FabricConfig::default()
+        };
+        let service = EdgeListService::start_with(&pg, None, fabric);
+        let client = service.client(1);
+        let v = pg.part(0).owned()[0];
+        let err = client.fetch(0, &[v]).unwrap_err();
+        assert_eq!(err, FetchError::Timeout { target: 0, attempts: 3 });
+        assert!(err.to_string().contains("after 3 attempts"));
+        assert_eq!(service.metrics().part(1).retries(), 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn coalesce_maps_duplicates() {
+        let (wire, map) = coalesce(&[5, 7, 5, 9, 7]);
+        assert_eq!(wire, vec![5, 7, 9]);
+        assert_eq!(map, Some(vec![0, 1, 0, 2, 1]));
+        let (wire, map) = coalesce(&[1, 2, 3]);
+        assert_eq!(wire, vec![1, 2, 3]);
+        assert_eq!(map, None);
+        let (wire, map) = coalesce(&[]);
+        assert!(wire.is_empty());
+        assert_eq!(map, None);
+    }
+}

@@ -11,11 +11,17 @@
 //!
 //! Components:
 //!
-//! * [`EdgeListService`] / [`EdgeListClient`] — the remote edge-list
-//!   request/response protocol (the paper's "graph data requesting /
-//!   responding threads", §6), with batched fetches;
+//! * [`transport`] — the wire layer: sequence-tagged request/reply
+//!   messages, the non-blocking [`Transport`] trait, the in-process
+//!   [`ChannelTransport`] (the paper's "graph data responding threads",
+//!   §6), and a deterministic [`FaultInjectingTransport`];
+//! * [`fabric`] — the async request-window fabric above it:
+//!   [`EdgeListClient::fetch_async`] with bounded per-part in-flight
+//!   windows (backpressure), same-request coalescing, timeout/retry with
+//!   backoff, and typed [`FetchError`]s instead of panics;
 //! * [`metrics`] — per-part traffic and wait-time counters, split into
-//!   cross-machine and cross-socket classes (for §5.4 and Figure 19);
+//!   cross-machine and cross-socket classes (for §5.4 and Figure 19),
+//!   plus fabric counters (in-flight depth, coalesced vertices, retries);
 //! * [`NetworkModel`] — optional latency/bandwidth model used to convert
 //!   measured bytes into network-utilization numbers and, when enabled, to
 //!   delay fetches accordingly;
@@ -26,13 +32,20 @@
 
 #![warn(missing_docs)]
 
+pub mod fabric;
 pub mod metrics;
 pub mod post;
-pub mod service;
+pub mod transport;
 pub mod work;
 
+pub use fabric::{
+    EdgeListClient, EdgeListService, FabricConfig, FetchError, PendingFetch, RetryPolicy,
+};
 pub use metrics::{ClusterMetrics, PartMetrics, TrafficClass};
-pub use service::{EdgeListClient, EdgeListService, FetchError, FetchedLists};
+pub use transport::{
+    ChannelTransport, FaultInjectingTransport, FaultPlan, FetchedLists, Transport, WireReply,
+    WireRequest,
+};
 
 /// Identifier of a part (one NUMA socket of one machine). Parts are
 /// numbered `machine * sockets_per_machine + socket`.

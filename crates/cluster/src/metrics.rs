@@ -30,6 +30,10 @@ pub struct PartMetrics {
     comm_wait_nanos: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    inflight: AtomicU64,
+    inflight_peak: AtomicU64,
+    coalesced: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl PartMetrics {
@@ -69,6 +73,28 @@ impl PartMetrics {
     /// Records a software-cache miss.
     pub fn record_cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request entering this part's in-flight window.
+    pub fn record_inflight_start(&self) {
+        let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inflight_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Records a request retiring from this part's in-flight window.
+    pub fn record_inflight_end(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` vertices deduplicated out of a request before it hit
+    /// the wire.
+    pub fn record_coalesced(&self, n: u64) {
+        self.coalesced.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one retried request attempt.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Bytes sent in requests by this part.
@@ -119,6 +145,26 @@ impl PartMetrics {
     /// Cache misses recorded by this part.
     pub fn cache_misses(&self) -> u64 {
         self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently occupying this part's in-flight window.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the in-flight window ever got on this part.
+    pub fn peak_inflight(&self) -> u64 {
+        self.inflight_peak.load(Ordering::Relaxed)
+    }
+
+    /// Vertices saved from the wire by request coalescing.
+    pub fn coalesced_requests(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Request attempts beyond the first (timeout/fault recovery).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 }
 
@@ -221,6 +267,21 @@ impl ClusterMetrics {
         self.parts.iter().map(|p| p.requests()).sum()
     }
 
+    /// Total vertices saved from the wire by coalescing, cluster-wide.
+    pub fn total_coalesced(&self) -> u64 {
+        self.parts.iter().map(|p| p.coalesced_requests()).sum()
+    }
+
+    /// Total retried request attempts, cluster-wide.
+    pub fn total_retries(&self) -> u64 {
+        self.parts.iter().map(|p| p.retries()).sum()
+    }
+
+    /// Deepest in-flight window depth observed on any part.
+    pub fn peak_inflight(&self) -> u64 {
+        self.parts.iter().map(|p| p.peak_inflight()).max().unwrap_or(0)
+    }
+
     /// Total blocking communication time summed over parts.
     pub fn total_comm_wait(&self) -> Duration {
         self.parts.iter().map(|p| p.comm_wait()).sum()
@@ -307,6 +368,23 @@ mod tests {
         assert_eq!(lm[2][0], 7);
         assert_eq!(lm[1][2], 0);
         assert_eq!(m.link_spread(), Some((150, 7)));
+    }
+
+    #[test]
+    fn fabric_counters_accumulate() {
+        let m = ClusterMetrics::new(2, 1);
+        m.part(0).record_inflight_start();
+        m.part(0).record_inflight_start();
+        assert_eq!(m.part(0).inflight(), 2);
+        m.part(0).record_inflight_end();
+        assert_eq!(m.part(0).inflight(), 1);
+        assert_eq!(m.part(0).peak_inflight(), 2);
+        assert_eq!(m.peak_inflight(), 2);
+        m.part(1).record_coalesced(3);
+        m.part(1).record_retry();
+        m.part(1).record_retry();
+        assert_eq!(m.total_coalesced(), 3);
+        assert_eq!(m.total_retries(), 2);
     }
 
     #[test]

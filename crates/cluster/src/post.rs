@@ -37,8 +37,7 @@ impl<T: Send> PostOffice<T> {
     /// Creates mailboxes for `parts` parts reporting into `metrics`.
     pub fn new(parts: usize, metrics: ClusterMetrics) -> Self {
         assert_eq!(metrics.part_count(), parts, "metrics sized for a different cluster");
-        let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..parts).map(|_| unbounded::<T>()).unzip();
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..parts).map(|_| unbounded::<T>()).unzip();
         PostOffice { senders, receivers, metrics }
     }
 

@@ -1,0 +1,408 @@
+//! The wire layer beneath the request fabric: message types, the
+//! [`Transport`] trait, and its two implementations.
+//!
+//! A transport moves sequence-tagged [`WireRequest`]s to a target part's
+//! responder and delivers [`WireReply`]s back on a caller-provided
+//! channel. Submission is **non-blocking**: flow control (the in-flight
+//! window), retries, and metrics all live one layer up, in
+//! [`crate::fabric`]. Two transports exist:
+//!
+//! * [`ChannelTransport`] — the in-process cluster: one responder thread
+//!   per part serving batched edge-list requests from its local
+//!   [`GraphPart`] (the paper's "graph data responding threads", §6);
+//! * [`FaultInjectingTransport`] — wraps the channel transport and
+//!   deterministically drops, errors, or delays a configurable fraction
+//!   of messages, for exercising the fabric's timeout/retry path.
+
+use crate::fabric::FetchError;
+use crate::metrics::ClusterMetrics;
+use crate::PartId;
+use crossbeam::channel::{unbounded, Sender};
+use gpm_graph::partition::{GraphPart, PartitionedGraph};
+use gpm_graph::VertexId;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-message fixed overhead in accounted bytes (headers/envelopes).
+pub(crate) const HEADER_BYTES: u64 = 16;
+
+/// A batch of edge lists returned by a fetch.
+///
+/// Lists are stored back to back; `list(i)` is the edge list of the `i`-th
+/// requested vertex, in request order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FetchedLists {
+    offsets: Vec<u32>,
+    data: Vec<VertexId>,
+}
+
+impl FetchedLists {
+    /// Number of lists in the batch.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th requested vertex's edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn list(&self, i: usize) -> &[VertexId] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Consumes the batch into raw `(offsets, data)` arrays.
+    pub fn into_parts(self) -> (Vec<u32>, Vec<VertexId>) {
+        (self.offsets, self.data)
+    }
+
+    /// Accounted size of the response in bytes.
+    pub fn response_bytes(&self) -> u64 {
+        HEADER_BYTES + 4 * (self.offsets.len() as u64 + self.data.len() as u64)
+    }
+
+    /// Builds a batch from raw arrays (the inverse of [`into_parts`]).
+    ///
+    /// [`into_parts`]: FetchedLists::into_parts
+    pub(crate) fn from_parts(offsets: Vec<u32>, data: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, data.len());
+        FetchedLists { offsets, data }
+    }
+}
+
+/// Converts a running data length into a `u32` offset, reporting the
+/// offending length on overflow instead of silently truncating.
+pub(crate) fn checked_offset(len: usize) -> Result<u32, usize> {
+    u32::try_from(len).map_err(|_| len)
+}
+
+/// One edge-list request on the wire, tagged with the issuing client's
+/// sequence number so replies (and stale replies from timed-out attempts)
+/// can be matched back to the right in-flight fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    /// Client-assigned sequence number; a retry gets a fresh one.
+    pub seq: u64,
+    /// The vertices whose edge lists are requested.
+    pub vertices: Vec<VertexId>,
+}
+
+/// One reply on the wire, carrying the request's sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReply {
+    /// Sequence number of the request this answers.
+    pub seq: u64,
+    /// The served lists, or a typed failure.
+    pub payload: Result<FetchedLists, FetchError>,
+}
+
+/// A non-blocking message layer between parts.
+///
+/// `submit` hands a request to `target`'s responder and returns
+/// immediately; the reply arrives later on `reply_to`. Implementations
+/// must be shareable across client threads.
+pub trait Transport: Send + Sync + std::fmt::Debug {
+    /// Number of parts this transport connects.
+    fn part_count(&self) -> usize;
+
+    /// Queues `req` for `target`'s responder. The reply (carrying
+    /// `req.seq`) is sent on `reply_to` when served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError::Shutdown`] if the target responder has
+    /// stopped.
+    fn submit(
+        &self,
+        target: PartId,
+        req: WireRequest,
+        reply_to: Sender<WireReply>,
+    ) -> Result<(), FetchError>;
+
+    /// Stops all responders and joins their threads. Idempotent.
+    fn shutdown(&self);
+}
+
+enum Msg {
+    Fetch {
+        req: WireRequest,
+        reply_to: Sender<WireReply>,
+    },
+    /// Stops the responder even while client clones are still alive.
+    Shutdown,
+}
+
+/// The in-process cluster transport: one responder thread per part.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    senders: Vec<Sender<Msg>>,
+    handles: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ChannelTransport {
+    /// Starts one responder thread per part of `pg`, recording served
+    /// requests into `metrics`.
+    pub fn start(pg: &PartitionedGraph, metrics: &ClusterMetrics) -> Self {
+        let parts = pg.part_count();
+        let mut senders = Vec::with_capacity(parts);
+        let mut handles = Vec::with_capacity(parts);
+        for part_id in 0..parts {
+            let (tx, rx) = unbounded::<Msg>();
+            senders.push(tx);
+            let part = pg.part_arc(part_id);
+            let part_metrics = Arc::clone(metrics.part(part_id));
+            let handle = std::thread::Builder::new()
+                .name(format!("edgelist-responder-{part_id}"))
+                .spawn(move || {
+                    while let Ok(Msg::Fetch { req, reply_to }) = rx.recv() {
+                        let payload = serve(&part, &req.vertices);
+                        if let Ok(lists) = &payload {
+                            part_metrics.record_served(lists.response_bytes());
+                        }
+                        // A dropped reply receiver just means the client
+                        // gave up (or the fault layer swallowed the
+                        // reply); keep serving others.
+                        let _ = reply_to.send(WireReply { seq: req.seq, payload });
+                    }
+                })
+                .expect("spawn responder thread");
+            handles.push(handle);
+        }
+        ChannelTransport { senders, handles: parking_lot::Mutex::new(handles) }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn part_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn submit(
+        &self,
+        target: PartId,
+        req: WireRequest,
+        reply_to: Sender<WireReply>,
+    ) -> Result<(), FetchError> {
+        assert!(target < self.senders.len(), "target part out of range");
+        self.senders[target].send(Msg::Fetch { req, reply_to }).map_err(|_| FetchError::Shutdown)
+    }
+
+    fn shutdown(&self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve(part: &GraphPart, vertices: &[VertexId]) -> Result<FetchedLists, FetchError> {
+    let target = part.part_id();
+    let mut offsets = Vec::with_capacity(vertices.len() + 1);
+    offsets.push(0u32);
+    let mut data = Vec::new();
+    let mut missing = Vec::new();
+    for &v in vertices {
+        match part.edge_list(v) {
+            Some(list) => data.extend_from_slice(list),
+            None => missing.push(v),
+        }
+        offsets.push(
+            checked_offset(data.len())
+                .map_err(|entries| FetchError::TooLarge { target, entries })?,
+        );
+    }
+    if missing.is_empty() {
+        Ok(FetchedLists { offsets, data })
+    } else {
+        Err(FetchError::NotOwner { target, missing })
+    }
+}
+
+/// What to do with a fraction of submitted messages.
+///
+/// Outcomes are decided deterministically per `(seed, target, seq)`, so a
+/// run with a fixed plan is reproducible, and a retried request (which
+/// carries a fresh sequence number) re-rolls its fate — with any fraction
+/// below 1.0, retries converge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Fraction of requests whose replies are silently dropped (the
+    /// client sees a timeout).
+    pub drop_fraction: f64,
+    /// Fraction of requests answered with a transient
+    /// [`FetchError::Injected`] error.
+    pub error_fraction: f64,
+    /// Fraction of requests whose replies are delayed by [`delay`].
+    ///
+    /// [`delay`]: FaultPlan::delay
+    pub delay_fraction: f64,
+    /// How long delayed replies are held back.
+    pub delay: Duration,
+    /// Seed of the deterministic per-message fault decision.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            drop_fraction: 0.0,
+            error_fraction: 0.0,
+            delay_fraction: 0.0,
+            delay: Duration::from_millis(1),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that only drops `fraction` of replies.
+    pub fn drops(fraction: f64) -> Self {
+        FaultPlan { drop_fraction: fraction, ..FaultPlan::default() }
+    }
+
+    /// The fate of message `seq` to `target` under this plan.
+    fn decide(&self, target: PartId, seq: u64) -> Fault {
+        let r = unit_hash(self.seed, target as u64, seq);
+        if r < self.drop_fraction {
+            Fault::Drop
+        } else if r < self.drop_fraction + self.error_fraction {
+            Fault::Error
+        } else if r < self.drop_fraction + self.error_fraction + self.delay_fraction {
+            Fault::Delay
+        } else {
+            Fault::None
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    None,
+    Drop,
+    Error,
+    Delay,
+}
+
+/// SplitMix64-style hash of `(seed, target, seq)` mapped to `[0, 1)`.
+fn unit_hash(seed: u64, target: u64, seq: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(target.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(seq.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A transport that injects faults in front of a [`ChannelTransport`].
+///
+/// Dropped messages are still *served* by the responder (the paper's
+/// responder never sees the loss — replies are lost in the network), but
+/// their replies never reach the client; errored messages are answered
+/// immediately with [`FetchError::Injected`]; delayed messages are held
+/// by a detached timer thread before delivery.
+#[derive(Debug)]
+pub struct FaultInjectingTransport {
+    inner: ChannelTransport,
+    plan: FaultPlan,
+}
+
+impl FaultInjectingTransport {
+    /// Wraps `inner`, applying `plan` to every submitted message.
+    pub fn new(inner: ChannelTransport, plan: FaultPlan) -> Self {
+        FaultInjectingTransport { inner, plan }
+    }
+}
+
+impl Transport for FaultInjectingTransport {
+    fn part_count(&self) -> usize {
+        self.inner.part_count()
+    }
+
+    fn submit(
+        &self,
+        target: PartId,
+        req: WireRequest,
+        reply_to: Sender<WireReply>,
+    ) -> Result<(), FetchError> {
+        match self.plan.decide(target, req.seq) {
+            Fault::None => self.inner.submit(target, req, reply_to),
+            Fault::Drop => {
+                // Serve the request but lose the reply: the receiver of
+                // this channel is dropped right here.
+                let (black_hole, _) = unbounded::<WireReply>();
+                self.inner.submit(target, req, black_hole)
+            }
+            Fault::Error => {
+                let _ = reply_to.send(WireReply {
+                    seq: req.seq,
+                    payload: Err(FetchError::Injected { target }),
+                });
+                Ok(())
+            }
+            Fault::Delay => {
+                let (tx, rx) = unbounded::<WireReply>();
+                let delay = self.plan.delay;
+                std::thread::spawn(move || {
+                    if let Ok(reply) = rx.recv() {
+                        std::thread::sleep(delay);
+                        let _ = reply_to.send(reply);
+                    }
+                });
+                self.inner.submit(target, req, tx)
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_offset_guards_truncation() {
+        assert_eq!(checked_offset(0), Ok(0));
+        assert_eq!(checked_offset(u32::MAX as usize), Ok(u32::MAX));
+        assert_eq!(checked_offset(u32::MAX as usize + 1), Err(u32::MAX as usize + 1));
+        assert_eq!(checked_offset(usize::MAX), Err(usize::MAX));
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic() {
+        let plan = FaultPlan { drop_fraction: 0.3, error_fraction: 0.3, ..Default::default() };
+        for seq in 0..64 {
+            assert_eq!(plan.decide(1, seq), plan.decide(1, seq));
+        }
+        // A retried message (fresh seq) can change fate.
+        let fates: Vec<Fault> = (0..64).map(|s| plan.decide(0, s)).collect();
+        assert!(fates.iter().any(|&f| f != fates[0]), "fates never vary: {fates:?}");
+    }
+
+    #[test]
+    fn fault_fractions_roughly_respected() {
+        let plan = FaultPlan { drop_fraction: 0.5, ..Default::default() };
+        let drops = (0..1000).filter(|&s| plan.decide(0, s) == Fault::Drop).count();
+        assert!((350..650).contains(&drops), "{drops} drops out of 1000");
+    }
+
+    #[test]
+    fn unit_hash_in_range() {
+        for s in 0..100 {
+            let r = unit_hash(7, 3, s);
+            assert!((0.0..1.0).contains(&r));
+        }
+    }
+}

@@ -184,12 +184,10 @@ impl SharedCache {
                             }
                             inner.order.remove(0)
                         }
-                        CachePolicy::Lifo | CachePolicy::Mru => {
-                            match inner.order.pop() {
-                                Some(u) => u,
-                                None => break,
-                            }
-                        }
+                        CachePolicy::Lifo | CachePolicy::Mru => match inner.order.pop() {
+                            Some(u) => u,
+                            None => break,
+                        },
                         _ => unreachable!(),
                     };
                     if let Some(old) = inner.map.remove(&victim) {
@@ -268,7 +266,7 @@ mod tests {
         let c = SharedCache::new(CachePolicy::Static, 100, 1);
         assert!(c.maybe_insert(1, &list(20, 0))); // 80 bytes
         assert!(!c.maybe_insert(2, &list(20, 0))); // would exceed => marks full
-        // Even a small list is now refused: "no longer insert any data".
+                                                   // Even a small list is now refused: "no longer insert any data".
         assert!(!c.maybe_insert(3, &list(2, 0)));
         assert!(c.lookup(1).is_some());
         assert_eq!(c.len(), 1);

@@ -3,7 +3,7 @@
 use crate::cache::{CacheConfig, SharedCache};
 use crate::runtime::{run_part, PartCtx, Visitor};
 use crate::stats::{PartStats, RunStats, TrafficSummary};
-use gpm_cluster::{ClusterMetrics, EdgeListService, NetworkModel};
+use gpm_cluster::{ClusterMetrics, EdgeListService, FabricConfig, FetchError, NetworkModel};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::VertexId;
 use gpm_pattern::plan::MatchingPlan;
@@ -32,6 +32,10 @@ pub struct EngineConfig {
     pub cache: CacheConfig,
     /// Optional network cost model applied to cross-machine fetches.
     pub network: Option<NetworkModel>,
+    /// Request-fabric tuning: per-part in-flight window, retry policy,
+    /// and optional fault injection. `window = 1` with no faults
+    /// reproduces the old fully serialized transfer behaviour.
+    pub fabric: FabricConfig,
     /// Run the simulated machines one after another instead of
     /// concurrently. On hosts with fewer cores than simulated machines
     /// this removes core-contention noise from the per-part timers, so
@@ -50,6 +54,7 @@ impl Default for EngineConfig {
             circulant: true,
             cache: CacheConfig::default(),
             network: None,
+            fabric: FabricConfig::default(),
             sequential_parts: false,
         }
     }
@@ -78,7 +83,7 @@ impl Engine {
     /// progress).
     pub fn new(pg: PartitionedGraph, cfg: EngineConfig) -> Engine {
         assert!(cfg.chunk_capacity >= 1, "chunk capacity must be positive");
-        let service = EdgeListService::start(&pg, cfg.network);
+        let service = EdgeListService::start_with(&pg, cfg.network, cfg.fabric.clone());
         let caches = (0..pg.part_count())
             .map(|_| Arc::new(SharedCache::for_part(&cfg.cache, pg.sockets_per_machine())))
             .collect();
@@ -114,8 +119,20 @@ impl Engine {
     }
 
     /// Counts the embeddings `plan` produces over the whole cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric reports an unrecoverable fault (see
+    /// [`Engine::try_count`] for the non-panicking form).
     pub fn count(&self, plan: &MatchingPlan) -> RunStats {
         self.run(plan, None, None)
+    }
+
+    /// Like [`Engine::count`], but surfaces fabric failures — shutdown
+    /// races, ownership violations, retry exhaustion under fault
+    /// injection — as a typed [`FetchError`] instead of panicking.
+    pub fn try_count(&self, plan: &MatchingPlan) -> Result<RunStats, FetchError> {
+        self.try_run(plan, None, None)
     }
 
     /// Enumerates embeddings, calling `visit` (possibly concurrently from
@@ -126,6 +143,15 @@ impl Engine {
         F: Fn(&[VertexId]) + Sync,
     {
         self.run(plan, Some(&visit), None)
+    }
+
+    /// Like [`Engine::enumerate`], but returns fabric failures as typed
+    /// [`FetchError`]s instead of panicking.
+    pub fn try_enumerate<F>(&self, plan: &MatchingPlan, visit: F) -> Result<RunStats, FetchError>
+    where
+        F: Fn(&[VertexId]) + Sync,
+    {
+        self.try_run(plan, Some(&visit), None)
     }
 
     /// Enumerates embeddings with cooperative early termination: when
@@ -170,6 +196,15 @@ impl Engine {
         visitor: Option<Visitor<'_>>,
         stop: Option<&std::sync::atomic::AtomicBool>,
     ) -> RunStats {
+        self.try_run(plan, visitor, stop).unwrap_or_else(|e| panic!("engine run failed: {e}"))
+    }
+
+    fn try_run(
+        &self,
+        plan: &MatchingPlan,
+        visitor: Option<Visitor<'_>>,
+        stop: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Result<RunStats, FetchError> {
         assert!(
             !plan.requires_edge_labels(),
             "the distributed engine supports vertex labels only (like the paper's, §2.1); \
@@ -192,9 +227,16 @@ impl Engine {
             visitor,
             stop,
         };
+        let mut failure: Option<FetchError> = None;
         if self.cfg.sequential_parts {
             for part in 0..parts {
-                per_part.push(run_part(make_ctx(part)));
+                match run_part(make_ctx(part)) {
+                    Ok(stats) => per_part.push(stats),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
             }
         } else {
             crossbeam::thread::scope(|s| {
@@ -208,15 +250,25 @@ impl Engine {
                             .expect("spawn part coordinator"),
                     );
                 }
+                // Join every part before reporting: a failing part must
+                // not leave siblings running against a dead fabric.
                 for h in handles {
-                    per_part.push(h.join().expect("part coordinator panicked"));
+                    match h.join().expect("part coordinator panicked") {
+                        Ok(stats) => per_part.push(stats),
+                        Err(e) => {
+                            failure.get_or_insert(e);
+                        }
+                    }
                 }
             })
             .expect("engine scope");
         }
+        if let Some(e) = failure {
+            return Err(e);
+        }
         let elapsed = t0.elapsed();
         let after = self.traffic_snapshot();
-        RunStats {
+        Ok(RunStats {
             count: per_part.iter().map(|p| p.count).sum(),
             elapsed,
             per_part,
@@ -226,8 +278,10 @@ impl Engine {
                 requests: after.requests - before.requests,
                 cache_hits: after.cache_hits - before.cache_hits,
                 cache_misses: after.cache_misses - before.cache_misses,
+                coalesced: after.coalesced - before.coalesced,
+                retries: after.retries - before.retries,
             },
-        }
+        })
     }
 
     fn traffic_snapshot(&self) -> TrafficSummary {
@@ -236,6 +290,8 @@ impl Engine {
             network_bytes: m.total_network_bytes(),
             cross_socket_bytes: m.total_cross_socket_bytes(),
             requests: m.total_requests(),
+            coalesced: m.total_coalesced(),
+            retries: m.total_retries(),
             ..TrafficSummary::default()
         };
         for p in 0..m.part_count() {
@@ -356,10 +412,8 @@ mod tests {
         let expect = oracle::count_subgraphs(&g, &p, false);
         for cap in [2usize, 7, 64, 1024, 1 << 20] {
             let pg = PartitionedGraph::new(&g, 3, 1);
-            let engine = Engine::new(
-                pg,
-                EngineConfig { chunk_capacity: cap, ..EngineConfig::default() },
-            );
+            let engine =
+                Engine::new(pg, EngineConfig { chunk_capacity: cap, ..EngineConfig::default() });
             assert_eq!(engine.count(&plan(&p)).count, expect, "capacity {cap}");
             engine.shutdown();
         }
@@ -430,7 +484,11 @@ mod tests {
     }
 
     #[test]
-    fn horizontal_sharing_reduces_traffic() {
+    fn horizontal_sharing_reduces_fetch_workload() {
+        // Fabric-level coalescing dedups the same duplicate vertices that
+        // horizontal sharing removes upstream, so the *wire* traffic of
+        // the two runs matches; sharing's benefit now shows up as far
+        // fewer duplicates reaching (and being absorbed by) the fabric.
         let g = gen::barabasi_albert(300, 6, 1);
         let p = Pattern::clique(4);
         let mk = |horizontal: bool| {
@@ -451,11 +509,112 @@ mod tests {
         let without = mk(false);
         assert_eq!(with.count, without.count);
         assert!(
-            with.traffic.network_bytes < without.traffic.network_bytes,
-            "horizontal sharing must cut traffic ({} vs {})",
+            with.traffic.network_bytes <= without.traffic.network_bytes,
+            "horizontal sharing must not increase traffic ({} vs {})",
             with.traffic.network_bytes,
             without.traffic.network_bytes
         );
+        assert!(
+            with.traffic.coalesced < without.traffic.coalesced,
+            "without sharing the fabric must absorb the duplicate requests \
+             ({} coalesced vs {})",
+            with.traffic.coalesced,
+            without.traffic.coalesced
+        );
+    }
+
+    #[test]
+    fn larger_window_reduces_comm_wait() {
+        use std::time::Duration;
+        // With a network model attached, window=1 pays the full modelled
+        // delay per transfer back-to-back (the old blocking behaviour);
+        // window=8 keeps several transfers in flight so their modelled
+        // delays overlap and the summed comm-wait drops.
+        let g = gen::barabasi_albert(300, 6, 23);
+        let p = Pattern::clique(4);
+        let mk = |window: usize| {
+            let pg = PartitionedGraph::new(&g, 4, 1);
+            let engine = Engine::new(
+                pg,
+                EngineConfig {
+                    network: Some(NetworkModel { latency_us: 2000.0, bandwidth_gbps: 56.0 }),
+                    sequential_parts: true,
+                    cache: CacheConfig::disabled(),
+                    fabric: FabricConfig { window, ..FabricConfig::default() },
+                    ..EngineConfig::default()
+                },
+            );
+            let run = engine.count(&plan(&p));
+            engine.shutdown();
+            run
+        };
+        let serial = mk(1);
+        let windowed = mk(8);
+        assert_eq!(serial.count, windowed.count);
+        assert_eq!(serial.traffic.network_bytes, windowed.traffic.network_bytes);
+        let wait = |r: &RunStats| r.per_part.iter().map(|p| p.network).sum::<Duration>();
+        let (s, w) = (wait(&serial), wait(&windowed));
+        assert!(
+            s.as_secs_f64() > w.as_secs_f64() * 1.3,
+            "window=8 must overlap transfers (window=1 waited {s:?}, window=8 waited {w:?})"
+        );
+    }
+
+    #[test]
+    fn counts_survive_dropped_replies() {
+        use gpm_cluster::{FaultPlan, RetryPolicy};
+        use std::time::Duration;
+        let g = gen::erdos_renyi(150, 700, 5);
+        let p = Pattern::triangle();
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        let pg = PartitionedGraph::new(&g, 4, 1);
+        let engine = Engine::new(
+            pg,
+            EngineConfig {
+                fabric: FabricConfig {
+                    window: 4,
+                    retry: RetryPolicy {
+                        max_attempts: 10,
+                        timeout: Duration::from_millis(30),
+                        backoff: Duration::from_micros(500),
+                    },
+                    fault: Some(FaultPlan::drops(0.05)),
+                },
+                ..EngineConfig::default()
+            },
+        );
+        let run = engine.try_count(&plan(&p)).expect("retries must mask 5% dropped replies");
+        assert_eq!(run.count, expect);
+        assert!(run.traffic.retries > 0, "the fault plan must actually have dropped replies");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_typed_error() {
+        use gpm_cluster::{FaultPlan, RetryPolicy};
+        use std::time::Duration;
+        let g = gen::erdos_renyi(100, 500, 3);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let engine = Engine::new(
+            pg,
+            EngineConfig {
+                fabric: FabricConfig {
+                    window: 2,
+                    retry: RetryPolicy {
+                        max_attempts: 2,
+                        timeout: Duration::from_millis(5),
+                        backoff: Duration::from_micros(100),
+                    },
+                    fault: Some(FaultPlan::drops(1.0)),
+                },
+                ..EngineConfig::default()
+            },
+        );
+        match engine.try_count(&plan(&Pattern::triangle())) {
+            Err(FetchError::Timeout { .. }) => {}
+            other => panic!("expected a timeout error, got {other:?}"),
+        }
+        engine.shutdown();
     }
 
     #[test]
@@ -564,10 +723,8 @@ mod tests {
         let g = gen::barabasi_albert(400, 6, 17);
         for cap in [8usize, 64, 1024] {
             let pg = PartitionedGraph::new(&g, 2, 1);
-            let engine = Engine::new(
-                pg,
-                EngineConfig { chunk_capacity: cap, ..EngineConfig::default() },
-            );
+            let engine =
+                Engine::new(pg, EngineConfig { chunk_capacity: cap, ..EngineConfig::default() });
             let run = engine.count(&plan(&Pattern::clique(4)));
             for part in &run.per_part {
                 assert!(
@@ -587,10 +744,8 @@ mod tests {
         let p = Pattern::clique(4);
         let expect = oracle::count_subgraphs(&g, &p, false);
         let pg = PartitionedGraph::new(&g, 4, 1);
-        let engine = Engine::new(
-            pg,
-            EngineConfig { sequential_parts: true, ..EngineConfig::default() },
-        );
+        let engine =
+            Engine::new(pg, EngineConfig { sequential_parts: true, ..EngineConfig::default() });
         let run = engine.count(&plan(&p));
         engine.shutdown();
         assert_eq!(run.count, expect);

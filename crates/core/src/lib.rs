@@ -56,5 +56,9 @@ pub use cache::{CacheConfig, CachePolicy};
 pub use engine::{Engine, EngineConfig};
 pub use stats::{Breakdown, PartStats, RunStats, TrafficSummary};
 
+// Fabric knobs and errors surface through `EngineConfig` / `try_count`,
+// so re-export them for downstream callers.
+pub use gpm_cluster::{FabricConfig, FaultPlan, FetchError, RetryPolicy};
+
 // Re-export the plan types that form the engine's EXTEND-level interface.
 pub use gpm_pattern::plan::MatchingPlan;

@@ -14,7 +14,7 @@ use crate::chunk::{Chunk, Emb, ListRef, PushOutcome, Resume, StagedChild, NO_PAR
 use crate::engine::EngineConfig;
 use crate::stats::PartStats;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use gpm_cluster::{EdgeListClient, FetchedLists};
+use gpm_cluster::{EdgeListClient, FetchError, PendingFetch};
 use gpm_graph::partition::GraphPart;
 use gpm_graph::{set_ops, Label, VertexId};
 use gpm_pattern::plan::{CandidateSource, LevelPlan, MatchingPlan, PairMode};
@@ -51,27 +51,32 @@ impl PartCtx<'_> {
     }
 }
 
-/// A fetch job handed to the part's communication thread.
+/// A fetch job handed to the part's communication thread. The reply is
+/// the *completion handle* of an issued request, not the data itself —
+/// the engine thread collects replies in submission order while the comm
+/// thread keeps submitting within the fabric's request window.
 struct CommJob {
     target: usize,
     vertices: Vec<VertexId>,
-    reply: Sender<FetchedLists>,
+    reply: Sender<Result<PendingFetch, FetchError>>,
 }
 
-/// Runs the whole plan on one part, returning its statistics.
-pub(crate) fn run_part(ctx: PartCtx<'_>) -> PartStats {
-    // Dedicated communication thread (§6): fetches are queued so the next
-    // batch's transfer overlaps integration of the current one.
+/// Runs the whole plan on one part, returning its statistics, or the
+/// first fetch failure encountered.
+pub(crate) fn run_part(ctx: PartCtx<'_>) -> Result<PartStats, FetchError> {
+    // Dedicated communication (submission) thread (§6): requests are
+    // issued asynchronously through the fabric, so up to `window`
+    // transfers are in flight while the engine thread integrates earlier
+    // replies. `fetch_async` blocks *here* when the window is full —
+    // backpressure throttles submission without stalling integration.
     let (comm_tx, comm_rx) = unbounded::<CommJob>();
     let comm_client = ctx.client.clone();
     let comm_handle = std::thread::Builder::new()
         .name(format!("khuzdul-comm-{}", ctx.my_part))
         .spawn(move || {
             while let Ok(job) = comm_rx.recv() {
-                let lists = comm_client
-                    .fetch(job.target, &job.vertices)
-                    .expect("engine fetched a vertex from a non-owner");
-                let _ = job.reply.send(lists);
+                let pending = comm_client.fetch_async(job.target, &job.vertices);
+                let _ = job.reply.send(pending);
             }
         })
         .expect("spawn comm thread");
@@ -113,20 +118,20 @@ impl<'e> PartRun<'e> {
         }
     }
 
-    fn run(&mut self) -> PartStats {
+    fn run(&mut self) -> Result<PartStats, FetchError> {
         if self.ctx.plan.depth() == 1 {
             self.count_single_vertices();
         } else {
-            self.hybrid_loop();
+            self.hybrid_loop()?;
         }
-        PartStats {
+        Ok(PartStats {
             count: self.count,
             compute: self.compute,
             network: self.network,
             scheduler: self.scheduler,
             cache: Duration::ZERO,
             peak_embeddings: self.peak_embeddings,
-        }
+        })
     }
 
     fn count_single_vertices(&mut self) {
@@ -145,7 +150,7 @@ impl<'e> PartRun<'e> {
     }
 
     /// The DFS-over-chunks / BFS-within-chunk driver (§4.2, Figure 7).
-    fn hybrid_loop(&mut self) {
+    fn hybrid_loop(&mut self) -> Result<(), FetchError> {
         let owned_len = self.ctx.part.owned().len();
         loop {
             if self.ctx.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
@@ -156,8 +161,7 @@ impl<'e> PartRun<'e> {
             // "terminated" transition of Figure 6, per level).
             for l in (0..self.levels.len()).rev() {
                 if !self.levels[l].has_work() && !self.levels[l].is_empty() {
-                    let child_empty =
-                        l + 1 >= self.levels.len() || self.levels[l + 1].is_empty();
+                    let child_empty = l + 1 >= self.levels.len() || self.levels[l + 1].is_empty();
                     if child_empty {
                         self.levels[l].clear();
                     }
@@ -168,13 +172,14 @@ impl<'e> PartRun<'e> {
             let cur = (0..self.levels.len()).rev().find(|&l| self.levels[l].has_work());
             match cur {
                 Some(cur) => {
-                    self.resolve(cur);
+                    self.resolve(cur)?;
                     self.extend(cur);
                 }
                 None if self.root_next < owned_len => self.seed_roots(),
                 None => break,
             }
         }
+        Ok(())
     }
 
     /// Fills the root chunk with the next batch of owned vertices.
@@ -187,8 +192,7 @@ impl<'e> PartRun<'e> {
         while self.root_next < owned.len() && !chunk.is_full() {
             let v = owned[self.root_next];
             self.root_next += 1;
-            if required.is_some() && self.ctx.labels.as_ref().map(|l| l[v as usize]) != required
-            {
+            if required.is_some() && self.ctx.labels.as_ref().map(|l| l[v as usize]) != required {
                 continue;
             }
             chunk.embs.push(Emb {
@@ -206,7 +210,12 @@ impl<'e> PartRun<'e> {
     /// Resolve phase: make every pending edge list of the current chunk
     /// locally available — local partition, cache, horizontal sharing, or
     /// batched remote fetch in circulant order.
-    fn resolve(&mut self, cur: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`FetchError`] of the round (after draining
+    /// every outstanding completion, so the fabric unwinds cleanly).
+    fn resolve(&mut self, cur: usize) -> Result<(), FetchError> {
         let t0 = Instant::now();
         let part_count = self.ctx.part_count;
         let my_part = self.ctx.my_part;
@@ -215,7 +224,7 @@ impl<'e> PartRun<'e> {
 
         let chunk = &mut self.levels[cur];
         if chunk.resolved_upto >= chunk.embs.len() {
-            return;
+            return Ok(());
         }
         if chunk.resolved_upto == 0 && self.ctx.cfg.horizontal_sharing {
             chunk.share.reset(chunk.capacity);
@@ -265,22 +274,39 @@ impl<'e> PartRun<'e> {
         if !self.ctx.cfg.circulant {
             order.sort_unstable();
         }
-        // Enqueue every batch up front; the comm thread transfers batch
-        // i+1 while we integrate batch i (non-strict pipelining).
-        let mut pending: Vec<(usize, Receiver<FetchedLists>)> = Vec::with_capacity(order.len());
+        // Enqueue every batch up front. The comm thread turns each job
+        // into an async fabric request (bounded by the in-flight window)
+        // and hands back completion handles in submission order, so
+        // batch i+1's transfer is in flight while we integrate batch i.
+        type CommReply = Result<PendingFetch, FetchError>;
+        let mut pending: Vec<(usize, Receiver<CommReply>)> = Vec::with_capacity(order.len());
         for &t in &order {
             let vertices: Vec<VertexId> = buckets[t].iter().map(|&(_, v)| v).collect();
             let (tx, rx) = bounded(1);
             self.comm_tx
                 .send(CommJob { target: t, vertices, reply: tx })
-                .expect("comm thread alive");
+                .map_err(|_| FetchError::Shutdown)?;
             pending.push((t, rx));
         }
         let mut network_wait = Duration::ZERO;
+        let mut failure: Option<FetchError> = None;
         for (t, rx) in pending {
             let tw = Instant::now();
-            let lists = rx.recv().expect("comm thread died");
+            let outcome = rx
+                .recv()
+                .map_err(|_| FetchError::Shutdown)
+                .and_then(|issued| issued)
+                .and_then(PendingFetch::wait);
             network_wait += tw.elapsed();
+            let lists = match outcome {
+                Ok(lists) => lists,
+                // Keep draining the remaining completions so every
+                // window slot retires, then report the first failure.
+                Err(e) => {
+                    failure.get_or_insert(e);
+                    continue;
+                }
+            };
             let chunk = &mut self.levels[cur];
             for (k, &(emb_i, v)) in buckets[t].iter().enumerate() {
                 let list = lists.list(k);
@@ -293,6 +319,10 @@ impl<'e> PartRun<'e> {
         }
         self.network += network_wait;
         self.scheduler += t0.elapsed().saturating_sub(network_wait);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Extend phase: run the level's extension program over the chunk's
@@ -418,8 +448,7 @@ impl Worker<'_, '_, '_> {
                 }
                 (i as u32, 0)
             };
-            if let Some(paused_at) = self.extend_one(emb, from, &mut scratch, &mut local_count)
-            {
+            if let Some(paused_at) = self.extend_one(emb, from, &mut scratch, &mut local_count) {
                 self.new_resumes.lock().push(Resume { emb, cand_offset: paused_at });
                 self.full.store(true, Ordering::Release);
                 break;
@@ -483,11 +512,7 @@ impl Worker<'_, '_, '_> {
         }
         let inter: Option<&[VertexId]> =
             if lp.store_intermediate { Some(&scratch.raw) } else { None };
-        let mut next = self
-            .next
-            .as_ref()
-            .expect("non-terminal extension has a next chunk")
-            .lock();
+        let mut next = self.next.as_ref().expect("non-terminal extension has a next chunk").lock();
         match next.try_push_children(emb, &scratch.staged, lp.new_vertex_active, inter) {
             PushOutcome::All => None,
             PushOutcome::Partial(n) => Some(scratch.staged[n].raw_index),
@@ -534,9 +559,7 @@ fn list_for<'a>(
 
 fn resolve_ref<'a>(ctx: &'a PartCtx<'_>, chunk: &'a Chunk, e: &'a Emb) -> &'a [VertexId] {
     match &e.list {
-        ListRef::Local => {
-            ctx.part.edge_list(e.vertex).expect("local vertex owned by this part")
-        }
+        ListRef::Local => ctx.part.edge_list(e.vertex).expect("local vertex owned by this part"),
         ListRef::Cached(list) => list,
         ListRef::Fetched { start, len } => chunk.fetched(*start, *len),
         ListRef::Peer(j) => {
@@ -594,12 +617,7 @@ fn raw_candidates(
 
 /// Order/injectivity/label filters for one candidate.
 #[inline]
-fn passes_filters(
-    ctx: &PartCtx<'_>,
-    lp: &LevelPlan,
-    matched: &[VertexId],
-    cand: VertexId,
-) -> bool {
+fn passes_filters(ctx: &PartCtx<'_>, lp: &LevelPlan, matched: &[VertexId], cand: VertexId) -> bool {
     for &p in &lp.lower {
         if cand <= matched[p] {
             return false;
@@ -625,12 +643,7 @@ fn passes_filters(
 
 /// Final-level counting shortcut: order statistics instead of iteration
 /// where the filters allow it.
-fn count_final(
-    ctx: &PartCtx<'_>,
-    lp: &LevelPlan,
-    matched: &[VertexId],
-    raw: &[VertexId],
-) -> u64 {
+fn count_final(ctx: &PartCtx<'_>, lp: &LevelPlan, matched: &[VertexId], raw: &[VertexId]) -> u64 {
     if lp.label.is_some() {
         return raw.iter().filter(|&&c| passes_filters(ctx, lp, matched, c)).count() as u64;
     }

@@ -51,6 +51,11 @@ pub struct TrafficSummary {
     pub cache_hits: u64,
     /// Software-cache misses during the run.
     pub cache_misses: u64,
+    /// Duplicate vertex requests elided by same-round coalescing.
+    pub coalesced: u64,
+    /// Fetches re-submitted by the fabric's retry machinery (non-zero
+    /// only under fault injection).
+    pub retries: u64,
 }
 
 impl TrafficSummary {

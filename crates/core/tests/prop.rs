@@ -6,8 +6,11 @@ use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::{gen, GraphBuilder};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::{interp, Pattern};
-use khuzdul::{CacheConfig, CachePolicy, Engine, EngineConfig};
+use khuzdul::{
+    CacheConfig, CachePolicy, Engine, EngineConfig, FabricConfig, FaultPlan, RetryPolicy,
+};
 use proptest::prelude::*;
+use std::time::Duration;
 
 fn arb_pattern() -> impl Strategy<Value = Pattern> {
     prop_oneof![
@@ -63,6 +66,58 @@ proptest! {
         let pg = PartitionedGraph::new(&g, machines, sockets);
         let engine = Engine::new(pg, cfg);
         let run = engine.count(&plan);
+        engine.shutdown();
+        prop_assert_eq!(run.count, expect);
+    }
+
+    #[test]
+    fn counts_invariant_under_request_window(
+        seed in 0u64..500,
+        p in arb_pattern(),
+    ) {
+        let g = gen::erdos_renyi(50, 200, seed);
+        let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+        let mut counts = Vec::new();
+        for window in [1usize, 2, 8] {
+            let pg = PartitionedGraph::new(&g, 3, 1);
+            let engine = Engine::new(pg, EngineConfig {
+                fabric: FabricConfig { window, ..FabricConfig::default() },
+                ..EngineConfig::default()
+            });
+            counts.push(engine.count(&plan).count);
+            engine.shutdown();
+        }
+        prop_assert_eq!(counts[0], counts[1]);
+        prop_assert_eq!(counts[1], counts[2]);
+    }
+
+    #[test]
+    fn counts_invariant_under_fault_injection(
+        seed in 0u64..200,
+        fault_seed in 0u64..u64::MAX,
+        p in arb_pattern(),
+    ) {
+        let g = gen::erdos_renyi(40, 160, seed);
+        let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+        let pg = PartitionedGraph::new(&g, 3, 1);
+        let clean = Engine::new(pg, EngineConfig::default());
+        let expect = clean.count(&plan).count;
+        clean.shutdown();
+
+        let pg = PartitionedGraph::new(&g, 3, 1);
+        let engine = Engine::new(pg, EngineConfig {
+            fabric: FabricConfig {
+                window: 4,
+                retry: RetryPolicy {
+                    max_attempts: 8,
+                    timeout: Duration::from_millis(50),
+                    backoff: Duration::from_millis(1),
+                },
+                fault: Some(FaultPlan { seed: fault_seed, ..FaultPlan::drops(0.05) }),
+            },
+            ..EngineConfig::default()
+        });
+        let run = engine.try_count(&plan).expect("retries must mask the fault plan");
         engine.shutdown();
         prop_assert_eq!(run.count, expect);
     }

@@ -55,8 +55,7 @@ pub fn global_clustering(g: &Graph) -> Option<f64> {
         wedges += d * d.saturating_sub(1) / 2;
         for &u in g.neighbors(v) {
             if u > v {
-                triangles +=
-                    crate::set_ops::intersect_count(g.neighbors(v), g.neighbors(u)) as u64;
+                triangles += crate::set_ops::intersect_count(g.neighbors(v), g.neighbors(u)) as u64;
             }
         }
     }

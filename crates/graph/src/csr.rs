@@ -113,10 +113,7 @@ impl Graph {
 
     /// Largest degree over all vertices (0 for an empty graph).
     pub fn max_degree(&self) -> Degree {
-        (0..self.vertex_count() as VertexId)
-            .map(|v| self.degree(v))
-            .max()
-            .unwrap_or(0)
+        (0..self.vertex_count() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Whether the edge `(u, v)` is stored, via binary search on `u`'s list.
@@ -190,8 +187,7 @@ impl Graph {
     /// For undirected graphs each edge is yielded twice (once per
     /// direction); use [`Graph::edges`] for the deduplicated view.
     pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.vertices()
-            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+        self.vertices().flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Iterator over undirected edges with `u <= v` (or all arcs if

@@ -53,8 +53,7 @@ impl DatasetId {
     ];
 
     /// The "small" graphs used by the densest workloads (Table 2 upper rows).
-    pub const SMALL: [DatasetId; 3] =
-        [DatasetId::Mico, DatasetId::Patents, DatasetId::LiveJournal];
+    pub const SMALL: [DatasetId; 3] = [DatasetId::Mico, DatasetId::Patents, DatasetId::LiveJournal];
 
     /// The paper's abbreviation (Table 1 "Abbr." column).
     pub fn abbr(self) -> &'static str {

@@ -299,10 +299,8 @@ mod tests {
         for u in ring.vertices() {
             for &v in ring.neighbors(u) {
                 if v > u {
-                    tri += crate::set_ops::intersect_count(
-                        ring.neighbors(u),
-                        ring.neighbors(v),
-                    ) as u64;
+                    tri += crate::set_ops::intersect_count(ring.neighbors(u), ring.neighbors(v))
+                        as u64;
                 }
             }
         }

@@ -43,9 +43,7 @@ pub fn read_edge_list_text<R: Read>(reader: R) -> io::Result<Graph> {
         }
         let mut it = line.split_whitespace();
         let parse = |tok: Option<&str>| -> io::Result<VertexId> {
-            tok.ok_or_else(|| bad_line(lineno))?
-                .parse::<VertexId>()
-                .map_err(|_| bad_line(lineno))
+            tok.ok_or_else(|| bad_line(lineno))?.parse::<VertexId>().map_err(|_| bad_line(lineno))
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
@@ -55,10 +53,7 @@ pub fn read_edge_list_text<R: Read>(reader: R) -> io::Result<Graph> {
 }
 
 fn bad_line(lineno: usize) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("malformed edge list line {}", lineno + 1),
-    )
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed edge list line {}", lineno + 1))
 }
 
 /// Writes `g` as a text edge list (one line per undirected edge).

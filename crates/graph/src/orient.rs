@@ -34,9 +34,7 @@ use crate::VertexId;
 pub fn orient_by_degree(g: &Graph) -> Graph {
     assert_eq!(g.kind(), GraphKind::Undirected, "graph is already oriented");
     let n = g.vertex_count();
-    let rank_less = |u: VertexId, v: VertexId| {
-        (g.degree(u), u) < (g.degree(v), v)
-    };
+    let rank_less = |u: VertexId, v: VertexId| (g.degree(u), u) < (g.degree(v), v);
     let mut offsets = vec![0u64; n + 1];
     for v in g.vertices() {
         let out = g.neighbors(v).iter().filter(|&&w| rank_less(v, w)).count() as u64;
@@ -50,12 +48,7 @@ pub fn orient_by_degree(g: &Graph) -> Graph {
         // CSR order preserves sortedness of each out-list.
         neighbors.extend(g.neighbors(v).iter().copied().filter(|&w| rank_less(v, w)));
     }
-    Graph::from_parts(
-        GraphKind::Oriented,
-        offsets,
-        neighbors,
-        g.labels().map(<[_]>::to_vec),
-    )
+    Graph::from_parts(GraphKind::Oriented, offsets, neighbors, g.labels().map(<[_]>::to_vec))
 }
 
 #[cfg(test)]
@@ -79,10 +72,7 @@ mod tests {
         let g = gen::barabasi_albert(300, 4, 9);
         let dag = orient_by_degree(&g);
         for (u, v) in dag.arcs() {
-            assert!(
-                (g.degree(u), u) < (g.degree(v), v),
-                "arc {u}->{v} violates rank order"
-            );
+            assert!((g.degree(u), u) < (g.degree(v), v), "arc {u}->{v} violates rank order");
         }
     }
 
@@ -97,8 +87,7 @@ mod tests {
                     if v <= u {
                         continue;
                     }
-                    count += crate::set_ops::intersect_count(g.neighbors(u), g.neighbors(v))
-                        as u64;
+                    count += crate::set_ops::intersect_count(g.neighbors(u), g.neighbors(v)) as u64;
                 }
             }
             count / 3 // each triangle counted for 3 of its edges...

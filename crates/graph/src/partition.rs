@@ -402,8 +402,7 @@ mod tests {
         let range = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
         let hash = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Hash);
         let load = |pg: &PartitionedGraph| -> (usize, usize) {
-            let loads: Vec<usize> =
-                (0..4).map(|p| pg.part(p).adjacency_len()).collect();
+            let loads: Vec<usize> = (0..4).map(|p| pg.part(p).adjacency_len()).collect();
             (*loads.iter().max().unwrap(), *loads.iter().min().unwrap())
         };
         let (range_max, range_min) = load(&range);

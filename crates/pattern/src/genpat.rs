@@ -31,8 +31,7 @@ pub fn connected_patterns(k: usize) -> Vec<Pattern> {
     if k == 1 {
         return vec![Pattern::single_vertex()];
     }
-    let pairs: Vec<(usize, usize)> =
-        (0..k).flat_map(|v| (0..v).map(move |u| (u, v))).collect();
+    let pairs: Vec<(usize, usize)> = (0..k).flat_map(|v| (0..v).map(move |u| (u, v))).collect();
     let mut seen: HashSet<Vec<u8>> = HashSet::new();
     let mut out = Vec::new();
     for mask in 0u32..(1 << pairs.len()) {
@@ -62,9 +61,7 @@ pub fn labeled_edge_patterns(label_count: Label) -> Vec<Pattern> {
     let mut out = Vec::new();
     for a in 0..label_count {
         for b in a..label_count {
-            out.push(
-                Pattern::edge().with_labels(vec![a, b]).expect("edge labels are valid"),
-            );
+            out.push(Pattern::edge().with_labels(vec![a, b]).expect("edge labels are valid"));
         }
     }
     out

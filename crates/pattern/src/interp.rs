@@ -257,10 +257,7 @@ pub fn count_final_level(
 ) -> u64 {
     if lp.label.is_some() || !lp.edge_labels.is_empty() {
         // Label checks need per-candidate inspection.
-        return cands
-            .iter()
-            .filter(|&&c| passes_filters(g, lp, matched, c))
-            .count() as u64;
+        return cands.iter().filter(|&&c| passes_filters(g, lp, matched, c)).count() as u64;
     }
     let lo: Option<VertexId> = lp.lower.iter().map(|&p| matched[p]).max();
     let hi: Option<VertexId> = lp.upper.iter().map(|&p| matched[p]).min();
@@ -363,13 +360,11 @@ mod tests {
     #[test]
     fn known_counts_on_fixtures() {
         let k5 = gen::complete(5);
-        let tri = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default())
-            .unwrap();
+        let tri = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default()).unwrap();
         assert_eq!(count_embeddings(&k5, &tri), 10); // C(5,3)
         let p3 = MatchingPlan::compile(&Pattern::path(3), &PlanOptions::default()).unwrap();
         assert_eq!(count_embeddings(&k5, &p3), 30); // C(5,3) * 3
-        let star = MatchingPlan::compile(&Pattern::star(4), &PlanOptions::default())
-            .unwrap();
+        let star = MatchingPlan::compile(&Pattern::star(4), &PlanOptions::default()).unwrap();
         assert_eq!(count_embeddings(&gen::star(6), &star), 10); // C(5,3)
     }
 
@@ -434,9 +429,7 @@ mod tests {
     fn edge_labeled_counting_matches_oracle() {
         let g = gen::with_random_edge_labels(&gen::erdos_renyi(40, 170, 6), 2, 3);
         // Triangle with one marked edge.
-        let p = Pattern::triangle()
-            .with_edge_labels(&[(0, 1, 0), (1, 2, 1), (0, 2, 0)])
-            .unwrap();
+        let p = Pattern::triangle().with_edge_labels(&[(0, 1, 0), (1, 2, 1), (0, 2, 0)]).unwrap();
         let plan = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
         assert!(plan.requires_edge_labels());
         let expect = oracle::count_subgraphs(&g, &p, false);
@@ -444,8 +437,8 @@ mod tests {
         assert_eq!(count_embeddings_fast(&g, &plan), expect);
         // Uniform labels over a 2-label graph: strictly fewer matches
         // than the unlabeled pattern.
-        let unlabeled = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default())
-            .unwrap();
+        let unlabeled =
+            MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default()).unwrap();
         assert!(count_embeddings(&g, &plan) <= count_embeddings(&g, &unlabeled));
     }
 
@@ -454,9 +447,7 @@ mod tests {
         // restricted count x |Aut| == injective map count, with edge
         // labels shrinking the automorphism group.
         let g = gen::with_random_edge_labels(&gen::erdos_renyi(30, 130, 9), 2, 5);
-        let p = Pattern::triangle()
-            .with_edge_labels(&[(0, 1, 1), (1, 2, 0), (0, 2, 0)])
-            .unwrap();
+        let p = Pattern::triangle().with_edge_labels(&[(0, 1, 1), (1, 2, 0), (0, 2, 0)]).unwrap();
         let restricted = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
         let unrestricted = MatchingPlan::compile(
             &p,
@@ -496,8 +487,8 @@ mod tests {
     fn iep_pair_counting_matches_oracle() {
         let g = gen::barabasi_albert(120, 5, 13);
         for p in [
-            Pattern::path(3),           // wedge: symmetric pair
-            Pattern::star(4),           // last two of three leaves
+            Pattern::path(3), // wedge: symmetric pair
+            Pattern::star(4), // last two of three leaves
             Pattern::star(5),
             Pattern::tailed_triangle(), // no independent symmetric tail pair order-dependent
             Pattern::cycle(4),          // adjacent last vertices: no IEP
@@ -525,10 +516,7 @@ mod tests {
         let p = Pattern::star(3).with_labels(vec![0, 1, 1]).unwrap();
         let iep = PlanOptions { iep: true, ..PlanOptions::default() };
         let plan = MatchingPlan::compile(&p, &iep).unwrap();
-        assert_eq!(
-            count_embeddings_fast(&g, &plan),
-            oracle::count_subgraphs(&g, &p, false)
-        );
+        assert_eq!(count_embeddings_fast(&g, &plan), oracle::count_subgraphs(&g, &p, false));
     }
 
     #[test]
@@ -536,8 +524,7 @@ mod tests {
         let g = gen::erdos_renyi(60, 250, 11);
         for p in [Pattern::triangle(), Pattern::clique(4), Pattern::star(4)] {
             let plan = MatchingPlan::compile(&p, &PlanOptions::default()).unwrap();
-            let total: u64 =
-                g.vertices().map(|v| count_from_root(&g, &plan, v)).sum();
+            let total: u64 = g.vertices().map(|v| count_from_root(&g, &plan, v)).sum();
             assert_eq!(total, count_embeddings_fast(&g, &plan), "{p}");
         }
     }
@@ -558,8 +545,7 @@ mod tests {
     #[test]
     fn enumerate_until_stops_promptly() {
         let g = gen::complete(20);
-        let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default())
-            .unwrap();
+        let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default()).unwrap();
         let mut seen = 0u64;
         enumerate_embeddings_until(&g, &plan, |_| {
             seen += 1;

@@ -38,12 +38,7 @@ pub fn count_subgraphs(g: &Graph, p: &Pattern, induced: bool) -> u64 {
 
 /// Enumerates injective maps, invoking `visit` with `f` where `f[i]` is
 /// the graph vertex pattern vertex `i` maps to.
-pub fn enumerate_maps(
-    g: &Graph,
-    p: &Pattern,
-    induced: bool,
-    visit: &mut impl FnMut(&[VertexId]),
-) {
+pub fn enumerate_maps(g: &Graph, p: &Pattern, induced: bool, visit: &mut impl FnMut(&[VertexId])) {
     // Match pattern vertices in a connected order for pruning.
     let order = crate::order::automine_order(p);
     let n = p.size();

@@ -121,10 +121,7 @@ pub fn estimate_cost(p: &Pattern, order: &[usize], model: &CostModel) -> f64 {
         let mut cands = model.avg_degree * q.powi(connected as i32 - 1);
         // Each `<` restriction whose later endpoint is this level halves
         // the surviving candidates.
-        let restr_here = restr
-            .iter()
-            .filter(|r| pos[r.smaller].max(pos[r.larger]) == i)
-            .count();
+        let restr_here = restr.iter().filter(|r| pos[r.smaller].max(pos[r.larger]) == i).count();
         cands *= 0.5f64.powi(restr_here as i32);
         // Work at this level: one intersection per connected prefix vertex
         // over the current partial embeddings.

@@ -184,8 +184,7 @@ impl Pattern {
 
     /// A 4-cycle plus a roof vertex ("house").
     pub fn house() -> Pattern {
-        Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)])
-            .expect("valid")
+        Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]).expect("valid")
     }
 
     /// Number of vertices.
@@ -277,10 +276,7 @@ impl Pattern {
         let before = el.len();
         el.dedup_by_key(|(k, _)| *k);
         if el.len() != self.edge_count() || before != el.len() {
-            return Err(PatternError::BadLabels {
-                expected: self.edge_count(),
-                got: before,
-            });
+            return Err(PatternError::BadLabels { expected: self.edge_count(), got: before });
         }
         self.edge_labels = Some(el);
         Ok(self)
@@ -376,8 +372,7 @@ impl fmt::Debug for Pattern {
 
 impl fmt::Display for Pattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let e: Vec<String> =
-            self.edges().iter().map(|(u, v)| format!("{u}-{v}")).collect();
+        let e: Vec<String> = self.edges().iter().map(|(u, v)| format!("{u}-{v}")).collect();
         write!(f, "P{}[{}]", self.n, e.join(","))
     }
 }
@@ -404,18 +399,9 @@ mod tests {
     fn error_cases() {
         assert_eq!(Pattern::from_edges(0, &[]), Err(PatternError::Empty));
         assert_eq!(Pattern::from_edges(9, &[]), Err(PatternError::TooLarge(9)));
-        assert_eq!(
-            Pattern::from_edges(3, &[(0, 3)]),
-            Err(PatternError::BadEdge(0, 3))
-        );
-        assert_eq!(
-            Pattern::from_edges(2, &[(1, 1)]),
-            Err(PatternError::BadEdge(1, 1))
-        );
-        assert_eq!(
-            Pattern::from_edges(3, &[(0, 1)]),
-            Err(PatternError::Disconnected)
-        );
+        assert_eq!(Pattern::from_edges(3, &[(0, 3)]), Err(PatternError::BadEdge(0, 3)));
+        assert_eq!(Pattern::from_edges(2, &[(1, 1)]), Err(PatternError::BadEdge(1, 1)));
+        assert_eq!(Pattern::from_edges(3, &[(0, 1)]), Err(PatternError::Disconnected));
         assert!(Pattern::triangle().with_labels(vec![1]).is_err());
     }
 
@@ -451,9 +437,7 @@ mod tests {
 
     #[test]
     fn edge_labels_roundtrip() {
-        let p = Pattern::triangle()
-            .with_edge_labels(&[(0, 1, 7), (1, 2, 8), (2, 0, 9)])
-            .unwrap();
+        let p = Pattern::triangle().with_edge_labels(&[(0, 1, 7), (1, 2, 8), (2, 0, 9)]).unwrap();
         assert!(p.has_edge_labels());
         assert_eq!(p.edge_label(0, 1), Some(7));
         assert_eq!(p.edge_label(1, 0), Some(7));

@@ -164,8 +164,7 @@ impl MatchingPlan {
         let mut levels = Vec::with_capacity(n.saturating_sub(1));
         for i in 1..n {
             let v = order[i];
-            let intersect: Vec<usize> =
-                (0..i).filter(|&j| pattern.has_edge(order[j], v)).collect();
+            let intersect: Vec<usize> = (0..i).filter(|&j| pattern.has_edge(order[j], v)).collect();
             debug_assert!(!intersect.is_empty(), "connected-prefix violated");
             let subtract: Vec<usize> = if options.induced {
                 (0..i).filter(|&j| !pattern.has_edge(order[j], v)).collect()
@@ -194,9 +193,7 @@ impl MatchingPlan {
             // (self-loops are impossible), and positions bounded by < / >
             // cannot collide either. Everything else needs a != check.
             let distinct: Vec<usize> = (0..i)
-                .filter(|j| {
-                    !intersect.contains(j) && !lower.contains(j) && !upper.contains(j)
-                })
+                .filter(|j| !intersect.contains(j) && !lower.contains(j) && !upper.contains(j))
                 .collect();
             let edge_labels: Vec<(usize, Label)> = intersect
                 .iter()
@@ -364,7 +361,13 @@ impl MatchingPlan {
             let r: Vec<String> = self
                 .restrictions
                 .iter()
-                .map(|r| format!("v{} < v{}", pos_of(&self.order, r.smaller), pos_of(&self.order, r.larger)))
+                .map(|r| {
+                    format!(
+                        "v{} < v{}",
+                        pos_of(&self.order, r.smaller),
+                        pos_of(&self.order, r.larger)
+                    )
+                })
                 .collect();
             let _ = write!(out, ", restrictions: {}", r.join(", "));
         }
@@ -491,8 +494,7 @@ mod tests {
 
     #[test]
     fn describe_renders_the_paper_listing() {
-        let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::default())
-            .unwrap();
+        let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::default()).unwrap();
         let code = plan.describe();
         assert!(code.contains("for v0 in V"), "{code}");
         assert!(code.contains("for v1 in N(v0)"), "{code}");
@@ -517,8 +519,7 @@ mod tests {
 
     #[test]
     fn triangle_plan_shape() {
-        let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default())
-            .unwrap();
+        let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::default()).unwrap();
         assert_eq!(plan.depth(), 3);
         assert_eq!(plan.levels().len(), 2);
         let l1 = &plan.levels()[0];
@@ -533,8 +534,7 @@ mod tests {
 
     #[test]
     fn clique_plan_uses_vertical_reuse() {
-        let plan =
-            MatchingPlan::compile(&Pattern::clique(5), &PlanOptions::default()).unwrap();
+        let plan = MatchingPlan::compile(&Pattern::clique(5), &PlanOptions::default()).unwrap();
         let levels = plan.levels();
         assert_eq!(levels[0].source, CandidateSource::Scratch);
         for l in &levels[1..] {
@@ -592,8 +592,7 @@ mod tests {
 
     #[test]
     fn last_level_has_no_active_positions() {
-        let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::default())
-            .unwrap();
+        let plan = MatchingPlan::compile(&Pattern::clique(4), &PlanOptions::default()).unwrap();
         assert!(plan.levels().last().unwrap().active_after.is_empty());
         assert!(!plan.levels().last().unwrap().new_vertex_active);
     }
@@ -605,15 +604,13 @@ mod tests {
         // A and B. Matched in order A, B, C, D: after matching C, the next
         // extension intersects N(A) ∩ N(B) again, so C is *inactive*.
         let p = Pattern::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]).unwrap();
-        let opts = PlanOptions {
-            order: OrderChoice::Given(vec![0, 1, 2, 3]),
-            ..PlanOptions::default()
-        };
+        let opts =
+            PlanOptions { order: OrderChoice::Given(vec![0, 1, 2, 3]), ..PlanOptions::default() };
         let plan = MatchingPlan::compile(&p, &opts).unwrap();
         let l2 = &plan.levels()[1]; // fills position 2 (C)
         assert!(!l2.new_vertex_active, "C must be inactive (paper §3.1)");
         assert_eq!(l2.active_after, Vec::<usize>::new()); // reuse covers level 3
-        // And level 3 reuses the parent's N(A)∩N(B) intermediate.
+                                                          // And level 3 reuses the parent's N(A)∩N(B) intermediate.
         assert_eq!(plan.levels()[2].source, CandidateSource::ParentIntermediate);
     }
 
@@ -643,10 +640,8 @@ mod tests {
 
     #[test]
     fn given_bad_order_is_rejected() {
-        let opts = PlanOptions {
-            order: OrderChoice::Given(vec![0, 2, 1]),
-            ..PlanOptions::default()
-        };
+        let opts =
+            PlanOptions { order: OrderChoice::Given(vec![0, 2, 1]), ..PlanOptions::default() };
         assert!(MatchingPlan::compile(&Pattern::path(3), &opts).is_err());
     }
 

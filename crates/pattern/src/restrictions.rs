@@ -84,8 +84,7 @@ mod tests {
         let p = Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]).unwrap();
         assert_eq!(iso::automorphism_count(&p), 2); // 0<->1 swap
         let p_asym =
-            Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (0, 3)])
-                .unwrap();
+            Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (0, 3)]).unwrap();
         if iso::automorphism_count(&p_asym) == 1 {
             assert!(generate(&p_asym, &order(5)).is_empty());
         }
@@ -100,10 +99,7 @@ mod tests {
         // They must force v0 < v1 < v2 < v3.
         for i in 0..4 {
             for j in (i + 1)..4 {
-                assert!(
-                    r.contains(&Restriction { smaller: i, larger: j }),
-                    "missing {i} < {j}"
-                );
+                assert!(r.contains(&Restriction { smaller: i, larger: j }), "missing {i} < {j}");
             }
         }
     }

@@ -9,8 +9,7 @@ use proptest::prelude::*;
 /// A random connected pattern of 2..=5 vertices.
 fn arb_pattern() -> impl Strategy<Value = Pattern> {
     (2usize..=5).prop_flat_map(|k| {
-        let pairs: Vec<(usize, usize)> =
-            (0..k).flat_map(|v| (0..v).map(move |u| (u, v))).collect();
+        let pairs: Vec<(usize, usize)> = (0..k).flat_map(|v| (0..v).map(move |u| (u, v))).collect();
         let bits = pairs.len();
         (Just(pairs), 0u32..(1u32 << bits)).prop_filter_map(
             "connected patterns only",
@@ -28,8 +27,7 @@ fn arb_pattern() -> impl Strategy<Value = Pattern> {
 }
 
 fn arb_graph() -> impl Strategy<Value = gpm_graph::Graph> {
-    (10usize..40, 20usize..120, 0u64..1000)
-        .prop_map(|(n, m, seed)| gen::erdos_renyi(n, m, seed))
+    (10usize..40, 20usize..120, 0u64..1000).prop_map(|(n, m, seed)| gen::erdos_renyi(n, m, seed))
 }
 
 proptest! {

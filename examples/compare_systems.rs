@@ -29,18 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.vertex_count(),
         graph.edge_count()
     );
-    println!(
-        "{:<34} {:>12} {:>14} {:>10}",
-        "system", "runtime", "net traffic", "count"
-    );
+    println!("{:<34} {:>12} {:>14} {:>10}", "system", "runtime", "net traffic", "count");
 
     let report = |name: &str, count: u64, secs: f64, bytes: u64| {
         println!("{name:<34} {:>10.1}ms {bytes:>14} {count:>10}", secs * 1e3);
     };
 
     // Khuzdul-based systems (partitioned graph).
-    let engine =
-        Engine::new(PartitionedGraph::new(&graph, MACHINES, 1), EngineConfig::default());
+    let engine = Engine::new(PartitionedGraph::new(&graph, MACHINES, 1), EngineConfig::default());
     for (name, opts) in [
         ("k-Automine (Khuzdul)", PlanOptions::automine()),
         ("k-GraphPi (Khuzdul)", PlanOptions::graphpi()),
@@ -67,10 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // G-thinker-like (partitioned, coarse tasks, general cache).
-    let gt = GThinker::new(
-        PartitionedGraph::new(&graph, MACHINES, 1),
-        GThinkerConfig::default(),
-    );
+    let gt = GThinker::new(PartitionedGraph::new(&graph, MACHINES, 1), GThinkerConfig::default());
     let run = gt.count(&pattern, &PlanOptions::automine())?;
     report(
         "G-thinker-like (coarse tasks)",

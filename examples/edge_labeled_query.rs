@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cross-check on a subsample with the brute-force oracle.
     let small = gen::with_random_edge_labels(&gen::barabasi_albert(300, 5, 7), 2, 99);
-    let fast = interp::count_embeddings_fast(&small, &MatchingPlan::compile(&query, &PlanOptions::automine())?);
+    let fast = interp::count_embeddings_fast(
+        &small,
+        &MatchingPlan::compile(&query, &PlanOptions::automine())?,
+    );
     let slow = oracle::count_subgraphs(&small, &query, false);
     assert_eq!(fast, slow, "oracle cross-check");
     println!("oracle cross-check on 300-vertex sample: {fast} == {slow} ✓");
@@ -60,9 +63,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::automine())?,
     );
     println!("all triangles regardless of labels: {all}");
-    println!(
-        "the typed query keeps {:.1}% of them",
-        count as f64 / all.max(1) as f64 * 100.0
-    );
+    println!("the typed query keeps {:.1}% of them", count as f64 / all.max(1) as f64 * 100.0);
     Ok(())
 }

@@ -51,13 +51,8 @@ fn main() {
     let mut frequent = distributed.frequent.clone();
     frequent.sort_by_key(|(p, s)| (p.edge_count(), std::cmp::Reverse(*s)));
     for (p, support) in &frequent {
-        let labels = p
-            .labels()
-            .unwrap()
-            .iter()
-            .map(|l| l.to_string())
-            .collect::<Vec<_>>()
-            .join(",");
+        let labels =
+            p.labels().unwrap().iter().map(|l| l.to_string()).collect::<Vec<_>>().join(",");
         println!("  {:<38}  {support}", format!("{p} [{labels}]"));
     }
 }

@@ -85,10 +85,8 @@ fn numa_and_flat_partitions_agree() {
     let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
     let expect = oracle::count_subgraphs(&g, &p, false);
     for (machines, sockets) in [(1, 2), (2, 2), (4, 2), (2, 4)] {
-        let engine = Engine::new(
-            PartitionedGraph::new(&g, machines, sockets),
-            EngineConfig::default(),
-        );
+        let engine =
+            Engine::new(PartitionedGraph::new(&g, machines, sockets), EngineConfig::default());
         assert_eq!(engine.count(&plan).count, expect, "{machines}x{sockets}");
         engine.shutdown();
     }

@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the two crossbeam facilities it uses: multi-producer/multi-consumer
+//! channels ([`channel`]) and scoped threads ([`thread`]). Channels are a
+//! `Mutex<VecDeque>` + condvars; scoped threads wrap `std::thread::scope`
+//! behind crossbeam's closure-takes-`&Scope` signature.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,133 @@
+//! Scoped threads with crossbeam's signature: the spawned closure receives
+//! a `&Scope` so it can spawn siblings. Implemented over `std::thread::scope`.
+
+use std::io;
+
+/// The result of joining a thread (`Err` carries the panic payload).
+pub type Result<T> = std::thread::Result<T>;
+
+/// Runs `f` with a scope in which borrowing, non-`'static` threads can be
+/// spawned; all of them are joined before this returns.
+///
+/// Real crossbeam returns `Err` when an unjoined child panicked; std's
+/// scope resumes the panic instead, so the `Err` arm here is unreachable —
+/// callers' `.expect(...)` behaves identically either way.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// A handle for spawning scoped threads; see [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives this scope so it can
+    /// spawn further siblings.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+    }
+
+    /// A builder for configuring the thread (name) before spawning.
+    pub fn builder(&self) -> ScopedThreadBuilder<'_, 'scope, 'env> {
+        ScopedThreadBuilder { scope: self, builder: std::thread::Builder::new() }
+    }
+}
+
+/// Configures and spawns a named scoped thread.
+pub struct ScopedThreadBuilder<'s, 'scope, 'env> {
+    scope: &'s Scope<'scope, 'env>,
+    builder: std::thread::Builder,
+}
+
+impl<'s, 'scope, 'env> ScopedThreadBuilder<'s, 'scope, 'env> {
+    /// Names the thread-to-be.
+    pub fn name(mut self, name: String) -> Self {
+        self.builder = self.builder.name(name);
+        self
+    }
+
+    /// Spawns the configured thread.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<ScopedJoinHandle<'scope, T>>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.scope.inner;
+        let handle = self.builder.spawn_scoped(inner, move || f(&Scope { inner }))?;
+        Ok(ScopedJoinHandle { inner: handle })
+    }
+}
+
+/// Owned handle to a scoped thread; join to collect its result.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result (`Err` on panic).
+    pub fn join(self) -> Result<T> {
+        self.inner.join()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawn_and_join_results() {
+        let data = [1, 2, 3];
+        let sum = scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn named_builder_and_nested_spawn() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            let h = s
+                .builder()
+                .name("outer".to_string())
+                .spawn(|s2| {
+                    assert_eq!(std::thread::current().name(), Some("outer"));
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    // Spawn a sibling from inside the child.
+                    s2.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                })
+                .unwrap();
+            h.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(hits.into_inner(), 2);
+    }
+
+    #[test]
+    fn unjoined_threads_complete_before_scope_returns() {
+        let n = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(n.into_inner(), 8);
+    }
+}

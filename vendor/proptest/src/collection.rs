@@ -1,0 +1,65 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A `Vec` whose length is drawn from `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// A `BTreeSet` built from up to `size` draws of `element` (duplicates
+/// collapse, so the set can come out smaller — matching real proptest's
+/// treatment of `size` as a target, not a guarantee).
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let len = sample_size(rng, &self.size);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.generate(rng)?);
+        }
+        Some(out)
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<BTreeSet<S::Value>> {
+        let len = sample_size(rng, &self.size);
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(self.element.generate(rng)?);
+        }
+        Some(out)
+    }
+}
+
+fn sample_size(rng: &mut TestRng, size: &Range<usize>) -> usize {
+    assert!(size.start < size.end, "empty collection size range");
+    size.start + rng.below((size.end - size.start) as u64) as usize
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a generate-and-check property-testing harness with the combinator
+//! subset its tests use: range/tuple/`Just` strategies, `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `prop_filter_map`, `prop_oneof!`,
+//! collection strategies, and the `proptest!` test macro. Generation is
+//! deterministic (seeded per test name). Failing cases are reported with
+//! their case number but not shrunk — rerunning the named test replays
+//! the identical sequence, which is enough to debug deterministically.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirror of `proptest::prelude::prop` so `prop::collection::vec(..)`
+/// works after a prelude glob import.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn prop(x in 0u32..10, v in prop::collection::vec(0u64..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategies = ($($strat,)+);
+            $crate::test_runner::run(
+                &config,
+                stringify!($name),
+                &strategies,
+                |($($arg,)+)| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// Asserts inside a property test, failing the case (not panicking
+/// directly) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Chooses uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u32..10, (a, b) in (0usize..5, 1u64..=3)) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 5);
+            prop_assert!((1..=3).contains(&b));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(0u32..100, 3..10),
+            s in (1usize..=4).prop_flat_map(|k| prop::collection::btree_set(0u32..20, 0..k)),
+            even in (0u32..50).prop_map(|x| x * 2),
+            small in (0u32..100).prop_filter("small only", |x| *x < 50),
+            odd in (0u32..100).prop_filter_map("odds only", |x| (x % 2 == 1).then_some(x)),
+        ) {
+            prop_assert!(v.len() >= 3 && v.len() < 10);
+            prop_assert!(s.len() < 4);
+            prop_assert_eq!(even % 2, 0);
+            prop_assert!(small < 50);
+            prop_assert_eq!(odd % 2, 1);
+        }
+
+        #[test]
+        fn oneof_and_any(p in prop_oneof![Just(1u8), Just(2), Just(3)], flag in any::<bool>()) {
+            prop_assert!((1..=3).contains(&p));
+            let _ = flag;
+        }
+
+        #[test]
+        fn early_return_is_allowed(x in 0u32..4) {
+            if x == 0 { return Ok(()); }
+            prop_assert!(x > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1000, 0u64..1000);
+        let mut a = crate::test_runner::TestRng::for_test("determinism");
+        let mut b = crate::test_runner::TestRng::for_test("determinism");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_case_info() {
+        crate::test_runner::run(
+            &ProptestConfig::with_cases(10),
+            "always_fails",
+            &(0u32..10,),
+            |(_x,)| Err(TestCaseError::fail("nope".to_string())),
+        );
+    }
+}

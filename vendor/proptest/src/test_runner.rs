@@ -1,0 +1,128 @@
+//! The case loop: deterministic RNG, config, and failure reporting.
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The case asked to be skipped (does not count toward `cases`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property violation with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A skipped case with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic generator state (SplitMix64), seeded per test name so
+/// every run of a given test replays the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name gives a stable, well-mixed seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Lemire multiply-shift with rejection below the bias threshold
+        // for exact uniformity.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = self.next_u64() as u128 * bound as u128;
+            if (m as u64) < threshold {
+                continue;
+            }
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Runs `test` over `config.cases` accepted draws from `strategy`,
+/// panicking (with the case number and message) on the first failure.
+///
+/// # Panics
+///
+/// Panics when the property fails or the rejection budget is exhausted.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let budget = 1000 + 200 * config.cases as u64;
+    while accepted < config.cases {
+        let Some(value) = strategy.generate(&mut rng) else {
+            rejected += 1;
+            assert!(
+                rejected <= budget,
+                "proptest '{name}': too many filter rejections \
+                 ({rejected} while producing {accepted} cases)"
+            );
+            continue;
+        };
+        accepted += 1;
+        match test(value) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {
+                accepted -= 1;
+                rejected += 1;
+                assert!(rejected <= budget, "proptest '{name}': too many runtime rejections");
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}': property failed at case {accepted}: {msg}")
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` against the vendored `serde` shim's
+//! value-tree trait, by walking the raw `TokenStream` directly (the real
+//! crate's `syn`/`quote` dependencies are unavailable offline). Supports
+//! exactly the shapes this workspace derives on: structs with named
+//! fields and enums whose variants are all unit variants. Anything else
+//! is a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting a `to_value` that builds a
+/// `serde::Value::Map` (structs) or `serde::Value::Str` of the variant
+/// name (unit enums).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let kind = match ident_at(&tokens, i) {
+        Some(k @ ("struct" | "enum")) => k.to_string(),
+        _ => return compile_error("derive(Serialize) shim supports only `struct` and `enum`"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return compile_error("expected type name after struct/enum keyword"),
+    };
+    i += 1;
+
+    // Generics are not used by any derived type in this workspace.
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return compile_error("derive(Serialize) shim does not support generic types");
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return compile_error("derive(Serialize) shim does not support tuple structs")
+            }
+            Some(_) => i += 1,
+            None => return compile_error("expected a braced struct/enum body"),
+        }
+    };
+
+    let impl_body = if kind == "struct" {
+        let fields = match parse_named_fields(body) {
+            Ok(f) => f,
+            Err(e) => return compile_error(&e),
+        };
+        let entries: String = fields
+            .iter()
+            .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+            .collect();
+        format!("::serde::Value::Map(::std::vec![{entries}])")
+    } else {
+        let variants = match parse_unit_variants(body) {
+            Ok(v) => v,
+            Err(e) => return compile_error(&e),
+        };
+        if variants.is_empty() {
+            // An uninhabited enum can never be serialized at runtime.
+            "match *self {}".to_string()
+        } else {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {impl_body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl must parse")
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // '[...]'
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // '(crate)' etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<&str> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            // Leak-free comparison requires a String; keep it simple.
+            let s = id.to_string();
+            match s.as_str() {
+                "struct" => Some("struct"),
+                "enum" => Some("enum"),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Extracts field names from a named-field struct body: for each field,
+/// attributes/visibility, then `name : Type ,`.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("expected field name in struct body".into()),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("expected `:` after field name (named fields only)".into()),
+        }
+        // Skip the type: everything until a top-level comma. Generic
+        // angle brackets contain no top-level commas in token-tree form
+        // only if we track depth, so count < and > explicitly.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth <= 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // consume the comma (or run off the end, which is fine)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from an enum body, requiring every variant to
+/// be a unit variant (no payload, no discriminant).
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("expected variant name in enum body".into()),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            _ => return Err("derive(Serialize) shim supports only unit enum variants".into()),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error must parse")
+}
