@@ -11,10 +11,12 @@ use gpm_baselines::single::SingleMachine;
 use gpm_graph::datasets::DatasetId;
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::{gen, Graph};
+use gpm_obs::{Recorder, RunReport, REPORT_SCHEMA_VERSION};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
-use khuzdul::{Engine, EngineConfig, FabricConfig, FaultPlan, RunStats};
+use khuzdul::{Engine, EngineConfig, FabricConfig, FaultPlan, ObsConfig, RunStats};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Parsed command line.
@@ -43,6 +45,10 @@ pub struct Options {
     pub retries: u32,
     /// Fraction of fetch replies to drop (fault injection; 0 = off).
     pub fault_drop: f64,
+    /// Write a Chrome trace-event JSON file here (enables tracing).
+    pub trace_out: Option<String>,
+    /// Write a versioned `RunReport` JSON file here (enables tracing).
+    pub report_out: Option<String>,
 }
 
 /// Graph source.
@@ -89,6 +95,18 @@ impl System {
             System::Single => "AutomineIH (single machine)",
         }
     }
+
+    /// Stable machine-readable identifier used as `RunReport.system`.
+    fn slug(self) -> &'static str {
+        match self {
+            System::KhuzdulAutomine => "khuzdul-automine",
+            System::KhuzdulGraphpi => "khuzdul-graphpi",
+            System::GThinker => "gthinker",
+            System::Replicated => "replicated",
+            System::Ctd => "ctd",
+            System::Single => "single",
+        }
+    }
 }
 
 /// Parses the argument list.
@@ -111,6 +129,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut window = fabric_default.window;
     let mut retries = fabric_default.retry.max_attempts;
     let mut fault_drop = 0.0f64;
+    let mut trace_out: Option<String> = None;
+    let mut report_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
@@ -128,6 +148,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--window" => window = parse_num(value()?)?,
             "--retries" => retries = parse_num(value()?)? as u32,
             "--fault-drop" => fault_drop = parse_fraction(value()?)?,
+            "--trace-out" => trace_out = Some(value()?.to_string()),
+            "--report-out" => report_out = Some(value()?.to_string()),
             "--help" | "-h" => return Err("see the crate docs for usage".into()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -144,6 +166,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         window: window.max(1),
         retries: retries.max(1),
         fault_drop,
+        trace_out,
+        report_out,
     })
 }
 
@@ -226,7 +250,8 @@ pub fn parse_gen(spec: &str) -> Result<Graph, String> {
 ///
 /// The first argument may be a subcommand: `count` (default — mine one
 /// pattern), `stats` (graph analysis report), `motifs` (k-motif census),
-/// or `fsm` (frequent subgraph mining).
+/// `fsm` (frequent subgraph mining), or `report-validate` (schema-check
+/// a `RunReport` JSON file produced by `--report-out`).
 ///
 /// # Errors
 ///
@@ -237,9 +262,18 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("motifs") => return run_motifs(&args[1..]),
         Some("fsm") => return run_fsm(&args[1..]),
         Some("count") => return run_count(&args[1..]),
+        Some("report-validate") => return run_report_validate(&args[1..]),
         _ => {}
     }
     run_count(args)
+}
+
+/// `gpm report-validate FILE`: parse and schema-check a `RunReport`.
+fn run_report_validate(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("report-validate needs a file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    gpm_obs::validate_report(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(format!("{path}: valid RunReport (schema v{REPORT_SCHEMA_VERSION})\n"))
 }
 
 fn load(source: &GraphSource) -> Result<Graph, String> {
@@ -370,7 +404,14 @@ fn run_fsm(args: &[String]) -> Result<String, String> {
 fn run_count(args: &[String]) -> Result<String, String> {
     let opts = parse_args(args)?;
     let graph = load(&opts.graph)?;
-    let stats = execute(&graph, &opts)?;
+    let ex = execute(&graph, &opts)?;
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, &ex.trace).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.report_out {
+        ex.report.write_to(path).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let stats = ex.stats;
     let mut out = String::new();
     if opts.quiet {
         let _ = writeln!(out, "{}", stats.count);
@@ -415,12 +456,25 @@ fn run_count(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn execute(graph: &Graph, opts: &Options) -> Result<RunStats, String> {
+/// One executed run plus its observability artifacts. The report and
+/// trace are always produced (they are cheap skeletons when tracing is
+/// off); `run_count` only writes them to disk when the output flags ask.
+struct Executed {
+    stats: RunStats,
+    report: RunReport,
+    trace: String,
+}
+
+fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
     let base = match opts.system {
         System::KhuzdulGraphpi => PlanOptions::graphpi(),
         _ => PlanOptions::automine(),
     };
     let plan_opts = PlanOptions { induced: opts.induced, ..base.clone() };
+    // Tracing is opt-in: either output flag arms the recorder.
+    let observe = opts.trace_out.is_some() || opts.report_out.is_some();
+    let obs = if observe { ObsConfig::enabled() } else { ObsConfig::default() };
+    let slug = opts.system.slug();
     match opts.system {
         System::KhuzdulAutomine | System::KhuzdulGraphpi => {
             let plan = MatchingPlan::compile(&opts.pattern, &plan_opts)?;
@@ -435,18 +489,30 @@ fn execute(graph: &Graph, opts: &Options) -> Result<RunStats, String> {
             }
             let engine = Engine::new(
                 PartitionedGraph::new(graph, opts.machines, opts.sockets),
-                EngineConfig { compute_threads: opts.threads, fabric, ..EngineConfig::default() },
+                EngineConfig {
+                    compute_threads: opts.threads,
+                    fabric,
+                    obs,
+                    ..EngineConfig::default()
+                },
             );
             let stats = engine.try_count(&plan).map_err(|e| e.to_string())?;
+            let report = engine.report(&stats, slug);
+            let trace = engine.chrome_trace();
             engine.shutdown();
-            Ok(stats)
+            Ok(Executed { stats, report, trace })
         }
         System::GThinker => {
+            let recorder = Recorder::new(&obs);
             let sys = GThinker::new(
                 PartitionedGraph::new(graph, opts.machines, opts.sockets),
                 GThinkerConfig::default(),
-            );
-            sys.count(&opts.pattern, &plan_opts)
+            )
+            .with_recorder(Arc::clone(&recorder));
+            let stats = sys.count(&opts.pattern, &plan_opts)?;
+            let report = sys.report(&stats);
+            let trace = recorder.chrome_trace();
+            Ok(Executed { stats, report, trace })
         }
         System::Replicated => {
             let plan = MatchingPlan::compile(&opts.pattern, &plan_opts)?;
@@ -458,20 +524,31 @@ fn execute(graph: &Graph, opts: &Options) -> Result<RunStats, String> {
                     ..ReplicatedConfig::default()
                 },
             );
-            Ok(sys.count(&plan))
+            let stats = sys.count(&plan);
+            // No fetch fabric to instrument: the report carries the
+            // counters, the trace is a valid empty event list.
+            let report = stats.to_report(slug);
+            Ok(Executed { stats, report, trace: gpm_obs::chrome_trace(&[]) })
         }
         System::Ctd => {
-            let sys = CtdCluster::new(PartitionedGraph::new(graph, opts.machines, opts.sockets));
-            sys.count(&opts.pattern, &plan_opts)
+            let recorder = Recorder::new(&obs);
+            let sys = CtdCluster::new(PartitionedGraph::new(graph, opts.machines, opts.sockets))
+                .with_recorder(Arc::clone(&recorder));
+            let stats = sys.count(&opts.pattern, &plan_opts)?;
+            let report = sys.report(&stats);
+            let trace = recorder.chrome_trace();
+            Ok(Executed { stats, report, trace })
         }
         System::Single => {
             let sys = SingleMachine::automine_ih(graph.clone(), opts.threads);
-            if opts.induced {
+            let stats = if opts.induced {
                 let plan = MatchingPlan::compile(&opts.pattern, &plan_opts)?;
-                Ok(sys.count_plan(&plan))
+                sys.count_plan(&plan)
             } else {
-                sys.count(&opts.pattern)
-            }
+                sys.count(&opts.pattern)?
+            };
+            let report = stats.to_report(slug);
+            Ok(Executed { stats, report, trace: gpm_obs::chrome_trace(&[]) })
         }
     }
 }
@@ -607,6 +684,63 @@ mod tests {
             counts.push(out.trim().parse::<u64>().unwrap());
         }
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn parse_output_flags() {
+        let o = parse_args(&argv(
+            "--gen ba:100,3 --pattern triangle --trace-out /tmp/t.json --report-out /tmp/r.json",
+        ))
+        .unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(o.report_out.as_deref(), Some("/tmp/r.json"));
+        let d = parse_args(&argv("--gen ba:100,3 --pattern triangle")).unwrap();
+        assert_eq!(d.trace_out, None);
+        assert_eq!(d.report_out, None);
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --trace-out")).is_err());
+    }
+
+    /// Every system writes a schema-valid report and trace through the
+    /// output flags, and `report-validate` accepts the report file.
+    #[test]
+    fn output_flags_write_valid_artifacts_for_every_system() {
+        let dir = std::env::temp_dir().join(format!("gpm-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for system in
+            ["khuzdul-automine", "khuzdul-graphpi", "gthinker", "replicated", "ctd", "single"]
+        {
+            let trace = dir.join(format!("{system}.trace.json"));
+            let report = dir.join(format!("{system}.report.json"));
+            run(&argv(&format!(
+                "--gen er:60,200,3 --pattern triangle --machines 3 --quiet --system {system} \
+                 --trace-out {} --report-out {}",
+                trace.display(),
+                report.display()
+            )))
+            .unwrap();
+            let trace_json = std::fs::read_to_string(&trace).unwrap();
+            gpm_obs::validate_trace(&trace_json).unwrap_or_else(|e| panic!("{system}: {e}"));
+            let out = run(&argv(&format!("report-validate {}", report.display()))).unwrap();
+            assert!(out.contains("valid RunReport"), "{system}: {out}");
+            let report_json = std::fs::read_to_string(&report).unwrap();
+            assert!(report_json.contains(&format!("\"system\": \"{system}\"")), "{system}");
+        }
+        // Distributed systems actually record spans when the flags are on.
+        let khuzdul = std::fs::read_to_string(dir.join("khuzdul-automine.trace.json")).unwrap();
+        assert!(khuzdul.contains("resolve"), "khuzdul trace lacks resolve spans:\n{khuzdul}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_validate_rejects_garbage() {
+        assert!(run(&argv("report-validate /nonexistent/x.json")).is_err());
+        let dir = std::env::temp_dir();
+        let bad = dir.join(format!("gpm-cli-bad-{}.json", std::process::id()));
+        std::fs::write(&bad, "{\"schema_version\": 99}").unwrap();
+        let err = run(&argv(&format!("report-validate {}", bad.display()))).unwrap_err();
+        assert!(err.contains(&bad.display().to_string()));
+        std::fs::remove_file(&bad).ok();
+        assert!(run(&argv("report-validate")).is_err()); // no path
     }
 
     #[test]

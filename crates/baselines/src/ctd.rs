@@ -14,10 +14,12 @@ use gpm_cluster::post::PostOffice;
 use gpm_cluster::work::WorkCounter;
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::{set_ops, VertexId};
+use gpm_obs::{ObsHandle, Recorder, RunReport, SpanKind};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
 use khuzdul::{PartStats, RunStats, TrafficSummary};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A partial embedding in flight, with its carried edge lists.
@@ -42,12 +44,34 @@ impl Job {
 #[derive(Debug)]
 pub struct CtdCluster {
     pg: PartitionedGraph,
+    recorder: Arc<Recorder>,
 }
 
 impl CtdCluster {
     /// Builds the cluster over a partitioned graph (one worker per part).
     pub fn new(pg: PartitionedGraph) -> Self {
-        CtdCluster { pg }
+        CtdCluster { pg, recorder: Recorder::disabled() }
+    }
+
+    /// Attaches an observability recorder; each executed job records a
+    /// span into it.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached recorder (a disabled one unless [`Self::with_recorder`]
+    /// was used).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// The machine-readable report for `run`, built through the same
+    /// pipeline as the engine's.
+    pub fn report(&self, run: &RunStats) -> RunReport {
+        let mut r = run.to_report("ctd");
+        self.recorder.augment_report(&mut r);
+        r
     }
 
     /// Counts `pattern`'s embeddings.
@@ -86,6 +110,7 @@ impl CtdCluster {
                     wc: wc.clone(),
                     roots_done: &roots_done,
                     total: &total,
+                    obs: self.recorder.handle(part as u32),
                 };
                 handles.push(s.spawn(move |_| worker.run()));
             }
@@ -117,10 +142,11 @@ struct Worker<'a> {
     wc: WorkCounter,
     roots_done: &'a AtomicUsize,
     total: &'a AtomicU64,
+    obs: ObsHandle,
 }
 
 impl Worker<'_> {
-    fn run(&self) -> PartStats {
+    fn run(mut self) -> PartStats {
         let t0 = Instant::now();
         let mut busy = Duration::ZERO;
         let mut count = 0u64;
@@ -132,7 +158,9 @@ impl Worker<'_> {
         loop {
             if let Some(job) = self.endpoint.try_recv() {
                 let tb = Instant::now();
+                let js = self.obs.start();
                 self.process(&job, &mut count);
+                self.obs.span(SpanKind::Job, js, job.level as u64);
                 self.wc.done();
                 busy += tb.elapsed();
                 continue;
@@ -147,7 +175,9 @@ impl Worker<'_> {
                         count += 1;
                     } else {
                         let job = Job { level: 0, matched: vec![v], carried: Vec::new() };
+                        let js = self.obs.start();
                         self.process(&job, &mut count);
+                        self.obs.span(SpanKind::Job, js, 0);
                     }
                 }
                 busy += tb.elapsed();
@@ -300,5 +330,19 @@ mod tests {
         let p = Pattern::path(3).with_labels(vec![0, 1, 2]).unwrap();
         let expect = oracle::count_subgraphs(&g, &p, false);
         assert_eq!(count_of(&g, 3, &p).count, expect);
+    }
+
+    #[test]
+    fn observed_run_records_job_spans() {
+        let g = gen::erdos_renyi(100, 400, 2);
+        let pg = PartitionedGraph::new(&g, 3, 1);
+        let rec = Recorder::new(&gpm_obs::ObsConfig::enabled());
+        let sys = CtdCluster::new(pg).with_recorder(Arc::clone(&rec));
+        let stats = sys.count(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
+        assert!(rec.spans().iter().any(|s| s.kind == SpanKind::Job), "no job spans recorded");
+        let report = sys.report(&stats);
+        assert_eq!(report.system, "ctd");
+        assert_eq!(report.traffic.network_bytes, stats.traffic.network_bytes);
+        gpm_obs::validate_report(&report.to_json()).expect("ctd report must validate");
     }
 }

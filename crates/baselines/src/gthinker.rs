@@ -15,14 +15,16 @@
 //! communication/computation overlap), so the Table 2 / Figure 15 shapes
 //! regenerate.
 
-use gpm_cluster::{EdgeListClient, EdgeListService};
+use gpm_cluster::{EdgeListClient, EdgeListService, FabricConfig};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::{set_ops, VertexId};
+use gpm_obs::{ObsHandle, Recorder, RunReport, SpanKind};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
 use khuzdul::{PartStats, RunStats, TrafficSummary};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// G-thinker configuration.
@@ -46,12 +48,36 @@ impl Default for GThinkerConfig {
 pub struct GThinker {
     pg: PartitionedGraph,
     cfg: GThinkerConfig,
+    recorder: Arc<Recorder>,
 }
 
 impl GThinker {
     /// Builds the system over a partitioned graph (one worker per part).
     pub fn new(pg: PartitionedGraph, cfg: GThinkerConfig) -> Self {
-        GThinker { pg, cfg }
+        GThinker { pg, cfg, recorder: Recorder::disabled() }
+    }
+
+    /// Attaches an observability recorder; fabric fetches, scheduler
+    /// scans, task probes, and cache GC all record spans into it.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached recorder (a disabled one unless [`Self::with_recorder`]
+    /// was used).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// The machine-readable report for `run`: the run's counters plus
+    /// this system's recorded histograms and span accounting, built
+    /// through the same pipeline as the engine's so Fig. 15 comparisons
+    /// read one artifact shape.
+    pub fn report(&self, run: &RunStats) -> RunReport {
+        let mut r = run.to_report("gthinker");
+        self.recorder.augment_report(&mut r);
+        r
     }
 
     /// Counts `pattern`'s embeddings.
@@ -68,7 +94,12 @@ impl GThinker {
     }
 
     fn count_plan(&self, plan: &MatchingPlan) -> RunStats {
-        let service = EdgeListService::start(&self.pg, None);
+        let service = EdgeListService::start_observed(
+            &self.pg,
+            None,
+            FabricConfig::default(),
+            Arc::clone(&self.recorder),
+        );
         let total = AtomicU64::new(0);
         let t0 = Instant::now();
         let mut per_part = Vec::with_capacity(self.pg.part_count());
@@ -82,6 +113,7 @@ impl GThinker {
                     part,
                     client: service.client(part),
                     total: &total,
+                    obs: self.recorder.handle(part as u32),
                 };
                 handles.push(s.spawn(move |_| worker.run()));
             }
@@ -128,10 +160,11 @@ struct PartWorker<'a> {
     part: usize,
     client: EdgeListClient,
     total: &'a AtomicU64,
+    obs: ObsHandle,
 }
 
 impl PartWorker<'_> {
-    fn run(&self) -> PartStats {
+    fn run(mut self) -> PartStats {
         let mut compute = Duration::ZERO;
         let mut network = Duration::ZERO;
         let mut scheduler = Duration::ZERO;
@@ -180,6 +213,7 @@ impl PartWorker<'_> {
             // requirement set against the cache (the paper's periodic
             // readiness check).
             let ts = Instant::now();
+            let scan_start = self.obs.start();
             for task in &mut tasks {
                 if !task.ready {
                     task.ready = task.required.iter().all(|v| {
@@ -188,6 +222,7 @@ impl PartWorker<'_> {
                     });
                 }
             }
+            self.obs.span(SpanKind::SchedulerScan, scan_start, tasks.len() as u64);
             scheduler += ts.elapsed();
 
             // Execute every ready task one probe/final round.
@@ -201,9 +236,11 @@ impl PartWorker<'_> {
                     continue;
                 }
                 let te = Instant::now();
+                let probe_start = self.obs.start();
                 let mut missing: HashSet<VertexId> = HashSet::new();
                 let mut touched: HashSet<VertexId> = HashSet::new();
                 let tree_count = self.explore(tasks[ti].root, &cache, &mut missing, &mut touched);
+                self.obs.span(SpanKind::Job, probe_start, tasks[ti].root as u64);
                 compute += te.elapsed();
 
                 let tc = Instant::now();
@@ -279,19 +316,23 @@ impl PartWorker<'_> {
             // capacity (a full map scan — more bookkeeping).
             if cache_bytes > self.cfg.cache_capacity {
                 let tc = Instant::now();
+                let gc_start = self.obs.start();
                 let victims: Vec<VertexId> = cache
                     .iter()
                     .filter(|(_, e)| e.present && e.refs.is_empty())
                     .map(|(&v, _)| v)
                     .collect();
+                let mut evicted = 0u64;
                 for v in victims {
                     if cache_bytes <= self.cfg.cache_capacity {
                         break;
                     }
                     if let Some(e) = cache.remove(&v) {
                         cache_bytes -= std::mem::size_of_val(&e.data[..]);
+                        evicted += 1;
                     }
                 }
+                self.obs.span(SpanKind::CacheGc, gc_start, evicted);
                 cache_time += tc.elapsed();
             }
         }
@@ -445,5 +486,21 @@ mod tests {
         let p = Pattern::path(3).with_labels(vec![1, 0, 2]).unwrap();
         let expect = oracle::count_subgraphs(&g, &p, false);
         assert_eq!(run(&g, 3, &p).count, expect);
+    }
+
+    #[test]
+    fn observed_run_records_scheduler_and_task_spans() {
+        let g = gen::barabasi_albert(150, 4, 5);
+        let pg = PartitionedGraph::new(&g, 3, 1);
+        let rec = Recorder::new(&gpm_obs::ObsConfig::enabled());
+        let sys = GThinker::new(pg, GThinkerConfig::default()).with_recorder(Arc::clone(&rec));
+        let stats = sys.count(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
+        let spans = rec.spans();
+        assert!(spans.iter().any(|s| s.kind == SpanKind::SchedulerScan), "no scheduler scans");
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Job), "no task probes");
+        let report = sys.report(&stats);
+        assert_eq!(report.system, "gthinker");
+        assert_eq!(report.traffic.fetch_requests, stats.traffic.requests);
+        gpm_obs::validate_report(&report.to_json()).expect("gthinker report must validate");
     }
 }

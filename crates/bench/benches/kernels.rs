@@ -1,12 +1,14 @@
 //! Criterion micro-benchmarks for the computational kernels everything
-//! else is built from: sorted-set operations, plan interpretation, and
-//! partition/fetch primitives.
+//! else is built from: sorted-set operations, plan interpretation,
+//! partition/fetch primitives, and the observability hot path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpm_graph::{gen, partition::PartitionedGraph, set_ops};
+use gpm_obs::{Metric, ObsConfig, Recorder, SpanKind};
 use gpm_pattern::interp;
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
+use khuzdul::{Engine, EngineConfig};
 use std::hint::black_box;
 
 fn bench_set_ops(c: &mut Criterion) {
@@ -75,11 +77,47 @@ fn bench_plan_compilation(c: &mut Criterion) {
     g.finish();
 }
 
+/// Observability overhead, two ways: the raw record-call hot path
+/// (disabled must be a single relaxed-atomic branch — nanoseconds, no
+/// allocation) and a whole engine run with tracing off vs. on (the
+/// disabled case is the <2% regression budget in the acceptance
+/// criteria; compare against a build without the obs crate).
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    for (name, cfg) in [("disabled", ObsConfig::default()), ("enabled", ObsConfig::enabled())] {
+        let rec = Recorder::new(&cfg);
+        let mut h = rec.handle(0);
+        g.bench_function(BenchmarkId::new("span_record", name), |bench| {
+            bench.iter(|| {
+                let ts = h.start();
+                h.span(black_box(SpanKind::Extend), ts, black_box(1));
+            })
+        });
+        g.bench_function(BenchmarkId::new("histogram_observe", name), |bench| {
+            bench.iter(|| rec.observe(black_box(Metric::ChunkFanout), black_box(17)))
+        });
+    }
+    let graph = gen::erdos_renyi(500, 3_000, 7);
+    let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
+    for (name, obs) in [("disabled", ObsConfig::default()), ("enabled", ObsConfig::enabled())] {
+        let engine = Engine::new(
+            PartitionedGraph::new(&graph, 4, 1),
+            EngineConfig { obs, ..EngineConfig::default() },
+        );
+        g.bench_function(BenchmarkId::new("engine_triangle", name), |bench| {
+            bench.iter(|| black_box(engine.count(&plan).count))
+        });
+        engine.shutdown();
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_set_ops,
     bench_plan_interp,
     bench_partitioning,
-    bench_plan_compilation
+    bench_plan_compilation,
+    bench_obs_overhead
 );
 criterion_main!(benches);

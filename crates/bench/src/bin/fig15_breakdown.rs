@@ -15,8 +15,9 @@ use gpm_bench::workloads::{engine_for, App};
 use gpm_bench::{build_dataset, Scale, PAPER_MACHINES};
 use gpm_graph::datasets::DatasetId;
 use gpm_graph::partition::PartitionedGraph;
+use gpm_obs::RunReport;
 use gpm_pattern::plan::PlanOptions;
-use khuzdul::{Breakdown, RunStats};
+use khuzdul::RunStats;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -34,14 +35,18 @@ fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Adds one row, sourced from the `RunReport`'s breakdown fractions —
+/// the same artifact `--report-out` writes, so figure and report agree
+/// by construction.
 fn add(
     table: &mut Table,
     rows: &mut Vec<Row>,
     system: &'static str,
     app: App,
     graph: &'static str,
-    b: Breakdown,
+    report: &RunReport,
 ) {
+    let b = report.breakdown;
     table.row([
         system.to_string(),
         app.name().to_string(),
@@ -94,10 +99,12 @@ fn main() {
         for app in App::ALL {
             let ka = app.run_khuzdul(&engine, &PlanOptions::automine());
             engine.reset_caches();
-            add(&mut table, &mut rows, "k-Automine", app, id.abbr(), ka.breakdown());
+            let ka_report = engine.report(&ka, "khuzdul-automine");
+            add(&mut table, &mut rows, "k-Automine", app, id.abbr(), &ka_report);
             let gt = gthinker_run(&g, app);
-            assert_eq!(gt.count, ka.count);
-            add(&mut table, &mut rows, "G-thinker", app, id.abbr(), gt.breakdown());
+            let gt_report = gt.to_report("gthinker");
+            assert_eq!(gt_report.count, ka_report.count);
+            add(&mut table, &mut rows, "G-thinker", app, id.abbr(), &gt_report);
         }
         engine.shutdown();
     }

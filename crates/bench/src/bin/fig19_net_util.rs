@@ -39,20 +39,22 @@ fn main() {
         for app in App::ALL {
             let run = app.run_khuzdul(&engine, &PlanOptions::graphpi());
             engine.reset_caches();
-            let util = (run.traffic.network_bytes as f64 * 8.0)
-                / (model.bandwidth_gbps * 1e9 * run.elapsed.as_secs_f64() * PAPER_MACHINES as f64);
+            // Source everything from the RunReport so the figure and the
+            // `--report-out` artifact agree by construction.
+            let report = engine.report(&run, "khuzdul-graphpi");
+            let util = report.network_utilization(model.bandwidth_gbps, PAPER_MACHINES);
             table.row([
                 app.name().to_string(),
                 id.abbr().to_string(),
                 fmt_duration(run.elapsed),
-                fmt_bytes(run.traffic.network_bytes),
+                fmt_bytes(report.traffic.network_bytes),
                 format!("{:.2}%", util * 100.0),
             ]);
             rows.push(Row {
                 app: app.name(),
                 graph: id.abbr(),
-                runtime_s: run.elapsed.as_secs_f64(),
-                network_bytes: run.traffic.network_bytes,
+                runtime_s: report.elapsed_ns as f64 / 1e9,
+                network_bytes: report.traffic.network_bytes,
                 utilization: util,
             });
         }

@@ -28,6 +28,7 @@ use crate::{NetworkModel, PartId};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::VertexId;
+use gpm_obs::{Metric, Recorder, SpanKind};
 use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -221,6 +222,7 @@ pub struct EdgeListService {
     retry: RetryPolicy,
     windows: Vec<Arc<Window>>,
     seq: Arc<AtomicU64>,
+    obs: Arc<Recorder>,
 }
 
 impl EdgeListService {
@@ -236,11 +238,26 @@ impl EdgeListService {
         network: Option<NetworkModel>,
         fabric: FabricConfig,
     ) -> Self {
+        Self::start_observed(pg, network, fabric, Recorder::disabled())
+    }
+
+    /// Like [`EdgeListService::start_with`], additionally recording
+    /// fabric spans (fetch submit→complete, responder service, retries,
+    /// injected faults) and histograms (fetch latency, batch bytes,
+    /// window occupancy) into `obs`.
+    pub fn start_observed(
+        pg: &PartitionedGraph,
+        network: Option<NetworkModel>,
+        fabric: FabricConfig,
+        obs: Arc<Recorder>,
+    ) -> Self {
         let parts = pg.part_count();
         let metrics = ClusterMetrics::new(parts, pg.sockets_per_machine());
-        let inner = ChannelTransport::start(pg, &metrics);
+        let inner = ChannelTransport::start_observed(pg, &metrics, Arc::clone(&obs));
         let transport: Arc<dyn Transport> = match fabric.fault {
-            Some(plan) => Arc::new(FaultInjectingTransport::new(inner, plan)),
+            Some(plan) => {
+                Arc::new(FaultInjectingTransport::new_observed(inner, plan, Arc::clone(&obs)))
+            }
             None => Arc::new(inner),
         };
         let windows = (0..parts).map(|_| Arc::new(Window::new(fabric.window))).collect();
@@ -251,6 +268,7 @@ impl EdgeListService {
             retry: fabric.retry,
             windows,
             seq: Arc::new(AtomicU64::new(0)),
+            obs,
         }
     }
 
@@ -270,12 +288,18 @@ impl EdgeListService {
             retry: self.retry,
             window: Arc::clone(&self.windows[part]),
             seq: Arc::clone(&self.seq),
+            obs: Arc::clone(&self.obs),
         }
     }
 
     /// The shared metrics of this cluster.
     pub fn metrics(&self) -> &ClusterMetrics {
         &self.metrics
+    }
+
+    /// The recorder this service reports spans and histograms into.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.obs
     }
 
     /// Stops every responder and joins its thread. Outstanding client
@@ -296,6 +320,7 @@ pub struct EdgeListClient {
     retry: RetryPolicy,
     window: Arc<Window>,
     seq: Arc<AtomicU64>,
+    obs: Arc<Recorder>,
 }
 
 impl EdgeListClient {
@@ -358,6 +383,8 @@ impl EdgeListClient {
             }
         }
         let permit = self.window.acquire(&my);
+        self.obs.observe(Metric::WindowOccupancy, my.inflight());
+        let submitted_ns = self.obs.now_ns();
         let (reply_tx, reply_rx) = unbounded();
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.transport.submit(
@@ -375,6 +402,7 @@ impl EdgeListClient {
             seq,
             attempts: 1,
             submitted: Instant::now(),
+            submitted_ns,
             _permit: permit,
         })
     }
@@ -401,6 +429,8 @@ pub struct PendingFetch {
     /// First submission time; the network model's transfer delay is
     /// measured from here so concurrent in-flight transfers overlap.
     submitted: Instant,
+    /// Recorder timestamp of the first submission, for the `Fetch` span.
+    submitted_ns: u64,
     _permit: WindowPermit,
 }
 
@@ -441,6 +471,15 @@ impl PendingFetch {
         my.record_wait(wait_start.elapsed());
         let req_bytes = HEADER_BYTES + 4 * self.wire.len() as u64;
         let resp_bytes = lists.response_bytes();
+        let obs = &self.client.obs;
+        obs.record_span(
+            SpanKind::Fetch,
+            self.client.part as u32,
+            self.submitted_ns,
+            self.target as u64,
+        );
+        obs.observe(Metric::FetchLatencyNs, self.submitted.elapsed().as_nanos() as u64);
+        obs.observe(Metric::BatchBytes, resp_bytes);
         let class = self.client.metrics.classify(self.client.part, self.target);
         my.record_fetch(class, req_bytes, resp_bytes);
         self.client.metrics.record_link(self.client.part, self.target, req_bytes);
@@ -471,6 +510,11 @@ impl PendingFetch {
             std::thread::sleep(backoff);
         }
         my.record_retry();
+        self.client.obs.record_instant(
+            SpanKind::Retry,
+            self.client.part as u32,
+            self.attempts as u64,
+        );
         self.attempts += 1;
         self.seq = self.client.seq.fetch_add(1, Ordering::Relaxed);
         self.client.transport.submit(
@@ -821,6 +865,72 @@ mod tests {
         assert_eq!(err, FetchError::Timeout { target: 0, attempts: 3 });
         assert!(err.to_string().contains("after 3 attempts"));
         assert_eq!(service.metrics().part(1).retries(), 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn observed_service_records_fabric_spans() {
+        let (_, pg) = cluster(2, 1);
+        let obs = Recorder::new(&gpm_obs::ObsConfig::enabled());
+        let service =
+            EdgeListService::start_observed(&pg, None, FabricConfig::default(), Arc::clone(&obs));
+        let client = service.client(1);
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(5).collect();
+        client.fetch(0, &owned).unwrap();
+        let spans = obs.spans();
+        assert!(
+            spans.iter().any(|s| s.kind == SpanKind::Fetch && s.part == 1 && s.arg == 0),
+            "missing Fetch span: {spans:?}"
+        );
+        assert!(
+            spans.iter().any(|s| s.kind == SpanKind::Serve && s.part == 0),
+            "missing Serve span: {spans:?}"
+        );
+        assert_eq!(obs.hist_snapshot(Metric::FetchLatencyNs).count, 1);
+        assert_eq!(obs.hist_snapshot(Metric::BatchBytes).count, 1);
+        assert_eq!(obs.hist_snapshot(Metric::WindowOccupancy).count, 1);
+        // Batch-bytes histogram saw exactly the accounted response size.
+        assert_eq!(
+            obs.hist_snapshot(Metric::BatchBytes).sum,
+            service.metrics().part(1).bytes_received()
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn observed_faults_and_retries_record_instants() {
+        let (_, pg) = cluster(2, 1);
+        let obs = Recorder::new(&gpm_obs::ObsConfig::enabled());
+        let fabric = FabricConfig {
+            retry: faulty_retry(),
+            fault: Some(FaultPlan::drops(0.5)),
+            ..FabricConfig::default()
+        };
+        let service = EdgeListService::start_observed(&pg, None, fabric, Arc::clone(&obs));
+        let client = service.client(1);
+        for &v in pg.part(0).owned().iter().take(20) {
+            client.fetch(0, &[v]).unwrap();
+        }
+        let spans = obs.spans();
+        assert!(
+            spans.iter().any(|s| s.kind == SpanKind::Fault && s.arg == 1),
+            "missing Fault(drop) instant"
+        );
+        let retries = spans.iter().filter(|s| s.kind == SpanKind::Retry).count() as u64;
+        assert_eq!(retries, service.metrics().total_retries());
+        assert!(retries > 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn unobserved_service_records_nothing() {
+        let (_, pg) = cluster(2, 1);
+        let service = EdgeListService::start(&pg, None);
+        let client = service.client(1);
+        let v = pg.part(0).owned()[0];
+        client.fetch(0, &[v]).unwrap();
+        assert_eq!(service.recorder().spans_recorded(), 0);
+        assert_eq!(service.recorder().hist_snapshot(Metric::FetchLatencyNs).count, 0);
         service.shutdown();
     }
 

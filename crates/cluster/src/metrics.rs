@@ -82,8 +82,17 @@ impl PartMetrics {
     }
 
     /// Records a request retiring from this part's in-flight window.
+    ///
+    /// Saturating: a completion racing a shutdown drain must not wrap the
+    /// gauge to `u64::MAX` (that would report a permanently-full window).
+    /// Debug builds assert on the mismatch so the race is still caught in
+    /// tests.
     pub fn record_inflight_end(&self) {
-        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        let prev = self
+            .inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)))
+            .expect("fetch_update closure always returns Some");
+        debug_assert!(prev > 0, "inflight gauge underflow: end without matching start");
     }
 
     /// Records `n` vertices deduplicated out of a request before it hit
@@ -385,6 +394,24 @@ mod tests {
         m.part(1).record_retry();
         assert_eq!(m.total_coalesced(), 3);
         assert_eq!(m.total_retries(), 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "inflight gauge underflow")]
+    fn unmatched_inflight_end_asserts_in_debug() {
+        let m = PartMetrics::default();
+        m.record_inflight_end();
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn unmatched_inflight_end_saturates_in_release() {
+        let m = PartMetrics::default();
+        m.record_inflight_end();
+        assert_eq!(m.inflight(), 0, "gauge must saturate at zero, not wrap");
+        m.record_inflight_start();
+        assert_eq!(m.inflight(), 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::PartId;
 use crossbeam::channel::{unbounded, Sender};
 use gpm_graph::partition::{GraphPart, PartitionedGraph};
 use gpm_graph::VertexId;
+use gpm_obs::{Recorder, SpanKind};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -150,6 +151,16 @@ impl ChannelTransport {
     /// Starts one responder thread per part of `pg`, recording served
     /// requests into `metrics`.
     pub fn start(pg: &PartitionedGraph, metrics: &ClusterMetrics) -> Self {
+        Self::start_observed(pg, metrics, Recorder::disabled())
+    }
+
+    /// Like [`ChannelTransport::start`], additionally recording a `Serve`
+    /// span per request into `obs`.
+    pub fn start_observed(
+        pg: &PartitionedGraph,
+        metrics: &ClusterMetrics,
+        obs: Arc<Recorder>,
+    ) -> Self {
         let parts = pg.part_count();
         let mut senders = Vec::with_capacity(parts);
         let mut handles = Vec::with_capacity(parts);
@@ -158,13 +169,21 @@ impl ChannelTransport {
             senders.push(tx);
             let part = pg.part_arc(part_id);
             let part_metrics = Arc::clone(metrics.part(part_id));
+            let obs = Arc::clone(&obs);
             let handle = std::thread::Builder::new()
                 .name(format!("edgelist-responder-{part_id}"))
                 .spawn(move || {
                     while let Ok(Msg::Fetch { req, reply_to }) = rx.recv() {
+                        let t0 = obs.now_ns();
                         let payload = serve(&part, &req.vertices);
                         if let Ok(lists) = &payload {
                             part_metrics.record_served(lists.response_bytes());
+                            obs.record_span(
+                                SpanKind::Serve,
+                                part_id as u32,
+                                t0,
+                                lists.response_bytes(),
+                            );
                         }
                         // A dropped reply receiver just means the client
                         // gave up (or the fault layer swallowed the
@@ -314,12 +333,20 @@ fn unit_hash(seed: u64, target: u64, seq: u64) -> f64 {
 pub struct FaultInjectingTransport {
     inner: ChannelTransport,
     plan: FaultPlan,
+    obs: Arc<Recorder>,
 }
 
 impl FaultInjectingTransport {
     /// Wraps `inner`, applying `plan` to every submitted message.
     pub fn new(inner: ChannelTransport, plan: FaultPlan) -> Self {
-        FaultInjectingTransport { inner, plan }
+        Self::new_observed(inner, plan, Recorder::disabled())
+    }
+
+    /// Like [`FaultInjectingTransport::new`], additionally recording a
+    /// `Fault` instant into `obs` for every injected fault
+    /// (arg: 1 = drop, 2 = error, 3 = delay).
+    pub fn new_observed(inner: ChannelTransport, plan: FaultPlan, obs: Arc<Recorder>) -> Self {
+        FaultInjectingTransport { inner, plan, obs }
     }
 }
 
@@ -337,12 +364,14 @@ impl Transport for FaultInjectingTransport {
         match self.plan.decide(target, req.seq) {
             Fault::None => self.inner.submit(target, req, reply_to),
             Fault::Drop => {
+                self.obs.record_instant(SpanKind::Fault, target as u32, 1);
                 // Serve the request but lose the reply: the receiver of
                 // this channel is dropped right here.
                 let (black_hole, _) = unbounded::<WireReply>();
                 self.inner.submit(target, req, black_hole)
             }
             Fault::Error => {
+                self.obs.record_instant(SpanKind::Fault, target as u32, 2);
                 let _ = reply_to.send(WireReply {
                     seq: req.seq,
                     payload: Err(FetchError::Injected { target }),
@@ -350,6 +379,7 @@ impl Transport for FaultInjectingTransport {
                 Ok(())
             }
             Fault::Delay => {
+                self.obs.record_instant(SpanKind::Fault, target as u32, 3);
                 let (tx, rx) = unbounded::<WireReply>();
                 let delay = self.plan.delay;
                 std::thread::spawn(move || {

@@ -6,9 +6,11 @@ use crate::stats::{PartStats, RunStats, TrafficSummary};
 use gpm_cluster::{ClusterMetrics, EdgeListService, FabricConfig, FetchError, NetworkModel};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::VertexId;
+use gpm_obs::{GaugeSample, ObsConfig, Recorder, RunReport};
 use gpm_pattern::plan::MatchingPlan;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine configuration (every knob of the paper's §4–§6 has a switch
 /// here so ablation benches can toggle it).
@@ -42,6 +44,10 @@ pub struct EngineConfig {
     /// [`RunStats::simulated_makespan`] estimates real-cluster runtime
     /// (used by the scalability experiments; see `EXPERIMENTS.md`).
     pub sequential_parts: bool,
+    /// Observability: span tracing, histograms, and the gauge sampler.
+    /// Disabled by default; every record site then costs one branch on a
+    /// relaxed atomic flag.
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +62,7 @@ impl Default for EngineConfig {
             network: None,
             fabric: FabricConfig::default(),
             sequential_parts: false,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -71,6 +78,7 @@ pub struct Engine {
     pg: PartitionedGraph,
     service: EdgeListService,
     caches: Vec<Arc<SharedCache>>,
+    recorder: Arc<Recorder>,
     cfg: EngineConfig,
 }
 
@@ -83,11 +91,17 @@ impl Engine {
     /// progress).
     pub fn new(pg: PartitionedGraph, cfg: EngineConfig) -> Engine {
         assert!(cfg.chunk_capacity >= 1, "chunk capacity must be positive");
-        let service = EdgeListService::start_with(&pg, cfg.network, cfg.fabric.clone());
+        let recorder = Recorder::new(&cfg.obs);
+        let service = EdgeListService::start_observed(
+            &pg,
+            cfg.network,
+            cfg.fabric.clone(),
+            Arc::clone(&recorder),
+        );
         let caches = (0..pg.part_count())
             .map(|_| Arc::new(SharedCache::for_part(&cfg.cache, pg.sockets_per_machine())))
             .collect();
-        Engine { pg, service, caches, cfg }
+        Engine { pg, service, caches, recorder, cfg }
     }
 
     /// The partitioned graph the engine runs on.
@@ -103,6 +117,27 @@ impl Engine {
     /// Cluster-wide communication metrics (monotonic across runs).
     pub fn metrics(&self) -> &ClusterMetrics {
         self.service.metrics()
+    }
+
+    /// The observability recorder (enabled per [`EngineConfig::obs`]).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// Chrome trace-event JSON of every span recorded so far; load the
+    /// written file in `chrome://tracing` or Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        self.recorder.chrome_trace()
+    }
+
+    /// The versioned machine-readable report for `run`: the run's
+    /// counters and breakdown plus the recorder's histograms, gauge
+    /// series, and span accounting. `system` names the producer (e.g.
+    /// `"khuzdul"`).
+    pub fn report(&self, run: &RunStats, system: &str) -> RunReport {
+        let mut report = run.to_report(system);
+        self.recorder.augment_report(&mut report);
+        report
     }
 
     /// Drops all cached edge lists (for between-run isolation in
@@ -211,6 +246,10 @@ impl Engine {
              run edge-labeled plans on gpm_pattern::interp or the single-machine baselines"
         );
         let before = self.traffic_snapshot();
+        // Stops and joins on drop, so both the error and success returns
+        // below leave no sampler thread behind.
+        let _sampler =
+            GaugeSampler::start(&self.recorder, self.service.metrics(), self.cfg.obs.tick);
         let t0 = Instant::now();
         let parts = self.pg.part_count();
         let mut per_part: Vec<PartStats> = Vec::with_capacity(parts);
@@ -226,6 +265,7 @@ impl Engine {
             owner: self.pg.owner_map(),
             visitor,
             stop,
+            obs: Arc::clone(&self.recorder),
         };
         let mut failure: Option<FetchError> = None;
         if self.cfg.sequential_parts {
@@ -304,6 +344,59 @@ impl Engine {
     /// Stops the cluster service threads.
     pub fn shutdown(self) {
         self.service.shutdown();
+    }
+}
+
+/// Background thread sampling per-part gauges (window occupancy,
+/// cumulative network bytes) on the configured tick, feeding the
+/// utilization time series of the run report. Started only when the
+/// recorder is enabled; stopped and joined on drop.
+struct GaugeSampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl GaugeSampler {
+    fn start(
+        recorder: &Arc<Recorder>,
+        metrics: &ClusterMetrics,
+        tick: Duration,
+    ) -> Option<GaugeSampler> {
+        if !recorder.is_enabled() {
+            return None;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let rec = Arc::clone(recorder);
+        let metrics = metrics.clone();
+        let handle = std::thread::Builder::new()
+            .name("khuzdul-obs-sampler".to_string())
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    let t_ns = rec.now_ns();
+                    for p in 0..metrics.part_count() {
+                        let pm = metrics.part(p);
+                        rec.record_gauge(GaugeSample {
+                            t_ns,
+                            part: p as u32,
+                            inflight: pm.inflight(),
+                            network_bytes: pm.cross_machine_bytes(),
+                        });
+                    }
+                    std::thread::sleep(tick);
+                }
+            })
+            .expect("spawn gauge sampler");
+        Some(GaugeSampler { stop, handle: Some(handle) })
+    }
+}
+
+impl Drop for GaugeSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -755,6 +848,45 @@ mod tests {
         let makespan = run.simulated_makespan();
         assert!(makespan <= run.elapsed);
         assert!(makespan.as_secs_f64() >= run.elapsed.as_secs_f64() / 8.0);
+    }
+
+    #[test]
+    fn observed_run_records_spans_and_matching_report() {
+        use gpm_obs::SpanKind;
+        let g = gen::erdos_renyi(150, 700, 13);
+        let pg = PartitionedGraph::new(&g, 4, 1);
+        let engine =
+            Engine::new(pg, EngineConfig { obs: ObsConfig::enabled(), ..EngineConfig::default() });
+        let run = engine.count(&plan(&Pattern::triangle()));
+        let report = engine.report(&run, "khuzdul");
+        // Report totals mirror the legacy TrafficSummary counters.
+        assert_eq!(report.count, run.count);
+        assert_eq!(report.traffic.fetch_requests, run.traffic.requests);
+        assert_eq!(report.traffic.network_bytes, run.traffic.network_bytes);
+        assert_eq!(report.traffic.cache_hits, run.traffic.cache_hits);
+        assert_eq!(report.traffic.coalesced_requests, run.traffic.coalesced);
+        gpm_obs::validate_report(&report.to_json()).expect("engine report must validate");
+        // The scheduler, resolve phase, and fabric all left spans.
+        let spans = engine.recorder().spans();
+        for kind in
+            [SpanKind::SeedRoots, SpanKind::Resolve, SpanKind::BucketRound, SpanKind::Extend]
+        {
+            assert!(spans.iter().any(|s| s.kind == kind), "missing {kind:?} span");
+        }
+        assert!(report.spans.recorded > 0);
+        gpm_obs::validate_trace(&engine.chrome_trace()).expect("trace must validate");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let g = gen::erdos_renyi(100, 400, 5);
+        let engine = engine_for(&g, 2, 1);
+        engine.count(&plan(&Pattern::triangle()));
+        assert!(!engine.recorder().is_enabled());
+        assert_eq!(engine.recorder().spans_recorded(), 0);
+        assert!(engine.recorder().series().is_empty());
+        engine.shutdown();
     }
 
     #[test]

@@ -60,5 +60,9 @@ pub use stats::{Breakdown, PartStats, RunStats, TrafficSummary};
 // so re-export them for downstream callers.
 pub use gpm_cluster::{FabricConfig, FaultPlan, FetchError, RetryPolicy};
 
+// Observability surfaces through `EngineConfig::obs` / `Engine::report`;
+// re-export the types callers hold or write out.
+pub use gpm_obs::{ObsConfig, Recorder, RunReport};
+
 // Re-export the plan types that form the engine's EXTEND-level interface.
 pub use gpm_pattern::plan::MatchingPlan;

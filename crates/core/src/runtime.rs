@@ -17,6 +17,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use gpm_cluster::{EdgeListClient, FetchError, PendingFetch};
 use gpm_graph::partition::GraphPart;
 use gpm_graph::{set_ops, Label, VertexId};
+use gpm_obs::{Metric, ObsHandle, Recorder, SpanKind};
 use gpm_pattern::plan::{CandidateSource, LevelPlan, MatchingPlan, PairMode};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -42,6 +43,9 @@ pub(crate) struct PartCtx<'e> {
     /// caller has seen enough embeddings. Checked between scheduling steps
     /// and work claims, so some in-flight extensions may still complete.
     pub stop: Option<&'e AtomicBool>,
+    /// The engine's observability recorder; the part coordinator buffers
+    /// its spans in a thread-local [`ObsHandle`] made from this.
+    pub obs: Arc<Recorder>,
 }
 
 impl PartCtx<'_> {
@@ -98,6 +102,9 @@ struct PartRun<'e> {
     scheduler: Duration,
     peak_embeddings: usize,
     comm_tx: Sender<CommJob>,
+    // Kept as its own field (not inside `ctx`) so span recording can
+    // borrow it mutably while `self.levels` chunks are also borrowed.
+    obs: ObsHandle,
 }
 
 impl<'e> PartRun<'e> {
@@ -105,6 +112,7 @@ impl<'e> PartRun<'e> {
         let depth = ctx.plan.depth();
         let levels =
             (0..depth.saturating_sub(1)).map(|_| Chunk::new(ctx.cfg.chunk_capacity)).collect();
+        let obs = ctx.obs.handle(ctx.my_part as u32);
         PartRun {
             ctx,
             levels,
@@ -115,6 +123,7 @@ impl<'e> PartRun<'e> {
             scheduler: Duration::ZERO,
             peak_embeddings: 0,
             comm_tx,
+            obs,
         }
     }
 
@@ -164,6 +173,7 @@ impl<'e> PartRun<'e> {
                     let child_empty = l + 1 >= self.levels.len() || self.levels[l + 1].is_empty();
                     if child_empty {
                         self.levels[l].clear();
+                        self.obs.instant(SpanKind::ChunkRelease, l as u64);
                     }
                 }
             }
@@ -185,6 +195,7 @@ impl<'e> PartRun<'e> {
     /// Fills the root chunk with the next batch of owned vertices.
     fn seed_roots(&mut self) {
         let t0 = Instant::now();
+        let ts = self.obs.start();
         let required = self.ctx.plan.root_label();
         let owned = self.ctx.part.owned();
         let chunk = &mut self.levels[0];
@@ -203,7 +214,9 @@ impl<'e> PartRun<'e> {
                 inter: None,
             });
         }
-        chunk.resolved_upto = chunk.embs.len();
+        let seeded = chunk.embs.len();
+        chunk.resolved_upto = seeded;
+        self.obs.span(SpanKind::SeedRoots, ts, seeded as u64);
         self.scheduler += t0.elapsed();
     }
 
@@ -217,6 +230,7 @@ impl<'e> PartRun<'e> {
     /// every outstanding completion, so the fabric unwinds cleanly).
     fn resolve(&mut self, cur: usize) -> Result<(), FetchError> {
         let t0 = Instant::now();
+        let rts = self.obs.start();
         let part_count = self.ctx.part_count;
         let my_part = self.ctx.my_part;
         let metrics = Arc::clone(self.ctx.client.metrics().part(my_part));
@@ -249,10 +263,12 @@ impl<'e> PartRun<'e> {
                 if cache_enabled {
                     if let Some(list) = self.ctx.cache.lookup(v) {
                         metrics.record_cache_hit();
+                        self.obs.instant(SpanKind::CacheLookup, 1);
                         embs[i].list = ListRef::Cached(list);
                         continue;
                     }
                     metrics.record_cache_miss();
+                    self.obs.instant(SpanKind::CacheLookup, 0);
                 }
                 if self.ctx.cfg.horizontal_sharing {
                     if let Some(peer) = share.lookup_or_claim(v, i as u32) {
@@ -288,9 +304,11 @@ impl<'e> PartRun<'e> {
                 .map_err(|_| FetchError::Shutdown)?;
             pending.push((t, rx));
         }
+        let remote: u64 = buckets.iter().map(|b| b.len() as u64).sum();
         let mut network_wait = Duration::ZERO;
         let mut failure: Option<FetchError> = None;
         for (t, rx) in pending {
+            let bts = self.obs.start();
             let tw = Instant::now();
             let outcome = rx
                 .recv()
@@ -298,6 +316,7 @@ impl<'e> PartRun<'e> {
                 .and_then(|issued| issued)
                 .and_then(PendingFetch::wait);
             network_wait += tw.elapsed();
+            self.obs.span(SpanKind::BucketRound, bts, t as u64);
             let lists = match outcome {
                 Ok(lists) => lists,
                 // Keep draining the remaining completions so every
@@ -316,9 +335,13 @@ impl<'e> PartRun<'e> {
                     self.ctx.cache.maybe_insert(v, list);
                 }
             }
+            if cache_enabled {
+                self.obs.instant(SpanKind::CacheInsert, buckets[t].len() as u64);
+            }
         }
         self.network += network_wait;
         self.scheduler += t0.elapsed().saturating_sub(network_wait);
+        self.obs.span(SpanKind::Resolve, rts, remote);
         match failure {
             Some(e) => Err(e),
             None => Ok(()),
@@ -330,6 +353,8 @@ impl<'e> PartRun<'e> {
     /// or the next-level chunk fills.
     fn extend(&mut self, cur: usize) {
         let t0 = Instant::now();
+        let ets = self.obs.start();
+        let next_before = self.levels.get(cur + 1).map_or(0, |c| c.embs.len());
         let plan = self.ctx.plan;
         let lp = &plan.levels()[cur];
         let terminal = cur + 1 == plan.levels().len();
@@ -403,6 +428,12 @@ impl<'e> PartRun<'e> {
         let chunk = &mut self.levels[cur];
         chunk.cursor = cursor.load(Ordering::SeqCst).min(total);
         chunk.resumes = resumes;
+        let grown =
+            self.levels.get(cur + 1).map_or(0, |c| c.embs.len()).saturating_sub(next_before);
+        if !terminal {
+            self.obs.observe(Metric::ChunkFanout, grown as u64);
+        }
+        self.obs.span(SpanKind::Extend, ets, grown as u64);
         self.count += counter.load(Ordering::SeqCst);
         self.compute += t0.elapsed();
     }

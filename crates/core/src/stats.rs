@@ -98,6 +98,54 @@ impl RunStats {
             .unwrap_or(self.elapsed)
     }
 
+    /// Converts this run into a [`gpm_obs::RunReport`] skeleton: count,
+    /// elapsed time, traffic totals (field-for-field from
+    /// [`TrafficSummary`]), breakdown fractions, and per-part detail.
+    /// Recorder-owned sections (histograms, gauge series, span
+    /// accounting) stay empty; `Engine::report` fills them via
+    /// `gpm_obs::Recorder::augment_report`.
+    pub fn to_report(&self, system: &str) -> gpm_obs::RunReport {
+        let b = self.breakdown();
+        gpm_obs::RunReport {
+            schema_version: gpm_obs::REPORT_SCHEMA_VERSION,
+            system: system.to_string(),
+            count: self.count,
+            elapsed_ns: self.elapsed.as_nanos() as u64,
+            traffic: gpm_obs::TrafficTotals {
+                fetch_requests: self.traffic.requests,
+                cache_hits: self.traffic.cache_hits,
+                cache_misses: self.traffic.cache_misses,
+                coalesced_requests: self.traffic.coalesced,
+                retries: self.traffic.retries,
+                network_bytes: self.traffic.network_bytes,
+                numa_bytes: self.traffic.cross_socket_bytes,
+            },
+            breakdown: gpm_obs::BreakdownFractions {
+                compute: b.compute,
+                network: b.network,
+                scheduler: b.scheduler,
+                cache: b.cache,
+            },
+            per_part: self
+                .per_part
+                .iter()
+                .enumerate()
+                .map(|(i, p)| gpm_obs::PartReport {
+                    part: i as u64,
+                    count: p.count,
+                    compute_ns: p.compute.as_nanos() as u64,
+                    network_ns: p.network.as_nanos() as u64,
+                    scheduler_ns: p.scheduler.as_nanos() as u64,
+                    cache_ns: p.cache.as_nanos() as u64,
+                    peak_embeddings: p.peak_embeddings as u64,
+                })
+                .collect(),
+            histograms: Vec::new(),
+            series: Vec::new(),
+            spans: gpm_obs::SpanStats::default(),
+        }
+    }
+
     /// Aggregated fractional breakdown over all parts.
     pub fn breakdown(&self) -> Breakdown {
         let sum = |f: fn(&PartStats) -> Duration| -> f64 {
@@ -194,6 +242,62 @@ mod tests {
         let b = RunStats::default().breakdown();
         assert_eq!(b.compute, 0.0);
         assert_eq!(b.network, 0.0);
+    }
+
+    #[test]
+    fn report_mirrors_traffic_summary_counter_for_counter() {
+        let stats = RunStats {
+            count: 9,
+            elapsed: Duration::from_millis(2),
+            per_part: vec![PartStats {
+                count: 9,
+                compute: Duration::from_millis(1),
+                network: Duration::from_micros(500),
+                scheduler: Duration::from_micros(500),
+                peak_embeddings: 11,
+                ..PartStats::default()
+            }],
+            traffic: TrafficSummary {
+                network_bytes: 4096,
+                cross_socket_bytes: 256,
+                requests: 17,
+                cache_hits: 5,
+                cache_misses: 12,
+                coalesced: 3,
+                retries: 1,
+            },
+        };
+        let r = stats.to_report("khuzdul");
+        assert_eq!(r.system, "khuzdul");
+        assert_eq!(r.count, stats.count);
+        assert_eq!(r.elapsed_ns, 2_000_000);
+        assert_eq!(r.traffic.fetch_requests, stats.traffic.requests);
+        assert_eq!(r.traffic.cache_hits, stats.traffic.cache_hits);
+        assert_eq!(r.traffic.cache_misses, stats.traffic.cache_misses);
+        assert_eq!(r.traffic.coalesced_requests, stats.traffic.coalesced);
+        assert_eq!(r.traffic.retries, stats.traffic.retries);
+        assert_eq!(r.traffic.network_bytes, stats.traffic.network_bytes);
+        assert_eq!(r.traffic.numa_bytes, stats.traffic.cross_socket_bytes);
+        let b = stats.breakdown();
+        assert_eq!(r.breakdown.compute, b.compute);
+        assert_eq!(r.per_part.len(), 1);
+        assert_eq!(r.per_part[0].peak_embeddings, 11);
+        gpm_obs::validate_report(&r.to_json()).expect("converted report must validate");
+    }
+
+    #[test]
+    fn empty_run_report_has_zero_fractions() {
+        // The Breakdown zero-total guard must survive the report path:
+        // a run with no accounted time serializes finite zero fractions,
+        // never NaN (which the JSON shim would render as null).
+        let r = RunStats::default().to_report("khuzdul");
+        assert_eq!(r.breakdown.compute, 0.0);
+        assert_eq!(r.breakdown.network, 0.0);
+        assert_eq!(r.breakdown.scheduler, 0.0);
+        assert_eq!(r.breakdown.cache, 0.0);
+        let json = r.to_json();
+        assert!(!json.contains("null"), "zero-time breakdown must stay finite: {json}");
+        gpm_obs::validate_report(&json).expect("empty-run report must validate");
     }
 
     #[test]

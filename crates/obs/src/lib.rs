@@ -1,0 +1,77 @@
+//! Observability for the Khuzdul reproduction: spans, histograms,
+//! gauges, and exporters.
+//!
+//! The paper's evaluation (runtime breakdown, Figure 15; utilization
+//! timeline, Figure 19; cache ablations, Table 6) needs to know *when*
+//! each chunk, bucket round, and fetch happened, not just end-of-run
+//! totals. This crate provides that visibility at near-zero cost when
+//! disabled:
+//!
+//! * **Spans** ([`Span`], [`SpanKind`]) — timestamped intervals recorded
+//!   into per-thread ring buffers ([`ObsHandle`]) or, for cross-thread
+//!   producers like the fabric, into a small set of sharded rings on the
+//!   central [`Recorder`]. Rings overwrite their oldest entry when full,
+//!   so memory stays bounded and the hot path never blocks on a slow
+//!   consumer.
+//! * **Histograms** ([`Histogram`]) — lock-free log2-bucketed counters
+//!   for latency/size distributions, with p50/p95/p99 percentiles and
+//!   shard merging ([`HistogramSnapshot::merge`]).
+//! * **Gauges** ([`GaugeSample`]) — per-part utilization samples taken on
+//!   a configurable tick ([`ObsConfig::tick`]), forming a time series.
+//! * **Exporters** — a Chrome trace-event JSON file
+//!   ([`Recorder::chrome_trace`], loadable in `chrome://tracing` or
+//!   Perfetto) and a versioned machine-readable [`RunReport`]
+//!   (schema [`REPORT_SCHEMA_VERSION`]) that subsumes the engine's
+//!   `TrafficSummary`/`Breakdown` and adds percentiles per metric.
+//!
+//! **Overhead model**: every record method first loads a relaxed
+//! [`AtomicBool`](std::sync::atomic::AtomicBool) and returns if tracing
+//! is disabled — no allocation, no locks, no timestamps on that path.
+//! The `obs` group of the `kernels` bench measures this branch.
+
+#![warn(missing_docs)]
+
+mod hist;
+mod recorder;
+mod report;
+mod span;
+mod trace;
+mod validate;
+
+pub use hist::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+pub use recorder::{GaugeSample, Metric, ObsHandle, Recorder};
+pub use report::{
+    BreakdownFractions, NamedHistogram, PartReport, RunReport, SeriesPoint, SpanStats,
+    TrafficTotals, REPORT_SCHEMA_VERSION,
+};
+pub use span::{Span, SpanKind};
+pub use trace::chrome_trace;
+pub use validate::{parse_json, validate_report, validate_trace};
+
+use std::time::Duration;
+
+/// Observability configuration, threaded through `EngineConfig::obs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Master switch. When `false`, every record call is a branch on a
+    /// relaxed atomic flag and nothing is allocated.
+    pub enabled: bool,
+    /// Gauge sampling tick for the utilization time series.
+    pub tick: Duration,
+    /// Total span budget across all ring shards; the oldest spans are
+    /// overwritten (and counted as dropped) past this.
+    pub span_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { enabled: false, tick: Duration::from_millis(5), span_capacity: 1 << 18 }
+    }
+}
+
+impl ObsConfig {
+    /// An enabled configuration with the default tick and capacity.
+    pub fn enabled() -> Self {
+        ObsConfig { enabled: true, ..ObsConfig::default() }
+    }
+}

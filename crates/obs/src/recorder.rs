@@ -1,0 +1,461 @@
+//! The central recorder: sharded span rings, histograms, gauge series.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::span::{Span, SpanKind};
+use crate::ObsConfig;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of span ring shards on the central recorder. Cross-thread
+/// producers (fabric, responders) hash by part; engine threads buffer
+/// locally in an [`ObsHandle`] and only touch a shard on flush.
+const SHARDS: usize = 16;
+
+/// Cap on the gauge time series so a long run with a fast tick cannot
+/// grow memory without bound.
+const MAX_SERIES: usize = 1 << 20;
+
+/// Metrics with a dedicated histogram on the recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Fetch latency, submit to reply, nanoseconds.
+    FetchLatencyNs,
+    /// Response payload size per fetch, bytes.
+    BatchBytes,
+    /// Children produced per chunk extend.
+    ChunkFanout,
+    /// In-flight window occupancy observed at each acquire.
+    WindowOccupancy,
+}
+
+impl Metric {
+    /// All metrics, in report order.
+    pub const ALL: [Metric; 4] =
+        [Metric::FetchLatencyNs, Metric::BatchBytes, Metric::ChunkFanout, Metric::WindowOccupancy];
+
+    /// Stable name used in the `RunReport`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::FetchLatencyNs => "fetch_latency_ns",
+            Metric::BatchBytes => "batch_bytes",
+            Metric::ChunkFanout => "chunk_fanout",
+            Metric::WindowOccupancy => "window_occupancy",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Metric::FetchLatencyNs => 0,
+            Metric::BatchBytes => 1,
+            Metric::ChunkFanout => 2,
+            Metric::WindowOccupancy => 3,
+        }
+    }
+}
+
+/// One utilization sample taken on the recorder tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Sample time, nanoseconds since recorder epoch.
+    pub t_ns: u64,
+    /// Part sampled.
+    pub part: u32,
+    /// Requests in flight in the part's window at sample time.
+    pub inflight: u64,
+    /// Cumulative cross-machine bytes at sample time.
+    pub network_bytes: u64,
+}
+
+/// Bounded span buffer: appends until full, then overwrites the oldest
+/// entry, counting how many were displaced.
+#[derive(Debug, Default)]
+struct Ring {
+    buf: Vec<Span>,
+    cap: usize,
+    next: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn with_capacity(cap: usize) -> Ring {
+        Ring { buf: Vec::new(), cap: cap.max(1), next: 0, dropped: 0 }
+    }
+
+    fn push(&mut self, span: Span) {
+        if self.buf.len() < self.cap {
+            self.buf.push(span);
+        } else {
+            self.buf[self.next] = span;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// The run-wide sink for spans, histogram observations, and gauges.
+///
+/// Every record method first checks a relaxed atomic enable flag; when
+/// tracing is disabled the call is a load, a branch, and a return — no
+/// allocation, no locks, no clock reads.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    epoch: Instant,
+    shards: Vec<Mutex<Ring>>,
+    hists: [Histogram; 4],
+    series: Mutex<Vec<GaugeSample>>,
+    recorded: AtomicU64,
+    shard_cap: usize,
+}
+
+impl Recorder {
+    /// A recorder configured by `cfg` (enabled or not per `cfg.enabled`).
+    pub fn new(cfg: &ObsConfig) -> Arc<Recorder> {
+        let shard_cap = (cfg.span_capacity / SHARDS).max(1);
+        Arc::new(Recorder {
+            enabled: AtomicBool::new(cfg.enabled),
+            epoch: Instant::now(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Ring::with_capacity(shard_cap))).collect(),
+            hists: std::array::from_fn(|_| Histogram::new()),
+            series: Mutex::new(Vec::new()),
+            recorded: AtomicU64::new(0),
+            shard_cap,
+        })
+    }
+
+    /// A permanently-disabled recorder for callers that don't trace.
+    pub fn disabled() -> Arc<Recorder> {
+        Recorder::new(&ObsConfig::default())
+    }
+
+    /// Whether recording is on (relaxed load — the hot-path branch).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flips recording on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since this recorder's epoch, or 0 when disabled (no
+    /// clock read on the disabled path).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records a span from `start_ns` (from [`Recorder::now_ns`]) to now.
+    #[inline]
+    pub fn record_span(&self, kind: SpanKind, part: u32, start_ns: u64, arg: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let end = self.epoch.elapsed().as_nanos() as u64;
+        self.push(Span { kind, part, start_ns, dur_ns: end.saturating_sub(start_ns), arg });
+    }
+
+    /// Records a span with explicit endpoints. Exists so tests (and any
+    /// replay tooling) can produce byte-identical exports from synthetic
+    /// timestamps, independent of wall-clock jitter.
+    pub fn record_span_at(&self, kind: SpanKind, part: u32, start_ns: u64, end_ns: u64, arg: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(Span { kind, part, start_ns, dur_ns: end_ns.saturating_sub(start_ns), arg });
+    }
+
+    /// Records an instant event (zero-duration span) stamped now.
+    #[inline]
+    pub fn record_instant(&self, kind: SpanKind, part: u32, arg: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        self.push(Span { kind, part, start_ns: now, dur_ns: 0, arg });
+    }
+
+    fn push(&self, span: Span) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.shards[span.part as usize % SHARDS].lock().push(span);
+    }
+
+    fn push_batch(&self, part: u32, spans: &[Span]) {
+        if spans.is_empty() {
+            return;
+        }
+        self.recorded.fetch_add(spans.len() as u64, Ordering::Relaxed);
+        let mut ring = self.shards[part as usize % SHARDS].lock();
+        for &s in spans {
+            ring.push(s);
+        }
+    }
+
+    /// Records one observation of `v` into `metric`'s histogram.
+    #[inline]
+    pub fn observe(&self, metric: Metric, v: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.hists[metric.index()].observe(v);
+    }
+
+    /// Snapshot of `metric`'s histogram.
+    pub fn hist_snapshot(&self, metric: Metric) -> HistogramSnapshot {
+        self.hists[metric.index()].snapshot()
+    }
+
+    /// Appends a gauge sample to the utilization series.
+    pub fn record_gauge(&self, sample: GaugeSample) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut series = self.series.lock();
+        if series.len() < MAX_SERIES {
+            series.push(sample);
+        }
+    }
+
+    /// A per-thread handle buffering spans for `part` locally.
+    pub fn handle(self: &Arc<Recorder>, part: u32) -> ObsHandle {
+        ObsHandle { rec: Arc::clone(self), part, buf: Vec::new() }
+    }
+
+    /// All recorded spans, deterministically sorted by
+    /// `(start_ns, part, kind, dur_ns, arg)`.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend_from_slice(&shard.lock().buf);
+        }
+        out.sort_unstable_by_key(|s| s.sort_key());
+        out
+    }
+
+    /// Total spans offered to the recorder (including later overwritten).
+    pub fn spans_recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans overwritten because a ring shard was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().dropped).sum()
+    }
+
+    /// The gauge time series, ordered by `(t_ns, part)`.
+    pub fn series(&self) -> Vec<GaugeSample> {
+        let mut out = self.series.lock().clone();
+        out.sort_unstable_by_key(|g| (g.t_ns, g.part));
+        out
+    }
+
+    /// Clears spans, gauges, and drop counters (histograms persist — the
+    /// engine resets by building a fresh recorder instead).
+    pub fn reset_spans(&self) {
+        for shard in &self.shards {
+            *shard.lock() = Ring::with_capacity(self.shard_cap);
+        }
+        self.series.lock().clear();
+        self.recorded.store(0, Ordering::Relaxed);
+    }
+
+    /// Chrome trace-event JSON for all recorded spans.
+    pub fn chrome_trace(&self) -> String {
+        crate::trace::chrome_trace(&self.spans())
+    }
+
+    /// Fills a report's recorder-owned sections: the per-metric
+    /// histograms, the gauge time series, and the span ring accounting.
+    /// Counter/breakdown fields are the caller's to populate.
+    pub fn augment_report(&self, report: &mut crate::report::RunReport) {
+        report.histograms = Metric::ALL
+            .iter()
+            .map(|&m| crate::report::NamedHistogram {
+                name: m.name().to_string(),
+                histogram: self.hist_snapshot(m),
+            })
+            .collect();
+        report.series = self
+            .series()
+            .iter()
+            .map(|g| crate::report::SeriesPoint {
+                t_ns: g.t_ns,
+                part: g.part as u64,
+                inflight: g.inflight,
+                network_bytes: g.network_bytes,
+            })
+            .collect();
+        report.spans = crate::report::SpanStats {
+            recorded: self.spans_recorded(),
+            dropped: self.spans_dropped(),
+        };
+    }
+}
+
+/// A per-thread span buffer: engine threads record here without touching
+/// any shared lock, then flush once (or on drop) into the recorder.
+#[derive(Debug)]
+pub struct ObsHandle {
+    rec: Arc<Recorder>,
+    part: u32,
+    buf: Vec<Span>,
+}
+
+impl ObsHandle {
+    /// Whether the owning recorder is enabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.rec.is_enabled()
+    }
+
+    /// Start timestamp for a span (0 when disabled; pairs with
+    /// [`ObsHandle::span`]).
+    #[inline]
+    pub fn start(&self) -> u64 {
+        self.rec.now_ns()
+    }
+
+    /// Buffers a span from `start_ns` to now.
+    #[inline]
+    pub fn span(&mut self, kind: SpanKind, start_ns: u64, arg: u64) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        let end = self.rec.now_ns();
+        self.buf.push(Span {
+            kind,
+            part: self.part,
+            start_ns,
+            dur_ns: end.saturating_sub(start_ns),
+            arg,
+        });
+    }
+
+    /// Buffers an instant event stamped now.
+    #[inline]
+    pub fn instant(&mut self, kind: SpanKind, arg: u64) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        let now = self.rec.now_ns();
+        self.buf.push(Span { kind, part: self.part, start_ns: now, dur_ns: 0, arg });
+    }
+
+    /// Records one histogram observation on the owning recorder.
+    #[inline]
+    pub fn observe(&self, metric: Metric, v: u64) {
+        self.rec.observe(metric, v);
+    }
+
+    /// Pushes the buffered spans into the recorder and clears the buffer.
+    pub fn flush(&mut self) {
+        self.rec.push_batch(self.part, &self.buf);
+        self.buf.clear();
+    }
+}
+
+impl Drop for ObsHandle {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.now_ns(), 0);
+        rec.record_span(SpanKind::Fetch, 0, 0, 0);
+        rec.record_instant(SpanKind::Retry, 0, 1);
+        rec.observe(Metric::BatchBytes, 128);
+        rec.record_gauge(GaugeSample { t_ns: 0, part: 0, inflight: 1, network_bytes: 0 });
+        let mut h = rec.handle(0);
+        h.span(SpanKind::Extend, h.start(), 3);
+        h.flush();
+        assert!(rec.spans().is_empty());
+        assert_eq!(rec.spans_recorded(), 0);
+        assert_eq!(rec.hist_snapshot(Metric::BatchBytes).count, 0);
+        assert!(rec.series().is_empty());
+    }
+
+    #[test]
+    fn spans_sort_deterministically() {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        rec.record_span_at(SpanKind::Fetch, 1, 50, 90, 0);
+        rec.record_span_at(SpanKind::Resolve, 0, 10, 30, 0);
+        rec.record_span_at(SpanKind::Fetch, 0, 50, 70, 2);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].kind, SpanKind::Resolve);
+        assert_eq!(spans[1].part, 0);
+        assert_eq!(spans[2].part, 1);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let cfg = ObsConfig { enabled: true, span_capacity: SHARDS * 2, ..ObsConfig::default() };
+        let rec = Recorder::new(&cfg);
+        // All on part 0 → one shard, capacity 2.
+        for i in 0..5u64 {
+            rec.record_span_at(SpanKind::Job, 0, i, i + 1, i);
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(rec.spans_recorded(), 5);
+        assert_eq!(rec.spans_dropped(), 3);
+        // The newest spans survive.
+        assert!(spans.iter().all(|s| s.arg >= 3));
+    }
+
+    #[test]
+    fn handle_buffers_until_flush() {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        let mut h = rec.handle(2);
+        h.instant(SpanKind::ChunkRelease, 0);
+        assert!(rec.spans().is_empty());
+        h.flush();
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.spans()[0].part, 2);
+    }
+
+    #[test]
+    fn handle_flushes_on_drop() {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        {
+            let mut h = rec.handle(1);
+            h.instant(SpanKind::CacheInsert, 7);
+        }
+        assert_eq!(rec.spans().len(), 1);
+    }
+
+    #[test]
+    fn gauge_series_sorted_by_time_then_part() {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        rec.record_gauge(GaugeSample { t_ns: 20, part: 1, inflight: 2, network_bytes: 10 });
+        rec.record_gauge(GaugeSample { t_ns: 10, part: 0, inflight: 1, network_bytes: 5 });
+        rec.record_gauge(GaugeSample { t_ns: 20, part: 0, inflight: 3, network_bytes: 6 });
+        let s = rec.series();
+        assert_eq!(s.len(), 3);
+        assert_eq!((s[0].t_ns, s[0].part), (10, 0));
+        assert_eq!((s[1].t_ns, s[1].part), (20, 0));
+        assert_eq!((s[2].t_ns, s[2].part), (20, 1));
+    }
+
+    #[test]
+    fn metric_names_unique() {
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Metric::ALL.len());
+    }
+}

@@ -1,0 +1,251 @@
+//! The versioned machine-readable `RunReport`.
+
+use crate::hist::HistogramSnapshot;
+use serde::Serialize;
+
+/// Schema version written into every report. Bump on any
+/// field removal/rename or semantic change; additive fields keep the
+/// version (consumers must ignore unknown keys).
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// End-of-run traffic totals, mirroring the engine's `TrafficSummary`
+/// counter-for-counter so the two can be diffed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct TrafficTotals {
+    /// Remote adjacency requests issued over the fabric.
+    pub fetch_requests: u64,
+    /// Lookups answered by the never-evict static cache.
+    pub cache_hits: u64,
+    /// Lookups that went to the fabric because the cache missed.
+    pub cache_misses: u64,
+    /// Requests merged into an already-pending fetch.
+    pub coalesced_requests: u64,
+    /// Fetches resubmitted after a timeout or transient fault.
+    pub retries: u64,
+    /// Bytes moved across the simulated machine boundary.
+    pub network_bytes: u64,
+    /// Bytes moved between NUMA sockets on the same machine.
+    pub numa_bytes: u64,
+}
+
+/// Runtime breakdown fractions (sum to 1 when any time was accounted,
+/// all zero otherwise — never NaN).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct BreakdownFractions {
+    /// Fraction of accounted time in pattern-extension compute.
+    pub compute: f64,
+    /// Fraction waiting on remote adjacency fetches.
+    pub network: f64,
+    /// Fraction in chunk scheduling.
+    pub scheduler: f64,
+    /// Fraction in cache maintenance.
+    pub cache: f64,
+}
+
+/// Per-part counters copied from the engine's `PartStats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct PartReport {
+    /// Part id.
+    pub part: u64,
+    /// Embeddings matched by this part.
+    pub count: u64,
+    /// Nanoseconds in compute.
+    pub compute_ns: u64,
+    /// Nanoseconds waiting on the network.
+    pub network_ns: u64,
+    /// Nanoseconds in the chunk scheduler.
+    pub scheduler_ns: u64,
+    /// Nanoseconds in cache maintenance.
+    pub cache_ns: u64,
+    /// Peak live embeddings across all chunk levels.
+    pub peak_embeddings: u64,
+}
+
+/// A named histogram snapshot in the report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct NamedHistogram {
+    /// Metric name (see `Metric::name`).
+    pub name: String,
+    /// The snapshot, with p50/p95/p99.
+    pub histogram: HistogramSnapshot,
+}
+
+/// One point of the utilization time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SeriesPoint {
+    /// Sample time, nanoseconds since recorder epoch.
+    pub t_ns: u64,
+    /// Part sampled.
+    pub part: u64,
+    /// In-flight window occupancy at sample time.
+    pub inflight: u64,
+    /// Cumulative cross-machine bytes at sample time.
+    pub network_bytes: u64,
+}
+
+/// Span accounting: how much of the trace survived the ring buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct SpanStats {
+    /// Spans offered to the recorder.
+    pub recorded: u64,
+    /// Spans overwritten because a ring shard filled up.
+    pub dropped: u64,
+}
+
+/// The versioned run report written by `--report-out`.
+///
+/// Subsumes the engine's `TrafficSummary`/`Breakdown` and adds
+/// percentile histograms and the gauge time series, so benches and CI
+/// diff one artifact instead of scraping stdout.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunReport {
+    /// Report schema version ([`REPORT_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// System that produced the run (e.g. `khuzdul`, `gthinker`, `ctd`).
+    pub system: String,
+    /// Total embeddings matched.
+    pub count: u64,
+    /// Wall-clock elapsed, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Traffic totals (mirror of `TrafficSummary`).
+    pub traffic: TrafficTotals,
+    /// Runtime breakdown fractions (mirror of `Breakdown`).
+    pub breakdown: BreakdownFractions,
+    /// Per-part counters.
+    pub per_part: Vec<PartReport>,
+    /// Percentile histograms, one per recorded metric.
+    pub histograms: Vec<NamedHistogram>,
+    /// Utilization time series from the gauge sampler.
+    pub series: Vec<SeriesPoint>,
+    /// Span ring accounting.
+    pub spans: SpanStats,
+}
+
+impl TrafficTotals {
+    /// Static-cache hit rate over all lookups, 0.0 when none.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl RunReport {
+    /// Pretty JSON with a trailing newline. Field order follows the
+    /// struct declaration and floats render via `{:?}`, so two reports
+    /// built from identical data serialize to identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("in-memory serialization");
+        s.push('\n');
+        s
+    }
+
+    /// Writes [`RunReport::to_json`] to `path`.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Cross-machine bandwidth utilization in `[0, 1]`, per Fig. 19:
+    /// observed network bytes over what `machines` full-duplex links at
+    /// `bandwidth_gbps` could carry in the elapsed time.
+    pub fn network_utilization(&self, bandwidth_gbps: f64, machines: usize) -> f64 {
+        if self.elapsed_ns == 0 || machines == 0 || bandwidth_gbps <= 0.0 {
+            return 0.0;
+        }
+        let seconds = self.elapsed_ns as f64 / 1e9;
+        let capacity_bytes = bandwidth_gbps * 1e9 / 8.0 * seconds * machines as f64;
+        (self.traffic.network_bytes as f64 / capacity_bytes).min(1.0)
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name).map(|h| &h.histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            schema_version: REPORT_SCHEMA_VERSION,
+            system: "khuzdul".to_string(),
+            count: 42,
+            elapsed_ns: 1_000_000_000,
+            traffic: TrafficTotals {
+                fetch_requests: 10,
+                cache_hits: 30,
+                cache_misses: 10,
+                coalesced_requests: 2,
+                retries: 1,
+                network_bytes: 4096,
+                numa_bytes: 512,
+            },
+            breakdown: BreakdownFractions {
+                compute: 0.5,
+                network: 0.3,
+                scheduler: 0.1,
+                cache: 0.1,
+            },
+            per_part: vec![PartReport {
+                part: 0,
+                count: 42,
+                compute_ns: 5,
+                network_ns: 3,
+                scheduler_ns: 1,
+                cache_ns: 1,
+                peak_embeddings: 7,
+            }],
+            histograms: vec![NamedHistogram {
+                name: "fetch_latency_ns".to_string(),
+                histogram: HistogramSnapshot::from_buckets(vec![0, 2, 1], 7),
+            }],
+            series: vec![SeriesPoint { t_ns: 100, part: 0, inflight: 2, network_bytes: 1024 }],
+            spans: SpanStats { recorded: 12, dropped: 0 },
+        }
+    }
+
+    #[test]
+    fn json_is_byte_stable() {
+        // Satellite: identical data serializes to identical bytes.
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"fetch_latency_ns\""));
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_zero() {
+        assert_eq!(TrafficTotals::default().cache_hit_rate(), 0.0);
+        assert_eq!(sample().traffic.cache_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn network_utilization_bounds() {
+        let r = sample();
+        let u = r.network_utilization(56.0, 2);
+        assert!(u > 0.0 && u <= 1.0);
+        assert_eq!(r.network_utilization(56.0, 0), 0.0);
+        let mut empty = sample();
+        empty.elapsed_ns = 0;
+        assert_eq!(empty.network_utilization(56.0, 2), 0.0);
+    }
+
+    #[test]
+    fn histogram_lookup_by_name() {
+        let r = sample();
+        assert!(r.histogram("fetch_latency_ns").is_some());
+        assert!(r.histogram("nope").is_none());
+    }
+
+    #[test]
+    fn report_validates_against_schema() {
+        crate::validate_report(&sample().to_json()).expect("sample report must validate");
+    }
+}

@@ -1,0 +1,161 @@
+//! Span taxonomy: what we time and where it renders in the trace.
+
+/// Kind of a recorded span or instant event.
+///
+/// Kinds map to a fixed *lane* (`tid` in the Chrome trace) so related
+/// events stack on the same track per part: chunk lifecycle on lane 0,
+/// resolve on 1, bucket rounds on 2, fetches/retries on 3, cache traffic
+/// on 4, responder service and fault injection on 5, baseline scheduler
+/// scans on 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// Seeding root embeddings for a part (arg = number seeded).
+    SeedRoots,
+    /// Resolve phase of a chunk (arg = embeddings pending fetch).
+    Resolve,
+    /// One circulant bucket round inside resolve (arg = target part).
+    BucketRound,
+    /// A fetch from submit to reply (arg = target part).
+    Fetch,
+    /// Extend phase of a chunk (arg = children produced).
+    Extend,
+    /// Instant: a chunk level was released (arg = level).
+    ChunkRelease,
+    /// Static-cache lookup (arg = 1 hit, 0 miss).
+    CacheLookup,
+    /// Instant: adjacency list inserted into the static cache (arg = vertex).
+    CacheInsert,
+    /// Responder thread serving one request (arg = response bytes).
+    Serve,
+    /// Instant: a fetch was resubmitted (arg = attempt number).
+    Retry,
+    /// Instant: the fault plan injected a fault (arg = 1 drop, 2 error, 3 delay).
+    Fault,
+    /// Baseline scheduler scanning for a ready task (arg = tasks scanned).
+    SchedulerScan,
+    /// Baseline cache garbage collection (arg = entries evicted).
+    CacheGc,
+    /// Baseline task/job execution (arg = job id).
+    Job,
+}
+
+impl SpanKind {
+    /// Stable display name, used as the trace event name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::SeedRoots => "seed_roots",
+            SpanKind::Resolve => "resolve",
+            SpanKind::BucketRound => "bucket_round",
+            SpanKind::Fetch => "fetch",
+            SpanKind::Extend => "extend",
+            SpanKind::ChunkRelease => "chunk_release",
+            SpanKind::CacheLookup => "cache_lookup",
+            SpanKind::CacheInsert => "cache_insert",
+            SpanKind::Serve => "serve",
+            SpanKind::Retry => "retry",
+            SpanKind::Fault => "fault",
+            SpanKind::SchedulerScan => "scheduler_scan",
+            SpanKind::CacheGc => "cache_gc",
+            SpanKind::Job => "job",
+        }
+    }
+
+    /// Trace lane (`tid`) this kind renders on.
+    pub fn lane(self) -> u32 {
+        match self {
+            SpanKind::SeedRoots | SpanKind::Extend | SpanKind::Job | SpanKind::ChunkRelease => 0,
+            SpanKind::Resolve => 1,
+            SpanKind::BucketRound => 2,
+            SpanKind::Fetch | SpanKind::Retry => 3,
+            SpanKind::CacheLookup | SpanKind::CacheInsert | SpanKind::CacheGc => 4,
+            SpanKind::Serve | SpanKind::Fault => 5,
+            SpanKind::SchedulerScan => 6,
+        }
+    }
+
+    /// Human-readable lane label for trace thread-name metadata.
+    pub fn lane_name(lane: u32) -> &'static str {
+        match lane {
+            0 => "chunks",
+            1 => "resolve",
+            2 => "bucket-rounds",
+            3 => "fetches",
+            4 => "cache",
+            5 => "responder",
+            _ => "scheduler",
+        }
+    }
+}
+
+/// One recorded interval (or instant, when `dur_ns == 0`).
+///
+/// Timestamps are nanoseconds since the owning recorder's epoch, so two
+/// runs that record identical synthetic timestamps serialize to identical
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// What was timed.
+    pub kind: SpanKind,
+    /// Owning part (renders as the trace `pid`).
+    pub part: u32,
+    /// Start, nanoseconds since recorder epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds; 0 marks an instant event.
+    pub dur_ns: u64,
+    /// Kind-specific argument (see each variant's doc).
+    pub arg: u64,
+}
+
+impl Span {
+    /// Sort key giving exporters a deterministic order.
+    pub fn sort_key(&self) -> (u64, u32, SpanKind, u64, u64) {
+        (self.start_ns, self.part, self.kind, self.dur_ns, self.arg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [SpanKind; 14] = [
+        SpanKind::SeedRoots,
+        SpanKind::Resolve,
+        SpanKind::BucketRound,
+        SpanKind::Fetch,
+        SpanKind::Extend,
+        SpanKind::ChunkRelease,
+        SpanKind::CacheLookup,
+        SpanKind::CacheInsert,
+        SpanKind::Serve,
+        SpanKind::Retry,
+        SpanKind::Fault,
+        SpanKind::SchedulerScan,
+        SpanKind::CacheGc,
+        SpanKind::Job,
+    ];
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+
+    #[test]
+    fn chunk_bucket_fetch_lanes_are_distinct() {
+        // Acceptance criterion: chunks, bucket rounds, and fetches render
+        // on distinct tracks.
+        let lanes = [SpanKind::Extend.lane(), SpanKind::BucketRound.lane(), SpanKind::Fetch.lane()];
+        assert_ne!(lanes[0], lanes[1]);
+        assert_ne!(lanes[1], lanes[2]);
+        assert_ne!(lanes[0], lanes[2]);
+    }
+
+    #[test]
+    fn every_lane_has_a_label() {
+        for k in ALL {
+            assert!(!SpanKind::lane_name(k.lane()).is_empty());
+        }
+    }
+}

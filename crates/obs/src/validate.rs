@@ -1,0 +1,441 @@
+//! JSON parsing and schema validation for reports and traces.
+//!
+//! The vendored `serde_json` shim is write-only, so CI's schema check
+//! parses with a small recursive-descent parser here and validates the
+//! resulting [`Value`] tree structurally.
+
+use crate::report::REPORT_SCHEMA_VERSION;
+use serde::Value;
+
+/// Parses a JSON document into the vendored [`Value`] tree.
+///
+/// Supports the subset the exporters emit: objects, arrays, strings with
+/// the standard escapes, numbers (integers parse as `UInt`/`Int`, others
+/// as `Float`), booleans, and `null`.
+pub fn parse_json(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // '{'
+    let mut entries = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Map(entries));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let val = parse_value(b, pos)?;
+        entries.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Seq(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the full UTF-8 scalar starting here.
+                let rest = &b[*pos..];
+                let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    if float {
+        text.parse::<f64>().map(Value::Float).map_err(|e| e.to_string())
+    } else if let Ok(u) = text.parse::<u64>() {
+        Ok(Value::UInt(u))
+    } else {
+        text.parse::<i64>().map(Value::Int).map_err(|e| e.to_string())
+    }
+}
+
+fn get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_map<'a>(v: &'a Value, ctx: &str) -> Result<&'a [(String, Value)], String> {
+    match v {
+        Value::Map(m) => Ok(m),
+        _ => Err(format!("{ctx}: expected object")),
+    }
+}
+
+fn as_seq<'a>(v: &'a Value, ctx: &str) -> Result<&'a [Value], String> {
+    match v {
+        Value::Seq(s) => Ok(s),
+        _ => Err(format!("{ctx}: expected array")),
+    }
+}
+
+fn req_u64(map: &[(String, Value)], key: &str, ctx: &str) -> Result<u64, String> {
+    match get(map, key) {
+        Some(Value::UInt(u)) => Ok(*u),
+        Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
+        Some(_) => Err(format!("{ctx}.{key}: expected unsigned integer")),
+        None => Err(format!("{ctx}.{key}: missing")),
+    }
+}
+
+fn req_fraction(map: &[(String, Value)], key: &str, ctx: &str) -> Result<f64, String> {
+    let f = match get(map, key) {
+        Some(Value::Float(f)) => *f,
+        Some(Value::UInt(u)) => *u as f64,
+        Some(Value::Int(i)) => *i as f64,
+        Some(_) => return Err(format!("{ctx}.{key}: expected number")),
+        None => return Err(format!("{ctx}.{key}: missing")),
+    };
+    if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+        return Err(format!("{ctx}.{key}: {f} outside [0, 1]"));
+    }
+    Ok(f)
+}
+
+const TRAFFIC_KEYS: [&str; 7] = [
+    "fetch_requests",
+    "cache_hits",
+    "cache_misses",
+    "coalesced_requests",
+    "retries",
+    "network_bytes",
+    "numa_bytes",
+];
+
+const PART_KEYS: [&str; 7] =
+    ["part", "count", "compute_ns", "network_ns", "scheduler_ns", "cache_ns", "peak_embeddings"];
+
+const HIST_KEYS: [&str; 5] = ["count", "sum", "p50", "p95", "p99"];
+
+/// Validates a `RunReport` JSON document against schema version
+/// [`REPORT_SCHEMA_VERSION`]: required keys present with the right
+/// types, fractions finite and in `[0, 1]`, percentiles monotone.
+pub fn validate_report(json: &str) -> Result<(), String> {
+    let doc = parse_json(json)?;
+    let top = as_map(&doc, "report")?;
+
+    let version = req_u64(top, "schema_version", "report")?;
+    if version != REPORT_SCHEMA_VERSION {
+        return Err(format!(
+            "report.schema_version: {version} != supported {REPORT_SCHEMA_VERSION}"
+        ));
+    }
+    match get(top, "system") {
+        Some(Value::Str(s)) if !s.is_empty() => {}
+        _ => return Err("report.system: missing or empty".to_string()),
+    }
+    req_u64(top, "count", "report")?;
+    req_u64(top, "elapsed_ns", "report")?;
+
+    let traffic = as_map(get(top, "traffic").ok_or("report.traffic: missing")?, "traffic")?;
+    for key in TRAFFIC_KEYS {
+        req_u64(traffic, key, "traffic")?;
+    }
+
+    let breakdown = as_map(get(top, "breakdown").ok_or("report.breakdown: missing")?, "breakdown")?;
+    let mut total = 0.0;
+    for key in ["compute", "network", "scheduler", "cache"] {
+        total += req_fraction(breakdown, key, "breakdown")?;
+    }
+    if total > 1.0 + 1e-6 {
+        return Err(format!("breakdown: fractions sum to {total} > 1"));
+    }
+
+    let per_part = as_seq(get(top, "per_part").ok_or("report.per_part: missing")?, "per_part")?;
+    for (i, p) in per_part.iter().enumerate() {
+        let m = as_map(p, "per_part[i]")?;
+        for key in PART_KEYS {
+            req_u64(m, key, &format!("per_part[{i}]"))?;
+        }
+    }
+
+    let hists = as_seq(get(top, "histograms").ok_or("report.histograms: missing")?, "histograms")?;
+    for (i, h) in hists.iter().enumerate() {
+        let m = as_map(h, "histograms[i]")?;
+        match get(m, "name") {
+            Some(Value::Str(s)) if !s.is_empty() => {}
+            _ => return Err(format!("histograms[{i}].name: missing or empty")),
+        }
+        let snap = as_map(
+            get(m, "histogram").ok_or_else(|| format!("histograms[{i}].histogram: missing"))?,
+            "histogram",
+        )?;
+        for key in HIST_KEYS {
+            req_u64(snap, key, &format!("histograms[{i}]"))?;
+        }
+        let (p50, p95, p99) =
+            (req_u64(snap, "p50", "h")?, req_u64(snap, "p95", "h")?, req_u64(snap, "p99", "h")?);
+        if !(p50 <= p95 && p95 <= p99) {
+            return Err(format!("histograms[{i}]: percentiles not monotone"));
+        }
+        let buckets = as_seq(
+            get(snap, "buckets").ok_or_else(|| format!("histograms[{i}].buckets: missing"))?,
+            "buckets",
+        )?;
+        let count = req_u64(snap, "count", "h")?;
+        let sum: u64 = buckets
+            .iter()
+            .map(|b| match b {
+                Value::UInt(u) => Ok(*u),
+                _ => Err(format!("histograms[{i}].buckets: non-integer entry")),
+            })
+            .sum::<Result<u64, String>>()?;
+        if sum != count {
+            return Err(format!("histograms[{i}]: bucket sum {sum} != count {count}"));
+        }
+    }
+
+    let series = as_seq(get(top, "series").ok_or("report.series: missing")?, "series")?;
+    for (i, s) in series.iter().enumerate() {
+        let m = as_map(s, "series[i]")?;
+        for key in ["t_ns", "part", "inflight", "network_bytes"] {
+            req_u64(m, key, &format!("series[{i}]"))?;
+        }
+    }
+
+    let spans = as_map(get(top, "spans").ok_or("report.spans: missing")?, "spans")?;
+    req_u64(spans, "recorded", "spans")?;
+    req_u64(spans, "dropped", "spans")?;
+
+    Ok(())
+}
+
+/// Validates a Chrome trace-event JSON document: a top-level
+/// `traceEvents` array whose entries all carry `name`/`ph`/`pid`/`tid`,
+/// with `ts` on every non-metadata event.
+pub fn validate_trace(json: &str) -> Result<(), String> {
+    let doc = parse_json(json)?;
+    let top = as_map(&doc, "trace")?;
+    let events =
+        as_seq(get(top, "traceEvents").ok_or("trace.traceEvents: missing")?, "traceEvents")?;
+    for (i, ev) in events.iter().enumerate() {
+        let m = as_map(ev, "traceEvents[i]")?;
+        let ph = match get(m, "ph") {
+            Some(Value::Str(s)) if !s.is_empty() => s.clone(),
+            _ => return Err(format!("traceEvents[{i}].ph: missing")),
+        };
+        match get(m, "name") {
+            Some(Value::Str(s)) if !s.is_empty() => {}
+            _ => return Err(format!("traceEvents[{i}].name: missing")),
+        }
+        req_u64(m, "pid", &format!("traceEvents[{i}]"))?;
+        req_u64(m, "tid", &format!("traceEvents[{i}]"))?;
+        if ph != "M" {
+            match get(m, "ts") {
+                Some(Value::Float(f)) if f.is_finite() && *f >= 0.0 => {}
+                Some(Value::UInt(_)) => {}
+                _ => return Err(format!("traceEvents[{i}].ts: missing or invalid")),
+            }
+            if ph == "X" {
+                match get(m, "dur") {
+                    Some(Value::Float(f)) if f.is_finite() && *f >= 0.0 => {}
+                    Some(Value::UInt(_)) => {}
+                    _ => return Err(format!("traceEvents[{i}].dur: missing or invalid")),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_roundtrip_shapes() {
+        let v = parse_json(r#"{"a": 1, "b": [true, null, -2, 1.5], "c": "x\ny"}"#).unwrap();
+        let m = as_map(&v, "t").unwrap();
+        assert_eq!(get(m, "a"), Some(&Value::UInt(1)));
+        assert_eq!(
+            get(m, "b"),
+            Some(&Value::Seq(vec![
+                Value::Bool(true),
+                Value::Null,
+                Value::Int(-2),
+                Value::Float(1.5)
+            ]))
+        );
+        assert_eq!(get(m, "c"), Some(&Value::Str("x\ny".to_string())));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json(r#"{"a" 1}"#).is_err());
+        assert!(parse_json("12 34").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn parser_accepts_exporter_output() {
+        // Round-trip: what serde_json (shim) writes, parse_json reads.
+        let v = Value::Map(vec![
+            ("f".to_string(), Value::Float(2.5)),
+            ("whole".to_string(), Value::Float(1.0)),
+            ("s".to_string(), Value::Str("a\"b".to_string())),
+        ]);
+        let compact = serde_json::to_string(&v).unwrap();
+        assert_eq!(parse_json(&compact).unwrap(), v);
+        let pretty = serde_json::to_string_pretty(&v).unwrap();
+        assert_eq!(parse_json(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn validate_report_rejects_bad_version() {
+        let json = r#"{"schema_version": 99}"#;
+        let err = validate_report(json).unwrap_err();
+        assert!(err.contains("schema_version"));
+    }
+
+    #[test]
+    fn validate_report_rejects_missing_traffic_key() {
+        let json = r#"{
+            "schema_version": 1, "system": "khuzdul", "count": 0, "elapsed_ns": 1,
+            "traffic": {"fetch_requests": 0},
+            "breakdown": {"compute": 0.0, "network": 0.0, "scheduler": 0.0, "cache": 0.0},
+            "per_part": [], "histograms": [], "series": [],
+            "spans": {"recorded": 0, "dropped": 0}
+        }"#;
+        let err = validate_report(json).unwrap_err();
+        assert!(err.contains("cache_hits"), "got: {err}");
+    }
+
+    #[test]
+    fn validate_trace_rejects_missing_ts() {
+        let json = r#"{"traceEvents": [{"name": "x", "ph": "X", "pid": 0, "tid": 0}]}"#;
+        assert!(validate_trace(json).is_err());
+    }
+}

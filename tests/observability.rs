@@ -1,0 +1,88 @@
+//! End-to-end observability acceptance (the ISSUE's acceptance run): a
+//! seeded 4-part triangle count with tracing enabled must produce
+//!
+//! * a Chrome trace that validates and puts chunk work, bucket rounds,
+//!   and fetches on distinct tracks, and
+//! * a `RunReport` whose traffic totals match the legacy
+//!   `TrafficSummary` counter-for-counter.
+
+use gpm_graph::{gen, partition::PartitionedGraph};
+use gpm_obs::{validate_report, validate_trace, RunReport};
+use gpm_pattern::plan::{MatchingPlan, PlanOptions};
+use gpm_pattern::Pattern;
+use khuzdul::{Engine, EngineConfig, ObsConfig, RunStats};
+
+/// One seeded observed triangle count over 4 machines.
+fn observed_triangle_run() -> (RunStats, RunReport, String) {
+    let g = gen::erdos_renyi(300, 1_500, 7);
+    let engine = Engine::new(
+        PartitionedGraph::new(&g, 4, 1),
+        EngineConfig { obs: ObsConfig::enabled(), ..EngineConfig::default() },
+    );
+    let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
+    let run = engine.count(&plan);
+    let report = engine.report(&run, "khuzdul-automine");
+    let trace = engine.chrome_trace();
+    engine.shutdown();
+    (run, report, trace)
+}
+
+#[test]
+fn chrome_trace_validates_with_distinct_tracks() {
+    let (run, _, trace) = observed_triangle_run();
+    let g = gen::erdos_renyi(300, 1_500, 7);
+    assert_eq!(run.count, gpm_pattern::oracle::count_subgraphs(&g, &Pattern::triangle(), false));
+    validate_trace(&trace).expect("trace must validate");
+    // The span taxonomy lands on named per-part lanes: chunk lifecycle,
+    // bucket rounds, and fetches are distinct tid tracks.
+    for lane in ["chunks", "resolve", "bucket-rounds", "fetches"] {
+        assert!(trace.contains(&format!("\"name\":\"{lane}\"")), "missing lane {lane}:\n{trace}");
+    }
+    for event in ["seed_roots", "extend", "resolve", "bucket_round", "fetch"] {
+        assert!(trace.contains(&format!("\"name\":\"{event}\"")), "missing event {event}");
+    }
+    // 4 machines → processes part 0..=3 in the metadata.
+    for part in 0..4 {
+        assert!(trace.contains(&format!("part {part}")), "missing process for part {part}");
+    }
+}
+
+#[test]
+fn report_totals_match_legacy_traffic_summary() {
+    let (run, report, _) = observed_triangle_run();
+    validate_report(&report.to_json()).expect("report must validate");
+    assert_eq!(report.count, run.count);
+    assert_eq!(report.elapsed_ns, run.elapsed.as_nanos() as u64);
+    // Counter-for-counter against the legacy TrafficSummary.
+    assert_eq!(report.traffic.fetch_requests, run.traffic.requests);
+    assert_eq!(report.traffic.cache_hits, run.traffic.cache_hits);
+    assert_eq!(report.traffic.cache_misses, run.traffic.cache_misses);
+    assert_eq!(report.traffic.coalesced_requests, run.traffic.coalesced);
+    assert_eq!(report.traffic.retries, run.traffic.retries);
+    assert_eq!(report.traffic.network_bytes, run.traffic.network_bytes);
+    assert_eq!(report.traffic.numa_bytes, run.traffic.cross_socket_bytes);
+    // The recorder-owned sections are populated: every metric has a
+    // histogram entry and the fetch latency histogram saw real fetches.
+    assert_eq!(report.histograms.len(), gpm_obs::Metric::ALL.len());
+    let fetch = report.histogram("fetch_latency_ns").expect("fetch histogram");
+    assert!(fetch.count > 0, "no fetch latencies recorded");
+    assert!(fetch.p50 <= fetch.p95 && fetch.p95 <= fetch.p99);
+    assert!(report.spans.recorded > 0);
+}
+
+#[test]
+fn disabled_tracing_records_nothing_but_still_reports_counters() {
+    let g = gen::erdos_renyi(200, 800, 11);
+    let engine = Engine::new(PartitionedGraph::new(&g, 4, 1), EngineConfig::default());
+    let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
+    let run = engine.count(&plan);
+    let report = engine.report(&run, "khuzdul-automine");
+    let trace = engine.chrome_trace();
+    engine.shutdown();
+    assert_eq!(trace, r#"{"traceEvents":[]}"#);
+    assert_eq!(report.spans.recorded, 0);
+    assert!(report.series.is_empty());
+    // Counters still flow through the report even with tracing off.
+    assert_eq!(report.traffic.fetch_requests, run.traffic.requests);
+    validate_report(&report.to_json()).expect("disabled-run report must validate");
+}
