@@ -14,7 +14,7 @@ use gpm_graph::{gen, Graph};
 use gpm_obs::{Recorder, RunReport, REPORT_SCHEMA_VERSION};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
-use khuzdul::{Engine, EngineConfig, FabricConfig, FaultPlan, ObsConfig, RunStats};
+use khuzdul::{Engine, EngineConfig, FabricConfig, FaultPlan, ObsConfig, RunStats, StealConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,6 +49,12 @@ pub struct Options {
     pub trace_out: Option<String>,
     /// Write a versioned `RunReport` JSON file here (enables tracing).
     pub report_out: Option<String>,
+    /// Cross-part work stealing (Khuzdul systems only). The CLI defaults
+    /// it on — interactive runs want the balance — while the library
+    /// default stays off for deterministic traffic comparisons.
+    pub steal: bool,
+    /// Root batch granularity for steals (`--steal-batch`).
+    pub steal_batch: usize,
 }
 
 /// Graph source.
@@ -131,6 +137,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut fault_drop = 0.0f64;
     let mut trace_out: Option<String> = None;
     let mut report_out: Option<String> = None;
+    let mut steal = true;
+    let mut steal_batch = StealConfig::default().batch;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
@@ -150,6 +158,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--fault-drop" => fault_drop = parse_fraction(value()?)?,
             "--trace-out" => trace_out = Some(value()?.to_string()),
             "--report-out" => report_out = Some(value()?.to_string()),
+            "--steal" => {
+                steal = match value()? {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--steal takes on|off, not '{other}'")),
+                }
+            }
+            "--steal-batch" => steal_batch = parse_num(value()?)?,
             "--help" | "-h" => return Err("see the crate docs for usage".into()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -168,6 +184,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         fault_drop,
         trace_out,
         report_out,
+        steal,
+        steal_batch: steal_batch.max(1),
     })
 }
 
@@ -493,6 +511,7 @@ fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
                     compute_threads: opts.threads,
                     fabric,
                     obs,
+                    steal: StealConfig { enabled: opts.steal, batch: opts.steal_batch },
                     ..EngineConfig::default()
                 },
             );
@@ -608,6 +627,32 @@ mod tests {
         // --window 0 is clamped rather than deadlocking the fabric.
         let z = parse_args(&argv("--gen ba:100,3 --pattern triangle --window 0")).unwrap();
         assert_eq!(z.window, 1);
+    }
+
+    #[test]
+    fn parse_steal_flags() {
+        // CLI default: stealing on, batch from StealConfig's default.
+        let d = parse_args(&argv("--gen ba:100,3 --pattern triangle")).unwrap();
+        assert!(d.steal);
+        assert_eq!(d.steal_batch, StealConfig::default().batch);
+        let o = parse_args(&argv("--gen ba:100,3 --pattern triangle --steal off --steal-batch 32"))
+            .unwrap();
+        assert!(!o.steal);
+        assert_eq!(o.steal_batch, 32);
+        // Batch 0 is clamped, not a claim-nothing livelock.
+        let z = parse_args(&argv("--gen ba:100,3 --pattern triangle --steal-batch 0")).unwrap();
+        assert_eq!(z.steal_batch, 1);
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --steal maybe")).is_err());
+    }
+
+    #[test]
+    fn steal_flag_does_not_change_the_count() {
+        let on = run(&argv("--gen ba:120,4,9 --pattern triangle --machines 3 --quiet --steal on"))
+            .unwrap();
+        let off =
+            run(&argv("--gen ba:120,4,9 --pattern triangle --machines 3 --quiet --steal off"))
+                .unwrap();
+        assert_eq!(on.trim(), off.trim());
     }
 
     #[test]

@@ -338,7 +338,7 @@ impl PartWorker<'_> {
         }
 
         self.total.fetch_add(count, Ordering::Relaxed);
-        PartStats { count, compute, network, scheduler, cache: cache_time, peak_embeddings: 0 }
+        PartStats { count, compute, network, scheduler, cache: cache_time, ..PartStats::default() }
     }
 
     /// Explores the whole tree rooted at `root`, pruning at missing

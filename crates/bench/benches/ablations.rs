@@ -8,7 +8,7 @@ use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::{gen, Graph};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
-use khuzdul::{CacheConfig, Engine, EngineConfig, FabricConfig};
+use khuzdul::{CacheConfig, Engine, EngineConfig, FabricConfig, StealConfig};
 
 const MACHINES: usize = 4;
 
@@ -144,6 +144,71 @@ fn request_window(c: &mut Criterion) {
     grp.finish();
 }
 
+/// Cross-part work stealing on/off, power-law vs. Erdős–Rényi. The
+/// interesting case is the skewed graph under *range* partitioning
+/// (hubs concentrated on part 0): stealing should close the per-part
+/// busy-time gap the `RunReport` exposes. The ER graph bounds the cost
+/// of the ledger when there is nothing to rebalance. Besides the timing,
+/// each variant prints the report's busy-time and queue-depth imbalance
+/// ratios once, so a bench run doubles as the balance experiment.
+fn steal(c: &mut Criterion) {
+    use gpm_graph::partition::Partitioner;
+    let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
+    let mut grp = c.benchmark_group("ablation_steal");
+    grp.sample_size(10);
+    let graphs: [(&str, Graph, Partitioner); 2] = [
+        ("powerlaw_range", gen::rmat(11, 12, (0.57, 0.19, 0.19), 0xab), Partitioner::Range),
+        ("erdos_renyi_hash", flat(), Partitioner::Hash),
+    ];
+    for (gname, g, strategy) in &graphs {
+        for (sname, enabled) in [("steal_on", true), ("steal_off", false)] {
+            let cfg = || EngineConfig {
+                compute_threads: 2,
+                steal: StealConfig { enabled, batch: 256 },
+                obs: khuzdul::ObsConfig::enabled(),
+                ..EngineConfig::default()
+            };
+            // One observed run per variant for the balance numbers.
+            let e =
+                Engine::new(PartitionedGraph::with_partitioner(g, MACHINES, 1, *strategy), cfg());
+            let run = e.count(&plan);
+            let report = e.report(&run, "khuzdul");
+            let stolen: u64 = run.per_part.iter().map(|p| p.roots_stolen).sum();
+            eprintln!(
+                "ablation_steal/{gname}/{sname}: busy_imbalance={:.3} queue_depth_imbalance={:.3} \
+                 roots_stolen={stolen} count={}",
+                report.busy_imbalance(),
+                report.queue_depth_imbalance(),
+                run.count,
+            );
+            e.shutdown();
+            grp.bench_function(format!("{gname}/{sname}"), |b| {
+                b.iter(|| {
+                    run_with(
+                        g,
+                        *strategy,
+                        EngineConfig { obs: khuzdul::ObsConfig::default(), ..cfg() },
+                        &plan,
+                    )
+                })
+            });
+        }
+    }
+    grp.finish();
+}
+
+fn run_with(
+    g: &Graph,
+    strategy: gpm_graph::partition::Partitioner,
+    cfg: EngineConfig,
+    plan: &MatchingPlan,
+) -> u64 {
+    let e = Engine::new(PartitionedGraph::with_partitioner(g, MACHINES, 1, strategy), cfg);
+    let c = e.count(plan).count;
+    e.shutdown();
+    c
+}
+
 /// Hash vs. range partitioning — why §2.2 insists on hash assignment:
 /// BA vertex ids correlate with degree, so ranges concentrate hubs.
 fn partitioner_strategy(c: &mut Criterion) {
@@ -175,6 +240,7 @@ criterion_group!(
     share_table_overhead,
     oblivious_vs_aware,
     partitioner_strategy,
-    request_window
+    request_window,
+    steal
 );
 criterion_main!(benches);

@@ -37,24 +37,47 @@ impl WorkCounter {
     }
 
     /// Registers `n` new units of outstanding work.
+    ///
+    /// `Relaxed` suffices: registration must happen *before* the unit is
+    /// published to whoever will complete it (a queue push, a message
+    /// send), and that publication is itself a synchronizing operation —
+    /// any thread that can observe the unit already observes its
+    /// registration through the same edge. The counter therefore never
+    /// under-counts live work; no other thread's data depends on this
+    /// store being ordered.
     pub fn add(&self, n: u64) {
-        self.outstanding.fetch_add(n as i64, Ordering::SeqCst);
+        self.outstanding.fetch_add(n as i64, Ordering::Relaxed);
     }
 
     /// Marks one unit complete.
+    ///
+    /// `Release` publishes every write the completing thread made on
+    /// behalf of this unit (results, follow-on work registered via
+    /// [`WorkCounter::add`]) to any thread whose `Acquire` load in
+    /// [`WorkCounter::outstanding`] subsequently observes the decrement.
+    /// That is exactly the edge termination detection needs: a thread
+    /// that reads zero sees *all* effects of *all* completed units.
     ///
     /// # Panics
     ///
     /// Panics (in debug builds) if the counter would go negative, which
     /// indicates unbalanced accounting.
     pub fn done(&self) {
-        let prev = self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        let prev = self.outstanding.fetch_sub(1, Ordering::Release);
         debug_assert!(prev > 0, "WorkCounter went negative");
     }
 
     /// Current number of outstanding units.
+    ///
+    /// `Acquire` pairs with the `Release` decrement in
+    /// [`WorkCounter::done`]: observing the count that a decrement
+    /// produced also makes the completing thread's prior writes visible,
+    /// so a zero read is a safe quiescence signal, not merely a stale
+    /// snapshot. (With the old `SeqCst` pair the extra total-order
+    /// guarantee was never used — no site reasons about the interleaving
+    /// of two *different* atomics.)
     pub fn outstanding(&self) -> i64 {
-        self.outstanding.load(Ordering::SeqCst)
+        self.outstanding.load(Ordering::Acquire)
     }
 
     /// Whether all work has quiesced.
@@ -105,6 +128,48 @@ mod tests {
             j.join().unwrap();
         }
         assert!(wc.is_quiescent());
+    }
+
+    #[test]
+    fn relaxed_orderings_survive_a_spawning_stress() {
+        // 8 threads hammer the relaxed/acquire-release protocol with the
+        // engine's actual usage shape: each completed unit may *spawn*
+        // further units (add before done, like a task queuing children
+        // before retiring), so quiescence must only be observable after
+        // every transitively spawned unit retired. Each thread also
+        // publishes a side-effect before its final `done`; the main
+        // thread's acquire read of zero must see all of them.
+        use std::sync::atomic::AtomicU64;
+        let wc = WorkCounter::new();
+        let effects = Arc::new(AtomicU64::new(0));
+        const THREADS: u64 = 8;
+        const UNITS: u64 = 2_000;
+        wc.add(THREADS * UNITS);
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let wc = wc.clone();
+            let effects = Arc::clone(&effects);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..UNITS {
+                    // Every 7th unit spawns a child unit and retires it
+                    // too, exercising add() concurrent with done().
+                    if i % 7 == 0 {
+                        wc.add(1);
+                        wc.done();
+                    }
+                    effects.fetch_add(1, Ordering::Relaxed);
+                    wc.done();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(wc.is_quiescent());
+        // The Acquire read of zero must make every unit's side-effect
+        // visible (Release on the final done of each thread).
+        assert_eq!(effects.load(Ordering::Relaxed), THREADS * UNITS);
+        assert_eq!(wc.outstanding(), 0);
     }
 
     #[test]

@@ -120,10 +120,16 @@ pub(crate) struct Chunk {
     pub fetch_data: Vec<VertexId>,
     /// Arena of stored intermediate results.
     pub inter_data: Vec<VertexId>,
-    /// `embs[..cursor]` have been claimed for extension.
+    /// `embs[..cursor]` have been offered to an extend phase.
     pub cursor: usize,
     /// Partially-extended embeddings to resume first.
     pub resumes: Vec<Resume>,
+    /// Never-started `embs` ranges handed back by an extend phase (the
+    /// next-level chunk filled, or the run stopped, before any worker
+    /// claimed them). Half-open, sorted, disjoint. At level 0 these are
+    /// the unit of cross-part donation: whole ranges can be moved to the
+    /// steal ledger's spill because no worker has touched them.
+    pub leftovers: Vec<(u32, u32)>,
     /// `embs[..resolved_upto]` have had their edge lists resolved.
     pub resolved_upto: usize,
     /// Maximum number of embeddings (the chunk size knob, §4.2/§7.7).
@@ -138,19 +144,15 @@ impl Chunk {
         Chunk { capacity, ..Chunk::default() }
     }
 
-    /// Whether any embeddings remain to extend (fresh or paused).
+    /// Whether any embeddings remain to extend (fresh, paused, or handed
+    /// back unstarted).
     pub fn has_work(&self) -> bool {
-        self.cursor < self.embs.len() || !self.resumes.is_empty()
+        self.cursor < self.embs.len() || !self.resumes.is_empty() || !self.leftovers.is_empty()
     }
 
     /// Whether the chunk holds no embeddings at all.
     pub fn is_empty(&self) -> bool {
         self.embs.is_empty()
-    }
-
-    /// Whether the chunk is at capacity.
-    pub fn is_full(&self) -> bool {
-        self.embs.len() >= self.capacity
     }
 
     /// Remaining room in embeddings.
@@ -166,6 +168,7 @@ impl Chunk {
         self.inter_data.clear();
         self.cursor = 0;
         self.resumes.clear();
+        self.leftovers.clear();
         self.resolved_upto = 0;
         // `share` is reset lazily at the next resolve.
     }
@@ -273,7 +276,6 @@ mod tests {
         let out = c.try_push_children(0, &staged(&[1, 2, 3, 4]), false, None);
         assert_eq!(out, PushOutcome::Partial(2));
         assert_eq!(c.embs.len(), 2);
-        assert!(c.is_full());
         assert_eq!(c.room(), 0);
         let out2 = c.try_push_children(0, &staged(&[9]), false, None);
         assert_eq!(out2, PushOutcome::Partial(0));

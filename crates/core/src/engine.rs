@@ -2,14 +2,15 @@
 
 use crate::cache::{CacheConfig, SharedCache};
 use crate::runtime::{run_part, PartCtx, Visitor};
+use crate::scheduler::{RootLedger, StealConfig, WorkerPool};
 use crate::stats::{PartStats, RunStats, TrafficSummary};
 use gpm_cluster::{ClusterMetrics, EdgeListService, FabricConfig, FetchError, NetworkModel};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::VertexId;
 use gpm_obs::{GaugeSample, ObsConfig, Recorder, RunReport};
 use gpm_pattern::plan::MatchingPlan;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Engine configuration (every knob of the paper's §4–§6 has a switch
@@ -48,6 +49,13 @@ pub struct EngineConfig {
     /// Disabled by default; every record site then costs one branch on a
     /// relaxed atomic flag.
     pub obs: ObsConfig,
+    /// Cross-part work stealing (§6's dynamic distribution generalized
+    /// across parts): idle parts claim unvisited root ranges from loaded
+    /// parts through a run-scoped ledger. Off by default so traffic
+    /// comparisons stay deterministic; the CLI turns it on. Forced off
+    /// under `sequential_parts` (an idle sequential part can never be
+    /// refilled by a concurrently loaded one).
+    pub steal: StealConfig,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +71,7 @@ impl Default for EngineConfig {
             fabric: FabricConfig::default(),
             sequential_parts: false,
             obs: ObsConfig::default(),
+            steal: StealConfig::default(),
         }
     }
 }
@@ -80,6 +89,12 @@ pub struct Engine {
     caches: Vec<Arc<SharedCache>>,
     recorder: Arc<Recorder>,
     cfg: EngineConfig,
+    /// The persistent compute pool: `parts × compute_threads` workers,
+    /// spawned once on the first multi-threaded run and parked between
+    /// extend phases (and between runs) ever after. `None` until then and
+    /// forever when `compute_threads <= 1`, which extends inline on the
+    /// part coordinator.
+    pool: OnceLock<WorkerPool>,
 }
 
 impl Engine {
@@ -101,7 +116,7 @@ impl Engine {
         let caches = (0..pg.part_count())
             .map(|_| Arc::new(SharedCache::for_part(&cfg.cache, pg.sockets_per_machine())))
             .collect();
-        Engine { pg, service, caches, recorder, cfg }
+        Engine { pg, service, caches, recorder, cfg, pool: OnceLock::new() }
     }
 
     /// The partitioned graph the engine runs on.
@@ -138,6 +153,15 @@ impl Engine {
         let mut report = run.to_report(system);
         self.recorder.augment_report(&mut report);
         report
+    }
+
+    /// Names of the pooled compute threads, in spawn order (one
+    /// `khuzdul-compute-{part}-{worker}` entry per worker). Empty until
+    /// the first multi-threaded run spawns the pool, and stable across
+    /// subsequent runs — the regression oracle that extend phases reuse
+    /// pooled workers instead of spawning fresh threads.
+    pub fn compute_thread_names(&self) -> Vec<String> {
+        self.pool.get().map(|p| p.thread_names().to_vec()).unwrap_or_default()
     }
 
     /// Drops all cached edge lists (for between-run isolation in
@@ -246,12 +270,33 @@ impl Engine {
              run edge-labeled plans on gpm_pattern::interp or the single-machine baselines"
         );
         let before = self.traffic_snapshot();
+        let parts = self.pg.part_count();
+        // Run-scoped scheduler state: the root ledger every part claims
+        // its seed batches from (and steals through, when enabled) and
+        // one queue-depth gauge per part for the sampler.
+        let stealing = self.cfg.steal.enabled && !self.cfg.sequential_parts && parts > 1;
+        let ledger = Arc::new(RootLedger::new(
+            (0..parts).map(|p| self.pg.part_arc(p)).collect(),
+            stealing,
+            self.cfg.steal.batch.max(1),
+        ));
+        let gauges: Vec<Arc<AtomicUsize>> =
+            (0..parts).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        // The persistent pool outlives the run; first multi-threaded run
+        // pays the spawn cost, every later one reuses the parked workers.
+        let pool = (self.cfg.compute_threads > 1).then(|| {
+            self.pool
+                .get_or_init(|| WorkerPool::new(parts, self.cfg.compute_threads, &self.recorder))
+        });
         // Stops and joins on drop, so both the error and success returns
         // below leave no sampler thread behind.
-        let _sampler =
-            GaugeSampler::start(&self.recorder, self.service.metrics(), self.cfg.obs.tick);
+        let _sampler = GaugeSampler::start(
+            &self.recorder,
+            self.service.metrics(),
+            gauges.clone(),
+            self.cfg.obs.tick,
+        );
         let t0 = Instant::now();
-        let parts = self.pg.part_count();
         let mut per_part: Vec<PartStats> = Vec::with_capacity(parts);
         let make_ctx = |part: usize| PartCtx {
             part: self.pg.part_arc(part),
@@ -266,6 +311,9 @@ impl Engine {
             visitor,
             stop,
             obs: Arc::clone(&self.recorder),
+            ledger: Arc::clone(&ledger),
+            gate: pool.map(|p| p.gate(part)),
+            queue_depth: Arc::clone(&gauges[part]),
         };
         let mut failure: Option<FetchError> = None;
         if self.cfg.sequential_parts {
@@ -360,6 +408,7 @@ impl GaugeSampler {
     fn start(
         recorder: &Arc<Recorder>,
         metrics: &ClusterMetrics,
+        queue_depths: Vec<Arc<AtomicUsize>>,
         tick: Duration,
     ) -> Option<GaugeSampler> {
         if !recorder.is_enabled() {
@@ -381,6 +430,9 @@ impl GaugeSampler {
                             part: p as u32,
                             inflight: pm.inflight(),
                             network_bytes: pm.cross_machine_bytes(),
+                            queue_depth: queue_depths
+                                .get(p)
+                                .map_or(0, |g| g.load(Ordering::Relaxed) as u64),
                         });
                     }
                     std::thread::sleep(tick);

@@ -1,0 +1,421 @@
+//! The extend (computation) phase: running a level's extension program
+//! over the claimable ranges of a chunk.
+//!
+//! Split out of the per-part coordinator (`runtime.rs`): this module owns
+//! everything that executes *inside* a phase — the [`Worker`] claim loop
+//! over the phase's [`TaskPool`], single-embedding extension, and the
+//! set-algebra helpers for candidate generation. Phases are dispatched to
+//! the engine's persistent worker pool through the part's
+//! [`Gate`](crate::scheduler::Gate); no threads are spawned here.
+
+use crate::chunk::{Chunk, Emb, ListRef, PushOutcome, Resume, StagedChild};
+use crate::runtime::{PartCtx, PartRun};
+use crate::scheduler::{Task, TaskPool};
+use gpm_graph::{set_ops, VertexId};
+use gpm_obs::{Metric, SpanKind};
+use gpm_pattern::plan::{CandidateSource, LevelPlan, PairMode};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+impl PartRun<'_> {
+    /// Extend phase: run the level's extension program over the chunk's
+    /// unprocessed embeddings until the work is exhausted or the
+    /// next-level chunk fills. Work is drained as mini-batch range tasks;
+    /// multi-threaded phases run on the persistent pool's parked workers.
+    pub(crate) fn extend(&mut self, cur: usize) {
+        let t0 = Instant::now();
+        let ets = self.obs.start();
+        let next_before = self.levels.get(cur + 1).map_or(0, |c| c.embs.len());
+        let plan = self.ctx.plan;
+        let lp = &plan.levels()[cur];
+        let terminal = cur + 1 == plan.levels().len();
+        // IEP pair shortcut (counting only): the second-to-last level
+        // counts pairs instead of materializing the final two loops.
+        let pair = if self.ctx.visitor.is_none() && cur + 2 == plan.levels().len() {
+            plan.pair_count_mode()
+        } else {
+            None
+        };
+
+        let start_cursor = self.levels[cur].cursor;
+        let old_resumes = std::mem::take(&mut self.levels[cur].resumes);
+        let leftovers = std::mem::take(&mut self.levels[cur].leftovers);
+        let (read, rest) = self.levels.split_at_mut(cur + 1);
+        let read: &[Chunk] = read;
+        let next: Option<Mutex<&mut Chunk>> = if terminal {
+            None
+        } else {
+            Some(Mutex::new(rest.first_mut().expect("next level chunk exists")))
+        };
+
+        let total = read[cur].embs.len();
+        let full = AtomicBool::new(false);
+        let new_resumes: Mutex<Vec<Resume>> = Mutex::new(Vec::new());
+        let counter = AtomicU64::new(0);
+        let threads = self.ctx.cfg.compute_threads.max(1);
+        let mini = self.ctx.cfg.mini_batch.max(1) as u32;
+
+        let pending_work = old_resumes.len()
+            + leftovers.iter().map(|&(s, e)| (e - s) as usize).sum::<usize>()
+            + total.saturating_sub(start_cursor);
+        let tasks = TaskPool::new(threads, Arc::clone(&self.ctx.queue_depth));
+        tasks.seed(
+            old_resumes.len() as u32,
+            &leftovers,
+            (start_cursor as u32, total as u32),
+            threads as u32,
+        );
+
+        {
+            let worker = Worker {
+                ctx: &self.ctx,
+                read,
+                cur,
+                lp,
+                terminal,
+                pair,
+                next: &next,
+                old_resumes: &old_resumes,
+                tasks: &tasks,
+                mini,
+                full: &full,
+                new_resumes: &new_resumes,
+                counter: &counter,
+            };
+            match &self.ctx.gate {
+                Some(gate) if threads > 1 && pending_work > self.ctx.cfg.mini_batch => {
+                    gate.run_phase(threads, &|w| worker.run(w));
+                }
+                // Small phases (and single-threaded configs) run inline on
+                // the coordinator; the pool workers stay parked.
+                _ => worker.run(0),
+            }
+        }
+
+        // Write back scheduling state: paused embeddings plus every range
+        // the pool still held unclaimed when the phase ended.
+        let mut resumes = new_resumes.into_inner();
+        let mut leftover_ranges: Vec<(u32, u32)> = Vec::new();
+        let mut overclaim = 0u64;
+        for task in tasks.drain() {
+            match task {
+                Task::Resumes { start, end } => {
+                    // An end past the captured resume list would mean a
+                    // worker fabricated resume indices. The clamp keeps the
+                    // write-back memory-safe, but the bug must not hide:
+                    // debug builds assert, release builds bump a counter.
+                    debug_assert!(
+                        (end as usize) <= old_resumes.len(),
+                        "resume task outruns the captured resume list"
+                    );
+                    let end_c = (end as usize).min(old_resumes.len());
+                    let start_c = (start as usize).min(end_c);
+                    overclaim += (end as usize - end_c) as u64;
+                    resumes.extend_from_slice(&old_resumes[start_c..end_c]);
+                }
+                Task::Fresh { start, end } => leftover_ranges.push((start, end)),
+            }
+        }
+        if overclaim > 0 {
+            self.obs.observe(Metric::ResumeOverclaim, overclaim);
+        }
+        // End `next`'s mutable borrow of self.levels before re-borrowing.
+        #[allow(clippy::drop_non_drop)]
+        drop(next);
+        let chunk = &mut self.levels[cur];
+        chunk.cursor = total;
+        leftover_ranges.sort_unstable();
+        chunk.leftovers = leftover_ranges;
+        chunk.resumes = resumes;
+        let grown =
+            self.levels.get(cur + 1).map_or(0, |c| c.embs.len()).saturating_sub(next_before);
+        if !terminal {
+            self.obs.observe(Metric::ChunkFanout, grown as u64);
+        }
+        self.obs.span(SpanKind::Extend, ets, grown as u64);
+        self.count += counter.load(Ordering::SeqCst);
+        self.compute += t0.elapsed();
+    }
+}
+
+/// Shared state of one extend phase; each claimant (pooled worker or the
+/// inline coordinator) runs [`Worker::run`] with its worker index.
+struct Worker<'a, 'c, 'e> {
+    ctx: &'a PartCtx<'e>,
+    read: &'a [Chunk],
+    cur: usize,
+    lp: &'a LevelPlan,
+    terminal: bool,
+    pair: Option<PairMode>,
+    next: &'a Option<Mutex<&'c mut Chunk>>,
+    old_resumes: &'a [Resume],
+    tasks: &'a TaskPool,
+    mini: u32,
+    full: &'a AtomicBool,
+    new_resumes: &'a Mutex<Vec<Resume>>,
+    counter: &'a AtomicU64,
+}
+
+impl Worker<'_, '_, '_> {
+    /// Whether the phase must stop claiming: the next-level chunk filled,
+    /// or the run was cooperatively cancelled.
+    fn halted(&self) -> bool {
+        self.full.load(Ordering::Acquire)
+            || self.ctx.stop.is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    fn run(&self, w: usize) {
+        let mut scratch = Scratch::default();
+        let mut local_count = 0u64;
+        'claim: while !self.halted() {
+            let Some(task) = self.tasks.claim(w, self.mini) else { break };
+            match task {
+                // Paused embeddings first: task seeding orders resume
+                // ranges ahead of fresh ones in the injector.
+                Task::Resumes { start, end } => {
+                    for r in start..end {
+                        if self.halted() {
+                            self.tasks.give_back(w, Task::Resumes { start: r, end });
+                            break 'claim;
+                        }
+                        let Resume { emb, cand_offset } = self.old_resumes[r as usize];
+                        if let Some(paused_at) =
+                            self.extend_one(emb, cand_offset, &mut scratch, &mut local_count)
+                        {
+                            self.new_resumes.lock().push(Resume { emb, cand_offset: paused_at });
+                            self.full.store(true, Ordering::Release);
+                            self.tasks.give_back(w, Task::Resumes { start: r + 1, end });
+                            break 'claim;
+                        }
+                    }
+                }
+                Task::Fresh { start, end } => {
+                    for i in start..end {
+                        if self.halted() {
+                            self.tasks.give_back(w, Task::Fresh { start: i, end });
+                            break 'claim;
+                        }
+                        if let Some(paused_at) =
+                            self.extend_one(i, 0, &mut scratch, &mut local_count)
+                        {
+                            self.new_resumes.lock().push(Resume { emb: i, cand_offset: paused_at });
+                            self.full.store(true, Ordering::Release);
+                            self.tasks.give_back(w, Task::Fresh { start: i + 1, end });
+                            break 'claim;
+                        }
+                    }
+                }
+            }
+        }
+        self.counter.fetch_add(local_count, Ordering::Relaxed);
+    }
+
+    /// Extends one embedding from raw-candidate offset `from`. Returns
+    /// `Some(offset)` if the next chunk filled before all candidates were
+    /// consumed.
+    fn extend_one(
+        &self,
+        emb: u32,
+        from: u32,
+        scratch: &mut Scratch,
+        local_count: &mut u64,
+    ) -> Option<u32> {
+        let ctx = self.ctx;
+        let lp = self.lp;
+        let mut matched = [0 as VertexId; gpm_pattern::MAX_PATTERN_VERTICES];
+        matched_chain(self.read, self.cur, emb, &mut matched);
+        raw_candidates(ctx, self.read, self.cur, emb, lp, &matched, scratch);
+
+        if self.terminal {
+            debug_assert_eq!(from, 0, "terminal levels never pause");
+            if let Some(visit) = ctx.visitor {
+                let mut tuple = [0 as VertexId; gpm_pattern::MAX_PATTERN_VERTICES];
+                tuple[..=self.cur].copy_from_slice(&matched[..=self.cur]);
+                for &cand in &scratch.raw {
+                    if passes_filters(ctx, lp, &matched, cand) {
+                        *local_count += 1;
+                        tuple[self.cur + 1] = cand;
+                        visit(&tuple[..self.cur + 2]);
+                    }
+                }
+            } else {
+                *local_count += count_final(ctx, lp, &matched, &scratch.raw);
+            }
+            return None;
+        }
+
+        if let Some(mode) = self.pair {
+            debug_assert_eq!(from, 0, "pair-counted levels never pause");
+            let k = count_final(ctx, lp, &matched, &scratch.raw);
+            *local_count += match mode {
+                PairMode::Unordered => k * k.saturating_sub(1) / 2,
+                PairMode::Ordered => k * k.saturating_sub(1),
+            };
+            return None;
+        }
+
+        scratch.staged.clear();
+        for (i, &cand) in scratch.raw.iter().enumerate().skip(from as usize) {
+            if passes_filters(ctx, lp, &matched, cand) {
+                scratch.staged.push(StagedChild { vertex: cand, raw_index: i as u32 });
+            }
+        }
+        if scratch.staged.is_empty() {
+            return None;
+        }
+        let inter: Option<&[VertexId]> =
+            if lp.store_intermediate { Some(&scratch.raw) } else { None };
+        let mut next = self.next.as_ref().expect("non-terminal extension has a next chunk").lock();
+        match next.try_push_children(emb, &scratch.staged, lp.new_vertex_active, inter) {
+            PushOutcome::All => None,
+            PushOutcome::Partial(n) => Some(scratch.staged[n].raw_index),
+        }
+    }
+}
+
+/// Per-thread scratch buffers.
+#[derive(Default)]
+struct Scratch {
+    raw: Vec<VertexId>,
+    tmp: Vec<VertexId>,
+    staged: Vec<StagedChild>,
+}
+
+/// Reconstructs the matched vertices along the parent chain.
+fn matched_chain(read: &[Chunk], level: usize, emb: u32, out: &mut [VertexId]) {
+    let (mut l, mut e) = (level, emb);
+    loop {
+        out[l] = read[l].embs[e as usize].vertex;
+        if l == 0 {
+            break;
+        }
+        e = read[l].embs[e as usize].parent;
+        l -= 1;
+    }
+}
+
+/// The edge list of the vertex at `pos` along `emb`'s chain — vertical
+/// data reuse by parent-pointer chasing (§5.1).
+fn list_for<'a>(
+    ctx: &'a PartCtx<'_>,
+    read: &'a [Chunk],
+    mut level: usize,
+    mut emb: u32,
+    pos: usize,
+) -> &'a [VertexId] {
+    while level > pos {
+        emb = read[level].embs[emb as usize].parent;
+        level -= 1;
+    }
+    resolve_ref(ctx, &read[level], &read[level].embs[emb as usize])
+}
+
+fn resolve_ref<'a>(ctx: &'a PartCtx<'_>, chunk: &'a Chunk, e: &'a Emb) -> &'a [VertexId] {
+    match &e.list {
+        ListRef::Local => ctx.part.edge_list(e.vertex).expect("local vertex owned by this part"),
+        ListRef::Cached(list) => list,
+        ListRef::Fetched { start, len } => chunk.fetched(*start, *len),
+        ListRef::Peer(j) => {
+            let peer = &chunk.embs[*j as usize];
+            debug_assert!(!matches!(peer.list, ListRef::Peer(_)), "peer chains are length 1");
+            resolve_ref(ctx, chunk, peer)
+        }
+        ListRef::Pending => panic!("extension reached an unresolved edge list"),
+        ListRef::None => panic!("extension requested an inactive vertex's list"),
+    }
+}
+
+/// Computes the raw candidate set for extending `emb` at level `cur` into
+/// `scratch.raw`, honoring the plan's candidate source (vertical
+/// computation reuse, §5.1).
+fn raw_candidates(
+    ctx: &PartCtx<'_>,
+    read: &[Chunk],
+    cur: usize,
+    emb: u32,
+    lp: &LevelPlan,
+    _matched: &[VertexId],
+    scratch: &mut Scratch,
+) {
+    scratch.raw.clear();
+    let e = &read[cur].embs[emb as usize];
+    match lp.source {
+        CandidateSource::Scratch => {
+            let mut lists: [&[VertexId]; gpm_pattern::MAX_PATTERN_VERTICES] =
+                [&[]; gpm_pattern::MAX_PATTERN_VERTICES];
+            for (k, &pos) in lp.intersect.iter().enumerate() {
+                lists[k] = list_for(ctx, read, cur, emb, pos);
+            }
+            set_ops::intersect_many_into(&lists[..lp.intersect.len()], &mut scratch.raw);
+        }
+        CandidateSource::ParentIntermediate => {
+            let span = e.inter.expect("plan guarantees a stored intermediate");
+            scratch.raw.extend_from_slice(read[cur].inter(span));
+        }
+        CandidateSource::ParentIntermediateAndNew => {
+            let span = e.inter.expect("plan guarantees a stored intermediate");
+            let own = resolve_ref(ctx, &read[cur], e);
+            set_ops::intersect_into(read[cur].inter(span), own, &mut scratch.raw);
+        }
+    }
+    if !lp.subtract.is_empty() {
+        for &pos in &lp.subtract {
+            let list = list_for(ctx, read, cur, emb, pos);
+            scratch.tmp.clear();
+            set_ops::subtract_into(&scratch.raw, list, &mut scratch.tmp);
+            std::mem::swap(&mut scratch.raw, &mut scratch.tmp);
+        }
+    }
+}
+
+/// Order/injectivity/label filters for one candidate.
+#[inline]
+fn passes_filters(ctx: &PartCtx<'_>, lp: &LevelPlan, matched: &[VertexId], cand: VertexId) -> bool {
+    for &p in &lp.lower {
+        if cand <= matched[p] {
+            return false;
+        }
+    }
+    for &p in &lp.upper {
+        if cand >= matched[p] {
+            return false;
+        }
+    }
+    for &p in &lp.distinct {
+        if cand == matched[p] {
+            return false;
+        }
+    }
+    if let Some(required) = lp.label {
+        if ctx.label(cand) != Some(required) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Final-level counting shortcut: order statistics instead of iteration
+/// where the filters allow it.
+fn count_final(ctx: &PartCtx<'_>, lp: &LevelPlan, matched: &[VertexId], raw: &[VertexId]) -> u64 {
+    if lp.label.is_some() {
+        return raw.iter().filter(|&&c| passes_filters(ctx, lp, matched, c)).count() as u64;
+    }
+    let lo: Option<VertexId> = lp.lower.iter().map(|&p| matched[p]).max();
+    let hi: Option<VertexId> = lp.upper.iter().map(|&p| matched[p]).min();
+    let begin = lo.map_or(0, |b| raw.partition_point(|&c| c <= b));
+    let end = hi.map_or(raw.len(), |b| raw.partition_point(|&c| c < b));
+    if begin >= end {
+        return 0;
+    }
+    let mut count = (end - begin) as u64;
+    for &p in &lp.distinct {
+        let m = matched[p];
+        let in_range = lo.is_none_or(|b| m > b) && hi.is_none_or(|b| m < b);
+        if in_range && set_ops::contains(raw, m) {
+            count -= 1;
+        }
+    }
+    count
+}

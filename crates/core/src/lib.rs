@@ -49,11 +49,14 @@
 pub mod cache;
 mod chunk;
 mod engine;
+mod extend;
 mod runtime;
+mod scheduler;
 pub mod stats;
 
 pub use cache::{CacheConfig, CachePolicy};
 pub use engine::{Engine, EngineConfig};
+pub use scheduler::StealConfig;
 pub use stats::{Breakdown, PartStats, RunStats, TrafficSummary};
 
 // Fabric knobs and errors surface through `EngineConfig` / `try_count`,

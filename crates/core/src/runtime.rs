@@ -1,26 +1,30 @@
-//! Per-part execution: the BFS-DFS hybrid loop with its resolve
-//! (communication) and extend (computation) phases.
+//! Per-part coordination: the BFS-DFS hybrid loop with its resolve
+//! (communication) phase, root seeding from the cross-part ledger, and
+//! donation of never-started level-0 work to starving parts.
 //!
-//! Each part (machine × socket) runs [`run_part`] independently over its
-//! owned vertices (§5.4). The loop keeps a stack of per-level [`Chunk`]s:
-//! the deepest chunk with unprocessed embeddings is always processed next
-//! (DFS over chunks), and each chunk's embeddings are extended breadth-
-//! first until the next level's chunk fills (§4.2). Before extension, a
-//! chunk's unresolved edge lists are fetched in circulant owner order,
-//! pipelined through a dedicated communication thread (§4.3).
+//! Each part (machine × socket) runs [`run_part`] independently. The loop
+//! keeps a stack of per-level [`Chunk`]s: the deepest chunk with
+//! unprocessed embeddings is always processed next (DFS over chunks), and
+//! each chunk's embeddings are extended breadth-first until the next
+//! level's chunk fills (§4.2). Before extension, a chunk's unresolved
+//! edge lists are fetched in circulant owner order, pipelined through a
+//! dedicated communication thread (§4.3).
+//!
+//! The compute half of the phase lives in [`crate::extend`]; the worker
+//! pool, task model, and stealing ledger live in [`crate::scheduler`].
 
 use crate::cache::SharedCache;
-use crate::chunk::{Chunk, Emb, ListRef, PushOutcome, Resume, StagedChild, NO_PARENT};
+use crate::chunk::{Chunk, Emb, ListRef, NO_PARENT};
 use crate::engine::EngineConfig;
+use crate::scheduler::{ClaimSource, Gate, RootLedger};
 use crate::stats::PartStats;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use gpm_cluster::{EdgeListClient, FetchError, PendingFetch};
 use gpm_graph::partition::GraphPart;
-use gpm_graph::{set_ops, Label, VertexId};
-use gpm_obs::{Metric, ObsHandle, Recorder, SpanKind};
-use gpm_pattern::plan::{CandidateSource, LevelPlan, MatchingPlan, PairMode};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use gpm_graph::{Label, VertexId};
+use gpm_obs::{ObsHandle, Recorder, SpanKind};
+use gpm_pattern::plan::MatchingPlan;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -46,11 +50,19 @@ pub(crate) struct PartCtx<'e> {
     /// The engine's observability recorder; the part coordinator buffers
     /// its spans in a thread-local [`ObsHandle`] made from this.
     pub obs: Arc<Recorder>,
+    /// Run-scoped root ledger all parts claim their seed batches from.
+    pub ledger: Arc<RootLedger>,
+    /// This part's gate into the engine's persistent worker pool; `None`
+    /// for single-threaded configs, which extend inline.
+    pub gate: Option<Arc<Gate>>,
+    /// Unclaimed embedding volume of the currently-executing extend
+    /// phase's task pool, sampled by the engine's gauge thread.
+    pub queue_depth: Arc<AtomicUsize>,
 }
 
 impl PartCtx<'_> {
     #[inline]
-    fn label(&self, v: VertexId) -> Option<Label> {
+    pub(crate) fn label(&self, v: VertexId) -> Option<Label> {
         self.labels.as_ref().map(|l| l[v as usize])
     }
 }
@@ -92,19 +104,27 @@ pub(crate) fn run_part(ctx: PartCtx<'_>) -> Result<PartStats, FetchError> {
     stats
 }
 
-struct PartRun<'e> {
-    ctx: PartCtx<'e>,
-    levels: Vec<Chunk>,
-    root_next: usize,
-    count: u64,
-    compute: Duration,
-    network: Duration,
-    scheduler: Duration,
-    peak_embeddings: usize,
+pub(crate) struct PartRun<'e> {
+    pub(crate) ctx: PartCtx<'e>,
+    pub(crate) levels: Vec<Chunk>,
+    pub(crate) count: u64,
+    pub(crate) compute: Duration,
+    pub(crate) network: Duration,
+    pub(crate) scheduler: Duration,
+    pub(crate) peak_embeddings: usize,
+    /// Roots this part obtained from other parts (steals + spill claims).
+    roots_stolen: u64,
+    /// Roots this part handed to the spill for starving parts.
+    roots_donated: u64,
+    /// Ledger batches seeded but not yet retired (0 or 1 in practice).
+    outstanding: usize,
+    /// Roots claimed per seeding round: bounded when stealing (so loaded
+    /// parts keep a stealable tail), a whole chunk otherwise.
+    seed_batch: usize,
     comm_tx: Sender<CommJob>,
     // Kept as its own field (not inside `ctx`) so span recording can
     // borrow it mutably while `self.levels` chunks are also borrowed.
-    obs: ObsHandle,
+    pub(crate) obs: ObsHandle,
 }
 
 impl<'e> PartRun<'e> {
@@ -113,15 +133,23 @@ impl<'e> PartRun<'e> {
         let levels =
             (0..depth.saturating_sub(1)).map(|_| Chunk::new(ctx.cfg.chunk_capacity)).collect();
         let obs = ctx.obs.handle(ctx.my_part as u32);
+        let seed_batch = if ctx.ledger.stealing() {
+            ctx.cfg.steal.batch.max(ctx.cfg.mini_batch).max(1).min(ctx.cfg.chunk_capacity.max(1))
+        } else {
+            ctx.cfg.chunk_capacity.max(1)
+        };
         PartRun {
             ctx,
             levels,
-            root_next: 0,
             count: 0,
             compute: Duration::ZERO,
             network: Duration::ZERO,
             scheduler: Duration::ZERO,
             peak_embeddings: 0,
+            roots_stolen: 0,
+            roots_donated: 0,
+            outstanding: 0,
+            seed_batch,
             comm_tx,
             obs,
         }
@@ -140,6 +168,8 @@ impl<'e> PartRun<'e> {
             scheduler: self.scheduler,
             cache: Duration::ZERO,
             peak_embeddings: self.peak_embeddings,
+            roots_stolen: self.roots_stolen,
+            roots_donated: self.roots_donated,
         })
     }
 
@@ -160,10 +190,18 @@ impl<'e> PartRun<'e> {
 
     /// The DFS-over-chunks / BFS-within-chunk driver (§4.2, Figure 7).
     fn hybrid_loop(&mut self) -> Result<(), FetchError> {
-        let owned_len = self.ctx.part.owned().len();
+        let result = self.hybrid_loop_inner();
+        // Retire any batch still on the books (stop or fetch error), so
+        // peers waiting on quiescence are never wedged by this part.
+        self.retire_batches();
+        self.ctx.queue_depth.store(0, Ordering::Relaxed);
+        result
+    }
+
+    fn hybrid_loop_inner(&mut self) -> Result<(), FetchError> {
         loop {
             if self.ctx.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
-                break;
+                return Ok(());
             }
             // Bottom-up release: a chunk whose work is done and whose
             // child level is empty can be freed as a whole (the
@@ -182,42 +220,140 @@ impl<'e> PartRun<'e> {
             let cur = (0..self.levels.len()).rev().find(|&l| self.levels[l].has_work());
             match cur {
                 Some(cur) => {
+                    if cur == 0 {
+                        self.maybe_donate();
+                        if !self.levels[0].has_work() {
+                            continue;
+                        }
+                    }
                     self.resolve(cur)?;
                     self.extend(cur);
                 }
-                None if self.root_next < owned_len => self.seed_roots(),
-                None => break,
+                None => {
+                    // The whole stack drained: every seeded batch is done.
+                    self.retire_batches();
+                    if !self.seed_roots() {
+                        return Ok(());
+                    }
+                }
             }
         }
-        Ok(())
     }
 
-    /// Fills the root chunk with the next batch of owned vertices.
-    fn seed_roots(&mut self) {
+    fn retire_batches(&mut self) {
+        for _ in 0..self.outstanding {
+            self.ctx.ledger.batch_done();
+        }
+        self.outstanding = 0;
+    }
+
+    /// Claims the next root batch from the ledger and seeds the root
+    /// chunk. With stealing enabled this may block (in 1 ms slices) until
+    /// work appears somewhere; returns `false` once the whole run has
+    /// quiesced or this part was stopped.
+    fn seed_roots(&mut self) -> bool {
         let t0 = Instant::now();
+        let mut starving = false;
+        let seeded = loop {
+            if self.ctx.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                break false;
+            }
+            match self.ctx.ledger.claim(self.ctx.my_part, self.seed_batch) {
+                Some((source, roots)) => {
+                    self.seed_batch_into_chunk(source, &roots);
+                    break true;
+                }
+                None => {
+                    if !self.ctx.ledger.stealing() || self.ctx.ledger.finished() {
+                        break false;
+                    }
+                    if !starving {
+                        starving = true;
+                        self.ctx.ledger.set_starving(true);
+                    }
+                    let its = self.obs.start();
+                    self.ctx.ledger.wait_for_work();
+                    self.obs.span(SpanKind::Idle, its, 0);
+                }
+            }
+        };
+        if starving {
+            self.ctx.ledger.set_starving(false);
+        }
+        self.scheduler += t0.elapsed();
+        seeded
+    }
+
+    /// Fills the root chunk with one claimed batch. Stolen or spilled
+    /// roots are usually owned elsewhere: they seed as [`ListRef::Pending`]
+    /// and their edge lists flow through the fabric during resolve — data
+    /// moves, computation does not.
+    fn seed_batch_into_chunk(&mut self, source: ClaimSource, roots: &[VertexId]) {
         let ts = self.obs.start();
+        if let ClaimSource::Stolen(victim) = source {
+            self.obs.instant(SpanKind::Steal, victim as u64);
+        }
         let required = self.ctx.plan.root_label();
-        let owned = self.ctx.part.owned();
+        let root_active = self.ctx.plan.root_active();
+        let my_part = self.ctx.my_part;
         let chunk = &mut self.levels[0];
         debug_assert!(chunk.is_empty(), "root chunk must be clear before reseeding");
-        while self.root_next < owned.len() && !chunk.is_full() {
-            let v = owned[self.root_next];
-            self.root_next += 1;
+        let mut any_pending = false;
+        for &v in roots {
             if required.is_some() && self.ctx.labels.as_ref().map(|l| l[v as usize]) != required {
                 continue;
             }
-            chunk.embs.push(Emb {
-                parent: NO_PARENT,
-                vertex: v,
-                // Roots are always locally owned.
-                list: if self.ctx.plan.root_active() { ListRef::Local } else { ListRef::None },
-                inter: None,
-            });
+            let list = if !root_active {
+                ListRef::None
+            } else if self.ctx.owner.owner(v) == my_part {
+                ListRef::Local
+            } else {
+                any_pending = true;
+                ListRef::Pending
+            };
+            chunk.embs.push(Emb { parent: NO_PARENT, vertex: v, list, inter: None });
         }
         let seeded = chunk.embs.len();
-        chunk.resolved_upto = seeded;
+        chunk.resolved_upto = if any_pending { 0 } else { seeded };
+        self.outstanding += 1;
+        if !matches!(source, ClaimSource::Own) {
+            self.roots_stolen += roots.len() as u64;
+        }
         self.obs.span(SpanKind::SeedRoots, ts, seeded as u64);
-        self.scheduler += t0.elapsed();
+    }
+
+    /// Hands never-started level-0 leftover ranges to the ledger's spill
+    /// when other parts are starving. Only roots that no worker has
+    /// touched move: their embeddings stay behind as inert entries (the
+    /// release pass frees them with the chunk), and the claimant restarts
+    /// them from scratch on its own side of the fabric.
+    fn maybe_donate(&mut self) {
+        if !self.ctx.ledger.stealing() || self.ctx.ledger.starving() == 0 {
+            return;
+        }
+        let threads = self.ctx.cfg.compute_threads.max(1);
+        let keep = (self.ctx.cfg.mini_batch.max(1) * threads) as u32;
+        let chunk = &mut self.levels[0];
+        let mut volume: u32 = chunk.leftovers.iter().map(|&(s, e)| e - s).sum();
+        if volume <= keep {
+            return;
+        }
+        let mut donated: Vec<VertexId> = Vec::new();
+        while let Some(&(start, end)) = chunk.leftovers.last() {
+            let len = end - start;
+            if volume - len < keep {
+                break;
+            }
+            chunk.leftovers.pop();
+            volume -= len;
+            donated.extend(chunk.embs[start as usize..end as usize].iter().map(|e| e.vertex));
+        }
+        if donated.is_empty() {
+            return;
+        }
+        self.roots_donated += donated.len() as u64;
+        self.obs.instant(SpanKind::Donate, donated.len() as u64);
+        self.ctx.ledger.donate(donated);
     }
 
     /// Resolve phase: make every pending edge list of the current chunk
@@ -347,351 +483,4 @@ impl<'e> PartRun<'e> {
             None => Ok(()),
         }
     }
-
-    /// Extend phase: run the level's extension program over the chunk's
-    /// unprocessed embeddings, in parallel, until the chunk is exhausted
-    /// or the next-level chunk fills.
-    fn extend(&mut self, cur: usize) {
-        let t0 = Instant::now();
-        let ets = self.obs.start();
-        let next_before = self.levels.get(cur + 1).map_or(0, |c| c.embs.len());
-        let plan = self.ctx.plan;
-        let lp = &plan.levels()[cur];
-        let terminal = cur + 1 == plan.levels().len();
-        // IEP pair shortcut (counting only): the second-to-last level
-        // counts pairs instead of materializing the final two loops.
-        let pair = if self.ctx.visitor.is_none() && cur + 2 == plan.levels().len() {
-            plan.pair_count_mode()
-        } else {
-            None
-        };
-
-        let start_cursor = self.levels[cur].cursor;
-        let old_resumes = std::mem::take(&mut self.levels[cur].resumes);
-        let (read, rest) = self.levels.split_at_mut(cur + 1);
-        let read: &[Chunk] = read;
-        let next: Option<Mutex<&mut Chunk>> = if terminal {
-            None
-        } else {
-            Some(Mutex::new(rest.first_mut().expect("next level chunk exists")))
-        };
-
-        let total = read[cur].embs.len();
-        let resume_idx = AtomicUsize::new(0);
-        let cursor = AtomicUsize::new(start_cursor);
-        let full = AtomicBool::new(false);
-        let new_resumes: Mutex<Vec<Resume>> = Mutex::new(Vec::new());
-        let counter = AtomicU64::new(0);
-
-        {
-            let work = Worker {
-                ctx: &self.ctx,
-                read,
-                cur,
-                lp,
-                terminal,
-                pair,
-                next: &next,
-                old_resumes: &old_resumes,
-                resume_idx: &resume_idx,
-                cursor: &cursor,
-                full: &full,
-                new_resumes: &new_resumes,
-                counter: &counter,
-            };
-
-            let pending_work = old_resumes.len() + total.saturating_sub(start_cursor);
-            let threads = self.ctx.cfg.compute_threads.max(1);
-            if threads == 1 || pending_work <= self.ctx.cfg.mini_batch {
-                work.run();
-            } else {
-                crossbeam::thread::scope(|s| {
-                    for t in 0..threads {
-                        let w = &work;
-                        s.builder()
-                            .name(format!("khuzdul-compute-{}-{t}", self.ctx.my_part))
-                            .spawn(move |_| w.run())
-                            .expect("spawn compute thread");
-                    }
-                })
-                .expect("compute scope");
-            }
-        }
-
-        // Write back scheduling state.
-        let consumed_resumes = resume_idx.load(Ordering::SeqCst).min(old_resumes.len());
-        let mut resumes = new_resumes.into_inner();
-        resumes.extend_from_slice(&old_resumes[consumed_resumes..]);
-        // End `next`'s mutable borrow of self.levels before re-borrowing.
-        #[allow(clippy::drop_non_drop)]
-        drop(next);
-        let chunk = &mut self.levels[cur];
-        chunk.cursor = cursor.load(Ordering::SeqCst).min(total);
-        chunk.resumes = resumes;
-        let grown =
-            self.levels.get(cur + 1).map_or(0, |c| c.embs.len()).saturating_sub(next_before);
-        if !terminal {
-            self.obs.observe(Metric::ChunkFanout, grown as u64);
-        }
-        self.obs.span(SpanKind::Extend, ets, grown as u64);
-        self.count += counter.load(Ordering::SeqCst);
-        self.compute += t0.elapsed();
-    }
-}
-
-/// Shared state of one extend phase; each compute thread runs
-/// [`Worker::run`].
-struct Worker<'a, 'c, 'e> {
-    ctx: &'a PartCtx<'e>,
-    read: &'a [Chunk],
-    cur: usize,
-    lp: &'a LevelPlan,
-    terminal: bool,
-    pair: Option<PairMode>,
-    next: &'a Option<Mutex<&'c mut Chunk>>,
-    old_resumes: &'a [Resume],
-    resume_idx: &'a AtomicUsize,
-    cursor: &'a AtomicUsize,
-    full: &'a AtomicBool,
-    new_resumes: &'a Mutex<Vec<Resume>>,
-    counter: &'a AtomicU64,
-}
-
-impl Worker<'_, '_, '_> {
-    fn run(&self) {
-        let total = self.read[self.cur].embs.len();
-        let mut scratch = Scratch::default();
-        let mut local_count = 0u64;
-        loop {
-            if self.full.load(Ordering::Acquire)
-                || self.ctx.stop.is_some_and(|s| s.load(Ordering::Relaxed))
-            {
-                break;
-            }
-            // Paused embeddings first, then fresh ones.
-            let r = self.resume_idx.fetch_add(1, Ordering::Relaxed);
-            let (emb, from) = if r < self.old_resumes.len() {
-                (self.old_resumes[r].emb, self.old_resumes[r].cand_offset)
-            } else {
-                let i = self.cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                (i as u32, 0)
-            };
-            if let Some(paused_at) = self.extend_one(emb, from, &mut scratch, &mut local_count) {
-                self.new_resumes.lock().push(Resume { emb, cand_offset: paused_at });
-                self.full.store(true, Ordering::Release);
-                break;
-            }
-        }
-        self.counter.fetch_add(local_count, Ordering::Relaxed);
-    }
-
-    /// Extends one embedding from raw-candidate offset `from`. Returns
-    /// `Some(offset)` if the next chunk filled before all candidates were
-    /// consumed.
-    fn extend_one(
-        &self,
-        emb: u32,
-        from: u32,
-        scratch: &mut Scratch,
-        local_count: &mut u64,
-    ) -> Option<u32> {
-        let ctx = self.ctx;
-        let lp = self.lp;
-        let mut matched = [0 as VertexId; gpm_pattern::MAX_PATTERN_VERTICES];
-        matched_chain(self.read, self.cur, emb, &mut matched);
-        raw_candidates(ctx, self.read, self.cur, emb, lp, &matched, scratch);
-
-        if self.terminal {
-            debug_assert_eq!(from, 0, "terminal levels never pause");
-            if let Some(visit) = ctx.visitor {
-                let mut tuple = [0 as VertexId; gpm_pattern::MAX_PATTERN_VERTICES];
-                tuple[..=self.cur].copy_from_slice(&matched[..=self.cur]);
-                for &cand in &scratch.raw {
-                    if passes_filters(ctx, lp, &matched, cand) {
-                        *local_count += 1;
-                        tuple[self.cur + 1] = cand;
-                        visit(&tuple[..self.cur + 2]);
-                    }
-                }
-            } else {
-                *local_count += count_final(ctx, lp, &matched, &scratch.raw);
-            }
-            return None;
-        }
-
-        if let Some(mode) = self.pair {
-            debug_assert_eq!(from, 0, "pair-counted levels never pause");
-            let k = count_final(ctx, lp, &matched, &scratch.raw);
-            *local_count += match mode {
-                PairMode::Unordered => k * k.saturating_sub(1) / 2,
-                PairMode::Ordered => k * k.saturating_sub(1),
-            };
-            return None;
-        }
-
-        scratch.staged.clear();
-        for (i, &cand) in scratch.raw.iter().enumerate().skip(from as usize) {
-            if passes_filters(ctx, lp, &matched, cand) {
-                scratch.staged.push(StagedChild { vertex: cand, raw_index: i as u32 });
-            }
-        }
-        if scratch.staged.is_empty() {
-            return None;
-        }
-        let inter: Option<&[VertexId]> =
-            if lp.store_intermediate { Some(&scratch.raw) } else { None };
-        let mut next = self.next.as_ref().expect("non-terminal extension has a next chunk").lock();
-        match next.try_push_children(emb, &scratch.staged, lp.new_vertex_active, inter) {
-            PushOutcome::All => None,
-            PushOutcome::Partial(n) => Some(scratch.staged[n].raw_index),
-        }
-    }
-}
-
-/// Per-thread scratch buffers.
-#[derive(Default)]
-struct Scratch {
-    raw: Vec<VertexId>,
-    tmp: Vec<VertexId>,
-    staged: Vec<StagedChild>,
-}
-
-/// Reconstructs the matched vertices along the parent chain.
-fn matched_chain(read: &[Chunk], level: usize, emb: u32, out: &mut [VertexId]) {
-    let (mut l, mut e) = (level, emb);
-    loop {
-        out[l] = read[l].embs[e as usize].vertex;
-        if l == 0 {
-            break;
-        }
-        e = read[l].embs[e as usize].parent;
-        l -= 1;
-    }
-}
-
-/// The edge list of the vertex at `pos` along `emb`'s chain — vertical
-/// data reuse by parent-pointer chasing (§5.1).
-fn list_for<'a>(
-    ctx: &'a PartCtx<'_>,
-    read: &'a [Chunk],
-    mut level: usize,
-    mut emb: u32,
-    pos: usize,
-) -> &'a [VertexId] {
-    while level > pos {
-        emb = read[level].embs[emb as usize].parent;
-        level -= 1;
-    }
-    resolve_ref(ctx, &read[level], &read[level].embs[emb as usize])
-}
-
-fn resolve_ref<'a>(ctx: &'a PartCtx<'_>, chunk: &'a Chunk, e: &'a Emb) -> &'a [VertexId] {
-    match &e.list {
-        ListRef::Local => ctx.part.edge_list(e.vertex).expect("local vertex owned by this part"),
-        ListRef::Cached(list) => list,
-        ListRef::Fetched { start, len } => chunk.fetched(*start, *len),
-        ListRef::Peer(j) => {
-            let peer = &chunk.embs[*j as usize];
-            debug_assert!(!matches!(peer.list, ListRef::Peer(_)), "peer chains are length 1");
-            resolve_ref(ctx, chunk, peer)
-        }
-        ListRef::Pending => panic!("extension reached an unresolved edge list"),
-        ListRef::None => panic!("extension requested an inactive vertex's list"),
-    }
-}
-
-/// Computes the raw candidate set for extending `emb` at level `cur` into
-/// `scratch.raw`, honoring the plan's candidate source (vertical
-/// computation reuse, §5.1).
-fn raw_candidates(
-    ctx: &PartCtx<'_>,
-    read: &[Chunk],
-    cur: usize,
-    emb: u32,
-    lp: &LevelPlan,
-    _matched: &[VertexId],
-    scratch: &mut Scratch,
-) {
-    scratch.raw.clear();
-    let e = &read[cur].embs[emb as usize];
-    match lp.source {
-        CandidateSource::Scratch => {
-            let mut lists: [&[VertexId]; gpm_pattern::MAX_PATTERN_VERTICES] =
-                [&[]; gpm_pattern::MAX_PATTERN_VERTICES];
-            for (k, &pos) in lp.intersect.iter().enumerate() {
-                lists[k] = list_for(ctx, read, cur, emb, pos);
-            }
-            set_ops::intersect_many_into(&lists[..lp.intersect.len()], &mut scratch.raw);
-        }
-        CandidateSource::ParentIntermediate => {
-            let span = e.inter.expect("plan guarantees a stored intermediate");
-            scratch.raw.extend_from_slice(read[cur].inter(span));
-        }
-        CandidateSource::ParentIntermediateAndNew => {
-            let span = e.inter.expect("plan guarantees a stored intermediate");
-            let own = resolve_ref(ctx, &read[cur], e);
-            set_ops::intersect_into(read[cur].inter(span), own, &mut scratch.raw);
-        }
-    }
-    if !lp.subtract.is_empty() {
-        for &pos in &lp.subtract {
-            let list = list_for(ctx, read, cur, emb, pos);
-            scratch.tmp.clear();
-            set_ops::subtract_into(&scratch.raw, list, &mut scratch.tmp);
-            std::mem::swap(&mut scratch.raw, &mut scratch.tmp);
-        }
-    }
-}
-
-/// Order/injectivity/label filters for one candidate.
-#[inline]
-fn passes_filters(ctx: &PartCtx<'_>, lp: &LevelPlan, matched: &[VertexId], cand: VertexId) -> bool {
-    for &p in &lp.lower {
-        if cand <= matched[p] {
-            return false;
-        }
-    }
-    for &p in &lp.upper {
-        if cand >= matched[p] {
-            return false;
-        }
-    }
-    for &p in &lp.distinct {
-        if cand == matched[p] {
-            return false;
-        }
-    }
-    if let Some(required) = lp.label {
-        if ctx.label(cand) != Some(required) {
-            return false;
-        }
-    }
-    true
-}
-
-/// Final-level counting shortcut: order statistics instead of iteration
-/// where the filters allow it.
-fn count_final(ctx: &PartCtx<'_>, lp: &LevelPlan, matched: &[VertexId], raw: &[VertexId]) -> u64 {
-    if lp.label.is_some() {
-        return raw.iter().filter(|&&c| passes_filters(ctx, lp, matched, c)).count() as u64;
-    }
-    let lo: Option<VertexId> = lp.lower.iter().map(|&p| matched[p]).max();
-    let hi: Option<VertexId> = lp.upper.iter().map(|&p| matched[p]).min();
-    let begin = lo.map_or(0, |b| raw.partition_point(|&c| c <= b));
-    let end = hi.map_or(raw.len(), |b| raw.partition_point(|&c| c < b));
-    if begin >= end {
-        return 0;
-    }
-    let mut count = (end - begin) as u64;
-    for &p in &lp.distinct {
-        let m = matched[p];
-        let in_range = lo.is_none_or(|b| m > b) && hi.is_none_or(|b| m < b);
-        if in_range && set_ops::contains(raw, m) {
-            count -= 1;
-        }
-    }
-    count
 }

@@ -1,0 +1,723 @@
+//! The layered scheduler underneath per-part execution.
+//!
+//! Three pieces, bottom-up:
+//!
+//! 1. [`WorkerPool`] — one persistent pool of compute threads per engine
+//!    (`parts × compute_threads`), created lazily on the first run and
+//!    parked on a condvar between extend phases. This replaces the old
+//!    per-extend-phase `crossbeam::thread::scope` spawn storm: a phase is
+//!    dispatched to the already-running threads through a [`Gate`].
+//! 2. [`TaskPool`] — the explicit task model of one extend phase. A
+//!    [`Task`] is a claimable range of the chunk's embedding cursor (or of
+//!    its resume list); coarse tasks are seeded into a per-part injector
+//!    queue, workers split `mini_batch`-sized heads off them, keep the
+//!    remainder in their own LIFO deque, and steal from sibling deques
+//!    when both their deque and the injector run dry.
+//! 3. [`RootLedger`] — the cross-part stealing coordinator. Root ranges
+//!    are claimed from a shared per-part cursor in bounded batches, so an
+//!    idle part can steal the unclaimed tail of a loaded part (and any
+//!    level-0 ranges the loaded part donates to the spill). Only *root
+//!    vertex ids* move between parts — their edge lists still flow through
+//!    the fabric on demand, preserving the paper's "fetch data, never ship
+//!    computation" rule. Termination uses a [`WorkCounter`] quiescence
+//!    check instead of a per-part "my cursor is exhausted" test.
+
+use gpm_cluster::work::WorkCounter;
+use gpm_graph::partition::GraphPart;
+use gpm_graph::VertexId;
+use gpm_obs::{Recorder, SpanKind};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cross-part work-stealing knobs (`Engine` level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StealConfig {
+    /// Whether idle parts may steal unclaimed root ranges (and donated
+    /// level-0 ranges) from loaded parts. Off by default: stealing trades
+    /// extra cross-part fetch traffic for balance, which ablations must
+    /// opt into explicitly.
+    pub enabled: bool,
+    /// Upper bound on roots taken per steal (and per claim once a part is
+    /// feeding from the shared ledger). Smaller batches balance better;
+    /// larger batches amortize seeding overhead.
+    pub batch: usize,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig { enabled: false, batch: 256 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// A phase job: called once per worker with the worker's index.
+///
+/// The `'static` is a lie told only inside [`Gate::run_phase`], which
+/// blocks until every worker has finished the call — the borrowed phase
+/// state therefore strictly outlives every dereference.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct GateState {
+    /// Bumped once per dispatched phase; workers run each epoch once.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers still running (or yet to pick up) the current epoch's job.
+    active: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+/// Rendezvous point between one part's coordinator and its parked compute
+/// workers. All state lives under one mutex, so dispatch and completion
+/// cannot miss wakeups.
+pub(crate) struct Gate {
+    state: Mutex<GateState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            state: Mutex::new(GateState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Runs `f(worker_index)` on all `threads` parked workers and blocks
+    /// until every one of them has returned.
+    ///
+    /// # Panics
+    ///
+    /// Re-panics on the caller if any worker panicked inside `f`, matching
+    /// the old scoped-thread behavior.
+    pub(crate) fn run_phase(&self, threads: usize, f: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: `job` escapes the borrow checker but not this function:
+        // workers only call it between the dispatch below and the
+        // `active == 0` wait returning, and we do not return (or unwind —
+        // the wait loop cannot panic) before that.
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.active, 0, "phase dispatched while another is still running");
+        st.job = Some(job);
+        st.active = threads;
+        st.epoch += 1;
+        self.work_cv.notify_all();
+        while st.active != 0 {
+            self.done_cv.wait(&mut st);
+        }
+        st.job = None;
+        let panicked = std::mem::replace(&mut st.panicked, false);
+        drop(st);
+        if panicked {
+            panic!("a compute worker panicked during a dispatched extend phase");
+        }
+    }
+}
+
+fn worker_loop(gate: &Gate, part: u32, w: usize, rec: &Recorder) {
+    let mut seen = 0u64;
+    loop {
+        let parked_at = rec.now_ns();
+        let job = {
+            let mut st = gate.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.expect("a dispatched epoch always carries a job");
+                }
+                gate.work_cv.wait(&mut st);
+            }
+        };
+        rec.record_span(SpanKind::Park, part, parked_at, w as u64);
+        // A panicking job must still retire its `active` slot, or the
+        // coordinator would wait forever; the panic is re-raised there.
+        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(w))).is_ok();
+        let mut st = gate.state.lock();
+        if !ok {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            gate.done_cv.notify_all();
+        }
+    }
+}
+
+/// The engine's persistent compute threads: `threads` parked workers per
+/// part, spawned once and reused by every subsequent run.
+pub(crate) struct WorkerPool {
+    gates: Vec<Arc<Gate>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    names: Vec<String>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(parts: usize, threads: usize, rec: &Arc<Recorder>) -> WorkerPool {
+        let gates: Vec<Arc<Gate>> = (0..parts).map(|_| Arc::new(Gate::new())).collect();
+        let mut handles = Vec::with_capacity(parts * threads);
+        let mut names = Vec::with_capacity(parts * threads);
+        for (part, gate) in gates.iter().enumerate() {
+            for w in 0..threads {
+                let name = format!("khuzdul-compute-{part}-{w}");
+                names.push(name.clone());
+                let gate = Arc::clone(gate);
+                let rec = Arc::clone(rec);
+                let handle = std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker_loop(&gate, part as u32, w, &rec))
+                    .expect("spawn pooled compute worker");
+                handles.push(handle);
+            }
+        }
+        WorkerPool { gates, handles, names, threads }
+    }
+
+    pub(crate) fn gate(&self, part: usize) -> Arc<Gate> {
+        Arc::clone(&self.gates[part])
+    }
+
+    /// Names of every pooled thread, in spawn order.
+    pub(crate) fn thread_names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for gate in &self.gates {
+            let mut st = gate.state.lock();
+            st.shutdown = true;
+            gate.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("parts", &self.gates.len())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Task model of one extend phase
+// ---------------------------------------------------------------------------
+
+/// A claimable slice of one extend phase's work: half-open index ranges
+/// into either the phase's captured resume list or the chunk's embedding
+/// array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Task {
+    /// `old_resumes[start..end]`: paused embeddings, extended first.
+    Resumes { start: u32, end: u32 },
+    /// `embs[start..end]` from candidate offset 0: fresh embeddings.
+    Fresh { start: u32, end: u32 },
+}
+
+impl Task {
+    pub(crate) fn len(self) -> u32 {
+        match self {
+            Task::Resumes { start, end } | Task::Fresh { start, end } => end - start,
+        }
+    }
+
+    /// Splits off at most `n` leading items; the tail (if any) keeps the
+    /// same variant.
+    fn split_head(self, n: u32) -> (Task, Option<Task>) {
+        if self.len() <= n {
+            return (self, None);
+        }
+        match self {
+            Task::Resumes { start, end } => (
+                Task::Resumes { start, end: start + n },
+                Some(Task::Resumes { start: start + n, end }),
+            ),
+            Task::Fresh { start, end } => {
+                (Task::Fresh { start, end: start + n }, Some(Task::Fresh { start: start + n, end }))
+            }
+        }
+    }
+}
+
+/// Per-phase work queues: one shared injector plus one LIFO deque per
+/// worker. The vendored crossbeam shim has no lock-free deque, so these
+/// are short-critical-section mutexed `VecDeque`s — claims move whole
+/// range tasks, so the lock is taken once per `mini_batch`, not per
+/// embedding.
+pub(crate) struct TaskPool {
+    injector: Mutex<VecDeque<Task>>,
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Unclaimed embedding volume, mirrored into the part's queue-depth
+    /// gauge so the sampler can record imbalance over time.
+    depth: Arc<AtomicUsize>,
+}
+
+impl TaskPool {
+    pub(crate) fn new(workers: usize, depth: Arc<AtomicUsize>) -> TaskPool {
+        depth.store(0, Ordering::Relaxed);
+        TaskPool {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..workers.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            depth,
+        }
+    }
+
+    /// Seeds the phase: `resumes` paused embeddings, any `leftovers`
+    /// ranges returned unprocessed by earlier phases, and the unclaimed
+    /// cursor range `fresh`. Each source is split into at most `pieces`
+    /// coarse tasks so several workers can claim concurrently.
+    pub(crate) fn seed(
+        &self,
+        resumes: u32,
+        leftovers: &[(u32, u32)],
+        fresh: (u32, u32),
+        pieces: u32,
+    ) {
+        let mut tasks: Vec<Task> = Vec::new();
+        push_split(&mut tasks, Task::Resumes { start: 0, end: resumes }, pieces);
+        for &(start, end) in leftovers {
+            push_split(&mut tasks, Task::Fresh { start, end }, pieces);
+        }
+        push_split(&mut tasks, Task::Fresh { start: fresh.0, end: fresh.1 }, pieces);
+        let volume: usize = tasks.iter().map(|t| t.len() as usize).sum();
+        self.depth.store(volume, Ordering::Relaxed);
+        self.injector.lock().extend(tasks);
+    }
+
+    /// Claims up to `mini` embeddings for worker `w`: own deque newest-
+    /// first, then the injector, then the oldest task of a sibling deque.
+    /// Oversized claims are split and the tail stays on `w`'s own deque.
+    pub(crate) fn claim(&self, w: usize, mini: u32) -> Option<Task> {
+        let task = self.pop(w)?;
+        let (head, tail) = task.split_head(mini.max(1));
+        if let Some(tail) = tail {
+            self.deques[w].lock().push_back(tail);
+        }
+        self.depth.fetch_sub(head.len() as usize, Ordering::Relaxed);
+        Some(head)
+    }
+
+    /// Returns the unprocessed remainder of a claimed task (chunk filled
+    /// or the run was stopped mid-batch).
+    pub(crate) fn give_back(&self, w: usize, task: Task) {
+        if task.len() == 0 {
+            return;
+        }
+        self.depth.fetch_add(task.len() as usize, Ordering::Relaxed);
+        self.deques[w].lock().push_back(task);
+    }
+
+    /// Drains every queue after the phase: whatever was never claimed (or
+    /// was given back) is written back to the chunk's scheduling state.
+    pub(crate) fn drain(&self) -> Vec<Task> {
+        let mut out: Vec<Task> = self.injector.lock().drain(..).collect();
+        for dq in &self.deques {
+            out.extend(dq.lock().drain(..));
+        }
+        out
+    }
+
+    fn pop(&self, w: usize) -> Option<Task> {
+        if let Some(t) = self.deques[w].lock().pop_back() {
+            return Some(t);
+        }
+        if let Some(t) = self.injector.lock().pop_front() {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            if let Some(t) = self.deques[(w + off) % n].lock().pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+fn push_split(out: &mut Vec<Task>, task: Task, pieces: u32) {
+    let len = task.len();
+    if len == 0 {
+        return;
+    }
+    let step = len.div_ceil(pieces.max(1));
+    let mut rest = task;
+    loop {
+        let (head, tail) = rest.split_head(step);
+        out.push(head);
+        match tail {
+            Some(t) => rest = t,
+            None => break,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-part root ledger
+// ---------------------------------------------------------------------------
+
+/// Where a claimed root batch came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ClaimSource {
+    /// This part's own unclaimed root range.
+    Own,
+    /// The shared spill of donated level-0 ranges.
+    Spill,
+    /// Stolen from the given part's unclaimed root range.
+    Stolen(usize),
+}
+
+struct PartCursor {
+    part: Arc<GraphPart>,
+    /// Next unclaimed index into `part.owned()`. May overshoot the length
+    /// after racing claims; overshoot is saturated on read.
+    next: AtomicUsize,
+}
+
+/// Run-scoped coordinator for cross-part root stealing and termination.
+///
+/// Every part claims its root work from here in bounded batches instead of
+/// walking a private cursor. Each claimed batch registers one unit on the
+/// [`WorkCounter`]; the claimant retires it once its chunk stack has fully
+/// drained. A part with nothing left to claim is *finished* only when the
+/// counter is quiescent, every cursor is exhausted, and the spill is empty
+/// — otherwise it parks briefly and retries, because a loaded part may
+/// still donate work.
+///
+/// Early-exit race: a claimant moves a cursor (or empties the spill)
+/// *before* registering its counter unit, so a concurrent [`finished`]
+/// observer can see "all drained" while that batch is still being seeded.
+/// This is benign for correctness — claimed work is never dropped, and the
+/// engine still joins every part — the observer merely stops helping a
+/// little early. The converse (reporting unfinished forever) cannot
+/// happen: counter units strictly outlive their batch's processing.
+///
+/// [`finished`]: RootLedger::finished
+pub(crate) struct RootLedger {
+    parts: Vec<PartCursor>,
+    /// Donated level-0 root ranges, claimable by any part.
+    spill: Mutex<Vec<VertexId>>,
+    wc: WorkCounter,
+    /// Number of parts currently idle and polling for work; loaded parts
+    /// consult this to decide whether donating is worthwhile.
+    starving: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    stealing: bool,
+    batch: usize,
+}
+
+impl RootLedger {
+    pub(crate) fn new(parts: Vec<Arc<GraphPart>>, stealing: bool, batch: usize) -> RootLedger {
+        RootLedger {
+            parts: parts
+                .into_iter()
+                .map(|part| PartCursor { part, next: AtomicUsize::new(0) })
+                .collect(),
+            spill: Mutex::new(Vec::new()),
+            wc: WorkCounter::new(),
+            starving: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            stealing,
+            batch: batch.max(1),
+        }
+    }
+
+    pub(crate) fn stealing(&self) -> bool {
+        self.stealing
+    }
+
+    /// Claims the next batch of roots for `me`: own cursor first (up to
+    /// `own_batch` roots), then — with stealing enabled — the donation
+    /// spill, then the unclaimed tail of the most-loaded other part.
+    /// Registers one work unit per returned batch; pair every `Some` with
+    /// a later [`RootLedger::batch_done`].
+    pub(crate) fn claim(
+        &self,
+        me: usize,
+        own_batch: usize,
+    ) -> Option<(ClaimSource, Vec<VertexId>)> {
+        if let Some(roots) = self.claim_range(me, own_batch) {
+            self.wc.add(1);
+            return Some((ClaimSource::Own, roots));
+        }
+        if !self.stealing {
+            return None;
+        }
+        {
+            let mut spill = self.spill.lock();
+            if !spill.is_empty() {
+                let take = self.batch.min(spill.len());
+                let at = spill.len() - take;
+                let roots = spill.split_off(at);
+                self.wc.add(1);
+                return Some((ClaimSource::Spill, roots));
+            }
+        }
+        loop {
+            let victim = (0..self.parts.len())
+                .filter(|&p| p != me && self.remaining(p) > 0)
+                .max_by_key(|&p| self.remaining(p))?;
+            if let Some(roots) = self.claim_range(victim, self.batch) {
+                self.wc.add(1);
+                return Some((ClaimSource::Stolen(victim), roots));
+            }
+            // Lost the race on that victim's last range; look again.
+        }
+    }
+
+    /// Retires one claimed batch (its embeddings are fully processed) and
+    /// wakes idle parts so they re-check for termination.
+    pub(crate) fn batch_done(&self) {
+        self.wc.done();
+        self.idle_cv.notify_all();
+    }
+
+    /// Adds never-started level-0 roots to the shared spill. The donor's
+    /// own batch unit still covers them until a claimant re-registers
+    /// them, and [`RootLedger::finished`] checks the spill directly, so no
+    /// donated root can be dropped.
+    pub(crate) fn donate(&self, mut roots: Vec<VertexId>) {
+        if roots.is_empty() {
+            return;
+        }
+        self.spill.lock().append(&mut roots);
+        self.idle_cv.notify_all();
+    }
+
+    pub(crate) fn set_starving(&self, on: bool) {
+        if on {
+            self.starving.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.starving.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn starving(&self) -> usize {
+        self.starving.load(Ordering::Relaxed)
+    }
+
+    /// Global termination check for a part that found nothing to claim.
+    ///
+    /// Order matters: the work counter is read *first* (its `Acquire` load
+    /// pairs with the `Release` in `done()`), then the cursors, then the
+    /// spill. Seeing the counter at zero first means every retired batch's
+    /// effects are visible; any work added afterwards would re-populate a
+    /// cursor or the spill, which are checked later and would flip the
+    /// verdict back to "not finished".
+    pub(crate) fn finished(&self) -> bool {
+        if !self.wc.is_quiescent() {
+            return false;
+        }
+        if (0..self.parts.len()).any(|p| self.remaining(p) > 0) {
+            return false;
+        }
+        self.spill.lock().is_empty()
+    }
+
+    /// Parks briefly until another part retires a batch or donates work.
+    /// The wait is timed so callers re-check stop flags and termination
+    /// even if a notification slips by.
+    pub(crate) fn wait_for_work(&self) {
+        let mut guard = self.idle_lock.lock();
+        let _ = self.idle_cv.wait_for(&mut guard, Duration::from_millis(1));
+    }
+
+    /// Unclaimed roots left on `part`'s cursor.
+    pub(crate) fn remaining(&self, part: usize) -> usize {
+        let pc = &self.parts[part];
+        // Relaxed everywhere on the cursor: it only partitions an
+        // immutable, Arc-shared slice — no claimant-written payload hangs
+        // off it, so there is nothing for stronger orderings to publish.
+        pc.part.owned().len().saturating_sub(pc.next.load(Ordering::Relaxed))
+    }
+
+    fn claim_range(&self, part: usize, n: usize) -> Option<Vec<VertexId>> {
+        let pc = &self.parts[part];
+        let owned = pc.part.owned();
+        if n == 0 || pc.next.load(Ordering::Relaxed) >= owned.len() {
+            return None;
+        }
+        let start = pc.next.fetch_add(n, Ordering::Relaxed);
+        if start >= owned.len() {
+            return None;
+        }
+        let end = (start + n).min(owned.len());
+        Some(owned[start..end].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen;
+    use gpm_graph::partition::PartitionedGraph;
+
+    fn depth() -> Arc<AtomicUsize> {
+        Arc::new(AtomicUsize::new(0))
+    }
+
+    #[test]
+    fn task_split_head_partitions_the_range() {
+        let t = Task::Fresh { start: 10, end: 30 };
+        let (head, tail) = t.split_head(8);
+        assert_eq!(head, Task::Fresh { start: 10, end: 18 });
+        assert_eq!(tail, Some(Task::Fresh { start: 18, end: 30 }));
+        let (head, tail) = Task::Resumes { start: 0, end: 5 }.split_head(8);
+        assert_eq!(head, Task::Resumes { start: 0, end: 5 });
+        assert_eq!(tail, None);
+    }
+
+    #[test]
+    fn claims_drain_resumes_before_fresh_work() {
+        let pool = TaskPool::new(1, depth());
+        pool.seed(4, &[], (0, 12), 1);
+        let first = pool.claim(0, 64).expect("work seeded");
+        assert_eq!(first, Task::Resumes { start: 0, end: 4 });
+        let second = pool.claim(0, 64).expect("fresh range");
+        assert_eq!(second, Task::Fresh { start: 0, end: 12 });
+        assert!(pool.claim(0, 64).is_none());
+    }
+
+    #[test]
+    fn oversized_claims_split_and_keep_the_tail_local() {
+        let gauge = depth();
+        let pool = TaskPool::new(2, Arc::clone(&gauge));
+        pool.seed(0, &[], (0, 100), 1);
+        assert_eq!(gauge.load(Ordering::Relaxed), 100);
+        let head = pool.claim(0, 16).expect("head");
+        assert_eq!(head.len(), 16);
+        assert_eq!(gauge.load(Ordering::Relaxed), 84);
+        // Worker 1 steals the tail parked on worker 0's deque.
+        let stolen = pool.claim(1, 16).expect("stolen");
+        assert_eq!(stolen, Task::Fresh { start: 16, end: 32 });
+    }
+
+    #[test]
+    fn give_back_restores_depth_and_is_drained() {
+        let gauge = depth();
+        let pool = TaskPool::new(1, Arc::clone(&gauge));
+        pool.seed(0, &[(5, 9)], (20, 24), 1);
+        let t = pool.claim(0, 64).expect("leftover range first");
+        assert_eq!(t, Task::Fresh { start: 5, end: 9 });
+        pool.give_back(0, Task::Fresh { start: 7, end: 9 });
+        assert_eq!(gauge.load(Ordering::Relaxed), 6);
+        let mut rest = pool.drain();
+        rest.sort_by_key(|t| t.len());
+        assert_eq!(
+            rest,
+            vec![Task::Fresh { start: 7, end: 9 }, Task::Fresh { start: 20, end: 24 }]
+        );
+    }
+
+    fn ledger(stealing: bool) -> RootLedger {
+        let g = gen::erdos_renyi(64, 128, 9);
+        let pg = PartitionedGraph::new(&g, 4, 1);
+        let parts = (0..pg.part_count()).map(|p| pg.part_arc(p)).collect();
+        RootLedger::new(parts, stealing, 8)
+    }
+
+    #[test]
+    fn own_claims_walk_the_cursor_and_quiesce() {
+        let ledger = ledger(false);
+        let total = ledger.remaining(0);
+        let mut seen = 0;
+        while let Some((src, roots)) = ledger.claim(0, 10) {
+            assert_eq!(src, ClaimSource::Own);
+            seen += roots.len();
+            ledger.batch_done();
+        }
+        assert_eq!(seen, total);
+        assert_eq!(ledger.remaining(0), 0);
+        // Stealing disabled: other parts' roots are out of reach.
+        assert!(ledger.claim(0, 10).is_none());
+        assert!(ledger.remaining(1) > 0);
+    }
+
+    #[test]
+    fn steals_target_the_most_loaded_part() {
+        let ledger = ledger(true);
+        // Drain part 0's own roots in one oversized claim.
+        let (src, _) = ledger.claim(0, usize::MAX).expect("own roots first");
+        assert_eq!(src, ClaimSource::Own);
+        ledger.batch_done();
+        let before: Vec<usize> = (0..4).map(|p| ledger.remaining(p)).collect();
+        let loaded = (1..4).max_by_key(|&p| before[p]).unwrap();
+        let (src, roots) = ledger.claim(0, 10).expect("steal succeeds");
+        assert_eq!(src, ClaimSource::Stolen(loaded));
+        assert!(!roots.is_empty() && roots.len() <= 8);
+        ledger.batch_done();
+    }
+
+    #[test]
+    fn donated_roots_block_termination_until_claimed() {
+        let ledger = ledger(true);
+        for p in 0..4 {
+            while ledger.claim(p, usize::MAX).is_some() {
+                ledger.batch_done();
+            }
+        }
+        assert!(ledger.finished());
+        ledger.donate(vec![1, 2, 3]);
+        assert!(!ledger.finished());
+        let (src, roots) = ledger.claim(2, 1).expect("spill is claimable by anyone");
+        assert_eq!(src, ClaimSource::Spill);
+        assert_eq!(roots.len(), 3);
+        assert!(!ledger.finished(), "outstanding batch blocks termination");
+        ledger.batch_done();
+        assert!(ledger.finished());
+    }
+
+    #[test]
+    fn pool_runs_phases_and_propagates_panics() {
+        let rec = Recorder::disabled();
+        let pool = WorkerPool::new(2, 3, &rec);
+        assert_eq!(pool.thread_names().len(), 6);
+        let hits = AtomicUsize::new(0);
+        let gate = pool.gate(1);
+        gate.run_phase(3, &|w| {
+            assert!(w < 3);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        gate.run_phase(3, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 6);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.gate(0).run_phase(3, &|w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker panic surfaces on the coordinator");
+        // The pool survives a panicked phase.
+        pool.gate(0).run_phase(3, &|_| {});
+    }
+}

@@ -22,6 +22,12 @@ pub struct PartStats {
     /// this part — the §4.2 memory bound: at most
     /// `chunk_capacity × (depth - 1)` regardless of graph size.
     pub peak_embeddings: usize,
+    /// Roots this part obtained from other parts through the steal
+    /// ledger (cursor steals and spill claims). Zero with stealing off.
+    pub roots_stolen: u64,
+    /// Roots this part donated to the steal ledger's spill for starving
+    /// parts. Zero with stealing off.
+    pub roots_donated: u64,
 }
 
 /// Fractional runtime breakdown (Figure 15).
@@ -138,6 +144,8 @@ impl RunStats {
                     scheduler_ns: p.scheduler.as_nanos() as u64,
                     cache_ns: p.cache.as_nanos() as u64,
                     peak_embeddings: p.peak_embeddings as u64,
+                    roots_stolen: p.roots_stolen,
+                    roots_donated: p.roots_donated,
                 })
                 .collect(),
             histograms: Vec::new(),

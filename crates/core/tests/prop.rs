@@ -2,12 +2,13 @@
 //! single-machine reference interpreter for arbitrary graphs, patterns,
 //! and engine configurations.
 
-use gpm_graph::partition::PartitionedGraph;
+use gpm_graph::partition::{PartitionedGraph, Partitioner};
 use gpm_graph::{gen, GraphBuilder};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::{interp, Pattern};
 use khuzdul::{
     CacheConfig, CachePolicy, Engine, EngineConfig, FabricConfig, FaultPlan, RetryPolicy,
+    StealConfig,
 };
 use proptest::prelude::*;
 use std::time::Duration;
@@ -120,6 +121,46 @@ proptest! {
         let run = engine.try_count(&plan).expect("retries must mask the fault plan");
         engine.shutdown();
         prop_assert_eq!(run.count, expect);
+    }
+
+    #[test]
+    fn counts_invariant_under_work_stealing(
+        seed in 0u64..200,
+        p in arb_pattern(),
+    ) {
+        // Skewed R-MAT under range partitioning: the low-id hub vertices
+        // all land on part 0, so the other parts starve early and the
+        // steal path (cursor steals, spill donations, ledger quiescence)
+        // actually runs. The count must be bit-identical across steal
+        // on/off, thread counts, and part counts.
+        let g = gen::rmat(6, 8, (0.57, 0.19, 0.19), seed);
+        let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+        let mut expect: Option<u64> = None;
+        for parts in [1usize, 4] {
+            for threads in [1usize, 2, 4] {
+                for steal in [false, true] {
+                    let pg = PartitionedGraph::with_partitioner(&g, parts, 1, Partitioner::Range);
+                    let engine = Engine::new(pg, EngineConfig {
+                        compute_threads: threads,
+                        // Small chunks force multi-chunk levels, pauses,
+                        // and leftover hand-backs under stealing.
+                        chunk_capacity: 64,
+                        steal: StealConfig { enabled: steal, batch: 8 },
+                        ..EngineConfig::default()
+                    });
+                    let c = engine.count(&plan).count;
+                    engine.shutdown();
+                    match expect {
+                        None => expect = Some(c),
+                        Some(e) => prop_assert!(
+                            c == e,
+                            "count diverged: parts={} threads={} steal={}: {} != {}",
+                            parts, threads, steal, c, e
+                        ),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

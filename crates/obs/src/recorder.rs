@@ -28,12 +28,22 @@ pub enum Metric {
     ChunkFanout,
     /// In-flight window occupancy observed at each acquire.
     WindowOccupancy,
+    /// Resume entries clamped away in extend write-back because a task
+    /// range outran the captured resume list. Always 0 in a correct
+    /// build: any observation flags a worker accounting bug that the
+    /// write-back clamp would otherwise silently hide.
+    ResumeOverclaim,
 }
 
 impl Metric {
     /// All metrics, in report order.
-    pub const ALL: [Metric; 4] =
-        [Metric::FetchLatencyNs, Metric::BatchBytes, Metric::ChunkFanout, Metric::WindowOccupancy];
+    pub const ALL: [Metric; 5] = [
+        Metric::FetchLatencyNs,
+        Metric::BatchBytes,
+        Metric::ChunkFanout,
+        Metric::WindowOccupancy,
+        Metric::ResumeOverclaim,
+    ];
 
     /// Stable name used in the `RunReport`.
     pub fn name(self) -> &'static str {
@@ -42,6 +52,7 @@ impl Metric {
             Metric::BatchBytes => "batch_bytes",
             Metric::ChunkFanout => "chunk_fanout",
             Metric::WindowOccupancy => "window_occupancy",
+            Metric::ResumeOverclaim => "resume_overclaim",
         }
     }
 
@@ -51,6 +62,7 @@ impl Metric {
             Metric::BatchBytes => 1,
             Metric::ChunkFanout => 2,
             Metric::WindowOccupancy => 3,
+            Metric::ResumeOverclaim => 4,
         }
     }
 }
@@ -66,6 +78,9 @@ pub struct GaugeSample {
     pub inflight: u64,
     /// Cumulative cross-machine bytes at sample time.
     pub network_bytes: u64,
+    /// Unclaimed embedding volume in the part's extend task pool at
+    /// sample time (0 between phases).
+    pub queue_depth: u64,
 }
 
 /// Bounded span buffer: appends until full, then overwrites the oldest
@@ -104,7 +119,7 @@ pub struct Recorder {
     enabled: AtomicBool,
     epoch: Instant,
     shards: Vec<Mutex<Ring>>,
-    hists: [Histogram; 4],
+    hists: [Histogram; 5],
     series: Mutex<Vec<GaugeSample>>,
     recorded: AtomicU64,
     shard_cap: usize,
@@ -289,6 +304,7 @@ impl Recorder {
                 part: g.part as u64,
                 inflight: g.inflight,
                 network_bytes: g.network_bytes,
+                queue_depth: g.queue_depth,
             })
             .collect();
         report.spans = crate::report::SpanStats {
@@ -378,7 +394,13 @@ mod tests {
         rec.record_span(SpanKind::Fetch, 0, 0, 0);
         rec.record_instant(SpanKind::Retry, 0, 1);
         rec.observe(Metric::BatchBytes, 128);
-        rec.record_gauge(GaugeSample { t_ns: 0, part: 0, inflight: 1, network_bytes: 0 });
+        rec.record_gauge(GaugeSample {
+            t_ns: 0,
+            part: 0,
+            inflight: 1,
+            network_bytes: 0,
+            queue_depth: 0,
+        });
         let mut h = rec.handle(0);
         h.span(SpanKind::Extend, h.start(), 3);
         h.flush();
@@ -441,9 +463,27 @@ mod tests {
     #[test]
     fn gauge_series_sorted_by_time_then_part() {
         let rec = Recorder::new(&ObsConfig::enabled());
-        rec.record_gauge(GaugeSample { t_ns: 20, part: 1, inflight: 2, network_bytes: 10 });
-        rec.record_gauge(GaugeSample { t_ns: 10, part: 0, inflight: 1, network_bytes: 5 });
-        rec.record_gauge(GaugeSample { t_ns: 20, part: 0, inflight: 3, network_bytes: 6 });
+        rec.record_gauge(GaugeSample {
+            t_ns: 20,
+            part: 1,
+            inflight: 2,
+            network_bytes: 10,
+            queue_depth: 4,
+        });
+        rec.record_gauge(GaugeSample {
+            t_ns: 10,
+            part: 0,
+            inflight: 1,
+            network_bytes: 5,
+            queue_depth: 0,
+        });
+        rec.record_gauge(GaugeSample {
+            t_ns: 20,
+            part: 0,
+            inflight: 3,
+            network_bytes: 6,
+            queue_depth: 2,
+        });
         let s = rec.series();
         assert_eq!(s.len(), 3);
         assert_eq!((s[0].t_ns, s[0].part), (10, 0));

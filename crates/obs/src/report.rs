@@ -59,6 +59,10 @@ pub struct PartReport {
     pub cache_ns: u64,
     /// Peak live embeddings across all chunk levels.
     pub peak_embeddings: u64,
+    /// Roots this part obtained from other parts (steals + spill claims).
+    pub roots_stolen: u64,
+    /// Roots this part donated to the cross-part spill.
+    pub roots_donated: u64,
 }
 
 /// A named histogram snapshot in the report.
@@ -81,6 +85,8 @@ pub struct SeriesPoint {
     pub inflight: u64,
     /// Cumulative cross-machine bytes at sample time.
     pub network_bytes: u64,
+    /// Unclaimed embedding volume in the part's extend task pool.
+    pub queue_depth: u64,
 }
 
 /// Span accounting: how much of the trace survived the ring buffers.
@@ -164,6 +170,49 @@ impl RunReport {
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name).map(|h| &h.histogram)
     }
+
+    /// Max-over-mean of per-part busy time (the sum of compute, network,
+    /// scheduler, and cache ns). 1.0 means perfectly balanced parts;
+    /// higher means skew. 0.0 when there are no parts or no accounted
+    /// time.
+    pub fn busy_imbalance(&self) -> f64 {
+        let busy: Vec<u64> = self
+            .per_part
+            .iter()
+            .map(|p| p.compute_ns + p.network_ns + p.scheduler_ns + p.cache_ns)
+            .collect();
+        let max = busy.iter().copied().max().unwrap_or(0);
+        let mean = busy.iter().sum::<u64>() as f64 / busy.len().max(1) as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max as f64 / mean
+        }
+    }
+
+    /// Max-over-mean of each part's peak sampled queue depth, from the
+    /// gauge series. 0.0 when the series is empty or always-zero.
+    pub fn queue_depth_imbalance(&self) -> f64 {
+        let parts: Vec<u64> = {
+            let mut ids: Vec<u64> = self.series.iter().map(|s| s.part).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        let peaks: Vec<u64> = parts
+            .iter()
+            .map(|&p| {
+                self.series.iter().filter(|s| s.part == p).map(|s| s.queue_depth).max().unwrap_or(0)
+            })
+            .collect();
+        let max = peaks.iter().copied().max().unwrap_or(0);
+        let mean = peaks.iter().sum::<u64>() as f64 / peaks.len().max(1) as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max as f64 / mean
+        }
+    }
 }
 
 #[cfg(test)]
@@ -199,12 +248,20 @@ mod tests {
                 scheduler_ns: 1,
                 cache_ns: 1,
                 peak_embeddings: 7,
+                roots_stolen: 4,
+                roots_donated: 0,
             }],
             histograms: vec![NamedHistogram {
                 name: "fetch_latency_ns".to_string(),
                 histogram: HistogramSnapshot::from_buckets(vec![0, 2, 1], 7),
             }],
-            series: vec![SeriesPoint { t_ns: 100, part: 0, inflight: 2, network_bytes: 1024 }],
+            series: vec![SeriesPoint {
+                t_ns: 100,
+                part: 0,
+                inflight: 2,
+                network_bytes: 1024,
+                queue_depth: 16,
+            }],
             spans: SpanStats { recorded: 12, dropped: 0 },
         }
     }

@@ -6,7 +6,7 @@
 /// events stack on the same track per part: chunk lifecycle on lane 0,
 /// resolve on 1, bucket rounds on 2, fetches/retries on 3, cache traffic
 /// on 4, responder service and fault injection on 5, baseline scheduler
-/// scans on 6.
+/// scans on 6, load balancing (steal/donate/park/idle) on 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SpanKind {
     /// Seeding root embeddings for a part (arg = number seeded).
@@ -37,6 +37,16 @@ pub enum SpanKind {
     CacheGc,
     /// Baseline task/job execution (arg = job id).
     Job,
+    /// Instant: a root batch was stolen from another part (arg = victim).
+    Steal,
+    /// Instant: never-started level-0 roots were donated to the steal
+    /// spill (arg = number of roots).
+    Donate,
+    /// A pooled compute worker parked between extend phases (arg = worker
+    /// index within the part).
+    Park,
+    /// A part coordinator idled waiting for stealable work.
+    Idle,
 }
 
 impl SpanKind {
@@ -57,6 +67,10 @@ impl SpanKind {
             SpanKind::SchedulerScan => "scheduler_scan",
             SpanKind::CacheGc => "cache_gc",
             SpanKind::Job => "job",
+            SpanKind::Steal => "steal",
+            SpanKind::Donate => "donate",
+            SpanKind::Park => "park",
+            SpanKind::Idle => "idle",
         }
     }
 
@@ -70,6 +84,7 @@ impl SpanKind {
             SpanKind::CacheLookup | SpanKind::CacheInsert | SpanKind::CacheGc => 4,
             SpanKind::Serve | SpanKind::Fault => 5,
             SpanKind::SchedulerScan => 6,
+            SpanKind::Steal | SpanKind::Donate | SpanKind::Park | SpanKind::Idle => 7,
         }
     }
 
@@ -82,7 +97,8 @@ impl SpanKind {
             3 => "fetches",
             4 => "cache",
             5 => "responder",
-            _ => "scheduler",
+            6 => "scheduler",
+            _ => "balance",
         }
     }
 }
@@ -117,7 +133,7 @@ impl Span {
 mod tests {
     use super::*;
 
-    const ALL: [SpanKind; 14] = [
+    const ALL: [SpanKind; 18] = [
         SpanKind::SeedRoots,
         SpanKind::Resolve,
         SpanKind::BucketRound,
@@ -132,6 +148,10 @@ mod tests {
         SpanKind::SchedulerScan,
         SpanKind::CacheGc,
         SpanKind::Job,
+        SpanKind::Steal,
+        SpanKind::Donate,
+        SpanKind::Park,
+        SpanKind::Idle,
     ];
 
     #[test]

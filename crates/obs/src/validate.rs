@@ -233,8 +233,17 @@ const TRAFFIC_KEYS: [&str; 7] = [
     "numa_bytes",
 ];
 
-const PART_KEYS: [&str; 7] =
-    ["part", "count", "compute_ns", "network_ns", "scheduler_ns", "cache_ns", "peak_embeddings"];
+const PART_KEYS: [&str; 9] = [
+    "part",
+    "count",
+    "compute_ns",
+    "network_ns",
+    "scheduler_ns",
+    "cache_ns",
+    "peak_embeddings",
+    "roots_stolen",
+    "roots_donated",
+];
 
 const HIST_KEYS: [&str; 5] = ["count", "sum", "p50", "p95", "p99"];
 
@@ -319,7 +328,7 @@ pub fn validate_report(json: &str) -> Result<(), String> {
     let series = as_seq(get(top, "series").ok_or("report.series: missing")?, "series")?;
     for (i, s) in series.iter().enumerate() {
         let m = as_map(s, "series[i]")?;
-        for key in ["t_ns", "part", "inflight", "network_bytes"] {
+        for key in ["t_ns", "part", "inflight", "network_bytes", "queue_depth"] {
             req_u64(m, key, &format!("series[{i}]"))?;
         }
     }
