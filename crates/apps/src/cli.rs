@@ -11,7 +11,7 @@ use gpm_baselines::single::SingleMachine;
 use gpm_graph::datasets::DatasetId;
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::{gen, Graph};
-use gpm_obs::{Recorder, RunReport, REPORT_SCHEMA_VERSION};
+use gpm_obs::{DiffThresholds, Recorder, RunReport, REPORT_SCHEMA_VERSION};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
 use khuzdul::{Engine, EngineConfig, FabricConfig, FaultPlan, ObsConfig, RunStats, StealConfig};
@@ -193,6 +193,14 @@ fn parse_num(s: &str) -> Result<usize, String> {
     s.parse().map_err(|_| format!("'{s}' is not a number"))
 }
 
+fn parse_float(s: &str) -> Result<f64, String> {
+    let f: f64 = s.parse().map_err(|_| format!("'{s}' is not a number"))?;
+    if f.is_nan() || f < 0.0 {
+        return Err(format!("'{s}' must be non-negative"));
+    }
+    Ok(f)
+}
+
 fn parse_fraction(s: &str) -> Result<f64, String> {
     let f: f64 = s.parse().map_err(|_| format!("'{s}' is not a number"))?;
     if !(0.0..=1.0).contains(&f) {
@@ -268,8 +276,9 @@ pub fn parse_gen(spec: &str) -> Result<Graph, String> {
 ///
 /// The first argument may be a subcommand: `count` (default — mine one
 /// pattern), `stats` (graph analysis report), `motifs` (k-motif census),
-/// `fsm` (frequent subgraph mining), or `report-validate` (schema-check
-/// a `RunReport` JSON file produced by `--report-out`).
+/// `fsm` (frequent subgraph mining), `report-validate` (schema-check a
+/// `RunReport` JSON file produced by `--report-out`), or `report diff`
+/// (thresholded regression gate over two report files).
 ///
 /// # Errors
 ///
@@ -281,17 +290,83 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("fsm") => return run_fsm(&args[1..]),
         Some("count") => return run_count(&args[1..]),
         Some("report-validate") => return run_report_validate(&args[1..]),
+        Some("report") => return run_report(&args[1..]),
         _ => {}
     }
     run_count(args)
 }
 
 /// `gpm report-validate FILE`: parse and schema-check a `RunReport`.
+/// Soft findings (e.g. dropped spans) are reported as warnings without
+/// failing validation.
 fn run_report_validate(args: &[String]) -> Result<String, String> {
     let path = args.first().ok_or("report-validate needs a file path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    gpm_obs::validate_report(&text).map_err(|e| format!("{path}: {e}"))?;
-    Ok(format!("{path}: valid RunReport (schema v{REPORT_SCHEMA_VERSION})\n"))
+    let warnings = gpm_obs::validate_report(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = String::new();
+    for w in &warnings {
+        let _ = writeln!(out, "{path}: warning: {w}");
+    }
+    let _ = writeln!(out, "{path}: valid RunReport (schema v{REPORT_SCHEMA_VERSION})");
+    Ok(out)
+}
+
+/// `gpm report SUBCOMMAND`: operations over saved `RunReport` files.
+fn run_report(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("diff") => run_report_diff(&args[1..]),
+        Some(other) => Err(format!("unknown report subcommand '{other}' (expected: diff)")),
+        None => Err("report needs a subcommand: diff <baseline.json> <candidate.json>".into()),
+    }
+}
+
+/// `gpm report diff BASELINE CANDIDATE [threshold flags]`: the perf
+/// regression gate. Prints every comparison; returns `Err` (a non-zero
+/// exit through the binary) when the candidate regresses past the
+/// thresholds. Flags (`--traffic-rel`, `--traffic-abs`,
+/// `--hit-rate-abs`, `--imbalance-abs`, `--frac-rel`, `--frac-abs`)
+/// loosen or tighten the [`DiffThresholds`] defaults — CI comparing two
+/// runs of a stochastic workload wants looser fractions than CI
+/// comparing a run against its own report.
+fn run_report_diff(args: &[String]) -> Result<String, String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut t = DiffThresholds::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--traffic-rel" => t.traffic_rel = parse_float(value()?)?,
+            "--traffic-abs" => t.traffic_abs = parse_float(value()?)?,
+            "--hit-rate-abs" => t.hit_rate_abs = parse_float(value()?)?,
+            "--imbalance-abs" => t.imbalance_abs = parse_float(value()?)?,
+            "--frac-rel" => t.frac_rel = parse_float(value()?)?,
+            "--frac-abs" => t.frac_abs = parse_float(value()?)?,
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            path => paths.push(path),
+        }
+    }
+    let [baseline, candidate] = paths[..] else {
+        return Err(format!(
+            "report diff needs exactly two files: <baseline.json> <candidate.json> (got {})",
+            paths.len()
+        ));
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let diff = gpm_obs::diff_reports(&read(baseline)?, &read(candidate)?, &t)?;
+    let mut out = String::new();
+    for line in &diff.compared {
+        let _ = writeln!(out, "  {line}");
+    }
+    if diff.passed() {
+        let _ = writeln!(out, "PASS: {candidate} within thresholds of {baseline}");
+        return Ok(out);
+    }
+    for r in &diff.regressions {
+        let _ = writeln!(out, "REGRESSION: {r}");
+    }
+    let _ = writeln!(out, "FAIL: {} regression(s) against {baseline}", diff.regressions.len());
+    Err(out)
 }
 
 fn load(source: &GraphSource) -> Result<Graph, String> {
@@ -786,6 +861,85 @@ mod tests {
         assert!(err.contains(&bad.display().to_string()));
         std::fs::remove_file(&bad).ok();
         assert!(run(&argv("report-validate")).is_err()); // no path
+    }
+
+    /// `report diff` as the CI gate uses it: a report self-diffs clean,
+    /// a candidate with 10% more fetch-wait fails with non-empty
+    /// regression lines, and loosened thresholds let it back through.
+    #[test]
+    fn report_diff_subcommand_gates_regressions() {
+        use gpm_obs::{CriticalPathFractions, CriticalPathSection, PartReport, TrafficTotals};
+        let mut base = RunReport {
+            schema_version: REPORT_SCHEMA_VERSION,
+            system: "khuzdul-automine".into(),
+            count: 500,
+            elapsed_ns: 1_000_000,
+            traffic: TrafficTotals {
+                fetch_requests: 900,
+                cache_hits: 500,
+                cache_misses: 400,
+                network_bytes: 1 << 18,
+                ..Default::default()
+            },
+            per_part: (0..4)
+                .map(|p| PartReport {
+                    part: p,
+                    count: 125,
+                    compute_ns: 800,
+                    network_ns: 400,
+                    ..Default::default()
+                })
+                .collect(),
+            critical_path: CriticalPathSection {
+                fractions: CriticalPathFractions {
+                    compute: 0.6,
+                    fetch_wait: 0.3,
+                    responder_queue: 0.06,
+                    retry_backoff: 0.04,
+                },
+                per_part: Vec::new(),
+            },
+            breakdown: Default::default(),
+            histograms: Vec::new(),
+            series: Vec::new(),
+            spans: Default::default(),
+        };
+        let dir = std::env::temp_dir().join(format!("gpm-cli-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bp = dir.join("base.json");
+        let cp = dir.join("cand.json");
+        std::fs::write(&bp, base.to_json()).unwrap();
+        let self_diff =
+            run(&argv(&format!("report diff {} {}", bp.display(), bp.display()))).unwrap();
+        assert!(self_diff.contains("PASS"), "{self_diff}");
+        assert!(self_diff.contains("critical_path.fetch_wait"), "{self_diff}");
+        // Inject the acceptance-criterion regression: +10% fetch wait.
+        base.critical_path.fractions.fetch_wait *= 1.10;
+        base.critical_path.fractions.compute -= 0.03;
+        std::fs::write(&cp, base.to_json()).unwrap();
+        let err =
+            run(&argv(&format!("report diff {} {}", bp.display(), cp.display()))).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        assert!(err.contains("fetch_wait"), "{err}");
+        // Loosened thresholds (a noisy run-pair comparison) pass it.
+        let loose = run(&argv(&format!(
+            "report diff {} {} --frac-rel 0.5 --frac-abs 0.1",
+            bp.display(),
+            cp.display()
+        )))
+        .unwrap();
+        assert!(loose.contains("PASS"), "{loose}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_diff_argument_errors() {
+        assert!(run(&argv("report")).is_err());
+        assert!(run(&argv("report frobnicate")).is_err());
+        assert!(run(&argv("report diff only-one.json")).is_err());
+        assert!(run(&argv("report diff a.json b.json --bogus 1")).is_err());
+        assert!(run(&argv("report diff a.json b.json --frac-rel x")).is_err());
+        assert!(run(&argv("report diff /nonexistent/a.json /nonexistent/b.json")).is_err());
     }
 
     #[test]

@@ -92,7 +92,8 @@ impl CtdCluster {
     fn count_plan(&self, plan: &MatchingPlan) -> RunStats {
         let parts = self.pg.part_count();
         let metrics = ClusterMetrics::new(parts, self.pg.sockets_per_machine());
-        let post: PostOffice<Job> = PostOffice::new(parts, metrics);
+        let post: PostOffice<Job> =
+            PostOffice::new_observed(parts, metrics, Arc::clone(&self.recorder));
         let wc = WorkCounter::new();
         let roots_done = AtomicUsize::new(0);
         let total = AtomicU64::new(0);
@@ -340,6 +341,17 @@ mod tests {
         let sys = CtdCluster::new(pg).with_recorder(Arc::clone(&rec));
         let stats = sys.count(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
         assert!(rec.spans().iter().any(|s| s.kind == SpanKind::Job), "no job spans recorded");
+        // Every shipped job left a linked send→recv pair in the trace.
+        let spans = rec.spans();
+        let sent: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::PostSend).collect();
+        assert!(!sent.is_empty(), "3-part run shipped no jobs");
+        for s in &sent {
+            assert_ne!(s.link, 0, "post sends must carry a message id");
+        }
+        assert!(
+            spans.iter().any(|s| s.kind == SpanKind::PostRecv && sent[0].link == s.link),
+            "first shipped job has no matching receive"
+        );
         let report = sys.report(&stats);
         assert_eq!(report.system, "ctd");
         assert_eq!(report.traffic.network_bytes, stats.traffic.network_bytes);

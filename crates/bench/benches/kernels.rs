@@ -96,6 +96,23 @@ fn bench_obs_overhead(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("histogram_observe", name), |bench| {
             bench.iter(|| rec.observe(black_box(Metric::ChunkFanout), black_box(17)))
         });
+        // The causal-tracing variant: a linked span through the central
+        // recorder, as the fabric's issue/serve/wait triples record
+        // them. Disabled must cost the same single relaxed-atomic
+        // branch as the unlinked path (now_ns is also branch-only when
+        // off).
+        g.bench_function(BenchmarkId::new("linked_span_record", name), |bench| {
+            bench.iter(|| {
+                let ts = rec.now_ns();
+                rec.record_span_linked(
+                    black_box(SpanKind::Fetch),
+                    black_box(0),
+                    ts,
+                    black_box(1),
+                    black_box(42),
+                );
+            })
+        });
     }
     let graph = gen::erdos_renyi(500, 3_000, 7);
     let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::automine()).unwrap();

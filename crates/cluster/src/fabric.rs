@@ -387,9 +387,21 @@ impl EdgeListClient {
         let submitted_ns = self.obs.now_ns();
         let (reply_tx, reply_rx) = unbounded();
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        // The causal request id: the first attempt's seq, offset by one
+        // so 0 stays "unlinked". Retries get a fresh seq (the fault plan
+        // re-rolls per seq) but keep this id, so every span of the
+        // lifecycle — issue, serves, retries, and the consuming wait —
+        // shares one link.
+        let req_id = seq + 1;
+        self.obs.record_instant_linked(
+            SpanKind::FetchIssue,
+            self.part as u32,
+            target as u64,
+            req_id,
+        );
         self.transport.submit(
             target,
-            WireRequest { seq, vertices: wire.clone() },
+            WireRequest { seq, req_id, from: self.part, vertices: wire.clone() },
             reply_tx.clone(),
         )?;
         Ok(PendingFetch {
@@ -400,6 +412,7 @@ impl EdgeListClient {
             reply_tx,
             reply_rx,
             seq,
+            req_id,
             attempts: 1,
             submitted: Instant::now(),
             submitted_ns,
@@ -425,6 +438,8 @@ pub struct PendingFetch {
     reply_tx: Sender<WireReply>,
     reply_rx: Receiver<WireReply>,
     seq: u64,
+    /// Causal request id (first-attempt seq + 1), stable across retries.
+    req_id: u64,
     attempts: u32,
     /// First submission time; the network model's transfer delay is
     /// measured from here so concurrent in-flight transfers overlap.
@@ -438,6 +453,14 @@ impl PendingFetch {
     /// The part this fetch targets.
     pub fn target(&self) -> PartId {
         self.target
+    }
+
+    /// The causal request id of this fetch, stable across retries and
+    /// nonzero by construction. Wait-side callers stamp it on the span
+    /// covering their blocked `recv` (see `gpm_obs::Span::link`) so the
+    /// trace links the wait to the issue and the responder's serve.
+    pub fn request_id(&self) -> u64 {
+        self.req_id
     }
 
     /// Blocks until the reply arrives (retrying on loss or transient
@@ -472,11 +495,12 @@ impl PendingFetch {
         let req_bytes = HEADER_BYTES + 4 * self.wire.len() as u64;
         let resp_bytes = lists.response_bytes();
         let obs = &self.client.obs;
-        obs.record_span(
+        obs.record_span_linked(
             SpanKind::Fetch,
             self.client.part as u32,
             self.submitted_ns,
             self.target as u64,
+            self.req_id,
         );
         obs.observe(Metric::FetchLatencyNs, self.submitted.elapsed().as_nanos() as u64);
         obs.observe(Metric::BatchBytes, resp_bytes);
@@ -506,20 +530,30 @@ impl PendingFetch {
             return Err(FetchError::Timeout { target: self.target, attempts: self.attempts });
         }
         let backoff = retry.backoff.saturating_mul(1 << (self.attempts - 1).min(16));
+        // The Retry span covers the backoff sleep so the critical-path
+        // pass can subtract self-inflicted backoff from fetch-wait time.
+        let backoff_start = self.client.obs.now_ns();
         if !backoff.is_zero() {
             std::thread::sleep(backoff);
         }
         my.record_retry();
-        self.client.obs.record_instant(
+        self.client.obs.record_span_linked(
             SpanKind::Retry,
             self.client.part as u32,
+            backoff_start,
             self.attempts as u64,
+            self.req_id,
         );
         self.attempts += 1;
         self.seq = self.client.seq.fetch_add(1, Ordering::Relaxed);
         self.client.transport.submit(
             self.target,
-            WireRequest { seq: self.seq, vertices: self.wire.clone() },
+            WireRequest {
+                seq: self.seq,
+                req_id: self.req_id,
+                from: self.client.part,
+                vertices: self.wire.clone(),
+            },
             self.reply_tx.clone(),
         )
     }
@@ -919,6 +953,72 @@ mod tests {
         let retries = spans.iter().filter(|s| s.kind == SpanKind::Retry).count() as u64;
         assert_eq!(retries, service.metrics().total_retries());
         assert!(retries > 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn fetch_lifecycle_spans_share_one_link() {
+        // Tentpole: issue, responder serve, and the completed fetch all
+        // carry the same nonzero causal link, and distinct requests get
+        // distinct links.
+        let (_, pg) = cluster(2, 1);
+        let obs = Recorder::new(&gpm_obs::ObsConfig::enabled());
+        let service =
+            EdgeListService::start_observed(&pg, None, FabricConfig::default(), Arc::clone(&obs));
+        let client = service.client(1);
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(2).collect();
+        client.fetch(0, &owned[..1]).unwrap();
+        client.fetch(0, &owned[1..]).unwrap();
+        let spans = obs.spans();
+        let mut links = Vec::new();
+        for s in &spans {
+            match s.kind {
+                SpanKind::FetchIssue | SpanKind::Fetch | SpanKind::Serve => {
+                    assert_ne!(s.link, 0, "unlinked lifecycle span: {s:?}");
+                    links.push(s.link);
+                }
+                _ => {}
+            }
+        }
+        links.sort_unstable();
+        // Two requests × (issue + serve + fetch) = two groups of three.
+        assert_eq!(links.len(), 6, "spans: {spans:?}");
+        assert_eq!(links[0], links[2]);
+        assert_eq!(links[3], links[5]);
+        assert_ne!(links[0], links[3]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn retry_spans_keep_the_original_link() {
+        // Retries roll a fresh wire seq (the fault plan re-rolls per
+        // seq) but the causal link must survive, so backoff time lands
+        // on the right request in the critical path.
+        let (_, pg) = cluster(2, 1);
+        let obs = Recorder::new(&gpm_obs::ObsConfig::enabled());
+        let fabric = FabricConfig {
+            retry: faulty_retry(),
+            fault: Some(FaultPlan::drops(0.5)),
+            ..FabricConfig::default()
+        };
+        let service = EdgeListService::start_observed(&pg, None, fabric, Arc::clone(&obs));
+        let client = service.client(1);
+        for &v in pg.part(0).owned().iter().take(20) {
+            client.fetch(0, &[v]).unwrap();
+        }
+        let spans = obs.spans();
+        let retries: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Retry).collect();
+        assert!(!retries.is_empty(), "50% drops must force retries");
+        for r in &retries {
+            assert_ne!(r.link, 0, "retry span lost its link: {r:?}");
+            assert!(
+                spans.iter().any(|s| s.kind == SpanKind::Fetch && s.link == r.link),
+                "retry link {} has no completed fetch",
+                r.link
+            );
+            // The retry span covers the backoff sleep (500µs here).
+            assert!(r.dur_ns >= 400_000, "retry span too short: {r:?}");
+        }
         service.shutdown();
     }
 

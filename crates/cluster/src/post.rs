@@ -4,11 +4,31 @@
 //! embeddings (plus carried edge lists) between machines instead of
 //! fetching data; the G-thinker baseline ships task state. This module
 //! provides the byte-accounted transport those baselines use.
+//!
+//! Like the fetch fabric, the post office propagates a **trace
+//! context**: every message carries an auto-assigned id and its sender,
+//! and an observed office (see [`PostOffice::new_observed`]) records
+//! linked `PostSend`/`PostRecv` instants — so a baseline trace shows the
+//! same send→receive arrows the engine's fetch lifecycle gets.
 
 use crate::metrics::ClusterMetrics;
 use crate::PartId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use gpm_obs::{Recorder, SpanKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Internal channel payload: the message plus its trace context.
+#[derive(Debug)]
+struct Envelope<T> {
+    /// Auto-assigned message id (nonzero), the causal link between the
+    /// send and receive instants.
+    msg_id: u64,
+    /// The sending part.
+    from: PartId,
+    msg: T,
+}
 
 /// A cluster-wide typed mailbox network: every part can send to every
 /// part; each part owns one receive queue.
@@ -28,17 +48,28 @@ use std::time::Duration;
 /// ```
 #[derive(Debug)]
 pub struct PostOffice<T> {
-    senders: Vec<Sender<T>>,
-    receivers: Vec<Receiver<T>>,
+    senders: Vec<Sender<Envelope<T>>>,
+    receivers: Vec<Receiver<Envelope<T>>>,
     metrics: ClusterMetrics,
+    obs: Arc<Recorder>,
+    next_id: Arc<AtomicU64>,
 }
 
 impl<T: Send> PostOffice<T> {
     /// Creates mailboxes for `parts` parts reporting into `metrics`.
     pub fn new(parts: usize, metrics: ClusterMetrics) -> Self {
+        Self::new_observed(parts, metrics, Recorder::disabled())
+    }
+
+    /// Like [`PostOffice::new`], additionally recording a linked
+    /// `PostSend` instant per send and `PostRecv` per delivery into
+    /// `obs` (both carry the message's auto-assigned id as their causal
+    /// link).
+    pub fn new_observed(parts: usize, metrics: ClusterMetrics, obs: Arc<Recorder>) -> Self {
         assert_eq!(metrics.part_count(), parts, "metrics sized for a different cluster");
-        let (senders, receivers): (Vec<_>, Vec<_>) = (0..parts).map(|_| unbounded::<T>()).unzip();
-        PostOffice { senders, receivers, metrics }
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..parts).map(|_| unbounded::<Envelope<T>>()).unzip();
+        PostOffice { senders, receivers, metrics, obs, next_id: Arc::new(AtomicU64::new(0)) }
     }
 
     /// The endpoint of `part`: cheap to clone; receiving is multi-consumer
@@ -54,6 +85,8 @@ impl<T: Send> PostOffice<T> {
             senders: self.senders.clone(),
             receiver: self.receivers[part].clone(),
             metrics: self.metrics.clone(),
+            obs: Arc::clone(&self.obs),
+            next_id: Arc::clone(&self.next_id),
         }
     }
 
@@ -67,9 +100,11 @@ impl<T: Send> PostOffice<T> {
 #[derive(Debug, Clone)]
 pub struct Endpoint<T> {
     part: PartId,
-    senders: Vec<Sender<T>>,
-    receiver: Receiver<T>,
+    senders: Vec<Sender<Envelope<T>>>,
+    receiver: Receiver<Envelope<T>>,
     metrics: ClusterMetrics,
+    obs: Arc<Recorder>,
+    next_id: Arc<AtomicU64>,
 }
 
 impl<T: Send> Endpoint<T> {
@@ -92,22 +127,37 @@ impl<T: Send> Endpoint<T> {
     pub fn send(&self, to: PartId, msg: T, bytes: u64) {
         let class = self.metrics.classify(self.part, to);
         self.metrics.part(self.part).record_fetch(class, bytes, 0);
-        self.senders[to].send(msg).expect("post office receiver dropped");
+        // Offset by one so 0 stays "unlinked" (gpm_obs::Span::link).
+        let msg_id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.obs.record_instant_linked(SpanKind::PostSend, self.part as u32, bytes, msg_id);
+        self.senders[to]
+            .send(Envelope { msg_id, from: self.part, msg })
+            .expect("post office receiver dropped");
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<T> {
-        self.receiver.try_recv().ok()
+        self.receiver.try_recv().ok().map(|env| self.open(env))
     }
 
     /// Blocking receive with timeout; `None` on timeout or disconnect.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
-        self.receiver.recv_timeout(timeout).ok()
+        self.receiver.recv_timeout(timeout).ok().map(|env| self.open(env))
     }
 
     /// Number of messages waiting in this part's queue.
     pub fn pending(&self) -> usize {
         self.receiver.len()
+    }
+
+    fn open(&self, env: Envelope<T>) -> T {
+        self.obs.record_instant_linked(
+            SpanKind::PostRecv,
+            self.part as u32,
+            env.from as u64,
+            env.msg_id,
+        );
+        env.msg
     }
 }
 
@@ -115,6 +165,7 @@ impl<T: Send> Endpoint<T> {
 mod tests {
     use super::*;
     use crate::metrics::TrafficClass;
+    use gpm_obs::ObsConfig;
 
     #[test]
     fn roundtrip_and_accounting() {
@@ -167,6 +218,43 @@ mod tests {
         e0.send(1, 1, 1);
         e0.send(1, 2, 1);
         assert_eq!(e1.pending(), 2);
+    }
+
+    #[test]
+    fn observed_office_links_send_to_recv() {
+        let obs = Recorder::new(&ObsConfig::enabled());
+        let post: PostOffice<u8> =
+            PostOffice::new_observed(2, ClusterMetrics::new(2, 1), Arc::clone(&obs));
+        let e0 = post.endpoint(0);
+        let e1 = post.endpoint(1);
+        e0.send(1, 7, 24);
+        e0.send(1, 8, 24);
+        assert_eq!(e1.try_recv(), Some(7));
+        assert_eq!(e1.try_recv(), Some(8));
+        let spans = obs.spans();
+        let sends: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::PostSend).collect();
+        let recvs: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::PostRecv).collect();
+        assert_eq!(sends.len(), 2);
+        assert_eq!(recvs.len(), 2);
+        for send in &sends {
+            assert_ne!(send.link, 0);
+            assert!(
+                recvs.iter().any(|r| r.link == send.link && r.arg == 0),
+                "send {} has no matching recv from part 0",
+                send.link
+            );
+        }
+        assert_ne!(sends[0].link, sends[1].link, "distinct messages share a link");
+    }
+
+    #[test]
+    fn unobserved_office_records_nothing() {
+        let post: PostOffice<u8> = PostOffice::new(2, ClusterMetrics::new(2, 1));
+        let e0 = post.endpoint(0);
+        e0.send(1, 1, 1);
+        post.endpoint(1).try_recv();
+        // The disabled recorder saw nothing.
+        assert_eq!(e0.obs.spans_recorded(), 0);
     }
 
     #[test]

@@ -87,10 +87,23 @@ pub(crate) fn checked_offset(len: usize) -> Result<u32, usize> {
 /// One edge-list request on the wire, tagged with the issuing client's
 /// sequence number so replies (and stale replies from timed-out attempts)
 /// can be matched back to the right in-flight fetch.
+///
+/// Besides the per-attempt `seq`, every request carries a **trace
+/// context**: the request id (stable across retries) and the issuing
+/// part. The responder stamps its `Serve` span with the request id, so
+/// the issue, every retry, the responder's service interval, and the
+/// client wait that consumes the reply all share one causal link — the
+/// raw material for flow arrows in the trace and for critical-path
+/// attribution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireRequest {
     /// Client-assigned sequence number; a retry gets a fresh one.
     pub seq: u64,
+    /// Causal request id, stable across retries; 0 means the request is
+    /// untraced (see `gpm_obs::Span::link`).
+    pub req_id: u64,
+    /// The part that issued this request.
+    pub from: PartId,
     /// The vertices whose edge lists are requested.
     pub vertices: Vec<VertexId>,
 }
@@ -178,11 +191,12 @@ impl ChannelTransport {
                         let payload = serve(&part, &req.vertices);
                         if let Ok(lists) = &payload {
                             part_metrics.record_served(lists.response_bytes());
-                            obs.record_span(
+                            obs.record_span_linked(
                                 SpanKind::Serve,
                                 part_id as u32,
                                 t0,
                                 lists.response_bytes(),
+                                req.req_id,
                             );
                         }
                         // A dropped reply receiver just means the client
@@ -364,14 +378,14 @@ impl Transport for FaultInjectingTransport {
         match self.plan.decide(target, req.seq) {
             Fault::None => self.inner.submit(target, req, reply_to),
             Fault::Drop => {
-                self.obs.record_instant(SpanKind::Fault, target as u32, 1);
+                self.obs.record_instant_linked(SpanKind::Fault, target as u32, 1, req.req_id);
                 // Serve the request but lose the reply: the receiver of
                 // this channel is dropped right here.
                 let (black_hole, _) = unbounded::<WireReply>();
                 self.inner.submit(target, req, black_hole)
             }
             Fault::Error => {
-                self.obs.record_instant(SpanKind::Fault, target as u32, 2);
+                self.obs.record_instant_linked(SpanKind::Fault, target as u32, 2, req.req_id);
                 let _ = reply_to.send(WireReply {
                     seq: req.seq,
                     payload: Err(FetchError::Injected { target }),
@@ -379,7 +393,7 @@ impl Transport for FaultInjectingTransport {
                 Ok(())
             }
             Fault::Delay => {
-                self.obs.record_instant(SpanKind::Fault, target as u32, 3);
+                self.obs.record_instant_linked(SpanKind::Fault, target as u32, 3, req.req_id);
                 let (tx, rx) = unbounded::<WireReply>();
                 let delay = self.plan.delay;
                 std::thread::spawn(move || {

@@ -446,13 +446,16 @@ impl<'e> PartRun<'e> {
         for (t, rx) in pending {
             let bts = self.obs.start();
             let tw = Instant::now();
-            let outcome = rx
-                .recv()
-                .map_err(|_| FetchError::Shutdown)
-                .and_then(|issued| issued)
-                .and_then(PendingFetch::wait);
+            // Pull the causal request id off the issued fetch before
+            // consuming it, so the span covering this blocked wait links
+            // to the issue/serve spans of the request it waited on.
+            let issued = rx.recv().map_err(|_| FetchError::Shutdown).and_then(|issued| issued);
+            let (req_id, outcome) = match issued {
+                Ok(p) => (p.request_id(), p.wait()),
+                Err(e) => (0, Err(e)),
+            };
             network_wait += tw.elapsed();
-            self.obs.span(SpanKind::BucketRound, bts, t as u64);
+            self.obs.span_linked(SpanKind::BucketRound, bts, t as u64, req_id);
             let lists = match outcome {
                 Ok(lists) => lists,
                 // Keep draining the remaining completions so every

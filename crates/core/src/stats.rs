@@ -151,6 +151,7 @@ impl RunStats {
             histograms: Vec::new(),
             series: Vec::new(),
             spans: gpm_obs::SpanStats::default(),
+            critical_path: gpm_obs::CriticalPathSection::default(),
         }
     }
 

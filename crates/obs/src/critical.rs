@@ -1,0 +1,239 @@
+//! Critical-path attribution over linked spans.
+//!
+//! The paper's headline claim is that chunked BFS-DFS compute hides
+//! remote fetch latency (§5, Fig. 15/19). Checking that claim needs more
+//! than flat per-thread intervals: a slow run must be attributable to
+//! *waiting on an in-flight fetch* vs *queueing behind a busy responder*
+//! vs *retry backoff* vs *compute*. This pass walks each part's
+//! dependency chain using the causal links stamped on spans (see
+//! [`Span::link`]) and decomposes accounted wall time into those four
+//! buckets.
+//!
+//! The model:
+//!
+//! * **Compute** is the sum of `SeedRoots`, `Extend`, and `Job` span
+//!   durations per part.
+//! * Each `BucketRound` span is a *blocked wait* — the coordinator
+//!   sitting in `rx.recv()`/`PendingFetch::wait` for one request. When
+//!   the wait carries a link and the linked lifecycle (issue, responder
+//!   serve, retries) survives in the trace, the wait interval `W` splits
+//!   into:
+//!   * **responder queue** — `|W ∩ [issue, serve_start]|`: the request
+//!     was submitted but the responder had not started serving it;
+//!   * **retry backoff** — `Σ |W ∩ retry_i|`: the client was sleeping
+//!     between attempts;
+//!   * **fetch wait** — the remainder: the responder was actively
+//!     serving, or the reply was in (modelled) flight.
+//! * Waits with no link — or whose lifecycle was overwritten in a full
+//!   ring — count wholly as fetch wait and are tallied separately as
+//!   `unlinked_waits`, so a truncated attribution is visible rather than
+//!   silently precise.
+//!
+//! Fractions are each bucket over the accounted total, so they sum to 1
+//! whenever any time was accounted and are all zero otherwise.
+
+use crate::report::{CriticalPathFractions, CriticalPathSection, PartCriticalPath};
+use crate::span::{Span, SpanKind};
+use std::collections::HashMap;
+
+/// Linked lifecycle of one request, reconstructed from the trace.
+#[derive(Debug, Default, Clone)]
+struct Lifecycle {
+    /// Earliest issue timestamp (FetchIssue instant or Fetch span start).
+    issue_ns: Option<u64>,
+    /// Earliest responder serve start.
+    serve_start_ns: Option<u64>,
+    /// Retry backoff intervals `[start, end)`.
+    retries: Vec<(u64, u64)>,
+}
+
+/// Overlap length of `[a0, a1)` and `[b0, b1)`, 0 when disjoint.
+fn overlap(a0: u64, a1: u64, b0: u64, b1: u64) -> u64 {
+    a1.min(b1).saturating_sub(a0.max(b0))
+}
+
+/// Runs the critical-path pass over `spans` (any order) and returns the
+/// report section: per-part nanosecond decomposition plus run-wide
+/// fractions. An empty or link-free trace yields all-zero fractions.
+pub fn critical_path(spans: &[Span]) -> CriticalPathSection {
+    let mut lifecycles: HashMap<u64, Lifecycle> = HashMap::new();
+    for s in spans {
+        if s.link == 0 {
+            continue;
+        }
+        // Only lifecycle-contributing kinds may create an entry: a wait
+        // whose lifecycle spans were dropped must look up nothing and be
+        // tallied as unlinked, not find an empty lifecycle here.
+        match s.kind {
+            SpanKind::Fetch | SpanKind::FetchIssue => {
+                let life = lifecycles.entry(s.link).or_default();
+                life.issue_ns = Some(life.issue_ns.map_or(s.start_ns, |t| t.min(s.start_ns)));
+            }
+            SpanKind::Serve => {
+                let life = lifecycles.entry(s.link).or_default();
+                life.serve_start_ns =
+                    Some(life.serve_start_ns.map_or(s.start_ns, |t| t.min(s.start_ns)));
+            }
+            SpanKind::Retry => {
+                let life = lifecycles.entry(s.link).or_default();
+                life.retries.push((s.start_ns, s.start_ns + s.dur_ns));
+            }
+            _ => {}
+        }
+    }
+
+    let mut per_part: HashMap<u32, PartCriticalPath> = HashMap::new();
+    for s in spans {
+        let entry = per_part
+            .entry(s.part)
+            .or_insert_with(|| PartCriticalPath { part: s.part as u64, ..Default::default() });
+        match s.kind {
+            SpanKind::SeedRoots | SpanKind::Extend | SpanKind::Job => {
+                entry.compute_ns += s.dur_ns;
+            }
+            SpanKind::BucketRound => {
+                let (w0, w1) = (s.start_ns, s.start_ns + s.dur_ns);
+                let life = if s.link != 0 { lifecycles.get(&s.link) } else { None };
+                match life {
+                    Some(l) => {
+                        let queue = match (l.issue_ns, l.serve_start_ns) {
+                            (Some(issue), Some(serve)) => overlap(w0, w1, issue, serve),
+                            _ => 0,
+                        };
+                        let backoff: u64 =
+                            l.retries.iter().map(|&(r0, r1)| overlap(w0, w1, r0, r1)).sum();
+                        entry.responder_queue_ns += queue;
+                        entry.retry_backoff_ns += backoff;
+                        entry.fetch_wait_ns += s.dur_ns.saturating_sub(queue + backoff);
+                        entry.linked_waits += 1;
+                    }
+                    None => {
+                        entry.fetch_wait_ns += s.dur_ns;
+                        entry.unlinked_waits += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut parts: Vec<PartCriticalPath> = per_part.into_values().collect();
+    parts.sort_unstable_by_key(|p| p.part);
+    // Drop parts that contributed nothing to any bucket (e.g. a part id
+    // that only emitted cache instants) to keep the section compact.
+    parts.retain(|p| {
+        p.compute_ns + p.fetch_wait_ns + p.responder_queue_ns + p.retry_backoff_ns > 0
+            || p.linked_waits + p.unlinked_waits > 0
+    });
+
+    let compute: u64 = parts.iter().map(|p| p.compute_ns).sum();
+    let fetch_wait: u64 = parts.iter().map(|p| p.fetch_wait_ns).sum();
+    let queue: u64 = parts.iter().map(|p| p.responder_queue_ns).sum();
+    let backoff: u64 = parts.iter().map(|p| p.retry_backoff_ns).sum();
+    let total = compute + fetch_wait + queue + backoff;
+    let fractions = if total == 0 {
+        CriticalPathFractions::default()
+    } else {
+        let t = total as f64;
+        CriticalPathFractions {
+            compute: compute as f64 / t,
+            fetch_wait: fetch_wait as f64 / t,
+            responder_queue: queue as f64 / t,
+            retry_backoff: backoff as f64 / t,
+        }
+    };
+    CriticalPathSection { fractions, per_part: parts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, part: u32, start: u64, dur: u64, link: u64) -> Span {
+        Span { kind, part, start_ns: start, dur_ns: dur, arg: 0, link }
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_fractions() {
+        let cp = critical_path(&[]);
+        assert_eq!(cp.fractions, CriticalPathFractions::default());
+        assert!(cp.per_part.is_empty());
+    }
+
+    #[test]
+    fn linked_wait_splits_into_queue_backoff_and_fetch() {
+        // Request 7 on part 0: issued at 100, responder starts serving
+        // at 160, a retry backoff covers [180, 200). The wait covers
+        // [100, 300): 60ns queue, 20ns backoff, 120ns fetch wait.
+        let spans = vec![
+            span(SpanKind::FetchIssue, 0, 100, 0, 7),
+            span(SpanKind::Fetch, 0, 100, 200, 7),
+            span(SpanKind::Serve, 1, 160, 30, 7),
+            span(SpanKind::Retry, 0, 180, 20, 7),
+            span(SpanKind::BucketRound, 0, 100, 200, 7),
+            span(SpanKind::Extend, 0, 300, 100, 0),
+        ];
+        let cp = critical_path(&spans);
+        let p0 = cp.per_part.iter().find(|p| p.part == 0).expect("part 0 present");
+        assert_eq!(p0.responder_queue_ns, 60);
+        assert_eq!(p0.retry_backoff_ns, 20);
+        assert_eq!(p0.fetch_wait_ns, 120);
+        assert_eq!(p0.compute_ns, 100);
+        assert_eq!(p0.linked_waits, 1);
+        assert_eq!(p0.unlinked_waits, 0);
+        let f = cp.fractions;
+        let sum = f.compute + f.fetch_wait + f.responder_queue + f.retry_backoff;
+        assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+        assert!((f.compute - 100.0 / 300.0).abs() < 1e-9);
+        assert!((f.responder_queue - 60.0 / 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlinked_wait_is_all_fetch_wait() {
+        let spans = vec![
+            span(SpanKind::BucketRound, 2, 0, 50, 0),
+            span(SpanKind::BucketRound, 2, 60, 40, 99), // link with no lifecycle
+        ];
+        let cp = critical_path(&spans);
+        let p = &cp.per_part[0];
+        assert_eq!(p.part, 2);
+        assert_eq!(p.fetch_wait_ns, 90);
+        assert_eq!(p.unlinked_waits, 2);
+        assert_eq!(p.linked_waits, 0);
+        assert_eq!(cp.fractions.fetch_wait, 1.0);
+    }
+
+    #[test]
+    fn reply_ready_before_wait_has_no_queue_time() {
+        // The serve finished before the coordinator even started
+        // waiting: the whole (short) wait is recv overhead → fetch wait.
+        let spans = vec![
+            span(SpanKind::Fetch, 0, 100, 50, 3),
+            span(SpanKind::Serve, 1, 110, 20, 3),
+            span(SpanKind::BucketRound, 0, 200, 10, 3),
+        ];
+        let cp = critical_path(&spans);
+        let p0 = cp.per_part.iter().find(|p| p.part == 0).expect("part 0");
+        assert_eq!(p0.responder_queue_ns, 0);
+        assert_eq!(p0.fetch_wait_ns, 10);
+    }
+
+    #[test]
+    fn fractions_never_exceed_one() {
+        // Overlapping queue + backoff larger than the wait must saturate,
+        // not underflow.
+        let spans = vec![
+            span(SpanKind::Fetch, 0, 0, 10, 5),
+            span(SpanKind::Serve, 1, 1000, 10, 5),
+            span(SpanKind::Retry, 0, 0, 1000, 5),
+            span(SpanKind::BucketRound, 0, 0, 100, 5),
+        ];
+        let cp = critical_path(&spans);
+        let f = cp.fractions;
+        for v in [f.compute, f.fetch_wait, f.responder_queue, f.retry_backoff] {
+            assert!((0.0..=1.0).contains(&v), "fraction {v} out of range");
+        }
+        let sum = f.compute + f.fetch_wait + f.responder_queue + f.retry_backoff;
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

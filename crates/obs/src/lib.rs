@@ -23,6 +23,11 @@
 //!   Perfetto) and a versioned machine-readable [`RunReport`]
 //!   (schema [`REPORT_SCHEMA_VERSION`]) that subsumes the engine's
 //!   `TrafficSummary`/`Breakdown` and adds percentiles per metric.
+//! * **Causal links** — spans of one request lifecycle share a nonzero
+//!   [`Span::link`]; the trace exporter renders them as flow arrows
+//!   (issue → serve → wait), [`critical_path`] decomposes wall time
+//!   into compute/fetch-wait/queue/backoff fractions from them, and
+//!   [`diff_reports`] gates CI on those fractions regressing.
 //!
 //! **Overhead model**: every record method first loads a relaxed
 //! [`AtomicBool`](std::sync::atomic::AtomicBool) and returns if tracing
@@ -31,6 +36,8 @@
 
 #![warn(missing_docs)]
 
+mod critical;
+mod diff;
 mod hist;
 mod recorder;
 mod report;
@@ -38,11 +45,14 @@ mod span;
 mod trace;
 mod validate;
 
+pub use critical::critical_path;
+pub use diff::{diff_reports, DiffThresholds, ReportDiff};
 pub use hist::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
 pub use recorder::{GaugeSample, Metric, ObsHandle, Recorder};
 pub use report::{
-    BreakdownFractions, NamedHistogram, PartReport, RunReport, SeriesPoint, SpanStats,
-    TrafficTotals, REPORT_SCHEMA_VERSION,
+    BreakdownFractions, CriticalPathFractions, CriticalPathSection, NamedHistogram,
+    PartCriticalPath, PartReport, RingOccupancy, RunReport, SeriesPoint, SpanStats, TrafficTotals,
+    REPORT_SCHEMA_VERSION,
 };
 pub use span::{Span, SpanKind};
 pub use trace::chrome_trace;

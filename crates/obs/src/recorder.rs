@@ -35,25 +35,34 @@ pub enum Metric {
     ResumeOverclaim,
 }
 
-impl Metric {
-    /// All metrics, in report order.
-    pub const ALL: [Metric; 5] = [
-        Metric::FetchLatencyNs,
-        Metric::BatchBytes,
-        Metric::ChunkFanout,
-        Metric::WindowOccupancy,
-        Metric::ResumeOverclaim,
-    ];
+/// One row per metric: its report index and stable name. The single
+/// source of truth — `Metric::ALL`, `Metric::name`, and the validator's
+/// allowed-histogram-name list all derive from this table, so adding a
+/// metric cannot desync the recorder from the schema check.
+const METRIC_TABLE: [(Metric, &str); 5] = [
+    (Metric::FetchLatencyNs, "fetch_latency_ns"),
+    (Metric::BatchBytes, "batch_bytes"),
+    (Metric::ChunkFanout, "chunk_fanout"),
+    (Metric::WindowOccupancy, "window_occupancy"),
+    (Metric::ResumeOverclaim, "resume_overclaim"),
+];
 
-    /// Stable name used in the `RunReport`.
-    pub fn name(self) -> &'static str {
-        match self {
-            Metric::FetchLatencyNs => "fetch_latency_ns",
-            Metric::BatchBytes => "batch_bytes",
-            Metric::ChunkFanout => "chunk_fanout",
-            Metric::WindowOccupancy => "window_occupancy",
-            Metric::ResumeOverclaim => "resume_overclaim",
+impl Metric {
+    /// All metrics, in report order (derived from the metric table).
+    pub const ALL: [Metric; 5] = {
+        let mut all = [METRIC_TABLE[0].0; METRIC_TABLE.len()];
+        let mut i = 0;
+        while i < METRIC_TABLE.len() {
+            all[i] = METRIC_TABLE[i].0;
+            i += 1;
         }
+        all
+    };
+
+    /// Stable name used in the `RunReport` (derived from the metric
+    /// table).
+    pub fn name(self) -> &'static str {
+        METRIC_TABLE[self.index()].1
     }
 
     fn index(self) -> usize {
@@ -169,31 +178,71 @@ impl Recorder {
     /// Records a span from `start_ns` (from [`Recorder::now_ns`]) to now.
     #[inline]
     pub fn record_span(&self, kind: SpanKind, part: u32, start_ns: u64, arg: u64) {
+        self.record_span_linked(kind, part, start_ns, arg, 0);
+    }
+
+    /// Like [`Recorder::record_span`] with a causal `link` id (0 =
+    /// unlinked) tying the span to a request lifecycle.
+    #[inline]
+    pub fn record_span_linked(
+        &self,
+        kind: SpanKind,
+        part: u32,
+        start_ns: u64,
+        arg: u64,
+        link: u64,
+    ) {
         if !self.is_enabled() {
             return;
         }
         let end = self.epoch.elapsed().as_nanos() as u64;
-        self.push(Span { kind, part, start_ns, dur_ns: end.saturating_sub(start_ns), arg });
+        self.push(Span { kind, part, start_ns, dur_ns: end.saturating_sub(start_ns), arg, link });
     }
 
     /// Records a span with explicit endpoints. Exists so tests (and any
     /// replay tooling) can produce byte-identical exports from synthetic
     /// timestamps, independent of wall-clock jitter.
     pub fn record_span_at(&self, kind: SpanKind, part: u32, start_ns: u64, end_ns: u64, arg: u64) {
+        self.record_span_at_linked(kind, part, start_ns, end_ns, arg, 0);
+    }
+
+    /// [`Recorder::record_span_at`] with a causal `link` id.
+    pub fn record_span_at_linked(
+        &self,
+        kind: SpanKind,
+        part: u32,
+        start_ns: u64,
+        end_ns: u64,
+        arg: u64,
+        link: u64,
+    ) {
         if !self.is_enabled() {
             return;
         }
-        self.push(Span { kind, part, start_ns, dur_ns: end_ns.saturating_sub(start_ns), arg });
+        self.push(Span {
+            kind,
+            part,
+            start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+            arg,
+            link,
+        });
     }
 
     /// Records an instant event (zero-duration span) stamped now.
     #[inline]
     pub fn record_instant(&self, kind: SpanKind, part: u32, arg: u64) {
+        self.record_instant_linked(kind, part, arg, 0);
+    }
+
+    /// Like [`Recorder::record_instant`] with a causal `link` id.
+    #[inline]
+    pub fn record_instant_linked(&self, kind: SpanKind, part: u32, arg: u64, link: u64) {
         if !self.is_enabled() {
             return;
         }
         let now = self.epoch.elapsed().as_nanos() as u64;
-        self.push(Span { kind, part, start_ns: now, dur_ns: 0, arg });
+        self.push(Span { kind, part, start_ns: now, dur_ns: 0, arg, link });
     }
 
     fn push(&self, span: Span) {
@@ -263,6 +312,25 @@ impl Recorder {
         self.shards.iter().map(|s| s.lock().dropped).sum()
     }
 
+    /// Per-shard ring occupancy, one entry per shard in shard order.
+    /// Surfaced in the report so a truncated trace (nonzero `dropped`)
+    /// is never silently trusted.
+    pub fn ring_occupancy(&self) -> Vec<crate::report::RingOccupancy> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let r = s.lock();
+                crate::report::RingOccupancy {
+                    shard: i as u64,
+                    len: r.buf.len() as u64,
+                    capacity: r.cap as u64,
+                    dropped: r.dropped,
+                }
+            })
+            .collect()
+    }
+
     /// The gauge time series, ordered by `(t_ns, part)`.
     pub fn series(&self) -> Vec<GaugeSample> {
         let mut out = self.series.lock().clone();
@@ -286,7 +354,8 @@ impl Recorder {
     }
 
     /// Fills a report's recorder-owned sections: the per-metric
-    /// histograms, the gauge time series, and the span ring accounting.
+    /// histograms, the gauge time series, the span ring accounting, and
+    /// the critical-path attribution derived from linked spans.
     /// Counter/breakdown fields are the caller's to populate.
     pub fn augment_report(&self, report: &mut crate::report::RunReport) {
         report.histograms = Metric::ALL
@@ -310,7 +379,9 @@ impl Recorder {
         report.spans = crate::report::SpanStats {
             recorded: self.spans_recorded(),
             dropped: self.spans_dropped(),
+            rings: self.ring_occupancy(),
         };
+        report.critical_path = crate::critical::critical_path(&self.spans());
     }
 }
 
@@ -340,6 +411,13 @@ impl ObsHandle {
     /// Buffers a span from `start_ns` to now.
     #[inline]
     pub fn span(&mut self, kind: SpanKind, start_ns: u64, arg: u64) {
+        self.span_linked(kind, start_ns, arg, 0);
+    }
+
+    /// Like [`ObsHandle::span`] with a causal `link` id (0 = unlinked)
+    /// tying the span to the request lifecycle it waited on.
+    #[inline]
+    pub fn span_linked(&mut self, kind: SpanKind, start_ns: u64, arg: u64, link: u64) {
         if !self.rec.is_enabled() {
             return;
         }
@@ -350,6 +428,7 @@ impl ObsHandle {
             start_ns,
             dur_ns: end.saturating_sub(start_ns),
             arg,
+            link,
         });
     }
 
@@ -360,7 +439,7 @@ impl ObsHandle {
             return;
         }
         let now = self.rec.now_ns();
-        self.buf.push(Span { kind, part: self.part, start_ns: now, dur_ns: 0, arg });
+        self.buf.push(Span { kind, part: self.part, start_ns: now, dur_ns: 0, arg, link: 0 });
     }
 
     /// Records one histogram observation on the owning recorder.
@@ -497,5 +576,44 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Metric::ALL.len());
+    }
+
+    #[test]
+    fn metric_table_rows_sit_at_their_own_index() {
+        // `name()` indexes the table by `index()`, so the two must agree.
+        for (i, (m, _)) in METRIC_TABLE.iter().enumerate() {
+            assert_eq!(m.index(), i);
+            assert_eq!(Metric::ALL[i], *m);
+        }
+    }
+
+    #[test]
+    fn linked_spans_carry_their_link() {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        rec.record_span_at_linked(SpanKind::Fetch, 0, 10, 20, 1, 7);
+        rec.record_instant_linked(SpanKind::FetchIssue, 0, 1, 7);
+        rec.record_span_at(SpanKind::Extend, 0, 0, 5, 0);
+        let mut h = rec.handle(0);
+        h.span_linked(SpanKind::BucketRound, h.start(), 1, 7);
+        h.flush();
+        let spans = rec.spans();
+        assert_eq!(spans.iter().filter(|s| s.link == 7).count(), 3);
+        assert_eq!(spans.iter().filter(|s| s.link == 0).count(), 1);
+    }
+
+    #[test]
+    fn ring_occupancy_covers_every_shard() {
+        let cfg = ObsConfig { enabled: true, span_capacity: SHARDS * 2, ..ObsConfig::default() };
+        let rec = Recorder::new(&cfg);
+        for i in 0..5u64 {
+            rec.record_span_at(SpanKind::Job, 0, i, i + 1, i);
+        }
+        let rings = rec.ring_occupancy();
+        assert_eq!(rings.len(), SHARDS);
+        assert_eq!(rings[0].len, 2);
+        assert_eq!(rings[0].capacity, 2);
+        assert_eq!(rings[0].dropped, 3);
+        assert!(rings[1..].iter().all(|r| r.len == 0 && r.dropped == 0));
+        assert_eq!(rings.iter().map(|r| r.dropped).sum::<u64>(), rec.spans_dropped());
     }
 }

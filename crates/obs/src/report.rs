@@ -6,7 +6,11 @@ use serde::Serialize;
 /// Schema version written into every report. Bump on any
 /// field removal/rename or semantic change; additive fields keep the
 /// version (consumers must ignore unknown keys).
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `spans` gained per-shard `rings` occupancy and the report gained
+/// the `critical_path` section (compute/fetch-wait/queue/retry
+/// attribution from linked spans).
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// End-of-run traffic totals, mirroring the engine's `TrafficSummary`
 /// counter-for-counter so the two can be diffed.
@@ -89,13 +93,79 @@ pub struct SeriesPoint {
     pub queue_depth: u64,
 }
 
-/// Span accounting: how much of the trace survived the ring buffers.
+/// Occupancy of one span ring shard at report time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct RingOccupancy {
+    /// Shard index.
+    pub shard: u64,
+    /// Spans currently held.
+    pub len: u64,
+    /// Shard capacity.
+    pub capacity: u64,
+    /// Spans this shard overwrote after filling up.
+    pub dropped: u64,
+}
+
+/// Span accounting: how much of the trace survived the ring buffers.
+/// Nonzero `dropped` means the trace (and anything derived from it, like
+/// the critical-path section) is truncated; `report-validate` warns on
+/// it so truncated traces are never silently trusted.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
 pub struct SpanStats {
     /// Spans offered to the recorder.
     pub recorded: u64,
     /// Spans overwritten because a ring shard filled up.
     pub dropped: u64,
+    /// Per-shard ring occupancy, in shard order (empty when the run did
+    /// not attach a recorder).
+    pub rings: Vec<RingOccupancy>,
+}
+
+/// Wall-time attribution fractions from the critical-path pass. Each is
+/// in `[0, 1]`; together they sum to 1 when any time was accounted and
+/// are all zero otherwise (never NaN).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct CriticalPathFractions {
+    /// Fraction in pattern-extension compute (seed/extend/job spans).
+    pub compute: f64,
+    /// Fraction blocked on a remote fetch in flight (after subtracting
+    /// responder queueing and retry backoff).
+    pub fetch_wait: f64,
+    /// Fraction of blocked time spent queueing behind a busy responder
+    /// (issue until the responder started serving the request).
+    pub responder_queue: f64,
+    /// Fraction of blocked time spent in retry backoff sleeps.
+    pub retry_backoff: f64,
+}
+
+/// Per-part critical-path decomposition, nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct PartCriticalPath {
+    /// Part id.
+    pub part: u64,
+    /// Nanoseconds in compute spans.
+    pub compute_ns: u64,
+    /// Nanoseconds blocked on in-flight fetches.
+    pub fetch_wait_ns: u64,
+    /// Nanoseconds of blocked time queued behind a responder.
+    pub responder_queue_ns: u64,
+    /// Nanoseconds of blocked time in retry backoff.
+    pub retry_backoff_ns: u64,
+    /// Waits whose request lifecycle was linked and found in the trace.
+    pub linked_waits: u64,
+    /// Waits with no (or a truncated) lifecycle — attributed wholly to
+    /// `fetch_wait_ns`.
+    pub unlinked_waits: u64,
+}
+
+/// The critical-path section of the report (schema v2): how the run's
+/// accounted wall time decomposes along each part's dependency chain.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct CriticalPathSection {
+    /// Run-wide attribution fractions.
+    pub fractions: CriticalPathFractions,
+    /// Per-part nanosecond decomposition, sorted by part.
+    pub per_part: Vec<PartCriticalPath>,
 }
 
 /// The versioned run report written by `--report-out`.
@@ -125,6 +195,9 @@ pub struct RunReport {
     pub series: Vec<SeriesPoint>,
     /// Span ring accounting.
     pub spans: SpanStats,
+    /// Critical-path attribution from linked spans (all-zero when the
+    /// run recorded no spans).
+    pub critical_path: CriticalPathSection,
 }
 
 impl TrafficTotals {
@@ -156,7 +229,9 @@ impl RunReport {
 
     /// Cross-machine bandwidth utilization in `[0, 1]`, per Fig. 19:
     /// observed network bytes over what `machines` full-duplex links at
-    /// `bandwidth_gbps` could carry in the elapsed time.
+    /// `bandwidth_gbps` could carry in the elapsed time. Always finite:
+    /// zero elapsed time, zero machines, or non-positive bandwidth
+    /// return 0.0 rather than dividing by zero.
     pub fn network_utilization(&self, bandwidth_gbps: f64, machines: usize) -> f64 {
         if self.elapsed_ns == 0 || machines == 0 || bandwidth_gbps <= 0.0 {
             return 0.0;
@@ -173,8 +248,9 @@ impl RunReport {
 
     /// Max-over-mean of per-part busy time (the sum of compute, network,
     /// scheduler, and cache ns). 1.0 means perfectly balanced parts;
-    /// higher means skew. 0.0 when there are no parts or no accounted
-    /// time.
+    /// higher means skew. Edge cases are finite and documented: an empty
+    /// `per_part` or one with no accounted time returns 0.0, and a
+    /// single-part report returns exactly 1.0 (max equals mean).
     pub fn busy_imbalance(&self) -> f64 {
         let busy: Vec<u64> = self
             .per_part
@@ -191,7 +267,9 @@ impl RunReport {
     }
 
     /// Max-over-mean of each part's peak sampled queue depth, from the
-    /// gauge series. 0.0 when the series is empty or always-zero.
+    /// gauge series. Edge cases are finite and documented: an empty or
+    /// always-zero series returns 0.0, and a series covering a single
+    /// part returns exactly 1.0 (max equals mean).
     pub fn queue_depth_imbalance(&self) -> f64 {
         let parts: Vec<u64> = {
             let mut ids: Vec<u64> = self.series.iter().map(|s| s.part).collect();
@@ -262,7 +340,28 @@ mod tests {
                 network_bytes: 1024,
                 queue_depth: 16,
             }],
-            spans: SpanStats { recorded: 12, dropped: 0 },
+            spans: SpanStats {
+                recorded: 12,
+                dropped: 0,
+                rings: vec![RingOccupancy { shard: 0, len: 12, capacity: 1024, dropped: 0 }],
+            },
+            critical_path: CriticalPathSection {
+                fractions: CriticalPathFractions {
+                    compute: 0.5,
+                    fetch_wait: 0.3,
+                    responder_queue: 0.15,
+                    retry_backoff: 0.05,
+                },
+                per_part: vec![PartCriticalPath {
+                    part: 0,
+                    compute_ns: 50,
+                    fetch_wait_ns: 30,
+                    responder_queue_ns: 15,
+                    retry_backoff_ns: 5,
+                    linked_waits: 3,
+                    unlinked_waits: 1,
+                }],
+            },
         }
     }
 
@@ -273,8 +372,10 @@ mod tests {
         let b = sample().to_json();
         assert_eq!(a, b);
         assert!(a.ends_with('\n'));
-        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"schema_version\": 2"));
         assert!(a.contains("\"fetch_latency_ns\""));
+        assert!(a.contains("\"critical_path\""));
+        assert!(a.contains("\"rings\""));
     }
 
     #[test]
@@ -304,5 +405,49 @@ mod tests {
     #[test]
     fn report_validates_against_schema() {
         crate::validate_report(&sample().to_json()).expect("sample report must validate");
+    }
+
+    #[test]
+    fn busy_imbalance_edge_cases_are_finite() {
+        // Satellite: zero-part and single-part reports must return the
+        // documented finite values, never NaN.
+        let mut r = sample();
+        r.per_part.clear();
+        assert_eq!(r.busy_imbalance(), 0.0);
+
+        let single = sample();
+        assert_eq!(single.per_part.len(), 1);
+        assert_eq!(single.busy_imbalance(), 1.0);
+
+        let mut idle = sample();
+        idle.per_part[0] = PartReport { part: 0, ..PartReport::default() };
+        assert_eq!(idle.busy_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn queue_depth_imbalance_edge_cases_are_finite() {
+        let mut r = sample();
+        r.series.clear();
+        assert_eq!(r.queue_depth_imbalance(), 0.0);
+
+        let single = sample();
+        assert_eq!(single.queue_depth_imbalance(), 1.0);
+
+        let mut flat = sample();
+        for s in &mut flat.series {
+            s.queue_depth = 0;
+        }
+        assert_eq!(flat.queue_depth_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn network_utilization_zero_elapsed_is_finite() {
+        let mut r = sample();
+        r.elapsed_ns = 0;
+        let u = r.network_utilization(56.0, 4);
+        assert!(u.is_finite());
+        assert_eq!(u, 0.0);
+        assert_eq!(r.network_utilization(0.0, 4), 0.0);
+        assert_eq!(r.network_utilization(-1.0, 4), 0.0);
     }
 }

@@ -6,7 +6,8 @@
 /// events stack on the same track per part: chunk lifecycle on lane 0,
 /// resolve on 1, bucket rounds on 2, fetches/retries on 3, cache traffic
 /// on 4, responder service and fault injection on 5, baseline scheduler
-/// scans on 6, load balancing (steal/donate/park/idle) on 7.
+/// scans on 6, load balancing (steal/donate/park/idle) on 7, post-office
+/// message traffic on 8.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SpanKind {
     /// Seeding root embeddings for a part (arg = number seeded).
@@ -27,7 +28,8 @@ pub enum SpanKind {
     CacheInsert,
     /// Responder thread serving one request (arg = response bytes).
     Serve,
-    /// Instant: a fetch was resubmitted (arg = attempt number).
+    /// A fetch resubmission, spanning the retry backoff sleep
+    /// (arg = attempt number).
     Retry,
     /// Instant: the fault plan injected a fault (arg = 1 drop, 2 error, 3 delay).
     Fault,
@@ -47,6 +49,12 @@ pub enum SpanKind {
     Park,
     /// A part coordinator idled waiting for stealable work.
     Idle,
+    /// Instant: a fetch was submitted to the fabric (arg = target part).
+    FetchIssue,
+    /// Instant: a post-office message was sent (arg = payload bytes).
+    PostSend,
+    /// Instant: a post-office message was received (arg = sender part).
+    PostRecv,
 }
 
 impl SpanKind {
@@ -71,6 +79,9 @@ impl SpanKind {
             SpanKind::Donate => "donate",
             SpanKind::Park => "park",
             SpanKind::Idle => "idle",
+            SpanKind::FetchIssue => "fetch_issue",
+            SpanKind::PostSend => "post_send",
+            SpanKind::PostRecv => "post_recv",
         }
     }
 
@@ -80,11 +91,12 @@ impl SpanKind {
             SpanKind::SeedRoots | SpanKind::Extend | SpanKind::Job | SpanKind::ChunkRelease => 0,
             SpanKind::Resolve => 1,
             SpanKind::BucketRound => 2,
-            SpanKind::Fetch | SpanKind::Retry => 3,
+            SpanKind::Fetch | SpanKind::Retry | SpanKind::FetchIssue => 3,
             SpanKind::CacheLookup | SpanKind::CacheInsert | SpanKind::CacheGc => 4,
             SpanKind::Serve | SpanKind::Fault => 5,
             SpanKind::SchedulerScan => 6,
             SpanKind::Steal | SpanKind::Donate | SpanKind::Park | SpanKind::Idle => 7,
+            SpanKind::PostSend | SpanKind::PostRecv => 8,
         }
     }
 
@@ -98,7 +110,8 @@ impl SpanKind {
             4 => "cache",
             5 => "responder",
             6 => "scheduler",
-            _ => "balance",
+            7 => "balance",
+            _ => "post",
         }
     }
 }
@@ -120,12 +133,19 @@ pub struct Span {
     pub dur_ns: u64,
     /// Kind-specific argument (see each variant's doc).
     pub arg: u64,
+    /// Causal link id tying this span to the request (or message) that
+    /// produced it; 0 means unlinked. All spans of one fetch lifecycle —
+    /// issue, responder serve, retries, and the wait that consumed the
+    /// reply — share one nonzero link, which the Chrome exporter renders
+    /// as flow-event arrows and the critical-path pass walks for
+    /// attribution.
+    pub link: u64,
 }
 
 impl Span {
     /// Sort key giving exporters a deterministic order.
-    pub fn sort_key(&self) -> (u64, u32, SpanKind, u64, u64) {
-        (self.start_ns, self.part, self.kind, self.dur_ns, self.arg)
+    pub fn sort_key(&self) -> (u64, u32, SpanKind, u64, u64, u64) {
+        (self.start_ns, self.part, self.kind, self.dur_ns, self.arg, self.link)
     }
 }
 
@@ -133,7 +153,7 @@ impl Span {
 mod tests {
     use super::*;
 
-    const ALL: [SpanKind; 18] = [
+    const ALL: [SpanKind; 21] = [
         SpanKind::SeedRoots,
         SpanKind::Resolve,
         SpanKind::BucketRound,
@@ -152,6 +172,9 @@ mod tests {
         SpanKind::Donate,
         SpanKind::Park,
         SpanKind::Idle,
+        SpanKind::FetchIssue,
+        SpanKind::PostSend,
+        SpanKind::PostRecv,
     ];
 
     #[test]
@@ -173,9 +196,24 @@ mod tests {
     }
 
     #[test]
+    fn fetch_lifecycle_shares_the_fetch_lane() {
+        // Issue instants and retry spans stack under the fetch they
+        // belong to, so flow arrows stay within two tracks per part.
+        assert_eq!(SpanKind::FetchIssue.lane(), SpanKind::Fetch.lane());
+        assert_eq!(SpanKind::Retry.lane(), SpanKind::Fetch.lane());
+    }
+
+    #[test]
     fn every_lane_has_a_label() {
         for k in ALL {
             assert!(!SpanKind::lane_name(k.lane()).is_empty());
         }
+    }
+
+    #[test]
+    fn link_breaks_sort_ties_last() {
+        let a = Span { kind: SpanKind::Fetch, part: 0, start_ns: 5, dur_ns: 1, arg: 0, link: 1 };
+        let b = Span { link: 2, ..a };
+        assert!(a.sort_key() < b.sort_key());
     }
 }

@@ -8,9 +8,12 @@ use serde::Value;
 /// Each part becomes a process (`pid`), each span-kind lane a thread
 /// (`tid`), so chunks, bucket rounds, and fetches land on distinct
 /// tracks. Intervals emit `ph:"X"` complete events; zero-duration spans
-/// emit `ph:"i"` thread-scoped instants. Spans are sorted by
-/// [`Span::sort_key`] first, so identical recorded data always yields
-/// identical bytes.
+/// emit `ph:"i"` thread-scoped instants. Spans sharing a nonzero causal
+/// link additionally emit a flow (`ph:"s"`/`"t"`/`"f"` with `id` =
+/// link), so Perfetto draws arrows from each fetch issue through the
+/// responder that served it to the wait that consumed the reply. Spans
+/// are sorted by [`Span::sort_key`] first, so identical recorded data
+/// always yields identical bytes.
 pub fn chrome_trace(spans: &[Span]) -> String {
     let mut sorted: Vec<Span> = spans.to_vec();
     sorted.sort_unstable_by_key(|s| s.sort_key());
@@ -37,9 +40,76 @@ pub fn chrome_trace(spans: &[Span]) -> String {
     for s in &sorted {
         events.push(span_event(s));
     }
+    flow_events(&sorted, &mut events);
 
     let doc = Value::Map(vec![("traceEvents".to_string(), Value::Seq(events))]);
     serde_json::to_string(&doc).expect("in-memory serialization")
+}
+
+/// Emits one flow per causal link with at least two member spans: a
+/// start (`ph:"s"`) anchored at the earliest member, step (`ph:"t"`)
+/// arrows through intermediate members, and a finish (`ph:"f"`,
+/// `bp:"e"`) anchored at the end of the member that completes last —
+/// for a fetch lifecycle, the wait that consumed the reply.
+fn flow_events(sorted: &[Span], events: &mut Vec<Value>) {
+    let mut linked: Vec<(u64, usize)> =
+        sorted.iter().enumerate().filter(|(_, s)| s.link != 0).map(|(i, s)| (s.link, i)).collect();
+    linked.sort_unstable();
+    let mut at = 0;
+    while at < linked.len() {
+        let link = linked[at].0;
+        let mut end = at;
+        while end < linked.len() && linked[end].0 == link {
+            end += 1;
+        }
+        let group = &linked[at..end];
+        at = end;
+        if group.len() < 2 {
+            continue; // An arrow needs two endpoints.
+        }
+        // Finish anchor: the member whose interval ends last (ties break
+        // toward the later sort position, i.e. the wait-side span).
+        let finish = group
+            .iter()
+            .map(|&(_, i)| i)
+            .max_by_key(|&i| (sorted[i].start_ns + sorted[i].dur_ns, i))
+            .expect("non-empty group");
+        let (first, rest) = group.split_first().expect("non-empty group");
+        events.push(flow_event(&sorted[first.1], "s", sorted[first.1].start_ns, link));
+        for &(_, i) in rest {
+            if i == finish {
+                continue;
+            }
+            events.push(flow_event(&sorted[i], "t", sorted[i].start_ns, link));
+        }
+        if finish != first.1 {
+            let f = &sorted[finish];
+            events.push(flow_event(f, "f", f.start_ns + f.dur_ns, link));
+        } else {
+            // Degenerate: the earliest member also ends last. Land the
+            // finish on the last member in sort order instead so the
+            // flow still pairs up.
+            let f = &sorted[group[group.len() - 1].1];
+            events.push(flow_event(f, "f", f.start_ns + f.dur_ns, link));
+        }
+    }
+}
+
+fn flow_event(s: &Span, ph: &str, at_ns: u64, link: u64) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::Str("request".to_string())),
+        ("cat".to_string(), Value::Str("khuzdul.flow".to_string())),
+        ("ph".to_string(), Value::Str(ph.to_string())),
+        ("id".to_string(), Value::UInt(link)),
+        ("ts".to_string(), Value::Float(at_ns as f64 / 1000.0)),
+        ("pid".to_string(), Value::UInt(s.part as u64)),
+        ("tid".to_string(), Value::UInt(s.kind.lane() as u64)),
+    ];
+    if ph == "f" {
+        // Bind to the enclosing slice's end, per the trace-event spec.
+        fields.push(("bp".to_string(), Value::Str("e".to_string())));
+    }
+    Value::Map(fields)
 }
 
 fn metadata_event(name: &str, pid: u32, tid: u32, arg_name: Value) -> Value {
@@ -69,7 +139,11 @@ fn span_event(s: &Span) -> Value {
     }
     fields.push(("pid".to_string(), Value::UInt(s.part as u64)));
     fields.push(("tid".to_string(), Value::UInt(s.kind.lane() as u64)));
-    fields.push(("args".to_string(), Value::Map(vec![("arg".to_string(), Value::UInt(s.arg))])));
+    let mut args = vec![("arg".to_string(), Value::UInt(s.arg))];
+    if s.link != 0 {
+        args.push(("link".to_string(), Value::UInt(s.link)));
+    }
+    fields.push(("args".to_string(), Value::Map(args)));
     Value::Map(fields)
 }
 
@@ -79,10 +153,40 @@ mod tests {
 
     fn sample_spans() -> Vec<Span> {
         vec![
-            Span { kind: SpanKind::Extend, part: 0, start_ns: 1000, dur_ns: 5000, arg: 12 },
-            Span { kind: SpanKind::BucketRound, part: 0, start_ns: 2000, dur_ns: 1500, arg: 1 },
-            Span { kind: SpanKind::Fetch, part: 1, start_ns: 2500, dur_ns: 800, arg: 0 },
-            Span { kind: SpanKind::Retry, part: 1, start_ns: 3000, dur_ns: 0, arg: 2 },
+            Span {
+                kind: SpanKind::Extend,
+                part: 0,
+                start_ns: 1000,
+                dur_ns: 5000,
+                arg: 12,
+                link: 0,
+            },
+            Span {
+                kind: SpanKind::BucketRound,
+                part: 0,
+                start_ns: 2000,
+                dur_ns: 1500,
+                arg: 1,
+                link: 0,
+            },
+            Span { kind: SpanKind::Fetch, part: 1, start_ns: 2500, dur_ns: 800, arg: 0, link: 0 },
+            Span { kind: SpanKind::Retry, part: 1, start_ns: 3000, dur_ns: 0, arg: 2, link: 0 },
+        ]
+    }
+
+    fn linked_spans() -> Vec<Span> {
+        vec![
+            Span { kind: SpanKind::FetchIssue, part: 0, start_ns: 100, dur_ns: 0, arg: 1, link: 9 },
+            Span { kind: SpanKind::Fetch, part: 0, start_ns: 100, dur_ns: 400, arg: 1, link: 9 },
+            Span { kind: SpanKind::Serve, part: 1, start_ns: 200, dur_ns: 100, arg: 64, link: 9 },
+            Span {
+                kind: SpanKind::BucketRound,
+                part: 0,
+                start_ns: 150,
+                dur_ns: 400,
+                arg: 1,
+                link: 9,
+            },
         ]
     }
 
@@ -94,6 +198,11 @@ mod tests {
         let mut reversed = spans.clone();
         reversed.reverse();
         assert_eq!(chrome_trace(&spans), chrome_trace(&reversed));
+
+        let linked = linked_spans();
+        let mut linked_rev = linked.clone();
+        linked_rev.reverse();
+        assert_eq!(chrome_trace(&linked), chrome_trace(&linked_rev));
     }
 
     #[test]
@@ -110,6 +219,36 @@ mod tests {
         assert!(json.contains("bucket-rounds"));
         // Distinct tracks for chunk work, bucket rounds, fetches.
         assert!(json.contains(r#""name":"extend","cat":"khuzdul","ph":"X""#));
+        // Unlinked spans produce no flow events.
+        assert!(!json.contains(r#""ph":"s""#));
+    }
+
+    #[test]
+    fn linked_spans_emit_a_paired_flow() {
+        let json = chrome_trace(&linked_spans());
+        crate::validate_trace(&json).expect("linked trace must validate");
+        // One start, two steps, one finish, all with the link as id.
+        assert_eq!(json.matches(r#""ph":"s""#).count(), 1);
+        assert_eq!(json.matches(r#""ph":"t""#).count(), 2);
+        assert_eq!(json.matches(r#""ph":"f""#).count(), 1);
+        assert!(json.contains(r#""cat":"khuzdul.flow""#));
+        assert!(json.contains(r#""id":9"#));
+        assert!(json.contains(r#""bp":"e""#));
+        // Linked span events expose the link in their args.
+        assert!(json.contains(r#""arg":64,"link":9"#));
+        // The finish lands at the end of the latest-ending member (the
+        // bucket-round wait: 150 + 400 = 550ns = 0.55µs).
+        assert!(json.contains(r#""ph":"f","id":9,"ts":0.55"#), "got: {json}");
+    }
+
+    #[test]
+    fn singleton_links_emit_no_flow() {
+        let one =
+            vec![Span { kind: SpanKind::Fetch, part: 0, start_ns: 10, dur_ns: 5, arg: 0, link: 3 }];
+        let json = chrome_trace(&one);
+        crate::validate_trace(&json).expect("must validate");
+        assert!(!json.contains(r#""ph":"s""#));
+        assert!(!json.contains(r#""ph":"f""#));
     }
 
     #[test]

@@ -182,25 +182,25 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
-fn get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+pub(crate) fn get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
-fn as_map<'a>(v: &'a Value, ctx: &str) -> Result<&'a [(String, Value)], String> {
+pub(crate) fn as_map<'a>(v: &'a Value, ctx: &str) -> Result<&'a [(String, Value)], String> {
     match v {
         Value::Map(m) => Ok(m),
         _ => Err(format!("{ctx}: expected object")),
     }
 }
 
-fn as_seq<'a>(v: &'a Value, ctx: &str) -> Result<&'a [Value], String> {
+pub(crate) fn as_seq<'a>(v: &'a Value, ctx: &str) -> Result<&'a [Value], String> {
     match v {
         Value::Seq(s) => Ok(s),
         _ => Err(format!("{ctx}: expected array")),
     }
 }
 
-fn req_u64(map: &[(String, Value)], key: &str, ctx: &str) -> Result<u64, String> {
+pub(crate) fn req_u64(map: &[(String, Value)], key: &str, ctx: &str) -> Result<u64, String> {
     match get(map, key) {
         Some(Value::UInt(u)) => Ok(*u),
         Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
@@ -209,7 +209,7 @@ fn req_u64(map: &[(String, Value)], key: &str, ctx: &str) -> Result<u64, String>
     }
 }
 
-fn req_fraction(map: &[(String, Value)], key: &str, ctx: &str) -> Result<f64, String> {
+pub(crate) fn req_fraction(map: &[(String, Value)], key: &str, ctx: &str) -> Result<f64, String> {
     let f = match get(map, key) {
         Some(Value::Float(f)) => *f,
         Some(Value::UInt(u)) => *u as f64,
@@ -223,7 +223,7 @@ fn req_fraction(map: &[(String, Value)], key: &str, ctx: &str) -> Result<f64, St
     Ok(f)
 }
 
-const TRAFFIC_KEYS: [&str; 7] = [
+pub(crate) const TRAFFIC_KEYS: [&str; 7] = [
     "fetch_requests",
     "cache_hits",
     "cache_misses",
@@ -247,10 +247,23 @@ const PART_KEYS: [&str; 9] = [
 
 const HIST_KEYS: [&str; 5] = ["count", "sum", "p50", "p95", "p99"];
 
+/// Fraction keys of the critical-path section, in report order. Shared
+/// with `report diff` so the gate and the validator check one list.
+pub(crate) const CRITICAL_PATH_FRACTION_KEYS: [&str; 4] =
+    ["compute", "fetch_wait", "responder_queue", "retry_backoff"];
+
 /// Validates a `RunReport` JSON document against schema version
 /// [`REPORT_SCHEMA_VERSION`]: required keys present with the right
-/// types, fractions finite and in `[0, 1]`, percentiles monotone.
-pub fn validate_report(json: &str) -> Result<(), String> {
+/// types, fractions finite and in `[0, 1]`, percentiles monotone,
+/// histogram names drawn from the metric table, and critical-path
+/// fractions summing to 1 ± 0.01 (or all zero).
+///
+/// Returns the list of non-fatal warnings on success — currently a
+/// warning when `spans.dropped` is nonzero (a truncated trace must
+/// never be silently trusted) — and an error string on schema
+/// violation.
+pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
+    let mut warnings = Vec::new();
     let doc = parse_json(json)?;
     let top = as_map(&doc, "report")?;
 
@@ -293,7 +306,12 @@ pub fn validate_report(json: &str) -> Result<(), String> {
     for (i, h) in hists.iter().enumerate() {
         let m = as_map(h, "histograms[i]")?;
         match get(m, "name") {
-            Some(Value::Str(s)) if !s.is_empty() => {}
+            // Allowed names derive from the same table as
+            // `Metric::name`, so the two cannot drift apart.
+            Some(Value::Str(s)) if crate::Metric::ALL.iter().any(|m| m.name() == s) => {}
+            Some(Value::Str(s)) => {
+                return Err(format!("histograms[{i}].name: unknown metric {s:?}"))
+            }
             _ => return Err(format!("histograms[{i}].name: missing or empty")),
         }
         let snap = as_map(
@@ -335,19 +353,68 @@ pub fn validate_report(json: &str) -> Result<(), String> {
 
     let spans = as_map(get(top, "spans").ok_or("report.spans: missing")?, "spans")?;
     req_u64(spans, "recorded", "spans")?;
-    req_u64(spans, "dropped", "spans")?;
+    let dropped = req_u64(spans, "dropped", "spans")?;
+    if dropped > 0 {
+        warnings.push(format!(
+            "spans.dropped: {dropped} spans were overwritten — the trace and the \
+             critical-path attribution derived from it are truncated"
+        ));
+    }
+    let rings = as_seq(get(spans, "rings").ok_or("spans.rings: missing")?, "rings")?;
+    for (i, r) in rings.iter().enumerate() {
+        let m = as_map(r, "rings[i]")?;
+        for key in ["shard", "len", "capacity", "dropped"] {
+            req_u64(m, key, &format!("spans.rings[{i}]"))?;
+        }
+        let (len, cap) = (req_u64(m, "len", "r")?, req_u64(m, "capacity", "r")?);
+        if len > cap {
+            return Err(format!("spans.rings[{i}]: len {len} > capacity {cap}"));
+        }
+    }
 
-    Ok(())
+    let cp = as_map(get(top, "critical_path").ok_or("report.critical_path: missing")?, "cp")?;
+    let fractions =
+        as_map(get(cp, "fractions").ok_or("critical_path.fractions: missing")?, "fractions")?;
+    let mut cp_sum = 0.0;
+    for key in CRITICAL_PATH_FRACTION_KEYS {
+        cp_sum += req_fraction(fractions, key, "critical_path.fractions")?;
+    }
+    if cp_sum != 0.0 && (cp_sum - 1.0).abs() > 0.01 {
+        return Err(format!("critical_path.fractions: sum {cp_sum} not within 1 ± 0.01"));
+    }
+    let cp_parts =
+        as_seq(get(cp, "per_part").ok_or("critical_path.per_part: missing")?, "per_part")?;
+    for (i, p) in cp_parts.iter().enumerate() {
+        let m = as_map(p, "critical_path.per_part[i]")?;
+        for key in [
+            "part",
+            "compute_ns",
+            "fetch_wait_ns",
+            "responder_queue_ns",
+            "retry_backoff_ns",
+            "linked_waits",
+            "unlinked_waits",
+        ] {
+            req_u64(m, key, &format!("critical_path.per_part[{i}]"))?;
+        }
+    }
+
+    Ok(warnings)
 }
 
 /// Validates a Chrome trace-event JSON document: a top-level
 /// `traceEvents` array whose entries all carry `name`/`ph`/`pid`/`tid`,
-/// with `ts` on every non-metadata event.
+/// with `ts` on every non-metadata event, `dur` on complete events, and
+/// `id` on flow events (`ph` of `s`/`t`/`f`). Flow arrows must also be
+/// well-formed: every flow id needs exactly one start (`s`) and one
+/// finish (`f`).
 pub fn validate_trace(json: &str) -> Result<(), String> {
     let doc = parse_json(json)?;
     let top = as_map(&doc, "trace")?;
     let events =
         as_seq(get(top, "traceEvents").ok_or("trace.traceEvents: missing")?, "traceEvents")?;
+    let mut flow_starts: Vec<u64> = Vec::new();
+    let mut flow_finishes: Vec<u64> = Vec::new();
     for (i, ev) in events.iter().enumerate() {
         let m = as_map(ev, "traceEvents[i]")?;
         let ph = match get(m, "ph") {
@@ -373,7 +440,25 @@ pub fn validate_trace(json: &str) -> Result<(), String> {
                     _ => return Err(format!("traceEvents[{i}].dur: missing or invalid")),
                 }
             }
+            if ph == "s" || ph == "t" || ph == "f" {
+                let id = req_u64(m, "id", &format!("traceEvents[{i}]"))?;
+                if ph == "s" {
+                    flow_starts.push(id);
+                } else if ph == "f" {
+                    flow_finishes.push(id);
+                }
+            }
         }
+    }
+    flow_starts.sort_unstable();
+    flow_finishes.sort_unstable();
+    if flow_starts != flow_finishes {
+        return Err("flow events: starts and finishes do not pair up by id".to_string());
+    }
+    let mut deduped = flow_starts.clone();
+    deduped.dedup();
+    if deduped.len() != flow_starts.len() {
+        return Err("flow events: duplicate start for one id".to_string());
     }
     Ok(())
 }
@@ -429,22 +514,106 @@ mod tests {
         assert!(err.contains("schema_version"));
     }
 
+    /// A minimal valid v2 report with one substitutable section.
+    fn v2_report(traffic: &str, spans: &str, critical_path: &str, histograms: &str) -> String {
+        format!(
+            r#"{{
+            "schema_version": 2, "system": "khuzdul", "count": 0, "elapsed_ns": 1,
+            "traffic": {traffic},
+            "breakdown": {{"compute": 0.0, "network": 0.0, "scheduler": 0.0, "cache": 0.0}},
+            "per_part": [], "histograms": {histograms}, "series": [],
+            "spans": {spans},
+            "critical_path": {critical_path}
+        }}"#
+        )
+    }
+
+    const FULL_TRAFFIC: &str = r#"{"fetch_requests": 0, "cache_hits": 0, "cache_misses": 0,
+        "coalesced_requests": 0, "retries": 0, "network_bytes": 0, "numa_bytes": 0}"#;
+    const CLEAN_SPANS: &str = r#"{"recorded": 0, "dropped": 0, "rings": []}"#;
+    const ZERO_CP: &str = r#"{"fractions": {"compute": 0.0, "fetch_wait": 0.0,
+        "responder_queue": 0.0, "retry_backoff": 0.0}, "per_part": []}"#;
+
     #[test]
     fn validate_report_rejects_missing_traffic_key() {
-        let json = r#"{
-            "schema_version": 1, "system": "khuzdul", "count": 0, "elapsed_ns": 1,
-            "traffic": {"fetch_requests": 0},
-            "breakdown": {"compute": 0.0, "network": 0.0, "scheduler": 0.0, "cache": 0.0},
-            "per_part": [], "histograms": [], "series": [],
-            "spans": {"recorded": 0, "dropped": 0}
-        }"#;
-        let err = validate_report(json).unwrap_err();
+        let json = v2_report(r#"{"fetch_requests": 0}"#, CLEAN_SPANS, ZERO_CP, "[]");
+        let err = validate_report(&json).unwrap_err();
         assert!(err.contains("cache_hits"), "got: {err}");
+    }
+
+    #[test]
+    fn validate_report_warns_on_dropped_spans() {
+        let clean = v2_report(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]");
+        assert!(validate_report(&clean).unwrap().is_empty());
+        let truncated = v2_report(
+            FULL_TRAFFIC,
+            r#"{"recorded": 10, "dropped": 3, "rings": [{"shard": 0, "len": 7, "capacity": 7, "dropped": 3}]}"#,
+            ZERO_CP,
+            "[]",
+        );
+        let warnings = validate_report(&truncated).unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("dropped"), "got: {warnings:?}");
+    }
+
+    #[test]
+    fn validate_report_rejects_unbalanced_critical_path() {
+        let bad = v2_report(
+            FULL_TRAFFIC,
+            CLEAN_SPANS,
+            r#"{"fractions": {"compute": 0.5, "fetch_wait": 0.1,
+                "responder_queue": 0.0, "retry_backoff": 0.0}, "per_part": []}"#,
+            "[]",
+        );
+        let err = validate_report(&bad).unwrap_err();
+        assert!(err.contains("critical_path.fractions"), "got: {err}");
+
+        let good = v2_report(
+            FULL_TRAFFIC,
+            CLEAN_SPANS,
+            r#"{"fractions": {"compute": 0.6, "fetch_wait": 0.25,
+                "responder_queue": 0.1, "retry_backoff": 0.05}, "per_part": []}"#,
+            "[]",
+        );
+        validate_report(&good).expect("fractions summing to 1 must validate");
+    }
+
+    #[test]
+    fn validate_report_rejects_unknown_histogram_name() {
+        // The allowed-name list derives from the metric table; a name
+        // that isn't in it must be rejected.
+        let bad = v2_report(
+            FULL_TRAFFIC,
+            CLEAN_SPANS,
+            ZERO_CP,
+            r#"[{"name": "made_up_metric", "histogram":
+                {"count": 0, "sum": 0, "p50": 0, "p95": 0, "p99": 0, "buckets": []}}]"#,
+        );
+        let err = validate_report(&bad).unwrap_err();
+        assert!(err.contains("unknown metric"), "got: {err}");
     }
 
     #[test]
     fn validate_trace_rejects_missing_ts() {
         let json = r#"{"traceEvents": [{"name": "x", "ph": "X", "pid": 0, "tid": 0}]}"#;
         assert!(validate_trace(json).is_err());
+    }
+
+    #[test]
+    fn validate_trace_requires_flow_ids_and_pairing() {
+        // A flow event without an id is rejected.
+        let no_id = r#"{"traceEvents": [
+            {"name": "request", "ph": "s", "pid": 0, "tid": 3, "ts": 1.0}]}"#;
+        assert!(validate_trace(no_id).unwrap_err().contains("id"));
+        // A start without a finish is rejected.
+        let unpaired = r#"{"traceEvents": [
+            {"name": "request", "ph": "s", "pid": 0, "tid": 3, "ts": 1.0, "id": 7}]}"#;
+        assert!(validate_trace(unpaired).unwrap_err().contains("pair"));
+        // A matched start/finish pair validates.
+        let paired = r#"{"traceEvents": [
+            {"name": "request", "ph": "s", "pid": 0, "tid": 3, "ts": 1.0, "id": 7},
+            {"name": "request", "ph": "t", "pid": 1, "tid": 5, "ts": 2.0, "id": 7},
+            {"name": "request", "ph": "f", "bp": "e", "pid": 0, "tid": 2, "ts": 3.0, "id": 7}]}"#;
+        validate_trace(paired).expect("paired flow must validate");
     }
 }

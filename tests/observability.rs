@@ -7,10 +7,12 @@
 //!   `TrafficSummary` counter-for-counter.
 
 use gpm_graph::{gen, partition::PartitionedGraph};
-use gpm_obs::{validate_report, validate_trace, RunReport};
+use gpm_obs::{parse_json, validate_report, validate_trace, RunReport};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
 use khuzdul::{Engine, EngineConfig, ObsConfig, RunStats};
+use serde::Value;
+use std::collections::{HashMap, HashSet};
 
 /// One seeded observed triangle count over 4 machines.
 fn observed_triangle_run() -> (RunStats, RunReport, String) {
@@ -68,6 +70,129 @@ fn report_totals_match_legacy_traffic_summary() {
     assert!(fetch.count > 0, "no fetch latencies recorded");
     assert!(fetch.p50 <= fetch.p95 && fetch.p95 <= fetch.p99);
     assert!(report.spans.recorded > 0);
+}
+
+fn obj<'a>(v: &'a Value, ctx: &str) -> &'a [(String, Value)] {
+    match v {
+        Value::Map(m) => m,
+        other => panic!("{ctx}: expected object, got {other:?}"),
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    obj(v, key).iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match field(v, key) {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn u64_field(v: &Value, key: &str) -> Option<u64> {
+    match field(v, key) {
+        Some(Value::UInt(u)) => Some(*u),
+        _ => None,
+    }
+}
+
+/// The tentpole acceptance criterion: the exported trace of a 4-part
+/// seeded run contains matched flow events (`ph:"s"` paired with
+/// `ph:"f"`) whose ids link a fetch-issue instant, the responder serve
+/// that answered it, and the wait that consumed the reply — all for the
+/// same request — verified by parsing the JSON, not by substring luck.
+#[test]
+fn flow_events_causally_link_the_fetch_lifecycle() {
+    let (_, _, trace) = observed_triangle_run();
+    let doc = parse_json(&trace).expect("trace must parse");
+    let events = match field(&doc, "traceEvents") {
+        Some(Value::Seq(events)) => events,
+        other => panic!("traceEvents: expected array, got {other:?}"),
+    };
+    let mut starts: HashSet<u64> = HashSet::new();
+    let mut finishes: HashSet<u64> = HashSet::new();
+    let mut members: HashMap<u64, HashSet<&str>> = HashMap::new();
+    for e in events {
+        match str_field(e, "ph") {
+            Some("s") | Some("f") if str_field(e, "cat") == Some("khuzdul.flow") => {
+                let id = u64_field(e, "id").expect("flow event without id");
+                let set = if str_field(e, "ph") == Some("s") { &mut starts } else { &mut finishes };
+                set.insert(id);
+            }
+            Some("X") | Some("i") => {
+                let Some(args) = field(e, "args") else { continue };
+                if let Some(link) = u64_field(args, "link") {
+                    members.entry(link).or_default().insert(str_field(e, "name").unwrap());
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(!starts.is_empty(), "traced fetch run emitted no flow starts");
+    assert_eq!(starts, finishes, "every flow start must have a matching finish and vice versa");
+    // At least one request's full lifecycle is linked end to end: the
+    // issue instant, the remote serve, the reply wait, and the bucket
+    // round that blocked on it.
+    let complete = starts
+        .iter()
+        .filter(|id| {
+            members.get(id).is_some_and(|m| {
+                ["fetch_issue", "serve", "fetch", "bucket_round"]
+                    .iter()
+                    .all(|name| m.contains(name))
+            })
+        })
+        .count();
+    assert!(
+        complete > 0,
+        "no flow id links a complete issue/serve/wait lifecycle; members: {members:?}"
+    );
+}
+
+/// Critical-path acceptance: the RunReport of an observed run carries
+/// fractions that sum to 1 ± 0.01, attributed from linked waits, and the
+/// report passes `validate_report` (which enforces the same bound).
+#[test]
+fn critical_path_fractions_sum_to_one() {
+    let (_, report, _) = observed_triangle_run();
+    validate_report(&report.to_json()).expect("report must validate");
+    let f = &report.critical_path.fractions;
+    let sum = f.compute + f.fetch_wait + f.responder_queue + f.retry_backoff;
+    assert!((sum - 1.0).abs() <= 0.01, "fractions must sum to 1: {f:?} (sum {sum})");
+    assert!(f.compute > 0.0, "a triangle count spends time computing");
+    assert_eq!(report.critical_path.per_part.len(), 4, "one attribution row per part");
+    let linked: u64 = report.critical_path.per_part.iter().map(|p| p.linked_waits).sum();
+    assert!(linked > 0, "a 4-part run must attribute at least one linked wait");
+}
+
+/// Regression-gate acceptance: `report diff` passes a report against
+/// itself and exits non-zero (an `Err` through the CLI) on an injected
+/// ≥10% fetch-wait regression.
+#[test]
+fn report_diff_gates_injected_fetch_wait_regression() {
+    let (_, report, _) = observed_triangle_run();
+    let dir = std::env::temp_dir().join(format!("gpm-obs-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let cand = dir.join("cand.json");
+    std::fs::write(&base, report.to_json()).unwrap();
+    let argv = |s: String| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+    let ok =
+        gpm_apps::cli::run(&argv(format!("report diff {} {}", base.display(), base.display())))
+            .expect("a report must not regress against itself");
+    assert!(ok.contains("PASS"), "{ok}");
+    let mut perturbed = report.clone();
+    let f = &mut perturbed.critical_path.fractions;
+    assert!(f.fetch_wait <= 0.85, "no headroom to inject a regression: {f:?}");
+    f.fetch_wait = f.fetch_wait * 1.10 + 0.02;
+    std::fs::write(&cand, perturbed.to_json()).unwrap();
+    let err =
+        gpm_apps::cli::run(&argv(format!("report diff {} {}", base.display(), cand.display())))
+            .expect_err("injected fetch-wait regression must fail the gate");
+    assert!(err.contains("fetch_wait"), "{err}");
+    assert!(err.contains("REGRESSION"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
