@@ -14,7 +14,9 @@ use gpm_graph::{gen, Graph};
 use gpm_obs::{DiffThresholds, Recorder, RunReport, REPORT_SCHEMA_VERSION};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
-use khuzdul::{Engine, EngineConfig, FabricConfig, FaultPlan, ObsConfig, RunStats, StealConfig};
+use khuzdul::{
+    CrashAt, Engine, EngineConfig, FabricConfig, FaultPlan, ObsConfig, RunStats, StealConfig,
+};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
@@ -45,6 +47,15 @@ pub struct Options {
     pub retries: u32,
     /// Fraction of fetch replies to drop (fault injection; 0 = off).
     pub fault_drop: f64,
+    /// Scheduled fail-stop crash: kill part PART after AFTER requests
+    /// (`--fault-crash PART@AFTER`; Khuzdul systems only).
+    pub fault_crash: Option<(usize, u64)>,
+    /// Edge-list replication factor (`--replication N`); with N >= 2 the
+    /// engine survives a single fail-stop part failure.
+    pub replication: usize,
+    /// Declare a part dead as soon as its retry budget is exhausted
+    /// instead of surfacing a timeout (`--fail-fast`).
+    pub fail_fast: bool,
     /// Write a Chrome trace-event JSON file here (enables tracing).
     pub trace_out: Option<String>,
     /// Write a versioned `RunReport` JSON file here (enables tracing).
@@ -135,6 +146,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut window = fabric_default.window;
     let mut retries = fabric_default.retry.max_attempts;
     let mut fault_drop = 0.0f64;
+    let mut fault_crash: Option<(usize, u64)> = None;
+    let mut replication = 1usize;
+    let mut fail_fast = false;
     let mut trace_out: Option<String> = None;
     let mut report_out: Option<String> = None;
     let mut steal = true;
@@ -156,6 +170,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--window" => window = parse_num(value()?)?,
             "--retries" => retries = parse_num(value()?)? as u32,
             "--fault-drop" => fault_drop = parse_fraction(value()?)?,
+            "--fault-crash" => fault_crash = Some(parse_crash(value()?)?),
+            "--replication" => replication = parse_num(value()?)?,
+            "--fail-fast" => fail_fast = true,
             "--trace-out" => trace_out = Some(value()?.to_string()),
             "--report-out" => report_out = Some(value()?.to_string()),
             "--steal" => {
@@ -182,6 +199,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         window: window.max(1),
         retries: retries.max(1),
         fault_drop,
+        fault_crash,
+        replication: replication.max(1),
+        fail_fast,
         trace_out,
         report_out,
         steal,
@@ -199,6 +219,16 @@ fn parse_float(s: &str) -> Result<f64, String> {
         return Err(format!("'{s}' must be non-negative"));
     }
     Ok(f)
+}
+
+/// Parses a `--fault-crash` spec: `PART@AFTER`, e.g. `2@5000` kills
+/// part 2 once 5000 requests have targeted it.
+fn parse_crash(s: &str) -> Result<(usize, u64), String> {
+    let (part, after) = s
+        .split_once('@')
+        .ok_or_else(|| format!("bad crash spec '{s}' (want PART@AFTER, e.g. 2@5000)"))?;
+    let after = after.parse().map_err(|_| format!("'{after}' is not a number"))?;
+    Ok((parse_num(part)?, after))
 }
 
 fn parse_fraction(s: &str) -> Result<f64, String> {
@@ -537,6 +567,14 @@ fn run_count(args: &[String]) -> Result<String, String> {
         stats.traffic.coalesced,
         stats.traffic.retries
     );
+    if stats.failures.parts_failed > 0 {
+        let f = &stats.failures;
+        let _ = writeln!(
+            out,
+            "failure  {} part(s) failed; {} fetches re-routed ({} bytes); {} roots re-executed",
+            f.parts_failed, f.rerouted_requests, f.rerouted_bytes, f.reexecuted_roots
+        );
+    }
     let b = stats.breakdown();
     let _ = writeln!(
         out,
@@ -573,15 +611,31 @@ fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
             let plan = MatchingPlan::compile(&opts.pattern, &plan_opts)?;
             let mut fabric = FabricConfig { window: opts.window, ..FabricConfig::default() };
             fabric.retry.max_attempts = opts.retries;
-            if opts.fault_drop > 0.0 {
-                fabric.fault = Some(FaultPlan::drops(opts.fault_drop));
-                // Dropped replies only resolve via timeout, so the
-                // default (generous) timeout would crawl; tighten it.
+            fabric.fail_fast = opts.fail_fast;
+            if opts.fault_drop > 0.0 || opts.fault_crash.is_some() {
+                let mut fault = if opts.fault_drop > 0.0 {
+                    FaultPlan::drops(opts.fault_drop)
+                } else {
+                    FaultPlan::default()
+                };
+                if let Some((part, after)) = opts.fault_crash {
+                    fault.crash = Some(CrashAt { part, after_requests: after });
+                }
+                fabric.fault = Some(fault);
+                // Dropped replies and a crashed part's abandoned requests
+                // only resolve via timeout, so the default (generous)
+                // timeout would crawl; tighten it.
                 fabric.retry.timeout = Duration::from_millis(25);
                 fabric.retry.backoff = Duration::from_millis(1);
             }
+            let parts = opts.machines * opts.sockets;
             let engine = Engine::new(
-                PartitionedGraph::new(graph, opts.machines, opts.sockets),
+                PartitionedGraph::with_replication(
+                    graph,
+                    opts.machines,
+                    opts.sockets,
+                    opts.replication.min(parts.max(1)),
+                ),
                 EngineConfig {
                     compute_threads: opts.threads,
                     fabric,
@@ -740,6 +794,59 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(clean.trim(), faulty.trim());
+    }
+
+    #[test]
+    fn parse_failure_flags() {
+        let o = parse_args(&argv(
+            "--gen ba:100,3 --pattern triangle --replication 2 --fault-crash 2@5000 --fail-fast",
+        ))
+        .unwrap();
+        assert_eq!(o.replication, 2);
+        assert_eq!(o.fault_crash, Some((2, 5000)));
+        assert!(o.fail_fast);
+        let d = parse_args(&argv("--gen ba:100,3 --pattern triangle")).unwrap();
+        assert_eq!(d.replication, 1);
+        assert_eq!(d.fault_crash, None);
+        assert!(!d.fail_fast);
+        // Replication 0 is clamped to the un-replicated baseline.
+        let z = parse_args(&argv("--gen ba:100,3 --pattern triangle --replication 0")).unwrap();
+        assert_eq!(z.replication, 1);
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --fault-crash 2")).is_err());
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --fault-crash x@5")).is_err());
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --fault-crash 2@y")).is_err());
+    }
+
+    #[test]
+    fn chaos_run_with_replica_agrees_with_clean_run() {
+        let clean =
+            run(&argv("--gen er:120,500,7 --pattern triangle --machines 3 --quiet")).unwrap();
+        // Kill part 1 after a handful of requests; the replica holder
+        // serves its slices and the recovery pass restores the count.
+        let chaos = run(&argv(
+            "--gen er:120,500,7 --pattern triangle --machines 3 --quiet \
+             --replication 2 --fault-crash 1@0",
+        ))
+        .unwrap();
+        assert_eq!(clean.trim(), chaos.trim());
+        // The verbose report calls the failure out.
+        let verbose = run(&argv(
+            "--gen er:120,500,7 --pattern triangle --machines 3 \
+             --replication 2 --fault-crash 1@0",
+        ))
+        .unwrap();
+        assert!(verbose.contains("failure  1 part(s) failed"), "{verbose}");
+        assert!(verbose.contains("re-executed"), "{verbose}");
+    }
+
+    #[test]
+    fn chaos_run_without_replica_reports_the_loss() {
+        let err = run(&argv(
+            "--gen er:120,500,7 --pattern triangle --machines 3 --quiet --fault-crash 1@0",
+        ))
+        .unwrap_err();
+        assert!(err.contains("fail-stopped"), "{err}");
+        assert!(err.contains("replication"), "{err}");
     }
 
     #[test]
@@ -903,6 +1010,7 @@ mod tests {
             histograms: Vec::new(),
             series: Vec::new(),
             spans: Default::default(),
+            failures: Default::default(),
         };
         let dir = std::env::temp_dir().join(format!("gpm-cli-diff-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();

@@ -130,6 +130,7 @@ impl CtdCluster {
                 requests: post.metrics().total_requests(),
                 ..TrafficSummary::default()
             },
+            failures: Default::default(),
         }
     }
 }

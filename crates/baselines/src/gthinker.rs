@@ -131,7 +131,13 @@ impl GThinker {
             ..TrafficSummary::default()
         };
         service.shutdown();
-        RunStats { count: total.into_inner(), elapsed, per_part, traffic }
+        RunStats {
+            count: total.into_inner(),
+            elapsed,
+            per_part,
+            traffic,
+            failures: Default::default(),
+        }
     }
 }
 

@@ -153,6 +153,7 @@ impl ReplicatedCluster {
                     / machines.max(1),
                 ..TrafficSummary::default()
             },
+            failures: Default::default(),
         }
     }
 }

@@ -149,6 +149,7 @@ impl SingleMachine {
             elapsed,
             per_part: vec![PartStats { count: 0, compute: elapsed, ..PartStats::default() }],
             traffic: Default::default(),
+            failures: Default::default(),
         }
     }
 }

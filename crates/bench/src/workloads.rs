@@ -77,6 +77,7 @@ impl App {
                     network_bytes: motifs.network_bytes,
                     ..Default::default()
                 },
+                failures: Default::default(),
             };
         }
         let mut total = RunStats::default();

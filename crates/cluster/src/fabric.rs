@@ -31,9 +31,61 @@ use gpm_graph::VertexId;
 use gpm_obs::{Metric, Recorder, SpanKind};
 use parking_lot::{Condvar, Mutex};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Shared liveness state of the cluster: which parts have been detected
+/// as fail-stop dead, and who holds a replica of each part's slice.
+///
+/// A part is *promoted* to dead when a submission to it returns
+/// [`FetchError::PartDead`] (the transport saw the fail-stop kill), or —
+/// with [`FabricConfig::fail_fast`] — when a fetch to it exhausts its
+/// retry budget. Promotion is broadcast by construction: every client of
+/// the service shares this one structure, so after the first detection
+/// all later fetches route around the dead part immediately instead of
+/// burning their own retry budgets.
+#[derive(Debug)]
+struct Liveness {
+    dead: Vec<AtomicBool>,
+    /// `holders[p]` = parts hosting a replica of `p`'s slice, nearest
+    /// hash-predecessor first (see `PartitionedGraph::replica_holders`).
+    holders: Vec<Vec<PartId>>,
+    fail_fast: bool,
+}
+
+impl Liveness {
+    fn new(pg: &PartitionedGraph, fail_fast: bool) -> Liveness {
+        let parts = pg.part_count();
+        Liveness {
+            dead: (0..parts).map(|_| AtomicBool::new(false)).collect(),
+            holders: (0..parts).map(|p| pg.replica_holders(p)).collect(),
+            fail_fast,
+        }
+    }
+
+    fn is_dead(&self, part: PartId) -> bool {
+        self.dead[part].load(Ordering::SeqCst)
+    }
+
+    /// Marks `part` dead; returns `true` on the first (promoting) call.
+    fn promote(&self, part: PartId) -> bool {
+        !self.dead[part].swap(true, Ordering::SeqCst)
+    }
+
+    /// The part that should serve `owner`'s slice right now: `owner`
+    /// itself while alive, else its nearest live replica holder.
+    fn route(&self, owner: PartId) -> Result<PartId, FetchError> {
+        if !self.is_dead(owner) {
+            return Ok(owner);
+        }
+        self.holders[owner]
+            .iter()
+            .copied()
+            .find(|&h| !self.is_dead(h))
+            .ok_or(FetchError::PartDead { part: owner })
+    }
+}
 
 /// Why a fetch failed. Transient variants ([`Injected`]) are retried by
 /// the fabric up to [`RetryPolicy::max_attempts`]; the rest surface to
@@ -71,6 +123,14 @@ pub enum FetchError {
         /// The part that was asked.
         target: PartId,
     },
+    /// The part is fail-stop dead and no live replica holder can serve
+    /// its slice. With replication this only surfaces once every holder
+    /// of the slice is dead too; without it, the first fetch after the
+    /// failure is detected fails this way.
+    PartDead {
+        /// The dead part whose data is unreachable.
+        part: PartId,
+    },
 }
 
 impl FetchError {
@@ -100,6 +160,9 @@ impl fmt::Display for FetchError {
             ),
             FetchError::Injected { target } => {
                 write!(f, "injected transport fault on the link to part {target}")
+            }
+            FetchError::PartDead { part } => {
+                write!(f, "part {part} is dead and no live replica holds its slice")
             }
         }
     }
@@ -143,11 +206,18 @@ pub struct FabricConfig {
     pub retry: RetryPolicy,
     /// Optional fault injection beneath the fabric.
     pub fault: Option<FaultPlan>,
+    /// Fail-fast liveness: when a fetch exhausts its retry budget,
+    /// promote the unresponsive part to the dead state (and fail over to
+    /// a replica holder if one exists) instead of surfacing
+    /// [`FetchError::Timeout`]. Off by default — plain packet loss then
+    /// keeps its timeout semantics and only a definitive transport-level
+    /// death promotes.
+    pub fail_fast: bool,
 }
 
 impl Default for FabricConfig {
     fn default() -> Self {
-        FabricConfig { window: 4, retry: RetryPolicy::default(), fault: None }
+        FabricConfig { window: 4, retry: RetryPolicy::default(), fault: None, fail_fast: false }
     }
 }
 
@@ -222,6 +292,7 @@ pub struct EdgeListService {
     retry: RetryPolicy,
     windows: Vec<Arc<Window>>,
     seq: Arc<AtomicU64>,
+    liveness: Arc<Liveness>,
     obs: Arc<Recorder>,
 }
 
@@ -268,6 +339,7 @@ impl EdgeListService {
             retry: fabric.retry,
             windows,
             seq: Arc::new(AtomicU64::new(0)),
+            liveness: Arc::new(Liveness::new(pg, fabric.fail_fast)),
             obs,
         }
     }
@@ -288,8 +360,19 @@ impl EdgeListService {
             retry: self.retry,
             window: Arc::clone(&self.windows[part]),
             seq: Arc::clone(&self.seq),
+            liveness: Arc::clone(&self.liveness),
             obs: Arc::clone(&self.obs),
         }
+    }
+
+    /// Whether `part` has been detected as fail-stop dead.
+    pub fn is_part_dead(&self, part: PartId) -> bool {
+        self.liveness.is_dead(part)
+    }
+
+    /// Every part currently detected as fail-stop dead.
+    pub fn dead_parts(&self) -> Vec<PartId> {
+        (0..self.liveness.dead.len()).filter(|&p| self.liveness.is_dead(p)).collect()
     }
 
     /// The shared metrics of this cluster.
@@ -320,6 +403,7 @@ pub struct EdgeListClient {
     retry: RetryPolicy,
     window: Arc<Window>,
     seq: Arc<AtomicU64>,
+    liveness: Arc<Liveness>,
     obs: Arc<Recorder>,
 }
 
@@ -337,6 +421,21 @@ impl EdgeListClient {
     /// The shared cluster metrics.
     pub fn metrics(&self) -> &ClusterMetrics {
         &self.metrics
+    }
+
+    /// Whether `part` has been detected as fail-stop dead. The part
+    /// runtime polls its own id here to stop a dead part's coordinator.
+    pub fn is_part_dead(&self, part: PartId) -> bool {
+        self.liveness.is_dead(part)
+    }
+
+    /// Promotes `part` to the dead state, recording the failure (span +
+    /// cluster counter) exactly once across all clients.
+    fn promote_dead(&self, part: PartId) {
+        if self.liveness.promote(part) {
+            self.metrics.record_part_failed();
+            self.obs.record_instant(SpanKind::PartFailed, part as u32, 0);
+        }
     }
 
     /// Fetches the edge lists of `vertices` from `target`, blocking until
@@ -368,7 +467,9 @@ impl EdgeListClient {
     ///
     /// # Errors
     ///
-    /// Returns [`FetchError::Shutdown`] if the service has stopped.
+    /// Returns [`FetchError::Shutdown`] if the service has stopped, or
+    /// [`FetchError::PartDead`] if `target` is dead and no live replica
+    /// holder can serve its slice.
     pub fn fetch_async(
         &self,
         target: PartId,
@@ -399,14 +500,35 @@ impl EdgeListClient {
             target as u64,
             req_id,
         );
-        self.transport.submit(
-            target,
-            WireRequest { seq, req_id, from: self.part, vertices: wire.clone() },
-            reply_tx.clone(),
-        )?;
+        // `target` stays the logical owner on the wire; the submission
+        // goes to whichever part currently serves that slice.
+        let mut route = self.liveness.route(target)?;
+        loop {
+            match self.transport.submit(
+                route,
+                WireRequest { seq, req_id, from: self.part, owner: target, vertices: wire.clone() },
+                reply_tx.clone(),
+            ) {
+                Ok(()) => break,
+                Err(FetchError::PartDead { part }) => {
+                    // The transport saw a fail-stop death the liveness
+                    // layer had not yet: promote and re-route.
+                    self.promote_dead(part);
+                    route = self.liveness.route(target)?;
+                    self.obs.record_instant_linked(
+                        SpanKind::Failover,
+                        target as u32,
+                        route as u64,
+                        req_id,
+                    );
+                }
+                Err(e) => return Err(e),
+            }
+        }
         Ok(PendingFetch {
             client: self.clone(),
-            target,
+            owner: target,
+            target: route,
             wire,
             expand,
             reply_tx,
@@ -430,6 +552,10 @@ impl EdgeListClient {
 #[derive(Debug)]
 pub struct PendingFetch {
     client: EdgeListClient,
+    /// The part whose slice is being fetched (the logical target).
+    owner: PartId,
+    /// The part currently serving the request: `owner` while alive, else
+    /// a replica holder. Updated when a mid-flight failover re-routes.
     target: PartId,
     /// Deduplicated vertices as sent on the wire.
     wire: Vec<VertexId>,
@@ -450,9 +576,10 @@ pub struct PendingFetch {
 }
 
 impl PendingFetch {
-    /// The part this fetch targets.
-    pub fn target(&self) -> PartId {
-        self.target
+    /// The part whose slice this fetch requests. A failed-over fetch is
+    /// physically served elsewhere, but the logical owner is stable.
+    pub fn owner(&self) -> PartId {
+        self.owner
     }
 
     /// The causal request id of this fetch, stable across retries and
@@ -494,6 +621,11 @@ impl PendingFetch {
         my.record_wait(wait_start.elapsed());
         let req_bytes = HEADER_BYTES + 4 * self.wire.len() as u64;
         let resp_bytes = lists.response_bytes();
+        if self.target != self.owner {
+            // Served by a replica holder of a dead part: account the
+            // failover traffic separately for the run report.
+            my.record_rerouted(req_bytes + resp_bytes);
+        }
         let obs = &self.client.obs;
         obs.record_span_linked(
             SpanKind::Fetch,
@@ -525,8 +657,17 @@ impl PendingFetch {
     }
 
     /// One more attempt: backoff, fresh sequence number, resubmit.
+    ///
+    /// When the serving part turns out to be dead — the transport says so
+    /// on resubmission, or (under [`FabricConfig::fail_fast`]) the retry
+    /// budget is exhausted — the part is promoted and the fetch fails
+    /// over to the next live replica holder instead of erroring out.
     fn resubmit(&mut self, retry: &RetryPolicy, my: &Arc<PartMetrics>) -> Result<(), FetchError> {
         if self.attempts >= retry.max_attempts {
+            if self.client.liveness.fail_fast {
+                self.client.promote_dead(self.target);
+                return self.failover();
+            }
             return Err(FetchError::Timeout { target: self.target, attempts: self.attempts });
         }
         let backoff = retry.backoff.saturating_mul(1 << (self.attempts - 1).min(16));
@@ -546,16 +687,62 @@ impl PendingFetch {
         );
         self.attempts += 1;
         self.seq = self.client.seq.fetch_add(1, Ordering::Relaxed);
-        self.client.transport.submit(
+        match self.client.transport.submit(
             self.target,
             WireRequest {
                 seq: self.seq,
                 req_id: self.req_id,
                 from: self.client.part,
+                owner: self.owner,
                 vertices: self.wire.clone(),
             },
             self.reply_tx.clone(),
-        )
+        ) {
+            Err(FetchError::PartDead { part }) => {
+                self.client.promote_dead(part);
+                self.failover()
+            }
+            other => other,
+        }
+    }
+
+    /// Re-routes this fetch to the next live holder of `owner`'s slice
+    /// after the current serving part died, resetting the attempt budget
+    /// for the new link. Terminates because every iteration either
+    /// succeeds or promotes one more part to dead, and a fetch with no
+    /// live holder left fails with [`FetchError::PartDead`].
+    fn failover(&mut self) -> Result<(), FetchError> {
+        loop {
+            let next = self.client.liveness.route(self.owner)?;
+            self.client.obs.record_instant_linked(
+                SpanKind::Failover,
+                self.owner as u32,
+                next as u64,
+                self.req_id,
+            );
+            self.attempts = 1;
+            self.seq = self.client.seq.fetch_add(1, Ordering::Relaxed);
+            match self.client.transport.submit(
+                next,
+                WireRequest {
+                    seq: self.seq,
+                    req_id: self.req_id,
+                    from: self.client.part,
+                    owner: self.owner,
+                    vertices: self.wire.clone(),
+                },
+                self.reply_tx.clone(),
+            ) {
+                Ok(()) => {
+                    self.target = next;
+                    return Ok(());
+                }
+                Err(FetchError::PartDead { part }) => {
+                    self.client.promote_dead(part);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -1031,6 +1218,110 @@ mod tests {
         client.fetch(0, &[v]).unwrap();
         assert_eq!(service.recorder().spans_recorded(), 0);
         assert_eq!(service.recorder().hist_snapshot(Metric::FetchLatencyNs).count, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn crashed_part_fails_over_to_a_replica_holder() {
+        let g = gen::erdos_renyi(200, 800, 7);
+        let pg = PartitionedGraph::with_replication(&g, 3, 1, 2);
+        let fabric =
+            FabricConfig { fault: Some(FaultPlan::crash_at(0, 3)), ..FabricConfig::default() };
+        let service = EdgeListService::start_with(&pg, None, fabric);
+        let client = service.client(1);
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(10).collect();
+        // The crash fires on the fourth submission targeting part 0;
+        // every fetch still succeeds, served by the replica holder.
+        for &v in &owned {
+            let lists = client.fetch(0, &[v]).unwrap();
+            assert_eq!(lists.list(0), g.neighbors(v));
+        }
+        assert!(client.is_part_dead(0));
+        assert_eq!(service.dead_parts(), vec![0]);
+        let m = service.metrics();
+        assert_eq!(m.parts_failed(), 1);
+        assert!(m.total_rerouted_requests() >= 7, "{} rerouted", m.total_rerouted_requests());
+        assert!(m.total_rerouted_bytes() > 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn dead_part_without_replica_is_a_typed_error() {
+        let (_, pg) = cluster(2, 1); // replication 1: no holder to fail over to
+        let fabric =
+            FabricConfig { fault: Some(FaultPlan::crash_at(0, 2)), ..FabricConfig::default() };
+        let service = EdgeListService::start_with(&pg, None, fabric);
+        let client = service.client(1);
+        let mut last = None;
+        for &v in pg.part(0).owned().iter().take(5) {
+            if let Err(e) = client.fetch(0, &[v]) {
+                last = Some(e);
+                break;
+            }
+        }
+        let err = last.expect("crash never surfaced");
+        assert_eq!(err, FetchError::PartDead { part: 0 });
+        assert!(err.to_string().contains("dead"));
+        assert!(client.is_part_dead(0));
+        assert_eq!(service.metrics().parts_failed(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn fail_fast_promotes_after_exhausted_retries() {
+        // With every reply dropped, fail_fast turns retry exhaustion
+        // into promotion + failover instead of a Timeout error; once
+        // every holder of the slice is promoted, the typed PartDead
+        // error names the logical owner.
+        let g = gen::erdos_renyi(200, 800, 7);
+        let pg = PartitionedGraph::with_replication(&g, 2, 1, 2);
+        let fabric = FabricConfig {
+            retry: RetryPolicy {
+                max_attempts: 2,
+                timeout: Duration::from_millis(5),
+                backoff: Duration::from_micros(100),
+            },
+            fault: Some(FaultPlan::drops(1.0)),
+            fail_fast: true,
+            ..FabricConfig::default()
+        };
+        let service = EdgeListService::start_with(&pg, None, fabric);
+        let client = service.client(1);
+        let v = pg.part(0).owned()[0];
+        let err = client.fetch(0, &[v]).unwrap_err();
+        assert_eq!(err, FetchError::PartDead { part: 0 });
+        assert_eq!(service.metrics().parts_failed(), 2);
+        assert!(client.is_part_dead(0) && client.is_part_dead(1));
+        service.shutdown();
+    }
+
+    #[test]
+    fn failover_records_failure_instants() {
+        let g = gen::erdos_renyi(200, 800, 7);
+        let pg = PartitionedGraph::with_replication(&g, 3, 1, 2);
+        let obs = Recorder::new(&gpm_obs::ObsConfig::enabled());
+        let fabric =
+            FabricConfig { fault: Some(FaultPlan::crash_at(0, 1)), ..FabricConfig::default() };
+        let service = EdgeListService::start_observed(&pg, None, fabric, Arc::clone(&obs));
+        let client = service.client(2);
+        for &v in pg.part(0).owned().iter().take(4) {
+            client.fetch(0, &[v]).unwrap();
+        }
+        let spans = obs.spans();
+        assert!(
+            spans.iter().any(|s| s.kind == SpanKind::PartCrash && s.part == 0),
+            "missing PartCrash instant: {spans:?}"
+        );
+        assert_eq!(
+            spans.iter().filter(|s| s.kind == SpanKind::PartFailed && s.part == 0).count(),
+            1,
+            "PartFailed must be recorded exactly once"
+        );
+        let failover =
+            spans.iter().find(|s| s.kind == SpanKind::Failover).expect("missing Failover instant");
+        assert_eq!(failover.part, 0, "failover names the dead owner");
+        assert_eq!(failover.arg, 2, "failover names the serving holder");
+        assert_ne!(failover.link, 0, "failover instant keeps the request link");
         service.shutdown();
     }
 

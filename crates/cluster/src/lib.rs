@@ -43,8 +43,8 @@ pub use fabric::{
 };
 pub use metrics::{ClusterMetrics, PartMetrics, TrafficClass};
 pub use transport::{
-    ChannelTransport, FaultInjectingTransport, FaultPlan, FetchedLists, Transport, WireReply,
-    WireRequest,
+    ChannelTransport, CrashAt, FaultInjectingTransport, FaultPlan, FetchedLists, Transport,
+    WireReply, WireRequest,
 };
 
 /// Identifier of a part (one NUMA socket of one machine). Parts are

@@ -34,6 +34,8 @@ pub struct PartMetrics {
     inflight_peak: AtomicU64,
     coalesced: AtomicU64,
     retries: AtomicU64,
+    rerouted_requests: AtomicU64,
+    rerouted_bytes: AtomicU64,
 }
 
 impl PartMetrics {
@@ -106,6 +108,14 @@ impl PartMetrics {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a fetch of `bytes` (request + response) this part
+    /// completed against a replica holder because the owning part was
+    /// dead.
+    pub fn record_rerouted(&self, bytes: u64) {
+        self.rerouted_requests.fetch_add(1, Ordering::Relaxed);
+        self.rerouted_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Bytes sent in requests by this part.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent.load(Ordering::Relaxed)
@@ -175,6 +185,17 @@ impl PartMetrics {
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
     }
+
+    /// Fetches this part completed against a replica holder of a dead
+    /// part.
+    pub fn rerouted_requests(&self) -> u64 {
+        self.rerouted_requests.load(Ordering::Relaxed)
+    }
+
+    /// Bytes (request + response) of this part's rerouted fetches.
+    pub fn rerouted_bytes(&self) -> u64 {
+        self.rerouted_bytes.load(Ordering::Relaxed)
+    }
 }
 
 /// Aggregated metrics for all parts of a cluster.
@@ -183,6 +204,8 @@ pub struct ClusterMetrics {
     parts: Vec<Arc<PartMetrics>>,
     /// Row-major `parts × parts` byte counters: `links[from*n + to]`.
     links: Arc<Vec<AtomicU64>>,
+    /// Parts promoted to the fail-stop dead state by the fabric.
+    parts_failed: Arc<AtomicU64>,
     sockets_per_machine: usize,
 }
 
@@ -192,8 +215,19 @@ impl ClusterMetrics {
         ClusterMetrics {
             parts: (0..parts).map(|_| Arc::new(PartMetrics::default())).collect(),
             links: Arc::new((0..parts * parts).map(|_| AtomicU64::new(0)).collect()),
+            parts_failed: Arc::new(AtomicU64::new(0)),
             sockets_per_machine,
         }
+    }
+
+    /// Records that a part was promoted to the fail-stop dead state.
+    pub fn record_part_failed(&self) {
+        self.parts_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of parts promoted to the fail-stop dead state.
+    pub fn parts_failed(&self) -> u64 {
+        self.parts_failed.load(Ordering::Relaxed)
     }
 
     /// Records `bytes` moved over the directed link `from → to`.
@@ -284,6 +318,16 @@ impl ClusterMetrics {
     /// Total retried request attempts, cluster-wide.
     pub fn total_retries(&self) -> u64 {
         self.parts.iter().map(|p| p.retries()).sum()
+    }
+
+    /// Total fetches completed against replica holders of dead parts.
+    pub fn total_rerouted_requests(&self) -> u64 {
+        self.parts.iter().map(|p| p.rerouted_requests()).sum()
+    }
+
+    /// Total bytes of rerouted fetches, cluster-wide.
+    pub fn total_rerouted_bytes(&self) -> u64 {
+        self.parts.iter().map(|p| p.rerouted_bytes()).sum()
     }
 
     /// Deepest in-flight window depth observed on any part.
@@ -412,6 +456,22 @@ mod tests {
         assert_eq!(m.inflight(), 0, "gauge must saturate at zero, not wrap");
         m.record_inflight_start();
         assert_eq!(m.inflight(), 1);
+    }
+
+    #[test]
+    fn failure_counters_accumulate() {
+        let m = ClusterMetrics::new(3, 1);
+        assert_eq!(m.parts_failed(), 0);
+        m.record_part_failed();
+        assert_eq!(m.parts_failed(), 1);
+        // The counter is shared by clones, like the link matrix.
+        assert_eq!(m.clone().parts_failed(), 1);
+        m.part(1).record_rerouted(512);
+        m.part(2).record_rerouted(100);
+        assert_eq!(m.part(1).rerouted_requests(), 1);
+        assert_eq!(m.part(1).rerouted_bytes(), 512);
+        assert_eq!(m.total_rerouted_requests(), 2);
+        assert_eq!(m.total_rerouted_bytes(), 612);
     }
 
     #[test]

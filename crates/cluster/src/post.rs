@@ -96,6 +96,21 @@ impl<T: Send> PostOffice<T> {
     }
 }
 
+/// Why a blocking receive returned no message.
+///
+/// Distinguishing the two matters for failure detection: a quiet peer
+/// ([`RecvError::Timeout`]) may still send later, while a severed queue
+/// ([`RecvError::Disconnected`]) can never deliver again, so a caller
+/// waiting on a crashed peer should stop on the first receive instead
+/// of re-arming the timeout forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// Every sender has been dropped: no message can ever arrive.
+    Disconnected,
+}
+
 /// One part's sending/receiving endpoint of a [`PostOffice`].
 #[derive(Debug, Clone)]
 pub struct Endpoint<T> {
@@ -140,9 +155,16 @@ impl<T: Send> Endpoint<T> {
         self.receiver.try_recv().ok().map(|env| self.open(env))
     }
 
-    /// Blocking receive with timeout; `None` on timeout or disconnect.
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
-        self.receiver.recv_timeout(timeout).ok().map(|env| self.open(env))
+    /// Blocking receive with timeout, distinguishing an empty queue
+    /// ([`RecvError::Timeout`]) from a dead one
+    /// ([`RecvError::Disconnected`]).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvError> {
+        use crossbeam::channel::RecvTimeoutError;
+        match self.receiver.recv_timeout(timeout) {
+            Ok(env) => Ok(self.open(env)),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
+        }
     }
 
     /// Number of messages waiting in this part's queue.
@@ -183,10 +205,20 @@ mod tests {
     }
 
     #[test]
-    fn recv_timeout_returns_none_when_empty() {
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
         let post: PostOffice<()> = PostOffice::new(1, ClusterMetrics::new(1, 1));
-        let e = post.endpoint(0);
-        assert_eq!(e.recv_timeout(Duration::from_millis(5)), None);
+        let mut e = post.endpoint(0);
+        assert_eq!(e.recv_timeout(Duration::from_millis(5)), Err(RecvError::Timeout));
+        // Sever every sender (the office's and the endpoint's own): a
+        // dead queue now surfaces immediately, not after the timeout.
+        drop(post);
+        e.senders.clear();
+        let start = std::time::Instant::now();
+        assert_eq!(e.recv_timeout(Duration::from_secs(10)), Err(RecvError::Disconnected));
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "disconnect must not wait out the timeout"
+        );
     }
 
     #[test]
@@ -197,7 +229,7 @@ mod tests {
         let t = std::thread::spawn(move || {
             let mut got = Vec::new();
             while got.len() < 10 {
-                if let Some(m) = rx.recv_timeout(Duration::from_secs(1)) {
+                if let Ok(m) = rx.recv_timeout(Duration::from_secs(1)) {
                     got.push(m);
                 }
             }

@@ -21,6 +21,7 @@ use crossbeam::channel::{unbounded, Sender};
 use gpm_graph::partition::{GraphPart, PartitionedGraph};
 use gpm_graph::VertexId;
 use gpm_obs::{Recorder, SpanKind};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -104,6 +105,11 @@ pub struct WireRequest {
     pub req_id: u64,
     /// The part that issued this request.
     pub from: PartId,
+    /// The part whose edge-list slice is requested. Normally the
+    /// submission target; differs when the fabric fails over a dead
+    /// part's fetch to a replica holder, which then serves from its
+    /// hosted copy of `owner`'s slice.
+    pub owner: PartId,
     /// The vertices whose edge lists are requested.
     pub vertices: Vec<VertexId>,
 }
@@ -131,8 +137,9 @@ pub trait Transport: Send + Sync + std::fmt::Debug {
     ///
     /// # Errors
     ///
-    /// Returns [`FetchError::Shutdown`] if the target responder has
-    /// stopped.
+    /// Returns [`FetchError::PartDead`] if the target responder was
+    /// fail-stop killed, [`FetchError::Shutdown`] if it stopped as part
+    /// of an orderly teardown.
     fn submit(
         &self,
         target: PartId,
@@ -154,10 +161,21 @@ enum Msg {
 }
 
 /// The in-process cluster transport: one responder thread per part.
+///
+/// Each responder serves its own part's slice plus any replica slices
+/// the partitioning hosts on it (selected per request by
+/// [`WireRequest::owner`]), so a fetch re-routed around a dead part is
+/// answered from the holder's copy.
 #[derive(Debug)]
 pub struct ChannelTransport {
     senders: Vec<Sender<Msg>>,
     handles: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    /// Set by [`ChannelTransport::kill_part`]; distinguishes a fail-stop
+    /// kill (submissions get [`FetchError::PartDead`]) from an orderly
+    /// [`Transport::shutdown`] (submissions get [`FetchError::Shutdown`]).
+    /// Shared with the responder threads so a killed responder abandons
+    /// queued requests instead of draining them.
+    dead: Arc<Vec<AtomicBool>>,
 }
 
 impl ChannelTransport {
@@ -175,20 +193,31 @@ impl ChannelTransport {
         obs: Arc<Recorder>,
     ) -> Self {
         let parts = pg.part_count();
+        let dead: Arc<Vec<AtomicBool>> =
+            Arc::new((0..parts).map(|_| AtomicBool::new(false)).collect());
         let mut senders = Vec::with_capacity(parts);
         let mut handles = Vec::with_capacity(parts);
         for part_id in 0..parts {
             let (tx, rx) = unbounded::<Msg>();
             senders.push(tx);
-            let part = pg.part_arc(part_id);
+            // Own slice first, then any replica slices hosted here.
+            let mut slices = vec![pg.part_arc(part_id)];
+            slices.extend(pg.hosted_replicas(part_id).iter().cloned());
             let part_metrics = Arc::clone(metrics.part(part_id));
             let obs = Arc::clone(&obs);
+            let dead = Arc::clone(&dead);
             let handle = std::thread::Builder::new()
                 .name(format!("edgelist-responder-{part_id}"))
                 .spawn(move || {
                     while let Ok(Msg::Fetch { req, reply_to }) = rx.recv() {
+                        // Fail-stop: a killed responder abandons queued
+                        // requests unanswered; clients time out and
+                        // discover the death on resubmission.
+                        if dead[part_id].load(Ordering::SeqCst) {
+                            break;
+                        }
                         let t0 = obs.now_ns();
-                        let payload = serve(&part, &req.vertices);
+                        let payload = serve(&slices, req.owner, &req.vertices);
                         if let Ok(lists) = &payload {
                             part_metrics.record_served(lists.response_bytes());
                             obs.record_span_linked(
@@ -208,7 +237,27 @@ impl ChannelTransport {
                 .expect("spawn responder thread");
             handles.push(handle);
         }
-        ChannelTransport { senders, handles: parking_lot::Mutex::new(handles) }
+        ChannelTransport { senders, handles: parking_lot::Mutex::new(handles), dead }
+    }
+
+    /// Fail-stop kills `part`'s responder: its queue is closed, queued
+    /// requests are abandoned unanswered, and every later submission to
+    /// it returns [`FetchError::PartDead`]. The thread is joined by the
+    /// eventual [`Transport::shutdown`]. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is out of range.
+    pub fn kill_part(&self, part: PartId) {
+        if !self.dead[part].swap(true, Ordering::SeqCst) {
+            let _ = self.senders[part].send(Msg::Shutdown);
+        }
+    }
+
+    /// Whether `part` was fail-stop killed via
+    /// [`ChannelTransport::kill_part`].
+    pub fn is_part_dead(&self, part: PartId) -> bool {
+        self.dead[part].load(Ordering::SeqCst)
     }
 }
 
@@ -224,7 +273,17 @@ impl Transport for ChannelTransport {
         reply_to: Sender<WireReply>,
     ) -> Result<(), FetchError> {
         assert!(target < self.senders.len(), "target part out of range");
-        self.senders[target].send(Msg::Fetch { req, reply_to }).map_err(|_| FetchError::Shutdown)
+        if self.dead[target].load(Ordering::SeqCst) {
+            return Err(FetchError::PartDead { part: target });
+        }
+        self.senders[target].send(Msg::Fetch { req, reply_to }).map_err(|_| {
+            // The queue closed between the check above and the send.
+            if self.dead[target].load(Ordering::SeqCst) {
+                FetchError::PartDead { part: target }
+            } else {
+                FetchError::Shutdown
+            }
+        })
     }
 
     fn shutdown(&self) {
@@ -237,8 +296,19 @@ impl Transport for ChannelTransport {
     }
 }
 
-fn serve(part: &GraphPart, vertices: &[VertexId]) -> Result<FetchedLists, FetchError> {
-    let target = part.part_id();
+/// Serves `vertices` from whichever of `slices` holds `owner`'s slice
+/// (`slices[0]` is the responder's own part; the rest are hosted
+/// replicas). A request for a part not hosted here is a routing bug and
+/// answers [`FetchError::NotOwner`].
+fn serve(
+    slices: &[Arc<GraphPart>],
+    owner: PartId,
+    vertices: &[VertexId],
+) -> Result<FetchedLists, FetchError> {
+    let target = slices[0].part_id();
+    let Some(part) = slices.iter().find(|s| s.part_id() == owner) else {
+        return Err(FetchError::NotOwner { target, missing: vertices.to_vec() });
+    };
     let mut offsets = Vec::with_capacity(vertices.len() + 1);
     offsets.push(0u32);
     let mut data = Vec::new();
@@ -282,6 +352,25 @@ pub struct FaultPlan {
     pub delay: Duration,
     /// Seed of the deterministic per-message fault decision.
     pub seed: u64,
+    /// Optional fail-stop crash: permanently kill one part's responder
+    /// after it has been targeted by a fixed number of submissions.
+    pub crash: Option<CrashAt>,
+}
+
+/// A scheduled fail-stop crash: the responder of `part` is killed
+/// (via [`ChannelTransport::kill_part`]) by the first submission
+/// targeting it once `after_requests` earlier submissions have been
+/// counted. `after_requests: 0` kills it on the very first request.
+///
+/// Unlike the probabilistic fractions this is exact and deterministic:
+/// the same workload crashes at the same point every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashAt {
+    /// The part whose responder is killed.
+    pub part: PartId,
+    /// How many submissions targeting `part` are served (or at least
+    /// accepted) before the crash fires.
+    pub after_requests: u64,
 }
 
 impl Default for FaultPlan {
@@ -292,14 +381,51 @@ impl Default for FaultPlan {
             delay_fraction: 0.0,
             delay: Duration::from_millis(1),
             seed: 0x5eed,
+            crash: None,
         }
     }
 }
 
 impl FaultPlan {
     /// A plan that only drops `fraction` of replies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not a probability (see
+    /// [`FaultPlan::validate`]).
     pub fn drops(fraction: f64) -> Self {
-        FaultPlan { drop_fraction: fraction, ..FaultPlan::default() }
+        let plan = FaultPlan { drop_fraction: fraction, ..FaultPlan::default() };
+        plan.validate();
+        plan
+    }
+
+    /// A plan that only crashes `part` after `after_requests`
+    /// submissions targeting it.
+    pub fn crash_at(part: PartId, after_requests: u64) -> Self {
+        FaultPlan { crash: Some(CrashAt { part, after_requests }), ..FaultPlan::default() }
+    }
+
+    /// Checks the plan's parameters, panicking with a descriptive
+    /// message on nonsense: each fraction must be a finite value in
+    /// `[0, 1]` (NaN, negative, and `> 1` are all rejected), and the
+    /// three fractions must sum to at most 1 — they partition the same
+    /// per-message random draw.
+    pub fn validate(&self) {
+        for (name, f) in [
+            ("drop_fraction", self.drop_fraction),
+            ("error_fraction", self.error_fraction),
+            ("delay_fraction", self.delay_fraction),
+        ] {
+            assert!(
+                f.is_finite() && (0.0..=1.0).contains(&f),
+                "FaultPlan.{name} must be a probability in [0, 1], got {f}"
+            );
+        }
+        let sum = self.drop_fraction + self.error_fraction + self.delay_fraction;
+        assert!(
+            sum <= 1.0,
+            "FaultPlan fractions must sum to at most 1 (they split one draw), got {sum}"
+        );
     }
 
     /// The fate of message `seq` to `target` under this plan.
@@ -348,19 +474,58 @@ pub struct FaultInjectingTransport {
     inner: ChannelTransport,
     plan: FaultPlan,
     obs: Arc<Recorder>,
+    /// Submissions seen so far targeting the crash victim.
+    crash_counter: AtomicU64,
+    /// Once-only latch so the kill (and its trace instant) fires once.
+    crashed: AtomicBool,
 }
 
 impl FaultInjectingTransport {
     /// Wraps `inner`, applying `plan` to every submitted message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] or names a crash
+    /// part out of range.
     pub fn new(inner: ChannelTransport, plan: FaultPlan) -> Self {
         Self::new_observed(inner, plan, Recorder::disabled())
     }
 
     /// Like [`FaultInjectingTransport::new`], additionally recording a
     /// `Fault` instant into `obs` for every injected fault
-    /// (arg: 1 = drop, 2 = error, 3 = delay).
+    /// (arg: 1 = drop, 2 = error, 3 = delay) and a `PartCrash` instant
+    /// when a scheduled crash fires.
     pub fn new_observed(inner: ChannelTransport, plan: FaultPlan, obs: Arc<Recorder>) -> Self {
-        FaultInjectingTransport { inner, plan, obs }
+        plan.validate();
+        if let Some(c) = plan.crash {
+            assert!(
+                c.part < inner.part_count(),
+                "FaultPlan crash part {} out of range (part count {})",
+                c.part,
+                inner.part_count()
+            );
+        }
+        FaultInjectingTransport {
+            inner,
+            plan,
+            obs,
+            crash_counter: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// Fires the scheduled crash if `target` is the victim and its
+    /// request budget is exhausted.
+    fn maybe_crash(&self, target: PartId) {
+        if let Some(c) = self.plan.crash {
+            if target == c.part {
+                let seen = self.crash_counter.fetch_add(1, Ordering::Relaxed);
+                if seen >= c.after_requests && !self.crashed.swap(true, Ordering::SeqCst) {
+                    self.obs.record_instant(SpanKind::PartCrash, target as u32, seen);
+                    self.inner.kill_part(target);
+                }
+            }
+        }
     }
 }
 
@@ -375,6 +540,7 @@ impl Transport for FaultInjectingTransport {
         req: WireRequest,
         reply_to: Sender<WireReply>,
     ) -> Result<(), FetchError> {
+        self.maybe_crash(target);
         match self.plan.decide(target, req.seq) {
             Fault::None => self.inner.submit(target, req, reply_to),
             Fault::Drop => {
@@ -448,5 +614,95 @@ mod tests {
             let r = unit_hash(7, 3, s);
             assert!((0.0..1.0).contains(&r));
         }
+    }
+
+    #[test]
+    fn fault_plan_validation_rejects_bad_fractions() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let bad = [
+            FaultPlan { drop_fraction: f64::NAN, ..FaultPlan::default() },
+            FaultPlan { drop_fraction: f64::INFINITY, ..FaultPlan::default() },
+            FaultPlan { error_fraction: -0.1, ..FaultPlan::default() },
+            FaultPlan { delay_fraction: 1.5, ..FaultPlan::default() },
+            // Individually fine, but the fractions split one draw, so
+            // they must not sum past 1.
+            FaultPlan { drop_fraction: 0.6, error_fraction: 0.6, ..FaultPlan::default() },
+        ];
+        for plan in bad {
+            assert!(
+                catch_unwind(AssertUnwindSafe(|| plan.validate())).is_err(),
+                "bad plan accepted: {plan:?}"
+            );
+        }
+        // The boundaries are inclusive.
+        FaultPlan { drop_fraction: 1.0, ..FaultPlan::default() }.validate();
+        FaultPlan { drop_fraction: 0.5, delay_fraction: 0.5, ..FaultPlan::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn drops_constructor_validates() {
+        let _ = FaultPlan::drops(1.5);
+    }
+
+    fn wire(seq: u64, owner: PartId, v: VertexId) -> WireRequest {
+        WireRequest { seq, req_id: 0, from: 0, owner, vertices: vec![v] }
+    }
+
+    #[test]
+    fn crash_at_kills_the_responder_permanently() {
+        let g = gpm_graph::gen::complete(12);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let metrics = ClusterMetrics::new(2, 1);
+        let t = FaultInjectingTransport::new(
+            ChannelTransport::start(&pg, &metrics),
+            FaultPlan::crash_at(1, 2),
+        );
+        let (tx, rx) = unbounded::<WireReply>();
+        let v1 = pg.part(1).owned()[0];
+        // The first two submissions targeting part 1 are served.
+        for seq in 0..2 {
+            t.submit(1, wire(seq, 1, v1), tx.clone()).unwrap();
+            let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert!(reply.payload.is_ok(), "pre-crash serve failed: {reply:?}");
+        }
+        // The third fires the crash; it and every later one fail typed.
+        for seq in 2..4 {
+            assert_eq!(
+                t.submit(1, wire(seq, 1, v1), tx.clone()),
+                Err(FetchError::PartDead { part: 1 })
+            );
+        }
+        // The surviving part keeps serving.
+        let v0 = pg.part(0).owned()[0];
+        t.submit(0, wire(9, 0, v0), tx.clone()).unwrap();
+        assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap().payload.is_ok());
+        t.shutdown();
+    }
+
+    #[test]
+    fn replica_holder_serves_a_hosted_slice() {
+        // With r = 2 on three parts, part 0 hosts part 1's slice: a
+        // request submitted to part 0 with owner = 1 is answered from
+        // the replica, byte-identical to the primary's answer.
+        let g = gpm_graph::gen::complete(12);
+        let pg = PartitionedGraph::with_replication(&g, 3, 1, 2);
+        let metrics = ClusterMetrics::new(3, 1);
+        let t = ChannelTransport::start(&pg, &metrics);
+        let v1 = pg.part(1).owned()[0];
+        let (tx, rx) = unbounded::<WireReply>();
+        t.submit(0, wire(0, 1, v1), tx.clone()).unwrap();
+        let from_replica = rx.recv_timeout(Duration::from_secs(5)).unwrap().payload.unwrap();
+        t.submit(1, wire(1, 1, v1), tx.clone()).unwrap();
+        let from_primary = rx.recv_timeout(Duration::from_secs(5)).unwrap().payload.unwrap();
+        assert_eq!(from_replica, from_primary);
+        // A slice nobody here hosts (part 1 holds neither part 0's
+        // primary nor its replica) is still a routing error.
+        let err = {
+            t.submit(1, wire(2, 0, v1), tx.clone()).unwrap();
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().payload.unwrap_err()
+        };
+        assert_eq!(err, FetchError::NotOwner { target: 1, missing: vec![v1] });
+        t.shutdown();
     }
 }

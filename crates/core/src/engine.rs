@@ -3,15 +3,59 @@
 use crate::cache::{CacheConfig, SharedCache};
 use crate::runtime::{run_part, PartCtx, Visitor};
 use crate::scheduler::{RootLedger, StealConfig, WorkerPool};
-use crate::stats::{PartStats, RunStats, TrafficSummary};
+use crate::stats::{FailureSummary, PartStats, RunStats, TrafficSummary};
 use gpm_cluster::{ClusterMetrics, EdgeListService, FabricConfig, FetchError, NetworkModel};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::VertexId;
-use gpm_obs::{GaugeSample, ObsConfig, Recorder, RunReport};
+use gpm_obs::{GaugeSample, ObsConfig, Recorder, RunReport, SpanKind};
 use gpm_pattern::plan::MatchingPlan;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// A failed engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An unrecoverable fabric failure on a live part: a shutdown race,
+    /// an ownership violation, or retry exhaustion that failover could
+    /// not mask.
+    Fetch(FetchError),
+    /// A part fail-stopped and no live replica holds its slice
+    /// (replication < 2): its roots — and any results it produced — are
+    /// unrecoverable, so the run's counts cannot be trusted.
+    PartLost {
+        /// The part that fail-stopped.
+        part: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Fetch(e) => write!(f, "fetch failed: {e}"),
+            EngineError::PartLost { part } => write!(
+                f,
+                "part {part} fail-stopped with no replica to recover from \
+                 (run with replication >= 2 to survive part failures)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Fetch(e) => Some(e),
+            EngineError::PartLost { .. } => None,
+        }
+    }
+}
+
+impl From<FetchError> for EngineError {
+    fn from(e: FetchError) -> Self {
+        EngineError::Fetch(e)
+    }
+}
 
 /// Engine configuration (every knob of the paper's §4–§6 has a switch
 /// here so ablation benches can toggle it).
@@ -187,10 +231,18 @@ impl Engine {
         self.run(plan, None, None)
     }
 
-    /// Like [`Engine::count`], but surfaces fabric failures — shutdown
-    /// races, ownership violations, retry exhaustion under fault
-    /// injection — as a typed [`FetchError`] instead of panicking.
-    pub fn try_count(&self, plan: &MatchingPlan) -> Result<RunStats, FetchError> {
+    /// Like [`Engine::count`], but surfaces failures — shutdown races,
+    /// ownership violations, retry exhaustion under fault injection, and
+    /// unrecoverable part losses — as a typed [`EngineError`] instead of
+    /// panicking.
+    ///
+    /// A fail-stop part failure with replication ≥ 2 is **not** an
+    /// error: fetches fail over to replica holders, the dead part's
+    /// partial results are discarded, and a recovery pass re-executes
+    /// its lost roots on the survivors, so the returned counts are
+    /// bit-identical to a fault-free run. The failover and re-execution
+    /// volume is reported in [`RunStats::failures`].
+    pub fn try_count(&self, plan: &MatchingPlan) -> Result<RunStats, EngineError> {
         self.try_run(plan, None, None)
     }
 
@@ -204,9 +256,14 @@ impl Engine {
         self.run(plan, Some(&visit), None)
     }
 
-    /// Like [`Engine::enumerate`], but returns fabric failures as typed
-    /// [`FetchError`]s instead of panicking.
-    pub fn try_enumerate<F>(&self, plan: &MatchingPlan, visit: F) -> Result<RunStats, FetchError>
+    /// Like [`Engine::enumerate`], but returns failures as typed
+    /// [`EngineError`]s instead of panicking.
+    ///
+    /// Under a fail-stop part failure (with replication ≥ 2) the final
+    /// *count* is exact, but `visit` is **at-least-once**: embeddings
+    /// the dead part visited before dying are visited again when its
+    /// roots are re-executed on survivors.
+    pub fn try_enumerate<F>(&self, plan: &MatchingPlan, visit: F) -> Result<RunStats, EngineError>
     where
         F: Fn(&[VertexId]) + Sync,
     {
@@ -263,13 +320,14 @@ impl Engine {
         plan: &MatchingPlan,
         visitor: Option<Visitor<'_>>,
         stop: Option<&std::sync::atomic::AtomicBool>,
-    ) -> Result<RunStats, FetchError> {
+    ) -> Result<RunStats, EngineError> {
         assert!(
             !plan.requires_edge_labels(),
             "the distributed engine supports vertex labels only (like the paper's, §2.1); \
              run edge-labeled plans on gpm_pattern::interp or the single-machine baselines"
         );
         let before = self.traffic_snapshot();
+        let failures_before = self.failure_snapshot();
         let parts = self.pg.part_count();
         // Run-scoped scheduler state: the root ledger every part claims
         // its seed batches from (and steals through, when enabled) and
@@ -297,8 +355,7 @@ impl Engine {
             self.cfg.obs.tick,
         );
         let t0 = Instant::now();
-        let mut per_part: Vec<PartStats> = Vec::with_capacity(parts);
-        let make_ctx = |part: usize| PartCtx {
+        let make_ctx = |part: usize, ledger: &Arc<RootLedger>| PartCtx {
             part: self.pg.part_arc(part),
             labels: self.pg.labels(),
             client: self.service.client(part),
@@ -311,51 +368,63 @@ impl Engine {
             visitor,
             stop,
             obs: Arc::clone(&self.recorder),
-            ledger: Arc::clone(&ledger),
+            ledger: Arc::clone(ledger),
             gate: pool.map(|p| p.gate(part)),
             queue_depth: Arc::clone(&gauges[part]),
         };
-        let mut failure: Option<FetchError> = None;
-        if self.cfg.sequential_parts {
-            for part in 0..parts {
-                match run_part(make_ctx(part)) {
-                    Ok(stats) => per_part.push(stats),
-                    Err(e) => {
-                        failure = Some(e);
-                        break;
-                    }
-                }
+        // Per-part result slots: a part that aborts (fail-stop
+        // self-check or a fetch error) leaves its slot empty.
+        let mut slots: Vec<Option<PartStats>> = (0..parts).map(|_| None).collect();
+        // First failure, tagged with the part that reported it: errors
+        // from parts that turn out to be dead are the expected fail-stop
+        // signal; errors from live parts are real.
+        let mut failure: Option<(usize, FetchError)> = None;
+        self.run_parts(&mut slots, &mut failure, (0..parts).collect(), |p| make_ctx(p, &ledger));
+        // A failure run: every detected-dead part's results are discarded
+        // wholesale and its roots re-executed on the survivors, making
+        // counts bit-identical to a fault-free run (DESIGN.md §9).
+        let dead = self.service.dead_parts();
+        let mut reexecuted_roots = 0u64;
+        if !dead.is_empty() {
+            for &d in &dead {
+                slots[d] = None;
             }
-        } else {
-            crossbeam::thread::scope(|s| {
-                let mut handles = Vec::with_capacity(parts);
-                for part in 0..parts {
-                    let ctx = make_ctx(part);
-                    handles.push(
-                        s.builder()
-                            .name(format!("khuzdul-part-{part}"))
-                            .spawn(move |_| run_part(ctx))
-                            .expect("spawn part coordinator"),
-                    );
-                }
-                // Join every part before reporting: a failing part must
-                // not leave siblings running against a dead fabric.
-                for h in handles {
-                    match h.join().expect("part coordinator panicked") {
-                        Ok(stats) => per_part.push(stats),
-                        Err(e) => {
-                            failure.get_or_insert(e);
-                        }
-                    }
-                }
-            })
-            .expect("engine scope");
+            if self.pg.replication() < 2 {
+                return Err(EngineError::PartLost { part: dead[0] });
+            }
+            match failure.take() {
+                // The dead part aborting itself is expected, not an error.
+                Some((from, _)) if dead.contains(&from) => {}
+                Some((_, e)) => return Err(EngineError::Fetch(e)),
+                None => {}
+            }
+            let lost = ledger.lost_roots(&dead);
+            reexecuted_roots = lost.len() as u64;
+            let rts = self.recorder.now_ns();
+            let recovery = Arc::new(RootLedger::recovery(
+                (0..parts).map(|p| self.pg.part_arc(p)).collect(),
+                lost,
+                self.cfg.steal.batch.max(1),
+            ));
+            let survivors: Vec<usize> = (0..parts).filter(|p| !dead.contains(p)).collect();
+            self.run_parts(&mut slots, &mut failure, survivors, |p| make_ctx(p, &recovery));
+            if let Some((_, e)) = failure {
+                return Err(EngineError::Fetch(e));
+            }
+            self.recorder.record_span(SpanKind::Recovery, dead[0] as u32, rts, reexecuted_roots);
+            // Dead parts report zeroed stats: everything they did was
+            // discarded and re-executed elsewhere.
+            for &d in &dead {
+                slots[d] = Some(PartStats::default());
+            }
+        } else if let Some((_, e)) = failure {
+            return Err(EngineError::Fetch(e));
         }
-        if let Some(e) = failure {
-            return Err(e);
-        }
+        let per_part: Vec<PartStats> =
+            slots.into_iter().map(|s| s.expect("every live part reports stats")).collect();
         let elapsed = t0.elapsed();
         let after = self.traffic_snapshot();
+        let failures_after = self.failure_snapshot();
         Ok(RunStats {
             count: per_part.iter().map(|p| p.count).sum(),
             elapsed,
@@ -369,7 +438,80 @@ impl Engine {
                 coalesced: after.coalesced - before.coalesced,
                 retries: after.retries - before.retries,
             },
+            failures: FailureSummary {
+                parts_failed: failures_after.parts_failed - failures_before.parts_failed,
+                rerouted_requests: failures_after.rerouted_requests
+                    - failures_before.rerouted_requests,
+                rerouted_bytes: failures_after.rerouted_bytes - failures_before.rerouted_bytes,
+                reexecuted_roots,
+            },
         })
+    }
+
+    /// Runs `run_part` for each part in `run`, sequentially or
+    /// concurrently per the config. A part's stats are **merged** into
+    /// its slot (the recovery pass adds to the survivor's main-pass
+    /// stats); errors land in `failure` (first one wins) with the part
+    /// that reported them, and all requested parts always run to
+    /// completion — under failover a sibling's error must not strand
+    /// the rest.
+    fn run_parts<'e>(
+        &self,
+        slots: &mut [Option<PartStats>],
+        failure: &mut Option<(usize, FetchError)>,
+        run: Vec<usize>,
+        make_ctx: impl Fn(usize) -> PartCtx<'e>,
+    ) {
+        let mut record = |part: usize, outcome: Result<PartStats, FetchError>| match outcome {
+            Ok(stats) => match &mut slots[part] {
+                Some(s) => s.merge(&stats),
+                none => *none = Some(stats),
+            },
+            Err(e) => {
+                failure.get_or_insert((part, e));
+            }
+        };
+        if self.cfg.sequential_parts {
+            for part in run {
+                let outcome = run_part(make_ctx(part));
+                record(part, outcome);
+            }
+        } else {
+            let mut outcomes: Vec<(usize, Result<PartStats, FetchError>)> =
+                Vec::with_capacity(run.len());
+            crossbeam::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(run.len());
+                for &part in &run {
+                    let ctx = make_ctx(part);
+                    handles.push((
+                        part,
+                        s.builder()
+                            .name(format!("khuzdul-part-{part}"))
+                            .spawn(move |_| run_part(ctx))
+                            .expect("spawn part coordinator"),
+                    ));
+                }
+                // Join every part before reporting: a failing part must
+                // not leave siblings running against a dead fabric.
+                for (part, h) in handles {
+                    outcomes.push((part, h.join().expect("part coordinator panicked")));
+                }
+            })
+            .expect("engine scope");
+            for (part, outcome) in outcomes {
+                record(part, outcome);
+            }
+        }
+    }
+
+    fn failure_snapshot(&self) -> FailureSummary {
+        let m = self.service.metrics();
+        FailureSummary {
+            parts_failed: m.parts_failed(),
+            rerouted_requests: m.total_rerouted_requests(),
+            rerouted_bytes: m.total_rerouted_bytes(),
+            reexecuted_roots: 0,
+        }
     }
 
     fn traffic_snapshot(&self) -> TrafficSummary {
@@ -724,6 +866,7 @@ mod tests {
                         backoff: Duration::from_micros(500),
                     },
                     fault: Some(FaultPlan::drops(0.05)),
+                    ..FabricConfig::default()
                 },
                 ..EngineConfig::default()
             },
@@ -751,14 +894,127 @@ mod tests {
                         backoff: Duration::from_micros(100),
                     },
                     fault: Some(FaultPlan::drops(1.0)),
+                    ..FabricConfig::default()
                 },
                 ..EngineConfig::default()
             },
         );
         match engine.try_count(&plan(&Pattern::triangle())) {
-            Err(FetchError::Timeout { .. }) => {}
+            Err(EngineError::Fetch(FetchError::Timeout { .. })) => {}
             other => panic!("expected a timeout error, got {other:?}"),
         }
+        engine.shutdown();
+    }
+
+    /// Short-fuse retry policy for crash tests: in-flight requests that
+    /// the dying responder abandons must time out quickly so the pending
+    /// fetch resubmits, sees `PartDead`, and fails over.
+    fn crash_retry() -> gpm_cluster::RetryPolicy {
+        use std::time::Duration;
+        gpm_cluster::RetryPolicy {
+            max_attempts: 4,
+            timeout: Duration::from_millis(50),
+            backoff: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn crashed_part_fails_over_and_recovers_exact_counts() {
+        use gpm_cluster::FaultPlan;
+        let g = gen::erdos_renyi(150, 700, 5);
+        let p = Pattern::triangle();
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        for steal in [false, true] {
+            let pg = PartitionedGraph::with_replication(&g, 4, 1, 2);
+            let engine = Engine::new(
+                pg,
+                EngineConfig {
+                    // Small chunks split the fetch workload into many wire
+                    // requests so the crash lands mid-run, with live
+                    // fetches still headed for the dead part.
+                    chunk_capacity: 64,
+                    steal: StealConfig { enabled: steal, batch: 8 },
+                    obs: ObsConfig::enabled(),
+                    fabric: FabricConfig {
+                        retry: crash_retry(),
+                        fault: Some(FaultPlan::crash_at(2, 4)),
+                        ..FabricConfig::default()
+                    },
+                    ..EngineConfig::default()
+                },
+            );
+            let run = engine.try_count(&plan(&p)).expect("a replica must mask the crash");
+            assert_eq!(run.count, expect, "steal={steal}");
+            // The failure must be visible in the run stats: the dead part
+            // was detected, traffic was re-routed to the replica holder,
+            // and the recovery pass re-executed the lost roots.
+            assert_eq!(run.failures.parts_failed, 1, "steal={steal}");
+            assert!(run.failures.rerouted_requests > 0, "steal={steal}");
+            assert!(run.failures.rerouted_bytes > 0, "steal={steal}");
+            assert!(run.failures.reexecuted_roots > 0, "steal={steal}");
+            let report = engine.report(&run, "khuzdul");
+            assert_eq!(report.failures.parts_failed, 1);
+            assert_eq!(report.failures.rerouted_bytes, run.failures.rerouted_bytes);
+            assert_eq!(report.failures.reexecuted_roots, run.failures.reexecuted_roots);
+            gpm_obs::validate_report(&report.to_json()).expect("crash-run report must validate");
+            let spans = engine.recorder().spans();
+            for kind in [SpanKind::PartCrash, SpanKind::PartFailed, SpanKind::Recovery] {
+                assert!(spans.iter().any(|s| s.kind == kind), "missing {kind:?} span");
+            }
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn crash_without_a_replica_is_part_lost() {
+        use gpm_cluster::FaultPlan;
+        let g = gen::erdos_renyi(150, 700, 5);
+        let pg = PartitionedGraph::new(&g, 4, 1); // replication = 1
+        let engine = Engine::new(
+            pg,
+            EngineConfig {
+                chunk_capacity: 64,
+                fabric: FabricConfig {
+                    retry: crash_retry(),
+                    fault: Some(FaultPlan::crash_at(2, 4)),
+                    ..FabricConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        match engine.try_count(&plan(&Pattern::triangle())) {
+            Err(EngineError::PartLost { part: 2 }) => {}
+            other => panic!("expected PartLost for part 2, got {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn immediate_crash_recovers_the_whole_partition() {
+        use gpm_cluster::FaultPlan;
+        // `after_requests: 0` kills part 1 on the very first fetch that
+        // targets it, so essentially all of its work is re-executed.
+        let g = gen::erdos_renyi(120, 500, 7);
+        let p = Pattern::triangle();
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        let pg = PartitionedGraph::with_replication(&g, 3, 1, 2);
+        let engine = Engine::new(
+            pg,
+            EngineConfig {
+                fabric: FabricConfig {
+                    retry: crash_retry(),
+                    fault: Some(FaultPlan::crash_at(1, 0)),
+                    ..FabricConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        let run = engine.try_count(&plan(&p)).expect("a replica must mask the crash");
+        assert_eq!(run.count, expect);
+        assert!(run.failures.reexecuted_roots > 0);
+        // The dead part reports no stats of its own: its slot is zeroed
+        // and the re-executed work lands on the survivors.
+        assert_eq!(run.per_part[1].count, 0);
         engine.shutdown();
     }
 

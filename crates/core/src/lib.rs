@@ -55,13 +55,13 @@ mod scheduler;
 pub mod stats;
 
 pub use cache::{CacheConfig, CachePolicy};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, EngineError};
 pub use scheduler::StealConfig;
 pub use stats::{Breakdown, PartStats, RunStats, TrafficSummary};
 
 // Fabric knobs and errors surface through `EngineConfig` / `try_count`,
 // so re-export them for downstream callers.
-pub use gpm_cluster::{FabricConfig, FaultPlan, FetchError, RetryPolicy};
+pub use gpm_cluster::{CrashAt, FabricConfig, FaultPlan, FetchError, RetryPolicy};
 
 // Observability surfaces through `EngineConfig::obs` / `Engine::report`;
 // re-export the types callers hold or write out.

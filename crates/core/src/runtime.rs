@@ -203,6 +203,13 @@ impl<'e> PartRun<'e> {
             if self.ctx.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
                 return Ok(());
             }
+            // Fail-stop self-check: once this part's own death is
+            // detected anywhere in the cluster, stop producing results —
+            // the engine discards this part's stats wholesale and the
+            // recovery pass re-executes every root it ever claimed.
+            if self.ctx.client.is_part_dead(self.ctx.my_part) {
+                return Err(FetchError::PartDead { part: self.ctx.my_part });
+            }
             // Bottom-up release: a chunk whose work is done and whose
             // child level is empty can be freed as a whole (the
             // "terminated" transition of Figure 6, per level).
@@ -265,6 +272,14 @@ impl<'e> PartRun<'e> {
                 }
                 None => {
                     if !self.ctx.ledger.stealing() || self.ctx.ledger.finished() {
+                        break false;
+                    }
+                    // A failed run can never quiesce: the dead part's
+                    // outstanding batches are never retired. Once a
+                    // failure is known and nothing is claimable, stop
+                    // waiting — the engine's recovery pass re-executes
+                    // whatever the dead part took with it.
+                    if (0..self.ctx.part_count).any(|p| self.ctx.client.is_part_dead(p)) {
                         break false;
                     }
                     if !starving {
@@ -353,7 +368,7 @@ impl<'e> PartRun<'e> {
         }
         self.roots_donated += donated.len() as u64;
         self.obs.instant(SpanKind::Donate, donated.len() as u64);
-        self.ctx.ledger.donate(donated);
+        self.ctx.ledger.donate(self.ctx.my_part, donated);
     }
 
     /// Resolve phase: make every pending edge list of the current chunk

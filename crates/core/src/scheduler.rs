@@ -421,6 +421,14 @@ pub(crate) struct RootLedger {
     parts: Vec<PartCursor>,
     /// Donated level-0 root ranges, claimable by any part.
     spill: Mutex<Vec<VertexId>>,
+    /// Per-part multiset of every root the part has claimed (own, spill,
+    /// or stolen). Together with `donate_log` this reconstructs exactly
+    /// which roots a fail-stop part took to its grave: its claims, minus
+    /// what it donated back, were executed (if at all) only by the dead
+    /// part, whose partial results the engine discards wholesale.
+    claim_log: Vec<Mutex<Vec<VertexId>>>,
+    /// Per-part multiset of every root the part donated to the spill.
+    donate_log: Vec<Mutex<Vec<VertexId>>>,
     wc: WorkCounter,
     /// Number of parts currently idle and polling for work; loaded parts
     /// consult this to decide whether donating is worthwhile.
@@ -433,12 +441,15 @@ pub(crate) struct RootLedger {
 
 impl RootLedger {
     pub(crate) fn new(parts: Vec<Arc<GraphPart>>, stealing: bool, batch: usize) -> RootLedger {
+        let n = parts.len();
         RootLedger {
             parts: parts
                 .into_iter()
                 .map(|part| PartCursor { part, next: AtomicUsize::new(0) })
                 .collect(),
             spill: Mutex::new(Vec::new()),
+            claim_log: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            donate_log: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
             wc: WorkCounter::new(),
             starving: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
@@ -464,6 +475,7 @@ impl RootLedger {
     ) -> Option<(ClaimSource, Vec<VertexId>)> {
         if let Some(roots) = self.claim_range(me, own_batch) {
             self.wc.add(1);
+            self.claim_log[me].lock().extend_from_slice(&roots);
             return Some((ClaimSource::Own, roots));
         }
         if !self.stealing {
@@ -476,6 +488,7 @@ impl RootLedger {
                 let at = spill.len() - take;
                 let roots = spill.split_off(at);
                 self.wc.add(1);
+                self.claim_log[me].lock().extend_from_slice(&roots);
                 return Some((ClaimSource::Spill, roots));
             }
         }
@@ -485,6 +498,7 @@ impl RootLedger {
                 .max_by_key(|&p| self.remaining(p))?;
             if let Some(roots) = self.claim_range(victim, self.batch) {
                 self.wc.add(1);
+                self.claim_log[me].lock().extend_from_slice(&roots);
                 return Some((ClaimSource::Stolen(victim), roots));
             }
             // Lost the race on that victim's last range; look again.
@@ -498,14 +512,15 @@ impl RootLedger {
         self.idle_cv.notify_all();
     }
 
-    /// Adds never-started level-0 roots to the shared spill. The donor's
-    /// own batch unit still covers them until a claimant re-registers
-    /// them, and [`RootLedger::finished`] checks the spill directly, so no
-    /// donated root can be dropped.
-    pub(crate) fn donate(&self, mut roots: Vec<VertexId>) {
+    /// Adds never-started level-0 roots from `donor` to the shared spill.
+    /// The donor's own batch unit still covers them until a claimant
+    /// re-registers them, and [`RootLedger::finished`] checks the spill
+    /// directly, so no donated root can be dropped.
+    pub(crate) fn donate(&self, donor: usize, mut roots: Vec<VertexId>) {
         if roots.is_empty() {
             return;
         }
+        self.donate_log[donor].lock().extend_from_slice(&roots);
         self.spill.lock().append(&mut roots);
         self.idle_cv.notify_all();
     }
@@ -569,6 +584,73 @@ impl RootLedger {
         }
         let end = (start + n).min(owned.len());
         Some(owned[start..end].to_vec())
+    }
+
+    // -- fail-stop recovery ------------------------------------------------
+
+    /// Drains and returns the unclaimed tail of `part`'s cursor. The
+    /// drain uses the same atomic cursor as [`claim`], so every root
+    /// lands in exactly one of: a claimant's batch (and its
+    /// `claim_log`) or this return value — never both, never neither.
+    ///
+    /// [`claim`]: RootLedger::claim
+    pub(crate) fn close_part(&self, part: usize) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        loop {
+            let n = self.remaining(part);
+            if n == 0 {
+                return out;
+            }
+            if let Some(mut roots) = self.claim_range(part, n) {
+                out.append(&mut roots);
+            }
+        }
+    }
+
+    /// Reconstructs the exact multiset of roots whose results died with
+    /// the `dead` parts, assuming no part is still claiming:
+    ///
+    /// * every root a dead part claimed (its partial results are
+    ///   discarded wholesale), **minus** what it donated back — a
+    ///   donated root's fate belongs to whoever claimed it next;
+    /// * the unclaimed tail of each dead part's cursor;
+    /// * whatever is left in the spill — donated by anyone, claimed by
+    ///   no one (survivors may stop claiming once a failure aborts the
+    ///   run).
+    ///
+    /// Re-executing exactly this set on the survivors reproduces the
+    /// fault-free counts bit for bit.
+    pub(crate) fn lost_roots(&self, dead: &[usize]) -> Vec<VertexId> {
+        let mut lost = Vec::new();
+        for &d in dead {
+            let mut donated: std::collections::HashMap<VertexId, usize> =
+                std::collections::HashMap::new();
+            for &r in self.donate_log[d].lock().iter() {
+                *donated.entry(r).or_insert(0) += 1;
+            }
+            for &r in self.claim_log[d].lock().iter() {
+                match donated.get_mut(&r) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => lost.push(r),
+                }
+            }
+            lost.append(&mut self.close_part(d));
+        }
+        lost.append(&mut self.spill.lock());
+        lost
+    }
+
+    /// A ledger for the recovery pass: every cursor starts exhausted and
+    /// the spill holds exactly the `lost` roots, so survivors claim
+    /// nothing but the re-execution work. Stealing is forced on — spill
+    /// claims are a stealing path.
+    pub(crate) fn recovery(parts: Vec<Arc<GraphPart>>, lost: Vec<VertexId>, batch: usize) -> Self {
+        let ledger = RootLedger::new(parts, true, batch);
+        for pc in &ledger.parts {
+            pc.next.store(pc.part.owned().len(), Ordering::Relaxed);
+        }
+        *ledger.spill.lock() = lost;
+        ledger
     }
 }
 
@@ -683,7 +765,7 @@ mod tests {
             }
         }
         assert!(ledger.finished());
-        ledger.donate(vec![1, 2, 3]);
+        ledger.donate(0, vec![1, 2, 3]);
         assert!(!ledger.finished());
         let (src, roots) = ledger.claim(2, 1).expect("spill is claimable by anyone");
         assert_eq!(src, ClaimSource::Spill);
@@ -691,6 +773,79 @@ mod tests {
         assert!(!ledger.finished(), "outstanding batch blocks termination");
         ledger.batch_done();
         assert!(ledger.finished());
+    }
+
+    #[test]
+    fn close_part_drains_the_unclaimed_tail() {
+        let ledger = ledger(false);
+        let total = ledger.remaining(1);
+        let (_, claimed) = ledger.claim(1, 3).expect("own roots");
+        ledger.batch_done();
+        let tail = ledger.close_part(1);
+        assert_eq!(tail.len(), total - claimed.len());
+        assert_eq!(ledger.remaining(1), 0);
+        assert!(ledger.close_part(1).is_empty(), "close is idempotent");
+        // No root is in both the claim and the tail.
+        assert!(claimed.iter().all(|r| !tail.contains(r)));
+    }
+
+    #[test]
+    fn lost_roots_reconstruct_the_dead_parts_exact_work() {
+        let ledger = ledger(true);
+        let total1 = ledger.remaining(1);
+        // Part 1 claims two batches, donates part of the first back, and
+        // then "dies". Part 0 claims the donation (it survives, so those
+        // roots are its problem, not the recovery pass's).
+        let (_, first) = ledger.claim(1, 4).expect("first batch");
+        let (_, _second) = ledger.claim(1, 4).expect("second batch");
+        ledger.donate(1, first[..2].to_vec());
+        let (src, adopted) = ledger.claim(0, 0).expect("spill claim");
+        assert_eq!(src, ClaimSource::Spill);
+        assert_eq!(adopted.len(), 2);
+        let mut lost = ledger.lost_roots(&[1]);
+        // Lost = claimed (8) − donated (2) + unclaimed tail; the two
+        // donated-and-adopted roots are excluded.
+        assert_eq!(lost.len(), 8 - 2 + (total1 - 8));
+        assert!(adopted.iter().all(|r| !lost.contains(r)));
+        // Together, part 0's adoption and the lost set cover part 1's
+        // owned roots exactly once each.
+        lost.extend(adopted);
+        lost.sort_unstable();
+        let g = gen::erdos_renyi(64, 128, 9);
+        let pg = PartitionedGraph::new(&g, 4, 1);
+        let mut owned1 = pg.part(1).owned().to_vec();
+        owned1.sort_unstable();
+        assert_eq!(lost, owned1);
+    }
+
+    #[test]
+    fn unclaimed_donations_are_lost_roots_even_from_survivors() {
+        let ledger = ledger(true);
+        let (_, mine) = ledger.claim(0, 4).expect("own roots");
+        ledger.donate(0, mine[..3].to_vec());
+        // Nobody claims the donation before the run aborts: the roots
+        // must surface as lost even though part 0 survived.
+        let lost = ledger.lost_roots(&[2]);
+        for &r in &mine[..3] {
+            assert!(lost.contains(&r), "unclaimed donation {r} dropped");
+        }
+    }
+
+    #[test]
+    fn recovery_ledger_serves_only_the_spill() {
+        let g = gen::erdos_renyi(64, 128, 9);
+        let pg = PartitionedGraph::new(&g, 4, 1);
+        let parts: Vec<_> = (0..4).map(|p| pg.part_arc(p)).collect();
+        let ledger = RootLedger::recovery(parts, vec![10, 11, 12], 8);
+        assert!((0..4).all(|p| ledger.remaining(p) == 0));
+        assert!(ledger.stealing());
+        let (src, roots) = ledger.claim(3, usize::MAX).expect("lost roots claimable");
+        assert_eq!(src, ClaimSource::Spill);
+        assert_eq!(roots, vec![10, 11, 12]);
+        assert!(!ledger.finished());
+        ledger.batch_done();
+        assert!(ledger.finished());
+        assert!(ledger.claim(0, usize::MAX).is_none());
     }
 
     #[test]

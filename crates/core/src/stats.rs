@@ -72,6 +72,35 @@ impl TrafficSummary {
     }
 }
 
+impl PartStats {
+    /// Folds another pass's stats into this one (used when the recovery
+    /// pass adds re-execution work to a survivor's main-pass stats).
+    pub(crate) fn merge(&mut self, other: &PartStats) {
+        self.count += other.count;
+        self.compute += other.compute;
+        self.network += other.network;
+        self.scheduler += other.scheduler;
+        self.cache += other.cache;
+        self.peak_embeddings = self.peak_embeddings.max(other.peak_embeddings);
+        self.roots_stolen += other.roots_stolen;
+        self.roots_donated += other.roots_donated;
+    }
+}
+
+/// Fail-stop failure accounting of one run (deltas over the run window).
+/// All-zero for a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureSummary {
+    /// Parts declared failed (fail-stop) during the run.
+    pub parts_failed: u64,
+    /// Fetches re-routed from a dead part to a live replica holder.
+    pub rerouted_requests: u64,
+    /// Bytes (request + response) moved by re-routed fetches.
+    pub rerouted_bytes: u64,
+    /// Roots re-executed on surviving parts by the recovery pass.
+    pub reexecuted_roots: u64,
+}
+
 /// The result of one engine run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -83,6 +112,8 @@ pub struct RunStats {
     pub per_part: Vec<PartStats>,
     /// Communication summary.
     pub traffic: TrafficSummary,
+    /// Fail-stop failure and failover accounting.
+    pub failures: FailureSummary,
 }
 
 impl RunStats {
@@ -152,6 +183,12 @@ impl RunStats {
             series: Vec::new(),
             spans: gpm_obs::SpanStats::default(),
             critical_path: gpm_obs::CriticalPathSection::default(),
+            failures: gpm_obs::FailureSection {
+                parts_failed: self.failures.parts_failed,
+                rerouted_requests: self.failures.rerouted_requests,
+                rerouted_bytes: self.failures.rerouted_bytes,
+                reexecuted_roots: self.failures.reexecuted_roots,
+            },
         }
     }
 
@@ -211,6 +248,7 @@ mod tests {
                 ..PartStats::default()
             }],
             traffic: TrafficSummary { network_bytes: 1000, requests: 3, ..Default::default() },
+            ..Default::default()
         };
         let s = stats.to_string();
         assert!(s.contains("42 embeddings"));
@@ -239,7 +277,7 @@ mod tests {
                     ..PartStats::default()
                 },
             ],
-            traffic: TrafficSummary::default(),
+            ..Default::default()
         };
         let b = stats.breakdown();
         assert!((b.compute + b.network + b.scheduler + b.cache - 1.0).abs() < 1e-9);
@@ -275,6 +313,12 @@ mod tests {
                 coalesced: 3,
                 retries: 1,
             },
+            failures: FailureSummary {
+                parts_failed: 1,
+                rerouted_requests: 2,
+                rerouted_bytes: 512,
+                reexecuted_roots: 6,
+            },
         };
         let r = stats.to_report("khuzdul");
         assert_eq!(r.system, "khuzdul");
@@ -291,6 +335,10 @@ mod tests {
         assert_eq!(r.breakdown.compute, b.compute);
         assert_eq!(r.per_part.len(), 1);
         assert_eq!(r.per_part[0].peak_embeddings, 11);
+        assert_eq!(r.failures.parts_failed, stats.failures.parts_failed);
+        assert_eq!(r.failures.rerouted_requests, stats.failures.rerouted_requests);
+        assert_eq!(r.failures.rerouted_bytes, stats.failures.rerouted_bytes);
+        assert_eq!(r.failures.reexecuted_roots, stats.failures.reexecuted_roots);
         gpm_obs::validate_report(&r.to_json()).expect("converted report must validate");
     }
 

@@ -7,8 +7,8 @@ use gpm_graph::{gen, GraphBuilder};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::{interp, Pattern};
 use khuzdul::{
-    CacheConfig, CachePolicy, Engine, EngineConfig, FabricConfig, FaultPlan, RetryPolicy,
-    StealConfig,
+    CacheConfig, CachePolicy, Engine, EngineConfig, EngineError, FabricConfig, FaultPlan,
+    RetryPolicy, StealConfig,
 };
 use proptest::prelude::*;
 use std::time::Duration;
@@ -115,12 +115,70 @@ proptest! {
                     backoff: Duration::from_millis(1),
                 },
                 fault: Some(FaultPlan { seed: fault_seed, ..FaultPlan::drops(0.05) }),
+                ..FabricConfig::default()
             },
             ..EngineConfig::default()
         });
         let run = engine.try_count(&plan).expect("retries must mask the fault plan");
         engine.shutdown();
         prop_assert_eq!(run.count, expect);
+    }
+
+    #[test]
+    fn counts_invariant_under_crash_schedules(
+        seed in 0u64..100,
+        crash_part in 0usize..4,
+        crash_after in prop_oneof![0u64..8, 8u64..64],
+        steal in any::<bool>(),
+        p in arb_pattern(),
+    ) {
+        // The seeded skewed R-MAT fixture under range partitioning (as in
+        // `counts_invariant_under_work_stealing`): the hub vertices all
+        // land on part 0, so steal-path donations and adoptions are in
+        // flight when a crash lands.
+        let g = gen::rmat(6, 8, (0.57, 0.19, 0.19), seed);
+        let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+        let pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
+        let clean = Engine::new(pg, EngineConfig::default());
+        let expect = clean.count(&plan).count;
+        clean.shutdown();
+
+        let crashy = || EngineConfig {
+            // Small chunks split the fetch workload into many wire
+            // requests so most sampled schedules actually fire mid-run.
+            chunk_capacity: 32,
+            steal: StealConfig { enabled: steal, batch: 4 },
+            fabric: FabricConfig {
+                retry: RetryPolicy {
+                    max_attempts: 4,
+                    timeout: Duration::from_millis(50),
+                    backoff: Duration::from_millis(1),
+                },
+                fault: Some(FaultPlan::crash_at(crash_part, crash_after)),
+                ..FabricConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        // With a replica, every crash schedule must recover the exact
+        // count — whether the crash fires early, mid-run, or never.
+        let mut pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
+        pg.set_replication(2);
+        let engine = Engine::new(pg, crashy());
+        let run = engine.try_count(&plan).expect("replication must mask a single crash");
+        engine.shutdown();
+        prop_assert_eq!(run.count, expect);
+
+        // Without one, the same schedule either never fires (exact count)
+        // or surfaces as a typed loss — never a wrong count, never a hang.
+        let pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
+        let engine = Engine::new(pg, crashy());
+        let res = engine.try_count(&plan);
+        engine.shutdown();
+        match res {
+            Ok(run) => prop_assert_eq!(run.count, expect),
+            Err(EngineError::PartLost { part }) => prop_assert_eq!(part, crash_part),
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
     }
 
     #[test]

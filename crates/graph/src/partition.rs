@@ -155,6 +155,16 @@ pub struct PartitionedGraph {
     owner_map: OwnerMap,
     parts: Vec<Arc<GraphPart>>,
     labels: Option<Arc<Vec<Label>>>,
+    /// Replication factor `r`: every part's edge lists are also hosted
+    /// by its `r - 1` hash predecessors, so `r = 1` means no replicas.
+    replication: usize,
+    /// `replicas[host]` = the parts whose edge-list slices `host` stores
+    /// in addition to its own: its hash successors
+    /// `host+1 … host+r-1 (mod n)`. Replica slices are separate from the
+    /// primary (`part(p).edge_list` still answers only for owned
+    /// vertices); in this in-process simulation they share the primary's
+    /// CSR arrays through the `Arc`.
+    replicas: Vec<Vec<Arc<GraphPart>>>,
 }
 
 impl PartitionedGraph {
@@ -209,7 +219,46 @@ impl PartitionedGraph {
             owner_map,
             parts,
             labels: g.labels().map(|l| Arc::new(l.to_vec())),
+            replication: 1,
+            replicas: vec![Vec::new(); part_count],
         }
+    }
+
+    /// Partitions with hash assignment and replication factor `r`:
+    /// besides its own slice, every part hosts the edge-list slices of
+    /// its `r - 1` hash successors, so any single fail-stop part failure
+    /// leaves every slice reachable whenever `r ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero or `r` is zero or exceeds the part
+    /// count.
+    pub fn with_replication(
+        g: &Graph,
+        machines: usize,
+        sockets_per_machine: usize,
+        r: usize,
+    ) -> Self {
+        let mut pg = PartitionedGraph::new(g, machines, sockets_per_machine);
+        pg.set_replication(r);
+        pg
+    }
+
+    /// (Re)assigns the replication factor, rebuilding the replica
+    /// placement: part `p` hosts the slices of parts
+    /// `p+1 … p+r-1 (mod n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero or exceeds the part count.
+    pub fn set_replication(&mut self, r: usize) {
+        let n = self.parts.len();
+        assert!(r >= 1, "replication factor must be at least 1");
+        assert!(r <= n, "replication factor {r} exceeds part count {n}");
+        self.replication = r;
+        self.replicas = (0..n)
+            .map(|host| (1..r).map(|k| Arc::clone(&self.parts[(host + k) % n])).collect())
+            .collect();
     }
 
     /// The copyable vertex→part resolver used by all message layers.
@@ -288,6 +337,37 @@ impl PartitionedGraph {
     /// Sum of all parts' CSR bytes — the partitioned memory footprint.
     pub fn total_size_bytes(&self) -> usize {
         self.parts.iter().map(|p| p.size_bytes()).sum()
+    }
+
+    /// Replication factor `r` (1 = no replicas).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The replica slices hosted by `host` besides its own: the parts
+    /// `host+1 … host+r-1 (mod n)`, in placement order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn hosted_replicas(&self, host: usize) -> &[Arc<GraphPart>] {
+        &self.replicas[host]
+    }
+
+    /// The parts hosting a replica of `source`'s slice, nearest
+    /// (hash-predecessor) first: `source-1 … source-(r-1) (mod n)`.
+    /// Empty when `r = 1`. A fetch for a dead `source` fails over to the
+    /// first live entry.
+    pub fn replica_holders(&self, source: usize) -> Vec<usize> {
+        let n = self.parts.len();
+        (1..self.replication).map(|k| (source + n - k) % n).collect()
+    }
+
+    /// Bytes of CSR data hosted as replicas across all parts — the
+    /// memory cost of the replication factor on top of
+    /// [`PartitionedGraph::total_size_bytes`].
+    pub fn replica_size_bytes(&self) -> usize {
+        self.replicas.iter().flatten().map(|p| p.size_bytes()).sum()
     }
 }
 
@@ -424,6 +504,63 @@ mod tests {
         for v in g.vertices() {
             assert_eq!(map.owner(v), pg.owner(v));
         }
+    }
+
+    #[test]
+    fn replication_places_successor_slices() {
+        let g = gen::erdos_renyi(200, 800, 7);
+        let pg = PartitionedGraph::with_replication(&g, 4, 1, 2);
+        assert_eq!(pg.replication(), 2);
+        for host in 0..4 {
+            let hosted = pg.hosted_replicas(host);
+            assert_eq!(hosted.len(), 1);
+            assert_eq!(hosted[0].part_id(), (host + 1) % 4);
+        }
+        // Holder list is the inverse mapping, nearest predecessor first.
+        for source in 0..4 {
+            assert_eq!(pg.replica_holders(source), vec![(source + 4 - 1) % 4]);
+        }
+        // Replica slices answer exactly what the primary answers.
+        for v in g.vertices() {
+            let owner = pg.owner(v);
+            let holder = pg.replica_holders(owner)[0];
+            let replica = pg
+                .hosted_replicas(holder)
+                .iter()
+                .find_map(|p| p.edge_list(v))
+                .expect("replica must hold the slice");
+            assert_eq!(replica, g.neighbors(v));
+        }
+        assert_eq!(pg.replica_size_bytes(), pg.total_size_bytes());
+    }
+
+    #[test]
+    fn no_replication_by_default() {
+        let g = gen::complete(12);
+        let pg = PartitionedGraph::new(&g, 3, 1);
+        assert_eq!(pg.replication(), 1);
+        assert!(pg.replica_holders(0).is_empty());
+        assert!(pg.hosted_replicas(2).is_empty());
+        assert_eq!(pg.replica_size_bytes(), 0);
+    }
+
+    #[test]
+    fn full_replication_covers_all_other_parts() {
+        let g = gen::complete(12);
+        let mut pg = PartitionedGraph::new(&g, 3, 1);
+        pg.set_replication(3);
+        for source in 0..3 {
+            let holders = pg.replica_holders(source);
+            assert_eq!(holders.len(), 2);
+            assert!(!holders.contains(&source), "a part never replicates itself");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds part count")]
+    fn over_replication_panics() {
+        let g = gen::complete(6);
+        PartitionedGraph::with_replication(&g, 2, 1, 3);
     }
 
     #[test]

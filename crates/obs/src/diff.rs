@@ -240,6 +240,7 @@ mod tests {
                 },
                 per_part: Vec::new(),
             },
+            failures: Default::default(),
         }
     }
 

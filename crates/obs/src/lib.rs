@@ -50,7 +50,7 @@ pub use diff::{diff_reports, DiffThresholds, ReportDiff};
 pub use hist::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
 pub use recorder::{GaugeSample, Metric, ObsHandle, Recorder};
 pub use report::{
-    BreakdownFractions, CriticalPathFractions, CriticalPathSection, NamedHistogram,
+    BreakdownFractions, CriticalPathFractions, CriticalPathSection, FailureSection, NamedHistogram,
     PartCriticalPath, PartReport, RingOccupancy, RunReport, SeriesPoint, SpanStats, TrafficTotals,
     REPORT_SCHEMA_VERSION,
 };

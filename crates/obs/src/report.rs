@@ -10,7 +10,10 @@ use serde::Serialize;
 /// v2: `spans` gained per-shard `rings` occupancy and the report gained
 /// the `critical_path` section (compute/fetch-wait/queue/retry
 /// attribution from linked spans).
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: the report gained the `failures` section (fail-stop parts,
+/// replica failover traffic, and recovery re-execution counts).
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// End-of-run traffic totals, mirroring the engine's `TrafficSummary`
 /// counter-for-counter so the two can be diffed.
@@ -168,6 +171,23 @@ pub struct CriticalPathSection {
     pub per_part: Vec<PartCriticalPath>,
 }
 
+/// Fail-stop failure accounting (schema v3). All-zero for a fault-free
+/// run. `report-validate` warns when `parts_failed > 0` but
+/// `rerouted_bytes == 0` — a part died and failover never engaged, so
+/// the run either had no replicas or lost data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct FailureSection {
+    /// Parts declared failed (fail-stop) during the run.
+    pub parts_failed: u64,
+    /// Fetches re-routed from a dead part to a live replica holder.
+    pub rerouted_requests: u64,
+    /// Bytes (request + response) moved by re-routed fetches, accounted
+    /// separately from regular traffic.
+    pub rerouted_bytes: u64,
+    /// Roots re-executed on surviving parts by the recovery pass.
+    pub reexecuted_roots: u64,
+}
+
 /// The versioned run report written by `--report-out`.
 ///
 /// Subsumes the engine's `TrafficSummary`/`Breakdown` and adds
@@ -198,6 +218,9 @@ pub struct RunReport {
     /// Critical-path attribution from linked spans (all-zero when the
     /// run recorded no spans).
     pub critical_path: CriticalPathSection,
+    /// Fail-stop failure and failover accounting (all-zero for a
+    /// fault-free run).
+    pub failures: FailureSection,
 }
 
 impl TrafficTotals {
@@ -362,6 +385,12 @@ mod tests {
                     unlinked_waits: 1,
                 }],
             },
+            failures: FailureSection {
+                parts_failed: 1,
+                rerouted_requests: 4,
+                rerouted_bytes: 2048,
+                reexecuted_roots: 9,
+            },
         }
     }
 
@@ -372,10 +401,12 @@ mod tests {
         let b = sample().to_json();
         assert_eq!(a, b);
         assert!(a.ends_with('\n'));
-        assert!(a.contains("\"schema_version\": 2"));
+        assert!(a.contains("\"schema_version\": 3"));
         assert!(a.contains("\"fetch_latency_ns\""));
         assert!(a.contains("\"critical_path\""));
         assert!(a.contains("\"rings\""));
+        assert!(a.contains("\"failures\""));
+        assert!(a.contains("\"rerouted_bytes\""));
     }
 
     #[test]

@@ -5,9 +5,9 @@
 /// Kinds map to a fixed *lane* (`tid` in the Chrome trace) so related
 /// events stack on the same track per part: chunk lifecycle on lane 0,
 /// resolve on 1, bucket rounds on 2, fetches/retries on 3, cache traffic
-/// on 4, responder service and fault injection on 5, baseline scheduler
-/// scans on 6, load balancing (steal/donate/park/idle) on 7, post-office
-/// message traffic on 8.
+/// on 4, responder service and fault/failure events on 5, baseline
+/// scheduler scans on 6, load balancing (steal/donate/park/idle) and
+/// crash recovery on 7, post-office message traffic on 8.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SpanKind {
     /// Seeding root embeddings for a part (arg = number seeded).
@@ -55,6 +55,18 @@ pub enum SpanKind {
     PostSend,
     /// Instant: a post-office message was received (arg = sender part).
     PostRecv,
+    /// Instant: the fault plan executed a fail-stop crash of a part's
+    /// responder (arg = crashed part).
+    PartCrash,
+    /// Instant: liveness promoted a part to the failed state; later
+    /// fetches to it fail fast or fail over (arg = dead part).
+    PartFailed,
+    /// Instant: a fetch for a dead part was re-routed to a live replica
+    /// holder (arg = replacement target).
+    Failover,
+    /// Recovery pass re-executing a dead part's lost roots on the
+    /// surviving parts (arg = number of roots).
+    Recovery,
 }
 
 impl SpanKind {
@@ -82,6 +94,10 @@ impl SpanKind {
             SpanKind::FetchIssue => "fetch_issue",
             SpanKind::PostSend => "post_send",
             SpanKind::PostRecv => "post_recv",
+            SpanKind::PartCrash => "part_crash",
+            SpanKind::PartFailed => "part_failed",
+            SpanKind::Failover => "failover",
+            SpanKind::Recovery => "recovery",
         }
     }
 
@@ -93,9 +109,17 @@ impl SpanKind {
             SpanKind::BucketRound => 2,
             SpanKind::Fetch | SpanKind::Retry | SpanKind::FetchIssue => 3,
             SpanKind::CacheLookup | SpanKind::CacheInsert | SpanKind::CacheGc => 4,
-            SpanKind::Serve | SpanKind::Fault => 5,
+            SpanKind::Serve
+            | SpanKind::Fault
+            | SpanKind::PartCrash
+            | SpanKind::PartFailed
+            | SpanKind::Failover => 5,
             SpanKind::SchedulerScan => 6,
-            SpanKind::Steal | SpanKind::Donate | SpanKind::Park | SpanKind::Idle => 7,
+            SpanKind::Steal
+            | SpanKind::Donate
+            | SpanKind::Park
+            | SpanKind::Idle
+            | SpanKind::Recovery => 7,
             SpanKind::PostSend | SpanKind::PostRecv => 8,
         }
     }
@@ -153,7 +177,7 @@ impl Span {
 mod tests {
     use super::*;
 
-    const ALL: [SpanKind; 21] = [
+    const ALL: [SpanKind; 25] = [
         SpanKind::SeedRoots,
         SpanKind::Resolve,
         SpanKind::BucketRound,
@@ -175,6 +199,10 @@ mod tests {
         SpanKind::FetchIssue,
         SpanKind::PostSend,
         SpanKind::PostRecv,
+        SpanKind::PartCrash,
+        SpanKind::PartFailed,
+        SpanKind::Failover,
+        SpanKind::Recovery,
     ];
 
     #[test]

@@ -252,16 +252,21 @@ const HIST_KEYS: [&str; 5] = ["count", "sum", "p50", "p95", "p99"];
 pub(crate) const CRITICAL_PATH_FRACTION_KEYS: [&str; 4] =
     ["compute", "fetch_wait", "responder_queue", "retry_backoff"];
 
+/// Counter keys of the v3 failure section, in report order.
+const FAILURE_KEYS: [&str; 4] =
+    ["parts_failed", "rerouted_requests", "rerouted_bytes", "reexecuted_roots"];
+
 /// Validates a `RunReport` JSON document against schema version
 /// [`REPORT_SCHEMA_VERSION`]: required keys present with the right
 /// types, fractions finite and in `[0, 1]`, percentiles monotone,
 /// histogram names drawn from the metric table, and critical-path
 /// fractions summing to 1 ± 0.01 (or all zero).
 ///
-/// Returns the list of non-fatal warnings on success — currently a
-/// warning when `spans.dropped` is nonzero (a truncated trace must
-/// never be silently trusted) — and an error string on schema
-/// violation.
+/// Returns the list of non-fatal warnings on success — a warning when
+/// `spans.dropped` is nonzero (a truncated trace must never be silently
+/// trusted), and one when `failures.parts_failed` is nonzero but no
+/// bytes were re-routed (a part died and failover never engaged) — and
+/// an error string on schema violation.
 pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
     let mut warnings = Vec::new();
     let doc = parse_json(json)?;
@@ -399,6 +404,20 @@ pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
         }
     }
 
+    let failures = as_map(get(top, "failures").ok_or("report.failures: missing")?, "failures")?;
+    for key in FAILURE_KEYS {
+        req_u64(failures, key, "failures")?;
+    }
+    let parts_failed = req_u64(failures, "parts_failed", "failures")?;
+    let rerouted_bytes = req_u64(failures, "rerouted_bytes", "failures")?;
+    if parts_failed > 0 && rerouted_bytes == 0 {
+        warnings.push(format!(
+            "failures.parts_failed: {parts_failed} part(s) failed but no bytes were \
+             re-routed — failover never engaged (no replicas, or the dead parts' \
+             data was never requested)"
+        ));
+    }
+
     Ok(warnings)
 }
 
@@ -514,16 +533,27 @@ mod tests {
         assert!(err.contains("schema_version"));
     }
 
-    /// A minimal valid v2 report with one substitutable section.
-    fn v2_report(traffic: &str, spans: &str, critical_path: &str, histograms: &str) -> String {
+    /// A minimal valid v3 report with one substitutable section.
+    fn v3_report(traffic: &str, spans: &str, critical_path: &str, histograms: &str) -> String {
+        v3_report_with_failures(traffic, spans, critical_path, histograms, ZERO_FAILURES)
+    }
+
+    fn v3_report_with_failures(
+        traffic: &str,
+        spans: &str,
+        critical_path: &str,
+        histograms: &str,
+        failures: &str,
+    ) -> String {
         format!(
             r#"{{
-            "schema_version": 2, "system": "khuzdul", "count": 0, "elapsed_ns": 1,
+            "schema_version": 3, "system": "khuzdul", "count": 0, "elapsed_ns": 1,
             "traffic": {traffic},
             "breakdown": {{"compute": 0.0, "network": 0.0, "scheduler": 0.0, "cache": 0.0}},
             "per_part": [], "histograms": {histograms}, "series": [],
             "spans": {spans},
-            "critical_path": {critical_path}
+            "critical_path": {critical_path},
+            "failures": {failures}
         }}"#
         )
     }
@@ -533,19 +563,21 @@ mod tests {
     const CLEAN_SPANS: &str = r#"{"recorded": 0, "dropped": 0, "rings": []}"#;
     const ZERO_CP: &str = r#"{"fractions": {"compute": 0.0, "fetch_wait": 0.0,
         "responder_queue": 0.0, "retry_backoff": 0.0}, "per_part": []}"#;
+    const ZERO_FAILURES: &str = r#"{"parts_failed": 0, "rerouted_requests": 0,
+        "rerouted_bytes": 0, "reexecuted_roots": 0}"#;
 
     #[test]
     fn validate_report_rejects_missing_traffic_key() {
-        let json = v2_report(r#"{"fetch_requests": 0}"#, CLEAN_SPANS, ZERO_CP, "[]");
+        let json = v3_report(r#"{"fetch_requests": 0}"#, CLEAN_SPANS, ZERO_CP, "[]");
         let err = validate_report(&json).unwrap_err();
         assert!(err.contains("cache_hits"), "got: {err}");
     }
 
     #[test]
     fn validate_report_warns_on_dropped_spans() {
-        let clean = v2_report(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]");
+        let clean = v3_report(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]");
         assert!(validate_report(&clean).unwrap().is_empty());
-        let truncated = v2_report(
+        let truncated = v3_report(
             FULL_TRAFFIC,
             r#"{"recorded": 10, "dropped": 3, "rings": [{"shard": 0, "len": 7, "capacity": 7, "dropped": 3}]}"#,
             ZERO_CP,
@@ -557,8 +589,42 @@ mod tests {
     }
 
     #[test]
+    fn validate_report_warns_when_failover_never_engaged() {
+        // A part died but nothing was re-routed: either there were no
+        // replicas or the dead data was never requested — worth a warning
+        // either way, since counts may silently rest on luck.
+        let stranded = v3_report_with_failures(
+            FULL_TRAFFIC,
+            CLEAN_SPANS,
+            ZERO_CP,
+            "[]",
+            r#"{"parts_failed": 1, "rerouted_requests": 0,
+                "rerouted_bytes": 0, "reexecuted_roots": 0}"#,
+        );
+        let warnings = validate_report(&stranded).unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("failover never engaged"), "got: {warnings:?}");
+
+        // With failover traffic recorded, the same failure count is fine.
+        let recovered = v3_report_with_failures(
+            FULL_TRAFFIC,
+            CLEAN_SPANS,
+            ZERO_CP,
+            "[]",
+            r#"{"parts_failed": 1, "rerouted_requests": 3,
+                "rerouted_bytes": 4096, "reexecuted_roots": 12}"#,
+        );
+        assert!(validate_report(&recovered).unwrap().is_empty());
+
+        // A report missing the failures section is not a v3 report.
+        let missing = v3_report(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]")
+            .replace(r#""parts_failed": 0,"#, "");
+        assert!(validate_report(&missing).unwrap_err().contains("parts_failed"));
+    }
+
+    #[test]
     fn validate_report_rejects_unbalanced_critical_path() {
-        let bad = v2_report(
+        let bad = v3_report(
             FULL_TRAFFIC,
             CLEAN_SPANS,
             r#"{"fractions": {"compute": 0.5, "fetch_wait": 0.1,
@@ -568,7 +634,7 @@ mod tests {
         let err = validate_report(&bad).unwrap_err();
         assert!(err.contains("critical_path.fractions"), "got: {err}");
 
-        let good = v2_report(
+        let good = v3_report(
             FULL_TRAFFIC,
             CLEAN_SPANS,
             r#"{"fractions": {"compute": 0.6, "fetch_wait": 0.25,
@@ -582,7 +648,7 @@ mod tests {
     fn validate_report_rejects_unknown_histogram_name() {
         // The allowed-name list derives from the metric table; a name
         // that isn't in it must be rejected.
-        let bad = v2_report(
+        let bad = v3_report(
             FULL_TRAFFIC,
             CLEAN_SPANS,
             ZERO_CP,
