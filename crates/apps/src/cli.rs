@@ -15,7 +15,8 @@ use gpm_obs::{DiffThresholds, Recorder, RunReport, REPORT_SCHEMA_VERSION};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
 use khuzdul::{
-    CrashAt, Engine, EngineConfig, FabricConfig, FaultPlan, ObsConfig, RunStats, StealConfig,
+    CrashAt, Engine, EngineConfig, FabricConfig, FaultPlan, MiningService, ObsConfig, RunStats,
+    ServiceConfig, StealConfig,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -306,9 +307,10 @@ pub fn parse_gen(spec: &str) -> Result<Graph, String> {
 ///
 /// The first argument may be a subcommand: `count` (default — mine one
 /// pattern), `stats` (graph analysis report), `motifs` (k-motif census),
-/// `fsm` (frequent subgraph mining), `report-validate` (schema-check a
-/// `RunReport` JSON file produced by `--report-out`), or `report diff`
-/// (thresholded regression gate over two report files).
+/// `fsm` (frequent subgraph mining), `serve` (replay a multi-query
+/// workload through the resident [`MiningService`]), `report-validate`
+/// (schema-check a `RunReport` JSON file produced by `--report-out`), or
+/// `report diff` (thresholded regression gate over two report files).
 ///
 /// # Errors
 ///
@@ -319,11 +321,143 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("motifs") => return run_motifs(&args[1..]),
         Some("fsm") => return run_fsm(&args[1..]),
         Some("count") => return run_count(&args[1..]),
+        Some("serve") => return run_serve(&args[1..]),
         Some("report-validate") => return run_report_validate(&args[1..]),
         Some("report") => return run_report(&args[1..]),
         _ => {}
     }
     run_count(args)
+}
+
+/// One line of a `serve --queries` workload file: a pattern spec plus
+/// optional per-query modifiers (`induced`, `graphpi`).
+fn parse_query_line(line: &str) -> Result<Option<(Pattern, PlanOptions)>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut words = line.split_whitespace();
+    let pattern = parse_pattern(words.next().expect("non-empty line has a first word"))?;
+    let mut opts = PlanOptions::automine();
+    for word in words {
+        match word {
+            "induced" => opts.induced = true,
+            "graphpi" => opts = PlanOptions { induced: opts.induced, ..PlanOptions::graphpi() },
+            other => return Err(format!("unknown query modifier '{other}' in line '{line}'")),
+        }
+    }
+    Ok(Some((pattern, opts)))
+}
+
+/// `gpm serve --queries FILE`: replays a workload file — one pattern
+/// spec per line, `#` comments allowed — as concurrent queries against
+/// one resident engine. Queries are admitted in file order (FIFO), run
+/// up to `--max-concurrent` at a time on the shared worker pool, and
+/// duplicate submissions are served from the memo. Results print in
+/// admission order, so a seeded workload replays deterministically.
+fn run_serve(args: &[String]) -> Result<String, String> {
+    let mut graph: Option<GraphSource> = None;
+    let mut queries_path: Option<String> = None;
+    let mut machines = 4usize;
+    let mut sockets = 1usize;
+    let mut threads = 2usize;
+    let mut max_concurrent = 2usize;
+    let mut root_budget = khuzdul::DEFAULT_ROOT_BUDGET;
+    let mut steal = true;
+    let mut quiet = false;
+    let mut report_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--graph" => graph = Some(GraphSource::Path(value()?.to_string())),
+            "--gen" => graph = Some(GraphSource::Spec(value()?.to_string())),
+            "--queries" => queries_path = Some(value()?.to_string()),
+            "--machines" => machines = parse_num(value()?)?,
+            "--sockets" => sockets = parse_num(value()?)?,
+            "--threads" => threads = parse_num(value()?)?,
+            "--max-concurrent" => max_concurrent = parse_num(value()?)?,
+            "--root-budget" => root_budget = parse_num(value()?)? as u64,
+            "--steal" => {
+                steal = match value()? {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--steal takes on|off, not '{other}'")),
+                }
+            }
+            "--quiet" => quiet = true,
+            "--report-out" => report_out = Some(value()?.to_string()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let queries_path = queries_path.ok_or("serve needs --queries <file>")?;
+    let text = std::fs::read_to_string(&queries_path)
+        .map_err(|e| format!("reading {queries_path}: {e}"))?;
+    let mut workload = Vec::new();
+    for line in text.lines() {
+        if let Some(q) = parse_query_line(line)? {
+            workload.push(q);
+        }
+    }
+    if workload.is_empty() {
+        return Err(format!("{queries_path}: no queries (every line blank or a comment)"));
+    }
+    let graph = load(&graph.ok_or("one of --graph or --gen is required")?)?;
+    let observe = report_out.is_some();
+    let obs = if observe { ObsConfig::enabled() } else { ObsConfig::default() };
+    let engine = Arc::new(Engine::new(
+        PartitionedGraph::new(&graph, machines.max(1), sockets.max(1)),
+        EngineConfig {
+            compute_threads: threads.max(1),
+            obs,
+            steal: StealConfig { enabled: steal, ..StealConfig::default() },
+            ..EngineConfig::default()
+        },
+    ));
+    let service = MiningService::start(
+        engine,
+        ServiceConfig {
+            max_concurrent: max_concurrent.max(1),
+            root_budget,
+            ..ServiceConfig::default()
+        },
+    );
+    let handles: Vec<_> =
+        workload.iter().map(|(p, o)| service.submit(p, o)).collect::<Result<_, _>>()?;
+    for h in &handles {
+        h.wait().map_err(|e| format!("query {} ({}): {e}", h.query_id(), h.pattern()))?;
+    }
+    let outcomes = service.drain();
+    let mut out = String::new();
+    if !quiet {
+        let _ = writeln!(
+            out,
+            "serving {} queries over {} machines x {} sockets ({} concurrent)",
+            workload.len(),
+            machines,
+            sockets,
+            max_concurrent
+        );
+    }
+    for o in &outcomes {
+        let stats = o.result.as_ref().expect("waited queries succeeded");
+        if quiet {
+            let _ = writeln!(out, "{}", stats.count);
+        } else {
+            let memo = if o.memoized { " (memoized)" } else { "" };
+            let _ =
+                writeln!(out, "q{:<3} {:<24} count={}{memo}", o.query_id, o.pattern, stats.count);
+        }
+    }
+    if let Some(path) = &report_out {
+        let report = service.report("khuzdul-service");
+        report.write_to(path).map_err(|e| format!("writing {path}: {e}"))?;
+        if !quiet {
+            let _ = writeln!(out, "report written to {path}");
+        }
+    }
+    Ok(out)
 }
 
 /// `gpm report-validate FILE`: parse and schema-check a `RunReport`.
@@ -1011,6 +1145,7 @@ mod tests {
             series: Vec::new(),
             spans: Default::default(),
             failures: Default::default(),
+            queries: Vec::new(),
         };
         let dir = std::env::temp_dir().join(format!("gpm-cli-diff-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -1056,5 +1191,68 @@ mod tests {
         for needle in ["graph", "pattern", "count", "elapsed", "traffic", "split"] {
             assert!(out.contains(needle), "missing {needle} in:\n{out}");
         }
+    }
+
+    #[test]
+    fn parse_query_lines() {
+        assert_eq!(parse_query_line("").unwrap(), None);
+        assert_eq!(parse_query_line("  # comment").unwrap(), None);
+        let (p, o) = parse_query_line("clique:4 induced").unwrap().unwrap();
+        assert_eq!(p, Pattern::clique(4));
+        assert!(o.induced);
+        let (_, o) = parse_query_line("triangle graphpi").unwrap().unwrap();
+        assert_eq!(o.order, PlanOptions::graphpi().order);
+        assert!(parse_query_line("triangle frobnicate").is_err());
+        assert!(parse_query_line("nope").is_err());
+    }
+
+    /// `serve` replays a workload file: counts match solo runs line by
+    /// line, the duplicate is memoized, and the aggregate report
+    /// validates as schema v4.
+    #[test]
+    fn serve_replays_a_workload_with_solo_counts() {
+        let dir = std::env::temp_dir().join(format!("gpm-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let workload = dir.join("queries.txt");
+        std::fs::write(&workload, "# seeded workload\ntriangle\npath:3\ntriangle\ncycle:4\n")
+            .unwrap();
+        let report = dir.join("service.report.json");
+        let out = run(&argv(&format!(
+            "serve --gen ba:300,4,11 --queries {} --machines 3 --max-concurrent 3 \
+             --report-out {}",
+            workload.display(),
+            report.display()
+        )))
+        .unwrap();
+        assert!(out.contains("(memoized)"), "duplicate triangle must memoize:\n{out}");
+        // Line-by-line: each query's count equals its solo run.
+        for (pattern, line) in ["triangle", "path:3", "triangle", "cycle:4"]
+            .iter()
+            .zip(out.lines().filter(|l| l.starts_with('q')))
+        {
+            let solo =
+                run(&argv(&format!("--gen ba:300,4,11 --pattern {pattern} --machines 3 --quiet")))
+                    .unwrap();
+            let want = format!("count={}", solo.trim());
+            assert!(line.contains(&want), "{pattern}: expected {want} in '{line}'");
+        }
+        let json = std::fs::read_to_string(&report).unwrap();
+        gpm_obs::validate_report(&json).expect("service report must validate");
+        assert!(json.contains("\"queries\""), "report lacks per-query sections");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_argument_errors() {
+        assert!(run(&argv("serve --gen ba:100,3")).is_err()); // no --queries
+        assert!(run(&argv("serve --queries /nonexistent/q.txt --gen ba:100,3")).is_err());
+        assert!(run(&argv("serve --bogus x")).is_err());
+        let dir = std::env::temp_dir();
+        let empty = dir.join(format!("gpm-cli-serve-empty-{}.txt", std::process::id()));
+        std::fs::write(&empty, "# nothing\n\n").unwrap();
+        let err =
+            run(&argv(&format!("serve --gen ba:100,3 --queries {}", empty.display()))).unwrap_err();
+        assert!(err.contains("no queries"), "{err}");
+        std::fs::remove_file(&empty).ok();
     }
 }

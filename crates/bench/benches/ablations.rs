@@ -233,6 +233,57 @@ fn partitioner_strategy(c: &mut Criterion) {
     grp.finish();
 }
 
+/// Multi-tenant scaling: 1→8 identical-cost queries sharing one
+/// resident engine. Prints each query's wall time and cache hit rate —
+/// trailing queries amortize the never-evict cache the leaders warmed —
+/// then benches the whole batch's makespan.
+fn concurrency(c: &mut Criterion) {
+    use khuzdul::{MiningService, ServiceConfig};
+    use std::sync::Arc;
+    let g = gen::rmat(11, 12, (0.57, 0.19, 0.19), 0xab);
+    let pattern = Pattern::clique(4);
+    let opts = PlanOptions::automine();
+    // Memoization off: every query enumerates, so the measured benefit
+    // is shared-cache amortization, not the memo short-circuit.
+    let cfg =
+        |n: usize| ServiceConfig { max_concurrent: n, memoize: false, ..ServiceConfig::default() };
+    let batch = |n: usize| {
+        let engine =
+            Arc::new(Engine::new(PartitionedGraph::new(&g, MACHINES, 1), EngineConfig::default()));
+        let svc = MiningService::start(engine, cfg(n));
+        let handles: Vec<_> = (0..n).map(|_| svc.submit(&pattern, &opts).unwrap()).collect();
+        for h in &handles {
+            h.wait().unwrap();
+        }
+        svc
+    };
+    let mut grp = c.benchmark_group("ablation_concurrency");
+    grp.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        // One instrumented batch outside the timing loop: per-query wall
+        // time and hit rate.
+        let svc = batch(n);
+        for o in svc.outcomes() {
+            let stats = o.result.expect("bench queries succeed");
+            let (hits, misses) = (stats.traffic.cache_hits, stats.traffic.cache_misses);
+            eprintln!(
+                "ablation_concurrency: n={n} q{} wall={:?} cache_hit_rate={:.3}",
+                o.query_id,
+                o.elapsed,
+                hits as f64 / (hits + misses).max(1) as f64
+            );
+        }
+        drop(svc);
+        grp.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let svc = batch(n);
+                svc.outcomes().iter().map(|o| o.result.as_ref().unwrap().count).sum::<u64>()
+            })
+        });
+    }
+    grp.finish();
+}
+
 criterion_group!(
     benches,
     circulant_order,
@@ -241,6 +292,7 @@ criterion_group!(
     oblivious_vs_aware,
     partitioner_strategy,
     request_window,
-    steal
+    steal,
+    concurrency
 );
 criterion_main!(benches);

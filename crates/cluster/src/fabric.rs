@@ -19,7 +19,7 @@
 //! * **Typed failure** — every way a fetch can fail is a
 //!   [`FetchError`] variant propagated to the caller, never a panic.
 
-use crate::metrics::{ClusterMetrics, PartMetrics, TrafficClass};
+use crate::metrics::{ClusterMetrics, PartMetrics, QueryMetrics, TrafficClass};
 use crate::transport::{
     checked_offset, ChannelTransport, FaultInjectingTransport, FaultPlan, FetchedLists, Transport,
     WireReply, WireRequest, HEADER_BYTES,
@@ -345,15 +345,33 @@ impl EdgeListService {
     }
 
     /// A client handle for `part` (cheap to clone, thread-safe). Clones
-    /// share the part's in-flight window.
+    /// share the part's in-flight window. Traffic is attributed to the
+    /// conventional query id 0 (unattributed); a resident service uses
+    /// [`EdgeListService::client_for_query`] instead.
     ///
     /// # Panics
     ///
     /// Panics if `part` is out of range.
     pub fn client(&self, part: PartId) -> EdgeListClient {
+        self.client_for_query(part, 0)
+    }
+
+    /// A client handle for `part` whose traffic — wire requests, span
+    /// tags, and per-query counters — is attributed to `query_id`.
+    /// Clients of different queries on the same part share the part's
+    /// in-flight window (the window models the part's link, which the
+    /// queries contend for) but record into distinct
+    /// [`QueryMetrics`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is out of range.
+    pub fn client_for_query(&self, part: PartId, query_id: u64) -> EdgeListClient {
         assert!(part < self.windows.len(), "part out of range");
         EdgeListClient {
             part,
+            query: query_id,
+            query_metrics: self.metrics.query(query_id),
             transport: Arc::clone(&self.transport),
             metrics: self.metrics.clone(),
             network: self.network,
@@ -385,10 +403,12 @@ impl EdgeListService {
         &self.obs
     }
 
-    /// Stops every responder and joins its thread. Outstanding client
+    /// Stops every responder and joins its thread. Idempotent — the
+    /// engine's `Drop` calls this unconditionally, including after an
+    /// errored run already tore the service down. Outstanding client
     /// handles survive but their subsequent fetches return
     /// [`FetchError::Shutdown`].
-    pub fn shutdown(self) {
+    pub fn shutdown(&self) {
         self.transport.shutdown();
     }
 }
@@ -397,6 +417,12 @@ impl EdgeListService {
 #[derive(Debug, Clone)]
 pub struct EdgeListClient {
     part: PartId,
+    /// The query this client works for (0 = unattributed). Stamped on
+    /// every wire request and span, and keyed into `query_metrics`.
+    query: u64,
+    /// Resolved counters for `query` (shared with the engine's report
+    /// path via [`ClusterMetrics::query`]).
+    query_metrics: Arc<QueryMetrics>,
     transport: Arc<dyn Transport>,
     metrics: ClusterMetrics,
     network: Option<NetworkModel>,
@@ -421,6 +447,19 @@ impl EdgeListClient {
     /// The shared cluster metrics.
     pub fn metrics(&self) -> &ClusterMetrics {
         &self.metrics
+    }
+
+    /// The query this client's traffic is attributed to (0 means
+    /// unattributed).
+    pub fn query_id(&self) -> u64 {
+        self.query
+    }
+
+    /// The per-query counters this client records into. The part runtime
+    /// also records cache hits/misses here so the query's hit rate is
+    /// exact under interleaving.
+    pub fn query_metrics(&self) -> &Arc<QueryMetrics> {
+        &self.query_metrics
     }
 
     /// Whether `part` has been detected as fail-stop dead. The part
@@ -481,6 +520,7 @@ impl EdgeListClient {
         if let Some(saved) = vertices.len().checked_sub(wire.len()) {
             if saved > 0 {
                 my.record_coalesced(saved as u64);
+                self.query_metrics.record_coalesced(saved as u64);
             }
         }
         let permit = self.window.acquire(&my);
@@ -494,7 +534,8 @@ impl EdgeListClient {
         // lifecycle — issue, serves, retries, and the consuming wait —
         // shares one link.
         let req_id = seq + 1;
-        self.obs.record_instant_linked(
+        self.obs.record_instant_for(
+            self.query,
             SpanKind::FetchIssue,
             self.part as u32,
             target as u64,
@@ -506,7 +547,14 @@ impl EdgeListClient {
         loop {
             match self.transport.submit(
                 route,
-                WireRequest { seq, req_id, from: self.part, owner: target, vertices: wire.clone() },
+                WireRequest {
+                    seq,
+                    req_id,
+                    query: self.query,
+                    from: self.part,
+                    owner: target,
+                    vertices: wire.clone(),
+                },
                 reply_tx.clone(),
             ) {
                 Ok(()) => break,
@@ -515,7 +563,8 @@ impl EdgeListClient {
                     // layer had not yet: promote and re-route.
                     self.promote_dead(part);
                     route = self.liveness.route(target)?;
-                    self.obs.record_instant_linked(
+                    self.obs.record_instant_for(
+                        self.query,
                         SpanKind::Failover,
                         target as u32,
                         route as u64,
@@ -625,9 +674,11 @@ impl PendingFetch {
             // Served by a replica holder of a dead part: account the
             // failover traffic separately for the run report.
             my.record_rerouted(req_bytes + resp_bytes);
+            self.client.query_metrics.record_rerouted(req_bytes + resp_bytes);
         }
         let obs = &self.client.obs;
-        obs.record_span_linked(
+        obs.record_span_for(
+            self.client.query,
             SpanKind::Fetch,
             self.client.part as u32,
             self.submitted_ns,
@@ -638,6 +689,7 @@ impl PendingFetch {
         obs.observe(Metric::BatchBytes, resp_bytes);
         let class = self.client.metrics.classify(self.client.part, self.target);
         my.record_fetch(class, req_bytes, resp_bytes);
+        self.client.query_metrics.record_fetch(class, req_bytes, resp_bytes);
         self.client.metrics.record_link(self.client.part, self.target, req_bytes);
         self.client.metrics.record_link(self.target, self.client.part, resp_bytes);
         if let (Some(model), TrafficClass::CrossMachine) = (self.client.network, class) {
@@ -678,7 +730,9 @@ impl PendingFetch {
             std::thread::sleep(backoff);
         }
         my.record_retry();
-        self.client.obs.record_span_linked(
+        self.client.query_metrics.record_retry();
+        self.client.obs.record_span_for(
+            self.client.query,
             SpanKind::Retry,
             self.client.part as u32,
             backoff_start,
@@ -692,6 +746,7 @@ impl PendingFetch {
             WireRequest {
                 seq: self.seq,
                 req_id: self.req_id,
+                query: self.client.query,
                 from: self.client.part,
                 owner: self.owner,
                 vertices: self.wire.clone(),
@@ -714,7 +769,8 @@ impl PendingFetch {
     fn failover(&mut self) -> Result<(), FetchError> {
         loop {
             let next = self.client.liveness.route(self.owner)?;
-            self.client.obs.record_instant_linked(
+            self.client.obs.record_instant_for(
+                self.client.query,
                 SpanKind::Failover,
                 self.owner as u32,
                 next as u64,
@@ -727,6 +783,7 @@ impl PendingFetch {
                 WireRequest {
                     seq: self.seq,
                     req_id: self.req_id,
+                    query: self.client.query,
                     from: self.client.part,
                     owner: self.owner,
                     vertices: self.wire.clone(),
@@ -960,6 +1017,58 @@ mod tests {
         assert_eq!(service.metrics().part(1).bytes_sent(), 16 + 4);
         assert_eq!(service.metrics().total_coalesced(), 7);
         service.shutdown();
+    }
+
+    #[test]
+    fn query_scoped_clients_attribute_traffic_and_spans() {
+        // Two queries fetch over the same service: each query's counters
+        // see only its own requests, and every lifecycle span (issue,
+        // serve, fetch) carries the issuing query's id.
+        let (_, pg) = cluster(2, 1);
+        let obs = Recorder::new(&gpm_obs::ObsConfig::enabled());
+        let service =
+            EdgeListService::start_observed(&pg, None, FabricConfig::default(), Arc::clone(&obs));
+        let c7 = service.client_for_query(1, 7);
+        let c9 = service.client_for_query(1, 9);
+        assert_eq!(c7.query_id(), 7);
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(4).collect();
+        c7.fetch(0, &owned[..2]).unwrap();
+        c7.fetch(0, &[owned[2], owned[2]]).unwrap(); // one coalesced vertex
+        c9.fetch(0, &owned[3..]).unwrap();
+        let q7 = service.metrics().query(7);
+        let q9 = service.metrics().query(9);
+        assert_eq!(q7.requests(), 2);
+        assert_eq!(q9.requests(), 1);
+        assert_eq!(q7.coalesced_requests(), 1);
+        assert_eq!(q9.coalesced_requests(), 0);
+        assert!(q7.network_bytes() > 0);
+        // Part counters still see the union.
+        assert_eq!(service.metrics().total_requests(), 3);
+        assert_eq!(
+            service.metrics().part(1).bytes_received(),
+            q7.network_bytes() + q9.network_bytes() - service.metrics().part(1).bytes_sent()
+        );
+        for s in obs.spans() {
+            if matches!(s.kind, SpanKind::FetchIssue | SpanKind::Fetch | SpanKind::Serve) {
+                assert!(s.query == 7 || s.query == 9, "unattributed lifecycle span: {s:?}");
+            }
+        }
+        let fetches: Vec<u64> =
+            obs.spans().iter().filter(|s| s.kind == SpanKind::Fetch).map(|s| s.query).collect();
+        assert_eq!(fetches.iter().filter(|&&q| q == 7).count(), 2);
+        assert_eq!(fetches.iter().filter(|&&q| q == 9).count(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let (_, pg) = cluster(2, 1);
+        let service = EdgeListService::start(&pg, None);
+        let v = pg.part(0).owned()[0];
+        assert!(service.client(1).fetch(0, &[v]).is_ok());
+        service.shutdown();
+        service.shutdown(); // second teardown must be a no-op, not a hang
+        assert_eq!(service.client(1).fetch(0, &[v]).unwrap_err(), FetchError::Shutdown);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! back the paper's network-traffic tables (Table 6, Figure 12, Figure 16,
 //! Figure 17) and the utilization plot (Figure 19).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -198,6 +199,115 @@ impl PartMetrics {
     }
 }
 
+/// Traffic counters attributed to one query of a multi-tenant run.
+///
+/// Part counters ([`PartMetrics`]) answer "what did this part do"; query
+/// counters answer "what did this *query* cost", summed over every part
+/// that worked on it. The fabric records each event into both, so a
+/// resident engine interleaving several queries on one shared worker
+/// pool can still report per-tenant traffic exactly — no before/after
+/// snapshot deltas, which would misattribute a concurrent neighbour's
+/// bytes.
+#[derive(Debug, Default)]
+pub struct QueryMetrics {
+    requests: AtomicU64,
+    network_bytes: AtomicU64,
+    cross_socket_bytes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+    retries: AtomicU64,
+    rerouted_requests: AtomicU64,
+    rerouted_bytes: AtomicU64,
+}
+
+impl QueryMetrics {
+    /// Records a completed fetch of `req_bytes + resp_bytes`, classified
+    /// by topology distance.
+    pub fn record_fetch(&self, class: TrafficClass, req_bytes: u64, resp_bytes: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let total = req_bytes + resp_bytes;
+        match class {
+            TrafficClass::CrossMachine => self.network_bytes.fetch_add(total, Ordering::Relaxed),
+            TrafficClass::CrossSocket => {
+                self.cross_socket_bytes.fetch_add(total, Ordering::Relaxed)
+            }
+        };
+    }
+
+    /// Records a software-cache hit attributed to this query.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a software-cache miss attributed to this query.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` vertices coalesced out of this query's requests.
+    pub fn record_coalesced(&self, n: u64) {
+        self.coalesced.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one retried request attempt by this query.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a fetch of `bytes` this query completed against a replica
+    /// holder because the owning part was dead.
+    pub fn record_rerouted(&self, bytes: u64) {
+        self.rerouted_requests.fetch_add(1, Ordering::Relaxed);
+        self.rerouted_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Fetch requests issued on behalf of this query.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Cross-machine bytes moved for this query (both directions).
+    pub fn network_bytes(&self) -> u64 {
+        self.network_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cross-socket bytes moved for this query.
+    pub fn cross_socket_bytes(&self) -> u64 {
+        self.cross_socket_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits attributed to this query.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses attributed to this query.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Vertices saved from the wire by coalescing for this query.
+    pub fn coalesced_requests(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Request attempts beyond the first for this query.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Fetches of this query completed against replica holders.
+    pub fn rerouted_requests(&self) -> u64 {
+        self.rerouted_requests.load(Ordering::Relaxed)
+    }
+
+    /// Bytes (request + response) of this query's rerouted fetches.
+    pub fn rerouted_bytes(&self) -> u64 {
+        self.rerouted_bytes.load(Ordering::Relaxed)
+    }
+}
+
 /// Aggregated metrics for all parts of a cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterMetrics {
@@ -206,6 +316,8 @@ pub struct ClusterMetrics {
     links: Arc<Vec<AtomicU64>>,
     /// Parts promoted to the fail-stop dead state by the fabric.
     parts_failed: Arc<AtomicU64>,
+    /// Per-query counter registry, keyed by engine-assigned query id.
+    queries: Arc<parking_lot::Mutex<HashMap<u64, Arc<QueryMetrics>>>>,
     sockets_per_machine: usize,
 }
 
@@ -216,8 +328,29 @@ impl ClusterMetrics {
             parts: (0..parts).map(|_| Arc::new(PartMetrics::default())).collect(),
             links: Arc::new((0..parts * parts).map(|_| AtomicU64::new(0)).collect()),
             parts_failed: Arc::new(AtomicU64::new(0)),
+            queries: Arc::new(parking_lot::Mutex::new(HashMap::new())),
             sockets_per_machine,
         }
+    }
+
+    /// Counters of one query, created on first use. The registry is
+    /// shared by clones, so a fabric client and the engine resolve the
+    /// same counters for the same id. Query id 0 is the conventional
+    /// "unattributed" bucket used by legacy single-query paths.
+    pub fn query(&self, query_id: u64) -> Arc<QueryMetrics> {
+        Arc::clone(
+            self.queries
+                .lock()
+                .entry(query_id)
+                .or_insert_with(|| Arc::new(QueryMetrics::default())),
+        )
+    }
+
+    /// Drops one query's counters from the registry (a resident service
+    /// calls this after folding them into the query's report, so the
+    /// registry doesn't grow without bound).
+    pub fn retire_query(&self, query_id: u64) {
+        self.queries.lock().remove(&query_id);
     }
 
     /// Records that a part was promoted to the fail-stop dead state.
@@ -472,6 +605,35 @@ mod tests {
         assert_eq!(m.part(1).rerouted_bytes(), 512);
         assert_eq!(m.total_rerouted_requests(), 2);
         assert_eq!(m.total_rerouted_bytes(), 612);
+    }
+
+    #[test]
+    fn query_counters_are_shared_and_retire() {
+        let m = ClusterMetrics::new(2, 1);
+        let q = m.query(7);
+        q.record_fetch(TrafficClass::CrossMachine, 100, 900);
+        q.record_fetch(TrafficClass::CrossSocket, 10, 90);
+        q.record_cache_hit();
+        q.record_cache_miss();
+        q.record_coalesced(5);
+        q.record_retry();
+        q.record_rerouted(256);
+        // A clone resolves the same counters for the same id.
+        let same = m.clone().query(7);
+        assert_eq!(same.requests(), 2);
+        assert_eq!(same.network_bytes(), 1000);
+        assert_eq!(same.cross_socket_bytes(), 100);
+        assert_eq!(same.cache_hits(), 1);
+        assert_eq!(same.cache_misses(), 1);
+        assert_eq!(same.coalesced_requests(), 5);
+        assert_eq!(same.retries(), 1);
+        assert_eq!(same.rerouted_requests(), 1);
+        assert_eq!(same.rerouted_bytes(), 256);
+        // Distinct ids get distinct counters.
+        assert_eq!(m.query(8).requests(), 0);
+        // Retiring drops the counters; re-resolving starts fresh.
+        m.retire_query(7);
+        assert_eq!(m.query(7).requests(), 0);
     }
 
     #[test]

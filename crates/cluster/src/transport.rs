@@ -103,6 +103,10 @@ pub struct WireRequest {
     /// Causal request id, stable across retries; 0 means the request is
     /// untraced (see `gpm_obs::Span::link`).
     pub req_id: u64,
+    /// Id of the query this request works for; 0 means unattributed
+    /// (see `gpm_obs::Span::query`). The responder stamps its `Serve`
+    /// span with it so per-query critical paths include service time.
+    pub query: u64,
     /// The part that issued this request.
     pub from: PartId,
     /// The part whose edge-list slice is requested. Normally the
@@ -220,7 +224,8 @@ impl ChannelTransport {
                         let payload = serve(&slices, req.owner, &req.vertices);
                         if let Ok(lists) = &payload {
                             part_metrics.record_served(lists.response_bytes());
-                            obs.record_span_linked(
+                            obs.record_span_for(
+                                req.query,
                                 SpanKind::Serve,
                                 part_id as u32,
                                 t0,
@@ -544,14 +549,26 @@ impl Transport for FaultInjectingTransport {
         match self.plan.decide(target, req.seq) {
             Fault::None => self.inner.submit(target, req, reply_to),
             Fault::Drop => {
-                self.obs.record_instant_linked(SpanKind::Fault, target as u32, 1, req.req_id);
+                self.obs.record_instant_for(
+                    req.query,
+                    SpanKind::Fault,
+                    target as u32,
+                    1,
+                    req.req_id,
+                );
                 // Serve the request but lose the reply: the receiver of
                 // this channel is dropped right here.
                 let (black_hole, _) = unbounded::<WireReply>();
                 self.inner.submit(target, req, black_hole)
             }
             Fault::Error => {
-                self.obs.record_instant_linked(SpanKind::Fault, target as u32, 2, req.req_id);
+                self.obs.record_instant_for(
+                    req.query,
+                    SpanKind::Fault,
+                    target as u32,
+                    2,
+                    req.req_id,
+                );
                 let _ = reply_to.send(WireReply {
                     seq: req.seq,
                     payload: Err(FetchError::Injected { target }),
@@ -559,7 +576,13 @@ impl Transport for FaultInjectingTransport {
                 Ok(())
             }
             Fault::Delay => {
-                self.obs.record_instant_linked(SpanKind::Fault, target as u32, 3, req.req_id);
+                self.obs.record_instant_for(
+                    req.query,
+                    SpanKind::Fault,
+                    target as u32,
+                    3,
+                    req.req_id,
+                );
                 let (tx, rx) = unbounded::<WireReply>();
                 let delay = self.plan.delay;
                 std::thread::spawn(move || {
@@ -646,7 +669,7 @@ mod tests {
     }
 
     fn wire(seq: u64, owner: PartId, v: VertexId) -> WireRequest {
-        WireRequest { seq, req_id: 0, from: 0, owner, vertices: vec![v] }
+        WireRequest { seq, req_id: 0, query: 0, from: 0, owner, vertices: vec![v] }
     }
 
     #[test]

@@ -2,14 +2,14 @@
 
 use crate::cache::{CacheConfig, SharedCache};
 use crate::runtime::{run_part, PartCtx, Visitor};
-use crate::scheduler::{RootLedger, StealConfig, WorkerPool};
+use crate::scheduler::{QueryArbiter, RootLedger, StealConfig, WorkerPool};
 use crate::stats::{FailureSummary, PartStats, RunStats, TrafficSummary};
 use gpm_cluster::{ClusterMetrics, EdgeListService, FabricConfig, FetchError, NetworkModel};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::VertexId;
 use gpm_obs::{GaugeSample, ObsConfig, Recorder, RunReport, SpanKind};
 use gpm_pattern::plan::MatchingPlan;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -27,6 +27,12 @@ pub enum EngineError {
         /// The part that fail-stopped.
         part: usize,
     },
+    /// The query's cooperative deadline expired before every part
+    /// finished; the partial counts are discarded rather than returned.
+    DeadlineExceeded {
+        /// The query whose deadline fired.
+        query_id: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -38,6 +44,9 @@ impl std::fmt::Display for EngineError {
                 "part {part} fail-stopped with no replica to recover from \
                  (run with replication >= 2 to survive part failures)"
             ),
+            EngineError::DeadlineExceeded { query_id } => {
+                write!(f, "query {query_id} exceeded its deadline before completing")
+            }
         }
     }
 }
@@ -46,10 +55,33 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Fetch(e) => Some(e),
-            EngineError::PartLost { .. } => None,
+            EngineError::PartLost { .. } | EngineError::DeadlineExceeded { .. } => None,
         }
     }
 }
+
+/// Everything tied to one query submission, as opposed to the engine's
+/// process-wide state (graph, fabric, caches, worker pool). Legacy
+/// entry points ([`Engine::count`] and friends) synthesize one per call;
+/// the resident service constructs them explicitly per tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCtx {
+    /// Unique id of this query; tags spans, wire requests, and per-query
+    /// metrics. Must come from [`Engine::next_query_id`] (id 0 is the
+    /// conventional unattributed bucket and never a real query).
+    pub query_id: u64,
+    /// Fairness quantum: how many claimed roots this query may race ahead
+    /// of the least-served concurrent query before its claims are paced.
+    /// Pacing only delays claims — counts stay bit-identical to a solo
+    /// run regardless of the budget.
+    pub root_budget: u64,
+    /// Optional cooperative deadline; past it the run stops and returns
+    /// [`EngineError::DeadlineExceeded`] instead of partial counts.
+    pub deadline: Option<Instant>,
+}
+
+/// Default fairness quantum for queries that don't specify one.
+pub const DEFAULT_ROOT_BUDGET: u64 = 4096;
 
 impl From<FetchError> for EngineError {
     fn from(e: FetchError) -> Self {
@@ -139,6 +171,15 @@ pub struct Engine {
     /// forever when `compute_threads <= 1`, which extends inline on the
     /// part coordinator.
     pool: OnceLock<WorkerPool>,
+    /// Next query id; ids are unique per engine and never 0 (the
+    /// unattributed bucket).
+    next_query: AtomicU64,
+    /// Cross-query fairness arbiter; every run registers its query here
+    /// for the duration of the run.
+    arbiter: Arc<QueryArbiter>,
+    /// Number of query runs currently in flight (gates
+    /// [`Engine::reset_caches`]).
+    active_queries: AtomicUsize,
 }
 
 impl Engine {
@@ -160,7 +201,32 @@ impl Engine {
         let caches = (0..pg.part_count())
             .map(|_| Arc::new(SharedCache::for_part(&cfg.cache, pg.sockets_per_machine())))
             .collect();
-        Engine { pg, service, caches, recorder, cfg, pool: OnceLock::new() }
+        Engine {
+            pg,
+            service,
+            caches,
+            recorder,
+            cfg,
+            pool: OnceLock::new(),
+            next_query: AtomicU64::new(1),
+            arbiter: Arc::new(QueryArbiter::new()),
+            active_queries: AtomicUsize::new(0),
+        }
+    }
+
+    /// Allocates a fresh query id (unique per engine, never 0).
+    pub fn next_query_id(&self) -> u64 {
+        self.next_query.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// A [`QueryCtx`] with a fresh id, the default fairness budget, and
+    /// no deadline — what every legacy single-query entry point runs as.
+    pub fn default_query(&self) -> QueryCtx {
+        QueryCtx {
+            query_id: self.next_query_id(),
+            root_budget: DEFAULT_ROOT_BUDGET,
+            deadline: None,
+        }
     }
 
     /// The partitioned graph the engine runs on.
@@ -209,14 +275,29 @@ impl Engine {
     }
 
     /// Drops all cached edge lists (for between-run isolation in
-    /// benchmarks).
-    pub fn reset_caches(&self) {
+    /// benchmarks) and returns `true` if the caches were cleared.
+    ///
+    /// **Invariant**: clearing is only sound while no query is in flight.
+    /// A run's resolve phase inserts into the caches concurrently, so a
+    /// clear racing it interleaves with those inserts: entries admitted
+    /// before the clear survive in [`Engine::cache_bytes`] accounting
+    /// while their bytes were subtracted wholesale, undercounting the
+    /// total. The method therefore refuses (returns `false`, caches
+    /// untouched) unless the engine is query-quiescent; callers retry
+    /// after draining their queries.
+    pub fn reset_caches(&self) -> bool {
+        if self.active_queries.load(Ordering::SeqCst) > 0 {
+            return false;
+        }
         for c in &self.caches {
             c.clear();
         }
+        true
     }
 
-    /// Total bytes currently held by all part caches.
+    /// Total bytes currently held by all part caches. Exact only while
+    /// query-quiescent (see [`Engine::reset_caches`]); mid-run reads race
+    /// concurrent inserts and may transiently lag.
     pub fn cache_bytes(&self) -> usize {
         self.caches.iter().map(|c| c.bytes()).sum()
     }
@@ -243,7 +324,7 @@ impl Engine {
     /// bit-identical to a fault-free run. The failover and re-execution
     /// volume is reported in [`RunStats::failures`].
     pub fn try_count(&self, plan: &MatchingPlan) -> Result<RunStats, EngineError> {
-        self.try_run(plan, None, None)
+        self.try_run(plan, None, None, None)
     }
 
     /// Enumerates embeddings, calling `visit` (possibly concurrently from
@@ -267,7 +348,7 @@ impl Engine {
     where
         F: Fn(&[VertexId]) + Sync,
     {
-        self.try_run(plan, Some(&visit), None)
+        self.try_run(plan, Some(&visit), None, None)
     }
 
     /// Enumerates embeddings with cooperative early termination: when
@@ -306,13 +387,26 @@ impl Engine {
         found.into_inner()
     }
 
+    /// Counts `plan` under an explicit [`QueryCtx`] — the resident
+    /// service's entry point. Several such runs may execute concurrently
+    /// on one engine: they share the worker pool, the fabric, and the
+    /// caches, while each keeps its own root ledger, traffic accounting,
+    /// and failure recovery.
+    pub fn try_count_query(
+        &self,
+        plan: &MatchingPlan,
+        query: &QueryCtx,
+    ) -> Result<RunStats, EngineError> {
+        self.try_run(plan, None, None, Some(*query))
+    }
+
     fn run(
         &self,
         plan: &MatchingPlan,
         visitor: Option<Visitor<'_>>,
         stop: Option<&std::sync::atomic::AtomicBool>,
     ) -> RunStats {
-        self.try_run(plan, visitor, stop).unwrap_or_else(|e| panic!("engine run failed: {e}"))
+        self.try_run(plan, visitor, stop, None).unwrap_or_else(|e| panic!("engine run failed: {e}"))
     }
 
     fn try_run(
@@ -320,14 +414,22 @@ impl Engine {
         plan: &MatchingPlan,
         visitor: Option<Visitor<'_>>,
         stop: Option<&std::sync::atomic::AtomicBool>,
+        query: Option<QueryCtx>,
     ) -> Result<RunStats, EngineError> {
         assert!(
             !plan.requires_edge_labels(),
             "the distributed engine supports vertex labels only (like the paper's, §2.1); \
              run edge-labeled plans on gpm_pattern::interp or the single-machine baselines"
         );
-        let before = self.traffic_snapshot();
-        let failures_before = self.failure_snapshot();
+        let query = query.unwrap_or_else(|| self.default_query());
+        let qid = query.query_id;
+        // Registered for the whole run (and deregistered on every return
+        // path, so a failed query never wedges its peers' pacing).
+        self.active_queries.fetch_add(1, Ordering::SeqCst);
+        self.arbiter.register(qid);
+        let _guard = QueryGuard { engine: self, qid };
+        let qm = self.service.metrics().query(qid);
+        let deadline_fired = Arc::new(AtomicBool::new(false));
         let parts = self.pg.part_count();
         // Run-scoped scheduler state: the root ledger every part claims
         // its seed batches from (and steals through, when enabled) and
@@ -358,7 +460,7 @@ impl Engine {
         let make_ctx = |part: usize, ledger: &Arc<RootLedger>| PartCtx {
             part: self.pg.part_arc(part),
             labels: self.pg.labels(),
-            client: self.service.client(part),
+            client: self.service.client_for_query(part, qid),
             cache: Arc::clone(&self.caches[part]),
             plan,
             cfg: &self.cfg,
@@ -371,6 +473,10 @@ impl Engine {
             ledger: Arc::clone(ledger),
             gate: pool.map(|p| p.gate(part)),
             queue_depth: Arc::clone(&gauges[part]),
+            arbiter: Arc::clone(&self.arbiter),
+            root_budget: query.root_budget,
+            deadline: query.deadline,
+            deadline_fired: Arc::clone(&deadline_fired),
         };
         // Per-part result slots: a part that aborts (fail-stop
         // self-check or a fetch error) leaves its slot empty.
@@ -420,32 +526,40 @@ impl Engine {
         } else if let Some((_, e)) = failure {
             return Err(EngineError::Fetch(e));
         }
+        if deadline_fired.load(Ordering::Relaxed) {
+            return Err(EngineError::DeadlineExceeded { query_id: qid });
+        }
         let per_part: Vec<PartStats> =
             slots.into_iter().map(|s| s.expect("every live part reports stats")).collect();
         let elapsed = t0.elapsed();
-        let after = self.traffic_snapshot();
-        let failures_after = self.failure_snapshot();
-        Ok(RunStats {
+        // Per-query accounting replaces the old before/after snapshots of
+        // the global counters: every client this run used was tagged with
+        // `qid`, so these counters hold exactly this query's traffic even
+        // with other queries running concurrently.
+        let stats = RunStats {
             count: per_part.iter().map(|p| p.count).sum(),
             elapsed,
             per_part,
             traffic: TrafficSummary {
-                network_bytes: after.network_bytes - before.network_bytes,
-                cross_socket_bytes: after.cross_socket_bytes - before.cross_socket_bytes,
-                requests: after.requests - before.requests,
-                cache_hits: after.cache_hits - before.cache_hits,
-                cache_misses: after.cache_misses - before.cache_misses,
-                coalesced: after.coalesced - before.coalesced,
-                retries: after.retries - before.retries,
+                network_bytes: qm.network_bytes(),
+                cross_socket_bytes: qm.cross_socket_bytes(),
+                requests: qm.requests(),
+                cache_hits: qm.cache_hits(),
+                cache_misses: qm.cache_misses(),
+                coalesced: qm.coalesced_requests(),
+                retries: qm.retries(),
             },
             failures: FailureSummary {
-                parts_failed: failures_after.parts_failed - failures_before.parts_failed,
-                rerouted_requests: failures_after.rerouted_requests
-                    - failures_before.rerouted_requests,
-                rerouted_bytes: failures_after.rerouted_bytes - failures_before.rerouted_bytes,
+                // Dead parts observed by the end of this query's run; a
+                // query admitted after a crash still pays the failover
+                // and recovery for it, so it reports the failure too.
+                parts_failed: dead.len() as u64,
+                rerouted_requests: qm.rerouted_requests(),
+                rerouted_bytes: qm.rerouted_bytes(),
                 reexecuted_roots,
             },
-        })
+        };
+        Ok(stats)
     }
 
     /// Runs `run_part` for each part in `run`, sequentially or
@@ -504,36 +618,41 @@ impl Engine {
         }
     }
 
-    fn failure_snapshot(&self) -> FailureSummary {
-        let m = self.service.metrics();
-        FailureSummary {
-            parts_failed: m.parts_failed(),
-            rerouted_requests: m.total_rerouted_requests(),
-            rerouted_bytes: m.total_rerouted_bytes(),
-            reexecuted_roots: 0,
-        }
-    }
-
-    fn traffic_snapshot(&self) -> TrafficSummary {
-        let m = self.service.metrics();
-        let mut s = TrafficSummary {
-            network_bytes: m.total_network_bytes(),
-            cross_socket_bytes: m.total_cross_socket_bytes(),
-            requests: m.total_requests(),
-            coalesced: m.total_coalesced(),
-            retries: m.total_retries(),
-            ..TrafficSummary::default()
-        };
-        for p in 0..m.part_count() {
-            s.cache_hits += m.part(p).cache_hits();
-            s.cache_misses += m.part(p).cache_misses();
-        }
-        s
-    }
-
     /// Stops the cluster service threads.
+    ///
+    /// Optional: dropping the engine shuts the service down too (and the
+    /// shutdown is idempotent), so an early `?`-return that skips this
+    /// call no longer leaks the responder threads or the parked worker
+    /// pool. Kept for call sites that want the stop to be explicit.
     pub fn shutdown(self) {
+        // Drop does the work.
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Idempotent: harmless after an explicit `shutdown()`. The worker
+        // pool's own `Drop` (a field of `self`) then joins the parked
+        // compute threads.
         self.service.shutdown();
+    }
+}
+
+/// Deregisters a run's query from the fairness arbiter and the active
+/// count on every exit path, error or success.
+struct QueryGuard<'a> {
+    engine: &'a Engine,
+    qid: u64,
+}
+
+impl Drop for QueryGuard<'_> {
+    fn drop(&mut self) {
+        self.engine.arbiter.deregister(self.qid);
+        // The run has read (or abandoned) its counters by now; drop the
+        // registry entry so a resident service doesn't accumulate one
+        // per retired query. Holders of the `Arc` keep theirs alive.
+        self.engine.service.metrics().retire_query(self.qid);
+        self.engine.active_queries.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -1112,8 +1231,141 @@ mod tests {
             warm.traffic.network_bytes <= first.traffic.network_bytes,
             "warm cache cannot increase traffic"
         );
-        engine.reset_caches();
+        assert!(engine.reset_caches(), "quiescent engine must clear");
         assert_eq!(engine.cache_bytes(), 0);
+        engine.shutdown();
+    }
+
+    /// Live threads of this process, per /proc (Linux-only, like CI).
+    fn thread_count() -> usize {
+        let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Threads: line present")
+    }
+
+    #[test]
+    fn dropped_engines_leak_no_threads() {
+        use gpm_cluster::{FaultPlan, RetryPolicy};
+        let g = gen::erdos_renyi(100, 400, 3);
+        let p = Pattern::triangle();
+        // Warm-up engine so any lazy process-wide state is in place.
+        {
+            let engine = engine_for(&g, 2, 1);
+            engine.count(&plan(&p));
+        }
+        let baseline = thread_count();
+        for i in 0..5 {
+            // Odd iterations error the query first (retries exhausted)
+            // and never call `shutdown()` — the old leak scenario.
+            if i % 2 == 1 {
+                let pg = PartitionedGraph::new(&g, 2, 1);
+                let engine = Engine::new(
+                    pg,
+                    EngineConfig {
+                        fabric: FabricConfig {
+                            retry: RetryPolicy {
+                                max_attempts: 2,
+                                timeout: Duration::from_millis(5),
+                                backoff: Duration::from_micros(100),
+                            },
+                            fault: Some(FaultPlan::drops(1.0)),
+                            ..FabricConfig::default()
+                        },
+                        ..EngineConfig::default()
+                    },
+                );
+                assert!(engine.try_count(&plan(&p)).is_err());
+                drop(engine);
+            } else {
+                let engine = engine_for(&g, 2, 1);
+                engine.count(&plan(&p));
+                drop(engine);
+            }
+        }
+        let after = thread_count();
+        assert!(
+            after <= baseline,
+            "dropped engines leaked threads: {baseline} before, {after} after"
+        );
+    }
+
+    #[test]
+    fn explicit_shutdown_then_drop_is_idempotent() {
+        let g = gen::erdos_renyi(80, 300, 1);
+        let engine = engine_for(&g, 2, 1);
+        engine.count(&plan(&Pattern::triangle()));
+        // `shutdown(self)` consumes the engine and its Drop runs the
+        // (idempotent) service shutdown a second time — must not panic.
+        engine.shutdown();
+    }
+
+    #[test]
+    fn deadline_expiry_is_a_typed_error() {
+        let g = gen::erdos_renyi(150, 700, 5);
+        let engine = engine_for(&g, 2, 1);
+        let p = plan(&Pattern::triangle());
+        let q = QueryCtx { deadline: Some(Instant::now()), ..engine.default_query() };
+        match engine.try_count_query(&p, &q) {
+            Err(EngineError::DeadlineExceeded { query_id }) => assert_eq!(query_id, q.query_id),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // The engine survives an expired query: a fresh run still works.
+        let expect = oracle::count_subgraphs(&g, &Pattern::triangle(), false);
+        assert_eq!(engine.count(&p).count, expect);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn reset_caches_refuses_while_a_query_is_in_flight() {
+        let g = gen::barabasi_albert(200, 5, 4);
+        let pg = PartitionedGraph::new(&g, 4, 1);
+        let engine = Engine::new(
+            pg,
+            EngineConfig {
+                cache: CacheConfig { degree_threshold: 4, ..CacheConfig::default() },
+                ..EngineConfig::default()
+            },
+        );
+        let refused = AtomicBool::new(false);
+        engine.enumerate(&plan(&Pattern::triangle()), |_| {
+            // Mid-run: the engine is not query-quiescent, so clearing
+            // must be refused (a clear racing resolve-phase inserts
+            // undercuts the cache-bytes accounting).
+            if !engine.reset_caches() {
+                refused.store(true, Ordering::Relaxed);
+            }
+        });
+        assert!(refused.load(Ordering::Relaxed), "mid-run reset must be refused");
+        assert!(engine.cache_bytes() > 0, "refused reset must leave the cache intact");
+        assert!(engine.reset_caches(), "quiescent engine must clear");
+        assert_eq!(engine.cache_bytes(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn concurrent_queries_on_one_engine_match_solo_counts() {
+        let g = gen::barabasi_albert(250, 5, 33);
+        let patterns =
+            [Pattern::triangle(), Pattern::clique(4), Pattern::path(4), Pattern::cycle(4)];
+        let expect: Vec<u64> =
+            patterns.iter().map(|p| oracle::count_subgraphs(&g, p, false)).collect();
+        let engine = engine_for(&g, 4, 1);
+        let counts = std::sync::Mutex::new(vec![0u64; patterns.len()]);
+        std::thread::scope(|s| {
+            for (i, p) in patterns.iter().enumerate() {
+                let engine = &engine;
+                let counts = &counts;
+                s.spawn(move || {
+                    let q = QueryCtx { root_budget: 64, ..engine.default_query() };
+                    let run = engine.try_count_query(&plan(p), &q).expect("query run");
+                    counts.lock().unwrap()[i] = run.count;
+                });
+            }
+        });
+        assert_eq!(*counts.lock().unwrap(), expect);
         engine.shutdown();
     }
 

@@ -52,11 +52,13 @@ mod engine;
 mod extend;
 mod runtime;
 mod scheduler;
+pub mod service;
 pub mod stats;
 
 pub use cache::{CacheConfig, CachePolicy};
-pub use engine::{Engine, EngineConfig, EngineError};
-pub use scheduler::StealConfig;
+pub use engine::{Engine, EngineConfig, EngineError, QueryCtx, DEFAULT_ROOT_BUDGET};
+pub use scheduler::{QueryArbiter, StealConfig};
+pub use service::{MiningService, QueryHandle, QueryOutcome, ServiceConfig};
 pub use stats::{Breakdown, PartStats, RunStats, TrafficSummary};
 
 // Fabric knobs and errors surface through `EngineConfig` / `try_count`,

@@ -16,7 +16,7 @@
 use crate::cache::SharedCache;
 use crate::chunk::{Chunk, Emb, ListRef, NO_PARENT};
 use crate::engine::EngineConfig;
-use crate::scheduler::{ClaimSource, Gate, RootLedger};
+use crate::scheduler::{ClaimSource, Gate, QueryArbiter, RootLedger};
 use crate::stats::PartStats;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use gpm_cluster::{EdgeListClient, FetchError, PendingFetch};
@@ -58,6 +58,17 @@ pub(crate) struct PartCtx<'e> {
     /// Unclaimed embedding volume of the currently-executing extend
     /// phase's task pool, sampled by the engine's gauge thread.
     pub queue_depth: Arc<AtomicUsize>,
+    /// Cross-query fairness arbiter shared by every resident query; root
+    /// claims are paced through it (never truncated).
+    pub arbiter: Arc<QueryArbiter>,
+    /// This query's fairness quantum: how far (in claimed roots) it may
+    /// race ahead of the least-served active query before pacing.
+    pub root_budget: u64,
+    /// Optional cooperative deadline; parts stop claiming and extending
+    /// once it passes, and flag `deadline_fired` for the engine.
+    pub deadline: Option<Instant>,
+    /// Set by any part that observed `deadline` expiring mid-run.
+    pub deadline_fired: Arc<AtomicBool>,
 }
 
 impl PartCtx<'_> {
@@ -132,7 +143,7 @@ impl<'e> PartRun<'e> {
         let depth = ctx.plan.depth();
         let levels =
             (0..depth.saturating_sub(1)).map(|_| Chunk::new(ctx.cfg.chunk_capacity)).collect();
-        let obs = ctx.obs.handle(ctx.my_part as u32);
+        let obs = ctx.obs.handle_for_query(ctx.my_part as u32, ctx.client.query_id());
         let seed_batch = if ctx.ledger.stealing() {
             ctx.cfg.steal.batch.max(ctx.cfg.mini_batch).max(1).min(ctx.cfg.chunk_capacity.max(1))
         } else {
@@ -203,6 +214,13 @@ impl<'e> PartRun<'e> {
             if self.ctx.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
                 return Ok(());
             }
+            // Cooperative deadline: past it, stop claiming and extending.
+            // The engine sees the flag and reports the run as expired —
+            // partial counts are never returned as results.
+            if self.ctx.deadline.is_some_and(|d| Instant::now() >= d) {
+                self.ctx.deadline_fired.store(true, Ordering::Relaxed);
+                return Ok(());
+            }
             // Fail-stop self-check: once this part's own death is
             // detected anywhere in the cluster, stop producing results —
             // the engine discards this part's stats wholesale and the
@@ -265,8 +283,12 @@ impl<'e> PartRun<'e> {
             if self.ctx.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
                 break false;
             }
+            // Fairness pacing: yield the pool to less-served resident
+            // queries before claiming more roots for this one.
+            self.ctx.arbiter.pace(self.ctx.client.query_id(), self.ctx.root_budget);
             match self.ctx.ledger.claim(self.ctx.my_part, self.seed_batch) {
                 Some((source, roots)) => {
+                    self.ctx.arbiter.note_claimed(self.ctx.client.query_id(), roots.len() as u64);
                     self.seed_batch_into_chunk(source, &roots);
                     break true;
                 }
@@ -385,6 +407,7 @@ impl<'e> PartRun<'e> {
         let part_count = self.ctx.part_count;
         let my_part = self.ctx.my_part;
         let metrics = Arc::clone(self.ctx.client.metrics().part(my_part));
+        let qmetrics = Arc::clone(self.ctx.client.query_metrics());
         let cache_enabled = self.ctx.cache.is_enabled();
 
         let chunk = &mut self.levels[cur];
@@ -414,11 +437,13 @@ impl<'e> PartRun<'e> {
                 if cache_enabled {
                     if let Some(list) = self.ctx.cache.lookup(v) {
                         metrics.record_cache_hit();
+                        qmetrics.record_cache_hit();
                         self.obs.instant(SpanKind::CacheLookup, 1);
                         embs[i].list = ListRef::Cached(list);
                         continue;
                     }
                     metrics.record_cache_miss();
+                    qmetrics.record_cache_miss();
                     self.obs.instant(SpanKind::CacheLookup, 0);
                 }
                 if self.ctx.cfg.horizontal_sharing {

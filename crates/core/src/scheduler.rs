@@ -100,6 +100,13 @@ impl Gate {
     /// Runs `f(worker_index)` on all `threads` parked workers and blocks
     /// until every one of them has returned.
     ///
+    /// Gates are shared: with several resident queries a part has one
+    /// coordinator *per query*, all dispatching through the same gate.
+    /// A dispatcher therefore first waits for any in-flight phase (another
+    /// query's, or a predecessor epoch of its own) to fully retire before
+    /// publishing its job — phases serialize per part, queries interleave
+    /// at phase granularity.
+    ///
     /// # Panics
     ///
     /// Re-panics on the caller if any worker panicked inside `f`, matching
@@ -113,7 +120,13 @@ impl Gate {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
         };
         let mut st = self.state.lock();
-        debug_assert_eq!(st.active, 0, "phase dispatched while another is still running");
+        // Wait out a concurrently dispatched phase: `job` is cleared (and
+        // done_cv notified) only after its dispatcher has observed
+        // `active == 0`, so `job.is_none() && active == 0` means fully
+        // idle and safe to publish a new epoch.
+        while st.active != 0 || st.job.is_some() {
+            self.done_cv.wait(&mut st);
+        }
         st.job = Some(job);
         st.active = threads;
         st.epoch += 1;
@@ -123,6 +136,9 @@ impl Gate {
         }
         st.job = None;
         let panicked = std::mem::replace(&mut st.panicked, false);
+        // Wake dispatchers blocked on the idle wait above — workers only
+        // notify when `active` hits 0, at which point `job` is still set.
+        self.done_cv.notify_all();
         drop(st);
         if panicked {
             panic!("a compute worker panicked during a dispatched extend phase");
@@ -654,6 +670,72 @@ impl RootLedger {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-query fairness arbiter
+// ---------------------------------------------------------------------------
+
+/// Pacing coordinator for concurrent queries sharing one worker pool.
+///
+/// Each active query registers itself and bumps its counter for every
+/// root it claims from its own [`RootLedger`]. Before claiming, a part
+/// coordinator calls [`QueryArbiter::pace`]: a query that has raced more
+/// than `budget` roots ahead of the *least served* active query parks
+/// briefly, yielding the part's compute threads to the straggler. The
+/// least-served query never waits, so some query always makes progress,
+/// and the waits are timed, so a stalled straggler (e.g. blocked on a
+/// fetch) cannot wedge the rest of the service.
+///
+/// The budget is a fairness quantum only — it delays claims, it never
+/// truncates them, so per-query counts stay bit-identical to solo runs.
+#[derive(Debug, Default)]
+pub struct QueryArbiter {
+    active: Mutex<std::collections::HashMap<u64, Arc<std::sync::atomic::AtomicU64>>>,
+    cv: Condvar,
+}
+
+impl QueryArbiter {
+    /// Creates an arbiter with no registered queries.
+    pub fn new() -> QueryArbiter {
+        QueryArbiter::default()
+    }
+
+    /// Registers `query` as active with zero claimed roots.
+    pub fn register(&self, query: u64) {
+        self.active.lock().insert(query, Arc::new(std::sync::atomic::AtomicU64::new(0)));
+    }
+
+    /// Removes `query` and wakes paced peers (the minimum may have risen).
+    pub fn deregister(&self, query: u64) {
+        self.active.lock().remove(&query);
+        self.cv.notify_all();
+    }
+
+    /// Records `n` roots claimed by `query` and wakes paced peers.
+    pub fn note_claimed(&self, query: u64, n: u64) {
+        let counter = self.active.lock().get(&query).map(Arc::clone);
+        if let Some(c) = counter {
+            c.fetch_add(n, Ordering::Relaxed);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks (briefly, in timed slices) while `query` is more than
+    /// `budget` claimed roots ahead of the least-served active query.
+    pub fn pace(&self, query: u64, budget: u64) {
+        let mut active = self.active.lock();
+        loop {
+            let Some(mine) = active.get(&query).map(|c| c.load(Ordering::Relaxed)) else {
+                return;
+            };
+            let min = active.values().map(|c| c.load(Ordering::Relaxed)).min().unwrap_or(0);
+            if mine <= min.saturating_add(budget) {
+                return;
+            }
+            let _ = self.cv.wait_for(&mut active, Duration::from_micros(200));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -874,5 +956,61 @@ mod tests {
         assert!(caught.is_err(), "worker panic surfaces on the coordinator");
         // The pool survives a panicked phase.
         pool.gate(0).run_phase(3, &|_| {});
+    }
+
+    #[test]
+    fn concurrent_dispatchers_serialize_on_one_gate() {
+        // Two "queries" hammer the same part's gate from separate threads;
+        // every phase must run to completion without overlap or lost work.
+        let rec = Recorder::disabled();
+        let pool = WorkerPool::new(1, 2, &rec);
+        let gate = pool.gate(0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let in_phase = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let gate = Arc::clone(&gate);
+                let hits = Arc::clone(&hits);
+                let in_phase = Arc::clone(&in_phase);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        gate.run_phase(2, &|_| {
+                            let n = in_phase.fetch_add(1, Ordering::SeqCst);
+                            assert!(n < 2, "two phases overlapped on one gate");
+                            hits.fetch_add(1, Ordering::SeqCst);
+                            in_phase.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2 * 50 * 2);
+    }
+
+    #[test]
+    fn arbiter_paces_the_leader_but_never_the_minimum() {
+        let arb = QueryArbiter::new();
+        arb.register(1);
+        arb.register(2);
+        arb.note_claimed(1, 100);
+        // Query 2 is the minimum: pace returns immediately.
+        let t0 = std::time::Instant::now();
+        arb.pace(2, 8);
+        assert!(t0.elapsed() < Duration::from_millis(50));
+        // Query 1 is 100 ahead with budget 8: it parks until query 2
+        // catches up (done here from another thread).
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                arb.note_claimed(2, 95);
+            });
+            arb.pace(1, 8);
+        });
+        // Deregistering the straggler lifts the brake entirely.
+        arb.note_claimed(2, 1);
+        arb.deregister(2);
+        arb.pace(1, 0);
+        // Unregistered queries are never paced.
+        arb.pace(99, 0);
     }
 }

@@ -1,0 +1,535 @@
+//! The resident multi-tenant mining service: first-class queries over
+//! one shared [`Engine`].
+//!
+//! `Engine::count` is one-shot: the caller owns the run from admission
+//! to report. [`MiningService`] instead keeps the engine resident and
+//! treats each submission as a *query* — admitted FIFO under a
+//! concurrency cap, executed on the engine's shared worker pool and
+//! fabric with its own query-scoped ledger, traffic accounting, and
+//! failure recovery, and reported as one `queries[]` section of a
+//! schema-v4 aggregate [`RunReport`].
+//!
+//! Identical submissions (same pattern up to isomorphism, same graph,
+//! same plan options) are **memoized**: the duplicate never claims a
+//! root — it shares the original's result slot, waiting on it if the
+//! original is still in flight. Failed runs are evicted from the memo so
+//! a resubmission retries instead of replaying the error forever.
+
+use crate::engine::{Engine, EngineError, QueryCtx, DEFAULT_ROOT_BUDGET};
+use crate::stats::RunStats;
+use gpm_obs::{critical_path, FailureSection, QueryReport, RunReport, Span, TrafficTotals};
+use gpm_pattern::iso::canonical_code;
+use gpm_pattern::plan::{MatchingPlan, PlanOptions};
+use gpm_pattern::Pattern;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Admission and fairness knobs of a [`MiningService`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Queries executing concurrently; further admissions queue FIFO.
+    pub max_concurrent: usize,
+    /// Per-query fairness quantum (claimed roots a query may race ahead
+    /// of the least-served active query). Delays claims, never truncates
+    /// them — see [`QueryCtx::root_budget`].
+    pub root_budget: u64,
+    /// Serve duplicate submissions from the memo instead of
+    /// re-enumerating.
+    pub memoize: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { max_concurrent: 2, root_budget: DEFAULT_ROOT_BUDGET, memoize: true }
+    }
+}
+
+/// Result slot shared between a query's executor and every handle (the
+/// submitter's and any memoized duplicates').
+#[derive(Debug)]
+struct QuerySlot {
+    state: Mutex<Option<Result<Arc<RunStats>, EngineError>>>,
+    cv: Condvar,
+}
+
+impl QuerySlot {
+    fn new() -> Arc<QuerySlot> {
+        Arc::new(QuerySlot { state: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    fn fulfill(&self, result: Result<Arc<RunStats>, EngineError>) {
+        *self.state.lock() = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<RunStats>, EngineError> {
+        let mut st = self.state.lock();
+        while st.is_none() {
+            self.cv.wait(&mut st);
+        }
+        st.as_ref().expect("slot fulfilled").clone()
+    }
+
+    fn peek(&self) -> Option<Result<Arc<RunStats>, EngineError>> {
+        self.state.lock().clone()
+    }
+}
+
+/// The submitter's side of one admitted query.
+#[derive(Debug)]
+pub struct QueryHandle {
+    query_id: u64,
+    pattern: String,
+    memoized: bool,
+    slot: Arc<QuerySlot>,
+}
+
+impl QueryHandle {
+    /// The engine-assigned query id (tags this query's spans, wire
+    /// requests, and report section).
+    pub fn query_id(&self) -> u64 {
+        self.query_id
+    }
+
+    /// Whether this submission was served from the memo (no enumeration
+    /// of its own).
+    pub fn memoized(&self) -> bool {
+        self.memoized
+    }
+
+    /// Display form of the pattern this query was submitted with.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Blocks until the query completes and returns its run statistics
+    /// (shared with any memoized duplicates) or the failure.
+    pub fn wait(&self) -> Result<Arc<RunStats>, EngineError> {
+        self.slot.wait()
+    }
+}
+
+/// What one admitted query came to: recorded per query for the
+/// aggregate report.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Engine-assigned query id.
+    pub query_id: u64,
+    /// Display form of the submitted pattern.
+    pub pattern: String,
+    /// Served from the memo instead of enumerated.
+    pub memoized: bool,
+    /// The result (shared with the memo), or the typed failure.
+    pub result: Result<Arc<RunStats>, EngineError>,
+    /// Wall clock from admission to completion.
+    pub elapsed: Duration,
+}
+
+type MemoKey = (Vec<u8>, String, u64);
+
+/// One queued execution.
+struct Job {
+    query_id: u64,
+    plan: MatchingPlan,
+    key: MemoKey,
+    slot: Arc<QuerySlot>,
+    admitted: Instant,
+}
+
+/// Everything admitted so far, in admission order.
+struct Admitted {
+    query_id: u64,
+    pattern: String,
+    memoized: bool,
+    slot: Arc<QuerySlot>,
+}
+
+struct ServiceInner {
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    stop: AtomicBool,
+    memo: Mutex<HashMap<MemoKey, Arc<QuerySlot>>>,
+    admitted: Mutex<Vec<Admitted>>,
+    outcomes: Mutex<HashMap<u64, QueryOutcome>>,
+}
+
+/// A resident multi-tenant query engine over one [`Engine`]: FIFO
+/// admission with a concurrency cap, per-query fairness budgets, and
+/// memoization of identical submissions.
+pub struct MiningService {
+    engine: Arc<Engine>,
+    cfg: ServiceConfig,
+    graph_id: u64,
+    inner: Arc<ServiceInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for MiningService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiningService")
+            .field("cfg", &self.cfg)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl MiningService {
+    /// Starts `cfg.max_concurrent` resident executor threads over
+    /// `engine`.
+    pub fn start(engine: Arc<Engine>, cfg: ServiceConfig) -> MiningService {
+        let inner = Arc::new(ServiceInner {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            memo: Mutex::new(HashMap::new()),
+            admitted: Mutex::new(Vec::new()),
+            outcomes: Mutex::new(HashMap::new()),
+        });
+        // Cheap fingerprint of the graph this service serves; keys the
+        // memo so a future multi-graph registry can share one memo map.
+        let pg = engine.partitioned_graph();
+        let graph_id = (0..pg.part_count()).fold(pg.part_count() as u64, |acc, p| {
+            acc.wrapping_mul(0x100000001b3).wrapping_add(pg.part(p).owned().len() as u64)
+        });
+        let workers = (0..cfg.max_concurrent.max(1))
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let inner = Arc::clone(&inner);
+                let budget = cfg.root_budget;
+                std::thread::Builder::new()
+                    .name(format!("khuzdul-query-{i}"))
+                    .spawn(move || executor_loop(&engine, &inner, budget))
+                    .expect("spawn query executor")
+            })
+            .collect();
+        MiningService { engine, cfg, graph_id, inner, workers, started: Instant::now() }
+    }
+
+    /// The shared engine this service executes on.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Admits one query: compiles `pattern` under `opts` and queues it
+    /// FIFO behind earlier submissions (bounded by the concurrency cap).
+    /// An identical earlier submission (isomorphic pattern, same graph,
+    /// same options) returns a memoized handle sharing its result slot —
+    /// in flight or finished — without claiming a single root.
+    ///
+    /// # Errors
+    ///
+    /// Returns the plan compiler's error message if `pattern` cannot be
+    /// compiled under `opts`.
+    pub fn submit(&self, pattern: &Pattern, opts: &PlanOptions) -> Result<QueryHandle, String> {
+        let plan = MatchingPlan::compile(pattern, opts)?;
+        let key: MemoKey = (canonical_code(pattern), format!("{opts:?}"), self.graph_id);
+        let query_id = self.engine.next_query_id();
+        // One lock for the memo-or-admit decision keeps admission order
+        // well-defined under concurrent submitters.
+        let mut memo = self.inner.memo.lock();
+        if self.cfg.memoize {
+            if let Some(slot) = memo.get(&key) {
+                let handle = QueryHandle {
+                    query_id,
+                    pattern: pattern.to_string(),
+                    memoized: true,
+                    slot: Arc::clone(slot),
+                };
+                self.inner.admitted.lock().push(Admitted {
+                    query_id,
+                    pattern: pattern.to_string(),
+                    memoized: true,
+                    slot: Arc::clone(slot),
+                });
+                return Ok(handle);
+            }
+        }
+        let slot = QuerySlot::new();
+        if self.cfg.memoize {
+            memo.insert(key.clone(), Arc::clone(&slot));
+        }
+        self.inner.admitted.lock().push(Admitted {
+            query_id,
+            pattern: pattern.to_string(),
+            memoized: false,
+            slot: Arc::clone(&slot),
+        });
+        drop(memo);
+        let job = Job { query_id, plan, key, slot: Arc::clone(&slot), admitted: Instant::now() };
+        self.inner.queue.lock().push_back(job);
+        self.inner.queue_cv.notify_one();
+        Ok(QueryHandle { query_id, pattern: pattern.to_string(), memoized: false, slot })
+    }
+
+    /// Blocks until every admitted query has completed and returns their
+    /// outcomes in admission order.
+    pub fn drain(&self) -> Vec<QueryOutcome> {
+        let admitted: Vec<(u64, Arc<QuerySlot>)> =
+            self.inner.admitted.lock().iter().map(|a| (a.query_id, Arc::clone(&a.slot))).collect();
+        for (_, slot) in &admitted {
+            let _ = slot.wait();
+        }
+        self.outcomes()
+    }
+
+    /// Outcomes of every *completed* query so far, in admission order.
+    /// Memoized queries resolve as soon as their original does.
+    pub fn outcomes(&self) -> Vec<QueryOutcome> {
+        let outcomes = self.inner.outcomes.lock();
+        self.inner
+            .admitted
+            .lock()
+            .iter()
+            .filter_map(|a| {
+                if a.memoized {
+                    // A duplicate completes when its original does; it
+                    // spent no engine time of its own.
+                    a.slot.peek().map(|result| QueryOutcome {
+                        query_id: a.query_id,
+                        pattern: a.pattern.clone(),
+                        memoized: true,
+                        result,
+                        elapsed: Duration::ZERO,
+                    })
+                } else {
+                    outcomes.get(&a.query_id).cloned()
+                }
+            })
+            .collect()
+    }
+
+    /// The service-level aggregate report (schema v4): totals summed
+    /// over every completed query, the recorder's histograms / series /
+    /// span accounting, and one `queries[]` section per completed query
+    /// in admission order — each with its own traffic, failure, and
+    /// critical-path attribution (computed over that query's spans
+    /// only).
+    pub fn report(&self, system: &str) -> RunReport {
+        let outcomes = self.outcomes();
+        let mut agg = RunStats { elapsed: self.started.elapsed(), ..RunStats::default() };
+        for o in &outcomes {
+            let Ok(stats) = &o.result else { continue };
+            agg.count += stats.count;
+            if !o.memoized {
+                let t = &stats.traffic;
+                agg.traffic.network_bytes += t.network_bytes;
+                agg.traffic.cross_socket_bytes += t.cross_socket_bytes;
+                agg.traffic.requests += t.requests;
+                agg.traffic.cache_hits += t.cache_hits;
+                agg.traffic.cache_misses += t.cache_misses;
+                agg.traffic.coalesced += t.coalesced;
+                agg.traffic.retries += t.retries;
+                agg.failures.rerouted_requests += stats.failures.rerouted_requests;
+                agg.failures.rerouted_bytes += stats.failures.rerouted_bytes;
+                agg.failures.reexecuted_roots += stats.failures.reexecuted_roots;
+            }
+        }
+        // Service-level failure count: parts that fail-stopped, counted
+        // once, not once per query that observed them.
+        agg.failures.parts_failed = self.engine.metrics().parts_failed();
+        let mut report = agg.to_report(system);
+        self.engine.recorder().augment_report(&mut report);
+        let spans = self.engine.recorder().spans();
+        report.queries = outcomes.iter().map(|o| query_report(o, &spans)).collect();
+        report
+    }
+}
+
+impl Drop for MiningService {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One query's section of the aggregate report.
+fn query_report(o: &QueryOutcome, spans: &[Span]) -> QueryReport {
+    let mut qr = QueryReport {
+        query_id: o.query_id,
+        pattern: o.pattern.clone(),
+        memoized: o.memoized,
+        elapsed_ns: o.elapsed.as_nanos() as u64,
+        ..QueryReport::default()
+    };
+    // A failed query keeps the zeroed section (count 0, no traffic).
+    if let Ok(stats) = &o.result {
+        qr.count = stats.count;
+        if !o.memoized {
+            qr.traffic = TrafficTotals {
+                fetch_requests: stats.traffic.requests,
+                cache_hits: stats.traffic.cache_hits,
+                cache_misses: stats.traffic.cache_misses,
+                coalesced_requests: stats.traffic.coalesced,
+                retries: stats.traffic.retries,
+                network_bytes: stats.traffic.network_bytes,
+                numa_bytes: stats.traffic.cross_socket_bytes,
+            };
+            qr.failures = FailureSection {
+                parts_failed: stats.failures.parts_failed,
+                rerouted_requests: stats.failures.rerouted_requests,
+                rerouted_bytes: stats.failures.rerouted_bytes,
+                reexecuted_roots: stats.failures.reexecuted_roots,
+            };
+            let mine: Vec<Span> = spans.iter().filter(|s| s.query == o.query_id).cloned().collect();
+            qr.critical_path = critical_path(&mine);
+        }
+    }
+    qr
+}
+
+fn executor_loop(engine: &Engine, inner: &ServiceInner, budget: u64) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                inner.queue_cv.wait(&mut q);
+            }
+        };
+        let query = QueryCtx { query_id: job.query_id, root_budget: budget, deadline: None };
+        let result = engine.try_count_query(&job.plan, &query).map(Arc::new);
+        if result.is_err() {
+            // Never memoize a failure: a resubmission should retry.
+            inner.memo.lock().remove(&job.key);
+        }
+        let outcome = QueryOutcome {
+            query_id: job.query_id,
+            pattern: String::new(),
+            memoized: false,
+            result: result.clone(),
+            elapsed: job.admitted.elapsed(),
+        };
+        let pattern = inner
+            .admitted
+            .lock()
+            .iter()
+            .find(|a| a.query_id == job.query_id)
+            .map(|a| a.pattern.clone())
+            .unwrap_or_default();
+        inner.outcomes.lock().insert(job.query_id, QueryOutcome { pattern, ..outcome });
+        job.slot.fulfill(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use gpm_graph::gen;
+    use gpm_graph::partition::PartitionedGraph;
+    use gpm_pattern::oracle;
+
+    fn service(machines: usize) -> (gpm_graph::Graph, MiningService) {
+        let g = gen::barabasi_albert(200, 5, 7);
+        let pg = PartitionedGraph::new(&g, machines, 1);
+        let engine = Arc::new(Engine::new(pg, EngineConfig::default()));
+        (g, MiningService::start(engine, ServiceConfig::default()))
+    }
+
+    #[test]
+    fn submissions_complete_with_exact_counts() {
+        let (g, svc) = service(3);
+        let opts = PlanOptions::automine();
+        let h1 = svc.submit(&Pattern::triangle(), &opts).unwrap();
+        let h2 = svc.submit(&Pattern::path(3), &opts).unwrap();
+        assert!(!h1.memoized() && !h2.memoized());
+        assert_ne!(h1.query_id(), h2.query_id());
+        let r1 = h1.wait().unwrap();
+        let r2 = h2.wait().unwrap();
+        assert_eq!(r1.count, oracle::count_subgraphs(&g, &Pattern::triangle(), false));
+        assert_eq!(r2.count, oracle::count_subgraphs(&g, &Pattern::path(3), false));
+    }
+
+    #[test]
+    fn duplicates_are_memoized_even_isomorphic_ones() {
+        let (g, svc) = service(3);
+        let opts = PlanOptions::automine();
+        let h1 = svc.submit(&Pattern::triangle(), &opts).unwrap();
+        // Clique(3) is isomorphic to the triangle: the canonical form
+        // keys the memo, so it must hit.
+        let h2 = svc.submit(&Pattern::clique(3), &opts).unwrap();
+        assert!(!h1.memoized());
+        assert!(h2.memoized(), "isomorphic resubmission must memoize");
+        let expect = oracle::count_subgraphs(&g, &Pattern::triangle(), false);
+        assert_eq!(h1.wait().unwrap().count, expect);
+        assert_eq!(h2.wait().unwrap().count, expect);
+        // Different options miss the memo.
+        let induced = PlanOptions { induced: true, ..PlanOptions::automine() };
+        let h3 = svc.submit(&Pattern::triangle(), &induced).unwrap();
+        assert!(!h3.memoized(), "different plan options are a different query");
+        h3.wait().unwrap();
+        let outcomes = svc.drain();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes.iter().filter(|o| o.memoized).count(), 1);
+    }
+
+    #[test]
+    fn aggregate_report_has_one_section_per_query_and_validates() {
+        let (g, svc) = service(3);
+        let opts = PlanOptions::automine();
+        let patterns = [Pattern::triangle(), Pattern::path(3), Pattern::triangle()];
+        let handles: Vec<QueryHandle> =
+            patterns.iter().map(|p| svc.submit(p, &opts).unwrap()).collect();
+        for h in &handles {
+            h.wait().unwrap();
+        }
+        let report = svc.report("khuzdul-service");
+        assert_eq!(report.queries.len(), 3);
+        let expect_tri = oracle::count_subgraphs(&g, &Pattern::triangle(), false);
+        assert_eq!(report.queries[0].count, expect_tri);
+        assert!(report.queries[2].memoized);
+        assert_eq!(report.queries[2].count, expect_tri);
+        assert_eq!(report.queries[2].traffic.fetch_requests, 0, "memo hit does no traffic");
+        assert_eq!(
+            report.count,
+            report.queries.iter().map(|q| q.count).sum::<u64>(),
+            "aggregate count sums the per-query counts"
+        );
+        gpm_obs::validate_report(&report.to_json()).expect("service report must validate");
+    }
+
+    #[test]
+    fn failed_queries_are_evicted_from_the_memo() {
+        use crate::engine::EngineConfig;
+        use gpm_cluster::{FabricConfig, FaultPlan, RetryPolicy};
+        let g = gen::barabasi_albert(150, 4, 5);
+        let pg = PartitionedGraph::new(&g, 3, 1);
+        // Every reply dropped, two attempts: the run must fail.
+        let engine = Arc::new(Engine::new(
+            pg,
+            EngineConfig {
+                fabric: FabricConfig {
+                    retry: RetryPolicy {
+                        max_attempts: 2,
+                        timeout: Duration::from_millis(5),
+                        backoff: Duration::from_micros(100),
+                    },
+                    fault: Some(FaultPlan::drops(1.0)),
+                    ..FabricConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        ));
+        let svc = MiningService::start(engine, ServiceConfig::default());
+        let opts = PlanOptions::automine();
+        let h1 = svc.submit(&Pattern::triangle(), &opts).unwrap();
+        assert!(h1.wait().is_err(), "all-drops fabric must fail the query");
+        // The failure must have been evicted: a resubmission is a fresh
+        // (non-memoized) query, not a replay of the stored error.
+        let h2 = svc.submit(&Pattern::triangle(), &opts).unwrap();
+        assert!(!h2.memoized(), "failed query must not serve from the memo");
+        assert!(h2.wait().is_err());
+    }
+}

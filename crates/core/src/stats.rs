@@ -189,6 +189,7 @@ impl RunStats {
                 rerouted_bytes: self.failures.rerouted_bytes,
                 reexecuted_roots: self.failures.reexecuted_roots,
             },
+            queries: Vec::new(),
         }
     }
 

@@ -150,7 +150,7 @@ mod tests {
     use super::*;
 
     fn span(kind: SpanKind, part: u32, start: u64, dur: u64, link: u64) -> Span {
-        Span { kind, part, start_ns: start, dur_ns: dur, arg: 0, link }
+        Span { kind, part, start_ns: start, dur_ns: dur, arg: 0, link, query: 0 }
     }
 
     #[test]

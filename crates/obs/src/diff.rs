@@ -241,6 +241,7 @@ mod tests {
                 per_part: Vec::new(),
             },
             failures: Default::default(),
+            queries: Vec::new(),
         }
     }
 

@@ -51,8 +51,8 @@ pub use hist::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
 pub use recorder::{GaugeSample, Metric, ObsHandle, Recorder};
 pub use report::{
     BreakdownFractions, CriticalPathFractions, CriticalPathSection, FailureSection, NamedHistogram,
-    PartCriticalPath, PartReport, RingOccupancy, RunReport, SeriesPoint, SpanStats, TrafficTotals,
-    REPORT_SCHEMA_VERSION,
+    PartCriticalPath, PartReport, QueryReport, RingOccupancy, RunReport, SeriesPoint, SpanStats,
+    TrafficTotals, REPORT_SCHEMA_VERSION,
 };
 pub use span::{Span, SpanKind};
 pub use trace::chrome_trace;

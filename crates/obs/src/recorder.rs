@@ -192,11 +192,34 @@ impl Recorder {
         arg: u64,
         link: u64,
     ) {
+        self.record_span_for(0, kind, part, start_ns, arg, link);
+    }
+
+    /// Like [`Recorder::record_span_linked`], additionally attributing
+    /// the span to `query` (0 = unattributed).
+    #[inline]
+    pub fn record_span_for(
+        &self,
+        query: u64,
+        kind: SpanKind,
+        part: u32,
+        start_ns: u64,
+        arg: u64,
+        link: u64,
+    ) {
         if !self.is_enabled() {
             return;
         }
         let end = self.epoch.elapsed().as_nanos() as u64;
-        self.push(Span { kind, part, start_ns, dur_ns: end.saturating_sub(start_ns), arg, link });
+        self.push(Span {
+            kind,
+            part,
+            start_ns,
+            dur_ns: end.saturating_sub(start_ns),
+            arg,
+            link,
+            query,
+        });
     }
 
     /// Records a span with explicit endpoints. Exists so tests (and any
@@ -226,6 +249,7 @@ impl Recorder {
             dur_ns: end_ns.saturating_sub(start_ns),
             arg,
             link,
+            query: 0,
         });
     }
 
@@ -238,11 +262,18 @@ impl Recorder {
     /// Like [`Recorder::record_instant`] with a causal `link` id.
     #[inline]
     pub fn record_instant_linked(&self, kind: SpanKind, part: u32, arg: u64, link: u64) {
+        self.record_instant_for(0, kind, part, arg, link);
+    }
+
+    /// Like [`Recorder::record_instant_linked`], additionally
+    /// attributing the instant to `query` (0 = unattributed).
+    #[inline]
+    pub fn record_instant_for(&self, query: u64, kind: SpanKind, part: u32, arg: u64, link: u64) {
         if !self.is_enabled() {
             return;
         }
         let now = self.epoch.elapsed().as_nanos() as u64;
-        self.push(Span { kind, part, start_ns: now, dur_ns: 0, arg, link });
+        self.push(Span { kind, part, start_ns: now, dur_ns: 0, arg, link, query });
     }
 
     fn push(&self, span: Span) {
@@ -288,7 +319,14 @@ impl Recorder {
 
     /// A per-thread handle buffering spans for `part` locally.
     pub fn handle(self: &Arc<Recorder>, part: u32) -> ObsHandle {
-        ObsHandle { rec: Arc::clone(self), part, buf: Vec::new() }
+        self.handle_for_query(part, 0)
+    }
+
+    /// Like [`Recorder::handle`], stamping every buffered span with
+    /// `query` so multi-tenant traces attribute work to the issuing
+    /// query (0 = unattributed).
+    pub fn handle_for_query(self: &Arc<Recorder>, part: u32, query: u64) -> ObsHandle {
+        ObsHandle { rec: Arc::clone(self), part, query, buf: Vec::new() }
     }
 
     /// All recorded spans, deterministically sorted by
@@ -391,6 +429,7 @@ impl Recorder {
 pub struct ObsHandle {
     rec: Arc<Recorder>,
     part: u32,
+    query: u64,
     buf: Vec<Span>,
 }
 
@@ -429,6 +468,7 @@ impl ObsHandle {
             dur_ns: end.saturating_sub(start_ns),
             arg,
             link,
+            query: self.query,
         });
     }
 
@@ -439,7 +479,15 @@ impl ObsHandle {
             return;
         }
         let now = self.rec.now_ns();
-        self.buf.push(Span { kind, part: self.part, start_ns: now, dur_ns: 0, arg, link: 0 });
+        self.buf.push(Span {
+            kind,
+            part: self.part,
+            start_ns: now,
+            dur_ns: 0,
+            arg,
+            link: 0,
+            query: self.query,
+        });
     }
 
     /// Records one histogram observation on the owning recorder.
@@ -599,6 +647,21 @@ mod tests {
         let spans = rec.spans();
         assert_eq!(spans.iter().filter(|s| s.link == 7).count(), 3);
         assert_eq!(spans.iter().filter(|s| s.link == 0).count(), 1);
+    }
+
+    #[test]
+    fn query_scoped_records_stamp_the_query() {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        rec.record_span_for(3, SpanKind::Fetch, 0, 10, 1, 7);
+        rec.record_instant_for(3, SpanKind::FetchIssue, 0, 1, 7);
+        let mut h = rec.handle_for_query(0, 3);
+        h.span(SpanKind::Extend, h.start(), 0);
+        h.instant(SpanKind::ChunkRelease, 0);
+        h.flush();
+        rec.record_span_at(SpanKind::Job, 0, 0, 5, 0);
+        let spans = rec.spans();
+        assert_eq!(spans.iter().filter(|s| s.query == 3).count(), 4);
+        assert_eq!(spans.iter().filter(|s| s.query == 0).count(), 1);
     }
 
     #[test]

@@ -13,7 +13,12 @@ use serde::Serialize;
 ///
 /// v3: the report gained the `failures` section (fail-stop parts,
 /// replica failover traffic, and recovery re-execution counts).
-pub const REPORT_SCHEMA_VERSION: u64 = 3;
+///
+/// v4: the report gained the `queries` section — one entry per query of
+/// a multi-tenant service run, each with its own count, traffic,
+/// `failures`, and `critical_path` (empty for a single-query run
+/// report).
+pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// End-of-run traffic totals, mirroring the engine's `TrafficSummary`
 /// counter-for-counter so the two can be diffed.
@@ -188,6 +193,33 @@ pub struct FailureSection {
     pub reexecuted_roots: u64,
 }
 
+/// Per-query section of a multi-tenant service report (schema v4). One
+/// entry per admitted query, in admission order; a plain single-run
+/// report carries an empty `queries` list.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct QueryReport {
+    /// Engine-assigned query id (nonzero; spans carry it in
+    /// `Span::query`).
+    pub query_id: u64,
+    /// Human-readable pattern label the query was submitted with.
+    pub pattern: String,
+    /// Whether the result was served from the service memo instead of
+    /// being enumerated. Memoized queries carry the original run's count
+    /// but zero traffic of their own.
+    pub memoized: bool,
+    /// Embeddings matched by this query.
+    pub count: u64,
+    /// Wall-clock from admission to completion, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Traffic attributed to this query by the query-scoped fabric
+    /// counters.
+    pub traffic: TrafficTotals,
+    /// Fail-stop failures observed while this query ran.
+    pub failures: FailureSection,
+    /// Critical-path attribution over this query's spans only.
+    pub critical_path: CriticalPathSection,
+}
+
 /// The versioned run report written by `--report-out`.
 ///
 /// Subsumes the engine's `TrafficSummary`/`Breakdown` and adds
@@ -221,6 +253,9 @@ pub struct RunReport {
     /// Fail-stop failure and failover accounting (all-zero for a
     /// fault-free run).
     pub failures: FailureSection,
+    /// Per-query sections of a multi-tenant service run (schema v4),
+    /// in admission order; empty for a single-query run.
+    pub queries: Vec<QueryReport>,
 }
 
 impl TrafficTotals {
@@ -391,6 +426,37 @@ mod tests {
                 rerouted_bytes: 2048,
                 reexecuted_roots: 9,
             },
+            queries: vec![QueryReport {
+                query_id: 1,
+                pattern: "triangle".to_string(),
+                memoized: false,
+                count: 42,
+                elapsed_ns: 900_000_000,
+                traffic: TrafficTotals {
+                    fetch_requests: 10,
+                    cache_hits: 30,
+                    cache_misses: 10,
+                    coalesced_requests: 2,
+                    retries: 1,
+                    network_bytes: 4096,
+                    numa_bytes: 512,
+                },
+                failures: FailureSection {
+                    parts_failed: 1,
+                    rerouted_requests: 4,
+                    rerouted_bytes: 2048,
+                    reexecuted_roots: 9,
+                },
+                critical_path: CriticalPathSection {
+                    fractions: CriticalPathFractions {
+                        compute: 0.5,
+                        fetch_wait: 0.3,
+                        responder_queue: 0.15,
+                        retry_backoff: 0.05,
+                    },
+                    per_part: Vec::new(),
+                },
+            }],
         }
     }
 
@@ -401,12 +467,15 @@ mod tests {
         let b = sample().to_json();
         assert_eq!(a, b);
         assert!(a.ends_with('\n'));
-        assert!(a.contains("\"schema_version\": 3"));
+        assert!(a.contains("\"schema_version\": 4"));
         assert!(a.contains("\"fetch_latency_ns\""));
         assert!(a.contains("\"critical_path\""));
         assert!(a.contains("\"rings\""));
         assert!(a.contains("\"failures\""));
         assert!(a.contains("\"rerouted_bytes\""));
+        assert!(a.contains("\"queries\""));
+        assert!(a.contains("\"query_id\": 1"));
+        assert!(a.contains("\"memoized\": false"));
     }
 
     #[test]

@@ -164,12 +164,17 @@ pub struct Span {
     /// as flow-event arrows and the critical-path pass walks for
     /// attribution.
     pub link: u64,
+    /// Id of the query this span belongs to; 0 means unattributed
+    /// (engine-internal work, service plumbing, or a run recorded before
+    /// query scoping). Per-query report sections filter the trace on
+    /// this field.
+    pub query: u64,
 }
 
 impl Span {
     /// Sort key giving exporters a deterministic order.
-    pub fn sort_key(&self) -> (u64, u32, SpanKind, u64, u64, u64) {
-        (self.start_ns, self.part, self.kind, self.dur_ns, self.arg, self.link)
+    pub fn sort_key(&self) -> (u64, u32, SpanKind, u64, u64, u64, u64) {
+        (self.start_ns, self.part, self.kind, self.dur_ns, self.arg, self.link, self.query)
     }
 }
 
@@ -240,8 +245,31 @@ mod tests {
 
     #[test]
     fn link_breaks_sort_ties_last() {
-        let a = Span { kind: SpanKind::Fetch, part: 0, start_ns: 5, dur_ns: 1, arg: 0, link: 1 };
+        let a = Span {
+            kind: SpanKind::Fetch,
+            part: 0,
+            start_ns: 5,
+            dur_ns: 1,
+            arg: 0,
+            link: 1,
+            query: 0,
+        };
         let b = Span { link: 2, ..a };
+        assert!(a.sort_key() < b.sort_key());
+    }
+
+    #[test]
+    fn query_breaks_sort_ties_after_link() {
+        let a = Span {
+            kind: SpanKind::Extend,
+            part: 0,
+            start_ns: 5,
+            dur_ns: 1,
+            arg: 0,
+            link: 0,
+            query: 1,
+        };
+        let b = Span { query: 2, ..a };
         assert!(a.sort_key() < b.sort_key());
     }
 }

@@ -151,42 +151,25 @@ fn span_event(s: &Span) -> Value {
 mod tests {
     use super::*;
 
+    fn span(kind: SpanKind, part: u32, start_ns: u64, dur_ns: u64, arg: u64, link: u64) -> Span {
+        Span { kind, part, start_ns, dur_ns, arg, link, query: 0 }
+    }
+
     fn sample_spans() -> Vec<Span> {
         vec![
-            Span {
-                kind: SpanKind::Extend,
-                part: 0,
-                start_ns: 1000,
-                dur_ns: 5000,
-                arg: 12,
-                link: 0,
-            },
-            Span {
-                kind: SpanKind::BucketRound,
-                part: 0,
-                start_ns: 2000,
-                dur_ns: 1500,
-                arg: 1,
-                link: 0,
-            },
-            Span { kind: SpanKind::Fetch, part: 1, start_ns: 2500, dur_ns: 800, arg: 0, link: 0 },
-            Span { kind: SpanKind::Retry, part: 1, start_ns: 3000, dur_ns: 0, arg: 2, link: 0 },
+            span(SpanKind::Extend, 0, 1000, 5000, 12, 0),
+            span(SpanKind::BucketRound, 0, 2000, 1500, 1, 0),
+            span(SpanKind::Fetch, 1, 2500, 800, 0, 0),
+            span(SpanKind::Retry, 1, 3000, 0, 2, 0),
         ]
     }
 
     fn linked_spans() -> Vec<Span> {
         vec![
-            Span { kind: SpanKind::FetchIssue, part: 0, start_ns: 100, dur_ns: 0, arg: 1, link: 9 },
-            Span { kind: SpanKind::Fetch, part: 0, start_ns: 100, dur_ns: 400, arg: 1, link: 9 },
-            Span { kind: SpanKind::Serve, part: 1, start_ns: 200, dur_ns: 100, arg: 64, link: 9 },
-            Span {
-                kind: SpanKind::BucketRound,
-                part: 0,
-                start_ns: 150,
-                dur_ns: 400,
-                arg: 1,
-                link: 9,
-            },
+            span(SpanKind::FetchIssue, 0, 100, 0, 1, 9),
+            span(SpanKind::Fetch, 0, 100, 400, 1, 9),
+            span(SpanKind::Serve, 1, 200, 100, 64, 9),
+            span(SpanKind::BucketRound, 0, 150, 400, 1, 9),
         ]
     }
 
@@ -243,8 +226,7 @@ mod tests {
 
     #[test]
     fn singleton_links_emit_no_flow() {
-        let one =
-            vec![Span { kind: SpanKind::Fetch, part: 0, start_ns: 10, dur_ns: 5, arg: 0, link: 3 }];
+        let one = vec![span(SpanKind::Fetch, 0, 10, 5, 0, 3)];
         let json = chrome_trace(&one);
         crate::validate_trace(&json).expect("must validate");
         assert!(!json.contains(r#""ph":"s""#));

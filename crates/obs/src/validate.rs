@@ -256,6 +256,53 @@ pub(crate) const CRITICAL_PATH_FRACTION_KEYS: [&str; 4] =
 const FAILURE_KEYS: [&str; 4] =
     ["parts_failed", "rerouted_requests", "rerouted_bytes", "reexecuted_roots"];
 
+/// Checks a traffic section: all [`TRAFFIC_KEYS`] present as u64.
+fn check_traffic(map: &[(String, Value)], ctx: &str) -> Result<(), String> {
+    for key in TRAFFIC_KEYS {
+        req_u64(map, key, ctx)?;
+    }
+    Ok(())
+}
+
+/// Checks a failures section; returns `(parts_failed, rerouted_bytes)`
+/// so the caller can decide whether to warn.
+fn check_failures(map: &[(String, Value)], ctx: &str) -> Result<(u64, u64), String> {
+    for key in FAILURE_KEYS {
+        req_u64(map, key, ctx)?;
+    }
+    Ok((req_u64(map, "parts_failed", ctx)?, req_u64(map, "rerouted_bytes", ctx)?))
+}
+
+/// Checks a critical-path section: fractions in `[0, 1]` summing to
+/// 1 ± 0.01 (or all zero), and the per-part decomposition keys.
+fn check_critical_path(map: &[(String, Value)], ctx: &str) -> Result<(), String> {
+    let fractions =
+        as_map(get(map, "fractions").ok_or(format!("{ctx}.fractions: missing"))?, "fractions")?;
+    let mut cp_sum = 0.0;
+    for key in CRITICAL_PATH_FRACTION_KEYS {
+        cp_sum += req_fraction(fractions, key, &format!("{ctx}.fractions"))?;
+    }
+    if cp_sum != 0.0 && (cp_sum - 1.0).abs() > 0.01 {
+        return Err(format!("{ctx}.fractions: sum {cp_sum} not within 1 ± 0.01"));
+    }
+    let cp_parts = as_seq(get(map, "per_part").ok_or(format!("{ctx}.per_part: missing"))?, ctx)?;
+    for (i, p) in cp_parts.iter().enumerate() {
+        let m = as_map(p, &format!("{ctx}.per_part[{i}]"))?;
+        for key in [
+            "part",
+            "compute_ns",
+            "fetch_wait_ns",
+            "responder_queue_ns",
+            "retry_backoff_ns",
+            "linked_waits",
+            "unlinked_waits",
+        ] {
+            req_u64(m, key, &format!("{ctx}.per_part[{i}]"))?;
+        }
+    }
+    Ok(())
+}
+
 /// Validates a `RunReport` JSON document against schema version
 /// [`REPORT_SCHEMA_VERSION`]: required keys present with the right
 /// types, fractions finite and in `[0, 1]`, percentiles monotone,
@@ -286,9 +333,7 @@ pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
     req_u64(top, "elapsed_ns", "report")?;
 
     let traffic = as_map(get(top, "traffic").ok_or("report.traffic: missing")?, "traffic")?;
-    for key in TRAFFIC_KEYS {
-        req_u64(traffic, key, "traffic")?;
-    }
+    check_traffic(traffic, "traffic")?;
 
     let breakdown = as_map(get(top, "breakdown").ok_or("report.breakdown: missing")?, "breakdown")?;
     let mut total = 0.0;
@@ -378,44 +423,52 @@ pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
     }
 
     let cp = as_map(get(top, "critical_path").ok_or("report.critical_path: missing")?, "cp")?;
-    let fractions =
-        as_map(get(cp, "fractions").ok_or("critical_path.fractions: missing")?, "fractions")?;
-    let mut cp_sum = 0.0;
-    for key in CRITICAL_PATH_FRACTION_KEYS {
-        cp_sum += req_fraction(fractions, key, "critical_path.fractions")?;
-    }
-    if cp_sum != 0.0 && (cp_sum - 1.0).abs() > 0.01 {
-        return Err(format!("critical_path.fractions: sum {cp_sum} not within 1 ± 0.01"));
-    }
-    let cp_parts =
-        as_seq(get(cp, "per_part").ok_or("critical_path.per_part: missing")?, "per_part")?;
-    for (i, p) in cp_parts.iter().enumerate() {
-        let m = as_map(p, "critical_path.per_part[i]")?;
-        for key in [
-            "part",
-            "compute_ns",
-            "fetch_wait_ns",
-            "responder_queue_ns",
-            "retry_backoff_ns",
-            "linked_waits",
-            "unlinked_waits",
-        ] {
-            req_u64(m, key, &format!("critical_path.per_part[{i}]"))?;
-        }
-    }
+    check_critical_path(cp, "critical_path")?;
 
     let failures = as_map(get(top, "failures").ok_or("report.failures: missing")?, "failures")?;
-    for key in FAILURE_KEYS {
-        req_u64(failures, key, "failures")?;
-    }
-    let parts_failed = req_u64(failures, "parts_failed", "failures")?;
-    let rerouted_bytes = req_u64(failures, "rerouted_bytes", "failures")?;
+    let (parts_failed, rerouted_bytes) = check_failures(failures, "failures")?;
     if parts_failed > 0 && rerouted_bytes == 0 {
         warnings.push(format!(
             "failures.parts_failed: {parts_failed} part(s) failed but no bytes were \
              re-routed — failover never engaged (no replicas, or the dead parts' \
              data was never requested)"
         ));
+    }
+
+    let queries = as_seq(get(top, "queries").ok_or("report.queries: missing")?, "queries")?;
+    let mut seen_ids: Vec<u64> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let ctx = format!("queries[{i}]");
+        let m = as_map(q, &ctx)?;
+        let qid = req_u64(m, "query_id", &ctx)?;
+        if qid == 0 {
+            return Err(format!("{ctx}.query_id: must be nonzero"));
+        }
+        seen_ids.push(qid);
+        match get(m, "pattern") {
+            Some(Value::Str(s)) if !s.is_empty() => {}
+            _ => return Err(format!("{ctx}.pattern: missing or empty")),
+        }
+        match get(m, "memoized") {
+            Some(Value::Bool(_)) => {}
+            _ => return Err(format!("{ctx}.memoized: missing or not a bool")),
+        }
+        req_u64(m, "count", &ctx)?;
+        req_u64(m, "elapsed_ns", &ctx)?;
+        let q_traffic = as_map(get(m, "traffic").ok_or(format!("{ctx}.traffic: missing"))?, &ctx)?;
+        check_traffic(q_traffic, &format!("{ctx}.traffic"))?;
+        let q_failures =
+            as_map(get(m, "failures").ok_or(format!("{ctx}.failures: missing"))?, &ctx)?;
+        check_failures(q_failures, &format!("{ctx}.failures"))?;
+        let q_cp =
+            as_map(get(m, "critical_path").ok_or(format!("{ctx}.critical_path: missing"))?, &ctx)?;
+        check_critical_path(q_cp, &format!("{ctx}.critical_path"))?;
+    }
+    seen_ids.sort_unstable();
+    let unique = seen_ids.len();
+    seen_ids.dedup();
+    if seen_ids.len() != unique {
+        return Err("queries: duplicate query_id".to_string());
     }
 
     Ok(warnings)
@@ -533,27 +586,39 @@ mod tests {
         assert!(err.contains("schema_version"));
     }
 
-    /// A minimal valid v3 report with one substitutable section.
-    fn v3_report(traffic: &str, spans: &str, critical_path: &str, histograms: &str) -> String {
-        v3_report_with_failures(traffic, spans, critical_path, histograms, ZERO_FAILURES)
+    /// A minimal valid v4 report with one substitutable section.
+    fn v4_report(traffic: &str, spans: &str, critical_path: &str, histograms: &str) -> String {
+        v4_report_with_failures(traffic, spans, critical_path, histograms, ZERO_FAILURES)
     }
 
-    fn v3_report_with_failures(
+    fn v4_report_with_failures(
         traffic: &str,
         spans: &str,
         critical_path: &str,
         histograms: &str,
         failures: &str,
     ) -> String {
+        v4_report_with_queries(traffic, spans, critical_path, histograms, failures, "[]")
+    }
+
+    fn v4_report_with_queries(
+        traffic: &str,
+        spans: &str,
+        critical_path: &str,
+        histograms: &str,
+        failures: &str,
+        queries: &str,
+    ) -> String {
         format!(
             r#"{{
-            "schema_version": 3, "system": "khuzdul", "count": 0, "elapsed_ns": 1,
+            "schema_version": 4, "system": "khuzdul", "count": 0, "elapsed_ns": 1,
             "traffic": {traffic},
             "breakdown": {{"compute": 0.0, "network": 0.0, "scheduler": 0.0, "cache": 0.0}},
             "per_part": [], "histograms": {histograms}, "series": [],
             "spans": {spans},
             "critical_path": {critical_path},
-            "failures": {failures}
+            "failures": {failures},
+            "queries": {queries}
         }}"#
         )
     }
@@ -568,16 +633,16 @@ mod tests {
 
     #[test]
     fn validate_report_rejects_missing_traffic_key() {
-        let json = v3_report(r#"{"fetch_requests": 0}"#, CLEAN_SPANS, ZERO_CP, "[]");
+        let json = v4_report(r#"{"fetch_requests": 0}"#, CLEAN_SPANS, ZERO_CP, "[]");
         let err = validate_report(&json).unwrap_err();
         assert!(err.contains("cache_hits"), "got: {err}");
     }
 
     #[test]
     fn validate_report_warns_on_dropped_spans() {
-        let clean = v3_report(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]");
+        let clean = v4_report(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]");
         assert!(validate_report(&clean).unwrap().is_empty());
-        let truncated = v3_report(
+        let truncated = v4_report(
             FULL_TRAFFIC,
             r#"{"recorded": 10, "dropped": 3, "rings": [{"shard": 0, "len": 7, "capacity": 7, "dropped": 3}]}"#,
             ZERO_CP,
@@ -593,7 +658,7 @@ mod tests {
         // A part died but nothing was re-routed: either there were no
         // replicas or the dead data was never requested — worth a warning
         // either way, since counts may silently rest on luck.
-        let stranded = v3_report_with_failures(
+        let stranded = v4_report_with_failures(
             FULL_TRAFFIC,
             CLEAN_SPANS,
             ZERO_CP,
@@ -606,7 +671,7 @@ mod tests {
         assert!(warnings[0].contains("failover never engaged"), "got: {warnings:?}");
 
         // With failover traffic recorded, the same failure count is fine.
-        let recovered = v3_report_with_failures(
+        let recovered = v4_report_with_failures(
             FULL_TRAFFIC,
             CLEAN_SPANS,
             ZERO_CP,
@@ -617,14 +682,14 @@ mod tests {
         assert!(validate_report(&recovered).unwrap().is_empty());
 
         // A report missing the failures section is not a v3 report.
-        let missing = v3_report(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]")
+        let missing = v4_report(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]")
             .replace(r#""parts_failed": 0,"#, "");
         assert!(validate_report(&missing).unwrap_err().contains("parts_failed"));
     }
 
     #[test]
     fn validate_report_rejects_unbalanced_critical_path() {
-        let bad = v3_report(
+        let bad = v4_report(
             FULL_TRAFFIC,
             CLEAN_SPANS,
             r#"{"fractions": {"compute": 0.5, "fetch_wait": 0.1,
@@ -634,7 +699,7 @@ mod tests {
         let err = validate_report(&bad).unwrap_err();
         assert!(err.contains("critical_path.fractions"), "got: {err}");
 
-        let good = v3_report(
+        let good = v4_report(
             FULL_TRAFFIC,
             CLEAN_SPANS,
             r#"{"fractions": {"compute": 0.6, "fetch_wait": 0.25,
@@ -648,7 +713,7 @@ mod tests {
     fn validate_report_rejects_unknown_histogram_name() {
         // The allowed-name list derives from the metric table; a name
         // that isn't in it must be rejected.
-        let bad = v3_report(
+        let bad = v4_report(
             FULL_TRAFFIC,
             CLEAN_SPANS,
             ZERO_CP,
@@ -657,6 +722,62 @@ mod tests {
         );
         let err = validate_report(&bad).unwrap_err();
         assert!(err.contains("unknown metric"), "got: {err}");
+    }
+
+    const FULL_QUERY: &str = r#"[{"query_id": 1, "pattern": "triangle", "memoized": false,
+        "count": 7, "elapsed_ns": 5,
+        "traffic": {"fetch_requests": 0, "cache_hits": 0, "cache_misses": 0,
+            "coalesced_requests": 0, "retries": 0, "network_bytes": 0, "numa_bytes": 0},
+        "failures": {"parts_failed": 0, "rerouted_requests": 0,
+            "rerouted_bytes": 0, "reexecuted_roots": 0},
+        "critical_path": {"fractions": {"compute": 0.0, "fetch_wait": 0.0,
+            "responder_queue": 0.0, "retry_backoff": 0.0}, "per_part": []}}]"#;
+
+    #[test]
+    fn validate_report_checks_query_sections() {
+        let good = v4_report_with_queries(
+            FULL_TRAFFIC,
+            CLEAN_SPANS,
+            ZERO_CP,
+            "[]",
+            ZERO_FAILURES,
+            FULL_QUERY,
+        );
+        assert!(validate_report(&good).unwrap().is_empty());
+
+        // A report missing the queries section is not a v4 report.
+        let missing =
+            v4_report(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]").replace(r#""queries": []"#, "");
+        let missing = missing.trim_end().trim_end_matches('}').trim_end().trim_end_matches(',');
+        let missing = format!("{missing}}}");
+        assert!(validate_report(&missing).unwrap_err().contains("queries"));
+
+        // query_id 0 is reserved for unattributed work.
+        let zero_id = good.replace(r#""query_id": 1"#, r#""query_id": 0"#);
+        assert!(validate_report(&zero_id).unwrap_err().contains("nonzero"));
+
+        // memoized must be a bool, not a count.
+        let bad_memo = good.replace(r#""memoized": false"#, r#""memoized": 0"#);
+        assert!(validate_report(&bad_memo).unwrap_err().contains("memoized"));
+
+        // Per-query traffic must carry every traffic key.
+        let bad_traffic = good.replace(r#""numa_bytes": 0}"#, "}"); // strip one key
+        assert!(validate_report(&bad_traffic).is_err());
+
+        // Duplicate query ids are rejected.
+        let dup = good.replace(
+            r#""queries": [{"query_id": 1"#,
+            r#""queries": [{"query_id": 1, "pattern": "x", "memoized": true, "count": 0,
+                "elapsed_ns": 0,
+                "traffic": {"fetch_requests": 0, "cache_hits": 0, "cache_misses": 0,
+                    "coalesced_requests": 0, "retries": 0, "network_bytes": 0, "numa_bytes": 0},
+                "failures": {"parts_failed": 0, "rerouted_requests": 0,
+                    "rerouted_bytes": 0, "reexecuted_roots": 0},
+                "critical_path": {"fractions": {"compute": 0.0, "fetch_wait": 0.0,
+                    "responder_queue": 0.0, "retry_backoff": 0.0}, "per_part": []}},
+                {"query_id": 1"#,
+        );
+        assert!(validate_report(&dup).unwrap_err().contains("duplicate"));
     }
 
     #[test]
