@@ -16,7 +16,7 @@ use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
 use khuzdul::{
     CrashAt, Engine, EngineConfig, FabricConfig, FaultPlan, MiningService, ObsConfig, RunStats,
-    ServiceConfig, StealConfig,
+    ServiceConfig, StatusConfig, StatusServer, StealConfig,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -308,8 +308,10 @@ pub fn parse_gen(spec: &str) -> Result<Graph, String> {
 /// The first argument may be a subcommand: `count` (default — mine one
 /// pattern), `stats` (graph analysis report), `motifs` (k-motif census),
 /// `fsm` (frequent subgraph mining), `serve` (replay a multi-query
-/// workload through the resident [`MiningService`]), `report-validate`
-/// (schema-check a `RunReport` JSON file produced by `--report-out`), or
+/// workload through the resident [`MiningService`]), `top` (one-shot
+/// live view of a served `--status-addr` endpoint), `report-validate`
+/// (schema-check a `RunReport` JSON file produced by `--report-out`),
+/// `metrics-validate` (syntax-check a saved `/metrics` scrape), or
 /// `report diff` (thresholded regression gate over two report files).
 ///
 /// # Errors
@@ -322,7 +324,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("fsm") => return run_fsm(&args[1..]),
         Some("count") => return run_count(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
+        Some("top") => return run_top(&args[1..]),
         Some("report-validate") => return run_report_validate(&args[1..]),
+        Some("metrics-validate") => return run_metrics_validate(&args[1..]),
         Some("report") => return run_report(&args[1..]),
         _ => {}
     }
@@ -366,6 +370,10 @@ fn run_serve(args: &[String]) -> Result<String, String> {
     let mut steal = true;
     let mut quiet = false;
     let mut report_out: Option<String> = None;
+    let mut status_addr: Option<String> = None;
+    let mut slow_query_ms: Option<u64> = None;
+    let mut linger_ms = 0u64;
+    let mut memo_capacity = ServiceConfig::default().memo_capacity;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
@@ -388,6 +396,10 @@ fn run_serve(args: &[String]) -> Result<String, String> {
             }
             "--quiet" => quiet = true,
             "--report-out" => report_out = Some(value()?.to_string()),
+            "--status-addr" => status_addr = Some(value()?.to_string()),
+            "--slow-query-ms" => slow_query_ms = Some(parse_num(value()?)? as u64),
+            "--status-linger-ms" => linger_ms = parse_num(value()?)? as u64,
+            "--memo-capacity" => memo_capacity = parse_num(value()?)?,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -415,21 +427,39 @@ fn run_serve(args: &[String]) -> Result<String, String> {
             ..EngineConfig::default()
         },
     ));
-    let service = MiningService::start(
+    let service = Arc::new(MiningService::start(
         engine,
         ServiceConfig {
             max_concurrent: max_concurrent.max(1),
             root_budget,
+            memo_capacity,
+            slow_query: slow_query_ms.map(Duration::from_millis),
             ..ServiceConfig::default()
         },
-    );
+    ));
+    // The status plane starts before any query is admitted, so scrapers
+    // see the workload from its first root claim.
+    let status_server = match &status_addr {
+        Some(addr) => Some(
+            StatusServer::start(
+                Arc::clone(&service),
+                StatusConfig { addr: addr.clone(), ..StatusConfig::default() },
+            )
+            .map_err(|e| format!("binding status server on {addr}: {e}"))?,
+        ),
+        None => None,
+    };
+    let mut out = String::new();
+    if let (Some(s), false) = (&status_server, quiet) {
+        let _ =
+            writeln!(out, "status plane on http://{}/ (/metrics, /status, /quit)", s.local_addr());
+    }
     let handles: Vec<_> =
         workload.iter().map(|(p, o)| service.submit(p, o)).collect::<Result<_, _>>()?;
     for h in &handles {
         h.wait().map_err(|e| format!("query {} ({}): {e}", h.query_id(), h.pattern()))?;
     }
     let outcomes = service.drain();
-    let mut out = String::new();
     if !quiet {
         let _ = writeln!(
             out,
@@ -455,6 +485,156 @@ fn run_serve(args: &[String]) -> Result<String, String> {
         report.write_to(path).map_err(|e| format!("writing {path}: {e}"))?;
         if !quiet {
             let _ = writeln!(out, "report written to {path}");
+        }
+    }
+    // Keep the status plane up after the workload (and after the report
+    // file exists, so a scraper can reconcile against it); `GET /quit`
+    // ends the linger early.
+    if let Some(server) = &status_server {
+        if linger_ms > 0 {
+            let deadline = std::time::Instant::now() + Duration::from_millis(linger_ms);
+            while std::time::Instant::now() < deadline && !server.quit_requested() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `gpm metrics-validate FILE`: syntax-check a saved Prometheus text
+/// exposition (a `/metrics` scrape) and report its sample count.
+fn run_metrics_validate(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("metrics-validate needs a file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let samples = gpm_obs::validate_exposition(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(format!("{path}: valid Prometheus exposition ({samples} samples)\n"))
+}
+
+/// `gpm top ADDR`: one-shot live view of a `gpm serve --status-addr`
+/// endpoint — service gauges, in-flight query progress with ETA, recent
+/// completions, and the slow-query log, rendered as a table.
+fn run_top(args: &[String]) -> Result<String, String> {
+    let addr = args.first().ok_or("top needs the status address, e.g. 127.0.0.1:9090")?;
+    let body = http_get_body(addr, "/status")?;
+    let doc = gpm_obs::parse_json(&body).map_err(|e| format!("{addr}: bad /status JSON: {e}"))?;
+    render_top(addr, &doc)
+}
+
+/// Minimal blocking HTTP GET against the status server.
+fn http_get_body(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(5))))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("{addr}: {e}"))?;
+    let (_, body) =
+        response.split_once("\r\n\r\n").ok_or_else(|| format!("{addr}: malformed response"))?;
+    Ok(body.to_string())
+}
+
+fn render_top(addr: &str, doc: &serde::Value) -> Result<String, String> {
+    use serde::Value;
+    let obj = |v: &Value, key: &str| -> Option<Value> {
+        let Value::Map(fields) = v else { return None };
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    let num = |v: &Value, key: &str| -> f64 {
+        match obj(v, key) {
+            Some(Value::UInt(u)) => u as f64,
+            Some(Value::Int(i)) => i as f64,
+            Some(Value::Float(f)) => f,
+            _ => 0.0,
+        }
+    };
+    let seq = |v: &Value, key: &str| -> Vec<Value> {
+        match obj(v, key) {
+            Some(Value::Seq(items)) => items,
+            _ => Vec::new(),
+        }
+    };
+    let text = |v: &Value, key: &str| -> String {
+        match obj(v, key) {
+            Some(Value::Str(s)) => s,
+            _ => String::new(),
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "khuzdul service @ {addr} — up {:.1}s, {} admitted / {} completed, queue {}, busy {:.0}%",
+        num(doc, "uptime_ns") / 1e9,
+        num(doc, "admitted"),
+        num(doc, "completed"),
+        num(doc, "queue_depth"),
+        num(doc, "busy_fraction") * 100.0,
+    );
+    let memo = obj(doc, "memo").unwrap_or(Value::Null);
+    let _ = writeln!(
+        out,
+        "memo: {} entries, {} hits, {} evictions",
+        num(&memo, "entries"),
+        num(&memo, "hits"),
+        num(&memo, "evictions")
+    );
+    let active = seq(doc, "active_queries");
+    if !active.is_empty() {
+        let _ = writeln!(out, "IN FLIGHT");
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>9} {:>13} {:>9} {:>9}",
+            "query", "progress", "roots", "stolen", "eta"
+        );
+        for q in &active {
+            let eta = match obj(q, "eta_ns") {
+                Some(Value::UInt(ns)) => format!("{:.1}s", ns as f64 / 1e9),
+                _ => "?".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>8.1}% {:>6}/{:<6} {:>9} {:>9}",
+                format!("q{}", num(q, "query_id")),
+                num(q, "fraction") * 100.0,
+                num(q, "completed"),
+                num(q, "roots_total"),
+                num(q, "stolen"),
+                eta
+            );
+        }
+    }
+    let completions = seq(doc, "recent_completions");
+    if !completions.is_empty() {
+        let _ = writeln!(out, "RECENT");
+        for c in completions.iter().rev().take(10) {
+            let count = match obj(c, "count") {
+                Some(Value::UInt(n)) => n.to_string(),
+                _ => "failed".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  q{:<4} {:<24} count={:<12} {:.1}ms",
+                num(c, "query_id"),
+                text(c, "pattern"),
+                count,
+                num(c, "elapsed_ns") / 1e6
+            );
+        }
+    }
+    let slow = seq(doc, "slow_queries");
+    if !slow.is_empty() {
+        let _ = writeln!(out, "SLOW");
+        for c in &slow {
+            let _ = writeln!(
+                out,
+                "  q{:<4} {:<24} {:.1}ms",
+                num(c, "query_id"),
+                text(c, "pattern"),
+                num(c, "elapsed_ns") / 1e6
+            );
         }
     }
     Ok(out)
@@ -1240,6 +1420,79 @@ mod tests {
         gpm_obs::validate_report(&json).expect("service report must validate");
         assert!(json.contains("\"queries\""), "report lacks per-query sections");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `serve --status-addr` serves the live plane for the whole run,
+    /// `--slow-query-ms 0` logs every query as slow, and `gpm top`
+    /// renders the scraped `/status` document.
+    #[test]
+    fn serve_with_status_plane_and_top() {
+        let dir = std::env::temp_dir().join(format!("gpm-cli-status-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let workload = dir.join("queries.txt");
+        std::fs::write(&workload, "triangle\npath:3\ntriangle\n").unwrap();
+        let out = run(&argv(&format!(
+            "serve --gen ba:250,4,11 --queries {} --machines 2 --status-addr 127.0.0.1:0 \
+             --slow-query-ms 0 --memo-capacity 8",
+            workload.display()
+        )))
+        .unwrap();
+        assert!(out.contains("status plane on http://"), "{out}");
+        // The plane is gone with the run; `top` against it must fail
+        // cleanly, as must a never-bound port.
+        let addr = out
+            .lines()
+            .find(|l| l.contains("status plane"))
+            .and_then(|l| l.split("http://").nth(1))
+            .and_then(|l| l.split('/').next())
+            .expect("address printed")
+            .to_string();
+        assert!(run(&argv(&format!("top {addr}"))).is_err());
+        // A live server: drive `top` against a real /status document.
+        use gpm_graph::partition::PartitionedGraph;
+        let g = gen::barabasi_albert(200, 4, 3);
+        let engine =
+            Arc::new(Engine::new(PartitionedGraph::new(&g, 2, 1), EngineConfig::default()));
+        let svc = Arc::new(MiningService::start(
+            engine,
+            ServiceConfig { slow_query: Some(Duration::ZERO), ..ServiceConfig::default() },
+        ));
+        let server = StatusServer::start(Arc::clone(&svc), StatusConfig::default()).unwrap();
+        let h = svc.submit(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
+        h.wait().unwrap();
+        let top = run(&argv(&format!("top {}", server.local_addr()))).unwrap();
+        assert!(top.contains("khuzdul service @"), "{top}");
+        assert!(top.contains("memo:"), "{top}");
+        assert!(top.contains("RECENT"), "{top}");
+        assert!(top.contains("SLOW"), "{top}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_validate_subcommand() {
+        let dir = std::env::temp_dir();
+        let good = dir.join(format!("gpm-cli-metrics-{}.prom", std::process::id()));
+        std::fs::write(
+            &good,
+            "# HELP gpm_up Whether the service is up\n# TYPE gpm_up gauge\ngpm_up 1\n",
+        )
+        .unwrap();
+        let out = run(&argv(&format!("metrics-validate {}", good.display()))).unwrap();
+        assert!(out.contains("valid Prometheus exposition (1 samples)"), "{out}");
+        let bad = dir.join(format!("gpm-cli-metrics-bad-{}.prom", std::process::id()));
+        std::fs::write(&bad, "not a metric line at all!\n").unwrap();
+        assert!(run(&argv(&format!("metrics-validate {}", bad.display()))).is_err());
+        assert!(run(&argv("metrics-validate")).is_err());
+        assert!(run(&argv("metrics-validate /nonexistent/m.prom")).is_err());
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn top_argument_errors() {
+        assert!(run(&argv("top")).is_err());
+        // Unroutable/closed: connection refused surfaces as a clean error.
+        assert!(run(&argv("top 127.0.0.1:1")).is_err());
     }
 
     #[test]

@@ -114,6 +114,29 @@ fn bench_obs_overhead(c: &mut Criterion) {
             })
         });
     }
+    // Live progress tracking: the disabled path is one untaken `Option`
+    // branch per claim/retire; enabled is a handful of relaxed atomic
+    // adds. Measured per hook call here and end-to-end below.
+    {
+        use gpm_obs::QueryProgress;
+        let progress: Option<std::sync::Arc<QueryProgress>> = None;
+        g.bench_function(BenchmarkId::new("progress_record", "disabled"), |bench| {
+            bench.iter(|| {
+                if let Some(p) = black_box(&progress) {
+                    p.record_claimed(0, 64, false);
+                }
+            })
+        });
+        let progress = Some(std::sync::Arc::new(QueryProgress::new(1, 1 << 20, 4)));
+        g.bench_function(BenchmarkId::new("progress_record", "enabled"), |bench| {
+            bench.iter(|| {
+                if let Some(p) = black_box(&progress) {
+                    p.record_claimed(black_box(0), black_box(64), false);
+                    p.record_completed(black_box(0), black_box(64));
+                }
+            })
+        });
+    }
     let graph = gen::erdos_renyi(500, 3_000, 7);
     let plan = MatchingPlan::compile(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
     for (name, obs) in [("disabled", ObsConfig::default()), ("enabled", ObsConfig::enabled())] {
@@ -121,6 +144,18 @@ fn bench_obs_overhead(c: &mut Criterion) {
             PartitionedGraph::new(&graph, 4, 1),
             EngineConfig { obs, ..EngineConfig::default() },
         );
+        g.bench_function(BenchmarkId::new("engine_triangle", name), |bench| {
+            bench.iter(|| black_box(engine.count(&plan).count))
+        });
+        engine.shutdown();
+    }
+    // End-to-end cost of progress tracking alone (recorder off): the
+    // same triangle run with the tracker allocated and fed vs not.
+    for (name, track) in [("progress_off", false), ("progress_on", true)] {
+        let engine = Engine::new(PartitionedGraph::new(&graph, 4, 1), EngineConfig::default());
+        if track {
+            engine.enable_progress();
+        }
         g.bench_function(BenchmarkId::new("engine_triangle", name), |bench| {
             bench.iter(|| black_box(engine.count(&plan).count))
         });

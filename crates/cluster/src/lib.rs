@@ -41,7 +41,7 @@ pub mod work;
 pub use fabric::{
     EdgeListClient, EdgeListService, FabricConfig, FetchError, PendingFetch, RetryPolicy,
 };
-pub use metrics::{ClusterMetrics, PartMetrics, QueryMetrics, TrafficClass};
+pub use metrics::{ClusterMetrics, CounterSnapshot, PartMetrics, QueryMetrics, TrafficClass};
 pub use transport::{
     ChannelTransport, CrashAt, FaultInjectingTransport, FaultPlan, FetchedLists, Transport,
     WireReply, WireRequest,

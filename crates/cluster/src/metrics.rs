@@ -468,6 +468,28 @@ impl ClusterMetrics {
         self.parts.iter().map(|p| p.peak_inflight()).max().unwrap_or(0)
     }
 
+    /// One coherent-enough copy of every cumulative cluster counter, for
+    /// windowed rollups: each field is a relaxed load, so the snapshot is
+    /// not a single atomic cut, but every counter is individually exact
+    /// and monotone — which is all a delta ring needs.
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        let (hits, misses) =
+            self.parts.iter().fold((0, 0), |(h, m), p| (h + p.cache_hits(), m + p.cache_misses()));
+        CounterSnapshot {
+            requests: self.total_requests(),
+            network_bytes: self.total_network_bytes(),
+            numa_bytes: self.total_cross_socket_bytes(),
+            cache_hits: hits,
+            cache_misses: misses,
+            coalesced: self.total_coalesced(),
+            retries: self.total_retries(),
+            rerouted_requests: self.total_rerouted_requests(),
+            rerouted_bytes: self.total_rerouted_bytes(),
+            served_requests: self.parts.iter().map(|p| p.served_requests()).sum(),
+            served_bytes: self.parts.iter().map(|p| p.served_bytes()).sum(),
+        }
+    }
+
     /// Total blocking communication time summed over parts.
     pub fn total_comm_wait(&self) -> Duration {
         self.parts.iter().map(|p| p.comm_wait()).sum()
@@ -496,6 +518,70 @@ impl ClusterMetrics {
         let achieved_bits = self.total_network_bytes() as f64 * 8.0;
         let available = model.bandwidth_gbps * 1e9 * elapsed.as_secs_f64() * machines as f64;
         (achieved_bits / available).min(1.0)
+    }
+}
+
+/// Cumulative cluster-wide counter totals at one point in time, in a
+/// fixed order ([`CounterSnapshot::NAMES`]) so a rollup ring can consume
+/// them positionally. All values are monotone counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Fetch requests issued cluster-wide.
+    pub requests: u64,
+    /// Cross-machine bytes moved.
+    pub network_bytes: u64,
+    /// Cross-socket (same-machine) bytes moved.
+    pub numa_bytes: u64,
+    /// Static-cache hits.
+    pub cache_hits: u64,
+    /// Static-cache misses.
+    pub cache_misses: u64,
+    /// Vertices coalesced into already-pending fetches.
+    pub coalesced: u64,
+    /// Retried request attempts.
+    pub retries: u64,
+    /// Fetches re-routed to replica holders of dead parts.
+    pub rerouted_requests: u64,
+    /// Bytes moved by re-routed fetches.
+    pub rerouted_bytes: u64,
+    /// Requests served for other parts.
+    pub served_requests: u64,
+    /// Response bytes served for other parts.
+    pub served_bytes: u64,
+}
+
+impl CounterSnapshot {
+    /// Counter names, matching [`CounterSnapshot::as_array`] order.
+    pub const NAMES: [&'static str; 11] = [
+        "fetch_requests",
+        "network_bytes",
+        "numa_bytes",
+        "cache_hits",
+        "cache_misses",
+        "coalesced_requests",
+        "retries",
+        "rerouted_requests",
+        "rerouted_bytes",
+        "served_requests",
+        "served_bytes",
+    ];
+
+    /// The counters as a positional array in [`CounterSnapshot::NAMES`]
+    /// order, ready for `Rollup::push`.
+    pub fn as_array(&self) -> [u64; 11] {
+        [
+            self.requests,
+            self.network_bytes,
+            self.numa_bytes,
+            self.cache_hits,
+            self.cache_misses,
+            self.coalesced,
+            self.retries,
+            self.rerouted_requests,
+            self.rerouted_bytes,
+            self.served_requests,
+            self.served_bytes,
+        ]
     }
 }
 
@@ -571,6 +657,30 @@ mod tests {
         m.part(1).record_retry();
         assert_eq!(m.total_coalesced(), 3);
         assert_eq!(m.total_retries(), 2);
+    }
+
+    #[test]
+    fn counter_snapshot_mirrors_the_totals_positionally() {
+        let m = ClusterMetrics::new(4, 2);
+        m.part(0).record_fetch(TrafficClass::CrossMachine, 100, 900);
+        m.part(1).record_fetch(TrafficClass::CrossSocket, 50, 450);
+        m.part(0).record_cache_hit();
+        m.part(1).record_cache_miss();
+        m.part(1).record_coalesced(3);
+        m.part(2).record_retry();
+        m.part(2).record_served(64);
+        let snap = m.counter_snapshot();
+        assert_eq!(snap.requests, m.total_requests());
+        assert_eq!(snap.network_bytes, m.total_network_bytes());
+        assert_eq!(snap.numa_bytes, m.total_cross_socket_bytes());
+        assert_eq!((snap.cache_hits, snap.cache_misses), (1, 1));
+        assert_eq!((snap.coalesced, snap.retries), (3, 1));
+        assert_eq!((snap.served_requests, snap.served_bytes), (1, 64));
+        // The array view lines up with NAMES, name for value.
+        let arr = snap.as_array();
+        assert_eq!(arr.len(), CounterSnapshot::NAMES.len());
+        let idx = CounterSnapshot::NAMES.iter().position(|n| *n == "network_bytes").unwrap();
+        assert_eq!(arr[idx], snap.network_bytes);
     }
 
     #[cfg(debug_assertions)]

@@ -7,11 +7,17 @@ use crate::stats::{FailureSummary, PartStats, RunStats, TrafficSummary};
 use gpm_cluster::{ClusterMetrics, EdgeListService, FabricConfig, FetchError, NetworkModel};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::VertexId;
-use gpm_obs::{GaugeSample, ObsConfig, Recorder, RunReport, SpanKind};
+use gpm_obs::{GaugeSample, ObsConfig, QueryProgress, Recorder, RunReport, SpanKind};
 use gpm_pattern::plan::MatchingPlan;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Finished-progress entries the engine retains for late collectors
+/// (the service attaches them to query outcomes); oldest drop first.
+const FINISHED_PROGRESS_CAP: usize = 64;
 
 /// A failed engine run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -180,6 +186,15 @@ pub struct Engine {
     /// Number of query runs currently in flight (gates
     /// [`Engine::reset_caches`]).
     active_queries: AtomicUsize,
+    /// Whether runs allocate a live [`QueryProgress`] tracker. Off by
+    /// default: the claim/retire paths then see a `None` and touch
+    /// nothing.
+    progress_enabled: AtomicBool,
+    /// Live progress trackers of in-flight queries, by query id.
+    progress: Mutex<HashMap<u64, Arc<QueryProgress>>>,
+    /// Recently finished trackers (bounded ring), for collectors that
+    /// look the query up after the run returned.
+    finished_progress: Mutex<std::collections::VecDeque<Arc<QueryProgress>>>,
 }
 
 impl Engine {
@@ -211,7 +226,46 @@ impl Engine {
             next_query: AtomicU64::new(1),
             arbiter: Arc::new(QueryArbiter::new()),
             active_queries: AtomicUsize::new(0),
+            progress_enabled: AtomicBool::new(false),
+            progress: Mutex::new(HashMap::new()),
+            finished_progress: Mutex::new(std::collections::VecDeque::new()),
         }
+    }
+
+    /// Turns on live per-query progress tracking for all subsequent runs.
+    /// Disabled by default; when off, runs allocate nothing and the
+    /// claim/retire hot paths take a single `None` branch.
+    pub fn enable_progress(&self) {
+        self.progress_enabled.store(true, Ordering::Release);
+    }
+
+    /// Whether progress tracking is on (see [`Engine::enable_progress`]).
+    pub fn progress_enabled(&self) -> bool {
+        self.progress_enabled.load(Ordering::Acquire)
+    }
+
+    /// The live progress tracker of an in-flight query, if tracking is on
+    /// and the query is currently running.
+    pub fn query_progress(&self, query_id: u64) -> Option<Arc<QueryProgress>> {
+        self.progress.lock().get(&query_id).cloned()
+    }
+
+    /// Progress trackers of all in-flight queries, unordered.
+    pub fn active_progress(&self) -> Vec<Arc<QueryProgress>> {
+        self.progress.lock().values().cloned().collect()
+    }
+
+    /// Removes and returns the finished tracker for `query_id`, if it is
+    /// still in the bounded finished ring.
+    pub fn take_finished_progress(&self, query_id: u64) -> Option<Arc<QueryProgress>> {
+        let mut ring = self.finished_progress.lock();
+        let idx = ring.iter().position(|p| p.query_id() == query_id)?;
+        ring.remove(idx)
+    }
+
+    /// Number of query runs currently in flight.
+    pub fn active_query_count(&self) -> usize {
+        self.active_queries.load(Ordering::SeqCst)
     }
 
     /// Allocates a fresh query id (unique per engine, never 0).
@@ -442,6 +496,17 @@ impl Engine {
         ));
         let gauges: Vec<Arc<AtomicUsize>> =
             (0..parts).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        // Live progress tracker: the root multiset size is known up front
+        // (the union of each part's owned vertices), so a monotone
+        // completion fraction falls out of the ledger's claim/retire
+        // traffic. Allocated only when tracking is enabled; the guard
+        // moves it to the finished ring on every return path.
+        let progress: Option<Arc<QueryProgress>> = self.progress_enabled().then(|| {
+            let total: u64 = (0..parts).map(|p| self.pg.part(p).owned().len() as u64).sum();
+            let p = Arc::new(QueryProgress::new(qid, total, parts));
+            self.progress.lock().insert(qid, Arc::clone(&p));
+            p
+        });
         // The persistent pool outlives the run; first multi-threaded run
         // pays the spawn cost, every later one reuses the parked workers.
         let pool = (self.cfg.compute_threads > 1).then(|| {
@@ -477,6 +542,7 @@ impl Engine {
             root_budget: query.root_budget,
             deadline: query.deadline,
             deadline_fired: Arc::clone(&deadline_fired),
+            progress: progress.clone(),
         };
         // Per-part result slots: a part that aborts (fail-stop
         // self-check or a fetch error) leaves its slot empty.
@@ -506,6 +572,9 @@ impl Engine {
             }
             let lost = ledger.lost_roots(&dead);
             reexecuted_roots = lost.len() as u64;
+            if let Some(p) = &progress {
+                p.record_recovered(reexecuted_roots);
+            }
             let rts = self.recorder.now_ns();
             let recovery = Arc::new(RootLedger::recovery(
                 (0..parts).map(|p| self.pg.part_arc(p)).collect(),
@@ -559,6 +628,9 @@ impl Engine {
                 reexecuted_roots,
             },
         };
+        if let Some(p) = &progress {
+            p.mark_done();
+        }
         Ok(stats)
     }
 
@@ -652,6 +724,16 @@ impl Drop for QueryGuard<'_> {
         // registry entry so a resident service doesn't accumulate one
         // per retired query. Holders of the `Arc` keep theirs alive.
         self.engine.service.metrics().retire_query(self.qid);
+        // Move the live progress tracker (if any) to the bounded finished
+        // ring, so a collector can still attach it to the query outcome
+        // after the run returned — on success *and* error paths alike.
+        if let Some(p) = self.engine.progress.lock().remove(&self.qid) {
+            let mut ring = self.engine.finished_progress.lock();
+            ring.push_back(p);
+            while ring.len() > FINISHED_PROGRESS_CAP {
+                ring.pop_front();
+            }
+        }
         self.engine.active_queries.fetch_sub(1, Ordering::SeqCst);
     }
 }

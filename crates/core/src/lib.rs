@@ -54,12 +54,14 @@ mod runtime;
 mod scheduler;
 pub mod service;
 pub mod stats;
+pub mod status;
 
 pub use cache::{CacheConfig, CachePolicy};
 pub use engine::{Engine, EngineConfig, EngineError, QueryCtx, DEFAULT_ROOT_BUDGET};
 pub use scheduler::{QueryArbiter, StealConfig};
-pub use service::{MiningService, QueryHandle, QueryOutcome, ServiceConfig};
+pub use service::{Completion, MiningService, QueryHandle, QueryOutcome, ServiceConfig};
 pub use stats::{Breakdown, PartStats, RunStats, TrafficSummary};
+pub use status::{StatusConfig, StatusServer};
 
 // Fabric knobs and errors surface through `EngineConfig` / `try_count`,
 // so re-export them for downstream callers.

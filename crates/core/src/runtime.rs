@@ -69,6 +69,10 @@ pub(crate) struct PartCtx<'e> {
     pub deadline: Option<Instant>,
     /// Set by any part that observed `deadline` expiring mid-run.
     pub deadline_fired: Arc<AtomicBool>,
+    /// Live progress tracker for this query; `None` unless the engine
+    /// has progress tracking enabled (the default), in which case every
+    /// hook below is a single untaken branch.
+    pub progress: Option<Arc<gpm_obs::QueryProgress>>,
 }
 
 impl PartCtx<'_> {
@@ -129,6 +133,9 @@ pub(crate) struct PartRun<'e> {
     roots_donated: u64,
     /// Ledger batches seeded but not yet retired (0 or 1 in practice).
     outstanding: usize,
+    /// Roots inside those outstanding batches, for progress accounting:
+    /// retired as "completed" when the batches are.
+    outstanding_roots: usize,
     /// Roots claimed per seeding round: bounded when stealing (so loaded
     /// parts keep a stealable tail), a whole chunk otherwise.
     seed_batch: usize,
@@ -160,6 +167,7 @@ impl<'e> PartRun<'e> {
             roots_stolen: 0,
             roots_donated: 0,
             outstanding: 0,
+            outstanding_roots: 0,
             seed_batch,
             comm_tx,
             obs,
@@ -195,6 +203,13 @@ impl<'e> PartRun<'e> {
             if let Some(visit) = self.ctx.visitor {
                 visit(&[v]);
             }
+        }
+        // Single-vertex plans never touch the ledger; report the whole
+        // owned range as claimed-and-completed in one step.
+        if let Some(p) = &self.ctx.progress {
+            let n = self.ctx.part.owned().len() as u64;
+            p.record_claimed(self.ctx.my_part, n, false);
+            p.record_completed(self.ctx.my_part, n);
         }
         self.compute += t0.elapsed();
     }
@@ -270,6 +285,12 @@ impl<'e> PartRun<'e> {
             self.ctx.ledger.batch_done();
         }
         self.outstanding = 0;
+        if self.outstanding_roots > 0 {
+            if let Some(p) = &self.ctx.progress {
+                p.record_completed(self.ctx.my_part, self.outstanding_roots as u64);
+            }
+            self.outstanding_roots = 0;
+        }
     }
 
     /// Claims the next root batch from the ledger and seeds the root
@@ -353,8 +374,16 @@ impl<'e> PartRun<'e> {
         let seeded = chunk.embs.len();
         chunk.resolved_upto = if any_pending { 0 } else { seeded };
         self.outstanding += 1;
+        self.outstanding_roots += roots.len();
         if !matches!(source, ClaimSource::Own) {
             self.roots_stolen += roots.len() as u64;
+        }
+        if let Some(p) = &self.ctx.progress {
+            p.record_claimed(
+                self.ctx.my_part,
+                roots.len() as u64,
+                !matches!(source, ClaimSource::Own),
+            );
         }
         self.obs.span(SpanKind::SeedRoots, ts, seeded as u64);
     }
@@ -389,6 +418,10 @@ impl<'e> PartRun<'e> {
             return;
         }
         self.roots_donated += donated.len() as u64;
+        // Donated roots leave this part's responsibility: the claimant
+        // records them claimed (and completed) on its own side, so drop
+        // them from this part's outstanding-progress tally.
+        self.outstanding_roots = self.outstanding_roots.saturating_sub(donated.len());
         self.obs.instant(SpanKind::Donate, donated.len() as u64);
         self.ctx.ledger.donate(self.ctx.my_part, donated);
     }

@@ -39,11 +39,24 @@ pub struct ServiceConfig {
     /// Serve duplicate submissions from the memo instead of
     /// re-enumerating.
     pub memoize: bool,
+    /// Most memo entries retained; inserting past the cap evicts the
+    /// least-recently-used entry (in-flight entries stay valid — their
+    /// slots are `Arc`-shared with every waiting handle).
+    pub memo_capacity: usize,
+    /// Queries slower than this land in the slow-query log exposed by
+    /// the status plane. `None` disables the log.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { max_concurrent: 2, root_budget: DEFAULT_ROOT_BUDGET, memoize: true }
+        ServiceConfig {
+            max_concurrent: 2,
+            root_budget: DEFAULT_ROOT_BUDGET,
+            memoize: true,
+            memo_capacity: 256,
+            slow_query: None,
+        }
     }
 }
 
@@ -126,9 +139,78 @@ pub struct QueryOutcome {
     pub result: Result<Arc<RunStats>, EngineError>,
     /// Wall clock from admission to completion.
     pub elapsed: Duration,
+    /// Size of the root multiset this query enumerated (0 when progress
+    /// tracking is off or the query was memoized).
+    pub roots_total: u64,
+    /// Roots retired by the time the query finished (can exceed
+    /// `roots_total` after a recovery pass).
+    pub roots_completed: u64,
+    /// Memo entries resident when this query completed.
+    pub memo_entries: u64,
+    /// Cumulative LRU evictions by the time this query completed.
+    pub memo_evictions: u64,
+}
+
+/// One entry of the status plane's recent-completions ring and
+/// slow-query log.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Engine-assigned query id.
+    pub query_id: u64,
+    /// Display form of the submitted pattern.
+    pub pattern: String,
+    /// The embedding count, `None` if the query failed.
+    pub count: Option<u64>,
+    /// Wall clock from admission to completion.
+    pub elapsed: Duration,
 }
 
 type MemoKey = (Vec<u8>, String, u64);
+
+/// The memo map plus its LRU clock and counters, all under one lock.
+#[derive(Default)]
+struct MemoState {
+    map: HashMap<MemoKey, MemoEntry>,
+    /// Logical clock bumped on every touch; orders entries for LRU.
+    tick: u64,
+    hits: u64,
+    evictions: u64,
+}
+
+struct MemoEntry {
+    slot: Arc<QuerySlot>,
+    last_used: u64,
+}
+
+impl MemoState {
+    fn touch(&mut self, key: &MemoKey) -> Option<Arc<QuerySlot>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.map.get_mut(key)?;
+        e.last_used = tick;
+        self.hits += 1;
+        Some(Arc::clone(&e.slot))
+    }
+
+    /// Inserts under the capacity cap, evicting least-recently-used
+    /// entries first. A zero capacity admits nothing.
+    fn insert(&mut self, key: MemoKey, slot: Arc<QuerySlot>, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        while self.map.len() >= capacity {
+            let Some(lru) =
+                self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&lru);
+            self.evictions += 1;
+        }
+        self.tick += 1;
+        self.map.insert(key, MemoEntry { slot, last_used: self.tick });
+    }
+}
 
 /// One queued execution.
 struct Job {
@@ -147,13 +229,39 @@ struct Admitted {
     slot: Arc<QuerySlot>,
 }
 
+/// Recent completions kept for the status plane.
+const COMPLETIONS_CAP: usize = 128;
+/// Slow-query log entries kept for the status plane.
+const SLOW_LOG_CAP: usize = 32;
+
 struct ServiceInner {
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     stop: AtomicBool,
-    memo: Mutex<HashMap<MemoKey, Arc<QuerySlot>>>,
+    memo: Mutex<MemoState>,
     admitted: Mutex<Vec<Admitted>>,
     outcomes: Mutex<HashMap<u64, QueryOutcome>>,
+    /// Recently completed queries, oldest first (bounded ring).
+    completions: Mutex<VecDeque<Completion>>,
+    /// Completions slower than the configured threshold, oldest first.
+    slow_log: Mutex<VecDeque<Completion>>,
+}
+
+impl ServiceInner {
+    fn record_completion(&self, c: Completion, slow_query: Option<Duration>) {
+        if slow_query.is_some_and(|t| c.elapsed >= t) {
+            let mut log = self.slow_log.lock();
+            log.push_back(c.clone());
+            while log.len() > SLOW_LOG_CAP {
+                log.pop_front();
+            }
+        }
+        let mut ring = self.completions.lock();
+        ring.push_back(c);
+        while ring.len() > COMPLETIONS_CAP {
+            ring.pop_front();
+        }
+    }
 }
 
 /// A resident multi-tenant query engine over one [`Engine`]: FIFO
@@ -185,9 +293,11 @@ impl MiningService {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             stop: AtomicBool::new(false),
-            memo: Mutex::new(HashMap::new()),
+            memo: Mutex::new(MemoState::default()),
             admitted: Mutex::new(Vec::new()),
             outcomes: Mutex::new(HashMap::new()),
+            completions: Mutex::new(VecDeque::new()),
+            slow_log: Mutex::new(VecDeque::new()),
         });
         // Cheap fingerprint of the graph this service serves; keys the
         // memo so a future multi-graph registry can share one memo map.
@@ -200,9 +310,10 @@ impl MiningService {
                 let engine = Arc::clone(&engine);
                 let inner = Arc::clone(&inner);
                 let budget = cfg.root_budget;
+                let slow = cfg.slow_query;
                 std::thread::Builder::new()
                     .name(format!("khuzdul-query-{i}"))
-                    .spawn(move || executor_loop(&engine, &inner, budget))
+                    .spawn(move || executor_loop(&engine, &inner, budget, slow))
                     .expect("spawn query executor")
             })
             .collect();
@@ -232,25 +343,25 @@ impl MiningService {
         // well-defined under concurrent submitters.
         let mut memo = self.inner.memo.lock();
         if self.cfg.memoize {
-            if let Some(slot) = memo.get(&key) {
+            if let Some(slot) = memo.touch(&key) {
                 let handle = QueryHandle {
                     query_id,
                     pattern: pattern.to_string(),
                     memoized: true,
-                    slot: Arc::clone(slot),
+                    slot: Arc::clone(&slot),
                 };
                 self.inner.admitted.lock().push(Admitted {
                     query_id,
                     pattern: pattern.to_string(),
                     memoized: true,
-                    slot: Arc::clone(slot),
+                    slot,
                 });
                 return Ok(handle);
             }
         }
         let slot = QuerySlot::new();
         if self.cfg.memoize {
-            memo.insert(key.clone(), Arc::clone(&slot));
+            memo.insert(key.clone(), Arc::clone(&slot), self.cfg.memo_capacity);
         }
         self.inner.admitted.lock().push(Admitted {
             query_id,
@@ -294,6 +405,10 @@ impl MiningService {
                         memoized: true,
                         result,
                         elapsed: Duration::ZERO,
+                        roots_total: 0,
+                        roots_completed: 0,
+                        memo_entries: 0,
+                        memo_evictions: 0,
                     })
                 } else {
                     outcomes.get(&a.query_id).cloned()
@@ -337,6 +452,45 @@ impl MiningService {
         report.queries = outcomes.iter().map(|o| query_report(o, &spans)).collect();
         report
     }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Wall clock since the service started.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Jobs admitted but not yet picked up by an executor.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Queries admitted so far (including memoized duplicates).
+    pub fn admitted_count(&self) -> usize {
+        self.inner.admitted.lock().len()
+    }
+
+    /// `(entries, hits, evictions)` of the memo: resident entry count,
+    /// cumulative memo hits, and cumulative LRU evictions.
+    pub fn memo_stats(&self) -> (u64, u64, u64) {
+        let m = self.inner.memo.lock();
+        (m.map.len() as u64, m.hits, m.evictions)
+    }
+
+    /// Recently *executed* queries, oldest first (bounded ring).
+    /// Memoized duplicates spend no engine time and are not recorded.
+    pub fn recent_completions(&self) -> Vec<Completion> {
+        self.inner.completions.lock().iter().cloned().collect()
+    }
+
+    /// Completions slower than [`ServiceConfig::slow_query`], oldest
+    /// first (empty when the threshold is unset).
+    pub fn slow_queries(&self) -> Vec<Completion> {
+        self.inner.slow_log.lock().iter().cloned().collect()
+    }
 }
 
 impl Drop for MiningService {
@@ -356,6 +510,10 @@ fn query_report(o: &QueryOutcome, spans: &[Span]) -> QueryReport {
         pattern: o.pattern.clone(),
         memoized: o.memoized,
         elapsed_ns: o.elapsed.as_nanos() as u64,
+        roots_total: o.roots_total,
+        roots_completed: o.roots_completed,
+        memo_entries: o.memo_entries,
+        memo_evictions: o.memo_evictions,
         ..QueryReport::default()
     };
     // A failed query keeps the zeroed section (count 0, no traffic).
@@ -384,7 +542,7 @@ fn query_report(o: &QueryOutcome, spans: &[Span]) -> QueryReport {
     qr
 }
 
-fn executor_loop(engine: &Engine, inner: &ServiceInner, budget: u64) {
+fn executor_loop(engine: &Engine, inner: &ServiceInner, budget: u64, slow_query: Option<Duration>) {
     loop {
         let job = {
             let mut q = inner.queue.lock();
@@ -402,14 +560,29 @@ fn executor_loop(engine: &Engine, inner: &ServiceInner, budget: u64) {
         let result = engine.try_count_query(&job.plan, &query).map(Arc::new);
         if result.is_err() {
             // Never memoize a failure: a resubmission should retry.
-            inner.memo.lock().remove(&job.key);
+            inner.memo.lock().map.remove(&job.key);
         }
+        // The run's guard parked its progress tracker (if tracking is
+        // on) in the engine's finished ring; fold it into the outcome.
+        let (roots_total, roots_completed) = engine
+            .take_finished_progress(job.query_id)
+            .map(|p| (p.total(), p.completed()))
+            .unwrap_or((0, 0));
+        let (memo_entries, _, memo_evictions) = {
+            let m = inner.memo.lock();
+            (m.map.len() as u64, m.hits, m.evictions)
+        };
+        let elapsed = job.admitted.elapsed();
         let outcome = QueryOutcome {
             query_id: job.query_id,
             pattern: String::new(),
             memoized: false,
             result: result.clone(),
-            elapsed: job.admitted.elapsed(),
+            elapsed,
+            roots_total,
+            roots_completed,
+            memo_entries,
+            memo_evictions,
         };
         let pattern = inner
             .admitted
@@ -418,6 +591,15 @@ fn executor_loop(engine: &Engine, inner: &ServiceInner, budget: u64) {
             .find(|a| a.query_id == job.query_id)
             .map(|a| a.pattern.clone())
             .unwrap_or_default();
+        inner.record_completion(
+            Completion {
+                query_id: job.query_id,
+                pattern: pattern.clone(),
+                count: result.as_ref().ok().map(|s| s.count),
+                elapsed,
+            },
+            slow_query,
+        );
         inner.outcomes.lock().insert(job.query_id, QueryOutcome { pattern, ..outcome });
         job.slot.fulfill(result);
     }

@@ -1,0 +1,553 @@
+//! The scrapeable status plane of a resident [`MiningService`].
+//!
+//! [`StatusServer`] binds a plain-`std` blocking HTTP listener (no new
+//! dependencies — one line of request parsing is all a scraper needs)
+//! and serves:
+//!
+//! * `GET /metrics` — Prometheus text exposition (format 0.0.4). The
+//!   counters are computed from the **same sources**
+//!   [`MiningService::report`] sums — the completed, non-memoized query
+//!   outcomes — so the final scrape reconciles *exactly* with the
+//!   schema-v4 `RunReport`, sample for sample.
+//! * `GET /status` — a JSON document for humans and `gpm top`: service
+//!   state, admission queue, live per-query progress with ETA, the
+//!   recent-completions ring, the slow-query log, and the rolling
+//!   windows of a [`Rollup`] fed from the live [`ClusterMetrics`]
+//!   counters (these show *rates*, and deliberately live outside the
+//!   reconciliation contract — in-flight queries move them before any
+//!   outcome exists).
+//! * `GET /quit` — flags quit; `gpm serve --status-linger-ms` polls
+//!   [`StatusServer::quit_requested`] so CI can end a linger cleanly.
+//!
+//! The server thread owns the rollup and does all rendering; the
+//! mining hot path is never touched — scrapes read the same atomics
+//! and brief locks the report path already reads.
+//!
+//! [`ClusterMetrics`]: gpm_cluster::ClusterMetrics
+
+use crate::service::{Completion, MiningService};
+use gpm_cluster::CounterSnapshot;
+use gpm_obs::{render_prometheus, PromKind, PromMetric, QueryProgress, Rollup};
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service-level counters appended after the cluster counters in the
+/// rollup's counter vector.
+const SERVICE_COUNTERS: [&str; 3] = ["memo_hits", "memo_evictions", "queries_completed"];
+/// Gauges sampled into every rollup window.
+const ROLLUP_GAUGES: [&str; 4] =
+    ["queue_depth", "active_queries", "active_executors", "memo_entries"];
+
+/// Knobs of a [`StatusServer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusConfig {
+    /// Listen address; port 0 picks a free port (see
+    /// [`StatusServer::local_addr`]).
+    pub addr: String,
+    /// Rollup sampling interval.
+    pub tick: Duration,
+    /// Rolling windows retained (older deltas fold into the evicted
+    /// totals, conserving the cumulative counts).
+    pub windows: usize,
+}
+
+impl Default for StatusConfig {
+    fn default() -> Self {
+        StatusConfig {
+            addr: "127.0.0.1:0".to_string(),
+            tick: Duration::from_millis(250),
+            windows: 120,
+        }
+    }
+}
+
+/// A background HTTP exporter over one [`MiningService`]. Stops and
+/// joins on drop.
+#[derive(Debug)]
+pub struct StatusServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    quit: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Binds `cfg.addr` and starts serving `svc`. Enables the engine's
+    /// live progress tracking (the whole point of scraping) — queries
+    /// admitted before the server started report no root progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(svc: Arc<MiningService>, cfg: StatusConfig) -> std::io::Result<StatusServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        svc.engine().enable_progress();
+        let stop = Arc::new(AtomicBool::new(false));
+        let quit = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread_quit = Arc::clone(&quit);
+        let handle = std::thread::Builder::new()
+            .name("khuzdul-status".to_string())
+            .spawn(move || serve_loop(&listener, &svc, &cfg, &thread_stop, &thread_quit))
+            .expect("spawn status server");
+        Ok(StatusServer { local_addr, stop, quit, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether some client requested `GET /quit`.
+    pub fn quit_requested(&self) -> bool {
+        self.quit.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(
+    listener: &TcpListener,
+    svc: &Arc<MiningService>,
+    cfg: &StatusConfig,
+    stop: &AtomicBool,
+    quit: &AtomicBool,
+) {
+    let started = Instant::now();
+    let mut counter_names: Vec<&'static str> = CounterSnapshot::NAMES.to_vec();
+    counter_names.extend(SERVICE_COUNTERS);
+    let mut rollup = Rollup::new(counter_names, ROLLUP_GAUGES.to_vec(), cfg.windows.max(1));
+    let mut next_tick = Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        if Instant::now() >= next_tick {
+            push_sample(&mut rollup, svc, started.elapsed().as_nanos() as u64);
+            next_tick = Instant::now() + cfg.tick.max(Duration::from_millis(10));
+        }
+        match listener.accept() {
+            Ok((stream, _)) => handle_conn(stream, svc, &rollup, quit),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn push_sample(rollup: &mut Rollup, svc: &MiningService, t_ns: u64) {
+    let engine = svc.engine();
+    let cluster = engine.metrics().counter_snapshot();
+    let (memo_entries, memo_hits, memo_evictions) = svc.memo_stats();
+    let completed = svc.outcomes().len() as u64;
+    let mut counters = cluster.as_array().to_vec();
+    counters.extend([memo_hits, memo_evictions, completed]);
+    let active = engine.active_query_count() as u64;
+    let gauges = [
+        svc.queue_depth() as u64,
+        active,
+        active.min(svc.config().max_concurrent as u64),
+        memo_entries,
+    ];
+    rollup.push(t_ns, &counters, &gauges);
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    svc: &Arc<MiningService>,
+    rollup: &Rollup,
+    quit: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 1024];
+    let mut req = Vec::new();
+    // Read until the request line is complete; a scraper's GET fits in
+    // one segment, so one read usually suffices.
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(2).any(|w| w == b"\r\n") || req.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let line = String::from_utf8_lossy(&req);
+    let path = line.split_whitespace().nth(1).unwrap_or("/").to_string();
+    let (status, ctype, body) = match path.as_str() {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4; charset=utf-8", render_metrics(svc)),
+        "/status" => ("200 OK", "application/json", render_status(svc, rollup)),
+        "/quit" => {
+            quit.store(true, Ordering::SeqCst);
+            ("200 OK", "text/plain; charset=utf-8", "bye\n".to_string())
+        }
+        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Builds `/metrics` from the completed outcomes — the exact sources
+/// [`MiningService::report`] sums — plus live service gauges.
+fn render_metrics(svc: &MiningService) -> String {
+    let outcomes = svc.outcomes();
+    // Aggregate the completed, non-memoized outcomes, mirroring
+    // `MiningService::report` field for field.
+    let mut count = 0u64;
+    let mut traffic = [0u64; 7]; // requests, net, numa, hits, misses, coalesced, retries
+    let mut rerouted_requests = 0u64;
+    let mut rerouted_bytes = 0u64;
+    let mut reexecuted_roots = 0u64;
+    for o in &outcomes {
+        let Ok(stats) = &o.result else { continue };
+        count += stats.count;
+        if !o.memoized {
+            let t = &stats.traffic;
+            traffic[0] += t.requests;
+            traffic[1] += t.network_bytes;
+            traffic[2] += t.cross_socket_bytes;
+            traffic[3] += t.cache_hits;
+            traffic[4] += t.cache_misses;
+            traffic[5] += t.coalesced;
+            traffic[6] += t.retries;
+            rerouted_requests += stats.failures.rerouted_requests;
+            rerouted_bytes += stats.failures.rerouted_bytes;
+            reexecuted_roots += stats.failures.reexecuted_roots;
+        }
+    }
+    let engine = svc.engine();
+    let (memo_entries, memo_hits, memo_evictions) = svc.memo_stats();
+    let mut metrics = vec![
+        PromMetric::scalar(
+            "gpm_embeddings_total",
+            "Embeddings counted by completed queries",
+            PromKind::Counter,
+            count as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_queries_admitted_total",
+            "Queries admitted (including memoized duplicates)",
+            PromKind::Counter,
+            svc.admitted_count() as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_queries_completed_total",
+            "Queries completed (including memoized duplicates)",
+            PromKind::Counter,
+            outcomes.len() as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_fetch_requests_total",
+            "Remote edge-list fetch requests of completed queries",
+            PromKind::Counter,
+            traffic[0] as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_network_bytes_total",
+            "Cross-machine bytes of completed queries",
+            PromKind::Counter,
+            traffic[1] as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_numa_bytes_total",
+            "Cross-socket bytes of completed queries",
+            PromKind::Counter,
+            traffic[2] as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_cache_hits_total",
+            "Edge-list cache hits of completed queries",
+            PromKind::Counter,
+            traffic[3] as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_cache_misses_total",
+            "Edge-list cache misses of completed queries",
+            PromKind::Counter,
+            traffic[4] as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_coalesced_requests_total",
+            "Fetches coalesced into an identical in-flight request",
+            PromKind::Counter,
+            traffic[5] as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_retries_total",
+            "Fetch retries of completed queries",
+            PromKind::Counter,
+            traffic[6] as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_rerouted_requests_total",
+            "Fetches rerouted to a replica after a part death",
+            PromKind::Counter,
+            rerouted_requests as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_rerouted_bytes_total",
+            "Bytes served by replicas after a part death",
+            PromKind::Counter,
+            rerouted_bytes as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_reexecuted_roots_total",
+            "Roots re-executed by recovery passes",
+            PromKind::Counter,
+            reexecuted_roots as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_parts_failed_total",
+            "Parts that fail-stopped since the engine started",
+            PromKind::Counter,
+            engine.metrics().parts_failed() as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_memo_entries",
+            "Memo entries currently resident",
+            PromKind::Gauge,
+            memo_entries as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_memo_hits_total",
+            "Submissions served from the memo",
+            PromKind::Counter,
+            memo_hits as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_memo_evictions_total",
+            "Memo entries evicted by the LRU capacity cap",
+            PromKind::Counter,
+            memo_evictions as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_admission_queue_depth",
+            "Jobs admitted but not yet executing",
+            PromKind::Gauge,
+            svc.queue_depth() as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_active_queries",
+            "Queries currently executing on the engine",
+            PromKind::Gauge,
+            engine.active_query_count() as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_uptime_seconds",
+            "Seconds since the service started",
+            PromKind::Gauge,
+            svc.uptime().as_secs_f64(),
+        ),
+    ];
+    // Per-query embedding counts of completed queries (memoized ones
+    // repeat their original's count, as in the report).
+    let mut per_query = PromMetric {
+        name: "gpm_query_embeddings_total",
+        help: "Embeddings counted, per completed query",
+        kind: PromKind::Counter,
+        samples: Vec::new(),
+    };
+    for o in &outcomes {
+        if let Ok(stats) = &o.result {
+            per_query
+                .samples
+                .push((vec![("query_id", o.query_id.to_string())], stats.count as f64));
+        }
+    }
+    metrics.push(per_query);
+    // Live progress of in-flight queries.
+    let mut fractions = PromMetric {
+        name: "gpm_query_progress_fraction",
+        help: "Monotonic completion fraction of in-flight queries",
+        kind: PromKind::Gauge,
+        samples: Vec::new(),
+    };
+    for p in engine.active_progress() {
+        fractions.samples.push((vec![("query_id", p.query_id().to_string())], p.fraction()));
+    }
+    metrics.push(fractions);
+    render_prometheus(&metrics)
+}
+
+fn render_status(svc: &MiningService, rollup: &Rollup) -> String {
+    let engine = svc.engine();
+    let (memo_entries, memo_hits, memo_evictions) = svc.memo_stats();
+    let active: Vec<Value> = {
+        let mut ps = engine.active_progress();
+        ps.sort_by_key(|p| p.query_id());
+        ps.iter().map(|p| progress_json(p)).collect()
+    };
+    let max_concurrent = svc.config().max_concurrent.max(1);
+    let busy = engine.active_query_count().min(max_concurrent);
+    let doc = Value::Map(vec![
+        ("uptime_ns".into(), Value::UInt(svc.uptime().as_nanos() as u64)),
+        ("max_concurrent".into(), Value::UInt(max_concurrent as u64)),
+        ("queue_depth".into(), Value::UInt(svc.queue_depth() as u64)),
+        ("admitted".into(), Value::UInt(svc.admitted_count() as u64)),
+        ("completed".into(), Value::UInt(svc.outcomes().len() as u64)),
+        ("busy_fraction".into(), Value::Float(busy as f64 / max_concurrent as f64)),
+        ("active_queries".into(), Value::Seq(active)),
+        (
+            "memo".into(),
+            Value::Map(vec![
+                ("entries".into(), Value::UInt(memo_entries)),
+                ("hits".into(), Value::UInt(memo_hits)),
+                ("evictions".into(), Value::UInt(memo_evictions)),
+            ]),
+        ),
+        (
+            "recent_completions".into(),
+            Value::Seq(svc.recent_completions().iter().map(completion_json).collect()),
+        ),
+        (
+            "slow_queries".into(),
+            Value::Seq(svc.slow_queries().iter().map(completion_json).collect()),
+        ),
+        ("rollup".into(), rollup_json(rollup)),
+    ]);
+    serde_json::to_string(&doc).expect("status JSON renders")
+}
+
+fn progress_json(p: &QueryProgress) -> Value {
+    Value::Map(vec![
+        ("query_id".into(), Value::UInt(p.query_id())),
+        ("roots_total".into(), Value::UInt(p.total())),
+        ("claimed".into(), Value::UInt(p.claimed())),
+        ("completed".into(), Value::UInt(p.completed())),
+        ("stolen".into(), Value::UInt(p.stolen())),
+        ("recovered".into(), Value::UInt(p.recovered())),
+        ("fraction".into(), Value::Float(p.fraction())),
+        ("eta_ns".into(), p.eta_ns().map(Value::UInt).unwrap_or(Value::Null)),
+        ("elapsed_ns".into(), Value::UInt(p.elapsed_ns())),
+        (
+            "per_part".into(),
+            Value::Seq(
+                p.per_part()
+                    .iter()
+                    .map(|pp| {
+                        Value::Map(vec![
+                            ("part".into(), Value::UInt(pp.part)),
+                            ("claimed".into(), Value::UInt(pp.claimed)),
+                            ("completed".into(), Value::UInt(pp.completed)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn completion_json(c: &Completion) -> Value {
+    Value::Map(vec![
+        ("query_id".into(), Value::UInt(c.query_id)),
+        ("pattern".into(), Value::Str(c.pattern.clone())),
+        ("count".into(), c.count.map(Value::UInt).unwrap_or(Value::Null)),
+        ("elapsed_ns".into(), Value::UInt(c.elapsed.as_nanos() as u64)),
+    ])
+}
+
+fn rollup_json(r: &Rollup) -> Value {
+    let names =
+        |ns: &[&'static str]| Value::Seq(ns.iter().map(|n| Value::Str((*n).to_string())).collect());
+    let windows: Vec<Value> = r
+        .windows()
+        .map(|w| {
+            Value::Map(vec![
+                ("t_ns".into(), Value::UInt(w.t_ns)),
+                ("dt_ns".into(), Value::UInt(w.dt_ns)),
+                ("deltas".into(), Value::Seq(w.deltas.iter().map(|&d| Value::UInt(d)).collect())),
+                ("gauges".into(), Value::Seq(w.gauges.iter().map(|&g| Value::UInt(g)).collect())),
+            ])
+        })
+        .collect();
+    let rates = Value::Map(
+        r.counter_names()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ((*n).to_string(), Value::Float(r.rate_per_sec(i))))
+            .collect(),
+    );
+    Value::Map(vec![
+        ("counter_names".into(), names(r.counter_names())),
+        ("gauge_names".into(), names(r.gauge_names())),
+        ("windows".into(), Value::Seq(windows)),
+        (
+            "evicted_totals".into(),
+            Value::Seq(r.evicted_totals().iter().map(|&e| Value::UInt(e)).collect()),
+        ),
+        (
+            "cumulative".into(),
+            Value::Seq(r.latest_cumulative().iter().map(|&c| Value::UInt(c)).collect()),
+        ),
+        ("rates_per_sec".into(), rates),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::service::ServiceConfig;
+    use gpm_graph::gen;
+    use gpm_graph::partition::PartitionedGraph;
+    use gpm_pattern::plan::PlanOptions;
+    use gpm_pattern::Pattern;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect status server");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read response");
+        let (_, body) = out.split_once("\r\n\r\n").expect("header/body split");
+        body.to_string()
+    }
+
+    #[test]
+    fn serves_metrics_status_and_quit() {
+        let g = gen::barabasi_albert(150, 4, 11);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let engine = Arc::new(Engine::new(pg, EngineConfig::default()));
+        let svc = Arc::new(MiningService::start(engine, ServiceConfig::default()));
+        let server = StatusServer::start(Arc::clone(&svc), StatusConfig::default()).unwrap();
+        assert!(svc.engine().progress_enabled(), "starting the server enables progress");
+        let h = svc.submit(&Pattern::triangle(), &PlanOptions::automine()).unwrap();
+        h.wait().unwrap();
+        let metrics = http_get(server.local_addr(), "/metrics");
+        gpm_obs::validate_exposition(&metrics).expect("exposition must be well-formed");
+        let completed = gpm_obs::sample_value(&metrics, "gpm_queries_completed_total", None);
+        assert_eq!(completed, Some(1.0));
+        let report = svc.report("khuzdul-service");
+        assert_eq!(
+            gpm_obs::sample_value(&metrics, "gpm_embeddings_total", None),
+            Some(report.count as f64),
+            "scrape must reconcile with the report"
+        );
+        let status = http_get(server.local_addr(), "/status");
+        let doc = gpm_obs::parse_json(&status).expect("status must be valid JSON");
+        let serde::Value::Map(fields) = &doc else { panic!("status root is an object") };
+        assert!(fields.iter().any(|(k, _)| k == "rollup"));
+        assert!(!server.quit_requested());
+        assert_eq!(http_get(server.local_addr(), "/quit"), "bye\n");
+        assert!(server.quit_requested());
+        assert!(http_get(server.local_addr(), "/nope").contains("not found"));
+    }
+}

@@ -16,6 +16,7 @@ use crate::validate::{
     as_map, as_seq, get, parse_json, req_fraction, req_u64, CRITICAL_PATH_FRACTION_KEYS,
     TRAFFIC_KEYS,
 };
+use serde::Value;
 
 /// Tolerances for [`diff_reports`]. A candidate value `c` against
 /// baseline `b` regresses when it moves adversely past
@@ -73,6 +74,17 @@ struct Parsed {
     hit_rate: f64,
     busy_imbalance: f64,
     fractions: Vec<(String, f64)>,
+    queries: Vec<ParsedQuery>,
+}
+
+/// One `queries[]` entry of a schema-v4 service report, as the gate
+/// compares it: identity (position + pattern), the exact count, and the
+/// critical-path fractions.
+struct ParsedQuery {
+    pattern: String,
+    memoized: bool,
+    count: u64,
+    fractions: Vec<(String, f64)>,
 }
 
 fn parse_report(json: &str, which: &str) -> Result<Parsed, String> {
@@ -119,12 +131,42 @@ fn parse_report(json: &str, which: &str) -> Result<Parsed, String> {
         fractions.push((key.to_string(), req_fraction(fr, key, "critical_path.fractions")?));
     }
 
+    let queries_seq =
+        as_seq(get(top, "queries").ok_or(format!("{which}.queries: missing"))?, "queries")?;
+    let mut queries = Vec::new();
+    for (i, q) in queries_seq.iter().enumerate() {
+        let ctx = format!("{which}.queries[{i}]");
+        let m = as_map(q, &ctx)?;
+        let pattern = match get(m, "pattern") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return Err(format!("{ctx}.pattern: missing")),
+        };
+        let memoized = match get(m, "memoized") {
+            Some(Value::Bool(b)) => *b,
+            _ => return Err(format!("{ctx}.memoized: missing")),
+        };
+        let cp =
+            as_map(get(m, "critical_path").ok_or(format!("{ctx}.critical_path: missing"))?, &ctx)?;
+        let fr = as_map(get(cp, "fractions").ok_or(format!("{ctx}.fractions: missing"))?, &ctx)?;
+        let mut fractions = Vec::new();
+        for key in CRITICAL_PATH_FRACTION_KEYS {
+            fractions.push((key.to_string(), req_fraction(fr, key, &ctx)?));
+        }
+        queries.push(ParsedQuery {
+            pattern,
+            memoized,
+            count: req_u64(m, "count", &ctx)?,
+            fractions,
+        });
+    }
+
     Ok(Parsed {
         count: req_u64(top, "count", which)?,
         traffic,
         hit_rate,
         busy_imbalance,
         fractions,
+        queries,
     })
 }
 
@@ -188,6 +230,54 @@ pub fn diff_reports(
             out.regressions.push(format!(
                 "critical_path.{key}: {c:.4} exceeds baseline {b:.4} (limit {limit:.4})"
             ));
+        }
+    }
+
+    // Per-query gate (schema v4): the workloads must line up pairwise in
+    // admission order, every per-query count must match exactly (a
+    // mismatch is a correctness bug, not a perf regression), and
+    // per-query critical-path fractions get the same adverse-movement
+    // check as the aggregate — but only when the query was enumerated on
+    // both sides (a memo hit has no path of its own).
+    out.compared.push(format!("queries: {} -> {}", base.queries.len(), cand.queries.len()));
+    if base.queries.len() != cand.queries.len() {
+        out.regressions.push(format!(
+            "queries: baseline has {}, candidate has {} — not the same workload",
+            base.queries.len(),
+            cand.queries.len()
+        ));
+    }
+    for (i, (b, c)) in base.queries.iter().zip(&cand.queries).enumerate() {
+        if b.pattern != c.pattern {
+            out.regressions.push(format!(
+                "queries[{i}].pattern: baseline {:?} != candidate {:?} — not the same workload",
+                b.pattern, c.pattern
+            ));
+            continue;
+        }
+        out.compared
+            .push(format!("queries[{i}].count ({}): {} -> {}", b.pattern, b.count, c.count));
+        if b.count != c.count {
+            out.regressions.push(format!(
+                "queries[{i}].count ({}): baseline {} != candidate {}",
+                b.pattern, b.count, c.count
+            ));
+        }
+        if b.memoized || c.memoized {
+            continue;
+        }
+        for ((key, bf), (_, cf)) in b.fractions.iter().zip(&c.fractions) {
+            if key == "compute" {
+                continue;
+            }
+            let limit = bf * (1.0 + t.frac_rel) + t.frac_abs;
+            if *cf > limit {
+                out.regressions.push(format!(
+                    "queries[{i}].critical_path.{key} ({}): {cf:.4} exceeds baseline {bf:.4} \
+                     (limit {limit:.4})",
+                    b.pattern
+                ));
+            }
         }
     }
 
@@ -311,6 +401,92 @@ mod tests {
         cand.critical_path.fractions.compute += 0.20;
         cand.critical_path.fractions.fetch_wait -= 0.20;
         let d = diff_reports(&base, &cand.to_json(), &DiffThresholds::default()).unwrap();
+        assert!(d.passed(), "regressions: {:?}", d.regressions);
+    }
+
+    fn with_queries(mut r: RunReport) -> RunReport {
+        use crate::report::QueryReport;
+        r.queries = vec![
+            QueryReport {
+                query_id: 1,
+                pattern: "triangle".to_string(),
+                memoized: false,
+                count: 60,
+                critical_path: CriticalPathSection {
+                    fractions: CriticalPathFractions {
+                        compute: 0.7,
+                        fetch_wait: 0.25,
+                        responder_queue: 0.04,
+                        retry_backoff: 0.01,
+                    },
+                    per_part: Vec::new(),
+                },
+                ..QueryReport::default()
+            },
+            QueryReport {
+                query_id: 2,
+                pattern: "triangle".to_string(),
+                memoized: true,
+                count: 60,
+                ..QueryReport::default()
+            },
+        ];
+        r
+    }
+
+    #[test]
+    fn per_query_count_mismatch_fails() {
+        // Satellite: the gate predates schema v4 and used to ignore
+        // queries[] entirely — a per-query count change must now fail
+        // even when the aggregate count happens to match.
+        let base = with_queries(base_report());
+        let mut cand = with_queries(base_report());
+        cand.queries[0].count = 59;
+        cand.queries[1].count = 61; // aggregate unchanged
+        let d = diff_reports(&base.to_json(), &cand.to_json(), &DiffThresholds::default()).unwrap();
+        assert!(!d.passed());
+        assert!(
+            d.regressions.iter().any(|r| r.contains("queries[0].count")),
+            "regressions: {:?}",
+            d.regressions
+        );
+    }
+
+    #[test]
+    fn per_query_workload_shape_must_match() {
+        let base = with_queries(base_report());
+        let mut fewer = with_queries(base_report());
+        fewer.queries.pop();
+        let d =
+            diff_reports(&base.to_json(), &fewer.to_json(), &DiffThresholds::default()).unwrap();
+        assert!(d.regressions.iter().any(|r| r.contains("not the same workload")));
+
+        let mut renamed = with_queries(base_report());
+        renamed.queries[0].pattern = "clique:4".to_string();
+        let d =
+            diff_reports(&base.to_json(), &renamed.to_json(), &DiffThresholds::default()).unwrap();
+        assert!(d.regressions.iter().any(|r| r.contains("queries[0].pattern")));
+    }
+
+    #[test]
+    fn per_query_fetch_wait_regression_fails_but_memo_hits_are_exempt() {
+        let base = with_queries(base_report());
+        let mut cand = with_queries(base_report());
+        cand.queries[0].critical_path.fractions.fetch_wait = 0.35;
+        cand.queries[0].critical_path.fractions.compute = 0.60;
+        let d = diff_reports(&base.to_json(), &cand.to_json(), &DiffThresholds::default()).unwrap();
+        assert!(
+            d.regressions.iter().any(|r| r.contains("queries[0].critical_path.fetch_wait")),
+            "regressions: {:?}",
+            d.regressions
+        );
+        // The memoized entry (all-zero fractions) never regresses.
+        assert!(!d.regressions.iter().any(|r| r.contains("queries[1].critical_path")));
+
+        // Identical per-query sections pass.
+        let clean = with_queries(base_report());
+        let d =
+            diff_reports(&base.to_json(), &clean.to_json(), &DiffThresholds::default()).unwrap();
         assert!(d.passed(), "regressions: {:?}", d.regressions);
     }
 

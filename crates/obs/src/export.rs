@@ -1,0 +1,329 @@
+//! Prometheus text exposition rendering and validation.
+//!
+//! The status server exposes `/metrics` in the Prometheus text format
+//! (version 0.0.4): `# HELP`/`# TYPE` comment lines followed by sample
+//! lines `name{label="value",...} value`. Rendering is plain string
+//! building — no deps — and [`validate_exposition`] is the CI-side
+//! check that what the server emits actually parses as that format
+//! (metric/label name charset, TYPE values, label escaping, numeric
+//! sample values).
+
+use std::fmt::Write;
+
+/// Prometheus metric types emitted by the exporter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotonically non-decreasing cumulative value.
+    Counter,
+    /// Instantaneous value that can go up and down.
+    Gauge,
+}
+
+impl PromKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One metric family: a name, help text, a type, and its samples.
+#[derive(Debug, Clone)]
+pub struct PromMetric {
+    /// Metric family name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: &'static str,
+    /// Help text for the `# HELP` line.
+    pub help: &'static str,
+    /// Counter or gauge.
+    pub kind: PromKind,
+    /// Samples: `(labels, value)` pairs; an empty label list renders a
+    /// bare sample line.
+    pub samples: Vec<(Vec<(&'static str, String)>, f64)>,
+}
+
+impl PromMetric {
+    /// A single-sample metric with no labels.
+    pub fn scalar(name: &'static str, help: &'static str, kind: PromKind, value: f64) -> Self {
+        PromMetric { name, help, kind, samples: vec![(Vec::new(), value)] }
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders metric families as Prometheus text exposition. Families with
+/// no samples are skipped entirely (Prometheus dislikes dangling TYPE
+/// lines); non-finite sample values render as `0` rather than `NaN`.
+pub fn render_prometheus(metrics: &[PromMetric]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        if m.samples.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+        let _ = writeln!(out, "# TYPE {} {}", m.name, m.kind.as_str());
+        for (labels, value) in &m.samples {
+            let v = if value.is_finite() { *value } else { 0.0 };
+            if labels.is_empty() {
+                let _ = writeln!(out, "{} {}", m.name, fmt_value(v));
+            } else {
+                let rendered: Vec<String> = labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+                    .collect();
+                let _ = writeln!(out, "{}{{{}}} {}", m.name, rendered.join(","), fmt_value(v));
+            }
+        }
+    }
+    out
+}
+
+/// Integral values render without a fractional part so u64 counters
+/// survive a text round trip exactly (within f64's 2^53 integer range).
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses the label block `k="v",k2="v2"` (without braces).
+fn check_labels(s: &str, line_no: usize) -> Result<(), String> {
+    let mut rest = s;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '=' in {rest:?}"))?;
+        let name = &rest[..eq];
+        if !valid_label_name(name) {
+            return Err(format!("line {line_no}: invalid label name {name:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("line {line_no}: label value must be quoted"));
+        }
+        // Scan the quoted value honoring backslash escapes.
+        let bytes = rest.as_bytes();
+        let mut i = 1;
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("line {line_no}: unterminated label value")),
+                Some(b'\\') => i += 2,
+                Some(b'"') => break,
+                Some(_) => i += 1,
+            }
+        }
+        rest = &rest[i + 1..];
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r,
+            None if rest.is_empty() => return Ok(()),
+            None => return Err(format!("line {line_no}: junk after label value: {rest:?}")),
+        }
+    }
+}
+
+/// Validates a Prometheus text exposition document: every non-comment
+/// line is `name[{labels}] value`, names match the Prometheus charset,
+/// every `# TYPE` names a known type and precedes its family's samples,
+/// no family has two TYPE lines, and sample values parse as floats.
+/// Returns the number of sample lines on success.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut typed: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                let kind = it.next().unwrap_or("").trim();
+                if !valid_metric_name(name) {
+                    return Err(format!("line {line_no}: invalid metric name in TYPE: {name:?}"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(format!("line {line_no}: unknown metric type {kind:?}"));
+                }
+                if typed.iter().any(|t| t == name) {
+                    return Err(format!("line {line_no}: duplicate TYPE for {name}"));
+                }
+                typed.push(name.to_string());
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {line_no}: invalid metric name in HELP: {name:?}"));
+                }
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_part, value_part) = match line.find('{') {
+            Some(brace) => {
+                let close =
+                    line.rfind('}').ok_or_else(|| format!("line {line_no}: '{{' without '}}'"))?;
+                if close < brace {
+                    return Err(format!("line {line_no}: '}}' before '{{'"));
+                }
+                let labels = &line[brace + 1..close];
+                if !labels.is_empty() {
+                    check_labels(labels, line_no)?;
+                }
+                (&line[..brace], line[close + 1..].trim())
+            }
+            None => {
+                let sp = line
+                    .find(' ')
+                    .ok_or_else(|| format!("line {line_no}: sample without value"))?;
+                (&line[..sp], line[sp + 1..].trim())
+            }
+        };
+        if !valid_metric_name(name_part) {
+            return Err(format!("line {line_no}: invalid metric name {name_part:?}"));
+        }
+        let mut fields = value_part.split_whitespace();
+        let value = fields.next().ok_or_else(|| format!("line {line_no}: missing value"))?;
+        if value.parse::<f64>().is_err() && !matches!(value, "NaN" | "+Inf" | "-Inf") {
+            return Err(format!("line {line_no}: value {value:?} is not a number"));
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {line_no}: timestamp {ts:?} is not an integer"));
+            }
+        }
+        if fields.next().is_some() {
+            return Err(format!("line {line_no}: trailing fields after value"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// Extracts the value of the first sample line matching `name` (exact
+/// family name) and, optionally, containing `label_frag` (a raw
+/// substring of the label block, e.g. `query="3"`). Utility for tests
+/// and `gpm top`-style consumers; returns `None` when absent.
+pub fn sample_value(text: &str, name: &str, label_frag: Option<&str>) -> Option<f64> {
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (metric, rest) = match line.find(['{', ' ']) {
+            Some(i) => (&line[..i], &line[i..]),
+            None => continue,
+        };
+        if metric != name {
+            continue;
+        }
+        if let Some(frag) = label_frag {
+            if !rest.contains(frag) {
+                continue;
+            }
+        }
+        let value = rest.rsplit(' ').next()?;
+        return value.parse().ok();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_families() -> Vec<PromMetric> {
+        vec![
+            PromMetric::scalar(
+                "khuzdul_fetch_requests_total",
+                "Remote adjacency requests issued",
+                PromKind::Counter,
+                1234.0,
+            ),
+            PromMetric {
+                name: "khuzdul_query_progress",
+                help: "Completion fraction per in-flight query",
+                kind: PromKind::Gauge,
+                samples: vec![
+                    (vec![("query", "1".into()), ("pattern", "triangle".into())], 0.5),
+                    (vec![("query", "2".into()), ("pattern", "clique:4".into())], 0.25),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn rendered_exposition_validates() {
+        let text = render_prometheus(&sample_families());
+        assert!(text.contains("# TYPE khuzdul_fetch_requests_total counter"));
+        assert!(text.contains("khuzdul_query_progress{query=\"1\",pattern=\"triangle\"} 0.5"));
+        let n = validate_exposition(&text).expect("rendered exposition must validate");
+        assert_eq!(n, 3);
+        assert_eq!(sample_value(&text, "khuzdul_fetch_requests_total", None), Some(1234.0));
+        assert_eq!(sample_value(&text, "khuzdul_query_progress", Some("query=\"2\"")), Some(0.25));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let m = PromMetric {
+            name: "m",
+            help: "h",
+            kind: PromKind::Gauge,
+            samples: vec![(vec![("p", "a\"b\\c".into())], 1.0)],
+        };
+        let text = render_prometheus(&[m]);
+        assert!(text.contains(r#"p="a\"b\\c""#), "got: {text}");
+        validate_exposition(&text).expect("escaped labels must validate");
+    }
+
+    #[test]
+    fn counters_render_integrally() {
+        let text = render_prometheus(&[PromMetric::scalar(
+            "bytes_total",
+            "b",
+            PromKind::Counter,
+            (1u64 << 52) as f64,
+        )]);
+        assert!(text.contains(&format!("bytes_total {}", 1u64 << 52)), "got: {text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("1bad_name 1\n").is_err());
+        assert!(validate_exposition("name{x=unquoted} 1\n").is_err());
+        assert!(validate_exposition("name{x=\"v\"} notanumber\n").is_err());
+        assert!(validate_exposition("# TYPE name wat\n").is_err());
+        assert!(validate_exposition("# TYPE name counter\n# TYPE name counter\n").is_err());
+        assert!(validate_exposition("name_without_value\n").is_err());
+        assert!(validate_exposition("name{9bad=\"v\"} 1\n").is_err());
+        assert!(validate_exposition("name{a=\"unterminated} 1\n").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_empty_and_comment_only_documents() {
+        assert_eq!(validate_exposition("").unwrap(), 0);
+        assert_eq!(validate_exposition("# just a comment\n\n").unwrap(), 0);
+        assert_eq!(validate_exposition("m 1 1234\n").unwrap(), 1, "timestamps are legal");
+    }
+}

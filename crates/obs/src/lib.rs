@@ -38,22 +38,28 @@
 
 mod critical;
 mod diff;
+mod export;
 mod hist;
+mod progress;
 mod recorder;
 mod report;
+mod rollup;
 mod span;
 mod trace;
 mod validate;
 
 pub use critical::critical_path;
 pub use diff::{diff_reports, DiffThresholds, ReportDiff};
+pub use export::{render_prometheus, sample_value, validate_exposition, PromKind, PromMetric};
 pub use hist::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+pub use progress::{PartProgress, QueryProgress};
 pub use recorder::{GaugeSample, Metric, ObsHandle, Recorder};
 pub use report::{
     BreakdownFractions, CriticalPathFractions, CriticalPathSection, FailureSection, NamedHistogram,
     PartCriticalPath, PartReport, QueryReport, RingOccupancy, RunReport, SeriesPoint, SpanStats,
     TrafficTotals, REPORT_SCHEMA_VERSION,
 };
+pub use rollup::{Rollup, Window};
 pub use span::{Span, SpanKind};
 pub use trace::chrome_trace;
 pub use validate::{parse_json, validate_report, validate_trace};

@@ -17,7 +17,9 @@ use serde::Serialize;
 /// v4: the report gained the `queries` section — one entry per query of
 /// a multi-tenant service run, each with its own count, traffic,
 /// `failures`, and `critical_path` (empty for a single-query run
-/// report).
+/// report). Additive (still v4): per-query `roots_total` /
+/// `roots_completed` progress totals and `memo_entries` /
+/// `memo_evictions` service-memo counters.
 pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// End-of-run traffic totals, mirroring the engine's `TrafficSummary`
@@ -218,6 +220,18 @@ pub struct QueryReport {
     pub failures: FailureSection,
     /// Critical-path attribution over this query's spans only.
     pub critical_path: CriticalPathSection,
+    /// Size of the root multiset this query enumerated (0 when progress
+    /// tracking was disabled, and for memoized queries). Additive in v4.
+    pub roots_total: u64,
+    /// Roots retired by the time the query finished — at least
+    /// `roots_total` for a successful run, higher when a recovery pass
+    /// re-executed lost roots. 0 when progress tracking was disabled.
+    pub roots_completed: u64,
+    /// Service memo entries resident when this query completed.
+    /// Additive in v4.
+    pub memo_entries: u64,
+    /// Cumulative memo evictions by the time this query completed.
+    pub memo_evictions: u64,
 }
 
 /// The versioned run report written by `--report-out`.
@@ -456,6 +470,10 @@ mod tests {
                     },
                     per_part: Vec::new(),
                 },
+                roots_total: 300,
+                roots_completed: 309,
+                memo_entries: 1,
+                memo_evictions: 0,
             }],
         }
     }
@@ -476,6 +494,8 @@ mod tests {
         assert!(a.contains("\"queries\""));
         assert!(a.contains("\"query_id\": 1"));
         assert!(a.contains("\"memoized\": false"));
+        assert!(a.contains("\"roots_total\": 300"));
+        assert!(a.contains("\"memo_evictions\": 0"));
     }
 
     #[test]

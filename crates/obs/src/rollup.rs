@@ -1,0 +1,227 @@
+//! Rolling-window metric rollups for the live status plane.
+//!
+//! The engine's counters (`ClusterMetrics`, the service memo counters)
+//! are cumulative: good for end-of-run reports, useless for "what is
+//! the fetch rate *right now*". A [`Rollup`] turns periodic cumulative
+//! snapshots into a fixed-capacity ring of windowed **deltas** (plus
+//! instantaneous gauge samples), computed entirely off the hot path —
+//! the sampler thread reads the counters, the mutators never see the
+//! rollup.
+//!
+//! **Conservation invariant**: deltas are exact, never resampled, so at
+//! any point `baseline + evicted + Σ window deltas == latest
+//! cumulative`, per counter. Evicted windows fold their deltas into
+//! [`Rollup::evicted_totals`] rather than vanishing; a proptest below
+//! holds the invariant over arbitrary monotone counter sequences.
+
+use std::collections::VecDeque;
+
+/// One rolled-up interval: counter deltas over `[t_ns - dt_ns, t_ns]`
+/// and gauge values sampled at `t_ns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Window {
+    /// Sample time of the window's right edge, nanoseconds on the
+    /// caller's clock.
+    pub t_ns: u64,
+    /// Width of the window, nanoseconds (right edge minus the previous
+    /// sample).
+    pub dt_ns: u64,
+    /// Per-counter increments over this window, in counter order.
+    pub deltas: Vec<u64>,
+    /// Per-gauge instantaneous values at `t_ns`, in gauge order.
+    pub gauges: Vec<u64>,
+}
+
+/// Fixed-capacity ring of windowed counter deltas and gauge samples.
+#[derive(Debug)]
+pub struct Rollup {
+    counter_names: Vec<&'static str>,
+    gauge_names: Vec<&'static str>,
+    capacity: usize,
+    /// Cumulative counter values at the very first push; deltas measure
+    /// growth from here.
+    baseline: Option<Vec<u64>>,
+    /// Cumulative counter values and time of the latest push.
+    last: Option<(u64, Vec<u64>)>,
+    windows: VecDeque<Window>,
+    /// Per-counter deltas of windows that fell off the ring.
+    evicted: Vec<u64>,
+}
+
+impl Rollup {
+    /// A rollup over the given counters and gauges keeping at most
+    /// `capacity` windows (at least 1).
+    pub fn new(
+        counter_names: Vec<&'static str>,
+        gauge_names: Vec<&'static str>,
+        capacity: usize,
+    ) -> Rollup {
+        let evicted = vec![0; counter_names.len()];
+        Rollup {
+            counter_names,
+            gauge_names,
+            capacity: capacity.max(1),
+            baseline: None,
+            last: None,
+            windows: VecDeque::new(),
+            evicted,
+        }
+    }
+
+    /// Counter names, in the order `push` expects them.
+    pub fn counter_names(&self) -> &[&'static str] {
+        &self.counter_names
+    }
+
+    /// Gauge names, in the order `push` expects them.
+    pub fn gauge_names(&self) -> &[&'static str] {
+        &self.gauge_names
+    }
+
+    /// Feeds one cumulative snapshot taken at `t_ns`. The first push
+    /// records the baseline and opens no window; every later push closes
+    /// the window since the previous one. Counters must be monotone
+    /// (cumulative); a regressing counter clamps its delta to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters` or `gauges` disagree with the arity fixed at
+    /// construction.
+    pub fn push(&mut self, t_ns: u64, counters: &[u64], gauges: &[u64]) {
+        assert_eq!(counters.len(), self.counter_names.len(), "counter arity");
+        assert_eq!(gauges.len(), self.gauge_names.len(), "gauge arity");
+        let Some((last_t, last_c)) = self.last.replace((t_ns, counters.to_vec())) else {
+            self.baseline = Some(counters.to_vec());
+            return;
+        };
+        let deltas: Vec<u64> =
+            counters.iter().zip(&last_c).map(|(c, l)| c.saturating_sub(*l)).collect();
+        self.windows.push_back(Window {
+            t_ns,
+            dt_ns: t_ns.saturating_sub(last_t),
+            deltas,
+            gauges: gauges.to_vec(),
+        });
+        while self.windows.len() > self.capacity {
+            let old = self.windows.pop_front().expect("nonempty ring");
+            for (e, d) in self.evicted.iter_mut().zip(&old.deltas) {
+                *e += d;
+            }
+        }
+    }
+
+    /// The retained windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &Window> {
+        self.windows.iter()
+    }
+
+    /// Number of retained windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window has been closed yet.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Per-counter deltas accumulated by windows that fell off the ring.
+    pub fn evicted_totals(&self) -> &[u64] {
+        &self.evicted
+    }
+
+    /// Cumulative counter values at the first push (all zero before it).
+    pub fn baseline(&self) -> Vec<u64> {
+        self.baseline.clone().unwrap_or_else(|| vec![0; self.counter_names.len()])
+    }
+
+    /// Cumulative counter values at the latest push (the baseline before
+    /// any window closed, all zero before the first push).
+    pub fn latest_cumulative(&self) -> Vec<u64> {
+        self.last
+            .as_ref()
+            .map(|(_, c)| c.clone())
+            .unwrap_or_else(|| vec![0; self.counter_names.len()])
+    }
+
+    /// Rate of counter `idx` per second over the retained windows: total
+    /// retained delta over the covered wall time. 0.0 with fewer than
+    /// one window or zero covered time.
+    pub fn rate_per_sec(&self, idx: usize) -> f64 {
+        let span_ns: u64 = self.windows.iter().map(|w| w.dt_ns).sum();
+        if span_ns == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.windows.iter().map(|w| w.deltas[idx]).sum();
+        total as f64 * 1e9 / span_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn conservation_holds(r: &Rollup) -> bool {
+        let baseline = r.baseline();
+        let latest = r.latest_cumulative();
+        (0..baseline.len()).all(|i| {
+            let windows: u64 = r.windows().map(|w| w.deltas[i]).sum();
+            baseline[i] + r.evicted_totals()[i] + windows == latest[i]
+        })
+    }
+
+    #[test]
+    fn deltas_and_eviction_conserve_the_cumulative_total() {
+        let mut r = Rollup::new(vec!["requests", "bytes"], vec!["queue"], 3);
+        r.push(0, &[0, 0], &[5]);
+        assert!(r.is_empty(), "first push is the baseline, no window");
+        for (t, (reqs, bytes)) in [(10, 20), (25, 60), (40, 60), (70, 200), (90, 512)]
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| ((i as u64 + 1) * 1000, v))
+        {
+            r.push(t, &[reqs, bytes], &[t / 100]);
+            assert!(conservation_holds(&r));
+        }
+        assert_eq!(r.len(), 3, "ring capacity caps retained windows");
+        assert_eq!(r.latest_cumulative(), vec![90, 512]);
+        // First two windows were evicted: deltas 10+15 and 20+40.
+        assert_eq!(r.evicted_totals(), &[25, 60]);
+        assert!(r.rate_per_sec(0) > 0.0);
+        // Gauge samples are instantaneous, not deltas.
+        assert_eq!(r.windows().last().unwrap().gauges, vec![50]);
+    }
+
+    #[test]
+    fn nonzero_baseline_is_not_counted_as_growth() {
+        let mut r = Rollup::new(vec!["c"], vec![], 8);
+        r.push(100, &[1000], &[]);
+        r.push(200, &[1010], &[]);
+        assert_eq!(r.windows().next().unwrap().deltas, vec![10]);
+        assert!(conservation_holds(&r));
+    }
+
+    proptest! {
+        /// Satellite: windowed deltas (plus evictions and the baseline)
+        /// sum to the cumulative counters, for any monotone counter
+        /// sequence and any ring capacity.
+        #[test]
+        fn windowed_deltas_sum_to_cumulative_counters(
+            increments in proptest::collection::vec(
+                proptest::collection::vec(0u64..1000, 3..4), 1..40),
+            capacity in 1usize..10,
+        ) {
+            let mut r = Rollup::new(vec!["a", "b", "c"], vec!["g"], capacity);
+            let mut cum = [0u64; 3];
+            for (i, inc) in increments.iter().enumerate() {
+                for (c, d) in cum.iter_mut().zip(inc) {
+                    *c += d;
+                }
+                r.push(i as u64 * 500, &cum, &[i as u64]);
+                prop_assert!(conservation_holds(&r));
+            }
+            prop_assert!(r.len() <= capacity);
+        }
+    }
+}
