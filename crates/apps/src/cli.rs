@@ -15,8 +15,8 @@ use gpm_obs::{DiffThresholds, Recorder, RunReport, REPORT_SCHEMA_VERSION};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
 use khuzdul::{
-    CrashAt, Engine, EngineConfig, FabricConfig, FaultPlan, MiningService, ObsConfig, RunStats,
-    ServiceConfig, StatusConfig, StatusServer, StealConfig,
+    ControlConfig, ControlMode, CrashAt, Engine, EngineConfig, FabricConfig, FaultPlan,
+    MiningService, ObsConfig, RunStats, ServiceConfig, StatusConfig, StatusServer, StealConfig,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -48,9 +48,10 @@ pub struct Options {
     pub retries: u32,
     /// Fraction of fetch replies to drop (fault injection; 0 = off).
     pub fault_drop: f64,
-    /// Scheduled fail-stop crash: kill part PART after AFTER requests
-    /// (`--fault-crash PART@AFTER`; Khuzdul systems only).
-    pub fault_crash: Option<(usize, u64)>,
+    /// Scheduled fail-stop crashes: kill part PART after AFTER requests
+    /// (`--fault-crash PART@AFTER`, repeatable for chained failures;
+    /// Khuzdul systems only).
+    pub fault_crash: Vec<(usize, u64)>,
     /// Edge-list replication factor (`--replication N`); with N >= 2 the
     /// engine survives a single fail-stop part failure.
     pub replication: usize,
@@ -67,6 +68,12 @@ pub struct Options {
     pub steal: bool,
     /// Root batch granularity for steals (`--steal-batch`).
     pub steal_batch: usize,
+    /// Which carrier coordinates cross-part claims and steals
+    /// (`--control shared|msg`; Khuzdul systems only). `shared` is the
+    /// in-process atomic ledger, `msg` routes every claim, donation,
+    /// retirement, and quiescence vote as typed control messages over
+    /// the same fabric that moves edge lists.
+    pub control: ControlMode,
 }
 
 /// Graph source.
@@ -147,13 +154,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut window = fabric_default.window;
     let mut retries = fabric_default.retry.max_attempts;
     let mut fault_drop = 0.0f64;
-    let mut fault_crash: Option<(usize, u64)> = None;
+    let mut fault_crash: Vec<(usize, u64)> = Vec::new();
     let mut replication = 1usize;
     let mut fail_fast = false;
     let mut trace_out: Option<String> = None;
     let mut report_out: Option<String> = None;
     let mut steal = true;
     let mut steal_batch = StealConfig::default().batch;
+    let mut control = ControlMode::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
@@ -171,7 +179,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--window" => window = parse_num(value()?)?,
             "--retries" => retries = parse_num(value()?)? as u32,
             "--fault-drop" => fault_drop = parse_fraction(value()?)?,
-            "--fault-crash" => fault_crash = Some(parse_crash(value()?)?),
+            "--fault-crash" => fault_crash.push(parse_crash(value()?)?),
             "--replication" => replication = parse_num(value()?)?,
             "--fail-fast" => fail_fast = true,
             "--trace-out" => trace_out = Some(value()?.to_string()),
@@ -184,6 +192,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--steal-batch" => steal_batch = parse_num(value()?)?,
+            "--control" => control = parse_control(value()?)?,
             "--help" | "-h" => return Err("see the crate docs for usage".into()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -207,6 +216,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         report_out,
         steal,
         steal_batch: steal_batch.max(1),
+        control,
+    })
+}
+
+/// Parses a `--control` spec: the steal/claim coordination carrier.
+fn parse_control(s: &str) -> Result<ControlMode, String> {
+    Ok(match s {
+        "shared" => ControlMode::Shared,
+        "msg" => ControlMode::Msg,
+        other => return Err(format!("--control takes shared|msg, not '{other}'")),
     })
 }
 
@@ -368,6 +387,7 @@ fn run_serve(args: &[String]) -> Result<String, String> {
     let mut max_concurrent = 2usize;
     let mut root_budget = khuzdul::DEFAULT_ROOT_BUDGET;
     let mut steal = true;
+    let mut control = ControlMode::default();
     let mut quiet = false;
     let mut report_out: Option<String> = None;
     let mut status_addr: Option<String> = None;
@@ -394,6 +414,7 @@ fn run_serve(args: &[String]) -> Result<String, String> {
                     other => return Err(format!("--steal takes on|off, not '{other}'")),
                 }
             }
+            "--control" => control = parse_control(value()?)?,
             "--quiet" => quiet = true,
             "--report-out" => report_out = Some(value()?.to_string()),
             "--status-addr" => status_addr = Some(value()?.to_string()),
@@ -424,6 +445,7 @@ fn run_serve(args: &[String]) -> Result<String, String> {
             compute_threads: threads.max(1),
             obs,
             steal: StealConfig { enabled: steal, ..StealConfig::default() },
+            control: ControlConfig { mode: control, ..ControlConfig::default() },
             ..EngineConfig::default()
         },
     ));
@@ -926,14 +948,14 @@ fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
             let mut fabric = FabricConfig { window: opts.window, ..FabricConfig::default() };
             fabric.retry.max_attempts = opts.retries;
             fabric.fail_fast = opts.fail_fast;
-            if opts.fault_drop > 0.0 || opts.fault_crash.is_some() {
+            if opts.fault_drop > 0.0 || !opts.fault_crash.is_empty() {
                 let mut fault = if opts.fault_drop > 0.0 {
                     FaultPlan::drops(opts.fault_drop)
                 } else {
                     FaultPlan::default()
                 };
-                if let Some((part, after)) = opts.fault_crash {
-                    fault.crash = Some(CrashAt { part, after_requests: after });
+                for &(part, after) in &opts.fault_crash {
+                    fault.crashes.push(CrashAt { part, after_requests: after });
                 }
                 fabric.fault = Some(fault);
                 // Dropped replies and a crashed part's abandoned requests
@@ -954,7 +976,12 @@ fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
                     compute_threads: opts.threads,
                     fabric,
                     obs,
-                    steal: StealConfig { enabled: opts.steal, batch: opts.steal_batch },
+                    steal: StealConfig {
+                        enabled: opts.steal,
+                        batch: opts.steal_batch,
+                        ..StealConfig::default()
+                    },
+                    control: ControlConfig { mode: opts.control, ..ControlConfig::default() },
                     ..EngineConfig::default()
                 },
             );
@@ -1117,11 +1144,18 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(o.replication, 2);
-        assert_eq!(o.fault_crash, Some((2, 5000)));
+        assert_eq!(o.fault_crash, vec![(2, 5000)]);
         assert!(o.fail_fast);
+        // The flag repeats: chained failures accumulate in order.
+        let multi = parse_args(&argv(
+            "--gen ba:100,3 --pattern triangle --replication 3 \
+             --fault-crash 1@40 --fault-crash 2@90",
+        ))
+        .unwrap();
+        assert_eq!(multi.fault_crash, vec![(1, 40), (2, 90)]);
         let d = parse_args(&argv("--gen ba:100,3 --pattern triangle")).unwrap();
         assert_eq!(d.replication, 1);
-        assert_eq!(d.fault_crash, None);
+        assert!(d.fault_crash.is_empty());
         assert!(!d.fail_fast);
         // Replication 0 is clamped to the un-replicated baseline.
         let z = parse_args(&argv("--gen ba:100,3 --pattern triangle --replication 0")).unwrap();
@@ -1129,6 +1163,18 @@ mod tests {
         assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --fault-crash 2")).is_err());
         assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --fault-crash x@5")).is_err());
         assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --fault-crash 2@y")).is_err());
+    }
+
+    #[test]
+    fn parse_control_flag() {
+        let d = parse_args(&argv("--gen ba:100,3 --pattern triangle")).unwrap();
+        assert_eq!(d.control, ControlMode::Shared, "shared atomics stay the default");
+        let m = parse_args(&argv("--gen ba:100,3 --pattern triangle --control msg")).unwrap();
+        assert_eq!(m.control, ControlMode::Msg);
+        let s = parse_args(&argv("--gen ba:100,3 --pattern triangle --control shared")).unwrap();
+        assert_eq!(s.control, ControlMode::Shared);
+        let e = parse_args(&argv("--gen ba:100,3 --pattern triangle --control carrier-pigeon"));
+        assert!(e.unwrap_err().contains("shared|msg"));
     }
 
     #[test]
@@ -1325,6 +1371,7 @@ mod tests {
             series: Vec::new(),
             spans: Default::default(),
             failures: Default::default(),
+            control: Default::default(),
             queries: Vec::new(),
         };
         let dir = std::env::temp_dir().join(format!("gpm-cli-diff-{}", std::process::id()));

@@ -131,6 +131,7 @@ impl CtdCluster {
                 ..TrafficSummary::default()
             },
             failures: Default::default(),
+            control: Default::default(),
         }
     }
 }

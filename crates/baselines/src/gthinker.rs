@@ -137,6 +137,7 @@ impl GThinker {
             per_part,
             traffic,
             failures: Default::default(),
+            control: Default::default(),
         }
     }
 }

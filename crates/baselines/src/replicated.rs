@@ -154,6 +154,7 @@ impl ReplicatedCluster {
                 ..TrafficSummary::default()
             },
             failures: Default::default(),
+            control: Default::default(),
         }
     }
 }

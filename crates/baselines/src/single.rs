@@ -150,6 +150,7 @@ impl SingleMachine {
             per_part: vec![PartStats { count: 0, compute: elapsed, ..PartStats::default() }],
             traffic: Default::default(),
             failures: Default::default(),
+            control: Default::default(),
         }
     }
 }

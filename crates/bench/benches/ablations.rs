@@ -164,7 +164,7 @@ fn steal(c: &mut Criterion) {
         for (sname, enabled) in [("steal_on", true), ("steal_off", false)] {
             let cfg = || EngineConfig {
                 compute_threads: 2,
-                steal: StealConfig { enabled, batch: 256 },
+                steal: StealConfig { enabled, batch: 256, ..StealConfig::default() },
                 obs: khuzdul::ObsConfig::enabled(),
                 ..EngineConfig::default()
             };

@@ -78,6 +78,7 @@ impl App {
                     ..Default::default()
                 },
                 failures: Default::default(),
+                control: Default::default(),
             };
         }
         let mut total = RunStats::default();

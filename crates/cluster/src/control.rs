@@ -1,0 +1,664 @@
+//! The control-plane message layer: a run-scoped responder serving the
+//! cross-part work-coordination protocol (root claims, steals, donations,
+//! batch retirements, starvation signals, quiescence votes, and
+//! recovery-log queries) as typed messages instead of shared-memory
+//! atomics.
+//!
+//! Where the data plane ([`crate::transport`]/[`crate::fabric`]) moves
+//! edge lists, this layer moves *scheduling state*. The shapes mirror the
+//! data plane deliberately: non-blocking submission over crossbeam
+//! channels, per-attempt sequence numbers feeding the same deterministic
+//! [`FaultPlan`] decision space, timeout/retry with exponential backoff,
+//! and per-message spans. One thing is new: control operations **mutate**
+//! the ledger, so the protocol must be exactly-once where data fetches
+//! only needed at-least-once. Every request carries a `req_id` stable
+//! across retries, and the responder keeps a one-deep reply cache per
+//! sender: a retry of an operation whose reply was lost in the network is
+//! answered from the cache instead of being applied twice. One-deep is
+//! sound because each client part issues control operations strictly
+//! sequentially.
+//!
+//! The ledger state itself (cursors, spill, claim/donate logs, the
+//! outstanding-batch count) lives *only inside the responder thread* — no
+//! shared memory between client parts, which is exactly the property that
+//! lets this carrier stretch over a real multi-process transport later.
+
+use crate::fabric::{FetchError, RetryPolicy};
+use crate::metrics::{ClusterMetrics, PartMetrics, QueryMetrics};
+use crate::transport::{
+    CtrlClaimSource, CtrlOp, CtrlPayload, CtrlReply, CtrlRequest, Fault, FaultPlan,
+};
+use crate::PartId;
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use gpm_graph::VertexId;
+use gpm_obs::{Metric, Recorder, SpanKind};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of one control-ledger responder.
+#[derive(Debug, Clone)]
+pub struct ControlLedgerConfig {
+    /// Whether idle parts may claim the spill or steal victim ranges.
+    pub stealing: bool,
+    /// Upper bound on roots per spill claim or steal.
+    pub batch: usize,
+    /// `Some(sockets_per_machine)` enables NUMA-aware victim ordering:
+    /// thieves prefer same-machine victims before crossing the network.
+    pub numa: Option<usize>,
+    /// Timeout/retry policy of every control client.
+    pub retry: RetryPolicy,
+    /// Optional deterministic fault plan applied to control messages
+    /// (the fractions partition the same per-`(part, seq)` draw as the
+    /// data plane; scheduled crashes are ignored here — they belong to
+    /// the data transport).
+    pub fault: Option<FaultPlan>,
+    /// Query id stamped on control spans and per-query counters.
+    pub query: u64,
+}
+
+impl Default for ControlLedgerConfig {
+    fn default() -> Self {
+        ControlLedgerConfig {
+            stealing: false,
+            batch: 256,
+            numa: None,
+            retry: RetryPolicy::default(),
+            fault: None,
+            query: 0,
+        }
+    }
+}
+
+enum ServiceMsg {
+    Op { req: CtrlRequest, reply_to: Sender<CtrlReply> },
+    Shutdown,
+}
+
+/// The run-scoped control responder: one thread owning the entire
+/// coordination state, serving [`CtrlRequest`]s from every part's
+/// [`ControlClient`]. Dropping the service shuts the thread down and
+/// joins it.
+#[derive(Debug)]
+pub struct ControlLedgerService {
+    tx: Sender<ServiceMsg>,
+    handle: parking_lot::Mutex<Option<JoinHandle<()>>>,
+    seq: Arc<AtomicU64>,
+    cfg: ControlLedgerConfig,
+    metrics: ClusterMetrics,
+    obs: Arc<Recorder>,
+}
+
+/// All responder-side state. Mirrors `RootLedger` field for field, minus
+/// the atomics — single-threaded ownership replaces them.
+struct LedgerState {
+    /// Per-part owned root lists (empty in recovery mode: every cursor
+    /// starts exhausted and only the spill feeds claims).
+    roots: Vec<Vec<VertexId>>,
+    /// Next unclaimed index into each part's `roots`.
+    cursor: Vec<usize>,
+    /// Donated level-0 root ranges, claimable by any part.
+    spill: Vec<VertexId>,
+    /// Per-part multiset of every root the part has claimed.
+    claim_log: Vec<Vec<VertexId>>,
+    /// Per-part multiset of every root the part donated to the spill.
+    donate_log: Vec<Vec<VertexId>>,
+    /// Claimed-but-not-retired batches (the message-plane analogue of
+    /// the shared ledger's `WorkCounter`).
+    outstanding: u64,
+    /// Which parts are currently flagged starving.
+    starving: Vec<bool>,
+    /// One-deep reply cache per sender part: `(req_id, reply)` of the
+    /// last operation applied for that part, replayed on duplicate
+    /// `req_id` so retries are exactly-once.
+    last_reply: Vec<Option<(u64, CtrlReply)>>,
+    stealing: bool,
+    batch: usize,
+    numa: Option<usize>,
+}
+
+impl LedgerState {
+    fn remaining(&self, part: usize) -> usize {
+        self.roots[part].len().saturating_sub(self.cursor[part])
+    }
+
+    fn claim_range(&mut self, part: usize, n: usize) -> Option<Vec<VertexId>> {
+        if n == 0 || self.cursor[part] >= self.roots[part].len() {
+            return None;
+        }
+        let start = self.cursor[part];
+        let end = (start + n).min(self.roots[part].len());
+        self.cursor[part] = end;
+        Some(self.roots[part][start..end].to_vec())
+    }
+
+    fn same_machine(&self, me: usize, p: usize) -> bool {
+        match self.numa {
+            Some(spm) => p / spm == me / spm,
+            None => false,
+        }
+    }
+
+    /// Mirrors `RootLedger::claim`: own range, then spill tail, then the
+    /// most-loaded victim (same-machine first under NUMA ordering).
+    fn claim(&mut self, me: usize, own_batch: usize) -> CtrlPayload {
+        if let Some(roots) = self.claim_range(me, own_batch) {
+            return self.book_claim(me, CtrlClaimSource::Own, roots);
+        }
+        if !self.stealing {
+            return CtrlPayload::NoWork;
+        }
+        if !self.spill.is_empty() {
+            let take = self.batch.min(self.spill.len());
+            let roots = self.spill.split_off(self.spill.len() - take);
+            return self.book_claim(me, CtrlClaimSource::Spill, roots);
+        }
+        let victim = (0..self.roots.len())
+            .filter(|&p| p != me && self.remaining(p) > 0)
+            .max_by_key(|&p| (self.same_machine(me, p), self.remaining(p)));
+        match victim {
+            Some(v) => match self.claim_range(v, self.batch) {
+                Some(roots) => self.book_claim(me, CtrlClaimSource::Stolen(v), roots),
+                None => CtrlPayload::NoWork,
+            },
+            None => CtrlPayload::NoWork,
+        }
+    }
+
+    fn book_claim(
+        &mut self,
+        me: usize,
+        source: CtrlClaimSource,
+        roots: Vec<VertexId>,
+    ) -> CtrlPayload {
+        self.outstanding += 1;
+        self.claim_log[me].extend_from_slice(&roots);
+        CtrlPayload::Claimed { source, roots }
+    }
+
+    fn finished(&self) -> bool {
+        self.outstanding == 0
+            && (0..self.roots.len()).all(|p| self.remaining(p) == 0)
+            && self.spill.is_empty()
+    }
+
+    /// Mirrors `RootLedger::lost_roots`: claim log minus donate log per
+    /// dead part, plus its unclaimed cursor tail, plus the whole spill.
+    fn close_dead(&mut self, dead: &[PartId]) -> Vec<VertexId> {
+        let mut lost = Vec::new();
+        for &d in dead {
+            let mut donated: HashMap<VertexId, usize> = HashMap::new();
+            for &r in &self.donate_log[d] {
+                *donated.entry(r).or_insert(0) += 1;
+            }
+            for &r in &self.claim_log[d] {
+                match donated.get_mut(&r) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => lost.push(r),
+                }
+            }
+            if let Some(mut tail) = self.claim_range(d, self.remaining(d)) {
+                lost.append(&mut tail);
+            }
+        }
+        lost.append(&mut self.spill);
+        lost
+    }
+
+    fn apply(&mut self, req: &CtrlRequest) -> CtrlPayload {
+        match &req.op {
+            CtrlOp::Claim { own_batch } => self.claim(req.from, *own_batch),
+            CtrlOp::BatchDone => {
+                self.outstanding = self.outstanding.saturating_sub(1);
+                CtrlPayload::Ack
+            }
+            CtrlOp::Donate { roots } => {
+                if !roots.is_empty() {
+                    self.donate_log[req.from].extend_from_slice(roots);
+                    self.spill.extend_from_slice(roots);
+                }
+                CtrlPayload::Ack
+            }
+            CtrlOp::Starving { on } => {
+                self.starving[req.from] = *on;
+                CtrlPayload::Ack
+            }
+            CtrlOp::Poll => CtrlPayload::Status {
+                finished: self.finished(),
+                starving: self.starving.iter().filter(|&&s| s).count(),
+            },
+            CtrlOp::CloseDead { dead } => CtrlPayload::Lost { roots: self.close_dead(dead) },
+        }
+    }
+}
+
+impl ControlLedgerService {
+    /// Starts the responder thread over `roots` (one owned root list per
+    /// part) with `spill` pre-seeded (empty for a normal run; the lost
+    /// multiset for a recovery pass, whose per-part lists are then
+    /// empty so only the spill feeds claims).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault plan fails [`FaultPlan::validate`].
+    pub fn start(
+        roots: Vec<Vec<VertexId>>,
+        spill: Vec<VertexId>,
+        cfg: ControlLedgerConfig,
+        metrics: &ClusterMetrics,
+        obs: Arc<Recorder>,
+    ) -> ControlLedgerService {
+        if let Some(plan) = &cfg.fault {
+            plan.validate();
+        }
+        let n = roots.len();
+        let mut state = LedgerState {
+            roots,
+            cursor: vec![0; n],
+            spill,
+            claim_log: vec![Vec::new(); n],
+            donate_log: vec![Vec::new(); n],
+            outstanding: 0,
+            starving: vec![false; n],
+            last_reply: vec![None; n],
+            stealing: cfg.stealing,
+            batch: cfg.batch.max(1),
+            numa: cfg.numa.map(|spm| spm.max(1)),
+        };
+        let (tx, rx) = unbounded::<ServiceMsg>();
+        let handle = std::thread::Builder::new()
+            .name(format!("khuzdul-ctrl-{}", cfg.query))
+            .spawn(move || {
+                while let Ok(ServiceMsg::Op { req, reply_to }) = rx.recv() {
+                    if let Some((id, cached)) = &state.last_reply[req.from] {
+                        if *id == req.req_id {
+                            // A retry of an already-applied operation:
+                            // replay the cached reply, apply nothing.
+                            let _ = reply_to.send(cached.clone());
+                            continue;
+                        }
+                    }
+                    let payload = state.apply(&req);
+                    let reply = CtrlReply { req_id: req.req_id, payload };
+                    state.last_reply[req.from] = Some((req.req_id, reply.clone()));
+                    let _ = reply_to.send(reply);
+                }
+            })
+            .expect("spawn control responder thread");
+        ControlLedgerService {
+            tx,
+            handle: parking_lot::Mutex::new(Some(handle)),
+            seq: Arc::new(AtomicU64::new(0)),
+            cfg,
+            metrics: metrics.clone(),
+            obs,
+        }
+    }
+
+    /// A client through which `part` issues control operations.
+    pub fn client(&self, part: PartId) -> ControlClient {
+        ControlClient {
+            tx: self.tx.clone(),
+            part,
+            query: self.cfg.query,
+            seq: Arc::clone(&self.seq),
+            retry: self.cfg.retry,
+            fault: self.cfg.fault.clone(),
+            part_metrics: Arc::clone(self.metrics.part(part)),
+            query_metrics: self.metrics.query(self.cfg.query),
+            obs: Arc::clone(&self.obs),
+        }
+    }
+}
+
+impl Drop for ControlLedgerService {
+    fn drop(&mut self) {
+        let _ = self.tx.send(ServiceMsg::Shutdown);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One part's handle to the control responder: blocking call semantics
+/// over the non-blocking channel, with the data fabric's timeout/retry
+/// discipline (fresh `seq` per attempt, exponential backoff capped at
+/// sixteen doublings, [`FetchError::Timeout`] on exhaustion).
+#[derive(Debug, Clone)]
+pub struct ControlClient {
+    tx: Sender<ServiceMsg>,
+    part: PartId,
+    query: u64,
+    seq: Arc<AtomicU64>,
+    retry: RetryPolicy,
+    fault: Option<FaultPlan>,
+    part_metrics: Arc<PartMetrics>,
+    query_metrics: Arc<QueryMetrics>,
+    obs: Arc<Recorder>,
+}
+
+impl ControlClient {
+    /// The part this client issues operations for.
+    pub fn part(&self) -> PartId {
+        self.part
+    }
+
+    /// Issues `op` and blocks for its reply, retrying with backoff on
+    /// timeouts and injected faults.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::Timeout`] after `retry.max_attempts` lost attempts,
+    /// [`FetchError::Shutdown`] if the responder is gone.
+    pub fn call(&self, op: CtrlOp) -> Result<CtrlPayload, FetchError> {
+        let req_id = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let t0 = self.obs.now_ns();
+        let code = op.code();
+        let is_claim = matches!(op, CtrlOp::Claim { .. });
+        let (reply_tx, reply_rx) = unbounded::<CtrlReply>();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let req =
+                CtrlRequest { seq, req_id, query: self.query, from: self.part, op: op.clone() };
+            self.part_metrics.record_ctrl_sent();
+            self.query_metrics.record_ctrl_sent();
+            let fate = self.fault.as_ref().map_or(Fault::None, |p| p.decide(self.part, seq));
+            match fate {
+                Fault::None => self.send(req, reply_tx.clone())?,
+                Fault::Drop => {
+                    // The responder still applies the operation — the
+                    // reply is lost in the network. The retry below is
+                    // answered from the responder's dedup cache.
+                    self.part_metrics.record_ctrl_dropped();
+                    self.query_metrics.record_ctrl_dropped();
+                    self.fault_instant(1, req_id);
+                    let (black_hole, _) = unbounded::<CtrlReply>();
+                    self.send(req, black_hole)?;
+                }
+                Fault::Error => {
+                    // A transient wire error: the responder never sees
+                    // the request; the client observes an injected
+                    // failure immediately and retries.
+                    self.fault_instant(2, req_id);
+                    let _ = reply_tx.send(CtrlReply { req_id, payload: CtrlPayload::Injected });
+                }
+                Fault::Delay => {
+                    self.fault_instant(3, req_id);
+                    let (tx, rx) = unbounded::<CtrlReply>();
+                    let delay = self.fault.as_ref().expect("delay fate implies a plan").delay;
+                    let forward = reply_tx.clone();
+                    std::thread::spawn(move || {
+                        if let Ok(reply) = rx.recv() {
+                            std::thread::sleep(delay);
+                            let _ = forward.send(reply);
+                        }
+                    });
+                    self.send(req, tx)?;
+                }
+            }
+            match reply_rx.recv_timeout(self.retry.timeout) {
+                Ok(reply) if reply.payload != CtrlPayload::Injected => {
+                    self.obs.record_span_for(
+                        self.query,
+                        SpanKind::CtrlMsg,
+                        self.part as u32,
+                        t0,
+                        code,
+                        req_id,
+                    );
+                    if is_claim {
+                        self.obs.observe(Metric::CtrlRttNs, self.obs.now_ns().saturating_sub(t0));
+                    }
+                    return Ok(reply.payload);
+                }
+                Ok(_injected) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(FetchError::Shutdown),
+            }
+            if attempts >= self.retry.max_attempts.max(1) {
+                return Err(FetchError::Timeout { target: self.part, attempts });
+            }
+            self.part_metrics.record_ctrl_retry();
+            self.query_metrics.record_ctrl_retry();
+            let rt0 = self.obs.now_ns();
+            std::thread::sleep(self.retry.backoff * (1u32 << (attempts - 1).min(16)));
+            self.obs.record_span_for(
+                self.query,
+                SpanKind::CtrlRetry,
+                self.part as u32,
+                rt0,
+                attempts as u64,
+                req_id,
+            );
+        }
+    }
+
+    fn send(&self, req: CtrlRequest, reply_to: Sender<CtrlReply>) -> Result<(), FetchError> {
+        self.tx.send(ServiceMsg::Op { req, reply_to }).map_err(|_| FetchError::Shutdown)
+    }
+
+    fn fault_instant(&self, kind: u64, req_id: u64) {
+        self.obs.record_instant_for(self.query, SpanKind::Fault, self.part as u32, kind, req_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn service(
+        roots: Vec<Vec<VertexId>>,
+        stealing: bool,
+        batch: usize,
+        fault: Option<FaultPlan>,
+    ) -> ControlLedgerService {
+        let n = roots.len();
+        let cfg = ControlLedgerConfig {
+            stealing,
+            batch,
+            retry: RetryPolicy {
+                max_attempts: 10,
+                timeout: Duration::from_millis(50),
+                backoff: Duration::from_micros(200),
+            },
+            fault,
+            ..ControlLedgerConfig::default()
+        };
+        ControlLedgerService::start(
+            roots,
+            Vec::new(),
+            cfg,
+            &ClusterMetrics::new(n, 1),
+            Recorder::disabled(),
+        )
+    }
+
+    fn claimed(p: CtrlPayload) -> (CtrlClaimSource, Vec<VertexId>) {
+        match p {
+            CtrlPayload::Claimed { source, roots } => (source, roots),
+            other => panic!("expected a claim, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn claims_walk_own_then_spill_then_steal() {
+        let svc = service(vec![vec![1, 2, 3], vec![10, 20]], true, 2, None);
+        let c0 = svc.client(0);
+        let c1 = svc.client(1);
+        // Part 1 drains its own range, then donates one root back.
+        let (src, roots) = claimed(c1.call(CtrlOp::Claim { own_batch: 8 }).unwrap());
+        assert_eq!((src, roots), (CtrlClaimSource::Own, vec![10, 20]));
+        c1.call(CtrlOp::Donate { roots: vec![20] }).unwrap();
+        // Part 0's own range first.
+        let (src, roots) = claimed(c0.call(CtrlOp::Claim { own_batch: 8 }).unwrap());
+        assert_eq!((src, roots), (CtrlClaimSource::Own, vec![1, 2, 3]));
+        // Then the spill...
+        let (src, roots) = claimed(c0.call(CtrlOp::Claim { own_batch: 8 }).unwrap());
+        assert_eq!((src, roots), (CtrlClaimSource::Spill, vec![20]));
+        // ...then nothing (part 1's cursor is exhausted, nothing to steal).
+        assert_eq!(c0.call(CtrlOp::Claim { own_batch: 8 }).unwrap(), CtrlPayload::NoWork);
+        // Part 1 steals nothing either; quiescence needs retirements.
+        assert_eq!(
+            c1.call(CtrlOp::Poll).unwrap(),
+            CtrlPayload::Status { finished: false, starving: 0 }
+        );
+        for _ in 0..2 {
+            c0.call(CtrlOp::BatchDone).unwrap();
+            c1.call(CtrlOp::BatchDone).unwrap();
+        }
+        assert_eq!(
+            c0.call(CtrlOp::Poll).unwrap(),
+            CtrlPayload::Status { finished: true, starving: 0 }
+        );
+    }
+
+    #[test]
+    fn steals_come_from_the_most_loaded_victim() {
+        let svc = service(vec![vec![], vec![1], vec![2, 3, 4]], true, 2, None);
+        let c0 = svc.client(0);
+        let (src, roots) = claimed(c0.call(CtrlOp::Claim { own_batch: 8 }).unwrap());
+        assert_eq!(src, CtrlClaimSource::Stolen(2));
+        assert_eq!(roots, vec![2, 3]);
+    }
+
+    #[test]
+    fn dropped_replies_are_replayed_not_reapplied() {
+        // Every message from part 0 is dropped on its first attempt
+        // (seq parity makes drops deterministic per attempt is not
+        // guaranteed, so drop *everything* and rely on dedup: with
+        // drop_fraction 1.0 every attempt loses its reply and the call
+        // must exhaust retries — instead use 0.5 and many attempts).
+        let plan = FaultPlan { drop_fraction: 0.5, ..FaultPlan::default() };
+        let svc = service(vec![vec![1, 2, 3, 4]], false, 2, Some(plan));
+        let c0 = svc.client(0);
+        // Each claim is applied exactly once despite lost replies: four
+        // owned roots at own_batch 2 yield exactly two claims.
+        let (_, first) = claimed(c0.call(CtrlOp::Claim { own_batch: 2 }).unwrap());
+        let (_, second) = claimed(c0.call(CtrlOp::Claim { own_batch: 2 }).unwrap());
+        assert_eq!((first, second), (vec![1, 2], vec![3, 4]));
+        assert_eq!(c0.call(CtrlOp::Claim { own_batch: 2 }).unwrap(), CtrlPayload::NoWork);
+        c0.call(CtrlOp::BatchDone).unwrap();
+        c0.call(CtrlOp::BatchDone).unwrap();
+        assert_eq!(
+            c0.call(CtrlOp::Poll).unwrap(),
+            CtrlPayload::Status { finished: true, starving: 0 }
+        );
+    }
+
+    #[test]
+    fn injected_errors_retry_and_converge() {
+        let plan = FaultPlan { error_fraction: 0.5, ..FaultPlan::default() };
+        let svc = service(vec![vec![7]], false, 2, Some(plan));
+        let c0 = svc.client(0);
+        let (_, roots) = claimed(c0.call(CtrlOp::Claim { own_batch: 2 }).unwrap());
+        assert_eq!(roots, vec![7]);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_typed() {
+        let plan = FaultPlan { drop_fraction: 1.0, ..FaultPlan::default() };
+        let cfg = ControlLedgerConfig {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                timeout: Duration::from_millis(5),
+                backoff: Duration::from_micros(100),
+            },
+            fault: Some(plan),
+            ..ControlLedgerConfig::default()
+        };
+        let svc = ControlLedgerService::start(
+            vec![vec![1]],
+            Vec::new(),
+            cfg,
+            &ClusterMetrics::new(1, 1),
+            Recorder::disabled(),
+        );
+        let c0 = svc.client(0);
+        assert_eq!(
+            c0.call(CtrlOp::Claim { own_batch: 1 }),
+            Err(FetchError::Timeout { target: 0, attempts: 3 })
+        );
+    }
+
+    #[test]
+    fn close_dead_reconstructs_the_lost_multiset() {
+        let svc = service(vec![vec![1, 2, 3, 4], vec![10, 20]], true, 2, None);
+        let c0 = svc.client(0);
+        let c1 = svc.client(1);
+        // Part 1 claims its range, donates one root back, and "dies".
+        claimed(c1.call(CtrlOp::Claim { own_batch: 8 }).unwrap());
+        c1.call(CtrlOp::Donate { roots: vec![20] }).unwrap();
+        // Part 0 claims two of its own roots; the rest stay unclaimed.
+        claimed(c0.call(CtrlOp::Claim { own_batch: 2 }).unwrap());
+        // Lost with part 1 dead: its claims {10, 20} minus donation
+        // {20} = {10}; its cursor tail is empty; the spill {20} joins.
+        let CtrlPayload::Lost { mut roots } = c0.call(CtrlOp::CloseDead { dead: vec![1] }).unwrap()
+        else {
+            panic!("expected a lost-roots reply")
+        };
+        roots.sort_unstable();
+        assert_eq!(roots, vec![10, 20]);
+    }
+
+    #[test]
+    fn recovery_mode_serves_only_the_spill() {
+        let cfg =
+            ControlLedgerConfig { stealing: true, batch: 2, ..ControlLedgerConfig::default() };
+        let svc = ControlLedgerService::start(
+            vec![Vec::new(), Vec::new()],
+            vec![5, 6, 7],
+            cfg,
+            &ClusterMetrics::new(2, 1),
+            Recorder::disabled(),
+        );
+        let c0 = svc.client(0);
+        let (src, roots) = claimed(c0.call(CtrlOp::Claim { own_batch: 8 }).unwrap());
+        assert_eq!(src, CtrlClaimSource::Spill);
+        assert_eq!(roots, vec![6, 7]);
+        let (_, rest) = claimed(c0.call(CtrlOp::Claim { own_batch: 8 }).unwrap());
+        assert_eq!(rest, vec![5]);
+        assert_eq!(c0.call(CtrlOp::Claim { own_batch: 8 }).unwrap(), CtrlPayload::NoWork);
+    }
+
+    #[test]
+    fn control_counters_account_sends_drops_and_retries() {
+        let plan = FaultPlan { drop_fraction: 0.5, ..FaultPlan::default() };
+        let n = 1;
+        let metrics = ClusterMetrics::new(n, 1);
+        let cfg = ControlLedgerConfig {
+            retry: RetryPolicy {
+                max_attempts: 10,
+                timeout: Duration::from_millis(30),
+                backoff: Duration::from_micros(200),
+            },
+            fault: Some(plan),
+            ..ControlLedgerConfig::default()
+        };
+        let svc = ControlLedgerService::start(
+            vec![vec![1, 2]],
+            Vec::new(),
+            cfg,
+            &metrics,
+            Recorder::disabled(),
+        );
+        let c0 = svc.client(0);
+        for _ in 0..8 {
+            let _ = c0.call(CtrlOp::Poll).unwrap();
+        }
+        let sent = metrics.part(0).ctrl_sent();
+        let retried = metrics.part(0).ctrl_retried();
+        let dropped = metrics.part(0).ctrl_dropped();
+        assert!(sent >= 8, "every call sends at least once, got {sent}");
+        assert_eq!(sent, 8 + retried, "each retry is one extra send");
+        assert!(dropped <= sent);
+        // Query counters see the same events.
+        let q = metrics.query(0);
+        assert_eq!(q.ctrl_sent(), sent);
+        assert_eq!(q.ctrl_retried(), retried);
+        assert_eq!(q.ctrl_dropped(), dropped);
+    }
+}

@@ -32,19 +32,21 @@
 
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod fabric;
 pub mod metrics;
 pub mod post;
 pub mod transport;
 pub mod work;
 
+pub use control::{ControlClient, ControlLedgerConfig, ControlLedgerService};
 pub use fabric::{
     EdgeListClient, EdgeListService, FabricConfig, FetchError, PendingFetch, RetryPolicy,
 };
 pub use metrics::{ClusterMetrics, CounterSnapshot, PartMetrics, QueryMetrics, TrafficClass};
 pub use transport::{
-    ChannelTransport, CrashAt, FaultInjectingTransport, FaultPlan, FetchedLists, Transport,
-    WireReply, WireRequest,
+    ChannelTransport, CrashAt, CtrlClaimSource, CtrlOp, CtrlPayload, CtrlReply, CtrlRequest,
+    FaultInjectingTransport, FaultPlan, FetchedLists, Transport, WireReply, WireRequest,
 };
 
 /// Identifier of a part (one NUMA socket of one machine). Parts are

@@ -37,6 +37,9 @@ pub struct PartMetrics {
     retries: AtomicU64,
     rerouted_requests: AtomicU64,
     rerouted_bytes: AtomicU64,
+    ctrl_sent: AtomicU64,
+    ctrl_retried: AtomicU64,
+    ctrl_dropped: AtomicU64,
 }
 
 impl PartMetrics {
@@ -197,6 +200,36 @@ impl PartMetrics {
     pub fn rerouted_bytes(&self) -> u64 {
         self.rerouted_bytes.load(Ordering::Relaxed)
     }
+
+    /// Records one control-plane message attempt sent by this part.
+    pub fn record_ctrl_sent(&self) {
+        self.ctrl_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retried control-plane message attempt.
+    pub fn record_ctrl_retry(&self) {
+        self.ctrl_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one control-plane message dropped by fault injection.
+    pub fn record_ctrl_dropped(&self) {
+        self.ctrl_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Control-plane message attempts sent by this part.
+    pub fn ctrl_sent(&self) -> u64 {
+        self.ctrl_sent.load(Ordering::Relaxed)
+    }
+
+    /// Control-plane attempts beyond the first (timeout/fault recovery).
+    pub fn ctrl_retried(&self) -> u64 {
+        self.ctrl_retried.load(Ordering::Relaxed)
+    }
+
+    /// Control-plane messages dropped by the fault plan.
+    pub fn ctrl_dropped(&self) -> u64 {
+        self.ctrl_dropped.load(Ordering::Relaxed)
+    }
 }
 
 /// Traffic counters attributed to one query of a multi-tenant run.
@@ -219,6 +252,9 @@ pub struct QueryMetrics {
     retries: AtomicU64,
     rerouted_requests: AtomicU64,
     rerouted_bytes: AtomicU64,
+    ctrl_sent: AtomicU64,
+    ctrl_retried: AtomicU64,
+    ctrl_dropped: AtomicU64,
 }
 
 impl QueryMetrics {
@@ -305,6 +341,37 @@ impl QueryMetrics {
     /// Bytes (request + response) of this query's rerouted fetches.
     pub fn rerouted_bytes(&self) -> u64 {
         self.rerouted_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Records one control-plane message attempt by this query.
+    pub fn record_ctrl_sent(&self) {
+        self.ctrl_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retried control-plane attempt by this query.
+    pub fn record_ctrl_retry(&self) {
+        self.ctrl_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one control-plane message of this query dropped by fault
+    /// injection.
+    pub fn record_ctrl_dropped(&self) {
+        self.ctrl_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Control-plane message attempts sent for this query.
+    pub fn ctrl_sent(&self) -> u64 {
+        self.ctrl_sent.load(Ordering::Relaxed)
+    }
+
+    /// Control-plane attempts beyond the first for this query.
+    pub fn ctrl_retried(&self) -> u64 {
+        self.ctrl_retried.load(Ordering::Relaxed)
+    }
+
+    /// Control-plane messages of this query dropped by the fault plan.
+    pub fn ctrl_dropped(&self) -> u64 {
+        self.ctrl_dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -463,6 +530,21 @@ impl ClusterMetrics {
         self.parts.iter().map(|p| p.rerouted_bytes()).sum()
     }
 
+    /// Total control-plane message attempts sent, cluster-wide.
+    pub fn total_ctrl_sent(&self) -> u64 {
+        self.parts.iter().map(|p| p.ctrl_sent()).sum()
+    }
+
+    /// Total retried control-plane attempts, cluster-wide.
+    pub fn total_ctrl_retried(&self) -> u64 {
+        self.parts.iter().map(|p| p.ctrl_retried()).sum()
+    }
+
+    /// Total control-plane messages dropped by fault injection.
+    pub fn total_ctrl_dropped(&self) -> u64 {
+        self.parts.iter().map(|p| p.ctrl_dropped()).sum()
+    }
+
     /// Deepest in-flight window depth observed on any part.
     pub fn peak_inflight(&self) -> u64 {
         self.parts.iter().map(|p| p.peak_inflight()).max().unwrap_or(0)
@@ -487,6 +569,9 @@ impl ClusterMetrics {
             rerouted_bytes: self.total_rerouted_bytes(),
             served_requests: self.parts.iter().map(|p| p.served_requests()).sum(),
             served_bytes: self.parts.iter().map(|p| p.served_bytes()).sum(),
+            ctrl_sent: self.total_ctrl_sent(),
+            ctrl_retried: self.total_ctrl_retried(),
+            ctrl_dropped: self.total_ctrl_dropped(),
         }
     }
 
@@ -548,11 +633,17 @@ pub struct CounterSnapshot {
     pub served_requests: u64,
     /// Response bytes served for other parts.
     pub served_bytes: u64,
+    /// Control-plane message attempts sent.
+    pub ctrl_sent: u64,
+    /// Retried control-plane attempts.
+    pub ctrl_retried: u64,
+    /// Control-plane messages dropped by fault injection.
+    pub ctrl_dropped: u64,
 }
 
 impl CounterSnapshot {
     /// Counter names, matching [`CounterSnapshot::as_array`] order.
-    pub const NAMES: [&'static str; 11] = [
+    pub const NAMES: [&'static str; 14] = [
         "fetch_requests",
         "network_bytes",
         "numa_bytes",
@@ -564,11 +655,14 @@ impl CounterSnapshot {
         "rerouted_bytes",
         "served_requests",
         "served_bytes",
+        "ctrl_sent",
+        "ctrl_retried",
+        "ctrl_dropped",
     ];
 
     /// The counters as a positional array in [`CounterSnapshot::NAMES`]
     /// order, ready for `Rollup::push`.
-    pub fn as_array(&self) -> [u64; 11] {
+    pub fn as_array(&self) -> [u64; 14] {
         [
             self.requests,
             self.network_bytes,
@@ -581,6 +675,9 @@ impl CounterSnapshot {
             self.rerouted_bytes,
             self.served_requests,
             self.served_bytes,
+            self.ctrl_sent,
+            self.ctrl_retried,
+            self.ctrl_dropped,
         ]
     }
 }

@@ -127,6 +127,147 @@ pub struct WireReply {
     pub payload: Result<FetchedLists, FetchError>,
 }
 
+/// A control-plane operation on the wire — the message vocabulary of the
+/// message-based work-coordination protocol (`MsgLedger`). Where data
+/// fetches move edge lists between parts, these move *scheduling state*:
+/// root claims, batch retirements, donations, starvation signals,
+/// quiescence votes, and recovery-log queries, all answered by the run's
+/// control responder (see `crate::control`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlOp {
+    /// Claim the next root batch for the sender: its own unclaimed range
+    /// first (up to `own_batch` roots), then — with stealing on — the
+    /// donation spill, then a steal from a victim part's range.
+    Claim {
+        /// Upper bound on roots taken from the sender's own range.
+        own_batch: usize,
+    },
+    /// Retire one of the sender's previously claimed batches.
+    BatchDone,
+    /// Donate never-started level-0 roots to the shared spill.
+    Donate {
+        /// The donated root vertices.
+        roots: Vec<VertexId>,
+    },
+    /// Flag the sender as starving (idle and polling for work) or not.
+    Starving {
+        /// `true` on entering the idle poll loop, `false` on leaving it.
+        on: bool,
+    },
+    /// Read the global quiescence verdict and the starvation count.
+    Poll,
+    /// Close the `dead` parts' cursors and return the lost-root multiset
+    /// reconstructed from the claim/donate message log.
+    CloseDead {
+        /// The fail-stopped parts whose work must be reconstructed.
+        dead: Vec<PartId>,
+    },
+}
+
+impl CtrlOp {
+    /// Stable numeric code of the operation, recorded as the `arg` of
+    /// control-message trace spans (1 = claim, 2 = batch-done,
+    /// 3 = donate, 4 = starving, 5 = poll, 6 = close-dead).
+    pub fn code(&self) -> u64 {
+        match self {
+            CtrlOp::Claim { .. } => 1,
+            CtrlOp::BatchDone => 2,
+            CtrlOp::Donate { .. } => 3,
+            CtrlOp::Starving { .. } => 4,
+            CtrlOp::Poll => 5,
+            CtrlOp::CloseDead { .. } => 6,
+        }
+    }
+}
+
+/// One control message on the wire. Mirrors [`WireRequest`]'s tagging
+/// discipline: `seq` is fresh per attempt (the fault plan rolls a new
+/// fate for each), while `req_id` is stable across retries — it is both
+/// the causal trace link and the responder's **dedup key**, so a retried
+/// operation whose original reply was lost in the network is answered
+/// from the responder's reply cache instead of being applied twice
+/// (control operations mutate scheduler state; exactly-once matters
+/// here, unlike idempotent data fetches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtrlRequest {
+    /// Client-assigned sequence number; a retry gets a fresh one.
+    pub seq: u64,
+    /// Causal id and dedup key, stable across retries.
+    pub req_id: u64,
+    /// Id of the query this operation coordinates for.
+    pub query: u64,
+    /// The part that issued this operation.
+    pub from: PartId,
+    /// The operation itself.
+    pub op: CtrlOp,
+}
+
+impl CtrlRequest {
+    /// Accounted wire size of the request in bytes (header plus 4 bytes
+    /// per carried vertex id), for the control-traffic counters.
+    pub fn wire_bytes(&self) -> u64 {
+        let payload = match &self.op {
+            CtrlOp::Donate { roots } => 4 * roots.len() as u64,
+            CtrlOp::CloseDead { dead } => 4 * dead.len() as u64,
+            _ => 0,
+        };
+        HEADER_BYTES + payload
+    }
+}
+
+/// Where a control-plane claim was served from (the wire-level mirror of
+/// the core scheduler's claim source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlClaimSource {
+    /// The claimant's own unclaimed root range.
+    Own,
+    /// The shared spill of donated level-0 ranges.
+    Spill,
+    /// Stolen from the given part's unclaimed root range.
+    Stolen(PartId),
+}
+
+/// The payload of a control reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlPayload {
+    /// A claim succeeded; the roots are now the claimant's to execute.
+    Claimed {
+        /// Where the batch came from.
+        source: CtrlClaimSource,
+        /// The claimed root vertices.
+        roots: Vec<VertexId>,
+    },
+    /// A claim found nothing claimable right now.
+    NoWork,
+    /// A fire-and-forget operation was applied.
+    Ack,
+    /// Answer to [`CtrlOp::Poll`].
+    Status {
+        /// Whether the run has globally quiesced (no outstanding
+        /// batches, every cursor exhausted, spill empty).
+        finished: bool,
+        /// Number of parts currently flagged starving.
+        starving: usize,
+    },
+    /// Answer to [`CtrlOp::CloseDead`]: the reconstructed lost roots.
+    Lost {
+        /// The multiset of roots to re-execute on the survivors.
+        roots: Vec<VertexId>,
+    },
+    /// A transient injected fault (the control fault plan's analogue of
+    /// [`FetchError::Injected`]); the client retries with backoff.
+    Injected,
+}
+
+/// One control reply, matched to its request by `req_id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtrlReply {
+    /// The request this answers (and dedup-cache key it was stored under).
+    pub req_id: u64,
+    /// The operation's result.
+    pub payload: CtrlPayload,
+}
+
 /// A non-blocking message layer between parts.
 ///
 /// `submit` hands a request to `target`'s responder and returns
@@ -357,9 +498,12 @@ pub struct FaultPlan {
     pub delay: Duration,
     /// Seed of the deterministic per-message fault decision.
     pub seed: u64,
-    /// Optional fail-stop crash: permanently kill one part's responder
-    /// after it has been targeted by a fixed number of submissions.
-    pub crash: Option<CrashAt>,
+    /// Scheduled fail-stop crashes, fired **in list order**: entry
+    /// `i + 1` starts counting submissions targeting its part only once
+    /// entry `i` has fired, so sequential crash schedules ("part 1 after
+    /// 4 requests, then part 2 after 6 further requests") are expressed
+    /// directly. Empty means no crashes.
+    pub crashes: Vec<CrashAt>,
 }
 
 /// A scheduled fail-stop crash: the responder of `part` is killed
@@ -386,7 +530,7 @@ impl Default for FaultPlan {
             delay_fraction: 0.0,
             delay: Duration::from_millis(1),
             seed: 0x5eed,
-            crash: None,
+            crashes: Vec::new(),
         }
     }
 }
@@ -407,7 +551,7 @@ impl FaultPlan {
     /// A plan that only crashes `part` after `after_requests`
     /// submissions targeting it.
     pub fn crash_at(part: PartId, after_requests: u64) -> Self {
-        FaultPlan { crash: Some(CrashAt { part, after_requests }), ..FaultPlan::default() }
+        FaultPlan { crashes: vec![CrashAt { part, after_requests }], ..FaultPlan::default() }
     }
 
     /// Checks the plan's parameters, panicking with a descriptive
@@ -433,8 +577,10 @@ impl FaultPlan {
         );
     }
 
-    /// The fate of message `seq` to `target` under this plan.
-    fn decide(&self, target: PartId, seq: u64) -> Fault {
+    /// The fate of message `seq` to `target` under this plan. Shared
+    /// with the control plane (`crate::control`), whose per-attempt
+    /// sequence numbers draw from the same deterministic space.
+    pub(crate) fn decide(&self, target: PartId, seq: u64) -> Fault {
         let r = unit_hash(self.seed, target as u64, seq);
         if r < self.drop_fraction {
             Fault::Drop
@@ -449,7 +595,7 @@ impl FaultPlan {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Fault {
+pub(crate) enum Fault {
     None,
     Drop,
     Error,
@@ -479,10 +625,10 @@ pub struct FaultInjectingTransport {
     inner: ChannelTransport,
     plan: FaultPlan,
     obs: Arc<Recorder>,
-    /// Submissions seen so far targeting the crash victim.
-    crash_counter: AtomicU64,
-    /// Once-only latch so the kill (and its trace instant) fires once.
-    crashed: AtomicBool,
+    /// Per-scheduled-crash state, parallel to `plan.crashes`: submissions
+    /// counted toward the crash, and a once-only fired latch. Only the
+    /// first unfired crash counts, which chains the schedule.
+    crash_state: Vec<(AtomicU64, AtomicBool)>,
 }
 
 impl FaultInjectingTransport {
@@ -502,7 +648,7 @@ impl FaultInjectingTransport {
     /// when a scheduled crash fires.
     pub fn new_observed(inner: ChannelTransport, plan: FaultPlan, obs: Arc<Recorder>) -> Self {
         plan.validate();
-        if let Some(c) = plan.crash {
+        for c in &plan.crashes {
             assert!(
                 c.part < inner.part_count(),
                 "FaultPlan crash part {} out of range (part count {})",
@@ -510,26 +656,29 @@ impl FaultInjectingTransport {
                 inner.part_count()
             );
         }
-        FaultInjectingTransport {
-            inner,
-            plan,
-            obs,
-            crash_counter: AtomicU64::new(0),
-            crashed: AtomicBool::new(false),
-        }
+        let crash_state =
+            plan.crashes.iter().map(|_| (AtomicU64::new(0), AtomicBool::new(false))).collect();
+        FaultInjectingTransport { inner, plan, obs, crash_state }
     }
 
-    /// Fires the scheduled crash if `target` is the victim and its
-    /// request budget is exhausted.
+    /// Fires the next scheduled crash if `target` is its victim and its
+    /// request budget is exhausted. Crashes chain: only the first
+    /// unfired entry counts submissions, so later entries measure
+    /// requests *since the previous crash* — which lets a schedule put
+    /// the second crash inside the first one's recovery pass.
     fn maybe_crash(&self, target: PartId) {
-        if let Some(c) = self.plan.crash {
+        for (c, (counter, fired)) in self.plan.crashes.iter().zip(&self.crash_state) {
+            if fired.load(Ordering::SeqCst) {
+                continue;
+            }
             if target == c.part {
-                let seen = self.crash_counter.fetch_add(1, Ordering::Relaxed);
-                if seen >= c.after_requests && !self.crashed.swap(true, Ordering::SeqCst) {
+                let seen = counter.fetch_add(1, Ordering::Relaxed);
+                if seen >= c.after_requests && !fired.swap(true, Ordering::SeqCst) {
                     self.obs.record_instant(SpanKind::PartCrash, target as u32, seen);
                     self.inner.kill_part(target);
                 }
             }
+            return;
         }
     }
 }

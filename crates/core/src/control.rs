@@ -1,0 +1,309 @@
+//! The message-based carrier of the [`ControlPlane`] trait.
+//!
+//! [`MsgLedger`] keeps **no shared coordination state**: every claim,
+//! steal, donation, retirement, starvation signal, quiescence vote, and
+//! recovery-log query is a typed [`gpm_cluster::CtrlOp`] sent through a
+//! per-part [`gpm_cluster::ControlClient`] to the run's single
+//! [`gpm_cluster::ControlLedgerService`] responder thread, with the data
+//! fabric's retry/backoff discipline and deterministic fault injection.
+//! The shared-memory carrier ([`crate::scheduler::SharedLedger`]) and
+//! this one are interchangeable per run and produce bit-identical counts;
+//! `EngineConfig::control` picks between them.
+
+use crate::scheduler::{ClaimSource, ControlPlane};
+use gpm_cluster::{
+    ClusterMetrics, ControlClient, ControlLedgerConfig, ControlLedgerService, CtrlClaimSource,
+    CtrlOp, CtrlPayload, FaultPlan, FetchError, RetryPolicy,
+};
+use gpm_graph::partition::GraphPart;
+use gpm_graph::VertexId;
+use gpm_obs::Recorder;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which carrier runs the cross-part work-coordination protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControlMode {
+    /// Shared-memory atomics inside the process (the original
+    /// `RootLedger`; the default).
+    #[default]
+    Shared,
+    /// Typed control messages over the cluster's channel layer, with
+    /// retry/backoff and fault injection — the carrier that can stretch
+    /// over a real multi-process transport.
+    Msg,
+}
+
+/// Control-plane selection and, for the message carrier, its wire knobs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ControlConfig {
+    /// Which carrier coordinates cross-part work.
+    pub mode: ControlMode,
+    /// Timeout/retry policy of control messages (message carrier only).
+    pub retry: RetryPolicy,
+    /// Optional deterministic fault plan applied to control messages —
+    /// *not* to data fetches, which have their own plan in
+    /// `EngineConfig::fault` (message carrier only).
+    pub fault: Option<FaultPlan>,
+}
+
+/// The message-based [`ControlPlane`]: per-part clients in front of one
+/// run-scoped responder thread owning all coordination state.
+///
+/// The fire-and-forget trait operations (`batch_done`, `donate`,
+/// `set_starving`) cannot surface wire errors through their signatures;
+/// losing one would corrupt the protocol (a never-retired batch wedges
+/// quiescence), so a failure **poisons** the ledger and the next fallible
+/// call (`claim`, `finished`, `lost_roots`) reports it — the run fails
+/// typed instead of hanging or miscounting.
+pub(crate) struct MsgLedger {
+    /// Owns the responder thread; dropped (and joined) with the ledger.
+    _service: ControlLedgerService,
+    clients: Vec<ControlClient>,
+    stealing: bool,
+    poisoned: Mutex<Option<FetchError>>,
+}
+
+impl MsgLedger {
+    /// A message ledger over each part's owned roots (the normal pass).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn start(
+        parts: &[Arc<GraphPart>],
+        stealing: bool,
+        batch: usize,
+        numa: Option<usize>,
+        control: &ControlConfig,
+        query: u64,
+        metrics: &ClusterMetrics,
+        obs: Arc<Recorder>,
+    ) -> MsgLedger {
+        let roots = parts.iter().map(|p| p.owned().to_vec()).collect();
+        MsgLedger::boot(roots, Vec::new(), stealing, batch, numa, control, query, metrics, obs)
+    }
+
+    /// A message ledger for a recovery pass: every cursor starts
+    /// exhausted and the spill holds exactly the `lost` roots, so
+    /// survivors claim nothing but the re-execution work. Stealing is
+    /// forced on — spill claims are a stealing path.
+    pub(crate) fn recovery(
+        parts: usize,
+        lost: Vec<VertexId>,
+        batch: usize,
+        control: &ControlConfig,
+        query: u64,
+        metrics: &ClusterMetrics,
+        obs: Arc<Recorder>,
+    ) -> MsgLedger {
+        let roots = vec![Vec::new(); parts];
+        MsgLedger::boot(roots, lost, true, batch, None, control, query, metrics, obs)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn boot(
+        roots: Vec<Vec<VertexId>>,
+        spill: Vec<VertexId>,
+        stealing: bool,
+        batch: usize,
+        numa: Option<usize>,
+        control: &ControlConfig,
+        query: u64,
+        metrics: &ClusterMetrics,
+        obs: Arc<Recorder>,
+    ) -> MsgLedger {
+        let n = roots.len();
+        let cfg = ControlLedgerConfig {
+            stealing,
+            batch: batch.max(1),
+            numa,
+            retry: control.retry,
+            fault: control.fault.clone(),
+            query,
+        };
+        let service = ControlLedgerService::start(roots, spill, cfg, metrics, obs);
+        let clients = (0..n).map(|p| service.client(p)).collect();
+        MsgLedger { _service: service, clients, stealing, poisoned: Mutex::new(None) }
+    }
+
+    /// Records the first wire failure of a fire-and-forget operation.
+    fn poison(&self, e: FetchError) {
+        self.poisoned.lock().get_or_insert(e);
+    }
+
+    fn check_poison(&self) -> Result<(), FetchError> {
+        match self.poisoned.lock().clone() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl ControlPlane for MsgLedger {
+    fn stealing(&self) -> bool {
+        self.stealing
+    }
+
+    fn claim(
+        &self,
+        me: usize,
+        own_batch: usize,
+    ) -> Result<Option<(ClaimSource, Vec<VertexId>)>, FetchError> {
+        self.check_poison()?;
+        match self.clients[me].call(CtrlOp::Claim { own_batch })? {
+            CtrlPayload::Claimed { source, roots } => {
+                let source = match source {
+                    CtrlClaimSource::Own => ClaimSource::Own,
+                    CtrlClaimSource::Spill => ClaimSource::Spill,
+                    CtrlClaimSource::Stolen(v) => ClaimSource::Stolen(v),
+                };
+                Ok(Some((source, roots)))
+            }
+            CtrlPayload::NoWork => Ok(None),
+            other => {
+                debug_assert!(false, "claim answered with {other:?}");
+                Err(FetchError::Shutdown)
+            }
+        }
+    }
+
+    fn batch_done(&self, me: usize) {
+        if let Err(e) = self.clients[me].call(CtrlOp::BatchDone) {
+            self.poison(e);
+        }
+    }
+
+    fn donate(&self, donor: usize, roots: Vec<VertexId>) {
+        if roots.is_empty() {
+            return;
+        }
+        if let Err(e) = self.clients[donor].call(CtrlOp::Donate { roots }) {
+            self.poison(e);
+        }
+    }
+
+    fn set_starving(&self, me: usize, on: bool) {
+        if let Err(e) = self.clients[me].call(CtrlOp::Starving { on }) {
+            self.poison(e);
+        }
+    }
+
+    fn starving(&self, me: usize) -> usize {
+        match self.clients[me].call(CtrlOp::Poll) {
+            Ok(CtrlPayload::Status { starving, .. }) => starving,
+            Ok(_) => 0,
+            Err(e) => {
+                self.poison(e);
+                0
+            }
+        }
+    }
+
+    fn finished(&self, me: usize) -> Result<bool, FetchError> {
+        self.check_poison()?;
+        match self.clients[me].call(CtrlOp::Poll)? {
+            CtrlPayload::Status { finished, .. } => Ok(finished),
+            other => {
+                debug_assert!(false, "poll answered with {other:?}");
+                Err(FetchError::Shutdown)
+            }
+        }
+    }
+
+    fn wait_for_work(&self, _me: usize) {
+        // No condvar spans the wire; a short timed park matches the
+        // shared ledger's 1 ms idle slice and keeps the poll loop from
+        // hammering the responder.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    fn lost_roots(&self, dead: &[usize]) -> Result<Vec<VertexId>, FetchError> {
+        self.check_poison()?;
+        match self.clients[0].call(CtrlOp::CloseDead { dead: dead.to_vec() })? {
+            CtrlPayload::Lost { roots } => Ok(roots),
+            other => {
+                debug_assert!(false, "close-dead answered with {other:?}");
+                Err(FetchError::Shutdown)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen;
+    use gpm_graph::partition::PartitionedGraph;
+
+    fn msg_ledger(stealing: bool) -> MsgLedger {
+        let g = gen::complete(12);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let parts: Vec<_> = (0..2).map(|p| pg.part_arc(p)).collect();
+        MsgLedger::start(
+            &parts,
+            stealing,
+            4,
+            None,
+            &ControlConfig::default(),
+            0,
+            &ClusterMetrics::new(2, 1),
+            Recorder::disabled(),
+        )
+    }
+
+    #[test]
+    fn msg_ledger_claims_and_quiesces_like_the_shared_one() {
+        let ledger = msg_ledger(true);
+        let mut claimed = 0usize;
+        let mut batches = 0usize;
+        while let Some((_, roots)) = ledger.claim(0, 4).unwrap() {
+            claimed += roots.len();
+            batches += 1;
+        }
+        assert_eq!(claimed, 12, "part 0 drains everything via own range + steals");
+        assert!(!ledger.finished(0).unwrap(), "outstanding batches block quiescence");
+        for _ in 0..batches {
+            ledger.batch_done(0);
+        }
+        assert!(ledger.finished(0).unwrap());
+        assert_eq!(ledger.lost_roots(&[1]).unwrap(), Vec::<VertexId>::new());
+    }
+
+    #[test]
+    fn msg_ledger_without_stealing_serves_only_own_roots() {
+        let ledger = msg_ledger(false);
+        let (source, roots) = ledger.claim(0, 64).unwrap().expect("own range");
+        assert_eq!(source, ClaimSource::Own);
+        assert!(!roots.is_empty());
+        assert!(ledger.claim(0, 64).unwrap().is_none(), "no stealing, no spill");
+    }
+
+    #[test]
+    fn msg_recovery_ledger_serves_only_the_spill() {
+        let ledger = MsgLedger::recovery(
+            2,
+            vec![3, 4, 5],
+            2,
+            &ControlConfig::default(),
+            0,
+            &ClusterMetrics::new(2, 1),
+            Recorder::disabled(),
+        );
+        assert!(ledger.stealing(), "recovery forces stealing on");
+        let (source, roots) = ledger.claim(1, 64).unwrap().expect("spill work");
+        assert_eq!(source, ClaimSource::Spill);
+        assert_eq!(roots, vec![4, 5]);
+        let (_, rest) = ledger.claim(0, 64).unwrap().expect("remainder");
+        assert_eq!(rest, vec![3]);
+        assert!(ledger.claim(0, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn starving_counts_round_trip() {
+        let ledger = msg_ledger(true);
+        assert_eq!(ledger.starving(0), 0);
+        ledger.set_starving(1, true);
+        assert_eq!(ledger.starving(0), 1);
+        ledger.set_starving(1, false);
+        assert_eq!(ledger.starving(0), 0);
+    }
+}

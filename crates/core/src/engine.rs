@@ -1,9 +1,10 @@
 //! The [`Engine`]: cluster setup and run orchestration.
 
 use crate::cache::{CacheConfig, SharedCache};
+use crate::control::{ControlConfig, ControlMode, MsgLedger};
 use crate::runtime::{run_part, PartCtx, Visitor};
-use crate::scheduler::{QueryArbiter, RootLedger, StealConfig, WorkerPool};
-use crate::stats::{FailureSummary, PartStats, RunStats, TrafficSummary};
+use crate::scheduler::{ControlPlane, QueryArbiter, SharedLedger, StealConfig, WorkerPool};
+use crate::stats::{ControlSummary, FailureSummary, PartStats, RunStats, TrafficSummary};
 use gpm_cluster::{ClusterMetrics, EdgeListService, FabricConfig, FetchError, NetworkModel};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::VertexId;
@@ -138,6 +139,11 @@ pub struct EngineConfig {
     /// under `sequential_parts` (an idle sequential part can never be
     /// refilled by a concurrently loaded one).
     pub steal: StealConfig,
+    /// Which carrier runs the steal/claim control plane: shared-memory
+    /// atomics (the default) or typed control messages over the cluster's
+    /// channel layer, with their own retry policy and fault injection.
+    /// Both carriers produce bit-identical counts.
+    pub control: ControlConfig,
 }
 
 impl Default for EngineConfig {
@@ -154,6 +160,7 @@ impl Default for EngineConfig {
             sequential_parts: false,
             obs: ObsConfig::default(),
             steal: StealConfig::default(),
+            control: ControlConfig::default(),
         }
     }
 }
@@ -489,11 +496,7 @@ impl Engine {
         // its seed batches from (and steals through, when enabled) and
         // one queue-depth gauge per part for the sampler.
         let stealing = self.cfg.steal.enabled && !self.cfg.sequential_parts && parts > 1;
-        let ledger = Arc::new(RootLedger::new(
-            (0..parts).map(|p| self.pg.part_arc(p)).collect(),
-            stealing,
-            self.cfg.steal.batch.max(1),
-        ));
+        let ledger = self.make_ledger(stealing, qid);
         let gauges: Vec<Arc<AtomicUsize>> =
             (0..parts).map(|_| Arc::new(AtomicUsize::new(0))).collect();
         // Live progress tracker: the root multiset size is known up front
@@ -522,7 +525,7 @@ impl Engine {
             self.cfg.obs.tick,
         );
         let t0 = Instant::now();
-        let make_ctx = |part: usize, ledger: &Arc<RootLedger>| PartCtx {
+        let make_ctx = |part: usize, ledger: &Arc<dyn ControlPlane>| PartCtx {
             part: self.pg.part_arc(part),
             labels: self.pg.labels(),
             client: self.service.client_for_query(part, qid),
@@ -555,45 +558,63 @@ impl Engine {
         // A failure run: every detected-dead part's results are discarded
         // wholesale and its roots re-executed on the survivors, making
         // counts bit-identical to a fault-free run (DESIGN.md §9).
-        let dead = self.service.dead_parts();
+        //
+        // The pass itself is failover-capable: a part that crashes
+        // *during* a recovery pass starts another round, which re-derives
+        // what it took to its grave from the claim/donate logs of every
+        // ledger used so far — its main-pass claims live in the original
+        // ledger, its recovery-pass claims in that round's recovery
+        // ledger. Each round kills at least one more part, so the loop is
+        // bounded by `parts` (and exits earlier once the dead outnumber
+        // the replicas).
+        let mut all_dead: Vec<usize> = Vec::new();
+        let mut ledgers: Vec<Arc<dyn ControlPlane>> = vec![Arc::clone(&ledger)];
         let mut reexecuted_roots = 0u64;
-        if !dead.is_empty() {
-            for &d in &dead {
+        loop {
+            let new_dead: Vec<usize> =
+                self.service.dead_parts().into_iter().filter(|d| !all_dead.contains(d)).collect();
+            if new_dead.is_empty() {
+                break;
+            }
+            // A fail-stopped part's results are never trusted, including
+            // whatever it contributed to earlier passes as a survivor.
+            for &d in &new_dead {
                 slots[d] = None;
             }
-            if self.pg.replication() < 2 {
-                return Err(EngineError::PartLost { part: dead[0] });
+            all_dead.extend(&new_dead);
+            all_dead.sort_unstable();
+            if self.pg.replication() <= all_dead.len() {
+                return Err(EngineError::PartLost { part: new_dead[0] });
             }
             match failure.take() {
-                // The dead part aborting itself is expected, not an error.
-                Some((from, _)) if dead.contains(&from) => {}
+                // A dead part aborting itself is expected, not an error.
+                Some((from, _)) if all_dead.contains(&from) => {}
                 Some((_, e)) => return Err(EngineError::Fetch(e)),
                 None => {}
             }
-            let lost = ledger.lost_roots(&dead);
-            reexecuted_roots = lost.len() as u64;
+            let mut lost: Vec<VertexId> = Vec::new();
+            for l in &ledgers {
+                lost.extend(l.lost_roots(&new_dead)?);
+            }
+            let n_lost = lost.len() as u64;
+            reexecuted_roots += n_lost;
             if let Some(p) = &progress {
-                p.record_recovered(reexecuted_roots);
+                p.record_recovered(n_lost);
             }
             let rts = self.recorder.now_ns();
-            let recovery = Arc::new(RootLedger::recovery(
-                (0..parts).map(|p| self.pg.part_arc(p)).collect(),
-                lost,
-                self.cfg.steal.batch.max(1),
-            ));
-            let survivors: Vec<usize> = (0..parts).filter(|p| !dead.contains(p)).collect();
+            let recovery = self.make_recovery_ledger(lost, qid);
+            ledgers.push(Arc::clone(&recovery));
+            let survivors: Vec<usize> = (0..parts).filter(|p| !all_dead.contains(p)).collect();
             self.run_parts(&mut slots, &mut failure, survivors, |p| make_ctx(p, &recovery));
-            if let Some((_, e)) = failure {
-                return Err(EngineError::Fetch(e));
-            }
-            self.recorder.record_span(SpanKind::Recovery, dead[0] as u32, rts, reexecuted_roots);
-            // Dead parts report zeroed stats: everything they did was
-            // discarded and re-executed elsewhere.
-            for &d in &dead {
-                slots[d] = Some(PartStats::default());
-            }
-        } else if let Some((_, e)) = failure {
+            self.recorder.record_span(SpanKind::Recovery, new_dead[0] as u32, rts, n_lost);
+        }
+        if let Some((_, e)) = failure {
             return Err(EngineError::Fetch(e));
+        }
+        // Dead parts report zeroed stats: everything they did was
+        // discarded and re-executed elsewhere.
+        for &d in &all_dead {
+            slots[d] = Some(PartStats::default());
         }
         if deadline_fired.load(Ordering::Relaxed) {
             return Err(EngineError::DeadlineExceeded { query_id: qid });
@@ -622,16 +643,66 @@ impl Engine {
                 // Dead parts observed by the end of this query's run; a
                 // query admitted after a crash still pays the failover
                 // and recovery for it, so it reports the failure too.
-                parts_failed: dead.len() as u64,
+                parts_failed: all_dead.len() as u64,
                 rerouted_requests: qm.rerouted_requests(),
                 rerouted_bytes: qm.rerouted_bytes(),
                 reexecuted_roots,
+            },
+            control: ControlSummary {
+                sent: qm.ctrl_sent(),
+                retried: qm.ctrl_retried(),
+                dropped: qm.ctrl_dropped(),
             },
         };
         if let Some(p) = &progress {
             p.mark_done();
         }
         Ok(stats)
+    }
+
+    /// Builds the run-scoped control plane in the configured carrier:
+    /// the shared-memory ledger or the message-based one over the
+    /// cluster's channel layer. Both enforce the same claim protocol, so
+    /// counts are bit-identical either way.
+    fn make_ledger(&self, stealing: bool, qid: u64) -> Arc<dyn ControlPlane> {
+        let parts: Vec<_> = (0..self.pg.part_count()).map(|p| self.pg.part_arc(p)).collect();
+        let batch = self.cfg.steal.batch.max(1);
+        let numa = self.cfg.steal.numa.then(|| self.pg.sockets_per_machine().max(1));
+        match self.cfg.control.mode {
+            ControlMode::Shared => Arc::new(SharedLedger::new(parts, stealing, batch, numa)),
+            ControlMode::Msg => Arc::new(MsgLedger::start(
+                &parts,
+                stealing,
+                batch,
+                numa,
+                &self.cfg.control,
+                qid,
+                self.service.metrics(),
+                Arc::clone(&self.recorder),
+            )),
+        }
+    }
+
+    /// A control plane for a recovery pass: exhausted cursors and `lost`
+    /// as the spill, in the same carrier as the main pass.
+    fn make_recovery_ledger(&self, lost: Vec<VertexId>, qid: u64) -> Arc<dyn ControlPlane> {
+        let batch = self.cfg.steal.batch.max(1);
+        match self.cfg.control.mode {
+            ControlMode::Shared => Arc::new(SharedLedger::recovery(
+                (0..self.pg.part_count()).map(|p| self.pg.part_arc(p)).collect(),
+                lost,
+                batch,
+            )),
+            ControlMode::Msg => Arc::new(MsgLedger::recovery(
+                self.pg.part_count(),
+                lost,
+                batch,
+                &self.cfg.control,
+                qid,
+                self.service.metrics(),
+                Arc::clone(&self.recorder),
+            )),
+        }
     }
 
     /// Runs `run_part` for each part in `run`, sequentially or
@@ -1134,7 +1205,7 @@ mod tests {
                     // requests so the crash lands mid-run, with live
                     // fetches still headed for the dead part.
                     chunk_capacity: 64,
-                    steal: StealConfig { enabled: steal, batch: 8 },
+                    steal: StealConfig { enabled: steal, batch: 8, ..StealConfig::default() },
                     obs: ObsConfig::enabled(),
                     fabric: FabricConfig {
                         retry: crash_retry(),
@@ -1217,6 +1288,63 @@ mod tests {
         // and the re-executed work lands on the survivors.
         assert_eq!(run.per_part[1].count, 0);
         engine.shutdown();
+    }
+
+    /// Regression: a second fail-stop crash landing while the recovery
+    /// pass is already re-executing the first casualty's roots used to
+    /// surface as a fetch error — the engine ran exactly one recovery
+    /// round and treated any failure during it as fatal. The recovery
+    /// loop must instead fail over again, round after round, as long as
+    /// replication outnumbers the dead. Replication 3 masks two deaths.
+    #[test]
+    fn chained_crashes_fail_over_round_after_round() {
+        use gpm_cluster::{CrashAt, FaultPlan};
+        let g = gen::erdos_renyi(150, 700, 5);
+        let p = Pattern::triangle();
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        for steal in [false, true] {
+            let pg = PartitionedGraph::with_replication(&g, 4, 1, 3);
+            let engine = Engine::new(
+                pg,
+                EngineConfig {
+                    chunk_capacity: 64,
+                    steal: StealConfig { enabled: steal, batch: 8, ..StealConfig::default() },
+                    obs: ObsConfig::enabled(),
+                    fabric: FabricConfig {
+                        retry: crash_retry(),
+                        fault: Some(FaultPlan {
+                            crashes: vec![
+                                // The first part dies on the very first
+                                // fetch, so its whole root set re-executes
+                                // and the recovery pass runs long...
+                                CrashAt { part: 1, after_requests: 0 },
+                                // ...and the second fuse burns through the
+                                // main pass and often into that recovery;
+                                // the loop must absorb the death in either
+                                // phase without losing a root.
+                                CrashAt { part: 2, after_requests: 8 },
+                            ],
+                            ..FaultPlan::default()
+                        }),
+                        ..FabricConfig::default()
+                    },
+                    ..EngineConfig::default()
+                },
+            );
+            let run = engine.try_count(&plan(&p)).expect("replication 3 must mask two crashes");
+            assert_eq!(run.count, expect, "steal={steal}");
+            assert_eq!(run.failures.parts_failed, 2, "steal={steal}");
+            assert!(run.failures.reexecuted_roots > 0, "steal={steal}");
+            // Both dead parts' partial results are discarded; survivors
+            // absorb the re-executed roots.
+            assert_eq!(run.per_part[1].count + run.per_part[2].count, 0, "steal={steal}");
+            let spans = engine.recorder().spans();
+            assert!(
+                spans.iter().any(|s| s.kind == SpanKind::Recovery),
+                "steal={steal}: no recovery span"
+            );
+            engine.shutdown();
+        }
     }
 
     #[test]

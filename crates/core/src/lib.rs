@@ -48,6 +48,7 @@
 
 pub mod cache;
 mod chunk;
+mod control;
 mod engine;
 mod extend;
 mod runtime;
@@ -57,10 +58,11 @@ pub mod stats;
 pub mod status;
 
 pub use cache::{CacheConfig, CachePolicy};
+pub use control::{ControlConfig, ControlMode};
 pub use engine::{Engine, EngineConfig, EngineError, QueryCtx, DEFAULT_ROOT_BUDGET};
 pub use scheduler::{QueryArbiter, StealConfig};
 pub use service::{Completion, MiningService, QueryHandle, QueryOutcome, ServiceConfig};
-pub use stats::{Breakdown, PartStats, RunStats, TrafficSummary};
+pub use stats::{Breakdown, ControlSummary, FailureSummary, PartStats, RunStats, TrafficSummary};
 pub use status::{StatusConfig, StatusServer};
 
 // Fabric knobs and errors surface through `EngineConfig` / `try_count`,

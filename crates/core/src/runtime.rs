@@ -16,7 +16,7 @@
 use crate::cache::SharedCache;
 use crate::chunk::{Chunk, Emb, ListRef, NO_PARENT};
 use crate::engine::EngineConfig;
-use crate::scheduler::{ClaimSource, Gate, QueryArbiter, RootLedger};
+use crate::scheduler::{ClaimSource, ControlPlane, Gate, QueryArbiter};
 use crate::stats::PartStats;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use gpm_cluster::{EdgeListClient, FetchError, PendingFetch};
@@ -50,8 +50,9 @@ pub(crate) struct PartCtx<'e> {
     /// The engine's observability recorder; the part coordinator buffers
     /// its spans in a thread-local [`ObsHandle`] made from this.
     pub obs: Arc<Recorder>,
-    /// Run-scoped root ledger all parts claim their seed batches from.
-    pub ledger: Arc<RootLedger>,
+    /// Run-scoped control plane all parts claim their seed batches from
+    /// (shared-memory ledger or message-based, per `EngineConfig`).
+    pub ledger: Arc<dyn ControlPlane>,
     /// This part's gate into the engine's persistent worker pool; `None`
     /// for single-threaded configs, which extend inline.
     pub gate: Option<Arc<Gate>>,
@@ -272,7 +273,7 @@ impl<'e> PartRun<'e> {
                 None => {
                     // The whole stack drained: every seeded batch is done.
                     self.retire_batches();
-                    if !self.seed_roots() {
+                    if !self.seed_roots()? {
                         return Ok(());
                     }
                 }
@@ -282,7 +283,7 @@ impl<'e> PartRun<'e> {
 
     fn retire_batches(&mut self) {
         for _ in 0..self.outstanding {
-            self.ctx.ledger.batch_done();
+            self.ctx.ledger.batch_done(self.ctx.my_part);
         }
         self.outstanding = 0;
         if self.outstanding_roots > 0 {
@@ -295,11 +296,14 @@ impl<'e> PartRun<'e> {
 
     /// Claims the next root batch from the ledger and seeds the root
     /// chunk. With stealing enabled this may block (in 1 ms slices) until
-    /// work appears somewhere; returns `false` once the whole run has
-    /// quiesced or this part was stopped.
-    fn seed_roots(&mut self) -> bool {
+    /// work appears somewhere; returns `Ok(false)` once the whole run has
+    /// quiesced or this part was stopped, and `Err` if a message-based
+    /// control plane lost an operation past its retry budget (the part
+    /// must abort rather than spin or silently quiesce).
+    fn seed_roots(&mut self) -> Result<bool, FetchError> {
         let t0 = Instant::now();
         let mut starving = false;
+        let mut failure: Option<FetchError> = None;
         let seeded = loop {
             if self.ctx.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
                 break false;
@@ -308,14 +312,22 @@ impl<'e> PartRun<'e> {
             // queries before claiming more roots for this one.
             self.ctx.arbiter.pace(self.ctx.client.query_id(), self.ctx.root_budget);
             match self.ctx.ledger.claim(self.ctx.my_part, self.seed_batch) {
-                Some((source, roots)) => {
+                Ok(Some((source, roots))) => {
                     self.ctx.arbiter.note_claimed(self.ctx.client.query_id(), roots.len() as u64);
                     self.seed_batch_into_chunk(source, &roots);
                     break true;
                 }
-                None => {
-                    if !self.ctx.ledger.stealing() || self.ctx.ledger.finished() {
+                Ok(None) => {
+                    if !self.ctx.ledger.stealing() {
                         break false;
+                    }
+                    match self.ctx.ledger.finished(self.ctx.my_part) {
+                        Ok(true) => break false,
+                        Ok(false) => {}
+                        Err(e) => {
+                            failure = Some(e);
+                            break false;
+                        }
                     }
                     // A failed run can never quiesce: the dead part's
                     // outstanding batches are never retired. Once a
@@ -327,19 +339,26 @@ impl<'e> PartRun<'e> {
                     }
                     if !starving {
                         starving = true;
-                        self.ctx.ledger.set_starving(true);
+                        self.ctx.ledger.set_starving(self.ctx.my_part, true);
                     }
                     let its = self.obs.start();
-                    self.ctx.ledger.wait_for_work();
+                    self.ctx.ledger.wait_for_work(self.ctx.my_part);
                     self.obs.span(SpanKind::Idle, its, 0);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break false;
                 }
             }
         };
         if starving {
-            self.ctx.ledger.set_starving(false);
+            self.ctx.ledger.set_starving(self.ctx.my_part, false);
         }
         self.scheduler += t0.elapsed();
-        seeded
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(seeded),
+        }
     }
 
     /// Fills the root chunk with one claimed batch. Stolen or spilled
@@ -394,7 +413,7 @@ impl<'e> PartRun<'e> {
     /// release pass frees them with the chunk), and the claimant restarts
     /// them from scratch on its own side of the fabric.
     fn maybe_donate(&mut self) {
-        if !self.ctx.ledger.stealing() || self.ctx.ledger.starving() == 0 {
+        if !self.ctx.ledger.stealing() || self.ctx.ledger.starving(self.ctx.my_part) == 0 {
             return;
         }
         let threads = self.ctx.cfg.compute_threads.max(1);

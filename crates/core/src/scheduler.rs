@@ -23,6 +23,7 @@
 //!    check instead of a per-part "my cursor is exhausted" test.
 
 use gpm_cluster::work::WorkCounter;
+use gpm_cluster::FetchError;
 use gpm_graph::partition::GraphPart;
 use gpm_graph::VertexId;
 use gpm_obs::{Recorder, SpanKind};
@@ -44,11 +45,17 @@ pub struct StealConfig {
     /// feeding from the shared ledger). Smaller batches balance better;
     /// larger batches amortize seeding overhead.
     pub batch: usize,
+    /// NUMA-aware victim ordering (paper §5.4): a thief prefers the
+    /// most-loaded part on its *own machine* before crossing the
+    /// simulated network, using the `machine * sockets_per_machine +
+    /// socket` part numbering. On by default; turning it off reverts to
+    /// flat most-loaded-anywhere selection.
+    pub numa: bool,
 }
 
 impl Default for StealConfig {
     fn default() -> Self {
-        StealConfig { enabled: false, batch: 256 }
+        StealConfig { enabled: false, batch: 256, numa: true }
     }
 }
 
@@ -407,6 +414,73 @@ pub(crate) enum ClaimSource {
     Stolen(usize),
 }
 
+/// The cross-part work-coordination protocol, abstracted over its
+/// carrier: root claims, steals, donations, batch retirements,
+/// starvation signals, quiescence votes, and crash recovery.
+///
+/// Two implementations exist. [`SharedLedger`] keeps the protocol on
+/// shared-memory atomics (the default, and the only option before the
+/// control plane was lifted out); [`crate::control::MsgLedger`] routes
+/// every operation as a typed control message through the cluster
+/// transport layer, with its own retry/backoff and fault injection. The
+/// engine and runtime only ever see this trait, so the two carriers are
+/// interchangeable per run — and must produce bit-identical counts.
+///
+/// [`claim`], [`finished`], and [`lost_roots`] are fallible: a
+/// message-based carrier can exhaust its retries, and the part
+/// coordinator must surface that as a run failure instead of spinning
+/// forever or silently quiescing (either could strand claimed-but-
+/// unprocessed roots). Fire-and-forget operations (`batch_done`,
+/// `donate`, `set_starving`) stay infallible at the trait boundary; a
+/// carrier that loses one poisons itself and reports the failure from
+/// the next fallible call.
+///
+/// [`claim`]: ControlPlane::claim
+/// [`finished`]: ControlPlane::finished
+/// [`lost_roots`]: ControlPlane::lost_roots
+pub(crate) trait ControlPlane: Send + Sync {
+    /// Whether cross-part stealing is enabled for this run.
+    fn stealing(&self) -> bool;
+
+    /// Claims the next root batch for `me`: own range first (up to
+    /// `own_batch` roots), then — with stealing on — the donation spill,
+    /// then the unclaimed tail of a victim part. `Ok(None)` means
+    /// nothing was claimable right now; pair every `Ok(Some(..))` with a
+    /// later [`ControlPlane::batch_done`].
+    fn claim(
+        &self,
+        me: usize,
+        own_batch: usize,
+    ) -> Result<Option<(ClaimSource, Vec<VertexId>)>, FetchError>;
+
+    /// Retires one of `me`'s claimed batches (fully processed).
+    fn batch_done(&self, me: usize);
+
+    /// Adds never-started level-0 roots from `donor` to the shared
+    /// spill, claimable by any part.
+    fn donate(&self, donor: usize, roots: Vec<VertexId>);
+
+    /// Marks `me` as idle-and-polling (or no longer so); loaded parts
+    /// consult the count to decide whether donating is worthwhile.
+    fn set_starving(&self, me: usize, on: bool);
+
+    /// Number of parts currently starving, as observed by `me`.
+    fn starving(&self, me: usize) -> usize;
+
+    /// Global termination check for a part that found nothing to claim.
+    fn finished(&self, me: usize) -> Result<bool, FetchError>;
+
+    /// Parks `me` briefly until another part may have retired a batch or
+    /// donated work; timed, so callers re-check stop flags regardless.
+    fn wait_for_work(&self, me: usize);
+
+    /// Reconstructs the exact multiset of roots whose results died with
+    /// the `dead` parts (claim log minus donate log, plus unclaimed
+    /// cursor tails, plus the orphaned spill). Called by the engine's
+    /// recovery pass once no part is claiming anymore.
+    fn lost_roots(&self, dead: &[usize]) -> Result<Vec<VertexId>, FetchError>;
+}
+
 struct PartCursor {
     part: Arc<GraphPart>,
     /// Next unclaimed index into `part.owned()`. May overshoot the length
@@ -453,10 +527,22 @@ pub(crate) struct RootLedger {
     idle_cv: Condvar,
     stealing: bool,
     batch: usize,
+    /// `Some(sockets_per_machine)` enables NUMA-aware victim ordering:
+    /// thieves prefer same-machine victims before crossing the network.
+    numa: Option<usize>,
 }
 
+/// The shared-memory implementation of [`ControlPlane`]: the original
+/// atomics-and-condvar [`RootLedger`], now one carrier behind the trait.
+pub(crate) type SharedLedger = RootLedger;
+
 impl RootLedger {
-    pub(crate) fn new(parts: Vec<Arc<GraphPart>>, stealing: bool, batch: usize) -> RootLedger {
+    pub(crate) fn new(
+        parts: Vec<Arc<GraphPart>>,
+        stealing: bool,
+        batch: usize,
+        numa: Option<usize>,
+    ) -> RootLedger {
         let n = parts.len();
         RootLedger {
             parts: parts
@@ -472,11 +558,22 @@ impl RootLedger {
             idle_cv: Condvar::new(),
             stealing,
             batch: batch.max(1),
+            numa: numa.map(|spm| spm.max(1)),
         }
     }
 
     pub(crate) fn stealing(&self) -> bool {
         self.stealing
+    }
+
+    /// Whether `p` sits on the same simulated machine as `me` under the
+    /// configured NUMA ordering; always `false` with NUMA ordering off,
+    /// which collapses victim selection back to flat most-loaded.
+    fn same_machine(&self, me: usize, p: usize) -> bool {
+        match self.numa {
+            Some(spm) => p / spm == me / spm,
+            None => false,
+        }
     }
 
     /// Claims the next batch of roots for `me`: own cursor first (up to
@@ -509,9 +606,14 @@ impl RootLedger {
             }
         }
         loop {
+            // Victim order: with NUMA ordering on, the most-loaded part
+            // of the thief's own machine beats any cross-machine part —
+            // stolen roots resolve their edge lists over the fabric, so
+            // keeping the victim local keeps that traffic off the
+            // simulated network (§5.4). Ties fall back to most-loaded.
             let victim = (0..self.parts.len())
                 .filter(|&p| p != me && self.remaining(p) > 0)
-                .max_by_key(|&p| self.remaining(p))?;
+                .max_by_key(|&p| (self.same_machine(me, p), self.remaining(p)))?;
             if let Some(roots) = self.claim_range(victim, self.batch) {
                 self.wc.add(1);
                 self.claim_log[me].lock().extend_from_slice(&roots);
@@ -661,12 +763,58 @@ impl RootLedger {
     /// nothing but the re-execution work. Stealing is forced on — spill
     /// claims are a stealing path.
     pub(crate) fn recovery(parts: Vec<Arc<GraphPart>>, lost: Vec<VertexId>, batch: usize) -> Self {
-        let ledger = RootLedger::new(parts, true, batch);
+        let ledger = RootLedger::new(parts, true, batch, None);
         for pc in &ledger.parts {
             pc.next.store(pc.part.owned().len(), Ordering::Relaxed);
         }
         *ledger.spill.lock() = lost;
         ledger
+    }
+}
+
+/// The trait carrier of the shared-memory ledger: every operation
+/// forwards to the inherent method (which tests and the recovery
+/// constructors keep calling directly); the fallible signatures are
+/// trivially `Ok` because shared memory cannot lose a message.
+impl ControlPlane for RootLedger {
+    fn stealing(&self) -> bool {
+        RootLedger::stealing(self)
+    }
+
+    fn claim(
+        &self,
+        me: usize,
+        own_batch: usize,
+    ) -> Result<Option<(ClaimSource, Vec<VertexId>)>, FetchError> {
+        Ok(RootLedger::claim(self, me, own_batch))
+    }
+
+    fn batch_done(&self, _me: usize) {
+        RootLedger::batch_done(self)
+    }
+
+    fn donate(&self, donor: usize, roots: Vec<VertexId>) {
+        RootLedger::donate(self, donor, roots)
+    }
+
+    fn set_starving(&self, _me: usize, on: bool) {
+        RootLedger::set_starving(self, on)
+    }
+
+    fn starving(&self, _me: usize) -> usize {
+        RootLedger::starving(self)
+    }
+
+    fn finished(&self, _me: usize) -> Result<bool, FetchError> {
+        Ok(RootLedger::finished(self))
+    }
+
+    fn wait_for_work(&self, _me: usize) {
+        RootLedger::wait_for_work(self)
+    }
+
+    fn lost_roots(&self, dead: &[usize]) -> Result<Vec<VertexId>, FetchError> {
+        Ok(RootLedger::lost_roots(self, dead))
     }
 }
 
@@ -803,7 +951,7 @@ mod tests {
         let g = gen::erdos_renyi(64, 128, 9);
         let pg = PartitionedGraph::new(&g, 4, 1);
         let parts = (0..pg.part_count()).map(|p| pg.part_arc(p)).collect();
-        RootLedger::new(parts, stealing, 8)
+        RootLedger::new(parts, stealing, 8, None)
     }
 
     #[test]
@@ -836,6 +984,50 @@ mod tests {
         assert_eq!(src, ClaimSource::Stolen(loaded));
         assert!(!roots.is_empty() && roots.len() <= 8);
         ledger.batch_done();
+    }
+
+    #[test]
+    fn numa_victim_ordering_prefers_same_machine_parts() {
+        // 2 machines x 2 sockets: parts {0, 1} share machine 0, parts
+        // {2, 3} share machine 1 (part = machine * spm + socket).
+        let g = gen::erdos_renyi(64, 128, 9);
+        let pg = PartitionedGraph::new(&g, 2, 2);
+        let mk = |numa: Option<usize>| {
+            let parts = (0..pg.part_count()).map(|p| pg.part_arc(p)).collect();
+            RootLedger::new(parts, true, 4, numa)
+        };
+        let shape = |ledger: &RootLedger| {
+            // Drain part 0's own roots and most of its machine-mate's,
+            // leaving part 1 lighter than both cross-machine parts.
+            while ledger.claim_range(0, 16).is_some() {}
+            let keep = 2;
+            let n1 = ledger.remaining(1);
+            assert!(ledger.claim_range(1, n1 - keep).is_some());
+            assert!(ledger.remaining(1) < ledger.remaining(2));
+            assert!(ledger.remaining(1) < ledger.remaining(3));
+        };
+        // Flat ordering steals from the most-loaded part anywhere.
+        let flat = mk(None);
+        shape(&flat);
+        let loaded = (1..4).max_by_key(|&p| flat.remaining(p)).unwrap();
+        let (src, _) = flat.claim(0, 0).expect("flat steal");
+        assert_eq!(src, ClaimSource::Stolen(loaded));
+        flat.batch_done();
+        // NUMA ordering prefers the lighter same-machine part first.
+        let numa = mk(Some(2));
+        shape(&numa);
+        let (src, _) = numa.claim(0, 0).expect("numa steal");
+        assert_eq!(src, ClaimSource::Stolen(1));
+        numa.batch_done();
+        // Once the local machine is drained, it crosses to the most
+        // loaded remote part like before.
+        while numa.remaining(1) > 0 {
+            numa.claim_range(1, 16);
+        }
+        let remote = (2..4).max_by_key(|&p| numa.remaining(p)).unwrap();
+        let (src, _) = numa.claim(0, 0).expect("cross-machine steal");
+        assert_eq!(src, ClaimSource::Stolen(remote));
+        numa.batch_done();
     }
 
     #[test]

@@ -17,7 +17,9 @@
 
 use crate::engine::{Engine, EngineError, QueryCtx, DEFAULT_ROOT_BUDGET};
 use crate::stats::RunStats;
-use gpm_obs::{critical_path, FailureSection, QueryReport, RunReport, Span, TrafficTotals};
+use gpm_obs::{
+    critical_path, ControlSection, FailureSection, QueryReport, RunReport, Span, TrafficTotals,
+};
 use gpm_pattern::iso::canonical_code;
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
@@ -441,6 +443,9 @@ impl MiningService {
                 agg.failures.rerouted_requests += stats.failures.rerouted_requests;
                 agg.failures.rerouted_bytes += stats.failures.rerouted_bytes;
                 agg.failures.reexecuted_roots += stats.failures.reexecuted_roots;
+                agg.control.sent += stats.control.sent;
+                agg.control.retried += stats.control.retried;
+                agg.control.dropped += stats.control.dropped;
             }
         }
         // Service-level failure count: parts that fail-stopped, counted
@@ -534,6 +539,11 @@ fn query_report(o: &QueryOutcome, spans: &[Span]) -> QueryReport {
                 rerouted_requests: stats.failures.rerouted_requests,
                 rerouted_bytes: stats.failures.rerouted_bytes,
                 reexecuted_roots: stats.failures.reexecuted_roots,
+            };
+            qr.control = ControlSection {
+                sent: stats.control.sent,
+                retried: stats.control.retried,
+                dropped: stats.control.dropped,
             };
             let mine: Vec<Span> = spans.iter().filter(|s| s.query == o.query_id).cloned().collect();
             qr.critical_path = critical_path(&mine);

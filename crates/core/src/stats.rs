@@ -101,6 +101,22 @@ pub struct FailureSummary {
     pub reexecuted_roots: u64,
 }
 
+/// Control-plane message accounting of one run (deltas over the run
+/// window). Non-zero only when the run coordinated steals and claims
+/// through the message-based ledger (`ControlMode::Msg`); the
+/// shared-memory carrier exchanges no messages. Deliberately *not*
+/// folded into [`TrafficSummary`], so shared-mode baselines stay
+/// bit-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlSummary {
+    /// Control requests sent, including retransmissions.
+    pub sent: u64,
+    /// Control requests re-sent after a timeout or injected fault.
+    pub retried: u64,
+    /// Control replies dropped by fault injection.
+    pub dropped: u64,
+}
+
 /// The result of one engine run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -114,6 +130,9 @@ pub struct RunStats {
     pub traffic: TrafficSummary,
     /// Fail-stop failure and failover accounting.
     pub failures: FailureSummary,
+    /// Control-plane message accounting (all-zero under the
+    /// shared-memory carrier).
+    pub control: ControlSummary,
 }
 
 impl RunStats {
@@ -188,6 +207,11 @@ impl RunStats {
                 rerouted_requests: self.failures.rerouted_requests,
                 rerouted_bytes: self.failures.rerouted_bytes,
                 reexecuted_roots: self.failures.reexecuted_roots,
+            },
+            control: gpm_obs::ControlSection {
+                sent: self.control.sent,
+                retried: self.control.retried,
+                dropped: self.control.dropped,
             },
             queries: Vec::new(),
         }
@@ -320,6 +344,7 @@ mod tests {
                 rerouted_bytes: 512,
                 reexecuted_roots: 6,
             },
+            control: ControlSummary { sent: 40, retried: 3, dropped: 2 },
         };
         let r = stats.to_report("khuzdul");
         assert_eq!(r.system, "khuzdul");
@@ -340,6 +365,9 @@ mod tests {
         assert_eq!(r.failures.rerouted_requests, stats.failures.rerouted_requests);
         assert_eq!(r.failures.rerouted_bytes, stats.failures.rerouted_bytes);
         assert_eq!(r.failures.reexecuted_roots, stats.failures.reexecuted_roots);
+        assert_eq!(r.control.sent, stats.control.sent);
+        assert_eq!(r.control.retried, stats.control.retried);
+        assert_eq!(r.control.dropped, stats.control.dropped);
         gpm_obs::validate_report(&r.to_json()).expect("converted report must validate");
     }
 

@@ -217,6 +217,7 @@ fn render_metrics(svc: &MiningService) -> String {
     let mut rerouted_requests = 0u64;
     let mut rerouted_bytes = 0u64;
     let mut reexecuted_roots = 0u64;
+    let mut ctrl = [0u64; 3]; // sent, retried, dropped
     for o in &outcomes {
         let Ok(stats) = &o.result else { continue };
         count += stats.count;
@@ -232,6 +233,9 @@ fn render_metrics(svc: &MiningService) -> String {
             rerouted_requests += stats.failures.rerouted_requests;
             rerouted_bytes += stats.failures.rerouted_bytes;
             reexecuted_roots += stats.failures.reexecuted_roots;
+            ctrl[0] += stats.control.sent;
+            ctrl[1] += stats.control.retried;
+            ctrl[2] += stats.control.dropped;
         }
     }
     let engine = svc.engine();
@@ -322,6 +326,24 @@ fn render_metrics(svc: &MiningService) -> String {
             engine.metrics().parts_failed() as f64,
         ),
         PromMetric::scalar(
+            "gpm_ctrl_sent_total",
+            "Control-plane messages sent by completed queries, retries included",
+            PromKind::Counter,
+            ctrl[0] as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_ctrl_retried_total",
+            "Control-plane message retries of completed queries",
+            PromKind::Counter,
+            ctrl[1] as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_ctrl_dropped_total",
+            "Control-plane messages dropped by fault injection",
+            PromKind::Counter,
+            ctrl[2] as f64,
+        ),
+        PromMetric::scalar(
             "gpm_memo_entries",
             "Memo entries currently resident",
             PromKind::Gauge,
@@ -358,6 +380,22 @@ fn render_metrics(svc: &MiningService) -> String {
             svc.uptime().as_secs_f64(),
         ),
     ];
+    // Claim round-trip latency of the message control plane. The
+    // exporter has no native histogram kind, so the recorder snapshot's
+    // percentiles go out as a quantile-labelled gauge.
+    let rtt = engine.recorder().hist_snapshot(gpm_obs::Metric::CtrlRttNs);
+    if rtt.count > 0 {
+        let mut quantiles = PromMetric {
+            name: "gpm_ctrl_claim_rtt_ns",
+            help: "Claim round-trip latency of the message control plane",
+            kind: PromKind::Gauge,
+            samples: Vec::new(),
+        };
+        for (q, v) in [("0.5", rtt.p50), ("0.95", rtt.p95), ("0.99", rtt.p99)] {
+            quantiles.samples.push((vec![("quantile", q.to_string())], v as f64));
+        }
+        metrics.push(quantiles);
+    }
     // Per-query embedding counts of completed queries (memoized ones
     // repeat their original's count, as in the report).
     let mut per_query = PromMetric {
@@ -541,6 +579,9 @@ mod tests {
             Some(report.count as f64),
             "scrape must reconcile with the report"
         );
+        // The shared ledger sends no control messages, and the scrape
+        // says so explicitly rather than omitting the family.
+        assert_eq!(gpm_obs::sample_value(&metrics, "gpm_ctrl_sent_total", None), Some(0.0));
         let status = http_get(server.local_addr(), "/status");
         let doc = gpm_obs::parse_json(&status).expect("status must be valid JSON");
         let serde::Value::Map(fields) = &doc else { panic!("status root is an object") };
@@ -549,5 +590,55 @@ mod tests {
         assert_eq!(http_get(server.local_addr(), "/quit"), "bye\n");
         assert!(server.quit_requested());
         assert!(http_get(server.local_addr(), "/nope").contains("not found"));
+    }
+
+    /// Under the message control plane, `/metrics` exposes the control
+    /// counters and the claim-RTT quantile gauge, and the counter
+    /// reconciles exactly with the aggregate report section.
+    #[test]
+    fn metrics_expose_control_plane_under_msg_mode() {
+        use crate::control::{ControlConfig, ControlMode};
+        use crate::scheduler::StealConfig;
+        let g = gen::barabasi_albert(200, 4, 29);
+        let pg = PartitionedGraph::new(&g, 3, 1);
+        let engine = Arc::new(Engine::new(
+            pg,
+            EngineConfig {
+                steal: StealConfig { enabled: true, batch: 8, ..StealConfig::default() },
+                control: ControlConfig { mode: ControlMode::Msg, ..ControlConfig::default() },
+                // The RTT histogram records through the obs recorder,
+                // which is off by default.
+                obs: gpm_obs::ObsConfig::enabled(),
+                ..EngineConfig::default()
+            },
+        ));
+        let svc = Arc::new(MiningService::start(engine, ServiceConfig::default()));
+        let server = StatusServer::start(Arc::clone(&svc), StatusConfig::default()).unwrap();
+        for p in [Pattern::triangle(), Pattern::cycle(4)] {
+            svc.submit(&p, &PlanOptions::automine()).unwrap().wait().unwrap();
+        }
+        let metrics = http_get(server.local_addr(), "/metrics");
+        gpm_obs::validate_exposition(&metrics).expect("exposition must be well-formed");
+        let report = svc.report("khuzdul-service");
+        assert!(report.control.sent > 0, "message mode must have coordinated via messages");
+        assert_eq!(
+            gpm_obs::sample_value(&metrics, "gpm_ctrl_sent_total", None),
+            Some(report.control.sent as f64),
+            "scrape must reconcile with the report's control section"
+        );
+        assert_eq!(
+            gpm_obs::sample_value(&metrics, "gpm_ctrl_retried_total", None),
+            Some(report.control.retried as f64),
+        );
+        assert_eq!(
+            gpm_obs::sample_value(&metrics, "gpm_ctrl_dropped_total", None),
+            Some(report.control.dropped as f64),
+        );
+        // Every claim acked means an RTT sample, so the quantile gauge
+        // must be present with ordered percentiles.
+        let p50 = gpm_obs::sample_value(&metrics, "gpm_ctrl_claim_rtt_ns", Some("0.5"));
+        let p99 = gpm_obs::sample_value(&metrics, "gpm_ctrl_claim_rtt_ns", Some("0.99"));
+        let (Some(p50), Some(p99)) = (p50, p99) else { panic!("claim RTT gauge missing") };
+        assert!(p50 <= p99, "percentiles must be ordered: p50={p50} p99={p99}");
     }
 }

@@ -7,8 +7,8 @@ use gpm_graph::{gen, GraphBuilder};
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::{interp, Pattern};
 use khuzdul::{
-    CacheConfig, CachePolicy, Engine, EngineConfig, EngineError, FabricConfig, FaultPlan,
-    RetryPolicy, StealConfig,
+    CacheConfig, CachePolicy, ControlConfig, ControlMode, Engine, EngineConfig, EngineError,
+    FabricConfig, FaultPlan, RetryPolicy, StealConfig,
 };
 use proptest::prelude::*;
 use std::time::Duration;
@@ -143,11 +143,12 @@ proptest! {
         let expect = clean.count(&plan).count;
         clean.shutdown();
 
-        let crashy = || EngineConfig {
+        let crashy = |mode: ControlMode| EngineConfig {
             // Small chunks split the fetch workload into many wire
             // requests so most sampled schedules actually fire mid-run.
             chunk_capacity: 32,
-            steal: StealConfig { enabled: steal, batch: 4 },
+            steal: StealConfig { enabled: steal, batch: 4, ..StealConfig::default() },
+            control: ControlConfig { mode, ..ControlConfig::default() },
             fabric: FabricConfig {
                 retry: RetryPolicy {
                     max_attempts: 4,
@@ -159,26 +160,75 @@ proptest! {
             },
             ..EngineConfig::default()
         };
-        // With a replica, every crash schedule must recover the exact
-        // count — whether the crash fires early, mid-run, or never.
-        let mut pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
-        pg.set_replication(2);
-        let engine = Engine::new(pg, crashy());
-        let run = engine.try_count(&plan).expect("replication must mask a single crash");
+        for mode in [ControlMode::Shared, ControlMode::Msg] {
+            // With a replica, every crash schedule must recover the exact
+            // count — whether the crash fires early, mid-run, or never —
+            // under either control-plane carrier.
+            let mut pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
+            pg.set_replication(2);
+            let engine = Engine::new(pg, crashy(mode));
+            let run = engine.try_count(&plan).expect("replication must mask a single crash");
+            engine.shutdown();
+            prop_assert!(run.count == expect, "mode {:?}: {} != {}", mode, run.count, expect);
+
+            // Without one, the same schedule either never fires (exact
+            // count) or surfaces as a typed loss — never a wrong count,
+            // never a hang.
+            let pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
+            let engine = Engine::new(pg, crashy(mode));
+            let res = engine.try_count(&plan);
+            engine.shutdown();
+            match res {
+                Ok(run) => {
+                    prop_assert!(run.count == expect, "mode {:?}: {} != {}", mode, run.count, expect)
+                }
+                Err(EngineError::PartLost { part }) => prop_assert_eq!(part, crash_part),
+                Err(e) => prop_assert!(false, "unexpected error under {:?}: {}", mode, e),
+            }
+        }
+    }
+
+    #[test]
+    fn counts_invariant_under_control_message_faults(
+        seed in 0u64..100,
+        fault_seed in 0u64..u64::MAX,
+        p in arb_pattern(),
+    ) {
+        // Dropping *control* messages (claims, retirements, quiescence
+        // polls) — not data fetches — must never change counts: replies
+        // are replayed from the responder's dedup cache, so a retried
+        // claim is never applied twice.
+        let g = gen::rmat(6, 8, (0.57, 0.19, 0.19), seed);
+        let plan = MatchingPlan::compile(&p, &PlanOptions::automine()).unwrap();
+        let pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
+        let clean = Engine::new(pg, EngineConfig::default());
+        let expect = clean.count(&plan).count;
+        clean.shutdown();
+
+        let pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
+        let engine = Engine::new(pg, EngineConfig {
+            chunk_capacity: 32,
+            steal: StealConfig { enabled: true, batch: 4, ..StealConfig::default() },
+            control: ControlConfig {
+                mode: ControlMode::Msg,
+                retry: RetryPolicy {
+                    max_attempts: 10,
+                    timeout: Duration::from_millis(50),
+                    backoff: Duration::from_micros(500),
+                },
+                fault: Some(FaultPlan { seed: fault_seed, ..FaultPlan::drops(0.2) }),
+            },
+            ..EngineConfig::default()
+        });
+        let run = engine.try_count(&plan).expect("retries must mask dropped control replies");
+        let (retried, dropped) = (
+            engine.metrics().total_ctrl_retried(),
+            engine.metrics().total_ctrl_dropped(),
+        );
         engine.shutdown();
         prop_assert_eq!(run.count, expect);
-
-        // Without one, the same schedule either never fires (exact count)
-        // or surfaces as a typed loss — never a wrong count, never a hang.
-        let pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
-        let engine = Engine::new(pg, crashy());
-        let res = engine.try_count(&plan);
-        engine.shutdown();
-        match res {
-            Ok(run) => prop_assert_eq!(run.count, expect),
-            Err(EngineError::PartLost { part }) => prop_assert_eq!(part, crash_part),
-            Err(e) => prop_assert!(false, "unexpected error: {e}"),
-        }
+        prop_assert!(retried > 0, "a 20% drop plan must force control retries");
+        prop_assert!(dropped > 0, "the drop plan must actually drop control replies");
     }
 
     #[test]
@@ -197,24 +247,34 @@ proptest! {
         for parts in [1usize, 4] {
             for threads in [1usize, 2, 4] {
                 for steal in [false, true] {
-                    let pg = PartitionedGraph::with_partitioner(&g, parts, 1, Partitioner::Range);
-                    let engine = Engine::new(pg, EngineConfig {
-                        compute_threads: threads,
-                        // Small chunks force multi-chunk levels, pauses,
-                        // and leftover hand-backs under stealing.
-                        chunk_capacity: 64,
-                        steal: StealConfig { enabled: steal, batch: 8 },
-                        ..EngineConfig::default()
-                    });
-                    let c = engine.count(&plan).count;
-                    engine.shutdown();
-                    match expect {
-                        None => expect = Some(c),
-                        Some(e) => prop_assert!(
-                            c == e,
-                            "count diverged: parts={} threads={} steal={}: {} != {}",
-                            parts, threads, steal, c, e
-                        ),
+                    for mode in [ControlMode::Shared, ControlMode::Msg] {
+                        // The message carrier only differs once several
+                        // parts actually coordinate; skip the degenerate
+                        // single-part sweep to keep the case affordable.
+                        if mode == ControlMode::Msg && parts == 1 {
+                            continue;
+                        }
+                        let pg =
+                            PartitionedGraph::with_partitioner(&g, parts, 1, Partitioner::Range);
+                        let engine = Engine::new(pg, EngineConfig {
+                            compute_threads: threads,
+                            // Small chunks force multi-chunk levels, pauses,
+                            // and leftover hand-backs under stealing.
+                            chunk_capacity: 64,
+                            steal: StealConfig { enabled: steal, batch: 8, ..StealConfig::default() },
+                            control: ControlConfig { mode, ..ControlConfig::default() },
+                            ..EngineConfig::default()
+                        });
+                        let c = engine.count(&plan).count;
+                        engine.shutdown();
+                        match expect {
+                            None => expect = Some(c),
+                            Some(e) => prop_assert!(
+                                c == e,
+                                "count diverged: parts={} threads={} steal={} mode={:?}: {} != {}",
+                                parts, threads, steal, mode, c, e
+                            ),
+                        }
                     }
                 }
             }

@@ -3,9 +3,10 @@
 
 use gpm_graph::gen;
 use gpm_graph::partition::{PartitionedGraph, Partitioner};
+use gpm_obs::SpanKind;
 use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::{oracle, Pattern};
-use khuzdul::{Engine, EngineConfig, StealConfig};
+use khuzdul::{ControlConfig, ControlMode, Engine, EngineConfig, ObsConfig, StealConfig};
 
 fn plan(p: &Pattern) -> MatchingPlan {
     MatchingPlan::compile(p, &PlanOptions::automine()).unwrap()
@@ -68,44 +69,108 @@ fn single_threaded_config_never_spawns_a_pool() {
 
 /// The ISSUE's acceptance criterion: on a skewed graph, stealing must
 /// lower the max/mean per-part busy-time ratio while leaving the count
-/// bit-identical.
+/// bit-identical — under **both** control-plane carriers (the message
+/// ledger must rebalance exactly like the shared-memory one).
 #[test]
 fn stealing_rebalances_a_skewed_graph_without_changing_the_count() {
     let g = skewed();
     let p = plan(&Pattern::triangle());
-    let run_with = |enabled: bool| {
-        let pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
+    let expect = oracle::count_subgraphs(&g, &Pattern::triangle(), false);
+    for mode in [ControlMode::Shared, ControlMode::Msg] {
+        let run_with = |enabled: bool| {
+            let pg = PartitionedGraph::with_partitioner(&g, 4, 1, Partitioner::Range);
+            let engine = Engine::new(
+                pg,
+                EngineConfig {
+                    compute_threads: 2,
+                    steal: StealConfig { enabled, batch: 64, ..StealConfig::default() },
+                    control: ControlConfig { mode, ..ControlConfig::default() },
+                    ..EngineConfig::default()
+                },
+            );
+            let run = engine.count(&p);
+            let report = engine.report(&run, "khuzdul");
+            engine.shutdown();
+            (run, report)
+        };
+
+        let (run_off, report_off) = run_with(false);
+        let (run_on, report_on) = run_with(true);
+        assert_eq!(run_on.count, run_off.count, "{mode:?}: stealing must not change the count");
+        assert_eq!(run_on.count, expect);
+
+        let stolen: u64 = run_on.per_part.iter().map(|p| p.roots_stolen).sum();
+        assert!(stolen > 0, "{mode:?}: range-partitioned R-MAT must starve parts into stealing");
+        assert_eq!(
+            run_off.per_part.iter().map(|p| p.roots_stolen).sum::<u64>(),
+            0,
+            "{mode:?}: stealing off must never move roots"
+        );
+
+        let (off, on) = (report_off.busy_imbalance(), report_on.busy_imbalance());
+        assert!(
+            on < off,
+            "{mode:?}: stealing must reduce busy-time imbalance on a skewed graph: \
+             on={on:.3} off={off:.3}"
+        );
+    }
+}
+
+/// NUMA-aware victim ordering: with two simulated machines of two sockets
+/// each, thieves that prefer same-machine victims must move a smaller
+/// share of stolen roots across the simulated network than load-only
+/// victim ordering — on the same skewed graph, with identical counts.
+#[test]
+fn numa_victim_ordering_cuts_cross_machine_steal_traffic() {
+    let g = skewed();
+    let p = plan(&Pattern::triangle());
+    let expect = oracle::count_subgraphs(&g, &Pattern::triangle(), false);
+    // machine(part) under 2 machines × 2 sockets.
+    let machine = |part: u64| part / 2;
+    let run_with = |numa: bool| {
+        let pg = PartitionedGraph::with_partitioner(&g, 2, 2, Partitioner::Range);
         let engine = Engine::new(
             pg,
             EngineConfig {
                 compute_threads: 2,
-                steal: StealConfig { enabled, batch: 64 },
+                // Small batches force many steal rounds so the victim
+                // ordering actually shows up in the traffic split.
+                steal: StealConfig { enabled: true, batch: 16, numa },
+                obs: ObsConfig::enabled(),
                 ..EngineConfig::default()
             },
         );
         let run = engine.count(&p);
-        let report = engine.report(&run, "khuzdul");
+        // Every cursor steal leaves a span: part = thief, arg = victim.
+        let (mut cross, mut total) = (0u64, 0u64);
+        for s in engine.recorder().spans() {
+            if s.kind == SpanKind::Steal {
+                total += 1;
+                if machine(s.part as u64) != machine(s.arg) {
+                    cross += 1;
+                }
+            }
+        }
         engine.shutdown();
-        (run, report)
+        assert_eq!(run.count, expect, "numa={numa}");
+        (cross, total)
     };
 
-    let (run_off, report_off) = run_with(false);
-    let (run_on, report_on) = run_with(true);
-    assert_eq!(run_on.count, run_off.count, "stealing must not change the count");
-    assert_eq!(run_on.count, oracle::count_subgraphs(&g, &Pattern::triangle(), false) as u64);
-
-    let stolen: u64 = run_on.per_part.iter().map(|p| p.roots_stolen).sum();
-    assert!(stolen > 0, "range-partitioned R-MAT must starve parts into stealing");
-    assert_eq!(
-        run_off.per_part.iter().map(|p| p.roots_stolen).sum::<u64>(),
-        0,
-        "stealing off must never move roots"
-    );
-
-    let (off, on) = (report_off.busy_imbalance(), report_on.busy_imbalance());
+    let (cross_flat, total_flat) = run_with(false);
+    let (cross_numa, total_numa) = run_with(true);
+    assert!(total_flat > 0 && total_numa > 0, "skew must force steals in both runs");
+    // Load-only ordering sends starving sockets straight at the hub part
+    // on the other machine; NUMA ordering drains same-machine victims
+    // first, so its cross-machine share cannot exceed the flat one.
+    let frac = |cross: u64, total: u64| cross as f64 / total as f64;
     assert!(
-        on < off,
-        "stealing must reduce busy-time imbalance on a skewed graph: on={on:.3} off={off:.3}"
+        frac(cross_numa, total_numa) <= frac(cross_flat, total_flat),
+        "NUMA ordering must not raise the cross-machine steal share: \
+         numa {cross_numa}/{total_numa} vs flat {cross_flat}/{total_flat}"
+    );
+    assert!(
+        cross_numa < total_numa,
+        "NUMA ordering must keep some steals on-machine ({cross_numa}/{total_numa} crossed)"
     );
 }
 
@@ -121,7 +186,7 @@ fn sequential_parts_disables_stealing() {
         EngineConfig {
             compute_threads: 2,
             sequential_parts: true,
-            steal: StealConfig { enabled: true, batch: 64 },
+            steal: StealConfig { enabled: true, batch: 64, ..StealConfig::default() },
             ..EngineConfig::default()
         },
     );

@@ -74,6 +74,10 @@ struct Parsed {
     hit_rate: f64,
     busy_imbalance: f64,
     fractions: Vec<(String, f64)>,
+    /// Control-plane counters — `None` for reports written before the
+    /// section existed (it is additive in v4 and optional here so old
+    /// checked-in baselines keep parsing).
+    control: Option<Vec<(String, u64)>>,
     queries: Vec<ParsedQuery>,
 }
 
@@ -131,6 +135,18 @@ fn parse_report(json: &str, which: &str) -> Result<Parsed, String> {
         fractions.push((key.to_string(), req_fraction(fr, key, "critical_path.fractions")?));
     }
 
+    let control = match get(top, "control") {
+        Some(v) => {
+            let m = as_map(v, "control")?;
+            let mut c = Vec::new();
+            for key in ["sent", "retried", "dropped"] {
+                c.push((key.to_string(), req_u64(m, key, "control")?));
+            }
+            Some(c)
+        }
+        None => None,
+    };
+
     let queries_seq =
         as_seq(get(top, "queries").ok_or(format!("{which}.queries: missing"))?, "queries")?;
     let mut queries = Vec::new();
@@ -166,6 +182,7 @@ fn parse_report(json: &str, which: &str) -> Result<Parsed, String> {
         hit_rate,
         busy_imbalance,
         fractions,
+        control,
         queries,
     })
 }
@@ -230,6 +247,16 @@ pub fn diff_reports(
             out.regressions.push(format!(
                 "critical_path.{key}: {c:.4} exceeds baseline {b:.4} (limit {limit:.4})"
             ));
+        }
+    }
+
+    // Control-plane counters are informational, never a gate: message
+    // volume depends on steal timing, which is schedule-dependent even
+    // for bit-identical counts. They only appear when both sides carry
+    // the (additive, optional) section.
+    if let (Some(b), Some(c)) = (&base.control, &cand.control) {
+        for ((key, bv), (_, cv)) in b.iter().zip(c) {
+            out.compared.push(format!("control.{key}: {bv} -> {cv}"));
         }
     }
 
@@ -331,6 +358,7 @@ mod tests {
                 per_part: Vec::new(),
             },
             failures: Default::default(),
+            control: Default::default(),
             queries: Vec::new(),
         }
     }
@@ -487,6 +515,34 @@ mod tests {
         let clean = with_queries(base_report());
         let d =
             diff_reports(&base.to_json(), &clean.to_json(), &DiffThresholds::default()).unwrap();
+        assert!(d.passed(), "regressions: {:?}", d.regressions);
+    }
+
+    #[test]
+    fn control_section_is_optional_and_informational() {
+        // Back-compat: a baseline written before the control section
+        // existed (stripped here) must still parse, and a candidate that
+        // does carry control counters must not regress against it.
+        let full = base_report().to_json();
+        let start = full.find("\"control\"").expect("serialized report has a control section");
+        let line_start = full[..start].rfind('\n').unwrap() + 1;
+        let end = start + full[start..].find("},").unwrap() + 3;
+        let stripped = format!("{}{}", &full[..line_start], &full[end..]);
+        assert!(!stripped.contains("\"control\""));
+
+        let mut cand = base_report();
+        cand.control = crate::report::ControlSection { sent: 10, retried: 1, dropped: 0 };
+        let cand_json = cand.to_json();
+        let d = diff_reports(&stripped, &cand_json, &DiffThresholds::default()).unwrap();
+        assert!(d.passed(), "regressions: {:?}", d.regressions);
+        assert!(!d.compared.iter().any(|l| l.contains("control.")));
+
+        // When both sides carry the section, the values show up in the
+        // comparison log — but adverse movement never gates.
+        let mut noisy = base_report();
+        noisy.control = crate::report::ControlSection { sent: 9999, retried: 500, dropped: 10 };
+        let d = diff_reports(&cand_json, &noisy.to_json(), &DiffThresholds::default()).unwrap();
+        assert!(d.compared.iter().any(|l| l.contains("control.sent")));
         assert!(d.passed(), "regressions: {:?}", d.regressions);
     }
 

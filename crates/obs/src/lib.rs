@@ -55,9 +55,9 @@ pub use hist::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
 pub use progress::{PartProgress, QueryProgress};
 pub use recorder::{GaugeSample, Metric, ObsHandle, Recorder};
 pub use report::{
-    BreakdownFractions, CriticalPathFractions, CriticalPathSection, FailureSection, NamedHistogram,
-    PartCriticalPath, PartReport, QueryReport, RingOccupancy, RunReport, SeriesPoint, SpanStats,
-    TrafficTotals, REPORT_SCHEMA_VERSION,
+    BreakdownFractions, ControlSection, CriticalPathFractions, CriticalPathSection, FailureSection,
+    NamedHistogram, PartCriticalPath, PartReport, QueryReport, RingOccupancy, RunReport,
+    SeriesPoint, SpanStats, TrafficTotals, REPORT_SCHEMA_VERSION,
 };
 pub use rollup::{Rollup, Window};
 pub use span::{Span, SpanKind};

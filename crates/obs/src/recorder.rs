@@ -33,23 +33,28 @@ pub enum Metric {
     /// build: any observation flags a worker accounting bug that the
     /// write-back clamp would otherwise silently hide.
     ResumeOverclaim,
+    /// Control-plane claim round-trip latency, submit to reply,
+    /// nanoseconds. Only populated under the message-based control
+    /// plane (`--control msg`); empty under shared memory.
+    CtrlRttNs,
 }
 
 /// One row per metric: its report index and stable name. The single
 /// source of truth — `Metric::ALL`, `Metric::name`, and the validator's
 /// allowed-histogram-name list all derive from this table, so adding a
 /// metric cannot desync the recorder from the schema check.
-const METRIC_TABLE: [(Metric, &str); 5] = [
+const METRIC_TABLE: [(Metric, &str); 6] = [
     (Metric::FetchLatencyNs, "fetch_latency_ns"),
     (Metric::BatchBytes, "batch_bytes"),
     (Metric::ChunkFanout, "chunk_fanout"),
     (Metric::WindowOccupancy, "window_occupancy"),
     (Metric::ResumeOverclaim, "resume_overclaim"),
+    (Metric::CtrlRttNs, "ctrl_rtt_ns"),
 ];
 
 impl Metric {
     /// All metrics, in report order (derived from the metric table).
-    pub const ALL: [Metric; 5] = {
+    pub const ALL: [Metric; 6] = {
         let mut all = [METRIC_TABLE[0].0; METRIC_TABLE.len()];
         let mut i = 0;
         while i < METRIC_TABLE.len() {
@@ -72,6 +77,7 @@ impl Metric {
             Metric::ChunkFanout => 2,
             Metric::WindowOccupancy => 3,
             Metric::ResumeOverclaim => 4,
+            Metric::CtrlRttNs => 5,
         }
     }
 }
@@ -128,7 +134,7 @@ pub struct Recorder {
     enabled: AtomicBool,
     epoch: Instant,
     shards: Vec<Mutex<Ring>>,
-    hists: [Histogram; 5],
+    hists: [Histogram; 6],
     series: Mutex<Vec<GaugeSample>>,
     recorded: AtomicU64,
     shard_cap: usize,

@@ -19,7 +19,11 @@ use serde::Serialize;
 /// `failures`, and `critical_path` (empty for a single-query run
 /// report). Additive (still v4): per-query `roots_total` /
 /// `roots_completed` progress totals and `memo_entries` /
-/// `memo_evictions` service-memo counters.
+/// `memo_evictions` service-memo counters. Additive (still v4): the
+/// `control` section (aggregate and per-query) — control-plane message
+/// totals of the message-based steal/claim ledger; all-zero under the
+/// shared-memory carrier and absent from pre-existing reports (readers
+/// treat a missing section as all-zero).
 pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// End-of-run traffic totals, mirroring the engine's `TrafficSummary`
@@ -195,6 +199,22 @@ pub struct FailureSection {
     pub reexecuted_roots: u64,
 }
 
+/// Control-plane message accounting (additive in v4): the steal/claim
+/// protocol's typed messages when the run coordinated through the
+/// message-based ledger (`--control msg`). All-zero under the
+/// shared-memory carrier, which exchanges no messages. `sent` counts
+/// every attempt (first sends *and* retries), so `sent - retried` is the
+/// number of distinct operations issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct ControlSection {
+    /// Control requests sent, including retransmissions.
+    pub sent: u64,
+    /// Control requests re-sent after a timeout or injected fault.
+    pub retried: u64,
+    /// Control replies dropped by fault injection.
+    pub dropped: u64,
+}
+
 /// Per-query section of a multi-tenant service report (schema v4). One
 /// entry per admitted query, in admission order; a plain single-run
 /// report carries an empty `queries` list.
@@ -232,6 +252,9 @@ pub struct QueryReport {
     pub memo_entries: u64,
     /// Cumulative memo evictions by the time this query completed.
     pub memo_evictions: u64,
+    /// Control-plane messages attributed to this query (additive in v4;
+    /// all-zero under the shared-memory carrier).
+    pub control: ControlSection,
 }
 
 /// The versioned run report written by `--report-out`.
@@ -267,6 +290,9 @@ pub struct RunReport {
     /// Fail-stop failure and failover accounting (all-zero for a
     /// fault-free run).
     pub failures: FailureSection,
+    /// Control-plane message accounting (additive in v4; all-zero under
+    /// the shared-memory carrier).
+    pub control: ControlSection,
     /// Per-query sections of a multi-tenant service run (schema v4),
     /// in admission order; empty for a single-query run.
     pub queries: Vec<QueryReport>,
@@ -440,6 +466,7 @@ mod tests {
                 rerouted_bytes: 2048,
                 reexecuted_roots: 9,
             },
+            control: ControlSection { sent: 120, retried: 6, dropped: 4 },
             queries: vec![QueryReport {
                 query_id: 1,
                 pattern: "triangle".to_string(),
@@ -474,6 +501,7 @@ mod tests {
                 roots_completed: 309,
                 memo_entries: 1,
                 memo_evictions: 0,
+                control: ControlSection { sent: 120, retried: 6, dropped: 4 },
             }],
         }
     }
@@ -496,6 +524,8 @@ mod tests {
         assert!(a.contains("\"memoized\": false"));
         assert!(a.contains("\"roots_total\": 300"));
         assert!(a.contains("\"memo_evictions\": 0"));
+        assert!(a.contains("\"control\""));
+        assert!(a.contains("\"retried\": 6"));
     }
 
     #[test]

@@ -67,6 +67,12 @@ pub enum SpanKind {
     /// Recovery pass re-executing a dead part's lost roots on the
     /// surviving parts (arg = number of roots).
     Recovery,
+    /// A control-plane message round trip, submit to reply (arg = the
+    /// operation code from `CtrlOp::code`). Part is the *client* part.
+    CtrlMsg,
+    /// A control-plane message resubmission, spanning the retry backoff
+    /// sleep (arg = attempt number).
+    CtrlRetry,
 }
 
 impl SpanKind {
@@ -98,6 +104,8 @@ impl SpanKind {
             SpanKind::PartFailed => "part_failed",
             SpanKind::Failover => "failover",
             SpanKind::Recovery => "recovery",
+            SpanKind::CtrlMsg => "ctrl_msg",
+            SpanKind::CtrlRetry => "ctrl_retry",
         }
     }
 
@@ -119,7 +127,9 @@ impl SpanKind {
             | SpanKind::Donate
             | SpanKind::Park
             | SpanKind::Idle
-            | SpanKind::Recovery => 7,
+            | SpanKind::Recovery
+            | SpanKind::CtrlMsg
+            | SpanKind::CtrlRetry => 7,
             SpanKind::PostSend | SpanKind::PostRecv => 8,
         }
     }
@@ -182,7 +192,7 @@ impl Span {
 mod tests {
     use super::*;
 
-    const ALL: [SpanKind; 25] = [
+    const ALL: [SpanKind; 27] = [
         SpanKind::SeedRoots,
         SpanKind::Resolve,
         SpanKind::BucketRound,
@@ -208,6 +218,8 @@ mod tests {
         SpanKind::PartFailed,
         SpanKind::Failover,
         SpanKind::Recovery,
+        SpanKind::CtrlMsg,
+        SpanKind::CtrlRetry,
     ];
 
     #[test]

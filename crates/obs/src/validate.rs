@@ -256,6 +256,27 @@ pub(crate) const CRITICAL_PATH_FRACTION_KEYS: [&str; 4] =
 const FAILURE_KEYS: [&str; 4] =
     ["parts_failed", "rerouted_requests", "rerouted_bytes", "reexecuted_roots"];
 
+/// Counter keys of the (additive-in-v4, optional) control section.
+const CONTROL_KEYS: [&str; 3] = ["sent", "retried", "dropped"];
+
+/// Checks a control section *if present*. The section is additive in
+/// v4 — reports written before the message-based control plane lack it,
+/// and readers treat a missing section as all-zero — so absence is not
+/// an error, but a present section must be well-formed: all counters
+/// u64, and retries can never exceed sends (every retry is a send).
+fn check_control(parent: &[(String, Value)], ctx: &str) -> Result<(), String> {
+    let Some(ctrl) = get(parent, "control") else { return Ok(()) };
+    let m = as_map(ctrl, ctx)?;
+    for key in CONTROL_KEYS {
+        req_u64(m, key, ctx)?;
+    }
+    let (sent, retried) = (req_u64(m, "sent", ctx)?, req_u64(m, "retried", ctx)?);
+    if retried > sent {
+        return Err(format!("{ctx}: retried {retried} > sent {sent}"));
+    }
+    Ok(())
+}
+
 /// Checks a traffic section: all [`TRAFFIC_KEYS`] present as u64.
 fn check_traffic(map: &[(String, Value)], ctx: &str) -> Result<(), String> {
     for key in TRAFFIC_KEYS {
@@ -435,6 +456,8 @@ pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
         ));
     }
 
+    check_control(top, "control")?;
+
     let queries = as_seq(get(top, "queries").ok_or("report.queries: missing")?, "queries")?;
     let mut seen_ids: Vec<u64> = Vec::new();
     for (i, q) in queries.iter().enumerate() {
@@ -463,6 +486,7 @@ pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
         let q_cp =
             as_map(get(m, "critical_path").ok_or(format!("{ctx}.critical_path: missing"))?, &ctx)?;
         check_critical_path(q_cp, &format!("{ctx}.critical_path"))?;
+        check_control(m, &format!("{ctx}.control"))?;
     }
     seen_ids.sort_unstable();
     let unique = seen_ids.len();

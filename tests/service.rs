@@ -5,8 +5,8 @@
 //! as schema v4 with one section per query.
 
 use khuzdul::{
-    Engine, EngineConfig, FabricConfig, FaultPlan, MiningService, ObsConfig, QueryCtx, RetryPolicy,
-    ServiceConfig, StealConfig,
+    ControlConfig, ControlMode, Engine, EngineConfig, FabricConfig, FaultPlan, MiningService,
+    ObsConfig, QueryCtx, RetryPolicy, ServiceConfig, StealConfig,
 };
 use khuzdul_repro::graph::partition::PartitionedGraph;
 use khuzdul_repro::graph::{gen, Graph};
@@ -32,42 +32,66 @@ fn solo_counts(g: &Graph, patterns: &[Pattern]) -> Vec<u64> {
 }
 
 /// Overlapping queries submitted from separate threads, with stealing
-/// both off and on: each count is bit-identical to its solo run, and
-/// the duplicate is served from the memo.
+/// both off and on and under **both** control-plane carriers: each
+/// count is bit-identical to its solo run, and the duplicate is served
+/// from the memo. This is the ISSUE's service-level acceptance: four
+/// concurrent queries must stay exact when every claim, donation, and
+/// quiescence vote rides the message fabric instead of shared atomics.
 #[test]
 fn overlapping_queries_match_solo_counts_under_steal_on_and_off() {
     let g = gen::barabasi_albert(300, 5, 17);
     let patterns = workload();
     let expect = solo_counts(&g, &patterns);
-    for steal in [false, true] {
-        let engine = Arc::new(Engine::new(
-            PartitionedGraph::new(&g, 4, 1),
-            EngineConfig {
-                steal: StealConfig { enabled: steal, batch: 8 },
-                ..EngineConfig::default()
-            },
-        ));
-        let svc = MiningService::start(
-            Arc::clone(&engine),
-            ServiceConfig { max_concurrent: 4, root_budget: 64, ..ServiceConfig::default() },
-        );
-        // Submit serially (admission order is part of the contract),
-        // then wait from separate threads so all queries overlap.
-        let handles: Vec<_> =
-            patterns.iter().map(|p| svc.submit(p, &PlanOptions::automine()).unwrap()).collect();
-        let counts: Vec<u64> = std::thread::scope(|s| {
-            let joins: Vec<_> = handles
-                .iter()
-                .map(|h| s.spawn(move || h.wait().expect("query must succeed").count))
-                .collect();
-            joins.into_iter().map(|j| j.join().unwrap()).collect()
-        });
-        assert_eq!(counts, expect, "steal={steal}");
-        assert!(
-            handles[4].memoized(),
-            "steal={steal}: duplicate triangle must be served from the memo"
-        );
-        assert!(handles[..4].iter().all(|h| !h.memoized()), "steal={steal}");
+    for mode in [ControlMode::Shared, ControlMode::Msg] {
+        for steal in [false, true] {
+            let engine = Arc::new(Engine::new(
+                PartitionedGraph::new(&g, 4, 1),
+                EngineConfig {
+                    steal: StealConfig { enabled: steal, batch: 8, ..StealConfig::default() },
+                    control: ControlConfig { mode, ..ControlConfig::default() },
+                    ..EngineConfig::default()
+                },
+            ));
+            let svc = MiningService::start(
+                Arc::clone(&engine),
+                ServiceConfig { max_concurrent: 4, root_budget: 64, ..ServiceConfig::default() },
+            );
+            // Submit serially (admission order is part of the contract),
+            // then wait from separate threads so all queries overlap.
+            let handles: Vec<_> =
+                patterns.iter().map(|p| svc.submit(p, &PlanOptions::automine()).unwrap()).collect();
+            let counts: Vec<u64> = std::thread::scope(|s| {
+                let joins: Vec<_> = handles
+                    .iter()
+                    .map(|h| s.spawn(move || h.wait().expect("query must succeed").count))
+                    .collect();
+                joins.into_iter().map(|j| j.join().unwrap()).collect()
+            });
+            assert_eq!(counts, expect, "mode={mode:?} steal={steal}");
+            assert!(
+                handles[4].memoized(),
+                "mode={mode:?} steal={steal}: duplicate triangle must be served from the memo"
+            );
+            assert!(handles[..4].iter().all(|h| !h.memoized()), "mode={mode:?} steal={steal}");
+            // The carriers are observable: only the message ledger sends
+            // control messages, and its report says so — per query and
+            // in the aggregate — while the shared ledger stays silent.
+            let report = svc.report("khuzdul-service");
+            let sent = engine.metrics().total_ctrl_sent();
+            match mode {
+                ControlMode::Shared => assert_eq!(sent, 0, "shared ledger must send no messages"),
+                ControlMode::Msg => {
+                    assert!(sent > 0, "message ledger must coordinate via messages");
+                    assert_eq!(
+                        report.control.sent,
+                        report.queries.iter().map(|q| q.control.sent).sum::<u64>(),
+                        "aggregate control counters must reconcile with the per-query sections"
+                    );
+                    assert!(report.control.sent > 0);
+                }
+            }
+            gpm_obs::validate_report(&report.to_json()).expect("service report must validate");
+        }
     }
 }
 
