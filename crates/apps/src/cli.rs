@@ -16,7 +16,8 @@ use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
 use khuzdul::{
     ControlConfig, ControlMode, CrashAt, Engine, EngineConfig, FabricConfig, FaultPlan,
-    MiningService, ObsConfig, RunStats, ServiceConfig, StatusConfig, StatusServer, StealConfig,
+    IncidentConfig, MiningService, ObsConfig, RetryPolicy, RunStats, ServiceConfig, StatusConfig,
+    StatusServer, StealConfig,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -74,6 +75,19 @@ pub struct Options {
     /// retirement, and quiescence vote as typed control messages over
     /// the same fabric that moves edge lists.
     pub control: ControlMode,
+    /// Capture incident bundles — crash, deadline-miss, and stall
+    /// post-mortems — into this directory (`--incident-dir`; Khuzdul
+    /// systems only). Inspect them with `gpm incident list|show|diff`.
+    pub incident_dir: Option<String>,
+    /// Arm the stall watchdog: a run whose scheduler heartbeat stays
+    /// flat this long dumps a bundle of the wedged state (`--stall-ms`;
+    /// needs `--incident-dir`).
+    pub stall_ms: Option<u64>,
+    /// Fraction of *control-plane* replies to drop
+    /// (`--control-fault-drop`; needs `--control msg`). Separate from
+    /// `--fault-drop`, which only touches data fetches — dropping every
+    /// claim reply is how you wedge the scheduler on purpose.
+    pub control_fault_drop: f64,
 }
 
 /// Graph source.
@@ -162,6 +176,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut steal = true;
     let mut steal_batch = StealConfig::default().batch;
     let mut control = ControlMode::default();
+    let mut incident_dir: Option<String> = None;
+    let mut stall_ms: Option<u64> = None;
+    let mut control_fault_drop = 0.0f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
@@ -193,9 +210,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--steal-batch" => steal_batch = parse_num(value()?)?,
             "--control" => control = parse_control(value()?)?,
+            "--incident-dir" => incident_dir = Some(value()?.to_string()),
+            "--stall-ms" => stall_ms = Some(parse_num(value()?)? as u64),
+            "--control-fault-drop" => control_fault_drop = parse_fraction(value()?)?,
             "--help" | "-h" => return Err("see the crate docs for usage".into()),
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if control_fault_drop > 0.0 && control != ControlMode::Msg {
+        return Err("--control-fault-drop needs --control msg (shared control has no wire)".into());
     }
     Ok(Options {
         graph: graph.ok_or("one of --graph or --gen is required")?,
@@ -217,6 +240,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         steal,
         steal_batch: steal_batch.max(1),
         control,
+        incident_dir,
+        stall_ms,
+        control_fault_drop,
     })
 }
 
@@ -327,11 +353,13 @@ pub fn parse_gen(spec: &str) -> Result<Graph, String> {
 /// The first argument may be a subcommand: `count` (default — mine one
 /// pattern), `stats` (graph analysis report), `motifs` (k-motif census),
 /// `fsm` (frequent subgraph mining), `serve` (replay a multi-query
-/// workload through the resident [`MiningService`]), `top` (one-shot
-/// live view of a served `--status-addr` endpoint), `report-validate`
-/// (schema-check a `RunReport` JSON file produced by `--report-out`),
-/// `metrics-validate` (syntax-check a saved `/metrics` scrape), or
-/// `report diff` (thresholded regression gate over two report files).
+/// workload through the resident [`MiningService`]), `top` (live view
+/// of a served `--status-addr` endpoint, one-shot or `--watch`),
+/// `report-validate` (schema-check a `RunReport` JSON file produced by
+/// `--report-out`), `metrics-validate` (syntax-check a saved `/metrics`
+/// scrape), `report diff` (thresholded regression gate over two report
+/// files), or `incident list|show|diff` (inspect incident bundles
+/// captured by `--incident-dir` runs).
 ///
 /// # Errors
 ///
@@ -347,6 +375,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("report-validate") => return run_report_validate(&args[1..]),
         Some("metrics-validate") => return run_metrics_validate(&args[1..]),
         Some("report") => return run_report(&args[1..]),
+        Some("incident") => return run_incident(&args[1..]),
         _ => {}
     }
     run_count(args)
@@ -394,6 +423,8 @@ fn run_serve(args: &[String]) -> Result<String, String> {
     let mut slow_query_ms: Option<u64> = None;
     let mut linger_ms = 0u64;
     let mut memo_capacity = ServiceConfig::default().memo_capacity;
+    let mut incident_dir: Option<String> = None;
+    let mut stall_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
@@ -421,6 +452,8 @@ fn run_serve(args: &[String]) -> Result<String, String> {
             "--slow-query-ms" => slow_query_ms = Some(parse_num(value()?)? as u64),
             "--status-linger-ms" => linger_ms = parse_num(value()?)? as u64,
             "--memo-capacity" => memo_capacity = parse_num(value()?)?,
+            "--incident-dir" => incident_dir = Some(value()?.to_string()),
+            "--stall-ms" => stall_ms = Some(parse_num(value()?)? as u64),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -446,6 +479,11 @@ fn run_serve(args: &[String]) -> Result<String, String> {
             obs,
             steal: StealConfig { enabled: steal, ..StealConfig::default() },
             control: ControlConfig { mode: control, ..ControlConfig::default() },
+            incident: IncidentConfig {
+                dir: incident_dir.clone().map(Into::into),
+                stall: stall_ms.map(Duration::from_millis),
+                ..IncidentConfig::default()
+            },
             ..EngineConfig::default()
         },
     ));
@@ -502,6 +540,12 @@ fn run_serve(args: &[String]) -> Result<String, String> {
                 writeln!(out, "q{:<3} {:<24} count={}{memo}", o.query_id, o.pattern, stats.count);
         }
     }
+    if let (Some(dir), false) = (&incident_dir, quiet) {
+        let n = service.engine().incidents().incidents().len();
+        if n > 0 {
+            let _ = writeln!(out, "{n} incident bundle(s) in {dir}");
+        }
+    }
     if let Some(path) = &report_out {
         let report = service.report("khuzdul-service");
         report.write_to(path).map_err(|e| format!("writing {path}: {e}"))?;
@@ -532,14 +576,56 @@ fn run_metrics_validate(args: &[String]) -> Result<String, String> {
     Ok(format!("{path}: valid Prometheus exposition ({samples} samples)\n"))
 }
 
-/// `gpm top ADDR`: one-shot live view of a `gpm serve --status-addr`
-/// endpoint — service gauges, in-flight query progress with ETA, recent
-/// completions, and the slow-query log, rendered as a table.
+/// `gpm top ADDR [--watch SECS] [--frames N]`: live view of a
+/// `gpm serve --status-addr` endpoint — service gauges, in-flight query
+/// progress with ETA, recent completions, and the slow-query log,
+/// rendered as a table. Without `--watch` it scrapes once; with it, a
+/// frame per interval until `--frames` runs out or the server goes away
+/// (a `serve --status-linger-ms` window ending, or `GET /quit`).
 fn run_top(args: &[String]) -> Result<String, String> {
-    let addr = args.first().ok_or("top needs the status address, e.g. 127.0.0.1:9090")?;
-    let body = http_get_body(addr, "/status")?;
-    let doc = gpm_obs::parse_json(&body).map_err(|e| format!("{addr}: bad /status JSON: {e}"))?;
-    render_top(addr, &doc)
+    let mut addr: Option<&str> = None;
+    let mut watch: Option<Duration> = None;
+    let mut frames: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            || it.next().map(String::as_str).ok_or_else(|| format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--watch" => watch = Some(Duration::from_secs_f64(parse_float(value()?)?)),
+            "--frames" => frames = Some(parse_num(value()?)?.max(1)),
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            other => addr = Some(other),
+        }
+    }
+    let addr = addr.ok_or("top needs the status address, e.g. 127.0.0.1:9090")?;
+    if frames.is_some() && watch.is_none() {
+        return Err("--frames needs --watch".into());
+    }
+    let frames = frames.unwrap_or(if watch.is_some() { usize::MAX } else { 1 });
+    let mut out = String::new();
+    for frame in 0..frames {
+        if frame > 0 {
+            std::thread::sleep(watch.unwrap_or_default());
+        }
+        let body = match http_get_body(addr, "/status") {
+            Ok(body) => body,
+            // A watched server disappearing mid-watch is the normal end
+            // of a linger window, not an error; the first scrape failing
+            // means there was never anything to watch.
+            Err(e) if frame > 0 => {
+                let _ = writeln!(out, "server gone: {e}");
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        let doc =
+            gpm_obs::parse_json(&body).map_err(|e| format!("{addr}: bad /status JSON: {e}"))?;
+        if watch.is_some() {
+            let _ = writeln!(out, "--- frame {} ---", frame + 1);
+        }
+        out.push_str(&render_top(addr, &doc)?);
+    }
+    Ok(out)
 }
 
 /// Minimal blocking HTTP GET against the status server.
@@ -735,6 +821,239 @@ fn run_report_diff(args: &[String]) -> Result<String, String> {
     Err(out)
 }
 
+/// `gpm incident SUBCOMMAND`: operations over incident bundles captured
+/// by `--incident-dir` runs.
+fn run_incident(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("list") => run_incident_list(&args[1..]),
+        Some("show") => run_incident_show(&args[1..]),
+        Some("diff") => run_incident_diff(&args[1..]),
+        Some(other) => {
+            Err(format!("unknown incident subcommand '{other}' (expected: list, show, diff)"))
+        }
+        None => Err(
+            "incident needs a subcommand: list <dir> | show <bundle.json> | diff <a.json> <b.json>"
+                .into(),
+        ),
+    }
+}
+
+/// Looks up `key` in a JSON object, `Null` when absent or not an object.
+fn json_get(v: &serde::Value, key: &str) -> serde::Value {
+    let serde::Value::Map(fields) = v else { return serde::Value::Null };
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()).unwrap_or(serde::Value::Null)
+}
+
+fn json_u64(v: &serde::Value, key: &str) -> u64 {
+    match json_get(v, key) {
+        serde::Value::UInt(u) => u,
+        serde::Value::Int(i) => i.max(0) as u64,
+        _ => 0,
+    }
+}
+
+fn json_str(v: &serde::Value, key: &str) -> String {
+    match json_get(v, key) {
+        serde::Value::Str(s) => s,
+        _ => String::new(),
+    }
+}
+
+/// Reads and schema-checks one bundle file.
+fn load_bundle(path: &str) -> Result<serde::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    khuzdul::validate_bundle(&text).map_err(|e| format!("{path}: {e}"))?;
+    gpm_obs::parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `gpm incident list DIR`: one line per bundle, oldest first.
+fn run_incident_list(args: &[String]) -> Result<String, String> {
+    let dir = args.first().ok_or("incident list needs a directory")?;
+    let bundles = khuzdul::list_bundles(std::path::Path::new(dir.as_str()))
+        .map_err(|e| format!("{dir}: {e}"))?;
+    if bundles.is_empty() {
+        return Ok(format!("{dir}: no incident bundles\n"));
+    }
+    let mut out = String::new();
+    for path in &bundles {
+        let doc = load_bundle(&path.display().to_string())?;
+        let trigger = json_get(&doc, "trigger");
+        let _ = writeln!(
+            out,
+            "{:<32} {:<18} q{:<5} t+{:.3}s  {}",
+            json_str(&doc, "id"),
+            json_str(&trigger, "kind"),
+            json_u64(&trigger, "query_id"),
+            json_u64(&trigger, "at_ns") as f64 / 1e9,
+            path.display()
+        );
+    }
+    let _ = writeln!(out, "{} bundle(s) in {dir}", bundles.len());
+    Ok(out)
+}
+
+/// `gpm incident show FILE`: render one bundle — trigger, config,
+/// flight-ring slice, progress snapshots, counters, and ledger state.
+fn run_incident_show(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("incident show needs a bundle file")?;
+    let doc = load_bundle(path)?;
+    let trigger = json_get(&doc, "trigger");
+    let config = json_get(&doc, "config");
+    let mut out = String::new();
+    let _ = writeln!(out, "incident {}", json_str(&doc, "id"));
+    let part = match json_get(&trigger, "part") {
+        serde::Value::UInt(p) => format!(" part {p}"),
+        _ => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "trigger  {} (query {}{part}, value {}, t+{:.3}s)",
+        json_str(&trigger, "kind"),
+        json_u64(&trigger, "query_id"),
+        json_u64(&trigger, "value"),
+        json_u64(&trigger, "at_ns") as f64 / 1e9,
+    );
+    let _ = writeln!(out, "detail   {}", json_str(&trigger, "detail"));
+    let stall = match json_get(&config, "stall_ms") {
+        serde::Value::UInt(ms) => format!(", stall watchdog {ms}ms"),
+        _ => String::new(),
+    };
+    let _ = writeln!(out, "config   fingerprint {}{stall}", json_str(&config, "fingerprint"));
+    let flight = json_get(&doc, "flight");
+    let serde::Value::Seq(events) = json_get(&flight, "events") else {
+        return Err(format!("{path}: flight.events is not an array"));
+    };
+    let _ = writeln!(
+        out,
+        "flight   {} of {} event(s) retained (capacity {})",
+        events.len(),
+        json_u64(&flight, "recorded"),
+        json_u64(&flight, "capacity"),
+    );
+    for e in &events {
+        let _ = writeln!(
+            out,
+            "  [{:>6}] t+{:<9.3} {:<15} q{:<5} part={:<20} a={}",
+            json_u64(e, "seq"),
+            json_u64(e, "at_ns") as f64 / 1e9,
+            json_str(e, "kind"),
+            json_u64(e, "query"),
+            // u64::MAX marks an event that is not part-scoped.
+            match json_u64(e, "part") {
+                u64::MAX => "-".to_string(),
+                p => p.to_string(),
+            },
+            json_u64(e, "a"),
+        );
+    }
+    if let serde::Value::Seq(progress) = json_get(&doc, "progress") {
+        for p in &progress {
+            let _ = writeln!(
+                out,
+                "progress q{}: {}/{} roots completed, {} claimed, {} stolen, {} recovered",
+                json_u64(p, "query_id"),
+                json_u64(p, "completed"),
+                json_u64(p, "roots_total"),
+                json_u64(p, "claimed"),
+                json_u64(p, "stolen"),
+                json_u64(p, "recovered"),
+            );
+        }
+    }
+    if let serde::Value::Map(counters) = json_get(&doc, "counters") {
+        let _ = writeln!(out, "counters");
+        for (name, v) in &counters {
+            if let serde::Value::UInt(n) = v {
+                let _ = writeln!(out, "  {name:<24} {n}");
+            }
+        }
+    }
+    let ledger = json_get(&doc, "ledger");
+    if let serde::Value::Map(_) = &ledger {
+        let poisoned = match json_get(&ledger, "poisoned") {
+            serde::Value::Str(e) => format!(", poisoned: {e}"),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "ledger   carrier {}, available {}, quiescent {}{poisoned}",
+            json_str(&ledger, "carrier"),
+            json_get(&ledger, "available") == serde::Value::Bool(true),
+            json_get(&ledger, "quiescent") == serde::Value::Bool(true),
+        );
+    }
+    Ok(out)
+}
+
+/// `gpm incident diff A B`: compare two bundles — trigger, config
+/// fingerprint, flight-event mix, and counter deltas — to answer "is
+/// this the same failure again?".
+fn run_incident_diff(args: &[String]) -> Result<String, String> {
+    let [a_path, b_path] = args else {
+        return Err("incident diff needs exactly two bundle files".into());
+    };
+    let (a, b) = (load_bundle(a_path)?, load_bundle(b_path)?);
+    let mut out = String::new();
+    let field = |out: &mut String, label: &str, a: String, b: String| {
+        if a == b {
+            let _ = writeln!(out, "  {label:<20} {a} (same)");
+        } else {
+            let _ = writeln!(out, "  {label:<20} {a} -> {b}");
+        }
+    };
+    let _ = writeln!(out, "{} vs {}", json_str(&a, "id"), json_str(&b, "id"));
+    let (ta, tb) = (json_get(&a, "trigger"), json_get(&b, "trigger"));
+    field(&mut out, "trigger", json_str(&ta, "kind"), json_str(&tb, "kind"));
+    field(
+        &mut out,
+        "query",
+        json_u64(&ta, "query_id").to_string(),
+        json_u64(&tb, "query_id").to_string(),
+    );
+    field(
+        &mut out,
+        "config fingerprint",
+        json_str(&json_get(&a, "config"), "fingerprint"),
+        json_str(&json_get(&b, "config"), "fingerprint"),
+    );
+    // Flight mix: events per kind, in either bundle's ring slice.
+    let kind_counts = |doc: &serde::Value| -> Vec<(String, u64)> {
+        let mut counts: Vec<(String, u64)> = Vec::new();
+        if let serde::Value::Seq(events) = json_get(&json_get(doc, "flight"), "events") {
+            for e in &events {
+                let kind = json_str(e, "kind");
+                match counts.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((kind, 1)),
+                }
+            }
+        }
+        counts
+    };
+    let (ka, kb) = (kind_counts(&a), kind_counts(&b));
+    let mut kinds: Vec<String> = ka.iter().chain(&kb).map(|(k, _)| k.clone()).collect();
+    kinds.sort();
+    kinds.dedup();
+    for kind in &kinds {
+        let get = |c: &[(String, u64)]| c.iter().find(|(k, _)| k == kind).map_or(0, |(_, n)| *n);
+        field(&mut out, &format!("flight {kind}"), get(&ka).to_string(), get(&kb).to_string());
+    }
+    // Counter deltas, where both bundles captured them.
+    if let (serde::Value::Map(ca), cb @ serde::Value::Map(_)) =
+        (json_get(&a, "counters"), json_get(&b, "counters"))
+    {
+        for (name, va) in &ca {
+            if let serde::Value::UInt(va) = va {
+                let vb = json_u64(&cb, name);
+                if *va != vb {
+                    field(&mut out, name, va.to_string(), vb.to_string());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 fn load(source: &GraphSource) -> Result<Graph, String> {
     match source {
         GraphSource::Path(p) => gpm_graph::io::load_graph(p).map_err(|e| e.to_string()),
@@ -920,6 +1239,9 @@ fn run_count(args: &[String]) -> Result<String, String> {
         b.scheduler * 100.0,
         b.cache * 100.0
     );
+    if let (Some(dir), 1..) = (&opts.incident_dir, ex.incidents) {
+        let _ = writeln!(out, "incident {} bundle(s) in {dir}", ex.incidents);
+    }
     Ok(out)
 }
 
@@ -930,6 +1252,9 @@ struct Executed {
     stats: RunStats,
     report: RunReport,
     trace: String,
+    /// Incident bundles captured during the run (Khuzdul systems with
+    /// `--incident-dir`; always 0 for the baselines).
+    incidents: usize,
 }
 
 fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
@@ -964,6 +1289,18 @@ fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
                 fabric.retry.timeout = Duration::from_millis(25);
                 fabric.retry.backoff = Duration::from_millis(1);
             }
+            let mut control = ControlConfig { mode: opts.control, ..ControlConfig::default() };
+            if opts.control_fault_drop > 0.0 {
+                // Dropping claim replies wedges the scheduler by design;
+                // the generous default timeout would hold the wedge for
+                // minutes, so tighten it the same way the fabric does.
+                control.fault = Some(FaultPlan::drops(opts.control_fault_drop));
+                control.retry = RetryPolicy {
+                    max_attempts: opts.retries,
+                    timeout: Duration::from_millis(25),
+                    backoff: Duration::from_millis(1),
+                };
+            }
             let parts = opts.machines * opts.sockets;
             let engine = Engine::new(
                 PartitionedGraph::with_replication(
@@ -981,15 +1318,32 @@ fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
                         batch: opts.steal_batch,
                         ..StealConfig::default()
                     },
-                    control: ControlConfig { mode: opts.control, ..ControlConfig::default() },
+                    control,
+                    incident: IncidentConfig {
+                        dir: opts.incident_dir.clone().map(Into::into),
+                        stall: opts.stall_ms.map(Duration::from_millis),
+                        ..IncidentConfig::default()
+                    },
                     ..EngineConfig::default()
                 },
             );
-            let stats = engine.try_count(&plan).map_err(|e| e.to_string())?;
+            let stats = match engine.try_count(&plan) {
+                Ok(stats) => stats,
+                Err(e) => {
+                    // The bundles are the whole point of a failed chaos
+                    // run: point the error at them.
+                    let n = engine.incidents().incidents().len();
+                    return Err(match (&opts.incident_dir, n) {
+                        (Some(dir), 1..) => format!("{e} ({n} incident bundle(s) in {dir})"),
+                        _ => e.to_string(),
+                    });
+                }
+            };
+            let incidents = engine.incidents().incidents().len();
             let report = engine.report(&stats, slug);
             let trace = engine.chrome_trace();
             engine.shutdown();
-            Ok(Executed { stats, report, trace })
+            Ok(Executed { stats, report, trace, incidents })
         }
         System::GThinker => {
             let recorder = Recorder::new(&obs);
@@ -1001,7 +1355,7 @@ fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
             let stats = sys.count(&opts.pattern, &plan_opts)?;
             let report = sys.report(&stats);
             let trace = recorder.chrome_trace();
-            Ok(Executed { stats, report, trace })
+            Ok(Executed { stats, report, trace, incidents: 0 })
         }
         System::Replicated => {
             let plan = MatchingPlan::compile(&opts.pattern, &plan_opts)?;
@@ -1017,7 +1371,7 @@ fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
             // No fetch fabric to instrument: the report carries the
             // counters, the trace is a valid empty event list.
             let report = stats.to_report(slug);
-            Ok(Executed { stats, report, trace: gpm_obs::chrome_trace(&[]) })
+            Ok(Executed { stats, report, trace: gpm_obs::chrome_trace(&[]), incidents: 0 })
         }
         System::Ctd => {
             let recorder = Recorder::new(&obs);
@@ -1026,7 +1380,7 @@ fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
             let stats = sys.count(&opts.pattern, &plan_opts)?;
             let report = sys.report(&stats);
             let trace = recorder.chrome_trace();
-            Ok(Executed { stats, report, trace })
+            Ok(Executed { stats, report, trace, incidents: 0 })
         }
         System::Single => {
             let sys = SingleMachine::automine_ih(graph.clone(), opts.threads);
@@ -1037,7 +1391,7 @@ fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
                 sys.count(&opts.pattern)?
             };
             let report = stats.to_report(slug);
-            Ok(Executed { stats, report, trace: gpm_obs::chrome_trace(&[]) })
+            Ok(Executed { stats, report, trace: gpm_obs::chrome_trace(&[]), incidents: 0 })
         }
     }
 }
@@ -1373,6 +1727,7 @@ mod tests {
             failures: Default::default(),
             control: Default::default(),
             queries: Vec::new(),
+            incidents: Vec::new(),
         };
         let dir = std::env::temp_dir().join(format!("gpm-cli-diff-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -1540,6 +1895,188 @@ mod tests {
         assert!(run(&argv("top")).is_err());
         // Unroutable/closed: connection refused surfaces as a clean error.
         assert!(run(&argv("top 127.0.0.1:1")).is_err());
+        assert!(run(&argv("top 127.0.0.1:1 --watch")).is_err());
+        assert!(run(&argv("top 127.0.0.1:1 --watch x")).is_err());
+        assert!(run(&argv("top 127.0.0.1:1 --frames 2")).is_err()); // needs --watch
+        assert!(run(&argv("top 127.0.0.1:1 --bogus 1")).is_err());
+    }
+
+    /// `top --watch` renders one frame per interval against a live
+    /// server, and ends cleanly (not an error) when the server goes away
+    /// mid-watch.
+    #[test]
+    fn top_watch_renders_bounded_frames() {
+        use gpm_graph::partition::PartitionedGraph;
+        let g = gen::barabasi_albert(150, 4, 5);
+        let engine =
+            Arc::new(Engine::new(PartitionedGraph::new(&g, 2, 1), EngineConfig::default()));
+        let svc = Arc::new(MiningService::start(engine, ServiceConfig::default()));
+        let server = StatusServer::start(Arc::clone(&svc), StatusConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        svc.submit(&Pattern::triangle(), &PlanOptions::automine()).unwrap().wait().unwrap();
+        let out = run(&argv(&format!("top {addr} --watch 0.02 --frames 3"))).unwrap();
+        assert_eq!(out.matches("--- frame").count(), 3, "{out}");
+        assert_eq!(out.matches("khuzdul service @").count(), 3, "{out}");
+        // Kill the server mid-watch: a long watch ends at the frame the
+        // connection fails, reporting the disappearance in-band.
+        let watcher = std::thread::spawn(move || {
+            run(&argv(&format!("top {addr} --watch 0.05 --frames 1000")))
+        });
+        std::thread::sleep(Duration::from_millis(120));
+        drop(server);
+        drop(svc);
+        let out = watcher.join().unwrap().unwrap();
+        assert!(out.contains("server gone"), "{out}");
+        assert!(out.matches("--- frame").count() < 1000, "{out}");
+    }
+
+    /// The acceptance-criterion chaos flow: a seeded `--fault-crash` run
+    /// with a replica captures exactly one `part_failed` bundle, and the
+    /// `incident` subcommands list, render, and diff it.
+    #[test]
+    fn chaos_run_captures_a_bundle_the_incident_commands_render() {
+        let dir = std::env::temp_dir().join(format!("gpm-cli-incident-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&argv(&format!(
+            "--gen er:120,500,7 --pattern triangle --machines 3 \
+             --replication 2 --fault-crash 1@0 --incident-dir {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("incident 1 bundle(s)"), "{out}");
+        let listed = run(&argv(&format!("incident list {}", dir.display()))).unwrap();
+        assert!(listed.contains("part_failed"), "{listed}");
+        assert!(listed.contains("1 bundle(s)"), "{listed}");
+        let path = listed
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().last())
+            .expect("list prints the bundle path")
+            .to_string();
+        let shown = run(&argv(&format!("incident show {path}"))).unwrap();
+        assert!(shown.contains("trigger  part_failed"), "{shown}");
+        assert!(shown.contains("part 1"), "{shown}");
+        assert!(shown.contains("part_crash"), "the flight slice shows the death:\n{shown}");
+        assert!(shown.contains("counters"), "{shown}");
+        // A second identical run: the diff of the two bundles reports
+        // the same trigger and the same config fingerprint.
+        run(&argv(&format!(
+            "--gen er:120,500,7 --pattern triangle --machines 3 --quiet \
+             --replication 2 --fault-crash 1@0 --incident-dir {}",
+            dir.display()
+        )))
+        .unwrap();
+        let listed = run(&argv(&format!("incident list {}", dir.display()))).unwrap();
+        assert!(listed.contains("2 bundle(s)"), "{listed}");
+        let paths: Vec<&str> =
+            listed.lines().take(2).filter_map(|l| l.split_whitespace().last()).collect();
+        let diff = run(&argv(&format!("incident diff {} {}", paths[0], paths[1]))).unwrap();
+        assert!(diff.contains("trigger"), "{diff}");
+        assert!(diff.contains("part_failed (same)"), "{diff}");
+        assert!(diff.contains("config fingerprint"), "{diff}");
+        assert!(diff.contains("(same)"), "{diff}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An unmasked crash errs, but the error points at the bundle dir
+    /// and the bundle survives for the post-mortem.
+    #[test]
+    fn failed_chaos_run_points_at_its_bundles() {
+        let dir =
+            std::env::temp_dir().join(format!("gpm-cli-incident-lost-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = run(&argv(&format!(
+            "--gen er:120,500,7 --pattern triangle --machines 3 --quiet \
+             --fault-crash 1@0 --incident-dir {}",
+            dir.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("incident bundle(s)"), "{err}");
+        let listed = run(&argv(&format!("incident list {}", dir.display()))).unwrap();
+        assert!(listed.contains("part_lost"), "{listed}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incident_argument_errors() {
+        assert!(run(&argv("incident")).is_err());
+        assert!(run(&argv("incident frobnicate")).is_err());
+        assert!(run(&argv("incident list")).is_err());
+        assert!(run(&argv("incident list /nonexistent/dir")).is_err());
+        assert!(run(&argv("incident show")).is_err());
+        assert!(run(&argv("incident show /nonexistent/b.json")).is_err());
+        assert!(run(&argv("incident diff a.json")).is_err());
+        // A non-bundle JSON file fails schema validation, not rendering.
+        let bad =
+            std::env::temp_dir().join(format!("gpm-cli-incident-bad-{}.json", std::process::id()));
+        std::fs::write(&bad, "{\"bundle_schema\": 99}").unwrap();
+        let err = run(&argv(&format!("incident show {}", bad.display()))).unwrap_err();
+        assert!(err.contains(&bad.display().to_string()), "{err}");
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn parse_incident_flags() {
+        let o = parse_args(&argv(
+            "--gen ba:100,3 --pattern triangle --incident-dir /tmp/inc --stall-ms 500",
+        ))
+        .unwrap();
+        assert_eq!(o.incident_dir.as_deref(), Some("/tmp/inc"));
+        assert_eq!(o.stall_ms, Some(500));
+        let d = parse_args(&argv("--gen ba:100,3 --pattern triangle")).unwrap();
+        assert_eq!(d.incident_dir, None);
+        assert_eq!(d.stall_ms, None);
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --incident-dir")).is_err());
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --stall-ms x")).is_err());
+    }
+
+    #[test]
+    fn parse_control_fault_drop() {
+        let o = parse_args(&argv(
+            "--gen ba:100,3 --pattern triangle --control msg --control-fault-drop 0.5",
+        ))
+        .unwrap();
+        assert!((o.control_fault_drop - 0.5).abs() < 1e-12);
+        let d = parse_args(&argv("--gen ba:100,3 --pattern triangle")).unwrap();
+        assert_eq!(d.control_fault_drop, 0.0);
+        // The shared ledger has no wire to drop on.
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --control-fault-drop 0.5"))
+            .is_err());
+        assert!(parse_args(&argv(
+            "--gen ba:100,3 --pattern triangle --control msg --control-fault-drop 1.5"
+        ))
+        .is_err());
+    }
+
+    /// The stall-watchdog acceptance flow, end to end from the CLI: a
+    /// message-control run whose claim replies all vanish wedges until
+    /// the retry budget expires, and the watchdog captures a `stall`
+    /// bundle in the meantime.
+    #[test]
+    fn wedged_run_trips_the_stall_watchdog_from_the_cli() {
+        let dir = std::env::temp_dir().join(format!("gpm-cli-wedged-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = run(&argv(&format!(
+            "--gen er:100,500,3 --pattern triangle --machines 2 --quiet \
+             --control msg --control-fault-drop 1.0 --retries 6 \
+             --stall-ms 60 --incident-dir {}",
+            dir.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("incident bundle(s)"), "{err}");
+        let listed = run(&argv(&format!("incident list {}", dir.display()))).unwrap();
+        // A control-poison bundle may ride along; pick the stall one by
+        // its filename.
+        let path = listed
+            .lines()
+            .find(|l| l.contains("stall.json"))
+            .and_then(|l| l.split_whitespace().last())
+            .unwrap_or_else(|| panic!("list prints the stall bundle path:\n{listed}"))
+            .to_string();
+        let shown = run(&argv(&format!("incident show {path}"))).unwrap();
+        assert!(shown.contains("trigger  stall"), "{shown}");
+        assert!(shown.contains("ledger"), "the wedged scheduler state is dumped:\n{shown}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

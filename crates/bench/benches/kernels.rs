@@ -114,6 +114,28 @@ fn bench_obs_overhead(c: &mut Criterion) {
             })
         });
     }
+    // The coarse-event flight ring: enabled is a seqlock slot write
+    // (one fetch_add plus six relaxed stores — tens of nanoseconds, no
+    // allocation, no lock); disabled is a single capacity branch. The
+    // ring rides along during incident-armed runs, so this IS the hot
+    // path tax of `--incident-dir`.
+    {
+        use gpm_obs::{FlightKind, FlightRecorder};
+        for (name, ring) in
+            [("disabled", FlightRecorder::disabled()), ("enabled", FlightRecorder::new(4096))]
+        {
+            g.bench_function(BenchmarkId::new("flight_record", name), |bench| {
+                bench.iter(|| {
+                    ring.record(
+                        black_box(FlightKind::Steal),
+                        black_box(1),
+                        black_box(2),
+                        black_box(3),
+                    )
+                })
+            });
+        }
+    }
     // Live progress tracking: the disabled path is one untaken `Option`
     // branch per claim/retire; enabled is a handful of relaxed atomic
     // adds. Measured per hook call here and end-to-end below.

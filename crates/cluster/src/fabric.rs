@@ -28,7 +28,7 @@ use crate::{NetworkModel, PartId};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::VertexId;
-use gpm_obs::{Metric, Recorder, SpanKind};
+use gpm_obs::{FlightKind, Metric, Recorder, SpanKind};
 use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -474,6 +474,9 @@ impl EdgeListClient {
         if self.liveness.promote(part) {
             self.metrics.record_part_failed();
             self.obs.record_instant(SpanKind::PartFailed, part as u32, 0);
+            // Flight-ring entry rides along even when span tracing is
+            // off, so a post-hoc incident bundle shows the death.
+            self.obs.flight().record(FlightKind::PartCrash, self.query, part as u64, 0);
         }
     }
 
@@ -569,6 +572,12 @@ impl EdgeListClient {
                         target as u32,
                         route as u64,
                         req_id,
+                    );
+                    self.obs.flight().record(
+                        FlightKind::Failover,
+                        self.query,
+                        target as u64,
+                        route as u64,
                     );
                 }
                 Err(e) => return Err(e),
@@ -739,6 +748,12 @@ impl PendingFetch {
             self.attempts as u64,
             self.req_id,
         );
+        self.client.obs.flight().record(
+            FlightKind::Retry,
+            self.client.query,
+            self.target as u64,
+            self.attempts as u64,
+        );
         self.attempts += 1;
         self.seq = self.client.seq.fetch_add(1, Ordering::Relaxed);
         match self.client.transport.submit(
@@ -775,6 +790,12 @@ impl PendingFetch {
                 self.owner as u32,
                 next as u64,
                 self.req_id,
+            );
+            self.client.obs.flight().record(
+                FlightKind::Failover,
+                self.client.query,
+                self.owner as u64,
+                next as u64,
             );
             self.attempts = 1;
             self.seq = self.client.seq.fetch_add(1, Ordering::Relaxed);

@@ -10,7 +10,8 @@
 //! this one are interchangeable per run and produce bit-identical counts;
 //! `EngineConfig::control` picks between them.
 
-use crate::scheduler::{ClaimSource, ControlPlane};
+use crate::incident::{ledger_json, CaptureSections, IncidentManager, Trigger, TriggerKind};
+use crate::scheduler::{ClaimSource, ControlPlane, LedgerStateSummary};
 use gpm_cluster::{
     ClusterMetrics, ControlClient, ControlLedgerConfig, ControlLedgerService, CtrlClaimSource,
     CtrlOp, CtrlPayload, FaultPlan, FetchError, RetryPolicy,
@@ -63,6 +64,11 @@ pub(crate) struct MsgLedger {
     clients: Vec<ControlClient>,
     stealing: bool,
     poisoned: Mutex<Option<FetchError>>,
+    /// Query this ledger coordinates, stamped into poison incidents.
+    query: u64,
+    /// Incident sink; the first poison captures a `control_poison`
+    /// bundle here before the run fails typed.
+    incidents: Option<Arc<IncidentManager>>,
 }
 
 impl MsgLedger {
@@ -77,15 +83,28 @@ impl MsgLedger {
         query: u64,
         metrics: &ClusterMetrics,
         obs: Arc<Recorder>,
+        incidents: Option<Arc<IncidentManager>>,
     ) -> MsgLedger {
         let roots = parts.iter().map(|p| p.owned().to_vec()).collect();
-        MsgLedger::boot(roots, Vec::new(), stealing, batch, numa, control, query, metrics, obs)
+        MsgLedger::boot(
+            roots,
+            Vec::new(),
+            stealing,
+            batch,
+            numa,
+            control,
+            query,
+            metrics,
+            obs,
+            incidents,
+        )
     }
 
     /// A message ledger for a recovery pass: every cursor starts
     /// exhausted and the spill holds exactly the `lost` roots, so
     /// survivors claim nothing but the re-execution work. Stealing is
     /// forced on — spill claims are a stealing path.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn recovery(
         parts: usize,
         lost: Vec<VertexId>,
@@ -94,9 +113,10 @@ impl MsgLedger {
         query: u64,
         metrics: &ClusterMetrics,
         obs: Arc<Recorder>,
+        incidents: Option<Arc<IncidentManager>>,
     ) -> MsgLedger {
         let roots = vec![Vec::new(); parts];
-        MsgLedger::boot(roots, lost, true, batch, None, control, query, metrics, obs)
+        MsgLedger::boot(roots, lost, true, batch, None, control, query, metrics, obs, incidents)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -110,6 +130,7 @@ impl MsgLedger {
         query: u64,
         metrics: &ClusterMetrics,
         obs: Arc<Recorder>,
+        incidents: Option<Arc<IncidentManager>>,
     ) -> MsgLedger {
         let n = roots.len();
         let cfg = ControlLedgerConfig {
@@ -122,12 +143,43 @@ impl MsgLedger {
         };
         let service = ControlLedgerService::start(roots, spill, cfg, metrics, obs);
         let clients = (0..n).map(|p| service.client(p)).collect();
-        MsgLedger { _service: service, clients, stealing, poisoned: Mutex::new(None) }
+        MsgLedger {
+            _service: service,
+            clients,
+            stealing,
+            poisoned: Mutex::new(None),
+            query,
+            incidents,
+        }
     }
 
-    /// Records the first wire failure of a fire-and-forget operation.
+    /// Records the first wire failure of a fire-and-forget operation and
+    /// captures a `control_poison` incident bundle for it — the moment
+    /// the protocol degrades, not when the next fallible call notices.
     fn poison(&self, e: FetchError) {
-        self.poisoned.lock().get_or_insert(e);
+        {
+            let mut guard = self.poisoned.lock();
+            if guard.is_some() {
+                return;
+            }
+            *guard = Some(e.clone());
+        }
+        if let Some(m) = &self.incidents {
+            m.capture(
+                Trigger {
+                    kind: TriggerKind::ControlPoison,
+                    query_id: self.query,
+                    part: None,
+                    value: 0,
+                    detail: format!("control-plane poisoned by a fire-and-forget failure: {e:?}"),
+                },
+                CaptureSections {
+                    progress: Vec::new(),
+                    counters: None,
+                    ledger: Some(ledger_json(&ControlPlane::state_summary(self))),
+                },
+            );
+        }
     }
 
     fn check_poison(&self) -> Result<(), FetchError> {
@@ -226,6 +278,23 @@ impl ControlPlane for MsgLedger {
             }
         }
     }
+
+    /// Deliberately wire-free: incident capture runs exactly when the
+    /// wire is suspect (poison, stall), so this reports only what the
+    /// client side knows — carrier, availability, and the poison cause —
+    /// rather than risking a retry storm mid-bundle.
+    fn state_summary(&self) -> LedgerStateSummary {
+        let poisoned = self.poisoned.lock().as_ref().map(|e| format!("{e:?}"));
+        LedgerStateSummary {
+            carrier: "msg",
+            available: poisoned.is_none(),
+            quiescent: false,
+            starving: 0,
+            spill_len: 0,
+            per_part_remaining: Vec::new(),
+            poisoned,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +316,7 @@ mod tests {
             0,
             &ClusterMetrics::new(2, 1),
             Recorder::disabled(),
+            None,
         )
     }
 
@@ -287,6 +357,7 @@ mod tests {
             0,
             &ClusterMetrics::new(2, 1),
             Recorder::disabled(),
+            None,
         );
         assert!(ledger.stealing(), "recovery forces stealing on");
         let (source, roots) = ledger.claim(1, 64).unwrap().expect("spill work");
@@ -295,6 +366,56 @@ mod tests {
         let (_, rest) = ledger.claim(0, 64).unwrap().expect("remainder");
         assert_eq!(rest, vec![3]);
         assert!(ledger.claim(0, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn first_poison_captures_a_control_poison_bundle() {
+        use crate::incident::IncidentConfig;
+        use gpm_obs::FlightRecorder;
+        let dir = std::env::temp_dir().join(format!("khuzdul-ctrl-poison-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = IncidentConfig { dir: Some(dir.clone()), ..IncidentConfig::default() };
+        let incidents = IncidentManager::new(&cfg, FlightRecorder::new(64), "t".to_string());
+        let g = gen::complete(8);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let parts: Vec<_> = (0..2).map(|p| pg.part_arc(p)).collect();
+        let control = ControlConfig {
+            mode: ControlMode::Msg,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                timeout: Duration::from_millis(5),
+                backoff: Duration::from_millis(1),
+            },
+            fault: Some(FaultPlan::drops(1.0)),
+        };
+        let ledger = MsgLedger::start(
+            &parts,
+            true,
+            4,
+            None,
+            &control,
+            3,
+            &ClusterMetrics::new(2, 1),
+            Recorder::disabled(),
+            Some(Arc::clone(&incidents)),
+        );
+        // Fire-and-forget ops fail on the all-drops wire and poison the
+        // ledger; only the FIRST failure captures a bundle.
+        ledger.batch_done(0);
+        ledger.set_starving(0, true);
+        let captured = incidents.incidents();
+        assert_eq!(captured.len(), 1, "exactly one bundle per poisoning");
+        assert_eq!(captured[0].trigger, "control_poison");
+        assert_eq!(captured[0].query_id, 3);
+        let json = std::fs::read_to_string(&captured[0].path).unwrap();
+        crate::incident::validate_bundle(&json).expect("poison bundle validates");
+        assert!(json.contains("\"msg\""), "bundle names the msg carrier");
+        assert!(
+            json.contains("\"available\": false") || json.contains("\"available\":false"),
+            "poisoned ledger reports unavailable"
+        );
+        assert!(ledger.claim(0, 4).is_err(), "poison surfaces on the next fallible call");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,13 +2,20 @@
 
 use crate::cache::{CacheConfig, SharedCache};
 use crate::control::{ControlConfig, ControlMode, MsgLedger};
+use crate::incident::{
+    config_fingerprint, counters_json, ledger_json, progress_json, CaptureSections, IncidentConfig,
+    IncidentManager, StallWatchdog, Trigger, TriggerKind,
+};
 use crate::runtime::{run_part, PartCtx, Visitor};
 use crate::scheduler::{ControlPlane, QueryArbiter, SharedLedger, StealConfig, WorkerPool};
 use crate::stats::{ControlSummary, FailureSummary, PartStats, RunStats, TrafficSummary};
 use gpm_cluster::{ClusterMetrics, EdgeListService, FabricConfig, FetchError, NetworkModel};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::VertexId;
-use gpm_obs::{GaugeSample, ObsConfig, QueryProgress, Recorder, RunReport, SpanKind};
+use gpm_obs::{
+    FlightKind, FlightRecorder, GaugeSample, ObsConfig, QueryProgress, Recorder, RunReport,
+    SpanKind,
+};
 use gpm_pattern::plan::MatchingPlan;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -144,6 +151,10 @@ pub struct EngineConfig {
     /// channel layer, with their own retry policy and fault injection.
     /// Both carriers produce bit-identical counts.
     pub control: ControlConfig,
+    /// Incident capture: the flight-ring size, the bundle directory (off
+    /// by default — no directory, no captures), the stall-watchdog
+    /// window, and bundle retention.
+    pub incident: IncidentConfig,
 }
 
 impl Default for EngineConfig {
@@ -161,6 +172,7 @@ impl Default for EngineConfig {
             obs: ObsConfig::default(),
             steal: StealConfig::default(),
             control: ControlConfig::default(),
+            incident: IncidentConfig::default(),
         }
     }
 }
@@ -177,6 +189,8 @@ pub struct Engine {
     service: EdgeListService,
     caches: Vec<Arc<SharedCache>>,
     recorder: Arc<Recorder>,
+    /// Flight ring + incident bundle capture (see [`IncidentConfig`]).
+    incidents: Arc<IncidentManager>,
     cfg: EngineConfig,
     /// The persistent compute pool: `parts × compute_threads` workers,
     /// spawned once on the first multi-threaded run and parked between
@@ -213,7 +227,17 @@ impl Engine {
     /// progress).
     pub fn new(pg: PartitionedGraph, cfg: EngineConfig) -> Engine {
         assert!(cfg.chunk_capacity >= 1, "chunk capacity must be positive");
-        let recorder = Recorder::new(&cfg.obs);
+        // The flight ring records coarse events whenever *either* full
+        // span tracing or incident capture wants them; with both off it
+        // is the disabled stub and every record is one relaxed branch.
+        let flight = if cfg.incident.dir.is_some() || cfg.obs.enabled {
+            FlightRecorder::new(cfg.incident.flight_capacity)
+        } else {
+            FlightRecorder::disabled()
+        };
+        let recorder = Recorder::with_flight(&cfg.obs, Arc::clone(&flight));
+        let incidents =
+            IncidentManager::new(&cfg.incident, flight, config_fingerprint(&format!("{cfg:?}")));
         let service = EdgeListService::start_observed(
             &pg,
             cfg.network,
@@ -228,6 +252,7 @@ impl Engine {
             service,
             caches,
             recorder,
+            incidents,
             cfg,
             pool: OnceLock::new(),
             next_query: AtomicU64::new(1),
@@ -310,6 +335,12 @@ impl Engine {
         &self.recorder
     }
 
+    /// The incident manager: the flight ring plus every bundle captured
+    /// so far (see [`EngineConfig::incident`]).
+    pub fn incidents(&self) -> &Arc<IncidentManager> {
+        &self.incidents
+    }
+
     /// Chrome trace-event JSON of every span recorded so far; load the
     /// written file in `chrome://tracing` or Perfetto.
     pub fn chrome_trace(&self) -> String {
@@ -323,6 +354,7 @@ impl Engine {
     pub fn report(&self, run: &RunStats, system: &str) -> RunReport {
         let mut report = run.to_report(system);
         self.recorder.augment_report(&mut report);
+        report.incidents = self.incidents.incidents();
         report
     }
 
@@ -484,6 +516,7 @@ impl Engine {
         );
         let query = query.unwrap_or_else(|| self.default_query());
         let qid = query.query_id;
+        self.incidents.flight().record(FlightKind::QueryAdmit, qid, u64::MAX, 0);
         // Registered for the whole run (and deregistered on every return
         // path, so a failed query never wedges its peers' pacing).
         self.active_queries.fetch_add(1, Ordering::SeqCst);
@@ -524,6 +557,19 @@ impl Engine {
             gauges.clone(),
             self.cfg.obs.tick,
         );
+        // Scheduler heartbeat: bumped on every claimed batch and every
+        // batch retirement across all parts. The stall watchdog (started
+        // only with incident capture + a window configured; joined on
+        // every return path like the sampler) fires one `stall` bundle
+        // if it freezes — the wedged-run case no error path reaches.
+        let heartbeat = Arc::new(AtomicU64::new(0));
+        let _watchdog = StallWatchdog::start(
+            &self.incidents,
+            Arc::clone(&heartbeat),
+            qid,
+            Arc::clone(&ledger),
+            progress.clone(),
+        );
         let t0 = Instant::now();
         let make_ctx = |part: usize, ledger: &Arc<dyn ControlPlane>| PartCtx {
             part: self.pg.part_arc(part),
@@ -546,6 +592,7 @@ impl Engine {
             deadline: query.deadline,
             deadline_fired: Arc::clone(&deadline_fired),
             progress: progress.clone(),
+            heartbeat: Arc::clone(&heartbeat),
         };
         // Per-part result slots: a part that aborts (fail-stop
         // self-check or a fetch error) leaves its slot empty.
@@ -584,6 +631,19 @@ impl Engine {
             all_dead.extend(&new_dead);
             all_dead.sort_unstable();
             if self.pg.replication() <= all_dead.len() {
+                self.capture_incident(
+                    TriggerKind::PartLost,
+                    qid,
+                    Some(new_dead[0] as u64),
+                    all_dead.len() as u64,
+                    format!(
+                        "part {} fail-stopped with no live replica (replication {}, dead {:?})",
+                        new_dead[0],
+                        self.pg.replication(),
+                        all_dead
+                    ),
+                    &ledger,
+                );
                 return Err(EngineError::PartLost { part: new_dead[0] });
             }
             match failure.take() {
@@ -601,12 +661,28 @@ impl Engine {
             if let Some(p) = &progress {
                 p.record_recovered(n_lost);
             }
+            // One bundle per recovery round: the crash is survivable
+            // (replicas mask it), but the operator still wants the
+            // incident — which part died, how many roots re-execute, and
+            // what the scheduler looked like at that moment.
+            self.capture_incident(
+                TriggerKind::PartFailed,
+                qid,
+                Some(new_dead[0] as u64),
+                n_lost,
+                format!(
+                    "part(s) {new_dead:?} fail-stopped; re-executing {n_lost} lost roots \
+                     on the survivors"
+                ),
+                &ledger,
+            );
             let rts = self.recorder.now_ns();
             let recovery = self.make_recovery_ledger(lost, qid);
             ledgers.push(Arc::clone(&recovery));
             let survivors: Vec<usize> = (0..parts).filter(|p| !all_dead.contains(p)).collect();
             self.run_parts(&mut slots, &mut failure, survivors, |p| make_ctx(p, &recovery));
             self.recorder.record_span(SpanKind::Recovery, new_dead[0] as u32, rts, n_lost);
+            self.incidents.flight().record(FlightKind::Recovery, qid, new_dead[0] as u64, n_lost);
         }
         if let Some((_, e)) = failure {
             return Err(EngineError::Fetch(e));
@@ -617,6 +693,17 @@ impl Engine {
             slots[d] = Some(PartStats::default());
         }
         if deadline_fired.load(Ordering::Relaxed) {
+            let elapsed = t0.elapsed();
+            self.capture_incident(
+                TriggerKind::DeadlineExceeded,
+                qid,
+                None,
+                elapsed.as_nanos() as u64,
+                format!(
+                    "query {qid} missed its deadline; partial counts discarded after {elapsed:?}"
+                ),
+                &ledger,
+            );
             return Err(EngineError::DeadlineExceeded { query_id: qid });
         }
         let per_part: Vec<PartStats> =
@@ -657,7 +744,34 @@ impl Engine {
         if let Some(p) = &progress {
             p.mark_done();
         }
+        self.incidents.flight().record(FlightKind::QueryComplete, qid, u64::MAX, 1);
         Ok(stats)
+    }
+
+    /// Captures one incident bundle with the engine-wide context
+    /// sections: every live query's progress snapshot, the cluster
+    /// counter totals, and the triggering run's ledger state. The
+    /// sections are built only when capture is enabled; the trigger's
+    /// flight event is recorded either way.
+    fn capture_incident(
+        &self,
+        kind: TriggerKind,
+        qid: u64,
+        part: Option<u64>,
+        value: u64,
+        detail: String,
+        ledger: &Arc<dyn ControlPlane>,
+    ) {
+        let sections = if self.incidents.enabled() {
+            CaptureSections {
+                progress: self.active_progress().iter().map(|p| progress_json(p)).collect(),
+                counters: Some(counters_json(&self.service.metrics().counter_snapshot())),
+                ledger: Some(ledger_json(&ledger.state_summary())),
+            }
+        } else {
+            CaptureSections::default()
+        };
+        self.incidents.capture(Trigger { kind, query_id: qid, part, value, detail }, sections);
     }
 
     /// Builds the run-scoped control plane in the configured carrier:
@@ -679,6 +793,7 @@ impl Engine {
                 qid,
                 self.service.metrics(),
                 Arc::clone(&self.recorder),
+                Some(Arc::clone(&self.incidents)),
             )),
         }
     }
@@ -701,6 +816,7 @@ impl Engine {
                 qid,
                 self.service.metrics(),
                 Arc::clone(&self.recorder),
+                Some(Arc::clone(&self.incidents)),
             )),
         }
     }
@@ -1526,6 +1642,166 @@ mod tests {
         let expect = oracle::count_subgraphs(&g, &Pattern::triangle(), false);
         assert_eq!(engine.count(&p).count, expect);
         engine.shutdown();
+    }
+
+    fn incident_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("khuzdul-engine-inc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn deadline_miss_captures_an_incident_bundle() {
+        let g = gen::erdos_renyi(150, 700, 5);
+        let dir = incident_dir("deadline");
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let engine = Engine::new(
+            pg,
+            EngineConfig {
+                incident: IncidentConfig { dir: Some(dir.clone()), ..IncidentConfig::default() },
+                ..EngineConfig::default()
+            },
+        );
+        engine.enable_progress();
+        let p = plan(&Pattern::triangle());
+        let q = QueryCtx { deadline: Some(Instant::now()), ..engine.default_query() };
+        assert!(matches!(
+            engine.try_count_query(&p, &q),
+            Err(EngineError::DeadlineExceeded { .. })
+        ));
+        let incidents = engine.incidents().incidents();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].trigger, "deadline_exceeded");
+        assert_eq!(incidents[0].query_id, q.query_id);
+        let json = std::fs::read_to_string(&incidents[0].path).unwrap();
+        crate::incident::validate_bundle(&json).expect("deadline bundle validates");
+        // Engine-side captures carry the full context sections.
+        assert!(json.contains("\"fetch_requests\""), "counters section present");
+        assert!(json.contains("\"carrier\""), "ledger section present");
+        // The report's incidents[] mirrors the captures and still
+        // validates under the report schema.
+        let run = engine.count(&p);
+        let report = engine.report(&run, "khuzdul");
+        assert_eq!(report.incidents.len(), 1);
+        assert_eq!(report.incidents[0].trigger, "deadline_exceeded");
+        gpm_obs::validate_report(&report.to_json()).expect("report with incidents validates");
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn masked_crash_emits_exactly_one_part_failed_bundle() {
+        use gpm_cluster::FaultPlan;
+        let g = gen::erdos_renyi(150, 700, 5);
+        let p = Pattern::triangle();
+        let expect = oracle::count_subgraphs(&g, &p, false);
+        let dir = incident_dir("partfailed");
+        let pg = PartitionedGraph::with_replication(&g, 4, 1, 2);
+        let engine = Engine::new(
+            pg,
+            EngineConfig {
+                chunk_capacity: 64,
+                incident: IncidentConfig { dir: Some(dir.clone()), ..IncidentConfig::default() },
+                fabric: FabricConfig {
+                    retry: crash_retry(),
+                    fault: Some(FaultPlan::crash_at(2, 4)),
+                    ..FabricConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        let run = engine.try_count(&plan(&p)).expect("a replica must mask the crash");
+        assert_eq!(run.count, expect);
+        let incidents = engine.incidents().incidents();
+        assert_eq!(incidents.len(), 1, "one crash, one bundle: {incidents:?}");
+        assert_eq!(incidents[0].trigger, "part_failed");
+        let json = std::fs::read_to_string(&incidents[0].path).unwrap();
+        crate::incident::validate_bundle(&json).expect("part-failed bundle validates");
+        assert!(json.contains("\"part\": 2") || json.contains("\"part\":2"));
+        // The flight slice recorded the crash and the recovery pass
+        // around the trigger.
+        assert!(json.contains("\"part_crash\""));
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unmasked_crash_emits_a_part_lost_bundle() {
+        use gpm_cluster::FaultPlan;
+        let g = gen::erdos_renyi(150, 700, 5);
+        let dir = incident_dir("partlost");
+        let pg = PartitionedGraph::new(&g, 4, 1); // replication = 1
+        let engine = Engine::new(
+            pg,
+            EngineConfig {
+                chunk_capacity: 64,
+                incident: IncidentConfig { dir: Some(dir.clone()), ..IncidentConfig::default() },
+                fabric: FabricConfig {
+                    retry: crash_retry(),
+                    fault: Some(FaultPlan::crash_at(2, 4)),
+                    ..FabricConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        assert!(matches!(
+            engine.try_count(&plan(&Pattern::triangle())),
+            Err(EngineError::PartLost { part: 2 })
+        ));
+        let incidents = engine.incidents().incidents();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].trigger, "part_lost");
+        let json = std::fs::read_to_string(&incidents[0].path).unwrap();
+        crate::incident::validate_bundle(&json).expect("part-lost bundle validates");
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wedged_msg_control_run_trips_the_stall_watchdog() {
+        use gpm_cluster::{FaultPlan, RetryPolicy};
+        let g = gen::erdos_renyi(100, 500, 3);
+        let dir = incident_dir("stall");
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let engine = Engine::new(
+            pg,
+            EngineConfig {
+                // Message-based control plane where every reply is
+                // dropped: claims retry for far longer than the stall
+                // window, so the heartbeat never moves and the run is
+                // wedged until the retry budget finally expires.
+                control: ControlConfig {
+                    mode: ControlMode::Msg,
+                    retry: RetryPolicy {
+                        max_attempts: 6,
+                        timeout: Duration::from_millis(100),
+                        backoff: Duration::from_millis(1),
+                    },
+                    fault: Some(FaultPlan::drops(1.0)),
+                },
+                steal: StealConfig { enabled: true, ..StealConfig::default() },
+                incident: IncidentConfig {
+                    dir: Some(dir.clone()),
+                    stall: Some(Duration::from_millis(120)),
+                    ..IncidentConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        engine.enable_progress();
+        assert!(engine.try_count(&plan(&Pattern::triangle())).is_err(), "all-drops wire fails");
+        let incidents = engine.incidents().incidents();
+        let stalls: Vec<_> = incidents.iter().filter(|i| i.trigger == "stall").collect();
+        assert_eq!(stalls.len(), 1, "the watchdog fires exactly once: {incidents:?}");
+        let json = std::fs::read_to_string(&stalls[0].path).unwrap();
+        crate::incident::validate_bundle(&json).expect("stall bundle validates");
+        // The stall bundle dumps the scheduler state: the msg carrier's
+        // client-side summary plus the live progress snapshot.
+        assert!(json.contains("\"msg\""), "ledger carrier recorded");
+        assert!(json.contains("\"roots_total\""), "progress snapshot recorded");
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod chunk;
 mod control;
 mod engine;
 mod extend;
+pub mod incident;
 mod runtime;
 mod scheduler;
 pub mod service;
@@ -60,6 +61,7 @@ pub mod status;
 pub use cache::{CacheConfig, CachePolicy};
 pub use control::{ControlConfig, ControlMode};
 pub use engine::{Engine, EngineConfig, EngineError, QueryCtx, DEFAULT_ROOT_BUDGET};
+pub use incident::{list_bundles, validate_bundle, IncidentConfig, IncidentManager};
 pub use scheduler::{QueryArbiter, StealConfig};
 pub use service::{Completion, MiningService, QueryHandle, QueryOutcome, ServiceConfig};
 pub use stats::{Breakdown, ControlSummary, FailureSummary, PartStats, RunStats, TrafficSummary};

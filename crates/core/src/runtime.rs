@@ -22,9 +22,9 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use gpm_cluster::{EdgeListClient, FetchError, PendingFetch};
 use gpm_graph::partition::GraphPart;
 use gpm_graph::{Label, VertexId};
-use gpm_obs::{ObsHandle, Recorder, SpanKind};
+use gpm_obs::{FlightKind, ObsHandle, Recorder, SpanKind};
 use gpm_pattern::plan::MatchingPlan;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -74,6 +74,11 @@ pub(crate) struct PartCtx<'e> {
     /// has progress tracking enabled (the default), in which case every
     /// hook below is a single untaken branch.
     pub progress: Option<Arc<gpm_obs::QueryProgress>>,
+    /// Run-wide scheduler heartbeat, bumped on every claimed batch and
+    /// every batch retirement. The engine's stall watchdog fires an
+    /// incident bundle when it freezes; without a watchdog the bumps are
+    /// uncontended relaxed adds.
+    pub heartbeat: Arc<AtomicU64>,
 }
 
 impl PartCtx<'_> {
@@ -285,6 +290,9 @@ impl<'e> PartRun<'e> {
         for _ in 0..self.outstanding {
             self.ctx.ledger.batch_done(self.ctx.my_part);
         }
+        if self.outstanding > 0 {
+            self.ctx.heartbeat.fetch_add(1, Ordering::Relaxed);
+        }
         self.outstanding = 0;
         if self.outstanding_roots > 0 {
             if let Some(p) = &self.ctx.progress {
@@ -367,8 +375,15 @@ impl<'e> PartRun<'e> {
     /// moves, computation does not.
     fn seed_batch_into_chunk(&mut self, source: ClaimSource, roots: &[VertexId]) {
         let ts = self.obs.start();
+        self.ctx.heartbeat.fetch_add(1, Ordering::Relaxed);
         if let ClaimSource::Stolen(victim) = source {
             self.obs.instant(SpanKind::Steal, victim as u64);
+            self.ctx.obs.flight().record(
+                FlightKind::Steal,
+                self.ctx.client.query_id(),
+                self.ctx.my_part as u64,
+                victim as u64,
+            );
         }
         let required = self.ctx.plan.root_label();
         let root_active = self.ctx.plan.root_active();
@@ -442,6 +457,12 @@ impl<'e> PartRun<'e> {
         // them from this part's outstanding-progress tally.
         self.outstanding_roots = self.outstanding_roots.saturating_sub(donated.len());
         self.obs.instant(SpanKind::Donate, donated.len() as u64);
+        self.ctx.obs.flight().record(
+            FlightKind::Donate,
+            self.ctx.client.query_id(),
+            self.ctx.my_part as u64,
+            donated.len() as u64,
+        );
         self.ctx.ledger.donate(self.ctx.my_part, donated);
     }
 

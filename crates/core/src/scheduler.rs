@@ -479,6 +479,37 @@ pub(crate) trait ControlPlane: Send + Sync {
     /// cursor tails, plus the orphaned spill). Called by the engine's
     /// recovery pass once no part is claiming anymore.
     fn lost_roots(&self, dead: &[usize]) -> Result<Vec<VertexId>, FetchError>;
+
+    /// A coarse point-in-time state snapshot for incident bundles:
+    /// per-part cursor remainders, spill depth, starvation, and
+    /// quiescence. Must be safe to call from a watchdog thread while
+    /// parts are mid-claim — a torn-but-plausible summary beats blocking
+    /// the protocol. The default is a degraded "nothing observable"
+    /// summary for carriers whose state lives behind a responder thread.
+    fn state_summary(&self) -> LedgerStateSummary {
+        LedgerStateSummary::default()
+    }
+}
+
+/// What [`ControlPlane::state_summary`] reports into an incident bundle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct LedgerStateSummary {
+    /// Carrier name (`"shared"` or `"msg"`; empty for the default).
+    pub carrier: &'static str,
+    /// Whether the fields below were actually observed (`false` means a
+    /// degraded summary: the carrier cannot inspect its state cheaply).
+    pub available: bool,
+    /// Whether the work counter was quiescent (no outstanding batches).
+    pub quiescent: bool,
+    /// Parts currently idle-and-polling.
+    pub starving: u64,
+    /// Donated roots sitting unclaimed in the spill.
+    pub spill_len: u64,
+    /// Unclaimed roots left on each part's cursor, indexed by part.
+    pub per_part_remaining: Vec<u64>,
+    /// The poison of a message carrier that lost a fire-and-forget
+    /// operation, if any.
+    pub poisoned: Option<String>,
 }
 
 struct PartCursor {
@@ -815,6 +846,18 @@ impl ControlPlane for RootLedger {
 
     fn lost_roots(&self, dead: &[usize]) -> Result<Vec<VertexId>, FetchError> {
         Ok(RootLedger::lost_roots(self, dead))
+    }
+
+    fn state_summary(&self) -> LedgerStateSummary {
+        LedgerStateSummary {
+            carrier: "shared",
+            available: true,
+            quiescent: self.wc.is_quiescent(),
+            starving: RootLedger::starving(self) as u64,
+            spill_len: self.spill.lock().len() as u64,
+            per_part_remaining: (0..self.parts.len()).map(|p| self.remaining(p) as u64).collect(),
+            poisoned: None,
+        }
     }
 }
 

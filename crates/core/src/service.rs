@@ -16,6 +16,7 @@
 //! a resubmission retries instead of replaying the error forever.
 
 use crate::engine::{Engine, EngineError, QueryCtx, DEFAULT_ROOT_BUDGET};
+use crate::incident::{counters_json, progress_json, CaptureSections, Trigger, TriggerKind};
 use crate::stats::RunStats;
 use gpm_obs::{
     critical_path, ControlSection, FailureSection, QueryReport, RunReport, Span, TrafficTotals,
@@ -453,6 +454,7 @@ impl MiningService {
         agg.failures.parts_failed = self.engine.metrics().parts_failed();
         let mut report = agg.to_report(system);
         self.engine.recorder().augment_report(&mut report);
+        report.incidents = self.engine.incidents().incidents();
         let spans = self.engine.recorder().spans();
         report.queries = outcomes.iter().map(|o| query_report(o, &spans)).collect();
         report
@@ -601,6 +603,34 @@ fn executor_loop(engine: &Engine, inner: &ServiceInner, budget: u64, slow_query:
             .find(|a| a.query_id == job.query_id)
             .map(|a| a.pattern.clone())
             .unwrap_or_default();
+        // A completion over the slow-query threshold is an incident, not
+        // just a log line: capture the bundle while the engine still has
+        // the live context (concurrent queries' progress, counter totals).
+        if slow_query.is_some_and(|t| elapsed >= t) {
+            let incidents = engine.incidents();
+            let sections = if incidents.enabled() {
+                CaptureSections {
+                    progress: engine.active_progress().iter().map(|p| progress_json(p)).collect(),
+                    counters: Some(counters_json(&engine.metrics().counter_snapshot())),
+                    ledger: None,
+                }
+            } else {
+                CaptureSections::default()
+            };
+            incidents.capture(
+                Trigger {
+                    kind: TriggerKind::SlowQuery,
+                    query_id: job.query_id,
+                    part: None,
+                    value: elapsed.as_nanos() as u64,
+                    detail: format!(
+                        "query {} ({pattern}) took {elapsed:?}, over the slow-query threshold",
+                        job.query_id
+                    ),
+                },
+                sections,
+            );
+        }
         inner.record_completion(
             Completion {
                 query_id: job.query_id,
@@ -690,6 +720,46 @@ mod tests {
             "aggregate count sums the per-query counts"
         );
         gpm_obs::validate_report(&report.to_json()).expect("service report must validate");
+    }
+
+    #[test]
+    fn slow_queries_capture_incident_bundles_into_the_report() {
+        use crate::incident::IncidentConfig;
+        let dir = std::env::temp_dir().join(format!("khuzdul-svc-slow-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = gen::barabasi_albert(150, 4, 9);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let engine = Arc::new(Engine::new(
+            pg,
+            EngineConfig {
+                incident: IncidentConfig { dir: Some(dir.clone()), ..IncidentConfig::default() },
+                ..EngineConfig::default()
+            },
+        ));
+        engine.enable_progress();
+        // Threshold zero: every executed query is "slow".
+        let svc = MiningService::start(
+            engine,
+            ServiceConfig { slow_query: Some(Duration::ZERO), ..ServiceConfig::default() },
+        );
+        let opts = PlanOptions::automine();
+        let h1 = svc.submit(&Pattern::triangle(), &opts).unwrap();
+        let h2 = svc.submit(&Pattern::clique(3), &opts).unwrap(); // memo hit
+        h1.wait().unwrap();
+        h2.wait().unwrap();
+        svc.drain();
+        let incidents = svc.engine().incidents().incidents();
+        assert_eq!(incidents.len(), 1, "executed query captures; memo hit does not");
+        assert_eq!(incidents[0].trigger, "slow_query");
+        assert_eq!(incidents[0].query_id, h1.query_id());
+        let json = std::fs::read_to_string(&incidents[0].path).unwrap();
+        crate::incident::validate_bundle(&json).expect("slow-query bundle validates");
+        let report = svc.report("khuzdul-service");
+        assert_eq!(report.incidents.len(), 1);
+        assert_eq!(report.incidents[0].trigger, "slow_query");
+        gpm_obs::validate_report(&report.to_json()).expect("report with incidents validates");
+        drop(svc);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -214,6 +214,7 @@ impl RunStats {
                 dropped: self.control.dropped,
             },
             queries: Vec::new(),
+            incidents: Vec::new(),
         }
     }
 

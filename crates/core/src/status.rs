@@ -16,6 +16,10 @@
 //!   counters (these show *rates*, and deliberately live outside the
 //!   reconciliation contract — in-flight queries move them before any
 //!   outcome exists).
+//! * `GET /incidents` — the incident bundles captured so far, in
+//!   capture order, mirroring the report's `incidents[]` section. Each
+//!   entry carries the on-disk path of its full schema-validated
+//!   bundle; `gpm incident show <path>` renders it.
 //! * `GET /quit` — flags quit; `gpm serve --status-linger-ms` polls
 //!   [`StatusServer::quit_requested`] so CI can end a linger cleanly.
 //!
@@ -192,6 +196,7 @@ fn handle_conn(
     let (status, ctype, body) = match path.as_str() {
         "/metrics" => ("200 OK", "text/plain; version=0.0.4; charset=utf-8", render_metrics(svc)),
         "/status" => ("200 OK", "application/json", render_status(svc, rollup)),
+        "/incidents" => ("200 OK", "application/json", render_incidents(svc)),
         "/quit" => {
             quit.store(true, Ordering::SeqCst);
             ("200 OK", "text/plain; charset=utf-8", "bye\n".to_string())
@@ -326,6 +331,12 @@ fn render_metrics(svc: &MiningService) -> String {
             engine.metrics().parts_failed() as f64,
         ),
         PromMetric::scalar(
+            "gpm_incidents_total",
+            "Incident bundles captured since the engine started",
+            PromKind::Counter,
+            engine.incidents().incidents().len() as f64,
+        ),
+        PromMetric::scalar(
             "gpm_ctrl_sent_total",
             "Control-plane messages sent by completed queries, retries included",
             PromKind::Counter,
@@ -382,7 +393,8 @@ fn render_metrics(svc: &MiningService) -> String {
     ];
     // Claim round-trip latency of the message control plane. The
     // exporter has no native histogram kind, so the recorder snapshot's
-    // percentiles go out as a quantile-labelled gauge.
+    // percentiles go out as a quantile-labelled gauge; the Prometheus
+    // summary convention spells the observed maximum `quantile="1"`.
     let rtt = engine.recorder().hist_snapshot(gpm_obs::Metric::CtrlRttNs);
     if rtt.count > 0 {
         let mut quantiles = PromMetric {
@@ -391,7 +403,13 @@ fn render_metrics(svc: &MiningService) -> String {
             kind: PromKind::Gauge,
             samples: Vec::new(),
         };
-        for (q, v) in [("0.5", rtt.p50), ("0.95", rtt.p95), ("0.99", rtt.p99)] {
+        for (q, v) in [
+            ("0.5", rtt.p50),
+            ("0.95", rtt.p95),
+            ("0.99", rtt.p99),
+            ("0.999", rtt.p999),
+            ("1", rtt.max),
+        ] {
             quantiles.samples.push((vec![("quantile", q.to_string())], v as f64));
         }
         metrics.push(quantiles);
@@ -424,6 +442,28 @@ fn render_metrics(svc: &MiningService) -> String {
     }
     metrics.push(fractions);
     render_prometheus(&metrics)
+}
+
+/// Builds `/incidents`: the capture-order incident summaries, exactly
+/// the list [`MiningService::report`] attaches as `incidents[]`. The
+/// full bundles live on disk at each entry's `path`.
+fn render_incidents(svc: &MiningService) -> String {
+    let entries: Vec<Value> = svc
+        .engine()
+        .incidents()
+        .incidents()
+        .iter()
+        .map(|i| {
+            Value::Map(vec![
+                ("id".into(), Value::Str(i.id.clone())),
+                ("trigger".into(), Value::Str(i.trigger.clone())),
+                ("query_id".into(), Value::UInt(i.query_id)),
+                ("at_ns".into(), Value::UInt(i.at_ns)),
+                ("path".into(), Value::Str(i.path.clone())),
+            ])
+        })
+        .collect();
+    serde_json::to_string(&Value::Seq(entries)).expect("incident JSON renders")
 }
 
 fn render_status(svc: &MiningService, rollup: &Rollup) -> String {
@@ -635,10 +675,174 @@ mod tests {
             Some(report.control.dropped as f64),
         );
         // Every claim acked means an RTT sample, so the quantile gauge
-        // must be present with ordered percentiles.
-        let p50 = gpm_obs::sample_value(&metrics, "gpm_ctrl_claim_rtt_ns", Some("0.5"));
-        let p99 = gpm_obs::sample_value(&metrics, "gpm_ctrl_claim_rtt_ns", Some("0.99"));
-        let (Some(p50), Some(p99)) = (p50, p99) else { panic!("claim RTT gauge missing") };
-        assert!(p50 <= p99, "percentiles must be ordered: p50={p50} p99={p99}");
+        // must be present with ordered percentiles, tail quantile and
+        // observed max (`quantile="1"`) included.
+        // `sample_value` matches the fragment against the whole rest of
+        // the line, value included — a bare "1" would match the *digit*
+        // in an earlier quantile's value, so match the full label.
+        let q = |q: &str| {
+            let label = format!("quantile=\"{q}\"");
+            gpm_obs::sample_value(&metrics, "gpm_ctrl_claim_rtt_ns", Some(&label))
+        };
+        let (Some(p50), Some(p99), Some(p999), Some(max)) =
+            (q("0.5"), q("0.99"), q("0.999"), q("1"))
+        else {
+            panic!("claim RTT gauge missing a quantile")
+        };
+        assert!(
+            p50 <= p99 && p99 <= p999 && p999 <= max,
+            "quantiles must be ordered and capped by the observed max: \
+             p50={p50} p99={p99} p999={p999} max={max}"
+        );
+        assert!(max > 0.0, "observed max must be a real sample");
+    }
+
+    fn http_raw(addr: SocketAddr, payload: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect status server");
+        s.write_all(payload).unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    /// Unknown routes must answer with a real 404 status line — a
+    /// scraper probing the wrong path should see an HTTP error, not a
+    /// hang or a dropped connection.
+    #[test]
+    fn unknown_routes_get_a_404_status_line() {
+        let g = gen::barabasi_albert(80, 3, 7);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let engine = Arc::new(Engine::new(pg, EngineConfig::default()));
+        let svc = Arc::new(MiningService::start(engine, ServiceConfig::default()));
+        let server = StatusServer::start(Arc::clone(&svc), StatusConfig::default()).unwrap();
+        let resp = http_raw(server.local_addr(), b"GET /definitely/not/a/route HTTP/1.1\r\n\r\n");
+        assert!(
+            resp.starts_with("HTTP/1.1 404 Not Found"),
+            "expected a 404 status line, got: {resp:?}"
+        );
+        assert!(resp.contains("not found"));
+    }
+
+    /// A malformed request line (no method, no path, or plain garbage)
+    /// must not wedge or kill the server: it answers 404 and keeps
+    /// serving well-formed scrapes afterwards.
+    #[test]
+    fn malformed_requests_are_answered_and_the_server_survives() {
+        let g = gen::barabasi_albert(80, 3, 13);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let engine = Arc::new(Engine::new(pg, EngineConfig::default()));
+        let svc = Arc::new(MiningService::start(engine, ServiceConfig::default()));
+        let server = StatusServer::start(Arc::clone(&svc), StatusConfig::default()).unwrap();
+        for payload in
+            [&b"garbage\r\n"[..], &b"\r\n"[..], &b"GET\r\n"[..], &b"\x00\x01\x02\xff\r\n"[..]]
+        {
+            let resp = http_raw(server.local_addr(), payload);
+            assert!(
+                resp.starts_with("HTTP/1.1 404"),
+                "malformed request must get a 404, got: {resp:?}"
+            );
+        }
+        // The listener is still healthy after the abuse.
+        let metrics = http_get(server.local_addr(), "/metrics");
+        gpm_obs::validate_exposition(&metrics).expect("server must keep serving after abuse");
+    }
+
+    /// Concurrent scrapers during an active workload all get complete,
+    /// well-formed responses — the accept loop serves them one at a
+    /// time, but nobody is dropped or handed a torn document.
+    #[test]
+    fn concurrent_scrapers_see_well_formed_output() {
+        let g = gen::barabasi_albert(200, 4, 17);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let engine = Arc::new(Engine::new(pg, EngineConfig::default()));
+        let svc = Arc::new(MiningService::start(engine, ServiceConfig::default()));
+        let server = StatusServer::start(Arc::clone(&svc), StatusConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = [Pattern::triangle(), Pattern::cycle(4), Pattern::clique(4)]
+            .iter()
+            .map(|p| svc.submit(p, &PlanOptions::automine()).unwrap())
+            .collect();
+        let scrapers: Vec<_> = (0..6)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    for _ in 0..4 {
+                        let path = if i % 3 == 0 {
+                            "/metrics"
+                        } else if i % 3 == 1 {
+                            "/status"
+                        } else {
+                            "/incidents"
+                        };
+                        let mut s = TcpStream::connect(addr).expect("connect");
+                        write!(s, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+                        let mut out = String::new();
+                        s.read_to_string(&mut out).expect("read");
+                        let (_, body) = out.split_once("\r\n\r\n").expect("split");
+                        match path {
+                            "/metrics" => {
+                                gpm_obs::validate_exposition(body).expect("torn exposition");
+                            }
+                            _ => {
+                                gpm_obs::parse_json(body).expect("torn JSON");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        for s in scrapers {
+            s.join().expect("scraper thread must not panic");
+        }
+    }
+
+    /// `/incidents` serves the capture-order summaries and `/metrics`
+    /// counts them, reconciling with the report's `incidents[]`.
+    #[test]
+    fn incidents_route_lists_captured_bundles() {
+        use crate::incident::IncidentConfig;
+        let dir =
+            std::env::temp_dir().join(format!("khuzdul-status-incidents-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = gen::barabasi_albert(120, 3, 19);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let engine = Arc::new(Engine::new(
+            pg,
+            EngineConfig {
+                incident: IncidentConfig { dir: Some(dir.clone()), ..IncidentConfig::default() },
+                ..EngineConfig::default()
+            },
+        ));
+        let svc = Arc::new(MiningService::start(
+            engine,
+            ServiceConfig { slow_query: Some(Duration::ZERO), ..ServiceConfig::default() },
+        ));
+        let server = StatusServer::start(Arc::clone(&svc), StatusConfig::default()).unwrap();
+        svc.submit(&Pattern::triangle(), &PlanOptions::automine()).unwrap().wait().unwrap();
+        let body = http_get(server.local_addr(), "/incidents");
+        let doc = gpm_obs::parse_json(&body).expect("incidents must be valid JSON");
+        let Value::Seq(entries) = &doc else { panic!("incidents root is an array") };
+        assert_eq!(entries.len(), 1, "the zero-threshold slow-query log captures once");
+        let Value::Map(fields) = &entries[0] else { panic!("entry is an object") };
+        let trigger = fields.iter().find(|(k, _)| k == "trigger").map(|(_, v)| v);
+        assert_eq!(trigger, Some(&Value::Str("slow_query".to_string())));
+        let path = fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+            ("path", Value::Str(p)) => Some(p.clone()),
+            _ => None,
+        });
+        let path = path.expect("entry carries the bundle path");
+        let raw = std::fs::read_to_string(&path).expect("bundle exists on disk");
+        crate::incident::validate_bundle(&raw).expect("bundle validates");
+        let metrics = http_get(server.local_addr(), "/metrics");
+        assert_eq!(
+            gpm_obs::sample_value(&metrics, "gpm_incidents_total", None),
+            Some(1.0),
+            "the scrape counts the captured bundle"
+        );
+        let report = svc.report("khuzdul-service");
+        assert_eq!(report.incidents.len(), 1, "the report carries the same capture list");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

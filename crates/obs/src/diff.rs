@@ -360,6 +360,7 @@ mod tests {
             failures: Default::default(),
             control: Default::default(),
             queries: Vec::new(),
+            incidents: Vec::new(),
         }
     }
 

@@ -29,6 +29,7 @@ pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -37,6 +38,7 @@ impl Default for Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 }
@@ -52,6 +54,7 @@ impl Histogram {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Number of observations recorded.
@@ -71,19 +74,28 @@ impl Histogram {
         }
         self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
         self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// An immutable snapshot with percentiles computed.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        HistogramSnapshot::from_buckets(buckets, self.sum.load(Ordering::Relaxed))
+        HistogramSnapshot::from_buckets(
+            buckets,
+            self.sum.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
     }
 }
 
 /// A point-in-time copy of a [`Histogram`], with percentiles.
 ///
 /// Percentiles report the inclusive upper bound of the bucket containing
-/// the requested rank, so `p50 <= p95 <= p99` holds by construction.
+/// the requested rank, clamped to the exact observed `max` — a true
+/// quantile can never exceed the true maximum, and the clamp keeps the
+/// exported summary coherent (`quantile="0.999"` never above
+/// `quantile="1"`). `p50 <= p95 <= p99 <= p999 <= max` holds by
+/// construction.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct HistogramSnapshot {
     /// Observation count.
@@ -96,20 +108,26 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// 99th percentile (bucket upper bound).
     pub p99: u64,
+    /// 99.9th percentile (bucket upper bound).
+    pub p999: u64,
+    /// Exact largest observed value (0 when empty).
+    pub max: u64,
     /// Per-bucket counts, trimmed after the last non-empty bucket.
     pub buckets: Vec<u64>,
 }
 
 impl HistogramSnapshot {
-    /// Builds a snapshot from raw bucket counts and a value sum.
-    pub fn from_buckets(mut buckets: Vec<u64>, sum: u64) -> Self {
+    /// Builds a snapshot from raw bucket counts, a value sum, and the
+    /// exact observed maximum.
+    pub fn from_buckets(mut buckets: Vec<u64>, sum: u64, max: u64) -> Self {
         let count: u64 = buckets.iter().sum();
-        let p50 = percentile(&buckets, count, 0.50);
-        let p95 = percentile(&buckets, count, 0.95);
-        let p99 = percentile(&buckets, count, 0.99);
+        let p50 = percentile(&buckets, count, 0.50).min(max);
+        let p95 = percentile(&buckets, count, 0.95).min(max);
+        let p99 = percentile(&buckets, count, 0.99).min(max);
+        let p999 = percentile(&buckets, count, 0.999).min(max);
         let used = buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
         buckets.truncate(used);
-        HistogramSnapshot { count, sum, p50, p95, p99, buckets }
+        HistogramSnapshot { count, sum, p50, p95, p99, p999, max, buckets }
     }
 
     /// The value at quantile `q` in `[0, 1]` (bucket upper bound), or 0
@@ -139,7 +157,8 @@ impl HistogramSnapshot {
             merged[i] += c;
         }
         merged.resize(BUCKETS, 0);
-        *self = HistogramSnapshot::from_buckets(merged, self.sum + other.sum);
+        *self =
+            HistogramSnapshot::from_buckets(merged, self.sum + other.sum, self.max.max(other.max));
     }
 }
 
@@ -223,22 +242,43 @@ mod tests {
                 w[1] * 100.0
             );
         }
-        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.p999);
     }
 
     #[test]
     fn empty_and_single_value() {
         let h = Histogram::new();
         let s = h.snapshot();
-        assert_eq!((s.count, s.p50, s.p99), (0, 0, 0));
+        assert_eq!((s.count, s.p50, s.p99, s.p999, s.max), (0, 0, 0, 0, 0));
         assert_eq!(s.mean(), 0.0);
         h.observe(42);
         let s = h.snapshot();
         assert_eq!(s.count, 1);
-        // 42 lives in [32, 63].
-        assert_eq!(s.p50, 63);
-        assert_eq!(s.p99, 63);
+        // 42 lives in [32, 63], but the bucket bound is clamped to the
+        // exact max so the quantile never overshoots the worst case.
+        assert_eq!(s.p50, 42);
+        assert_eq!(s.p99, 42);
+        assert_eq!(s.p999, 42);
+        assert_eq!(s.max, 42);
         assert_eq!(s.mean(), 42.0);
+    }
+
+    #[test]
+    fn max_is_exact_and_survives_merges() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe(100);
+        a.observe(7);
+        b.observe(9_999);
+        let merged = Histogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.snapshot().max, 9_999);
+        // Snapshot-level merge agrees.
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.max, 9_999);
+        assert_eq!(snap, merged.snapshot());
     }
 
     #[test]

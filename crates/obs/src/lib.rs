@@ -18,6 +18,9 @@
 //!   shard merging ([`HistogramSnapshot::merge`]).
 //! * **Gauges** ([`GaugeSample`]) — per-part utilization samples taken on
 //!   a configurable tick ([`ObsConfig::tick`]), forming a time series.
+//! * **Flight ring** ([`FlightRecorder`]) — an always-on bounded ring of
+//!   coarse events (steals, retries, failovers, admits) that survives to
+//!   be snapshotted into incident bundles even when span tracing is off.
 //! * **Exporters** — a Chrome trace-event JSON file
 //!   ([`Recorder::chrome_trace`], loadable in `chrome://tracing` or
 //!   Perfetto) and a versioned machine-readable [`RunReport`]
@@ -39,6 +42,7 @@
 mod critical;
 mod diff;
 mod export;
+mod flight;
 mod hist;
 mod progress;
 mod recorder;
@@ -51,13 +55,14 @@ mod validate;
 pub use critical::critical_path;
 pub use diff::{diff_reports, DiffThresholds, ReportDiff};
 pub use export::{render_prometheus, sample_value, validate_exposition, PromKind, PromMetric};
+pub use flight::{FlightEvent, FlightKind, FlightRecorder, FLIGHT_CAPACITY};
 pub use hist::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
 pub use progress::{PartProgress, QueryProgress};
 pub use recorder::{GaugeSample, Metric, ObsHandle, Recorder};
 pub use report::{
     BreakdownFractions, ControlSection, CriticalPathFractions, CriticalPathSection, FailureSection,
-    NamedHistogram, PartCriticalPath, PartReport, QueryReport, RingOccupancy, RunReport,
-    SeriesPoint, SpanStats, TrafficTotals, REPORT_SCHEMA_VERSION,
+    IncidentSummary, NamedHistogram, PartCriticalPath, PartReport, QueryReport, RingOccupancy,
+    RunReport, SeriesPoint, SpanStats, TrafficTotals, REPORT_SCHEMA_VERSION,
 };
 pub use rollup::{Rollup, Window};
 pub use span::{Span, SpanKind};

@@ -1,5 +1,6 @@
 //! The central recorder: sharded span rings, histograms, gauge series.
 
+use crate::flight::FlightRecorder;
 use crate::hist::{Histogram, HistogramSnapshot};
 use crate::span::{Span, SpanKind};
 use crate::ObsConfig;
@@ -138,11 +139,21 @@ pub struct Recorder {
     series: Mutex<Vec<GaugeSample>>,
     recorded: AtomicU64,
     shard_cap: usize,
+    flight: Arc<FlightRecorder>,
 }
 
 impl Recorder {
-    /// A recorder configured by `cfg` (enabled or not per `cfg.enabled`).
+    /// A recorder configured by `cfg` (enabled or not per `cfg.enabled`),
+    /// with a disabled flight ring.
     pub fn new(cfg: &ObsConfig) -> Arc<Recorder> {
+        Recorder::with_flight(cfg, FlightRecorder::disabled())
+    }
+
+    /// A recorder carrying `flight` as its coarse-event ring. The flight
+    /// ring has its own enable flag: it keeps recording incident-grade
+    /// events (steals, retries, failovers) even when span tracing is
+    /// off, so post-hoc bundles always have a black box to read.
+    pub fn with_flight(cfg: &ObsConfig, flight: Arc<FlightRecorder>) -> Arc<Recorder> {
         let shard_cap = (cfg.span_capacity / SHARDS).max(1);
         Arc::new(Recorder {
             enabled: AtomicBool::new(cfg.enabled),
@@ -152,12 +163,21 @@ impl Recorder {
             series: Mutex::new(Vec::new()),
             recorded: AtomicU64::new(0),
             shard_cap,
+            flight,
         })
     }
 
     /// A permanently-disabled recorder for callers that don't trace.
     pub fn disabled() -> Arc<Recorder> {
         Recorder::new(&ObsConfig::default())
+    }
+
+    /// The coarse-event flight ring riding on this recorder. Its enable
+    /// flag is independent of span tracing: [`Recorder::is_enabled`]
+    /// gates spans/histograms/gauges only.
+    #[inline]
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
     }
 
     /// Whether recording is on (relaxed load — the hot-path branch).
@@ -668,6 +688,20 @@ mod tests {
         let spans = rec.spans();
         assert_eq!(spans.iter().filter(|s| s.query == 3).count(), 4);
         assert_eq!(spans.iter().filter(|s| s.query == 0).count(), 1);
+    }
+
+    #[test]
+    fn flight_ring_rides_along_independent_of_span_tracing() {
+        use crate::flight::{FlightKind, FlightRecorder};
+        // Span tracing off, flight ring on: the black box still records.
+        let rec = Recorder::with_flight(&ObsConfig::default(), FlightRecorder::new(16));
+        assert!(!rec.is_enabled());
+        rec.flight().record(FlightKind::Steal, 1, 2, 3);
+        assert_eq!(rec.flight().snapshot().len(), 1);
+        // Default construction carries a disabled ring: no-op, no growth.
+        let plain = Recorder::new(&ObsConfig::enabled());
+        plain.flight().record(FlightKind::Steal, 1, 2, 3);
+        assert!(plain.flight().snapshot().is_empty());
     }
 
     #[test]

@@ -23,7 +23,12 @@ use serde::Serialize;
 /// `control` section (aggregate and per-query) — control-plane message
 /// totals of the message-based steal/claim ledger; all-zero under the
 /// shared-memory carrier and absent from pre-existing reports (readers
-/// treat a missing section as all-zero).
+/// treat a missing section as all-zero). Additive (still v4): the
+/// `incidents` section — one summary per incident bundle the run's
+/// flight-recorder subsystem captured to disk (absent or empty for a
+/// clean run; readers treat a missing section as empty) — and histogram
+/// `p999`/`max` tail fields (readers treat missing tail fields as
+/// unreported, not zero-valued).
 pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// End-of-run traffic totals, mirroring the engine's `TrafficSummary`
@@ -215,6 +220,25 @@ pub struct ControlSection {
     pub dropped: u64,
 }
 
+/// Summary of one incident bundle captured during the run (additive in
+/// v4). The full schema-validated bundle — flight-ring slice, progress
+/// snapshots, rollup windows, scheduler state — lives on disk at
+/// `path`; the report only carries enough to find and rank it.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct IncidentSummary {
+    /// Stable bundle id (also the bundle's file stem).
+    pub id: String,
+    /// Trigger class (`part_failed`, `part_lost`, `deadline_exceeded`,
+    /// `slow_query`, `control_poison`, or `stall`).
+    pub trigger: String,
+    /// Query the trigger was attributed to (0 when not query-scoped).
+    pub query_id: u64,
+    /// Trigger time, nanoseconds since the engine's flight-ring epoch.
+    pub at_ns: u64,
+    /// Bundle file path as written.
+    pub path: String,
+}
+
 /// Per-query section of a multi-tenant service report (schema v4). One
 /// entry per admitted query, in admission order; a plain single-run
 /// report carries an empty `queries` list.
@@ -296,6 +320,9 @@ pub struct RunReport {
     /// Per-query sections of a multi-tenant service run (schema v4),
     /// in admission order; empty for a single-query run.
     pub queries: Vec<QueryReport>,
+    /// Incident bundles captured during the run (additive in v4), in
+    /// capture order; empty for a clean run.
+    pub incidents: Vec<IncidentSummary>,
 }
 
 impl TrafficTotals {
@@ -429,7 +456,7 @@ mod tests {
             }],
             histograms: vec![NamedHistogram {
                 name: "fetch_latency_ns".to_string(),
-                histogram: HistogramSnapshot::from_buckets(vec![0, 2, 1], 7),
+                histogram: HistogramSnapshot::from_buckets(vec![0, 2, 1], 7, 3),
             }],
             series: vec![SeriesPoint {
                 t_ns: 100,
@@ -503,6 +530,13 @@ mod tests {
                 memo_evictions: 0,
                 control: ControlSection { sent: 120, retried: 6, dropped: 4 },
             }],
+            incidents: vec![IncidentSummary {
+                id: "incident-000001-part_failed".to_string(),
+                trigger: "part_failed".to_string(),
+                query_id: 1,
+                at_ns: 450_000_000,
+                path: "/tmp/incidents/incident-000001-part_failed.json".to_string(),
+            }],
         }
     }
 
@@ -526,6 +560,10 @@ mod tests {
         assert!(a.contains("\"memo_evictions\": 0"));
         assert!(a.contains("\"control\""));
         assert!(a.contains("\"retried\": 6"));
+        assert!(a.contains("\"p999\""));
+        assert!(a.contains("\"max\": 3"));
+        assert!(a.contains("\"incidents\""));
+        assert!(a.contains("\"trigger\": \"part_failed\""));
     }
 
     #[test]

@@ -209,6 +209,21 @@ pub(crate) fn req_u64(map: &[(String, Value)], key: &str, ctx: &str) -> Result<u
     }
 }
 
+/// An *additive* u64 field: absent is fine (`None`), but a present value
+/// of the wrong type is still a schema violation.
+pub(crate) fn opt_u64(
+    map: &[(String, Value)],
+    key: &str,
+    ctx: &str,
+) -> Result<Option<u64>, String> {
+    match get(map, key) {
+        Some(Value::UInt(u)) => Ok(Some(*u)),
+        Some(Value::Int(i)) if *i >= 0 => Ok(Some(*i as u64)),
+        Some(_) => Err(format!("{ctx}.{key}: expected unsigned integer")),
+        None => Ok(None),
+    }
+}
+
 pub(crate) fn req_fraction(map: &[(String, Value)], key: &str, ctx: &str) -> Result<f64, String> {
     let f = match get(map, key) {
         Some(Value::Float(f)) => *f,
@@ -258,6 +273,36 @@ const FAILURE_KEYS: [&str; 4] =
 
 /// Counter keys of the (additive-in-v4, optional) control section.
 const CONTROL_KEYS: [&str; 3] = ["sent", "retried", "dropped"];
+
+/// Trigger classes an incident summary may carry, mirroring
+/// `khuzdul::incident`'s trigger taxonomy.
+pub(crate) const INCIDENT_TRIGGERS: [&str; 6] =
+    ["part_failed", "part_lost", "deadline_exceeded", "slow_query", "control_poison", "stall"];
+
+/// Checks the incidents section *if present* (additive in v4: reports
+/// written before the flight-recorder subsystem lack it, and readers
+/// treat absence as an empty list).
+fn check_incidents(parent: &[(String, Value)]) -> Result<(), String> {
+    let Some(incidents) = get(parent, "incidents") else { return Ok(()) };
+    for (i, inc) in as_seq(incidents, "incidents")?.iter().enumerate() {
+        let ctx = format!("incidents[{i}]");
+        let m = as_map(inc, &ctx)?;
+        for key in ["id", "path"] {
+            match get(m, key) {
+                Some(Value::Str(s)) if !s.is_empty() => {}
+                _ => return Err(format!("{ctx}.{key}: missing or empty")),
+            }
+        }
+        match get(m, "trigger") {
+            Some(Value::Str(s)) if INCIDENT_TRIGGERS.contains(&s.as_str()) => {}
+            Some(Value::Str(s)) => return Err(format!("{ctx}.trigger: unknown trigger {s:?}")),
+            _ => return Err(format!("{ctx}.trigger: missing or empty")),
+        }
+        req_u64(m, "query_id", &ctx)?;
+        req_u64(m, "at_ns", &ctx)?;
+    }
+    Ok(())
+}
 
 /// Checks a control section *if present*. The section is additive in
 /// v4 — reports written before the message-based control plane lack it,
@@ -397,6 +442,14 @@ pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
         if !(p50 <= p95 && p95 <= p99) {
             return Err(format!("histograms[{i}]: percentiles not monotone"));
         }
+        // Tail fields are additive in v4: absent in older reports, but a
+        // present p999 must continue the monotone percentile chain.
+        if let Some(p999) = opt_u64(snap, "p999", &format!("histograms[{i}]"))? {
+            if p99 > p999 {
+                return Err(format!("histograms[{i}]: p99 {p99} > p999 {p999}"));
+            }
+        }
+        opt_u64(snap, "max", &format!("histograms[{i}]"))?;
         let buckets = as_seq(
             get(snap, "buckets").ok_or_else(|| format!("histograms[{i}].buckets: missing"))?,
             "buckets",
@@ -487,6 +540,18 @@ pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
             as_map(get(m, "critical_path").ok_or(format!("{ctx}.critical_path: missing"))?, &ctx)?;
         check_critical_path(q_cp, &format!("{ctx}.critical_path"))?;
         check_control(m, &format!("{ctx}.control"))?;
+        // A successful query that retired fewer roots than it claimed to
+        // own leaked progress accounting somewhere — warn instead of
+        // silently passing (the fields are additive, so absence or a
+        // disabled tracker reads as zero and stays quiet).
+        let roots_total = opt_u64(m, "roots_total", &ctx)?.unwrap_or(0);
+        let roots_completed = opt_u64(m, "roots_completed", &ctx)?.unwrap_or(0);
+        if roots_total > 0 && roots_completed < roots_total {
+            warnings.push(format!(
+                "{ctx}: query {qid} succeeded but completed only {roots_completed} of \
+                 {roots_total} roots — progress accounting leaked"
+            ));
+        }
     }
     seen_ids.sort_unstable();
     let unique = seen_ids.len();
@@ -494,6 +559,8 @@ pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
     if seen_ids.len() != unique {
         return Err("queries: duplicate query_id".to_string());
     }
+
+    check_incidents(top)?;
 
     Ok(warnings)
 }
@@ -802,6 +869,74 @@ mod tests {
                 {"query_id": 1"#,
         );
         assert!(validate_report(&dup).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn validate_report_warns_on_roots_accounting_leak() {
+        // Satellite fix: a successful query with roots_completed <
+        // roots_total used to pass silently.
+        let leaky = FULL_QUERY.replace(
+            r#""elapsed_ns": 5,"#,
+            r#""elapsed_ns": 5, "roots_total": 100, "roots_completed": 90,"#,
+        );
+        let json =
+            v4_report_with_queries(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]", ZERO_FAILURES, &leaky);
+        let warnings = validate_report(&json).unwrap();
+        assert_eq!(warnings.len(), 1, "got: {warnings:?}");
+        assert!(warnings[0].contains("progress accounting leaked"), "got: {warnings:?}");
+
+        // Fully-retired and tracker-off queries stay quiet.
+        let clean = FULL_QUERY.replace(
+            r#""elapsed_ns": 5,"#,
+            r#""elapsed_ns": 5, "roots_total": 100, "roots_completed": 100,"#,
+        );
+        let json =
+            v4_report_with_queries(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]", ZERO_FAILURES, &clean);
+        assert!(validate_report(&json).unwrap().is_empty());
+    }
+
+    #[test]
+    fn validate_report_checks_histogram_tail_fields() {
+        // Additive: a histogram without p999/max still validates...
+        let legacy = v4_report(
+            FULL_TRAFFIC,
+            CLEAN_SPANS,
+            ZERO_CP,
+            r#"[{"name": "fetch_latency_ns", "histogram":
+                {"count": 1, "sum": 5, "p50": 7, "p95": 7, "p99": 7, "buckets": [0, 0, 0, 1]}}]"#,
+        );
+        assert!(validate_report(&legacy).unwrap().is_empty());
+        // ...and a present p999 must continue the monotone chain.
+        let bad = v4_report(
+            FULL_TRAFFIC,
+            CLEAN_SPANS,
+            ZERO_CP,
+            r#"[{"name": "fetch_latency_ns", "histogram":
+                {"count": 1, "sum": 5, "p50": 7, "p95": 7, "p99": 7, "p999": 3, "max": 5,
+                 "buckets": [0, 0, 0, 1]}}]"#,
+        );
+        assert!(validate_report(&bad).unwrap_err().contains("p999"));
+        let good = bad.replace(r#""p999": 3"#, r#""p999": 7"#);
+        assert!(validate_report(&good).unwrap().is_empty());
+    }
+
+    #[test]
+    fn validate_report_checks_incidents_section() {
+        // Absent: fine (additive). Present and well-formed: fine.
+        let base = v4_report(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]");
+        assert!(validate_report(&base).unwrap().is_empty());
+        let with = base.replace(
+            r#""queries": []"#,
+            r#""queries": [], "incidents": [{"id": "incident-000001-stall",
+                "trigger": "stall", "query_id": 0, "at_ns": 12345,
+                "path": "/tmp/i/incident-000001-stall.json"}]"#,
+        );
+        assert!(validate_report(&with).unwrap().is_empty());
+        // Unknown trigger class and missing id are schema violations.
+        let bad_trigger = with.replace(r#""trigger": "stall""#, r#""trigger": "gremlins""#);
+        assert!(validate_report(&bad_trigger).unwrap_err().contains("unknown trigger"));
+        let no_id = with.replace(r#""id": "incident-000001-stall","#, "");
+        assert!(validate_report(&no_id).unwrap_err().contains("id"));
     }
 
     #[test]
