@@ -16,8 +16,8 @@ use gpm_pattern::plan::{MatchingPlan, PlanOptions};
 use gpm_pattern::Pattern;
 use khuzdul::{
     ControlConfig, ControlMode, CrashAt, Engine, EngineConfig, FabricConfig, FaultPlan,
-    IncidentConfig, MiningService, ObsConfig, RetryPolicy, RunStats, ServiceConfig, StatusConfig,
-    StatusServer, StealConfig,
+    IncidentConfig, MiningService, ObsConfig, RebalanceConfig, RetryPolicy, RunStats,
+    ServiceConfig, StatusConfig, StatusServer, StealConfig,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -88,6 +88,13 @@ pub struct Options {
     /// `--fault-drop`, which only touches data fetches — dropping every
     /// claim reply is how you wedge the scheduler on purpose.
     pub control_fault_drop: f64,
+    /// Background re-replication after a part death (`--rebalance
+    /// on|off`; Khuzdul systems only, engages with `--replication >= 2`).
+    /// On by default: a crashed part's slices are streamed to new
+    /// holders so a later crash of a different part still resolves
+    /// exactly. `off` reproduces the static-replica envelope, where the
+    /// replication factor bounds the total deaths a run survives.
+    pub rebalance: bool,
 }
 
 /// Graph source.
@@ -179,6 +186,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut incident_dir: Option<String> = None;
     let mut stall_ms: Option<u64> = None;
     let mut control_fault_drop = 0.0f64;
+    let mut rebalance = true;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
@@ -213,6 +221,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--incident-dir" => incident_dir = Some(value()?.to_string()),
             "--stall-ms" => stall_ms = Some(parse_num(value()?)? as u64),
             "--control-fault-drop" => control_fault_drop = parse_fraction(value()?)?,
+            "--rebalance" => {
+                rebalance = match value()? {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--rebalance takes on|off, not '{other}'")),
+                }
+            }
             "--help" | "-h" => return Err("see the crate docs for usage".into()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -243,6 +258,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         incident_dir,
         stall_ms,
         control_fault_drop,
+        rebalance,
     })
 }
 
@@ -425,6 +441,8 @@ fn run_serve(args: &[String]) -> Result<String, String> {
     let mut memo_capacity = ServiceConfig::default().memo_capacity;
     let mut incident_dir: Option<String> = None;
     let mut stall_ms: Option<u64> = None;
+    let mut replication = 1usize;
+    let mut rebalance = true;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
@@ -454,6 +472,14 @@ fn run_serve(args: &[String]) -> Result<String, String> {
             "--memo-capacity" => memo_capacity = parse_num(value()?)?,
             "--incident-dir" => incident_dir = Some(value()?.to_string()),
             "--stall-ms" => stall_ms = Some(parse_num(value()?)? as u64),
+            "--replication" => replication = parse_num(value()?)?,
+            "--rebalance" => {
+                rebalance = match value()? {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--rebalance takes on|off, not '{other}'")),
+                }
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -472,8 +498,14 @@ fn run_serve(args: &[String]) -> Result<String, String> {
     let graph = load(&graph.ok_or("one of --graph or --gen is required")?)?;
     let observe = report_out.is_some();
     let obs = if observe { ObsConfig::enabled() } else { ObsConfig::default() };
+    let parts = machines.max(1) * sockets.max(1);
     let engine = Arc::new(Engine::new(
-        PartitionedGraph::new(&graph, machines.max(1), sockets.max(1)),
+        PartitionedGraph::with_replication(
+            &graph,
+            machines.max(1),
+            sockets.max(1),
+            replication.clamp(1, parts),
+        ),
         EngineConfig {
             compute_threads: threads.max(1),
             obs,
@@ -484,6 +516,7 @@ fn run_serve(args: &[String]) -> Result<String, String> {
                 stall: stall_ms.map(Duration::from_millis),
                 ..IncidentConfig::default()
             },
+            rebalance: RebalanceConfig { enabled: rebalance, ..RebalanceConfig::default() },
             ..EngineConfig::default()
         },
     ));
@@ -689,6 +722,50 @@ fn render_top(addr: &str, doc: &serde::Value) -> Result<String, String> {
         num(&memo, "hits"),
         num(&memo, "evictions")
     );
+    // Replica placement and health. Quiet for an r=1 run with every
+    // part alive — the table only earns its lines when there are
+    // replicas to track or a death to diagnose.
+    if let Some(reb) = obj(doc, "replicas") {
+        let parts = seq(&reb, "parts");
+        let any_dead = parts.iter().any(|p| obj(p, "alive") == Some(Value::Bool(false)));
+        if num(&reb, "configured_replication") >= 2.0 || any_dead {
+            let _ = writeln!(
+                out,
+                "REPLICAS  r={} effective={} epoch={} repaired={} ({} B) lost={}",
+                num(&reb, "configured_replication"),
+                num(&reb, "min_effective_replication"),
+                num(&reb, "routing_epoch"),
+                num(&reb, "slices_restored"),
+                num(&reb, "bytes"),
+                num(&reb, "slices_lost"),
+            );
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>6} {:>7} {:>14} {:<}",
+                "part", "state", "copies", "rerouted", "hosts"
+            );
+            for p in &parts {
+                let hosts: Vec<String> = seq(p, "hosted_slices")
+                    .iter()
+                    .map(|s| match s {
+                        Value::UInt(u) => u.to_string(),
+                        _ => "?".to_string(),
+                    })
+                    .collect();
+                let state =
+                    if obj(p, "alive") == Some(Value::Bool(true)) { "live" } else { "DEAD" };
+                let _ = writeln!(
+                    out,
+                    "  {:>5} {:>6} {:>7} {:>12} B {:<}",
+                    format!("p{}", num(p, "part")),
+                    state,
+                    num(p, "live_copies"),
+                    num(p, "rerouted_served_bytes"),
+                    hosts.join(","),
+                );
+            }
+        }
+    }
     let active = seq(doc, "active_queries");
     if !active.is_empty() {
         let _ = writeln!(out, "IN FLIGHT");
@@ -1230,6 +1307,19 @@ fn run_count(args: &[String]) -> Result<String, String> {
             f.parts_failed, f.rerouted_requests, f.rerouted_bytes, f.reexecuted_roots
         );
     }
+    let reb = &ex.report.rebalance;
+    if reb.transfers > 0 || reb.slices_lost > 0 {
+        let _ = writeln!(
+            out,
+            "rebalance {} slice(s) restored ({} transfers, {} bytes), {} lost; effective r={}; epoch {}",
+            reb.slices_restored,
+            reb.transfers,
+            reb.bytes,
+            reb.slices_lost,
+            reb.min_effective_replication,
+            reb.routing_epoch
+        );
+    }
     let b = stats.breakdown();
     let _ = writeln!(
         out,
@@ -1324,6 +1414,7 @@ fn execute(graph: &Graph, opts: &Options) -> Result<Executed, String> {
                         stall: opts.stall_ms.map(Duration::from_millis),
                         ..IncidentConfig::default()
                     },
+                    rebalance: RebalanceConfig { enabled: opts.rebalance, ..RebalanceConfig::default() },
                     ..EngineConfig::default()
                 },
             );
@@ -1467,6 +1558,17 @@ mod tests {
         let z = parse_args(&argv("--gen ba:100,3 --pattern triangle --steal-batch 0")).unwrap();
         assert_eq!(z.steal_batch, 1);
         assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --steal maybe")).is_err());
+    }
+
+    #[test]
+    fn parse_rebalance_flag() {
+        // Self-healing is on by default; it only engages with replicas.
+        let d = parse_args(&argv("--gen ba:100,3 --pattern triangle")).unwrap();
+        assert!(d.rebalance);
+        let o =
+            parse_args(&argv("--gen ba:100,3 --pattern triangle --rebalance off")).unwrap();
+        assert!(!o.rebalance);
+        assert!(parse_args(&argv("--gen ba:100,3 --pattern triangle --rebalance maybe")).is_err());
     }
 
     #[test]
@@ -1725,6 +1827,7 @@ mod tests {
             series: Vec::new(),
             spans: Default::default(),
             failures: Default::default(),
+            rebalance: Default::default(),
             control: Default::default(),
             queries: Vec::new(),
             incidents: Vec::new(),
@@ -2084,6 +2187,7 @@ mod tests {
         assert!(run(&argv("serve --gen ba:100,3")).is_err()); // no --queries
         assert!(run(&argv("serve --queries /nonexistent/q.txt --gen ba:100,3")).is_err());
         assert!(run(&argv("serve --bogus x")).is_err());
+        assert!(run(&argv("serve --gen ba:100,3 --rebalance maybe")).is_err());
         let dir = std::env::temp_dir();
         let empty = dir.join(format!("gpm-cli-serve-empty-{}.txt", std::process::id()));
         std::fs::write(&empty, "# nothing\n\n").unwrap();
@@ -2091,5 +2195,26 @@ mod tests {
             run(&argv(&format!("serve --gen ba:100,3 --queries {}", empty.display()))).unwrap_err();
         assert!(err.contains("no queries"), "{err}");
         std::fs::remove_file(&empty).ok();
+    }
+
+    /// The resident service accepts the failure-model knobs: replicated
+    /// hosting leaves every query's count untouched.
+    #[test]
+    fn serve_with_replication_keeps_counts() {
+        let dir = std::env::temp_dir().join(format!("gpm-cli-serve-repl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let workload = dir.join("queries.txt");
+        std::fs::write(&workload, "triangle\n").unwrap();
+        let solo = run(&argv("--gen ba:200,4,11 --pattern triangle --machines 4 --quiet")).unwrap();
+        let out = run(&argv(&format!(
+            "serve --gen ba:200,4,11 --queries {} --machines 4 --replication 2",
+            workload.display()
+        )))
+        .unwrap();
+        assert!(
+            out.contains(&format!("count={}", solo.trim())),
+            "replicated serve must match the solo count:\n{out}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

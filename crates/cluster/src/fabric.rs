@@ -21,12 +21,12 @@
 
 use crate::metrics::{ClusterMetrics, PartMetrics, QueryMetrics, TrafficClass};
 use crate::transport::{
-    checked_offset, ChannelTransport, FaultInjectingTransport, FaultPlan, FetchedLists, Transport,
-    WireReply, WireRequest, HEADER_BYTES,
+    checked_offset, ChannelTransport, FaultInjectingTransport, FaultPlan, FetchedLists,
+    ReplicaPush, Transport, WireReply, WireRequest, HEADER_BYTES,
 };
 use crate::{NetworkModel, PartId};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use gpm_graph::partition::PartitionedGraph;
+use gpm_graph::partition::{GraphPart, PartitionedGraph};
 use gpm_graph::VertexId;
 use gpm_obs::{FlightKind, Metric, Recorder, SpanKind};
 use parking_lot::{Condvar, Mutex};
@@ -50,16 +50,42 @@ struct Liveness {
     dead: Vec<AtomicBool>,
     /// `holders[p]` = parts hosting a replica of `p`'s slice, nearest
     /// hash-predecessor first (see `PartitionedGraph::replica_holders`).
-    holders: Vec<Vec<PartId>>,
+    /// Mutable at runtime: re-replication appends restored holders and
+    /// republishes by bumping [`Liveness::epoch`].
+    holders: parking_lot::RwLock<Vec<Vec<PartId>>>,
+    /// Routing epoch, bumped on every holder-set change. Fetches blocked
+    /// in the armed grace wait (see [`Liveness::route`]) watch it to
+    /// re-check the failover table without polling the lock hot.
+    epoch: AtomicU64,
+    /// Per-owner round-robin cursors: dead-owner fetches spread across
+    /// all live holders instead of hammering the nearest hash-successor.
+    rr: Vec<AtomicU64>,
+    /// Slices the rebalancer declared unrepairable (every copy dead
+    /// before a transfer could start); releases armed grace waiters
+    /// immediately instead of letting them run out the clock.
+    lost: Vec<AtomicBool>,
+    /// Whether a rebalancer is active. Armed, a fetch for a slice with
+    /// no live holder waits a bounded grace period for an in-flight
+    /// repair before failing `PartDead`; disarmed, it fails immediately
+    /// (the pre-rebalance envelope).
+    rebalance_armed: AtomicBool,
     fail_fast: bool,
 }
+
+/// How long an armed [`Liveness::route`] waits for an in-flight repair
+/// to publish a live holder before giving up with `PartDead`.
+const REROUTE_GRACE: Duration = Duration::from_secs(5);
 
 impl Liveness {
     fn new(pg: &PartitionedGraph, fail_fast: bool) -> Liveness {
         let parts = pg.part_count();
         Liveness {
             dead: (0..parts).map(|_| AtomicBool::new(false)).collect(),
-            holders: (0..parts).map(|p| pg.replica_holders(p)).collect(),
+            holders: parking_lot::RwLock::new((0..parts).map(|p| pg.replica_holders(p)).collect()),
+            epoch: AtomicU64::new(0),
+            rr: (0..parts).map(|_| AtomicU64::new(0)).collect(),
+            lost: (0..parts).map(|_| AtomicBool::new(false)).collect(),
+            rebalance_armed: AtomicBool::new(false),
             fail_fast,
         }
     }
@@ -73,17 +99,59 @@ impl Liveness {
         !self.dead[part].swap(true, Ordering::SeqCst)
     }
 
+    /// Registers `host` as a live holder of `slice`'s data and
+    /// republishes the routing table (epoch bump). Idempotent.
+    fn add_holder(&self, slice: PartId, host: PartId) {
+        {
+            let mut holders = self.holders.write();
+            if host != slice && !holders[slice].contains(&host) {
+                holders[slice].push(host);
+            }
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The live holders of `slice`'s data right now, excluding `slice`
+    /// itself (which serves its own slice while alive).
+    fn live_holders(&self, slice: PartId) -> Vec<PartId> {
+        self.holders.read()[slice].iter().copied().filter(|&h| !self.is_dead(h)).collect()
+    }
+
+    /// Live copies of `slice`'s data: its own part while alive, plus
+    /// live replica holders — the slice's *effective* replication.
+    fn live_copies(&self, slice: PartId) -> usize {
+        usize::from(!self.is_dead(slice)) + self.live_holders(slice).len()
+    }
+
     /// The part that should serve `owner`'s slice right now: `owner`
-    /// itself while alive, else its nearest live replica holder.
+    /// itself while alive, else one of its live replica holders,
+    /// round-robin so failover load spreads instead of hammering the
+    /// nearest hash-successor. With re-replication armed, a slice
+    /// currently holderless waits out a bounded grace period for the
+    /// in-flight repair before failing `PartDead`.
     fn route(&self, owner: PartId) -> Result<PartId, FetchError> {
         if !self.is_dead(owner) {
             return Ok(owner);
         }
-        self.holders[owner]
-            .iter()
-            .copied()
-            .find(|&h| !self.is_dead(h))
-            .ok_or(FetchError::PartDead { part: owner })
+        let deadline = Instant::now() + REROUTE_GRACE;
+        loop {
+            {
+                let holders = self.holders.read();
+                let mut live = holders[owner].iter().copied().filter(|&h| !self.is_dead(h));
+                let n = live.clone().count();
+                if n > 0 {
+                    let pick = (self.rr[owner].fetch_add(1, Ordering::Relaxed) as usize) % n;
+                    return Ok(live.nth(pick).expect("live holder in range"));
+                }
+            }
+            if !self.rebalance_armed.load(Ordering::SeqCst)
+                || self.lost[owner].load(Ordering::SeqCst)
+                || Instant::now() >= deadline
+            {
+                return Err(FetchError::PartDead { part: owner });
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 }
 
@@ -284,7 +352,7 @@ impl Drop for WindowPermit {
 /// assert_eq!(lists.list(0), g.neighbors(v));
 /// service.shutdown();
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EdgeListService {
     transport: Arc<dyn Transport>,
     metrics: ClusterMetrics,
@@ -391,6 +459,119 @@ impl EdgeListService {
     /// Every part currently detected as fail-stop dead.
     pub fn dead_parts(&self) -> Vec<PartId> {
         (0..self.liveness.dead.len()).filter(|&p| self.liveness.is_dead(p)).collect()
+    }
+
+    /// Arms the re-replication grace wait: a fetch for a slice that
+    /// currently has no live holder waits a bounded period for an
+    /// in-flight repair instead of failing `PartDead` immediately.
+    /// Called by the engine when it starts a rebalancer over this
+    /// service; never called with rebalance off, so the disarmed
+    /// fail-fast envelope is unchanged.
+    pub fn arm_rebalance(&self) {
+        self.liveness.rebalance_armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Declares `slice` unrepairable (every copy died before a transfer
+    /// could complete): armed grace waiters for it fail `PartDead`
+    /// immediately instead of running out the clock.
+    pub fn mark_slice_lost(&self, slice: PartId) {
+        self.liveness.lost[slice].store(true, Ordering::SeqCst);
+    }
+
+    /// Live copies of `slice`'s data (own part while alive + live
+    /// replica holders) — its effective replication right now.
+    pub fn live_copies(&self, slice: PartId) -> usize {
+        self.liveness.live_copies(slice)
+    }
+
+    /// The live replica holders of `slice` (excluding the part itself).
+    pub fn live_holders(&self, slice: PartId) -> Vec<PartId> {
+        self.liveness.live_holders(slice)
+    }
+
+    /// Current routing epoch: bumped whenever re-replication publishes a
+    /// restored holder. Lets callers (and the `/status` health view)
+    /// observe that the failover table changed.
+    pub fn routing_epoch(&self) -> u64 {
+        self.liveness.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The slice ids `part`'s responder currently hosts (own slice
+    /// first), including slices installed by re-replication.
+    pub fn hosted_slices(&self, part: PartId) -> Vec<PartId> {
+        self.transport.hosted_slices(part)
+    }
+
+    /// Streams `part`'s slice (a live copy of slice `part.part_id()`) to
+    /// `host`'s responder in chunks of at most `chunk_entries` adjacency
+    /// entries, waiting for each chunk's ack, then publishes `host` as a
+    /// live holder of the slice (routing-epoch bump). `progress` is
+    /// advanced by each acked chunk's wire bytes so a watchdog can
+    /// detect a stuck transfer; `chunk_delay` throttles between chunks
+    /// (a test knob — `Duration::ZERO` in production). Returns the total
+    /// bytes streamed.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::PartDead`]/[`FetchError::Shutdown`] if `host` dies
+    /// or the service stops mid-transfer, [`FetchError::Timeout`] if an
+    /// ack never arrives, or the responder's typed abort. The transfer
+    /// is not installed partially: the receiver discards a transfer
+    /// whose chunks stop arriving coherently.
+    pub fn replicate_slice(
+        &self,
+        part: &Arc<GraphPart>,
+        host: PartId,
+        chunk_entries: usize,
+        progress: &AtomicU64,
+        chunk_delay: Duration,
+    ) -> Result<u64, FetchError> {
+        let owner = part.part_id();
+        let neighbors = part.neighbors();
+        let per = chunk_entries.max(1);
+        let total = neighbors.len().div_ceil(per).max(1) as u64;
+        let (ack_tx, ack_rx) = unbounded::<WireReply>();
+        let mut streamed = 0u64;
+        for i in 0..total {
+            let lo = (i as usize * per).min(neighbors.len());
+            let hi = ((i as usize + 1) * per).min(neighbors.len());
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            let push = ReplicaPush {
+                seq,
+                owner,
+                chunk: i,
+                total_chunks: total,
+                owned: if i == 0 { part.owned().to_vec() } else { Vec::new() },
+                offsets: if i == 0 { part.offsets().to_vec() } else { Vec::new() },
+                neighbors: neighbors[lo..hi].to_vec(),
+            };
+            let bytes = push.wire_bytes();
+            self.transport.push_replica(host, push, ack_tx.clone())?;
+            let deadline = Instant::now() + self.retry.timeout;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match ack_rx.recv_timeout(remaining) {
+                    Ok(ack) if ack.seq != seq => continue,
+                    Ok(ack) => {
+                        ack.payload?;
+                        break;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(FetchError::Timeout { target: host, attempts: 1 })
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return Err(FetchError::Shutdown),
+                }
+            }
+            streamed += bytes;
+            progress.fetch_add(bytes, Ordering::Relaxed);
+            if !chunk_delay.is_zero() {
+                std::thread::sleep(chunk_delay);
+            }
+        }
+        self.liveness.add_holder(owner, host);
+        self.obs.flight().record(FlightKind::ReplicaPush, 0, owner as u64, host as u64);
+        self.obs.record_instant(SpanKind::ReplicaPush, owner as u32, host as u64);
+        Ok(streamed)
     }
 
     /// The shared metrics of this cluster.
@@ -681,9 +862,12 @@ impl PendingFetch {
         let resp_bytes = lists.response_bytes();
         if self.target != self.owner {
             // Served by a replica holder of a dead part: account the
-            // failover traffic separately for the run report.
+            // failover traffic separately for the run report — once on
+            // the issuing side, and once against the *serving holder* so
+            // the spread (or hotspotting) of failover load is visible.
             my.record_rerouted(req_bytes + resp_bytes);
             self.client.query_metrics.record_rerouted(req_bytes + resp_bytes);
+            self.client.metrics.part(self.target).record_rerouted_served(req_bytes + resp_bytes);
         }
         let obs = &self.client.obs;
         obs.record_span_for(
@@ -883,6 +1067,7 @@ fn precise_sleep(d: Duration) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::CrashAt;
     use gpm_graph::gen;
 
     fn cluster(machines: usize, sockets: usize) -> (gpm_graph::Graph, PartitionedGraph) {
@@ -1452,6 +1637,154 @@ mod tests {
         assert_eq!(failover.part, 0, "failover names the dead owner");
         assert_eq!(failover.arg, 2, "failover names the serving holder");
         assert_ne!(failover.link, 0, "failover instant keeps the request link");
+        service.shutdown();
+    }
+
+    #[test]
+    fn dead_owner_fetches_round_robin_across_live_holders() {
+        // r = 3 on four parts: slice 0 is held by parts 3 and 2. With
+        // part 0 dead, fetches for its slice must spread across both
+        // holders instead of hammering the nearest hash-successor.
+        let g = gen::erdos_renyi(200, 800, 7);
+        let pg = PartitionedGraph::with_replication(&g, 4, 1, 3);
+        let fabric =
+            FabricConfig { fault: Some(FaultPlan::crash_at(0, 0)), ..FabricConfig::default() };
+        let service = EdgeListService::start_with(&pg, None, fabric);
+        let client = service.client(1);
+        let owned: Vec<VertexId> = pg.part(0).owned().iter().copied().take(20).collect();
+        for &v in &owned {
+            let lists = client.fetch(0, &[v]).unwrap();
+            assert_eq!(lists.list(0), g.neighbors(v));
+        }
+        let m = service.metrics();
+        let (s2, s3) =
+            (m.part(2).rerouted_served_requests(), m.part(3).rerouted_served_requests());
+        assert!(s2 > 0 && s3 > 0, "one holder starved: part2={s2} part3={s3}");
+        let (b2, b3) = (m.part(2).rerouted_served_bytes(), m.part(3).rerouted_served_bytes());
+        let max_share = b2.max(b3) as f64 / (b2 + b3) as f64;
+        assert!(max_share <= 0.7, "holder hotspot: {b2} vs {b3} bytes ({max_share:.2})");
+        // Issuer-side accounting still sees the union.
+        assert_eq!(m.total_rerouted_requests(), s2 + s3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn replicate_slice_restores_failover_after_total_holder_loss() {
+        // r = 2 on three parts: slice 0's only holder is part 2. Crash
+        // part 0, then part 2 — slice 0 is unreachable (PartDead). A
+        // replica push installing the slice on part 1 restores service.
+        let g = gen::erdos_renyi(200, 800, 7);
+        let pg = PartitionedGraph::with_replication(&g, 3, 1, 2);
+        let fabric = FabricConfig {
+            fault: Some(FaultPlan {
+                crashes: vec![
+                    CrashAt { part: 0, after_requests: 0 },
+                    CrashAt { part: 2, after_requests: 0 },
+                ],
+                ..FaultPlan::default()
+            }),
+            ..FabricConfig::default()
+        };
+        let service = EdgeListService::start_with(&pg, None, fabric);
+        let client = service.client(1);
+        let v = pg.part(0).owned()[0];
+        // First fetch kills part 0 and fails over to holder 2 (killing
+        // it too on arrival of the rerouted submission).
+        let _ = client.fetch(0, &[v]);
+        let err = client.fetch(0, &[v]).unwrap_err();
+        assert_eq!(err, FetchError::PartDead { part: 0 });
+        assert_eq!(service.live_copies(0), 0);
+        let epoch0 = service.routing_epoch();
+        // Re-replicate slice 0 onto the surviving part 1 and retry.
+        let progress = AtomicU64::new(0);
+        let streamed = service
+            .replicate_slice(&pg.part_arc(0), 1, 64, &progress, Duration::ZERO)
+            .expect("transfer");
+        assert!(streamed > 0);
+        assert_eq!(progress.load(Ordering::Relaxed), streamed);
+        assert!(service.routing_epoch() > epoch0, "routing epoch not republished");
+        assert_eq!(service.live_copies(0), 1);
+        assert_eq!(service.live_holders(0), vec![1]);
+        assert!(service.hosted_slices(1).contains(&0), "slice 0 not installed on part 1");
+        let lists = client.fetch(0, &[v]).unwrap();
+        assert_eq!(lists.list(0), g.neighbors(v));
+        assert!(service.metrics().part(1).rerouted_served_requests() > 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn armed_route_waits_out_an_inflight_repair() {
+        // With rebalance armed, a fetch that finds no live holder blocks
+        // in the grace window and completes once the repair publishes a
+        // restored holder — instead of surfacing PartDead mid-repair.
+        let g = gen::erdos_renyi(200, 800, 7);
+        let pg = PartitionedGraph::with_replication(&g, 3, 1, 2);
+        let fabric = FabricConfig {
+            fault: Some(FaultPlan {
+                crashes: vec![
+                    CrashAt { part: 0, after_requests: 0 },
+                    CrashAt { part: 2, after_requests: 0 },
+                ],
+                ..FaultPlan::default()
+            }),
+            ..FabricConfig::default()
+        };
+        let service = Arc::new(EdgeListService::start_with(&pg, None, fabric));
+        service.arm_rebalance();
+        let client = service.client(1);
+        let v = pg.part(0).owned()[0];
+        let repairer = {
+            let service = Arc::clone(&service);
+            let src = pg.part_arc(0);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                let progress = AtomicU64::new(0);
+                service.replicate_slice(&src, 1, 64, &progress, Duration::ZERO).expect("transfer");
+            })
+        };
+        // This single fetch kills part 0, fails over to holder 2 (killing
+        // it too), finds the slice holderless, waits out the repair in
+        // the armed grace window, and completes served by part 1.
+        let lists = client.fetch(0, &[v]).unwrap();
+        assert_eq!(lists.list(0), g.neighbors(v));
+        assert_eq!(service.live_holders(0), vec![1]);
+        repairer.join().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn marking_a_slice_lost_releases_armed_waiters_immediately() {
+        let g = gen::erdos_renyi(200, 800, 7);
+        let pg = PartitionedGraph::with_replication(&g, 3, 1, 2);
+        let fabric = FabricConfig {
+            fault: Some(FaultPlan {
+                crashes: vec![
+                    CrashAt { part: 0, after_requests: 0 },
+                    CrashAt { part: 2, after_requests: 0 },
+                ],
+                ..FaultPlan::default()
+            }),
+            ..FabricConfig::default()
+        };
+        let service = Arc::new(EdgeListService::start_with(&pg, None, fabric));
+        service.arm_rebalance();
+        let client = service.client(1);
+        let v = pg.part(0).owned()[0];
+        let marker = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                service.mark_slice_lost(0);
+            })
+        };
+        // The fetch kills both copies and enters the armed grace wait;
+        // the rebalancer's lost verdict releases it typed well before
+        // the grace clock would have run out.
+        let t0 = Instant::now();
+        let err = client.fetch(0, &[v]).unwrap_err();
+        assert_eq!(err, FetchError::PartDead { part: 0 });
+        assert!(t0.elapsed() < Duration::from_secs(2), "lost slice ran out the grace clock");
+        marker.join().unwrap();
         service.shutdown();
     }
 

@@ -37,6 +37,8 @@ pub struct PartMetrics {
     retries: AtomicU64,
     rerouted_requests: AtomicU64,
     rerouted_bytes: AtomicU64,
+    rerouted_served_requests: AtomicU64,
+    rerouted_served_bytes: AtomicU64,
     ctrl_sent: AtomicU64,
     ctrl_retried: AtomicU64,
     ctrl_dropped: AtomicU64,
@@ -120,6 +122,15 @@ impl PartMetrics {
         self.rerouted_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records a rerouted fetch of `bytes` that *this part served* from
+    /// its hosted copy of a dead part's slice — the holder-side mirror
+    /// of [`PartMetrics::record_rerouted`], split per serving holder so
+    /// failover hotspotting is observable.
+    pub fn record_rerouted_served(&self, bytes: u64) {
+        self.rerouted_served_requests.fetch_add(1, Ordering::Relaxed);
+        self.rerouted_served_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Bytes sent in requests by this part.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent.load(Ordering::Relaxed)
@@ -199,6 +210,17 @@ impl PartMetrics {
     /// Bytes (request + response) of this part's rerouted fetches.
     pub fn rerouted_bytes(&self) -> u64 {
         self.rerouted_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Rerouted fetches this part served from a hosted replica of a
+    /// dead part's slice.
+    pub fn rerouted_served_requests(&self) -> u64 {
+        self.rerouted_served_requests.load(Ordering::Relaxed)
+    }
+
+    /// Bytes (request + response) of rerouted fetches this part served.
+    pub fn rerouted_served_bytes(&self) -> u64 {
+        self.rerouted_served_bytes.load(Ordering::Relaxed)
     }
 
     /// Records one control-plane message attempt sent by this part.

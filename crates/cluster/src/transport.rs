@@ -127,6 +127,46 @@ pub struct WireReply {
     pub payload: Result<FetchedLists, FetchError>,
 }
 
+/// One chunk of a slice transfer on the wire — the re-replication
+/// analogue of [`WireRequest`]. After a part death the rebalancer
+/// streams the lost slice's three CSR columns to a new host as a
+/// sequence of these messages; the receiving responder stages them and,
+/// on the final chunk, installs the rebuilt [`GraphPart`] into its
+/// hosted-slice set so subsequent failover fetches for `owner` are
+/// answered locally.
+///
+/// Chunking protocol: chunk 0 carries the full `owned` and `offsets`
+/// columns plus the first `neighbors` segment; chunks `1..total_chunks`
+/// carry further `neighbors` segments in order. Each chunk is
+/// acknowledged with an empty [`WireReply`] so the sender can track byte
+/// progress (and a stuck-transfer watchdog can notice its absence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaPush {
+    /// Client-assigned sequence number, echoed in the ack.
+    pub seq: u64,
+    /// The part whose slice is being rebuilt on the receiver.
+    pub owner: PartId,
+    /// 0-based index of this chunk within the transfer.
+    pub chunk: u64,
+    /// Total chunks in the transfer.
+    pub total_chunks: u64,
+    /// Owned-vertex column (full, on chunk 0; empty otherwise).
+    pub owned: Vec<VertexId>,
+    /// CSR offset column (full, on chunk 0; empty otherwise).
+    pub offsets: Vec<u64>,
+    /// This chunk's segment of the CSR adjacency column.
+    pub neighbors: Vec<VertexId>,
+}
+
+impl ReplicaPush {
+    /// Accounted wire size of this chunk in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        HEADER_BYTES
+            + 4 * (self.owned.len() as u64 + self.neighbors.len() as u64)
+            + 8 * self.offsets.len() as u64
+    }
+}
+
 /// A control-plane operation on the wire — the message vocabulary of the
 /// message-based work-coordination protocol (`MsgLedger`). Where data
 /// fetches move edge lists between parts, these move *scheduling state*:
@@ -292,6 +332,32 @@ pub trait Transport: Send + Sync + std::fmt::Debug {
         reply_to: Sender<WireReply>,
     ) -> Result<(), FetchError>;
 
+    /// Queues a slice-transfer chunk for `target`'s responder, which
+    /// stages it and — on the final chunk — installs the rebuilt slice
+    /// into its hosted set. Each chunk is acked with an empty reply on
+    /// `reply_to`. The default implementation rejects the push, so
+    /// transports that predate re-replication stay valid.
+    ///
+    /// # Errors
+    ///
+    /// Same death/shutdown contract as [`Transport::submit`].
+    fn push_replica(
+        &self,
+        target: PartId,
+        push: ReplicaPush,
+        reply_to: Sender<WireReply>,
+    ) -> Result<(), FetchError> {
+        let _ = (target, push, reply_to);
+        Err(FetchError::Shutdown)
+    }
+
+    /// The slice ids `part`'s responder currently hosts, own slice
+    /// first. The default reports only the part's own slice, which is
+    /// correct for any transport without replica hosting.
+    fn hosted_slices(&self, part: PartId) -> Vec<PartId> {
+        vec![part]
+    }
+
     /// Stops all responders and joins their threads. Idempotent.
     fn shutdown(&self);
 }
@@ -301,8 +367,22 @@ enum Msg {
         req: WireRequest,
         reply_to: Sender<WireReply>,
     },
+    Push {
+        push: ReplicaPush,
+        reply_to: Sender<WireReply>,
+    },
     /// Stops the responder even while client clones are still alive.
     Shutdown,
+}
+
+/// In-progress slice transfer staged on a responder: columns accumulate
+/// across chunks until the final one installs the rebuilt part.
+struct ReplicaStage {
+    owned: Vec<VertexId>,
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+    next_chunk: u64,
+    total_chunks: u64,
 }
 
 /// The in-process cluster transport: one responder thread per part.
@@ -310,7 +390,9 @@ enum Msg {
 /// Each responder serves its own part's slice plus any replica slices
 /// the partitioning hosts on it (selected per request by
 /// [`WireRequest::owner`]), so a fetch re-routed around a dead part is
-/// answered from the holder's copy.
+/// answered from the holder's copy. The hosted set is **mutable at
+/// runtime**: re-replication pushes ([`ReplicaPush`]) install further
+/// slices into it after a holder dies, restoring redundancy.
 #[derive(Debug)]
 pub struct ChannelTransport {
     senders: Vec<Sender<Msg>>,
@@ -321,6 +403,10 @@ pub struct ChannelTransport {
     /// Shared with the responder threads so a killed responder abandons
     /// queued requests instead of draining them.
     dead: Arc<Vec<AtomicBool>>,
+    /// Per-part hosted-slice registries (`[0]` is the part's own slice),
+    /// shared with the responder threads. Responders take the read lock
+    /// per request; a replica install takes the write lock once.
+    slices: Vec<Arc<parking_lot::RwLock<Vec<Arc<GraphPart>>>>>,
 }
 
 impl ChannelTransport {
@@ -342,48 +428,90 @@ impl ChannelTransport {
             Arc::new((0..parts).map(|_| AtomicBool::new(false)).collect());
         let mut senders = Vec::with_capacity(parts);
         let mut handles = Vec::with_capacity(parts);
+        let mut registries = Vec::with_capacity(parts);
         for part_id in 0..parts {
             let (tx, rx) = unbounded::<Msg>();
             senders.push(tx);
             // Own slice first, then any replica slices hosted here.
             let mut slices = vec![pg.part_arc(part_id)];
             slices.extend(pg.hosted_replicas(part_id).iter().cloned());
+            let registry = Arc::new(parking_lot::RwLock::new(slices));
+            registries.push(Arc::clone(&registry));
             let part_metrics = Arc::clone(metrics.part(part_id));
             let obs = Arc::clone(&obs);
             let dead = Arc::clone(&dead);
             let handle = std::thread::Builder::new()
                 .name(format!("edgelist-responder-{part_id}"))
                 .spawn(move || {
-                    while let Ok(Msg::Fetch { req, reply_to }) = rx.recv() {
+                    // In-progress slice transfers, keyed by the slice's
+                    // owner. Chunks for one transfer arrive in order on
+                    // this queue (the rebalancer sends them serially).
+                    let mut staging: std::collections::HashMap<PartId, ReplicaStage> =
+                        std::collections::HashMap::new();
+                    loop {
+                        let msg = match rx.recv() {
+                            Ok(m) => m,
+                            Err(_) => break,
+                        };
                         // Fail-stop: a killed responder abandons queued
                         // requests unanswered; clients time out and
                         // discover the death on resubmission.
                         if dead[part_id].load(Ordering::SeqCst) {
                             break;
                         }
-                        let t0 = obs.now_ns();
-                        let payload = serve(&slices, req.owner, &req.vertices);
-                        if let Ok(lists) = &payload {
-                            part_metrics.record_served(lists.response_bytes());
-                            obs.record_span_for(
-                                req.query,
-                                SpanKind::Serve,
-                                part_id as u32,
-                                t0,
-                                lists.response_bytes(),
-                                req.req_id,
-                            );
+                        match msg {
+                            Msg::Fetch { req, reply_to } => {
+                                let t0 = obs.now_ns();
+                                let payload = {
+                                    let slices = registry.read();
+                                    serve(&slices, req.owner, &req.vertices)
+                                };
+                                if let Ok(lists) = &payload {
+                                    part_metrics.record_served(lists.response_bytes());
+                                    obs.record_span_for(
+                                        req.query,
+                                        SpanKind::Serve,
+                                        part_id as u32,
+                                        t0,
+                                        lists.response_bytes(),
+                                        req.req_id,
+                                    );
+                                }
+                                // A dropped reply receiver just means the
+                                // client gave up (or the fault layer
+                                // swallowed the reply); keep serving
+                                // others.
+                                let _ = reply_to.send(WireReply { seq: req.seq, payload });
+                            }
+                            Msg::Push { push, reply_to } => {
+                                let seq = push.seq;
+                                let payload = stage_push(&mut staging, &registry, part_id, push);
+                                let _ = reply_to.send(WireReply { seq, payload });
+                            }
+                            Msg::Shutdown => break,
                         }
-                        // A dropped reply receiver just means the client
-                        // gave up (or the fault layer swallowed the
-                        // reply); keep serving others.
-                        let _ = reply_to.send(WireReply { seq: req.seq, payload });
                     }
                 })
                 .expect("spawn responder thread");
             handles.push(handle);
         }
-        ChannelTransport { senders, handles: parking_lot::Mutex::new(handles), dead }
+        ChannelTransport {
+            senders,
+            handles: parking_lot::Mutex::new(handles),
+            dead,
+            slices: registries,
+        }
+    }
+
+    /// The slice ids `part`'s responder currently hosts, own slice
+    /// first — the live replica-placement map, including slices
+    /// installed by re-replication after start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is out of range.
+    pub fn hosted_slice_ids(&self, part: PartId) -> Vec<PartId> {
+        self.slices[part].read().iter().map(|s| s.part_id()).collect()
     }
 
     /// Fail-stop kills `part`'s responder: its queue is closed, queued
@@ -432,6 +560,29 @@ impl Transport for ChannelTransport {
         })
     }
 
+    fn push_replica(
+        &self,
+        target: PartId,
+        push: ReplicaPush,
+        reply_to: Sender<WireReply>,
+    ) -> Result<(), FetchError> {
+        assert!(target < self.senders.len(), "target part out of range");
+        if self.dead[target].load(Ordering::SeqCst) {
+            return Err(FetchError::PartDead { part: target });
+        }
+        self.senders[target].send(Msg::Push { push, reply_to }).map_err(|_| {
+            if self.dead[target].load(Ordering::SeqCst) {
+                FetchError::PartDead { part: target }
+            } else {
+                FetchError::Shutdown
+            }
+        })
+    }
+
+    fn hosted_slices(&self, part: PartId) -> Vec<PartId> {
+        self.hosted_slice_ids(part)
+    }
+
     fn shutdown(&self) {
         for tx in &self.senders {
             let _ = tx.send(Msg::Shutdown);
@@ -440,6 +591,66 @@ impl Transport for ChannelTransport {
             let _ = h.join();
         }
     }
+}
+
+/// Applies one slice-transfer chunk on a responder: stages the columns
+/// and, on the final chunk, validates the assembled CSR and installs it
+/// into the hosted-slice registry (replacing a stale copy of the same
+/// slice if present). Out-of-order or mis-sized chunks abort the
+/// transfer with a transient [`FetchError::Injected`] so the sender can
+/// restart it from scratch.
+fn stage_push(
+    staging: &mut std::collections::HashMap<PartId, ReplicaStage>,
+    registry: &parking_lot::RwLock<Vec<Arc<GraphPart>>>,
+    part_id: PartId,
+    push: ReplicaPush,
+) -> Result<FetchedLists, FetchError> {
+    let owner = push.owner;
+    let abort = move |staging: &mut std::collections::HashMap<PartId, ReplicaStage>| {
+        staging.remove(&owner);
+        Err(FetchError::Injected { target: part_id })
+    };
+    let stage = staging.entry(owner).or_insert_with(|| ReplicaStage {
+        owned: Vec::new(),
+        offsets: Vec::new(),
+        neighbors: Vec::new(),
+        next_chunk: 0,
+        total_chunks: push.total_chunks,
+    });
+    if push.chunk != stage.next_chunk || push.total_chunks != stage.total_chunks {
+        return abort(staging);
+    }
+    if push.chunk == 0 {
+        stage.owned = push.owned;
+        stage.offsets = push.offsets;
+    } else if !push.owned.is_empty() || !push.offsets.is_empty() {
+        return abort(staging);
+    }
+    stage.neighbors.extend_from_slice(&push.neighbors);
+    stage.next_chunk += 1;
+    if stage.next_chunk == stage.total_chunks {
+        let stage = staging.remove(&owner).expect("stage present");
+        // Validate the assembled columns before from_csr's asserts
+        // would panic the responder thread on a corrupt transfer.
+        let consistent = stage.offsets.len() == stage.owned.len() + 1
+            && stage.offsets.first() == Some(&0)
+            && stage.offsets.windows(2).all(|w| w[0] <= w[1])
+            && stage.offsets.last().map(|&n| n as usize) == Some(stage.neighbors.len())
+            && stage.owned.windows(2).all(|w| w[0] < w[1]);
+        if !consistent {
+            return Err(FetchError::Injected { target: part_id });
+        }
+        let part =
+            Arc::new(GraphPart::from_csr(owner, stage.owned, stage.offsets, stage.neighbors));
+        let mut slices = registry.write();
+        match slices.iter_mut().find(|s| s.part_id() == owner) {
+            Some(slot) => *slot = part,
+            None => slices.push(part),
+        }
+    }
+    // The ack: an empty batch, so the sender's byte accounting sees
+    // only the fixed header on the reply path.
+    Ok(FetchedLists::from_parts(vec![0], Vec::new()))
 }
 
 /// Serves `vertices` from whichever of `slices` holds `owner`'s slice
@@ -745,6 +956,24 @@ impl Transport for FaultInjectingTransport {
         }
     }
 
+    fn push_replica(
+        &self,
+        target: PartId,
+        push: ReplicaPush,
+        reply_to: Sender<WireReply>,
+    ) -> Result<(), FetchError> {
+        // Replica pushes bypass the fault plan entirely: they neither
+        // count toward scheduled crash budgets (which meter *fetch*
+        // submissions, keeping crash schedules identical with rebalance
+        // on or off) nor roll drop/error/delay fates. Transfer-level
+        // fault handling lives in the rebalancer's retry loop.
+        self.inner.push_replica(target, push, reply_to)
+    }
+
+    fn hosted_slices(&self, part: PartId) -> Vec<PartId> {
+        self.inner.hosted_slice_ids(part)
+    }
+
     fn shutdown(&self) {
         self.inner.shutdown();
     }
@@ -875,6 +1104,121 @@ mod tests {
             rx.recv_timeout(Duration::from_secs(5)).unwrap().payload.unwrap_err()
         };
         assert_eq!(err, FetchError::NotOwner { target: 1, missing: vec![v1] });
+        t.shutdown();
+    }
+
+    /// Streams part `owner`'s slice from `pg` to `target`'s responder in
+    /// `chunks` pieces, asserting each chunk is acked.
+    fn push_slice(
+        t: &dyn Transport,
+        pg: &PartitionedGraph,
+        owner: PartId,
+        target: PartId,
+        chunks: usize,
+    ) {
+        let src = pg.part(owner);
+        let neighbors = src.neighbors();
+        let per = neighbors.len().div_ceil(chunks).max(1);
+        let total = neighbors.chunks(per).count().max(1) as u64;
+        let (tx, rx) = unbounded::<WireReply>();
+        let mut sent = 0;
+        for (i, seg) in
+            neighbors.chunks(per).chain(std::iter::repeat(&[][..]).take(1)).take(total as usize).enumerate()
+        {
+            let push = ReplicaPush {
+                seq: i as u64,
+                owner,
+                chunk: i as u64,
+                total_chunks: total,
+                owned: if i == 0 { src.owned().to_vec() } else { Vec::new() },
+                offsets: if i == 0 { src.offsets().to_vec() } else { Vec::new() },
+                neighbors: seg.to_vec(),
+            };
+            t.push_replica(target, push, tx.clone()).unwrap();
+            let ack = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(ack.seq, i as u64);
+            assert!(ack.payload.is_ok(), "chunk {i} not acked: {ack:?}");
+            sent += 1;
+        }
+        assert_eq!(sent, total);
+    }
+
+    #[test]
+    fn replica_push_installs_a_servable_slice() {
+        // No replication: part 2's responder starts hosting only its own
+        // slice. After streaming part 0's slice to it in three chunks, a
+        // fetch for owner 0 submitted to part 2 is answered
+        // byte-identically to the primary's answer.
+        let g = gpm_graph::gen::complete(12);
+        let pg = PartitionedGraph::new(&g, 3, 1);
+        let metrics = ClusterMetrics::new(3, 1);
+        let t = ChannelTransport::start(&pg, &metrics);
+        assert_eq!(t.hosted_slice_ids(2), vec![2]);
+        let v0 = pg.part(0).owned()[0];
+        let (tx, rx) = unbounded::<WireReply>();
+        t.submit(2, wire(0, 0, v0), tx.clone()).unwrap();
+        let before = rx.recv_timeout(Duration::from_secs(5)).unwrap().payload;
+        assert!(matches!(before, Err(FetchError::NotOwner { .. })), "{before:?}");
+
+        push_slice(&t, &pg, 0, 2, 3);
+        assert_eq!(t.hosted_slice_ids(2), vec![2, 0]);
+
+        t.submit(2, wire(1, 0, v0), tx.clone()).unwrap();
+        let from_new_replica = rx.recv_timeout(Duration::from_secs(5)).unwrap().payload.unwrap();
+        t.submit(0, wire(2, 0, v0), tx.clone()).unwrap();
+        let from_primary = rx.recv_timeout(Duration::from_secs(5)).unwrap().payload.unwrap();
+        assert_eq!(from_new_replica, from_primary);
+        t.shutdown();
+    }
+
+    #[test]
+    fn out_of_order_push_aborts_the_transfer() {
+        let g = gpm_graph::gen::complete(12);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let metrics = ClusterMetrics::new(2, 1);
+        let t = ChannelTransport::start(&pg, &metrics);
+        let src = pg.part(0);
+        let (tx, rx) = unbounded::<WireReply>();
+        // Chunk 1 of 2 without chunk 0 first: rejected, nothing installed.
+        let push = ReplicaPush {
+            seq: 7,
+            owner: 0,
+            chunk: 1,
+            total_chunks: 2,
+            owned: Vec::new(),
+            offsets: Vec::new(),
+            neighbors: src.neighbors().to_vec(),
+        };
+        t.push_replica(1, push, tx.clone()).unwrap();
+        let ack = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(ack.payload, Err(FetchError::Injected { target: 1 }));
+        assert_eq!(t.hosted_slice_ids(1), vec![1]);
+        // A clean restart of the transfer still succeeds.
+        push_slice(&t, &pg, 0, 1, 1);
+        assert_eq!(t.hosted_slice_ids(1), vec![1, 0]);
+        t.shutdown();
+    }
+
+    #[test]
+    fn replica_push_bypasses_the_fault_plan() {
+        // A plan that drops every fetch reply must not touch pushes, and
+        // pushes must not advance crash request budgets.
+        let g = gpm_graph::gen::complete(12);
+        let pg = PartitionedGraph::new(&g, 2, 1);
+        let metrics = ClusterMetrics::new(2, 1);
+        let plan = FaultPlan {
+            drop_fraction: 1.0,
+            crashes: vec![CrashAt { part: 1, after_requests: 1 }],
+            ..FaultPlan::default()
+        };
+        let t = FaultInjectingTransport::new(ChannelTransport::start(&pg, &metrics), plan);
+        push_slice(&t, &pg, 0, 1, 2);
+        assert_eq!(t.hosted_slices(1), vec![1, 0]);
+        // The crash budget (1 fetch) is untouched by the two pushes: the
+        // first fetch submission is still accepted.
+        let v1 = pg.part(1).owned()[0];
+        let (tx, _rx) = unbounded::<WireReply>();
+        assert!(t.submit(1, wire(0, 1, v1), tx.clone()).is_ok());
         t.shutdown();
     }
 }

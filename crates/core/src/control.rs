@@ -100,14 +100,16 @@ impl MsgLedger {
         )
     }
 
-    /// A message ledger for a recovery pass: every cursor starts
-    /// exhausted and the spill holds exactly the `lost` roots, so
-    /// survivors claim nothing but the re-execution work. Stealing is
-    /// forced on — spill claims are a stealing path.
+    /// A message ledger for a *placed* recovery pass: each part's share
+    /// of the lost roots (from the load-weighted placement) becomes its
+    /// own root range on the responder, and the spill starts empty —
+    /// recovery work lands where the placement decided, and parts that
+    /// drain their share early steal the rest through the ordinary
+    /// victim path. No cluster-side protocol change: the responder
+    /// already coordinates arbitrary per-part root ranges.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn recovery(
-        parts: usize,
-        lost: Vec<VertexId>,
+    pub(crate) fn placed_recovery(
+        assignments: Vec<Vec<VertexId>>,
         batch: usize,
         control: &ControlConfig,
         query: u64,
@@ -115,8 +117,18 @@ impl MsgLedger {
         obs: Arc<Recorder>,
         incidents: Option<Arc<IncidentManager>>,
     ) -> MsgLedger {
-        let roots = vec![Vec::new(); parts];
-        MsgLedger::boot(roots, lost, true, batch, None, control, query, metrics, obs, incidents)
+        MsgLedger::boot(
+            assignments,
+            Vec::new(),
+            true,
+            batch,
+            None,
+            control,
+            query,
+            metrics,
+            obs,
+            incidents,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -348,24 +360,24 @@ mod tests {
     }
 
     #[test]
-    fn msg_recovery_ledger_serves_only_the_spill() {
-        let ledger = MsgLedger::recovery(
-            2,
-            vec![3, 4, 5],
-            2,
+    fn msg_placed_recovery_serves_each_parts_share() {
+        let ledger = MsgLedger::placed_recovery(
+            vec![vec![7, 8], vec![9]],
+            4,
             &ControlConfig::default(),
             0,
             &ClusterMetrics::new(2, 1),
             Recorder::disabled(),
             None,
         );
-        assert!(ledger.stealing(), "recovery forces stealing on");
-        let (source, roots) = ledger.claim(1, 64).unwrap().expect("spill work");
-        assert_eq!(source, ClaimSource::Spill);
-        assert_eq!(roots, vec![4, 5]);
-        let (_, rest) = ledger.claim(0, 64).unwrap().expect("remainder");
-        assert_eq!(rest, vec![3]);
-        assert!(ledger.claim(0, 64).unwrap().is_none());
+        assert!(ledger.stealing(), "placed recovery forces stealing on");
+        let (src, roots) = ledger.claim(0, 4).unwrap().expect("own share");
+        assert_eq!(src, ClaimSource::Own);
+        assert_eq!(roots, vec![7, 8]);
+        let (src, roots) = ledger.claim(0, 4).unwrap().expect("steal part 1's share");
+        assert_eq!(src, ClaimSource::Stolen(1));
+        assert_eq!(roots, vec![9]);
+        assert!(ledger.claim(1, 4).unwrap().is_none());
     }
 
     #[test]

@@ -6,15 +6,18 @@ use crate::incident::{
     config_fingerprint, counters_json, ledger_json, progress_json, CaptureSections, IncidentConfig,
     IncidentManager, StallWatchdog, Trigger, TriggerKind,
 };
+use crate::rebalance::{RebalanceConfig, Rebalancer};
 use crate::runtime::{run_part, PartCtx, Visitor};
-use crate::scheduler::{ControlPlane, QueryArbiter, SharedLedger, StealConfig, WorkerPool};
+use crate::scheduler::{
+    place_recovery_roots, ControlPlane, QueryArbiter, SharedLedger, StealConfig, WorkerPool,
+};
 use crate::stats::{ControlSummary, FailureSummary, PartStats, RunStats, TrafficSummary};
 use gpm_cluster::{ClusterMetrics, EdgeListService, FabricConfig, FetchError, NetworkModel};
 use gpm_graph::partition::PartitionedGraph;
 use gpm_graph::VertexId;
 use gpm_obs::{
-    FlightKind, FlightRecorder, GaugeSample, ObsConfig, QueryProgress, Recorder, RunReport,
-    SpanKind,
+    FlightKind, FlightRecorder, GaugeSample, HolderReroute, ObsConfig, QueryProgress,
+    RebalanceSection, Recorder, RunReport, SpanKind,
 };
 use gpm_pattern::plan::MatchingPlan;
 use parking_lot::Mutex;
@@ -27,6 +30,29 @@ use std::time::{Duration, Instant};
 /// (the service attaches them to query outcomes); oldest drop first.
 const FINISHED_PROGRESS_CAP: usize = 64;
 
+/// One part's replica-placement and health row, as served by `/status`
+/// and rendered by `gpm top` (see [`Engine::part_health`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartHealth {
+    /// The part this row describes.
+    pub part: usize,
+    /// Whether the part is live (not promoted dead by the liveness
+    /// tracker).
+    pub alive: bool,
+    /// Slices this part currently hosts a copy of: its own, the
+    /// replicas it was configured with, and any the rebalancer
+    /// installed after a death.
+    pub hosted_slices: Vec<usize>,
+    /// Live copies of this part's own slice across the cluster right
+    /// now — below the configured replication factor while a repair is
+    /// pending, zero when the slice is lost.
+    pub live_copies: usize,
+    /// Rerouted fetches this part served on behalf of dead owners.
+    pub rerouted_served_requests: u64,
+    /// Bytes it served for them.
+    pub rerouted_served_bytes: u64,
+}
+
 /// A failed engine run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
@@ -35,7 +61,8 @@ pub enum EngineError {
     /// not mask.
     Fetch(FetchError),
     /// A part fail-stopped and no live replica holds its slice
-    /// (replication < 2): its roots — and any results it produced — are
+    /// (replication < 2, or the deaths outlived the replicas with
+    /// rebalance off): its roots — and any results it produced — are
     /// unrecoverable, so the run's counts cannot be trusted.
     PartLost {
         /// The part that fail-stopped.
@@ -55,8 +82,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Fetch(e) => write!(f, "fetch failed: {e}"),
             EngineError::PartLost { part } => write!(
                 f,
-                "part {part} fail-stopped with no replica to recover from \
-                 (run with replication >= 2 to survive part failures)"
+                "part {part} fail-stopped with no live replica to recover from \
+                 (raise --replication, or leave --rebalance on so repairs \
+                 outpace the next crash)"
             ),
             EngineError::DeadlineExceeded { query_id } => {
                 write!(f, "query {query_id} exceeded its deadline before completing")
@@ -155,6 +183,11 @@ pub struct EngineConfig {
     /// by default — no directory, no captures), the stall-watchdog
     /// window, and bundle retention.
     pub incident: IncidentConfig,
+    /// Background re-replication after a fail-stop death: restore every
+    /// short slice to the configured replication factor so a later
+    /// crash of a different part stays survivable. On by default;
+    /// effective only with replication ≥ 2 and more than one part.
+    pub rebalance: RebalanceConfig,
 }
 
 impl Default for EngineConfig {
@@ -173,6 +206,7 @@ impl Default for EngineConfig {
             steal: StealConfig::default(),
             control: ControlConfig::default(),
             incident: IncidentConfig::default(),
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -191,6 +225,10 @@ pub struct Engine {
     recorder: Arc<Recorder>,
     /// Flight ring + incident bundle capture (see [`IncidentConfig`]).
     incidents: Arc<IncidentManager>,
+    /// Background re-replication service, running whenever rebalance is
+    /// enabled, replication ≥ 2, and the cluster has several parts.
+    /// `None` otherwise — the disarmed fail-fast envelope is unchanged.
+    rebalancer: Option<Rebalancer>,
     cfg: EngineConfig,
     /// The persistent compute pool: `parts × compute_threads` workers,
     /// spawned once on the first multi-threaded run and parked between
@@ -247,12 +285,27 @@ impl Engine {
         let caches = (0..pg.part_count())
             .map(|_| Arc::new(SharedCache::for_part(&cfg.cache, pg.sockets_per_machine())))
             .collect();
+        // Self-healing: with replicas to restore toward, arm the grace
+        // wait (dead-owner fetches briefly wait out an in-flight repair
+        // instead of failing) and start the background rebalancer.
+        let rebalancer = (cfg.rebalance.enabled && pg.replication() >= 2 && pg.part_count() > 1)
+            .then(|| {
+                service.arm_rebalance();
+                Rebalancer::start(
+                    service.clone(),
+                    (0..pg.part_count()).map(|p| pg.part_arc(p)).collect(),
+                    pg.replication(),
+                    cfg.rebalance.clone(),
+                    Arc::clone(&incidents),
+                )
+            });
         Engine {
             pg,
             service,
             caches,
             recorder,
             incidents,
+            rebalancer,
             cfg,
             pool: OnceLock::new(),
             next_query: AtomicU64::new(1),
@@ -355,7 +408,67 @@ impl Engine {
         let mut report = run.to_report(system);
         self.recorder.augment_report(&mut report);
         report.incidents = self.incidents.incidents();
+        report.rebalance = self.rebalance_section();
         report
+    }
+
+    /// One row per part of the replica-placement/health table served by
+    /// `/status` and rendered by `gpm top`: liveness, the slices the
+    /// part currently hosts copies of (its own plus replicas, including
+    /// any installed by the rebalancer), how many live copies its own
+    /// slice has right now, and the rerouted fetch traffic it has
+    /// served on behalf of dead owners.
+    pub fn part_health(&self) -> Vec<PartHealth> {
+        let metrics = self.service.metrics();
+        (0..self.pg.part_count())
+            .map(|p| {
+                let pm = metrics.part(p);
+                PartHealth {
+                    part: p,
+                    alive: !self.service.is_part_dead(p),
+                    hosted_slices: self.service.hosted_slices(p),
+                    live_copies: self.service.live_copies(p),
+                    rerouted_served_requests: pm.rerouted_served_requests(),
+                    rerouted_served_bytes: pm.rerouted_served_bytes(),
+                }
+            })
+            .collect()
+    }
+
+    /// The report's self-healing section: rebalancer transfer totals,
+    /// current routing epoch, the minimum live copy count over all
+    /// slices (the "are we back to `r`?" answer), and each holder's
+    /// share of the rerouted fetch traffic the spread-failover policy
+    /// handed it.
+    pub fn rebalance_section(&self) -> RebalanceSection {
+        let n = self.pg.part_count();
+        let metrics = self.service.metrics();
+        let per_holder_rerouted: Vec<HolderReroute> = (0..n)
+            .filter_map(|p| {
+                let pm = metrics.part(p);
+                let (requests, bytes) = (pm.rerouted_served_requests(), pm.rerouted_served_bytes());
+                (requests != 0 || bytes != 0).then_some(HolderReroute {
+                    part: p as u64,
+                    requests,
+                    bytes,
+                })
+            })
+            .collect();
+        let stats = self.rebalancer.as_ref().map(|r| r.stats());
+        RebalanceSection {
+            enabled: self.rebalancer.is_some(),
+            transfers: stats.map_or(0, |s| s.transfers()),
+            bytes: stats.map_or(0, |s| s.bytes()),
+            slices_restored: stats.map_or(0, |s| s.restored()),
+            slices_lost: stats.map_or(0, |s| s.lost()),
+            routing_epoch: self.service.routing_epoch(),
+            configured_replication: self.pg.replication() as u64,
+            min_effective_replication: (0..n)
+                .map(|s| self.service.live_copies(s) as u64)
+                .min()
+                .unwrap_or(0),
+            per_holder_rerouted,
+        }
     }
 
     /// Names of the pooled compute threads, in spawn order (one
@@ -630,21 +743,35 @@ impl Engine {
             }
             all_dead.extend(&new_dead);
             all_dead.sort_unstable();
-            if self.pg.replication() <= all_dead.len() {
+            // Survivability gate. With the rebalancer running, a death
+            // only loses data if a slice's every copy died before a
+            // repair landed: wait for the repairs this death triggered
+            // to settle, then ask liveness per dead-owned slice. With
+            // rebalance off, the static envelope holds verbatim — once
+            // the dead reach the replication factor, some slice has no
+            // copy left.
+            let lost_part = match &self.rebalancer {
+                Some(rb) => {
+                    rb.wait_for(&new_dead);
+                    all_dead.iter().copied().find(|&d| self.service.live_copies(d) == 0)
+                }
+                None if self.pg.replication() <= all_dead.len() => Some(new_dead[0]),
+                None => None,
+            };
+            if let Some(part) = lost_part {
                 self.capture_incident(
                     TriggerKind::PartLost,
                     qid,
-                    Some(new_dead[0] as u64),
+                    Some(part as u64),
                     all_dead.len() as u64,
                     format!(
-                        "part {} fail-stopped with no live replica (replication {}, dead {:?})",
-                        new_dead[0],
+                        "part {part} fail-stopped with no live replica (replication {}, dead {:?})",
                         self.pg.replication(),
                         all_dead
                     ),
                     &ledger,
                 );
-                return Err(EngineError::PartLost { part: new_dead[0] });
+                return Err(EngineError::PartLost { part });
             }
             match failure.take() {
                 // A dead part aborting itself is expected, not an error.
@@ -677,7 +804,7 @@ impl Engine {
                 &ledger,
             );
             let rts = self.recorder.now_ns();
-            let recovery = self.make_recovery_ledger(lost, qid);
+            let recovery = self.make_recovery_ledger(lost, qid, &gauges, &all_dead);
             ledgers.push(Arc::clone(&recovery));
             let survivors: Vec<usize> = (0..parts).filter(|p| !all_dead.contains(p)).collect();
             self.run_parts(&mut slots, &mut failure, survivors, |p| make_ctx(p, &recovery));
@@ -798,19 +925,37 @@ impl Engine {
         }
     }
 
-    /// A control plane for a recovery pass: exhausted cursors and `lost`
-    /// as the spill, in the same carrier as the main pass.
-    fn make_recovery_ledger(&self, lost: Vec<VertexId>, qid: u64) -> Arc<dyn ControlPlane> {
+    /// A control plane for a recovery pass, in the same carrier as the
+    /// main pass. Lost roots are **placed**, not spilled: each survivor
+    /// gets a share inversely weighted by its current load (queue depth
+    /// plus rerouted-fetch service in KiB), so recovery work lands on
+    /// the parts that are not already busy serving the dead part's
+    /// traffic. Placed roots are still stealable, so a bad estimate
+    /// costs a steal, never a stall.
+    fn make_recovery_ledger(
+        &self,
+        lost: Vec<VertexId>,
+        qid: u64,
+        gauges: &[Arc<AtomicUsize>],
+        dead: &[usize],
+    ) -> Arc<dyn ControlPlane> {
         let batch = self.cfg.steal.batch.max(1);
+        let metrics = self.service.metrics();
+        let loads: Vec<u64> = (0..self.pg.part_count())
+            .map(|p| {
+                gauges[p].load(Ordering::Relaxed) as u64
+                    + metrics.part(p).rerouted_served_bytes() / 1024
+            })
+            .collect();
+        let assignments = place_recovery_roots(lost, &loads, dead);
         match self.cfg.control.mode {
-            ControlMode::Shared => Arc::new(SharedLedger::recovery(
+            ControlMode::Shared => Arc::new(SharedLedger::placed_recovery(
                 (0..self.pg.part_count()).map(|p| self.pg.part_arc(p)).collect(),
-                lost,
+                assignments,
                 batch,
             )),
-            ControlMode::Msg => Arc::new(MsgLedger::recovery(
-                self.pg.part_count(),
-                lost,
+            ControlMode::Msg => Arc::new(MsgLedger::placed_recovery(
+                assignments,
                 batch,
                 &self.cfg.control,
                 qid,

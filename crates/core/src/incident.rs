@@ -83,17 +83,21 @@ pub enum TriggerKind {
     ControlPoison,
     /// The stall watchdog saw no scheduler progress for its window.
     Stall,
+    /// A re-replication transfer made no byte progress for the stall
+    /// window.
+    RebalanceStuck,
 }
 
 impl TriggerKind {
     /// Every trigger, in taxonomy order.
-    pub const ALL: [TriggerKind; 6] = [
+    pub const ALL: [TriggerKind; 7] = [
         TriggerKind::PartFailed,
         TriggerKind::PartLost,
         TriggerKind::DeadlineExceeded,
         TriggerKind::SlowQuery,
         TriggerKind::ControlPoison,
         TriggerKind::Stall,
+        TriggerKind::RebalanceStuck,
     ];
 
     /// Stable machine-readable name (matches the report validator's
@@ -106,6 +110,7 @@ impl TriggerKind {
             TriggerKind::SlowQuery => "slow_query",
             TriggerKind::ControlPoison => "control_poison",
             TriggerKind::Stall => "stall",
+            TriggerKind::RebalanceStuck => "rebalance_stuck",
         }
     }
 
@@ -115,7 +120,7 @@ impl TriggerKind {
             TriggerKind::DeadlineExceeded => FlightKind::DeadlineMiss,
             TriggerKind::SlowQuery => FlightKind::SlowQuery,
             TriggerKind::ControlPoison => FlightKind::ControlPoison,
-            TriggerKind::Stall => FlightKind::Stall,
+            TriggerKind::Stall | TriggerKind::RebalanceStuck => FlightKind::Stall,
         }
     }
 }

@@ -52,6 +52,7 @@ mod control;
 mod engine;
 mod extend;
 pub mod incident;
+pub mod rebalance;
 mod runtime;
 mod scheduler;
 pub mod service;
@@ -60,8 +61,9 @@ pub mod status;
 
 pub use cache::{CacheConfig, CachePolicy};
 pub use control::{ControlConfig, ControlMode};
-pub use engine::{Engine, EngineConfig, EngineError, QueryCtx, DEFAULT_ROOT_BUDGET};
+pub use engine::{Engine, EngineConfig, EngineError, PartHealth, QueryCtx, DEFAULT_ROOT_BUDGET};
 pub use incident::{list_bundles, validate_bundle, IncidentConfig, IncidentManager};
+pub use rebalance::{RebalanceConfig, RebalanceStats};
 pub use scheduler::{QueryArbiter, StealConfig};
 pub use service::{Completion, MiningService, QueryHandle, QueryOutcome, ServiceConfig};
 pub use stats::{Breakdown, ControlSummary, FailureSummary, PartStats, RunStats, TrafficSummary};

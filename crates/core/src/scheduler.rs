@@ -540,6 +540,12 @@ struct PartCursor {
 /// [`finished`]: RootLedger::finished
 pub(crate) struct RootLedger {
     parts: Vec<PartCursor>,
+    /// Per-part *placed* roots: recovery work assigned to a specific
+    /// part by the load-weighted placement pass. Served after the
+    /// part's own cursor (which a placed-recovery ledger starts
+    /// exhausted) and stealable through the same victim path as cursor
+    /// tails, so a placement that turns out lopsided still self-heals.
+    placed: Vec<Mutex<Vec<VertexId>>>,
     /// Donated level-0 root ranges, claimable by any part.
     spill: Mutex<Vec<VertexId>>,
     /// Per-part multiset of every root the part has claimed (own, spill,
@@ -580,6 +586,7 @@ impl RootLedger {
                 .into_iter()
                 .map(|part| PartCursor { part, next: AtomicUsize::new(0) })
                 .collect(),
+            placed: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
             spill: Mutex::new(Vec::new()),
             claim_log: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
             donate_log: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
@@ -712,27 +719,39 @@ impl RootLedger {
         let _ = self.idle_cv.wait_for(&mut guard, Duration::from_millis(1));
     }
 
-    /// Unclaimed roots left on `part`'s cursor.
+    /// Unclaimed roots left on `part`: its cursor tail plus whatever
+    /// sits on its placed queue.
     pub(crate) fn remaining(&self, part: usize) -> usize {
         let pc = &self.parts[part];
         // Relaxed everywhere on the cursor: it only partitions an
         // immutable, Arc-shared slice — no claimant-written payload hangs
         // off it, so there is nothing for stronger orderings to publish.
         pc.part.owned().len().saturating_sub(pc.next.load(Ordering::Relaxed))
+            + self.placed[part].lock().len()
     }
 
     fn claim_range(&self, part: usize, n: usize) -> Option<Vec<VertexId>> {
+        if n == 0 {
+            return None;
+        }
         let pc = &self.parts[part];
         let owned = pc.part.owned();
-        if n == 0 || pc.next.load(Ordering::Relaxed) >= owned.len() {
+        if pc.next.load(Ordering::Relaxed) < owned.len() {
+            let start = pc.next.fetch_add(n, Ordering::Relaxed);
+            if start < owned.len() {
+                let end = (start + n).min(owned.len());
+                return Some(owned[start..end].to_vec());
+            }
+        }
+        // Cursor exhausted: serve the part's placed queue (recovery
+        // work assigned by the load-weighted placement pass). The lock
+        // makes a placed root land in exactly one claim.
+        let mut placed = self.placed[part].lock();
+        if placed.is_empty() {
             return None;
         }
-        let start = pc.next.fetch_add(n, Ordering::Relaxed);
-        if start >= owned.len() {
-            return None;
-        }
-        let end = (start + n).min(owned.len());
-        Some(owned[start..end].to_vec())
+        let take = n.min(placed.len());
+        Some(placed.drain(..take).collect())
     }
 
     // -- fail-stop recovery ------------------------------------------------
@@ -789,18 +808,73 @@ impl RootLedger {
         lost
     }
 
-    /// A ledger for the recovery pass: every cursor starts exhausted and
-    /// the spill holds exactly the `lost` roots, so survivors claim
-    /// nothing but the re-execution work. Stealing is forced on — spill
-    /// claims are a stealing path.
-    pub(crate) fn recovery(parts: Vec<Arc<GraphPart>>, lost: Vec<VertexId>, batch: usize) -> Self {
+    /// A ledger for a *placed* recovery pass: every cursor starts
+    /// exhausted and each part's share of the lost roots (from
+    /// [`place_recovery_roots`]) sits on its own placed queue, so
+    /// recovery work lands where the placement decided instead of
+    /// wherever polls the spill first. Stealing is forced on: a part
+    /// that drains its share early steals the loaded parts' placed
+    /// tails through the ordinary victim path, so a placement that
+    /// mispredicts load still balances out.
+    pub(crate) fn placed_recovery(
+        parts: Vec<Arc<GraphPart>>,
+        assignments: Vec<Vec<VertexId>>,
+        batch: usize,
+    ) -> Self {
         let ledger = RootLedger::new(parts, true, batch, None);
         for pc in &ledger.parts {
             pc.next.store(pc.part.owned().len(), Ordering::Relaxed);
         }
-        *ledger.spill.lock() = lost;
+        for (p, roots) in assignments.into_iter().enumerate() {
+            *ledger.placed[p].lock() = roots;
+        }
         ledger
     }
+}
+
+/// Splits `lost` roots across the surviving parts in inverse proportion
+/// to their current load — the recovery-aware placement pass. `loads`
+/// is a per-part service-pressure score (the engine feeds queue depth
+/// plus rerouted-fetch service volume); `dead` parts receive nothing.
+/// The split is contiguous and deterministic for a given input, and the
+/// union of the assignments is exactly `lost`, so counts are unaffected
+/// by *where* the roots land.
+pub(crate) fn place_recovery_roots(
+    lost: Vec<VertexId>,
+    loads: &[u64],
+    dead: &[usize],
+) -> Vec<Vec<VertexId>> {
+    let n = loads.len();
+    let mut out: Vec<Vec<VertexId>> = (0..n).map(|_| Vec::new()).collect();
+    let survivors: Vec<usize> = (0..n).filter(|p| !dead.contains(p)).collect();
+    if lost.is_empty() || survivors.is_empty() {
+        return out;
+    }
+    // Capacity score: the least-loaded survivor gets the largest share;
+    // +1 keeps every survivor claimable even under a uniform load.
+    let max = survivors.iter().map(|&p| loads[p]).max().unwrap_or(0);
+    let caps: Vec<u64> = survivors.iter().map(|&p| max - loads[p] + 1).collect();
+    let total: u64 = caps.iter().sum();
+    let len = lost.len() as u64;
+    // Largest-remainder apportionment of `len` roots over `caps`.
+    let mut counts: Vec<u64> = caps.iter().map(|&c| len * c / total).collect();
+    let mut leftover = len - counts.iter().sum::<u64>();
+    let mut by_rem: Vec<usize> = (0..caps.len()).collect();
+    by_rem.sort_by_key(|&i| (std::cmp::Reverse(len * caps[i] % total), i));
+    for &i in &by_rem {
+        if leftover == 0 {
+            break;
+        }
+        counts[i] += 1;
+        leftover -= 1;
+    }
+    let mut rest = lost;
+    for (i, &p) in survivors.iter().enumerate() {
+        let take = (counts[i] as usize).min(rest.len());
+        let tail = rest.split_off(take);
+        out[p] = std::mem::replace(&mut rest, tail);
+    }
+    out
 }
 
 /// The trait carrier of the shared-memory ledger: every operation
@@ -1149,20 +1223,61 @@ mod tests {
     }
 
     #[test]
-    fn recovery_ledger_serves_only_the_spill() {
+    fn placed_recovery_serves_shares_locally_and_steals_the_rest() {
         let g = gen::erdos_renyi(64, 128, 9);
         let pg = PartitionedGraph::new(&g, 4, 1);
         let parts: Vec<_> = (0..4).map(|p| pg.part_arc(p)).collect();
-        let ledger = RootLedger::recovery(parts, vec![10, 11, 12], 8);
-        assert!((0..4).all(|p| ledger.remaining(p) == 0));
-        assert!(ledger.stealing());
-        let (src, roots) = ledger.claim(3, usize::MAX).expect("lost roots claimable");
-        assert_eq!(src, ClaimSource::Spill);
+        let assignments = vec![vec![10, 11, 12], Vec::new(), vec![20], Vec::new()];
+        let ledger = RootLedger::placed_recovery(parts, assignments, 8);
+        assert!(ledger.stealing(), "placed recovery forces stealing on");
+        assert_eq!(ledger.remaining(0), 3);
+        assert_eq!(ledger.remaining(1), 0);
+        // A part's placed share claims as its own work.
+        let (src, roots) = ledger.claim(0, 8).expect("placed share");
+        assert_eq!(src, ClaimSource::Own);
         assert_eq!(roots, vec![10, 11, 12]);
-        assert!(!ledger.finished());
+        // An empty-handed part steals a loaded part's placed tail.
+        let (src, roots) = ledger.claim(1, 8).expect("steal placed work");
+        assert_eq!(src, ClaimSource::Stolen(2));
+        assert_eq!(roots, vec![20]);
+        assert!(!ledger.finished(), "outstanding batches");
+        ledger.batch_done();
         ledger.batch_done();
         assert!(ledger.finished());
-        assert!(ledger.claim(0, usize::MAX).is_none());
+        // lost_roots over a placed ledger still reconstructs exactly.
+        assert!(ledger.claim(3, 8).is_none());
+    }
+
+    #[test]
+    fn placement_gives_the_loaded_survivor_fewer_recovery_roots() {
+        let lost: Vec<VertexId> = (0..100).collect();
+        // Part 1 is busy serving rerouted fetches; part 3 is dead.
+        let loads = [0u64, 900, 0, 5];
+        let out = place_recovery_roots(lost.clone(), &loads, &[3]);
+        assert_eq!(out.len(), 4);
+        assert!(out[3].is_empty(), "dead parts receive nothing");
+        assert!(
+            out[1].len() < out[0].len() && out[1].len() < out[2].len(),
+            "loaded survivor must receive fewer roots: {:?}",
+            out.iter().map(|v| v.len()).collect::<Vec<_>>()
+        );
+        // The union of the shares is exactly the lost multiset, in order.
+        let union: Vec<VertexId> = out.into_iter().flatten().collect();
+        assert_eq!(union, lost);
+    }
+
+    #[test]
+    fn placement_handles_degenerate_inputs() {
+        // Uniform load: shares split evenly.
+        let out = place_recovery_roots((0..9).collect(), &[7, 7, 7], &[]);
+        assert_eq!(out.iter().map(|v| v.len()).collect::<Vec<_>>(), vec![3, 3, 3]);
+        // No lost roots / no survivors: everything empty.
+        assert!(place_recovery_roots(Vec::new(), &[1, 2], &[])
+            .iter()
+            .all(|v| v.is_empty()));
+        assert!(place_recovery_roots(vec![1, 2], &[1, 2], &[0, 1])
+            .iter()
+            .all(|v| v.is_empty()));
     }
 
     #[test]

@@ -455,6 +455,7 @@ impl MiningService {
         let mut report = agg.to_report(system);
         self.engine.recorder().augment_report(&mut report);
         report.incidents = self.engine.incidents().incidents();
+        report.rebalance = self.engine.rebalance_section();
         let spans = self.engine.recorder().spans();
         report.queries = outcomes.iter().map(|o| query_report(o, &spans)).collect();
         report

@@ -208,6 +208,7 @@ impl RunStats {
                 rerouted_bytes: self.failures.rerouted_bytes,
                 reexecuted_roots: self.failures.reexecuted_roots,
             },
+            rebalance: gpm_obs::RebalanceSection::default(),
             control: gpm_obs::ControlSection {
                 sent: self.control.sent,
                 retried: self.control.retried,

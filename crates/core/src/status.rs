@@ -245,6 +245,7 @@ fn render_metrics(svc: &MiningService) -> String {
     }
     let engine = svc.engine();
     let (memo_entries, memo_hits, memo_evictions) = svc.memo_stats();
+    let rebalance = engine.rebalance_section();
     let mut metrics = vec![
         PromMetric::scalar(
             "gpm_embeddings_total",
@@ -306,17 +307,56 @@ fn render_metrics(svc: &MiningService) -> String {
             PromKind::Counter,
             traffic[6] as f64,
         ),
+        // The rerouted families carry the query-attributed aggregate as
+        // the bare sample plus one `holder`-labelled sample per replica
+        // that actually served rerouted traffic — the spread-failover
+        // split. Summing across label sets double-counts; read the bare
+        // sample for totals and the labelled ones for the split.
+        PromMetric {
+            name: "gpm_rerouted_requests_total",
+            help: "Fetches rerouted to a replica after a part death \
+                   (holder label: the split per serving replica)",
+            kind: PromKind::Counter,
+            samples: std::iter::once((Vec::new(), rerouted_requests as f64))
+                .chain(rebalance.per_holder_rerouted.iter().map(|h| {
+                    (vec![("holder", h.part.to_string())], h.requests as f64)
+                }))
+                .collect(),
+        },
+        PromMetric {
+            name: "gpm_rerouted_bytes_total",
+            help: "Bytes served by replicas after a part death \
+                   (holder label: the split per serving replica)",
+            kind: PromKind::Counter,
+            samples: std::iter::once((Vec::new(), rerouted_bytes as f64))
+                .chain(rebalance.per_holder_rerouted.iter().map(|h| {
+                    (vec![("holder", h.part.to_string())], h.bytes as f64)
+                }))
+                .collect(),
+        },
         PromMetric::scalar(
-            "gpm_rerouted_requests_total",
-            "Fetches rerouted to a replica after a part death",
+            "gpm_rebalance_transfers_total",
+            "Slices re-replicated to a new holder by the background rebalancer",
             PromKind::Counter,
-            rerouted_requests as f64,
+            rebalance.transfers as f64,
         ),
         PromMetric::scalar(
-            "gpm_rerouted_bytes_total",
-            "Bytes served by replicas after a part death",
+            "gpm_rebalance_bytes_total",
+            "CSR bytes streamed by background re-replication",
             PromKind::Counter,
-            rerouted_bytes as f64,
+            rebalance.bytes as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_slices_lost_total",
+            "Slices whose every copy died before a repair landed",
+            PromKind::Counter,
+            rebalance.slices_lost as f64,
+        ),
+        PromMetric::scalar(
+            "gpm_effective_replication_min",
+            "Minimum live copy count over all slices right now",
+            PromKind::Gauge,
+            rebalance.min_effective_replication as f64,
         ),
         PromMetric::scalar(
             "gpm_reexecuted_roots_total",
@@ -492,6 +532,7 @@ fn render_status(svc: &MiningService, rollup: &Rollup) -> String {
                 ("evictions".into(), Value::UInt(memo_evictions)),
             ]),
         ),
+        ("replicas".into(), replicas_json(svc)),
         (
             "recent_completions".into(),
             Value::Seq(svc.recent_completions().iter().map(completion_json).collect()),
@@ -503,6 +544,43 @@ fn render_status(svc: &MiningService, rollup: &Rollup) -> String {
         ("rollup".into(), rollup_json(rollup)),
     ]);
     serde_json::to_string(&doc).expect("status JSON renders")
+}
+
+/// The replica-placement/health section of `/status`: the rebalancer's
+/// cumulative totals plus one row per part (liveness, hosted slices,
+/// live copies of its own slice, rerouted traffic served) — the table
+/// `gpm top` renders.
+fn replicas_json(svc: &MiningService) -> Value {
+    let engine = svc.engine();
+    let reb = engine.rebalance_section();
+    let parts: Vec<Value> = engine
+        .part_health()
+        .iter()
+        .map(|h| {
+            Value::Map(vec![
+                ("part".into(), Value::UInt(h.part as u64)),
+                ("alive".into(), Value::Bool(h.alive)),
+                (
+                    "hosted_slices".into(),
+                    Value::Seq(h.hosted_slices.iter().map(|&s| Value::UInt(s as u64)).collect()),
+                ),
+                ("live_copies".into(), Value::UInt(h.live_copies as u64)),
+                ("rerouted_served_requests".into(), Value::UInt(h.rerouted_served_requests)),
+                ("rerouted_served_bytes".into(), Value::UInt(h.rerouted_served_bytes)),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        ("enabled".into(), Value::Bool(reb.enabled)),
+        ("configured_replication".into(), Value::UInt(reb.configured_replication)),
+        ("min_effective_replication".into(), Value::UInt(reb.min_effective_replication)),
+        ("routing_epoch".into(), Value::UInt(reb.routing_epoch)),
+        ("transfers".into(), Value::UInt(reb.transfers)),
+        ("bytes".into(), Value::UInt(reb.bytes)),
+        ("slices_restored".into(), Value::UInt(reb.slices_restored)),
+        ("slices_lost".into(), Value::UInt(reb.slices_lost)),
+        ("parts".into(), Value::Seq(parts)),
+    ])
 }
 
 fn progress_json(p: &QueryProgress) -> Value {
@@ -626,6 +704,23 @@ mod tests {
         let doc = gpm_obs::parse_json(&status).expect("status must be valid JSON");
         let serde::Value::Map(fields) = &doc else { panic!("status root is an object") };
         assert!(fields.iter().any(|(k, _)| k == "rollup"));
+        // The replica table is always present; at r=1 every part hosts
+        // only its own slice and has exactly one live copy.
+        let replicas = fields.iter().find(|(k, _)| k == "replicas").map(|(_, v)| v);
+        let Some(serde::Value::Map(reb)) = replicas else { panic!("replicas section missing") };
+        let parts = reb.iter().find(|(k, _)| k == "parts").map(|(_, v)| v);
+        let Some(serde::Value::Seq(rows)) = parts else { panic!("replica parts missing") };
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            let serde::Value::Map(r) = row else { panic!("replica row is an object") };
+            assert!(r.iter().any(|(k, v)| k == "alive" && *v == serde::Value::Bool(true)));
+            assert!(r.iter().any(|(k, v)| k == "live_copies" && *v == serde::Value::UInt(1)));
+        }
+        assert_eq!(
+            gpm_obs::sample_value(&metrics, "gpm_effective_replication_min", None),
+            Some(1.0),
+            "r=1 run scrapes an effective replication of 1"
+        );
         assert!(!server.quit_requested());
         assert_eq!(http_get(server.local_addr(), "/quit"), "bye\n");
         assert!(server.quit_requested());

@@ -85,6 +85,34 @@ pub struct GraphPart {
 }
 
 impl GraphPart {
+    /// Rebuilds a part from raw CSR columns — the receive side of a
+    /// slice transfer (replica re-replication streams exactly these
+    /// three arrays). The columns must describe a well-formed CSR:
+    /// sorted owned vertices, `owned.len() + 1` monotone offsets starting
+    /// at 0, and a neighbor array whose length matches the last offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the columns are inconsistent — a corrupted transfer
+    /// must never install a slice that panics later at serve time.
+    pub fn from_csr(
+        part_id: usize,
+        owned: Vec<VertexId>,
+        offsets: Vec<u64>,
+        neighbors: Vec<VertexId>,
+    ) -> GraphPart {
+        assert_eq!(offsets.len(), owned.len() + 1, "offset column length mismatch");
+        assert_eq!(offsets.first(), Some(&0), "offset column must start at 0");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offset column must be monotone");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            neighbors.len(),
+            "neighbor column length mismatch"
+        );
+        assert!(owned.windows(2).all(|w| w[0] < w[1]), "owned column must be strictly sorted");
+        GraphPart { part_id, owned, offsets, neighbors }
+    }
+
     /// Identifier of this part within its [`PartitionedGraph`].
     pub fn part_id(&self) -> usize {
         self.part_id
@@ -93,6 +121,17 @@ impl GraphPart {
     /// Sorted list of vertices owned by this part.
     pub fn owned(&self) -> &[VertexId] {
         &self.owned
+    }
+
+    /// The raw CSR offset column (`owned_count() + 1` entries) — the
+    /// send side of a slice transfer.
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw CSR adjacency column — the send side of a slice transfer.
+    pub fn neighbors(&self) -> &[VertexId] {
+        &self.neighbors
     }
 
     /// Number of owned vertices.
@@ -561,6 +600,30 @@ mod tests {
     fn over_replication_panics() {
         let g = gen::complete(6);
         PartitionedGraph::with_replication(&g, 2, 1, 3);
+    }
+
+    #[test]
+    fn from_csr_roundtrips_a_part() {
+        let g = gen::erdos_renyi(120, 500, 5);
+        let pg = PartitionedGraph::new(&g, 3, 1);
+        let src = pg.part(1);
+        let rebuilt = GraphPart::from_csr(
+            src.part_id(),
+            src.owned().to_vec(),
+            src.offsets().to_vec(),
+            src.neighbors().to_vec(),
+        );
+        assert_eq!(rebuilt.part_id(), 1);
+        assert_eq!(rebuilt.owned_count(), src.owned_count());
+        for &v in src.owned() {
+            assert_eq!(rebuilt.edge_list(v), src.edge_list(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbor column length mismatch")]
+    fn from_csr_rejects_truncated_columns() {
+        GraphPart::from_csr(0, vec![1, 2], vec![0, 2, 4], vec![3]);
     }
 
     #[test]

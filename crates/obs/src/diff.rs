@@ -358,6 +358,7 @@ mod tests {
                 per_part: Vec::new(),
             },
             failures: Default::default(),
+            rebalance: Default::default(),
             control: Default::default(),
             queries: Vec::new(),
             incidents: Vec::new(),

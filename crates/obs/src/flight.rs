@@ -70,11 +70,17 @@ pub enum FlightKind {
     SlowQuery,
     /// The stall watchdog fired (`a` = query or 0, `b` = stalled ns).
     Stall,
+    /// A slice was re-replicated onto a new host (`part` = slice owner,
+    /// `a` = receiving host).
+    ReplicaPush,
+    /// Re-replication restored every repairable slice lost with a dead
+    /// part (`part` = dead part, `a` = slices restored).
+    RebalanceDone,
 }
 
 impl FlightKind {
     /// Every kind, for exhaustive schema/rendering tables.
-    pub const ALL: [FlightKind; 13] = [
+    pub const ALL: [FlightKind; 15] = [
         FlightKind::Phase,
         FlightKind::QueryAdmit,
         FlightKind::QueryComplete,
@@ -88,6 +94,8 @@ impl FlightKind {
         FlightKind::DeadlineMiss,
         FlightKind::SlowQuery,
         FlightKind::Stall,
+        FlightKind::ReplicaPush,
+        FlightKind::RebalanceDone,
     ];
 
     /// Stable machine-readable name, used in incident bundles.
@@ -106,6 +114,8 @@ impl FlightKind {
             FlightKind::DeadlineMiss => "deadline_miss",
             FlightKind::SlowQuery => "slow_query",
             FlightKind::Stall => "stall",
+            FlightKind::ReplicaPush => "replica_push",
+            FlightKind::RebalanceDone => "rebalance_done",
         }
     }
 

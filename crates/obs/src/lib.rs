@@ -61,8 +61,9 @@ pub use progress::{PartProgress, QueryProgress};
 pub use recorder::{GaugeSample, Metric, ObsHandle, Recorder};
 pub use report::{
     BreakdownFractions, ControlSection, CriticalPathFractions, CriticalPathSection, FailureSection,
-    IncidentSummary, NamedHistogram, PartCriticalPath, PartReport, QueryReport, RingOccupancy,
-    RunReport, SeriesPoint, SpanStats, TrafficTotals, REPORT_SCHEMA_VERSION,
+    HolderReroute, IncidentSummary, NamedHistogram, PartCriticalPath, PartReport, QueryReport,
+    RebalanceSection, RingOccupancy, RunReport, SeriesPoint, SpanStats, TrafficTotals,
+    REPORT_SCHEMA_VERSION,
 };
 pub use rollup::{Rollup, Window};
 pub use span::{Span, SpanKind};

@@ -28,7 +28,10 @@ use serde::Serialize;
 /// flight-recorder subsystem captured to disk (absent or empty for a
 /// clean run; readers treat a missing section as empty) — and histogram
 /// `p999`/`max` tail fields (readers treat missing tail fields as
-/// unreported, not zero-valued).
+/// unreported, not zero-valued). Additive (still v4): the `rebalance`
+/// section — self-healing re-replication totals and per-holder
+/// spread-failover accounting (readers treat a missing section as
+/// disabled/all-zero).
 pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// End-of-run traffic totals, mirroring the engine's `TrafficSummary`
@@ -204,6 +207,49 @@ pub struct FailureSection {
     pub reexecuted_roots: u64,
 }
 
+/// One replica holder's share of a dead part's rerouted fetch traffic
+/// (additive in v4): the spread-failover policy round-robins dead-owner
+/// fetches across every live holder, and this records how much each one
+/// actually served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct HolderReroute {
+    /// The part that served the rerouted fetches.
+    pub part: u64,
+    /// Rerouted fetches this holder answered.
+    pub requests: u64,
+    /// Bytes (request + response) this holder served for them.
+    pub bytes: u64,
+}
+
+/// Self-healing re-replication accounting (additive in v4). All-zero
+/// with `enabled: false` for runs without the background rebalancer;
+/// `report-validate` warns when `min_effective_replication` ends below
+/// `configured_replication` — a slice is still short a copy, so the next
+/// crash may lose data.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct RebalanceSection {
+    /// Whether the background rebalancer was running.
+    pub enabled: bool,
+    /// Completed slice transfers (one per slice re-replicated).
+    pub transfers: u64,
+    /// CSR bytes streamed by those transfers.
+    pub bytes: u64,
+    /// Slices restored to a new holder.
+    pub slices_restored: u64,
+    /// Slices whose every copy died before a repair landed.
+    pub slices_lost: u64,
+    /// Routing epoch at report time; bumped on every holder-set change
+    /// (death or repair), 0 for an undisturbed run.
+    pub routing_epoch: u64,
+    /// The replication factor the cluster was configured with.
+    pub configured_replication: u64,
+    /// Minimum live copy count over all slices at report time.
+    pub min_effective_replication: u64,
+    /// Per-holder rerouted-fetch service, sorted by part; empty when no
+    /// fetch was ever rerouted.
+    pub per_holder_rerouted: Vec<HolderReroute>,
+}
+
 /// Control-plane message accounting (additive in v4): the steal/claim
 /// protocol's typed messages when the run coordinated through the
 /// message-based ledger (`--control msg`). All-zero under the
@@ -229,7 +275,7 @@ pub struct IncidentSummary {
     /// Stable bundle id (also the bundle's file stem).
     pub id: String,
     /// Trigger class (`part_failed`, `part_lost`, `deadline_exceeded`,
-    /// `slow_query`, `control_poison`, or `stall`).
+    /// `slow_query`, `control_poison`, `stall`, or `rebalance_stuck`).
     pub trigger: String,
     /// Query the trigger was attributed to (0 when not query-scoped).
     pub query_id: u64,
@@ -314,6 +360,9 @@ pub struct RunReport {
     /// Fail-stop failure and failover accounting (all-zero for a
     /// fault-free run).
     pub failures: FailureSection,
+    /// Self-healing re-replication and spread-failover accounting
+    /// (additive in v4; `enabled: false` without the rebalancer).
+    pub rebalance: RebalanceSection,
     /// Control-plane message accounting (additive in v4; all-zero under
     /// the shared-memory carrier).
     pub control: ControlSection,
@@ -493,6 +542,20 @@ mod tests {
                 rerouted_bytes: 2048,
                 reexecuted_roots: 9,
             },
+            rebalance: RebalanceSection {
+                enabled: true,
+                transfers: 2,
+                bytes: 8192,
+                slices_restored: 2,
+                slices_lost: 0,
+                routing_epoch: 3,
+                configured_replication: 2,
+                min_effective_replication: 2,
+                per_holder_rerouted: vec![
+                    HolderReroute { part: 1, requests: 3, bytes: 1536 },
+                    HolderReroute { part: 2, requests: 1, bytes: 512 },
+                ],
+            },
             control: ControlSection { sent: 120, retried: 6, dropped: 4 },
             queries: vec![QueryReport {
                 query_id: 1,
@@ -564,6 +627,10 @@ mod tests {
         assert!(a.contains("\"max\": 3"));
         assert!(a.contains("\"incidents\""));
         assert!(a.contains("\"trigger\": \"part_failed\""));
+        assert!(a.contains("\"rebalance\""));
+        assert!(a.contains("\"slices_restored\": 2"));
+        assert!(a.contains("\"per_holder_rerouted\""));
+        assert!(a.contains("\"min_effective_replication\": 2"));
     }
 
     #[test]

@@ -73,6 +73,9 @@ pub enum SpanKind {
     /// A control-plane message resubmission, spanning the retry backoff
     /// sleep (arg = attempt number).
     CtrlRetry,
+    /// Instant: re-replication installed a slice on a new host
+    /// (part = slice owner, arg = receiving host).
+    ReplicaPush,
 }
 
 impl SpanKind {
@@ -106,6 +109,7 @@ impl SpanKind {
             SpanKind::Recovery => "recovery",
             SpanKind::CtrlMsg => "ctrl_msg",
             SpanKind::CtrlRetry => "ctrl_retry",
+            SpanKind::ReplicaPush => "replica_push",
         }
     }
 
@@ -129,7 +133,8 @@ impl SpanKind {
             | SpanKind::Idle
             | SpanKind::Recovery
             | SpanKind::CtrlMsg
-            | SpanKind::CtrlRetry => 7,
+            | SpanKind::CtrlRetry
+            | SpanKind::ReplicaPush => 7,
             SpanKind::PostSend | SpanKind::PostRecv => 8,
         }
     }
@@ -192,7 +197,7 @@ impl Span {
 mod tests {
     use super::*;
 
-    const ALL: [SpanKind; 27] = [
+    const ALL: [SpanKind; 28] = [
         SpanKind::SeedRoots,
         SpanKind::Resolve,
         SpanKind::BucketRound,
@@ -220,6 +225,7 @@ mod tests {
         SpanKind::Recovery,
         SpanKind::CtrlMsg,
         SpanKind::CtrlRetry,
+        SpanKind::ReplicaPush,
     ];
 
     #[test]

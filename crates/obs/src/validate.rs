@@ -274,10 +274,28 @@ const FAILURE_KEYS: [&str; 4] =
 /// Counter keys of the (additive-in-v4, optional) control section.
 const CONTROL_KEYS: [&str; 3] = ["sent", "retried", "dropped"];
 
+/// Counter keys of the (additive-in-v4, optional) rebalance section.
+const REBALANCE_KEYS: [&str; 7] = [
+    "transfers",
+    "bytes",
+    "slices_restored",
+    "slices_lost",
+    "routing_epoch",
+    "configured_replication",
+    "min_effective_replication",
+];
+
 /// Trigger classes an incident summary may carry, mirroring
 /// `khuzdul::incident`'s trigger taxonomy.
-pub(crate) const INCIDENT_TRIGGERS: [&str; 6] =
-    ["part_failed", "part_lost", "deadline_exceeded", "slow_query", "control_poison", "stall"];
+pub(crate) const INCIDENT_TRIGGERS: [&str; 7] = [
+    "part_failed",
+    "part_lost",
+    "deadline_exceeded",
+    "slow_query",
+    "control_poison",
+    "stall",
+    "rebalance_stuck",
+];
 
 /// Checks the incidents section *if present* (additive in v4: reports
 /// written before the flight-recorder subsystem lack it, and readers
@@ -300,6 +318,55 @@ fn check_incidents(parent: &[(String, Value)]) -> Result<(), String> {
         }
         req_u64(m, "query_id", &ctx)?;
         req_u64(m, "at_ns", &ctx)?;
+    }
+    Ok(())
+}
+
+/// Checks the rebalance section *if present* (additive in v4: reports
+/// written before the self-healing subsystem lack it, and readers treat
+/// absence as disabled/all-zero). A present section must be well-formed,
+/// and two conditions earn warnings rather than errors: effective
+/// replication ending below the configured factor (a slice is still
+/// short a copy, so the next crash may lose data), and slices marked
+/// permanently lost.
+fn check_rebalance(parent: &[(String, Value)], warnings: &mut Vec<String>) -> Result<(), String> {
+    let Some(reb) = get(parent, "rebalance") else { return Ok(()) };
+    let m = as_map(reb, "rebalance")?;
+    match get(m, "enabled") {
+        Some(Value::Bool(_)) => {}
+        _ => return Err("rebalance.enabled: missing or not a bool".to_string()),
+    }
+    for key in REBALANCE_KEYS {
+        req_u64(m, key, "rebalance")?;
+    }
+    for (i, h) in as_seq(
+        get(m, "per_holder_rerouted").ok_or("rebalance.per_holder_rerouted: missing")?,
+        "rebalance.per_holder_rerouted",
+    )?
+    .iter()
+    .enumerate()
+    {
+        let ctx = format!("rebalance.per_holder_rerouted[{i}]");
+        let hm = as_map(h, &ctx)?;
+        for key in ["part", "requests", "bytes"] {
+            req_u64(hm, key, &ctx)?;
+        }
+    }
+    let configured = req_u64(m, "configured_replication", "rebalance")?;
+    let effective = req_u64(m, "min_effective_replication", "rebalance")?;
+    if configured > 1 && effective < configured {
+        warnings.push(format!(
+            "rebalance: effective replication {effective} is below the configured \
+             factor {configured} — a slice is still short a copy, so the next \
+             crash may lose data"
+        ));
+    }
+    let lost = req_u64(m, "slices_lost", "rebalance")?;
+    if lost > 0 {
+        warnings.push(format!(
+            "rebalance.slices_lost: {lost} slice(s) lost every copy before a \
+             repair landed — counts derived from them cannot be trusted"
+        ));
     }
     Ok(())
 }
@@ -377,9 +444,11 @@ fn check_critical_path(map: &[(String, Value)], ctx: &str) -> Result<(), String>
 ///
 /// Returns the list of non-fatal warnings on success — a warning when
 /// `spans.dropped` is nonzero (a truncated trace must never be silently
-/// trusted), and one when `failures.parts_failed` is nonzero but no
-/// bytes were re-routed (a part died and failover never engaged) — and
-/// an error string on schema violation.
+/// trusted), one when `failures.parts_failed` is nonzero but no bytes
+/// were re-routed (a part died and failover never engaged), and one
+/// when the rebalance section reports effective replication below the
+/// configured factor or permanently lost slices — and an error string
+/// on schema violation.
 pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
     let mut warnings = Vec::new();
     let doc = parse_json(json)?;
@@ -509,6 +578,7 @@ pub fn validate_report(json: &str) -> Result<Vec<String>, String> {
         ));
     }
 
+    check_rebalance(top, &mut warnings)?;
     check_control(top, "control")?;
 
     let queries = as_seq(get(top, "queries").ok_or("report.queries: missing")?, "queries")?;
@@ -918,6 +988,38 @@ mod tests {
         assert!(validate_report(&bad).unwrap_err().contains("p999"));
         let good = bad.replace(r#""p999": 3"#, r#""p999": 7"#);
         assert!(validate_report(&good).unwrap().is_empty());
+    }
+
+    #[test]
+    fn validate_report_checks_rebalance_section() {
+        // Absent: fine (additive). Present, healthy: fine and quiet.
+        let base = v4_report(FULL_TRAFFIC, CLEAN_SPANS, ZERO_CP, "[]");
+        assert!(validate_report(&base).unwrap().is_empty());
+        let healthy = base.replace(
+            r#""queries": []"#,
+            r#""queries": [], "rebalance": {"enabled": true, "transfers": 1, "bytes": 4096,
+                "slices_restored": 1, "slices_lost": 0, "routing_epoch": 2,
+                "configured_replication": 2, "min_effective_replication": 2,
+                "per_holder_rerouted": [{"part": 1, "requests": 3, "bytes": 1024}]}"#,
+        );
+        assert!(validate_report(&healthy).unwrap().is_empty());
+        // Effective replication below the configured factor warns: a
+        // slice is still short a copy.
+        let degraded =
+            healthy.replace(r#""min_effective_replication": 2"#, r#""min_effective_replication": 1"#);
+        let warnings = validate_report(&degraded).unwrap();
+        assert_eq!(warnings.len(), 1, "got: {warnings:?}");
+        assert!(warnings[0].contains("below the configured factor"), "got: {warnings:?}");
+        // Lost slices warn too — the counts cannot be trusted.
+        let lossy = healthy.replace(r#""slices_lost": 0"#, r#""slices_lost": 1"#);
+        let warnings = validate_report(&lossy).unwrap();
+        assert_eq!(warnings.len(), 1, "got: {warnings:?}");
+        assert!(warnings[0].contains("lost every copy"), "got: {warnings:?}");
+        // Malformed sections are schema violations, not warnings.
+        let bad = healthy.replace(r#""enabled": true"#, r#""enabled": 1"#);
+        assert!(validate_report(&bad).unwrap_err().contains("enabled"));
+        let missing_key = healthy.replace(r#""routing_epoch": 2,"#, "");
+        assert!(validate_report(&missing_key).unwrap_err().contains("routing_epoch"));
     }
 
     #[test]
